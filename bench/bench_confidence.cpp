@@ -1,0 +1,194 @@
+// Experiment E4 — the unified confidence criterion (§3.1): calibration of
+// the scores the extractors attach to their triples.
+//
+// The pipeline is run over the paper world; every extracted claim's
+// confidence is bucketed and compared with the empirical probability that
+// the claim is true (measured against the world). Shape to reproduce:
+// empirical precision increases monotonically with the confidence bucket —
+// i.e. the unified scores are informative and comparable across extractors
+// (the property the knowledge-fusion phase relies on).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "extract/attribute_dedup.h"
+#include "extract/confidence.h"
+#include "extract/dom_extractor.h"
+#include "extract/kb_extractor.h"
+#include "extract/text_extractor.h"
+#include "synth/kb_gen.h"
+#include "synth/site_gen.h"
+#include "synth/text_gen.h"
+#include "synth/world.h"
+
+namespace {
+
+using namespace akb;
+using extract::ExtractedTriple;
+using synth::World;
+using synth::WorldConfig;
+
+const World& PaperWorld() {
+  static World world = World::Build(WorldConfig::PaperDefault());
+  return world;
+}
+
+// Collects triples from DOM, text, and KB channels for one class.
+std::vector<ExtractedTriple> CollectTriples(const World& world,
+                                            const std::string& cls,
+                                            uint64_t seed) {
+  auto cls_id = world.FindClass(cls);
+  const auto& wc = world.cls(*cls_id);
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < wc.attributes.size() / 4; ++a) {
+    seeds.push_back(wc.attributes[a].name);
+  }
+
+  std::vector<ExtractedTriple> all;
+
+  synth::SiteConfig site_config;
+  site_config.class_name = cls;
+  site_config.num_sites = 4;
+  site_config.pages_per_site = 15;
+  site_config.value_error_rate = 0.15;
+  site_config.seed = seed;
+  auto sites = synth::GenerateSites(world, site_config);
+  extract::DomTreeExtractor dom_extractor;
+  auto dom = dom_extractor.Extract(sites, entities, seeds);
+  all.insert(all.end(), dom.triples.begin(), dom.triples.end());
+
+  synth::TextConfig text_config;
+  text_config.class_name = cls;
+  text_config.num_articles = 30;
+  text_config.value_error_rate = 0.15;
+  text_config.seed = seed + 1;
+  auto articles = synth::GenerateArticles(world, text_config);
+  std::vector<std::string> documents, names;
+  for (const auto& article : articles) {
+    documents.push_back(article.text);
+    names.push_back(article.source);
+  }
+  extract::WebTextExtractor text_extractor;
+  auto text =
+      text_extractor.Extract(cls, documents, names, entities, seeds);
+  all.insert(all.end(), text.triples.begin(), text.triples.end());
+
+  synth::KbProfile profile;
+  profile.kb_name = "CalKb";
+  profile.seed = seed + 2;
+  synth::KbClassProfile cp;
+  cp.class_name = cls;
+  cp.instance_attributes = wc.attributes.size() / 2;
+  cp.declared_attributes = wc.attributes.size() / 5;
+  cp.error_rate = 0.08;
+  profile.classes = {cp};
+  auto kb = synth::GenerateKb(world, profile);
+  extract::ExistingKbExtractor kb_extractor;
+  auto kb_triples = kb_extractor.ExtractTriples(kb);
+  all.insert(all.end(), kb_triples.begin(), kb_triples.end());
+  return all;
+}
+
+void PrintCalibration() {
+  const World& world = PaperWorld();
+  std::vector<ExtractedTriple> triples = CollectTriples(world, "Film", 101);
+  auto cls_id = world.FindClass("Film");
+  const auto& wc = world.cls(*cls_id);
+
+  std::unordered_map<std::string, synth::AttributeId> attr_by_key;
+  for (synth::AttributeId a = 0; a < wc.attributes.size(); ++a) {
+    attr_by_key.emplace(extract::AttributeKey(wc.attributes[a].name), a);
+  }
+  std::unordered_map<std::string, synth::EntityId> entity_by_name;
+  for (synth::EntityId e = 0; e < wc.entities.size(); ++e) {
+    entity_by_name.emplace(NormalizeSurface(wc.entities[e].name), e);
+  }
+
+  // Bucket claims by confidence; per extractor and overall.
+  constexpr int kBuckets = 5;
+  struct Bucket {
+    size_t total = 0;
+    size_t correct = 0;
+  };
+  std::map<std::string, std::vector<Bucket>> by_extractor;
+  std::vector<Bucket> overall(kBuckets);
+
+  for (const auto& t : triples) {
+    auto e = entity_by_name.find(NormalizeSurface(t.entity));
+    auto a = attr_by_key.find(extract::AttributeKey(t.attribute));
+    if (e == entity_by_name.end() || a == attr_by_key.end()) continue;
+    bool correct =
+        world.IsTrueValue(*cls_id, e->second, a->second, t.value);
+    int bucket = std::min(kBuckets - 1,
+                          int(t.confidence * kBuckets));
+    std::string name(rdf::ExtractorKindToString(t.extractor));
+    auto [it, inserted] =
+        by_extractor.try_emplace(name, std::vector<Bucket>(kBuckets));
+    ++it->second[bucket].total;
+    ++overall[bucket].total;
+    if (correct) {
+      ++it->second[bucket].correct;
+      ++overall[bucket].correct;
+    }
+  }
+
+  akb::TextTable table({"Confidence bucket", "Claims", "Empirical precision"});
+  table.set_title(
+      "E4: unified confidence calibration (all extractors pooled, Film)");
+  for (int b = 0; b < kBuckets; ++b) {
+    if (overall[b].total == 0) continue;
+    std::string range = "[" + FormatDouble(b / double(kBuckets), 1) + ", " +
+                        FormatDouble((b + 1) / double(kBuckets), 1) + ")";
+    table.AddRow({range, std::to_string(overall[b].total),
+                  FormatDouble(double(overall[b].correct) /
+                                   double(overall[b].total),
+                               3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  akb::TextTable per({"Extractor", "Claims", "Mean conf", "Precision"});
+  per.set_title("E4b: per-extractor confidence vs precision");
+  for (const auto& [name, buckets] : by_extractor) {
+    size_t total = 0, correct = 0;
+    for (const auto& bucket : buckets) {
+      total += bucket.total;
+      correct += bucket.correct;
+    }
+    double mean_conf = 0;
+    size_t n = 0;
+    for (const auto& t : triples) {
+      if (rdf::ExtractorKindToString(t.extractor) == name) {
+        mean_conf += t.confidence;
+        ++n;
+      }
+    }
+    per.AddRow({name, std::to_string(total),
+                FormatDouble(n ? mean_conf / n : 0.0, 3),
+                FormatDouble(total ? double(correct) / total : 0.0, 3)});
+  }
+  std::printf("%s\n", per.ToString().c_str());
+}
+
+void BM_ConfidenceScore(benchmark::State& state) {
+  extract::ConfidenceCriterion criterion;
+  size_t support = 1;
+  for (auto _ : state) {
+    double score = criterion.Score(rdf::ExtractorKind::kDomTree,
+                                   support++ % 20 + 1, 0.9);
+    benchmark::DoNotOptimize(score);
+  }
+}
+BENCHMARK(BM_ConfidenceScore);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCalibration();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,228 @@
+// Experiment E2 — inter-source correlations (§3.2): copy detection and
+// correlation-aware fusion.
+//
+// Copier sources replicate a low-accuracy target at varying copy rates.
+// Shapes to reproduce: (a) detected dependence grows with the copy rate and
+// stays near the prior for independent pairs; (b) correlation-aware fusion
+// (independence-weighted ACCU) resists the copier bloc while naive VOTE is
+// dragged down as copiers multiply.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "fusion/accu.h"
+#include "fusion/copy_detect.h"
+#include "fusion/metrics.h"
+#include "extract/attribute_dedup.h"
+#include "extract/dom_extractor.h"
+#include "fusion/relation_fusion.h"
+#include "fusion/vote.h"
+#include "extract/kb_extractor.h"
+#include "extract/text_extractor.h"
+#include "synth/kb_gen.h"
+#include "synth/site_gen.h"
+#include "synth/text_gen.h"
+#include "synth/world.h"
+
+namespace {
+
+using namespace akb;
+using fusion::ClaimTable;
+using fusion::CopyDetection;
+using fusion::DetectCopying;
+using fusion::Evaluate;
+using synth::ClaimGenConfig;
+using synth::FusionDataset;
+using synth::GenerateClaims;
+using synth::MakeSources;
+using synth::SourceSpec;
+
+FusionDataset CopierDataset(size_t copiers, double copy_rate, uint64_t seed) {
+  ClaimGenConfig config;
+  config.num_items = 1000;
+  config.domain_size = 12;
+  config.seed = seed;
+  config.sources = MakeSources(4, 0.7, 0.85, 0.85);
+  SourceSpec target;
+  target.name = "target";
+  target.accuracy = 0.35;
+  target.coverage = 0.9;
+  config.sources.push_back(target);
+  for (size_t c = 0; c < copiers; ++c) {
+    SourceSpec copier;
+    copier.name = "copier" + std::to_string(c);
+    copier.accuracy = 0.35;
+    copier.coverage = 0.8;
+    copier.copies_from = 4;
+    copier.copy_rate = copy_rate;
+    config.sources.push_back(copier);
+  }
+  return GenerateClaims(config);
+}
+
+void PrintDetectionVsCopyRate() {
+  akb::TextTable table({"Copy rate", "P(dep) target~copier",
+                        "P(dep) indep pair", "Copier indep. weight"});
+  table.set_title(
+      "E2a: copy detection vs copy rate (1 copier of a 0.35-accuracy "
+      "target)");
+  for (double rate : {0.0, 0.25, 0.5, 0.75, 0.95}) {
+    FusionDataset dataset = CopierDataset(1, rate, 81);
+    ClaimTable claim_table = ClaimTable::FromDataset(dataset);
+    CopyDetection detection = DetectCopying(claim_table);
+    fusion::SourceId target, copier, s0, s1;
+    claim_table.FindSource("target", &target);
+    claim_table.FindSource("copier0", &copier);
+    claim_table.FindSource("source_0", &s0);
+    claim_table.FindSource("source_1", &s1);
+    table.AddRow({FormatDouble(rate, 2),
+                  FormatDouble(detection.Dependence(target, copier), 3),
+                  FormatDouble(detection.Dependence(s0, s1), 3),
+                  FormatDouble(detection.independence[copier], 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void PrintFusionVsCopierCount() {
+  akb::TextTable table({"# copiers", "VOTE P", "ACCU P",
+                        "ACCU+copy-aware P", "RELATION P"});
+  table.set_title(
+      "E2b: fusion precision vs size of the copier bloc (copy rate 0.9)");
+  for (size_t copiers : {0u, 1u, 2u, 3u, 5u, 8u}) {
+    FusionDataset dataset = CopierDataset(copiers, 0.9, 82);
+    ClaimTable claim_table = ClaimTable::FromDataset(dataset);
+    double vote = Evaluate(fusion::Vote(claim_table), claim_table,
+                           dataset).precision;
+    double accu = Evaluate(fusion::Accu(claim_table), claim_table,
+                           dataset).precision;
+    CopyDetection detection = DetectCopying(claim_table);
+    fusion::AccuConfig config;
+    config.source_weights = detection.independence;
+    double aware = Evaluate(fusion::Accu(claim_table, config), claim_table,
+                            dataset).precision;
+    double relation = Evaluate(fusion::RelationFuse(claim_table),
+                               claim_table, dataset).precision;
+    table.AddRow({std::to_string(copiers), FormatDouble(vote, 3),
+                  FormatDouble(accu, 3), FormatDouble(aware, 3),
+                  FormatDouble(relation, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+// E2c: the paper asks for correlations among *extractors*, not only among
+// Web sources. We run the KB / DOM / text channels over the same world,
+// key claims by extractor kind, and measure pairwise claim-set
+// correlation: channels reporting the same underlying facts correlate far
+// above independent-noise level — evidence that counting extractors as
+// independent voters double-counts (the Pochampally critique the paper
+// cites).
+void PrintExtractorCorrelations() {
+  synth::World world = synth::World::Build(synth::WorldConfig::Small());
+  auto cls_id = world.FindClass("Film");
+  const auto& wc = world.cls(*cls_id);
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < wc.attributes.size() / 2; ++a) {
+    seeds.push_back(wc.attributes[a].name);
+  }
+
+  std::vector<extract::ExtractedTriple> all;
+  {
+    synth::SiteConfig config;
+    config.class_name = "Film";
+    config.num_sites = 4;
+    config.pages_per_site = 15;
+    config.attribute_coverage = 0.6;
+    config.seed = 84;
+    auto sites = synth::GenerateSites(world, config);
+    extract::DomTreeExtractor extractor;
+    auto dom = extractor.Extract(sites, entities, seeds);
+    all.insert(all.end(), dom.triples.begin(), dom.triples.end());
+  }
+  {
+    synth::TextConfig config;
+    config.class_name = "Film";
+    config.num_articles = 60;
+    config.facts_per_article = 10;
+    config.seed = 85;
+    auto articles = synth::GenerateArticles(world, config);
+    std::vector<std::string> documents, names;
+    for (const auto& article : articles) {
+      documents.push_back(article.text);
+      names.push_back(article.source);
+    }
+    extract::WebTextExtractor extractor;
+    auto text = extractor.Extract("Film", documents, names, entities, seeds);
+    all.insert(all.end(), text.triples.begin(), text.triples.end());
+  }
+  {
+    synth::KbProfile profile;
+    profile.kb_name = "KbChannel";
+    profile.seed = 86;
+    synth::KbClassProfile cp;
+    cp.class_name = "Film";
+    cp.instance_attributes = wc.attributes.size();
+    cp.declared_attributes = wc.attributes.size() / 2;
+    cp.fact_coverage = 0.7;
+    profile.classes = {cp};
+    auto kb = synth::GenerateKb(world, profile);
+    extract::ExistingKbExtractor extractor;
+    auto triples = extractor.ExtractTriples(kb);
+    all.insert(all.end(), triples.begin(), triples.end());
+  }
+
+  // Key claims by EXTRACTOR (channel), not by individual source.
+  fusion::ClaimTable table;
+  for (auto t : all) {
+    t.source = std::string(rdf::ExtractorKindToString(t.extractor));
+    std::string item = t.class_name + "|" + t.entity + "|" +
+                       extract::AttributeKey(t.attribute);
+    table.Add(item, t.source, NormalizeSurface(t.value), t.confidence);
+  }
+  auto corr = fusion::ClaimCorrelations(table);
+  akb::TextTable matrix({"", "dom_tree", "web_text", "existing_kb"});
+  matrix.set_title(
+      "E2c: inter-extractor claim-set correlation (Jaccard over asserted "
+      "(item, value) pairs; channels observe the same world)");
+  const char* names[] = {"dom_tree", "web_text", "existing_kb"};
+  for (const char* row : names) {
+    fusion::SourceId r;
+    if (!table.FindSource(row, &r)) continue;
+    std::vector<std::string> cells{row};
+    for (const char* col : names) {
+      fusion::SourceId c;
+      if (!table.FindSource(col, &c)) {
+        cells.push_back("-");
+        continue;
+      }
+      cells.push_back(FormatDouble(corr[r][c], 3));
+    }
+    matrix.AddRow(cells);
+  }
+  std::printf("%s\n", matrix.ToString().c_str());
+}
+
+void BM_DetectCopying(benchmark::State& state) {
+  FusionDataset dataset = CopierDataset(size_t(state.range(0)), 0.9, 83);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  for (auto _ : state) {
+    CopyDetection detection = DetectCopying(table);
+    benchmark::DoNotOptimize(detection.independence.size());
+  }
+  state.SetLabel(std::to_string(table.num_sources()) + " sources, " +
+                 std::to_string(table.num_claims()) + " claims");
+}
+BENCHMARK(BM_DetectCopying)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDetectionVsCopyRate();
+  PrintFusionVsCopierCount();
+  PrintExtractorCorrelations();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

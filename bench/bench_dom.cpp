@@ -1,0 +1,236 @@
+// Experiment A1 — Algorithm 1 behaviour: DOM-tree attribute extraction
+// quality as a function of seed-set size, page volume, and layout noise.
+//
+// Shapes to reproduce: (a) recall grows with the seed set (more pages
+// qualify and induce patterns) and with pages per site; (b) precision
+// degrades gracefully as page noise grows; (c) the extractor never learns
+// from nav/ads noise (precision stays high at default noise).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <set>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "extract/attribute_dedup.h"
+#include "extract/dom_extractor.h"
+#include "synth/site_gen.h"
+#include "synth/world.h"
+
+namespace {
+
+using akb::extract::AttributeKey;
+using akb::extract::DomExtraction;
+using akb::extract::DomTreeExtractor;
+using akb::synth::GenerateSites;
+using akb::synth::SiteConfig;
+using akb::synth::World;
+using akb::synth::WorldConfig;
+
+const World& PaperWorld() {
+  static World world = World::Build(WorldConfig::PaperDefault());
+  return world;
+}
+
+struct QualityRow {
+  size_t seeds;
+  size_t pages;
+  double noise;
+  size_t found = 0;
+  double precision = 0;
+  double recall = 0;
+  size_t triples = 0;
+};
+
+QualityRow Measure(const World& world, const std::string& cls, size_t seeds,
+                   size_t pages_per_site, double noise_blocks,
+                   uint64_t seed) {
+  auto cls_id = world.FindClass(cls);
+  const auto& wc = world.cls(*cls_id);
+
+  SiteConfig config;
+  config.class_name = cls;
+  config.num_sites = 4;
+  config.pages_per_site = pages_per_site;
+  config.attribute_coverage = 0.35;
+  config.mean_noise_blocks = noise_blocks;
+  config.seed = seed;
+  auto sites = GenerateSites(world, config);
+
+  std::vector<std::string> entities, seed_attrs;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < seeds && a < wc.attributes.size(); ++a) {
+    seed_attrs.push_back(wc.attributes[a].name);
+  }
+
+  DomTreeExtractor extractor;
+  DomExtraction out = extractor.Extract(sites, entities, seed_attrs);
+
+  std::set<std::string> true_keys, seed_keys;
+  for (const auto& spec : wc.attributes) {
+    true_keys.insert(AttributeKey(spec.name));
+  }
+  for (const auto& s : seed_attrs) seed_keys.insert(AttributeKey(s));
+
+  QualityRow row;
+  row.seeds = seeds;
+  row.pages = pages_per_site;
+  row.noise = noise_blocks;
+  size_t correct = 0;
+  for (const auto& attr : out.new_attributes) {
+    if (true_keys.count(AttributeKey(attr.surface))) ++correct;
+  }
+  row.found = out.new_attributes.size();
+  row.precision = row.found ? double(correct) / double(row.found) : 0.0;
+  size_t findable = true_keys.size() - seed_keys.size();
+  row.recall = findable ? double(correct) / double(findable) : 0.0;
+  row.triples = out.triples.size();
+  return row;
+}
+
+void PrintSweeps() {
+  const World& world = PaperWorld();
+  const char* cls = "Film";
+
+  {
+    akb::TextTable table({"Seed attrs", "New attrs found", "Precision",
+                          "Recall", "Triples"});
+    table.set_title(
+        "A1a: DOM extraction vs seed-set size (Film, 4 sites x 20 pages)");
+    for (size_t seeds : {1u, 2u, 5u, 10u, 25u, 50u}) {
+      QualityRow row = Measure(world, cls, seeds, 20, 3.0, 11);
+      table.AddRow({std::to_string(row.seeds), std::to_string(row.found),
+                    akb::FormatDouble(row.precision, 3),
+                    akb::FormatDouble(row.recall, 3),
+                    std::to_string(row.triples)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  {
+    akb::TextTable table(
+        {"Pages/site", "New attrs found", "Precision", "Recall", "Triples"});
+    table.set_title("A1b: DOM extraction vs page volume (Film, 10 seeds)");
+    for (size_t pages : {2u, 5u, 10u, 20u, 40u}) {
+      QualityRow row = Measure(world, cls, 10, pages, 3.0, 12);
+      table.AddRow({std::to_string(row.pages), std::to_string(row.found),
+                    akb::FormatDouble(row.precision, 3),
+                    akb::FormatDouble(row.recall, 3),
+                    std::to_string(row.triples)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  {
+    akb::TextTable table(
+        {"Noise blocks/page", "New attrs found", "Precision", "Recall"});
+    table.set_title(
+        "A1c: DOM extraction vs layout noise (Film, 10 seeds, 20 pages)");
+    for (double noise : {0.0, 2.0, 5.0, 10.0, 20.0}) {
+      QualityRow row = Measure(world, cls, 10, 20, noise, 13);
+      table.AddRow({akb::FormatDouble(row.noise, 0),
+                    std::to_string(row.found),
+                    akb::FormatDouble(row.precision, 3),
+                    akb::FormatDouble(row.recall, 3)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+}
+
+void PrintLayoutSweep() {
+  const World& world = PaperWorld();
+  const char* kLayoutNames[] = {"infobox table", "definition list",
+                                "list items", "div rows"};
+  akb::TextTable table({"Layout", "New attrs", "Precision", "Recall"});
+  table.set_title(
+      "A1d: DOM extraction per site layout (Film, 10 seeds; the forced "
+      "layout changes only the markup, not the rendered content, so "
+      "identical rows demonstrate layout-invariance)");
+  auto cls_id = world.FindClass("Film");
+  const auto& wc = world.cls(*cls_id);
+  std::set<std::string> true_keys, seed_keys;
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < 10; ++a) seeds.push_back(wc.attributes[a].name);
+  for (const auto& spec : wc.attributes) {
+    true_keys.insert(akb::extract::AttributeKey(spec.name));
+  }
+  for (const auto& seed : seeds) {
+    seed_keys.insert(akb::extract::AttributeKey(seed));
+  }
+  for (int layout = 0; layout < akb::synth::kNumLayoutStyles; ++layout) {
+    SiteConfig config;
+    config.class_name = "Film";
+    config.num_sites = 3;
+    config.pages_per_site = 15;
+    config.forced_style = layout;
+    config.seed = 17;
+    auto sites = GenerateSites(world, config);
+    DomTreeExtractor extractor;
+    auto out = extractor.Extract(sites, entities, seeds);
+    std::set<std::string> found;
+    size_t correct = 0;
+    for (const auto& attribute : out.new_attributes) {
+      std::string key = akb::extract::AttributeKey(attribute.surface);
+      if (found.insert(key).second && true_keys.count(key)) ++correct;
+    }
+    double precision = found.empty() ? 0 : double(correct) / found.size();
+    double recall =
+        double(correct) / double(true_keys.size() - seed_keys.size());
+    table.AddRow({kLayoutNames[layout], std::to_string(found.size()),
+                  akb::FormatDouble(precision, 3),
+                  akb::FormatDouble(recall, 3)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BM_DomExtraction(benchmark::State& state) {
+  const World& world = PaperWorld();
+  auto cls_id = world.FindClass("Film");
+  const auto& wc = world.cls(*cls_id);
+  SiteConfig config;
+  config.class_name = "Film";
+  config.num_sites = 4;
+  config.pages_per_site = static_cast<size_t>(state.range(0));
+  config.seed = 14;
+  auto sites = GenerateSites(world, config);
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < 10; ++a) seeds.push_back(wc.attributes[a].name);
+  DomTreeExtractor extractor;
+  for (auto _ : state) {
+    DomExtraction out = extractor.Extract(sites, entities, seeds);
+    benchmark::DoNotOptimize(out.new_attributes.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * state.range(0) * 4);
+}
+BENCHMARK(BM_DomExtraction)->Arg(5)->Arg(10)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HtmlParse(benchmark::State& state) {
+  const World& world = PaperWorld();
+  SiteConfig config;
+  config.class_name = "Film";
+  config.num_sites = 1;
+  config.pages_per_site = 20;
+  config.seed = 15;
+  auto sites = GenerateSites(world, config);
+  size_t bytes = 0;
+  for (const auto& page : sites[0].pages) bytes += page.html.size();
+  for (auto _ : state) {
+    for (const auto& page : sites[0].pages) {
+      akb::html::Document doc = akb::html::ParseHtml(page.html);
+      benchmark::DoNotOptimize(doc.NodeCount());
+    }
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(bytes));
+}
+BENCHMARK(BM_HtmlParse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSweeps();
+  PrintLayoutSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,236 @@
+// Experiment E1 — the §3.2 knowledge-fusion design: VOTE / ACCU / POPACCU
+// baselines vs the paper's proposed improvements (multi-truth LTM,
+// hierarchy-aware resolution, confidence weighting).
+//
+// Shapes to reproduce:
+//  (a) skewed source accuracies: ACCU/POPACCU beat VOTE;
+//  (b) multi-truth items (non-functional attributes): LTM recalls the extra
+//      truths that single-truth methods drop;
+//  (c) hierarchical value spaces: the hierarchy-aware resolver beats flat
+//      methods in precision when errors scatter across leaves;
+//  (d) extraction confidence: weighting claims by phase-one confidence
+//      lifts precision when confidence correlates with correctness.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "fusion/accu.h"
+#include "fusion/hierarchy_fusion.h"
+#include "fusion/metrics.h"
+#include "fusion/functionality.h"
+#include "fusion/multi_truth.h"
+#include "fusion/vote.h"
+
+namespace {
+
+using namespace akb;
+using fusion::ClaimTable;
+using fusion::Evaluate;
+using fusion::FusionMetrics;
+using fusion::FusionOutput;
+using synth::ClaimGenConfig;
+using synth::FusionDataset;
+using synth::GenerateClaims;
+using synth::MakeSources;
+
+void AddRow(akb::TextTable* table, const FusionMetrics& m) {
+  table->AddRow({m.method, FormatDouble(m.precision, 3),
+                 FormatDouble(m.recall, 3), FormatDouble(m.f1, 3),
+                 FormatDouble(m.leaf_precision, 3),
+                 FormatDouble(m.mean_depth, 2)});
+}
+
+akb::TextTable MakeTable(const std::string& title) {
+  akb::TextTable table(
+      {"Method", "Precision", "Recall", "F1", "Leaf P", "Mean depth"});
+  table.set_title(title);
+  return table;
+}
+
+void ScenarioSkewedSources() {
+  ClaimGenConfig config;
+  config.num_items = 1500;
+  config.domain_size = 12;
+  config.seed = 71;
+  config.sources = MakeSources(6, 0.4, 0.55, 0.9);
+  synth::SourceSpec oracle;
+  oracle.name = "oracle";
+  oracle.accuracy = 0.95;
+  oracle.coverage = 0.9;
+  config.sources.push_back(oracle);
+  FusionDataset dataset = GenerateClaims(config);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+
+  auto out = MakeTable(
+      "E1a: skewed source accuracies (6 mediocre 0.40-0.55 + 1 oracle 0.95)"
+      " — accuracy-aware methods must beat VOTE");
+  AddRow(&out, Evaluate(fusion::Vote(table), table, dataset));
+  AddRow(&out, Evaluate(fusion::Accu(table), table, dataset));
+  AddRow(&out, Evaluate(fusion::PopAccu(table), table, dataset));
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+void ScenarioMultiTruth() {
+  ClaimGenConfig config;
+  config.num_items = 1200;
+  config.domain_size = 10;
+  config.multi_truth_rate = 0.6;
+  config.max_truths = 3;
+  config.seed = 72;
+  config.sources = MakeSources(6, 0.75, 0.9, 0.85);
+  FusionDataset dataset = GenerateClaims(config);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+
+  auto out = MakeTable(
+      "E1b: non-functional attributes (60% multi-truth items) — the LTM "
+      "multi-truth model must recover the extra truths");
+  AddRow(&out, Evaluate(fusion::Vote(table), table, dataset));
+  AddRow(&out, Evaluate(fusion::Accu(table), table, dataset));
+  AddRow(&out, Evaluate(fusion::MultiTruth(table), table, dataset));
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+void ScenarioHierarchy() {
+  ClaimGenConfig config;
+  config.num_items = 1200;
+  config.hierarchical_rate = 1.0;
+  config.seed = 73;
+  config.sources = MakeSources(7, 0.45, 0.6, 0.9);
+  for (auto& source : config.sources) source.generalize_rate = 0.5;
+  FusionDataset dataset = GenerateClaims(config);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+
+  auto out = MakeTable(
+      "E1c: hierarchical value spaces (Wuhan-Hubei-China chains; claims "
+      "generalized 50%) — chain-aware resolution must beat flat methods");
+  AddRow(&out, Evaluate(fusion::Vote(table), table, dataset));
+  AddRow(&out, Evaluate(fusion::Accu(table), table, dataset));
+  fusion::HierarchyFusionConfig hconfig;
+  hconfig.support_fraction = 0.4;
+  AddRow(&out, Evaluate(fusion::HierarchyFuse(table, dataset.hierarchy,
+                                              hconfig),
+                        table, dataset, 0.4));
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+// Confidence weighting: claims carry a confidence that correlates with
+// correctness (as the unified criterion produces): correct claims get high
+// scores, wrong claims low, with noise.
+void ScenarioConfidence() {
+  ClaimGenConfig config;
+  config.num_items = 1500;
+  config.domain_size = 12;
+  config.seed = 74;
+  config.sources = MakeSources(7, 0.55, 0.65, 0.9);
+  FusionDataset dataset = GenerateClaims(config);
+
+  Rng rng(75);
+  ClaimTable table;
+  for (const auto& record : dataset.claims) {
+    bool correct = dataset.IsTrue(record.item, record.value);
+    double confidence = correct ? 0.55 + 0.4 * rng.NextDouble()
+                                : 0.15 + 0.4 * rng.NextDouble();
+    table.Add(dataset.items[record.item].id,
+              dataset.sources[record.source].name, record.value, confidence);
+  }
+
+  auto out = MakeTable(
+      "E1d: leveraging phase-one confidence scores (correct claims score "
+      "higher on average) — confidence-weighted variants must win");
+  AddRow(&out, Evaluate(fusion::Vote(table), table, dataset));
+  fusion::VoteConfig vote_conf;
+  vote_conf.use_confidence = true;
+  AddRow(&out, Evaluate(fusion::Vote(table, vote_conf), table, dataset));
+  AddRow(&out, Evaluate(fusion::Accu(table), table, dataset));
+  fusion::AccuConfig accu_conf;
+  accu_conf.use_confidence = true;
+  FusionOutput weighted = fusion::Accu(table, accu_conf);
+  weighted.method = "ACCU-conf";
+  AddRow(&out, Evaluate(weighted, table, dataset));
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+// Functionality-degree routing: a mixed workload where half the attribute
+// groups are functional and half multi-valued — the §3.2 claim that fusion
+// must "handle both functional and non-functional attributes".
+void ScenarioFunctionality() {
+  ClaimGenConfig config;
+  config.num_items = 1200;
+  config.domain_size = 10;
+  config.attribute_groups = 8;
+  config.functional_group_rate = 0.5;
+  config.max_truths = 3;
+  config.seed = 77;
+  config.sources = MakeSources(6, 0.75, 0.9, 0.85);
+  FusionDataset dataset = GenerateClaims(config);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  auto grouper = [](const std::string& item) {
+    return item.substr(0, item.find('|'));
+  };
+
+  auto out = MakeTable(
+      "E1e: functionality-degree routing (8 attribute groups, half "
+      "functional / half multi-valued) — the hybrid router must dominate "
+      "each pure truth model");
+  AddRow(&out, Evaluate(fusion::Vote(table), table, dataset));
+  AddRow(&out, Evaluate(fusion::Accu(table), table, dataset));
+  AddRow(&out, Evaluate(fusion::MultiTruth(table), table, dataset));
+  AddRow(&out,
+         Evaluate(fusion::HybridFuse(table, {}, grouper), table, dataset));
+  std::printf("%s\n", out.ToString().c_str());
+}
+
+// --- Timing benchmarks over growing claim sets.
+ClaimTable BuildTable(size_t items) {
+  ClaimGenConfig config;
+  config.num_items = items;
+  config.seed = 76;
+  config.sources = MakeSources(8, 0.6, 0.9, 0.8);
+  return ClaimTable::FromDataset(GenerateClaims(config));
+}
+
+void BM_Vote(benchmark::State& state) {
+  ClaimTable table = BuildTable(size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::Vote(table).beliefs.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(table.num_claims()));
+}
+BENCHMARK(BM_Vote)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_Accu(benchmark::State& state) {
+  ClaimTable table = BuildTable(size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::Accu(table).beliefs.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(table.num_claims()));
+}
+BENCHMARK(BM_Accu)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_MultiTruth(benchmark::State& state) {
+  ClaimTable table = BuildTable(size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fusion::MultiTruth(table).beliefs.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(table.num_claims()));
+}
+BENCHMARK(BM_MultiTruth)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ScenarioSkewedSources();
+  ScenarioMultiTruth();
+  ScenarioHierarchy();
+  ScenarioConfidence();
+  ScenarioFunctionality();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

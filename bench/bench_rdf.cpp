@@ -1,0 +1,106 @@
+// Substrate micro-benchmarks: the RDF triple store and N-Triples codec
+// (the storage layer every pipeline stage writes into).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+
+namespace {
+
+using namespace akb;
+
+rdf::TripleStore BuildStore(size_t claims, uint64_t seed) {
+  rdf::TripleStore store;
+  Rng rng(seed);
+  std::vector<rdf::TermId> subjects, predicates, objects;
+  for (int i = 0; i < 2000; ++i) {
+    subjects.push_back(
+        store.dictionary().InternIri("http://e/s" + std::to_string(i)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    predicates.push_back(
+        store.dictionary().InternIri("http://p/p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    objects.push_back(
+        store.dictionary().InternLiteral("value " + std::to_string(i)));
+  }
+  for (size_t c = 0; c < claims; ++c) {
+    store.Insert({rng.Pick(subjects), rng.Pick(predicates),
+                  rng.Pick(objects)},
+                 rdf::Provenance{"s" + std::to_string(rng.Index(20)),
+                                 rdf::ExtractorKind::kDomTree,
+                                 rng.NextDouble()});
+  }
+  return store;
+}
+
+void BM_TripleStoreInsert(benchmark::State& state) {
+  size_t claims = size_t(state.range(0));
+  for (auto _ : state) {
+    rdf::TripleStore store = BuildStore(claims, 3);
+    benchmark::DoNotOptimize(store.num_triples());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) * int64_t(claims));
+}
+BENCHMARK(BM_TripleStoreInsert)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TripleStoreMatchByPredicate(benchmark::State& state) {
+  rdf::TripleStore store = BuildStore(100000, 4);
+  Rng rng(5);
+  rdf::TermId predicate =
+      store.dictionary().Find(rdf::Term::Iri("http://p/p7"));
+  for (auto _ : state) {
+    auto matches = store.Match({0, predicate, 0});
+    benchmark::DoNotOptimize(matches.size());
+  }
+}
+BENCHMARK(BM_TripleStoreMatchByPredicate)->Unit(benchmark::kMicrosecond);
+
+void BM_TripleStoreMatchBound(benchmark::State& state) {
+  rdf::TripleStore store = BuildStore(100000, 4);
+  Rng rng(6);
+  std::vector<rdf::Triple> probes;
+  for (int i = 0; i < 256; ++i) {
+    probes.push_back(store.triple(rng.Index(store.num_triples())));
+  }
+  size_t p = 0;
+  for (auto _ : state) {
+    const rdf::Triple& t = probes[p++ & 255];
+    auto matches = store.Match({t.subject, t.predicate, t.object});
+    benchmark::DoNotOptimize(matches.size());
+  }
+}
+BENCHMARK(BM_TripleStoreMatchBound);
+
+void BM_NTriplesWrite(benchmark::State& state) {
+  rdf::TripleStore store = BuildStore(50000, 7);
+  rdf::NTriplesWriteOptions options;
+  options.include_provenance = true;
+  size_t bytes = rdf::WriteNTriples(store, options).size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rdf::WriteNTriples(store, options).size());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) * int64_t(bytes));
+}
+BENCHMARK(BM_NTriplesWrite)->Unit(benchmark::kMillisecond);
+
+void BM_NTriplesRead(benchmark::State& state) {
+  rdf::TripleStore store = BuildStore(50000, 8);
+  rdf::NTriplesWriteOptions options;
+  options.include_provenance = true;
+  std::string text = rdf::WriteNTriples(store, options);
+  for (auto _ : state) {
+    rdf::TripleStore restored;
+    benchmark::DoNotOptimize(rdf::ReadNTriples(text, &restored).ok());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(text.size()));
+}
+BENCHMARK(BM_NTriplesRead)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Experiment E3 — the MapReduce scalability claim (§3.1/§3.2): knowledge
+// fusion and entity creation expressed as MapReduce jobs, swept over worker
+// counts and input sizes.
+//
+// VOTE fusion is expressed literally as a MapReduce job (map claims by data
+// item, reduce to the majority value) and must produce byte-identical
+// results at every worker count. Shape to reproduce: throughput scales with
+// workers up to the hardware parallelism (this box may have few cores; the
+// determinism claim holds regardless).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "extract/entity_creation.h"
+#include "fusion/model.h"
+#include "mapreduce/engine.h"
+#include "synth/claim_gen.h"
+
+namespace {
+
+using namespace akb;
+using fusion::ClaimTable;
+using synth::ClaimGenConfig;
+using synth::FusionDataset;
+using synth::GenerateClaims;
+using synth::MakeSources;
+
+ClaimTable BuildTable(size_t items, uint64_t seed) {
+  ClaimGenConfig config;
+  config.num_items = items;
+  config.seed = seed;
+  config.sources = MakeSources(10, 0.6, 0.9, 0.8);
+  return ClaimTable::FromDataset(GenerateClaims(config));
+}
+
+// VOTE fusion as one MapReduce job over the raw claim list.
+struct ItemVerdict {
+  fusion::ItemId item;
+  fusion::ValueId value;
+  bool operator==(const ItemVerdict& other) const {
+    return item == other.item && value == other.value;
+  }
+  bool operator<(const ItemVerdict& other) const {
+    return item < other.item || (item == other.item && value < other.value);
+  }
+};
+
+std::vector<ItemVerdict> MapReduceVote(const ClaimTable& table,
+                                       size_t workers) {
+  mapreduce::JobOptions options;
+  options.num_workers = workers;
+  auto verdicts =
+      mapreduce::RunJob<fusion::Claim, fusion::ItemId, fusion::ValueId,
+                        ItemVerdict>(
+          table.claims(),
+          [](const fusion::Claim& claim,
+             mapreduce::Emitter<fusion::ItemId, fusion::ValueId>* emit) {
+            emit->Emit(claim.item, claim.value);
+          },
+          [](const fusion::ItemId& item,
+             const std::vector<fusion::ValueId>& values) {
+            std::map<fusion::ValueId, size_t> votes;
+            for (fusion::ValueId v : values) ++votes[v];
+            fusion::ValueId best = values.front();
+            size_t best_count = 0;
+            for (const auto& [value, count] : votes) {
+              if (count > best_count) {
+                best_count = count;
+                best = value;
+              }
+            }
+            return ItemVerdict{item, best};
+          },
+          options);
+  std::sort(verdicts.begin(), verdicts.end());
+  return verdicts;
+}
+
+void PrintScaling() {
+  akb::TextTable table({"Claims", "Workers", "Time (ms)",
+                        "Claims/s", "Identical to 1-worker run"});
+  table.set_title(
+      "E3: VOTE fusion as a MapReduce job — worker sweep (determinism "
+      "verified against the single-worker result)");
+  for (size_t items : {2000u, 20000u}) {
+    ClaimTable claims = BuildTable(items, 91);
+    std::vector<ItemVerdict> baseline = MapReduceVote(claims, 1);
+    for (size_t workers : {1u, 2u, 4u, 8u}) {
+      Stopwatch watch;
+      std::vector<ItemVerdict> verdicts = MapReduceVote(claims, workers);
+      double ms = watch.ElapsedMillis();
+      bool identical = verdicts == baseline;
+      table.AddRow(
+          {FormatWithCommas(int64_t(claims.num_claims())),
+           std::to_string(workers), FormatDouble(ms, 2),
+           FormatWithCommas(int64_t(claims.num_claims() / (ms / 1000.0))),
+           identical ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BM_MapReduceVote(benchmark::State& state) {
+  ClaimTable table = BuildTable(20000, 92);
+  size_t workers = size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapReduceVote(table, workers).size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(table.num_claims()));
+  state.SetLabel(std::to_string(workers) + " workers");
+}
+BENCHMARK(BM_MapReduceVote)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_EntityCreation(benchmark::State& state) {
+  // Entity creation is the paper's "distributed inference" MapReduce job.
+  std::vector<extract::ExtractedTriple> triples;
+  Rng rng(93);
+  for (int i = 0; i < 20000; ++i) {
+    extract::ExtractedTriple t;
+    t.class_name = "Film";
+    t.entity = "Entity " + std::to_string(rng.Index(2500));
+    t.attribute = "budget";
+    t.value = std::to_string(rng.Index(100));
+    t.source = "source" + std::to_string(rng.Index(40));
+    triples.push_back(std::move(t));
+  }
+  std::vector<std::string> kb_names;
+  for (int i = 0; i < 1000; ++i) kb_names.push_back("Entity " + std::to_string(i));
+  extract::EntityCreationConfig config;
+  config.num_workers = size_t(state.range(0));
+  extract::EntityCreator creator(config);
+  for (auto _ : state) {
+    auto resolution = creator.Run(triples, kb_names);
+    benchmark::DoNotOptimize(resolution.entities.size());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(triples.size()));
+  state.SetLabel(std::to_string(state.range(0)) + " workers");
+}
+BENCHMARK(BM_EntityCreation)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintScaling();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Knowledge-fusion walkthrough: build a claim set with controlled source
+// behaviour (skewed accuracy, one copier bloc, multi-truth items,
+// hierarchical values) and compare every fusion method the library ships.
+//
+//   ./build/examples/knowledge_fusion [items] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "fusion/accu.h"
+#include "fusion/copy_detect.h"
+#include "fusion/hierarchy_fusion.h"
+#include "fusion/metrics.h"
+#include "fusion/multi_truth.h"
+#include "fusion/relation_fusion.h"
+#include "fusion/vote.h"
+
+using namespace akb;
+
+int main(int argc, char** argv) {
+  size_t items = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  // A deliberately hostile workload: mediocre sources, one oracle, one
+  // copier amplifying a bad source, 30% multi-truth items, 30% hierarchical
+  // items with generalized claims.
+  synth::ClaimGenConfig config;
+  config.num_items = items;
+  config.seed = seed;
+  config.multi_truth_rate = 0.3;
+  config.hierarchical_rate = 0.3;
+  config.sources = synth::MakeSources(5, 0.45, 0.6, 0.85);
+  for (auto& source : config.sources) source.generalize_rate = 0.3;
+  synth::SourceSpec oracle;
+  oracle.name = "oracle";
+  oracle.accuracy = 0.95;
+  oracle.coverage = 0.9;
+  config.sources.push_back(oracle);
+  synth::SourceSpec bad;
+  bad.name = "bad";
+  bad.accuracy = 0.3;
+  bad.coverage = 0.9;
+  config.sources.push_back(bad);
+  synth::SourceSpec copier;
+  copier.name = "copier";
+  copier.accuracy = 0.3;
+  copier.coverage = 0.85;
+  copier.copies_from = 6;  // copies "bad"
+  copier.copy_rate = 0.9;
+  config.sources.push_back(copier);
+
+  synth::FusionDataset dataset = synth::GenerateClaims(config);
+  fusion::ClaimTable table = fusion::ClaimTable::FromDataset(dataset);
+  std::printf("Workload: %zu items, %zu sources, %zu claims\n\n",
+              table.num_items(), table.num_sources(), table.num_claims());
+
+  TextTable results({"Method", "Precision", "Recall", "F1"});
+  results.set_title("Fusion method comparison (ground truth known)");
+  auto add = [&](const fusion::FusionOutput& output, double threshold = 0.5) {
+    fusion::FusionMetrics m =
+        fusion::Evaluate(output, table, dataset, threshold);
+    results.AddRow({m.method, FormatDouble(m.precision, 3),
+                    FormatDouble(m.recall, 3), FormatDouble(m.f1, 3)});
+  };
+
+  add(fusion::Vote(table));
+  add(fusion::Accu(table));
+  add(fusion::PopAccu(table));
+  add(fusion::MultiTruth(table));
+  fusion::HierarchyFusionConfig hconfig;
+  hconfig.support_fraction = 0.4;
+  add(fusion::HierarchyFuse(table, dataset.hierarchy, hconfig), 0.4);
+
+  add(fusion::RelationFuse(table));
+
+  fusion::CopyDetection detection = fusion::DetectCopying(table);
+  fusion::AccuConfig aware;
+  aware.source_weights = detection.independence;
+  fusion::FusionOutput aware_out = fusion::Accu(table, aware);
+  aware_out.method = "ACCU+copy-aware";
+  add(aware_out);
+
+  std::printf("%s\n", results.ToString().c_str());
+
+  // Show what copy detection learned.
+  TextTable sources({"Source", "True accuracy", "Estimated (ACCU)",
+                     "Independence weight"});
+  sources.set_title("Per-source diagnostics");
+  fusion::FusionOutput accu = fusion::Accu(table);
+  for (fusion::SourceId s = 0; s < table.num_sources(); ++s) {
+    double true_accuracy = 0;
+    for (const auto& spec : dataset.sources) {
+      if (spec.name == table.source_name(s)) true_accuracy = spec.accuracy;
+    }
+    sources.AddRow({table.source_name(s), FormatDouble(true_accuracy, 2),
+                    FormatDouble(accu.source_quality[s], 2),
+                    FormatDouble(detection.independence[s], 2)});
+  }
+  std::printf("%s", sources.ToString().c_str());
+  return 0;
+}

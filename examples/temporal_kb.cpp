@@ -1,0 +1,79 @@
+// Temporal knowledge extraction walkthrough: generate dated news text about
+// office holders, extract (entity, attribute, value, year) observations,
+// reconstruct validity intervals, and answer point-in-time queries.
+//
+//   ./build/examples/temporal_kb [entities] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "extract/temporal_extractor.h"
+#include "synth/temporal_gen.h"
+
+using namespace akb;
+
+int main(int argc, char** argv) {
+  size_t entities = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  synth::TemporalConfig config;
+  config.num_entities = entities;
+  config.first_year = 2000;
+  config.last_year = 2015;
+  config.mention_rate = 0.85;
+  config.error_rate = 0.05;
+  config.seed = seed;
+  synth::TemporalCorpus corpus = synth::GenerateTemporalCorpus(config);
+
+  std::vector<std::string> texts;
+  size_t bytes = 0;
+  for (const auto& doc : corpus.documents) {
+    texts.push_back(doc.text);
+    bytes += doc.text.size();
+  }
+  std::printf("Corpus: %zu documents, %zu bytes about %zu entities\n\n",
+              texts.size(), bytes, corpus.world.entities.size());
+
+  extract::TemporalExtractor extractor;
+  auto extraction = extractor.Extract(texts);
+  std::printf(
+      "Extracted %zu dated observations -> %zu validity intervals "
+      "(%zu sentences scanned)\n\n",
+      extraction.observations.size(), extraction.intervals.size(),
+      extraction.sentences_total);
+
+  // Show the first entity's reconstructed timeline next to the truth.
+  const std::string& entity = corpus.world.entities[0];
+  TextTable timeline({"Interval (extracted)", "Holder (extracted)",
+                      "Truth at interval start"});
+  timeline.set_title("Timeline of '" + entity + "' (" + config.attribute +
+                     ")");
+  for (const auto& interval : extraction.intervals) {
+    if (interval.entity != NormalizeSurface(entity)) continue;
+    timeline.AddRow(
+        {std::to_string(interval.start_year) + "-" +
+             std::to_string(interval.end_year),
+         interval.value,
+         ToLower(corpus.world.HolderAt(0, interval.start_year))});
+  }
+  std::printf("%s\n", timeline.ToString().c_str());
+
+  // Point-in-time accuracy over the whole corpus.
+  size_t checked = 0, correct = 0;
+  for (size_t e = 0; e < corpus.world.entities.size(); ++e) {
+    for (int year = config.first_year; year <= config.last_year; ++year) {
+      std::string extracted = extraction.ValueAt(corpus.world.entities[e],
+                                                 config.attribute, year);
+      if (extracted.empty()) continue;
+      ++checked;
+      if (NormalizeSurface(corpus.world.HolderAt(e, year)) == extracted) {
+        ++correct;
+      }
+    }
+  }
+  std::printf("Point-in-time accuracy: %.3f (%zu/%zu entity-years)\n",
+              checked ? double(correct) / double(checked) : 0.0, correct,
+              checked);
+  return 0;
+}

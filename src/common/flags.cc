@@ -1,0 +1,91 @@
+#include "common/flags.h"
+
+#include <charconv>
+
+#include "common/string_util.h"
+
+namespace akb {
+
+FlagSet FlagSet::Parse(int argc, const char* const* argv) {
+  FlagSet flags;
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (flags_done || token.rfind("--", 0) != 0) {
+      flags.positional_.push_back(std::move(token));
+      continue;
+    }
+    if (token == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string body = token.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" unless the next token is another flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = argv[++i];
+    } else {
+      flags.values_[body] = "";
+    }
+  }
+  return flags;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t FlagSet::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(it->second.data(),
+                                   it->second.data() + it->second.size(),
+                                   value);
+  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+    return fallback;
+  }
+  return value;
+}
+
+double FlagSet::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  double value = 0;
+  auto [ptr, ec] = std::from_chars(it->second.data(),
+                                   it->second.data() + it->second.size(),
+                                   value);
+  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+    return fallback;
+  }
+  return value;
+}
+
+bool FlagSet::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::string value = ToLower(it->second);
+  if (value.empty() || value == "1" || value == "true" || value == "yes") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> FlagSet::GetList(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return {};
+  std::vector<std::string> out;
+  for (auto& piece : Split(it->second, ',')) {
+    std::string trimmed(Trim(piece));
+    if (!trimmed.empty()) out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+}  // namespace akb

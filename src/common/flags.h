@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the CLI tools.
+//
+// Supports "--name=value", "--name value", bare boolean "--name", and
+// positional arguments. No global registry: parse into a FlagSet and query
+// it.
+#ifndef AKB_COMMON_FLAGS_H_
+#define AKB_COMMON_FLAGS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace akb {
+
+class FlagSet {
+ public:
+  /// Parses argv[1..). A token "--name" consumes the following token as its
+  /// value unless that token also starts with "--" (then it is a boolean
+  /// flag). "--" ends flag parsing; the rest are positionals.
+  static FlagSet Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Value accessors with defaults. GetInt/GetDouble return the default on
+  /// parse failure (check Has + GetString for strict handling).
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  int64_t GetInt(const std::string& name, int64_t fallback = 0) const;
+  double GetDouble(const std::string& name, double fallback = 0.0) const;
+  /// True when the flag is present with no value, "1", "true", or "yes".
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Splits a comma-separated flag value ("a,b,c"); empty when unset.
+  std::vector<std::string> GetList(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace akb
+
+#endif  // AKB_COMMON_FLAGS_H_

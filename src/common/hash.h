@@ -1,0 +1,40 @@
+// Hashing helpers: FNV-1a for strings and boost-style hash combining.
+#ifndef AKB_COMMON_HASH_H_
+#define AKB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+namespace akb {
+
+/// 64-bit FNV-1a over raw bytes; stable across platforms.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Combines a hash value into a seed (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ull + (*seed << 12) + (*seed >> 4);
+}
+
+/// Hash for std::pair, usable as an unordered_map hasher.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = std::hash<A>{}(p.first);
+    HashCombine(&seed, std::hash<B>{}(p.second));
+    return seed;
+  }
+};
+
+}  // namespace akb
+
+#endif  // AKB_COMMON_HASH_H_

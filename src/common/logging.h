@@ -1,0 +1,48 @@
+// Minimal leveled logger. Intentionally tiny: stderr sink, global level,
+// stream-style usage:  AKB_LOG(INFO) << "built " << n << " pages";
+#ifndef AKB_COMMON_LOGGING_H_
+#define AKB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace akb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets / reads the global minimum level (default kWarning so tests and
+/// benches stay quiet unless asked).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace akb
+
+#define AKB_LOG(severity)                                             \
+  ::akb::internal::LogMessage(::akb::LogLevel::k##severity, __FILE__, \
+                              __LINE__)
+
+#endif  // AKB_COMMON_LOGGING_H_

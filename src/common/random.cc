@@ -1,0 +1,150 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace akb {
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  state_ = sm.Next();
+  inc_ = sm.Next() | 1ull;  // stream selector must be odd
+  NextU32();
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ull + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0,1).
+  return (NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+size_t Rng::Index(size_t n) {
+  assert(n > 0);
+  return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-12);
+  u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  ZipfTable table(n, s);
+  return table.Sample(this);
+}
+
+size_t Rng::Geometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return 0;
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return static_cast<size_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+size_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  double l = std::exp(-mean);
+  size_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > l);
+  return k - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  k = std::min(k, n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(k);
+    return all;
+  }
+  std::unordered_set<size_t> seen;
+  while (out.size() < k) {
+    size_t v = Index(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::string Rng::Identifier(size_t length) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) out.push_back(kAlphabet[Index(26)]);
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+ZipfTable::ZipfTable(size_t n, double s) {
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+}
+
+size_t ZipfTable::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace akb

@@ -1,0 +1,120 @@
+// Deterministic, seedable pseudo-random generation for synthetic workloads.
+//
+// Every synthetic generator in akb takes an explicit seed so experiments are
+// exactly reproducible across runs and platforms. We implement the generators
+// ourselves (SplitMix64, PCG32) instead of relying on <random> engines whose
+// streams are implementation-defined for some distributions.
+#ifndef AKB_COMMON_RANDOM_H_
+#define AKB_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace akb {
+
+/// SplitMix64: tiny, fast generator; also used to seed Pcg32.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// PCG32 (XSH-RR variant): the main PRNG with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull);
+
+  /// Raw 32 random bits.
+  uint32_t NextU32();
+  /// Raw 64 random bits.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Zipf-distributed rank in [0, n) with exponent s > 0.
+  /// Rank 0 is the most popular. Uses an inverted-CDF table supplied by
+  /// ZipfTable for efficiency; this convenience method rebuilds the table
+  /// per call and is intended for small n.
+  size_t Zipf(size_t n, double s);
+
+  /// Geometric: number of failures before first success, success prob p.
+  size_t Geometric(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth's method; intended
+  /// for small means as used by the generators).
+  size_t Poisson(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Index(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k clamped to n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Picks one element uniformly. Requires non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[Index(v.size())];
+  }
+
+  /// Random lowercase ASCII identifier of the given length.
+  std::string Identifier(size_t length);
+
+  /// Derives an independent child generator; stable given this Rng's state.
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Precomputed CDF for repeated Zipf sampling over a fixed (n, s).
+class ZipfTable {
+ public:
+  ZipfTable(size_t n, double s);
+
+  /// Samples a rank in [0, n); rank 0 most popular.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace akb
+
+#endif  // AKB_COMMON_RANDOM_H_

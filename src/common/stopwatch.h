@@ -1,0 +1,29 @@
+// Monotonic wall-clock stopwatch for pipeline stage timing.
+#ifndef AKB_COMMON_STOPWATCH_H_
+#define AKB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace akb {
+
+/// Starts running on construction; ElapsedSeconds() reads without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace akb
+
+#endif  // AKB_COMMON_STOPWATCH_H_

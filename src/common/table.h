@@ -1,0 +1,47 @@
+// Plain-text and CSV table rendering used by the benchmark harnesses to
+// print rows in the same layout as the paper's tables.
+#ifndef AKB_COMMON_TABLE_H_
+#define AKB_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace akb {
+
+/// A simple column-aligned text table.
+///
+///   TextTable t({"Class", "# Attributes"});
+///   t.AddRow({"Book", "60"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Optional title printed above the table.
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Renders with a header rule and column alignment.
+  std::string ToString() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes fields containing , " or newline).
+  std::string ToCsv() const;
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace akb
+
+#endif  // AKB_COMMON_TABLE_H_

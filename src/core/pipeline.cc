@@ -1,0 +1,566 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "extract/attribute_dedup.h"
+#include "synth/taxonomy_gen.h"
+#include "fusion/copy_detect.h"
+#include "fusion/functionality.h"
+#include "fusion/hierarchy_fusion.h"
+#include "fusion/relation_fusion.h"
+#include "fusion/vote.h"
+
+namespace akb::core {
+
+namespace {
+
+using extract::ExtractedTriple;
+
+// Generic KB profiles for arbitrary worlds: DBpedia-like takes the head of
+// each class's attribute inventory, Freebase-like an overlapping tail, so
+// combining them is strictly better than either (the Table 2 effect).
+synth::KbProfile GenericProfile(const synth::World& world,
+                                const std::vector<std::string>& classes,
+                                bool dbpedia_like, uint64_t seed,
+                                double error_rate) {
+  synth::KbProfile profile;
+  profile.kb_name = dbpedia_like ? "DBpediaSynth" : "FreebaseSynth";
+  profile.seed = seed;
+  for (const std::string& name : classes) {
+    auto cls_id = world.FindClass(name);
+    if (!cls_id) continue;
+    size_t a = world.cls(*cls_id).attributes.size();
+    synth::KbClassProfile cp;
+    cp.class_name = name;
+    if (dbpedia_like) {
+      cp.attr_offset = 0;
+      cp.instance_attributes = std::max<size_t>(1, a * 6 / 10);
+      cp.declared_attributes = std::max<size_t>(1, a * 3 / 10);
+    } else {
+      cp.instance_attributes = std::max<size_t>(1, a * 35 / 100);
+      size_t union_size = std::max<size_t>(1, a * 85 / 100);
+      cp.attr_offset = union_size > cp.instance_attributes
+                           ? union_size - cp.instance_attributes
+                           : 0;
+      cp.declared_attributes = std::max<size_t>(1, a / 10);
+      cp.entity_coverage = 0.9;
+      cp.fact_coverage = 0.4;
+    }
+    cp.error_rate = error_rate;
+    profile.classes.push_back(std::move(cp));
+  }
+  return profile;
+}
+
+struct ItemMeta {
+  std::string class_name;
+  std::string entity;
+  std::string attr_key;      ///< canonical identity (sorted-token key)
+  std::string attr_display;  ///< first-seen surface, for readable IRIs
+};
+
+}  // namespace
+
+std::string_view FusionMethodToString(FusionMethod method) {
+  switch (method) {
+    case FusionMethod::kVote:
+      return "VOTE";
+    case FusionMethod::kAccu:
+      return "ACCU";
+    case FusionMethod::kPopAccu:
+      return "POPACCU";
+    case FusionMethod::kAccuConfidence:
+      return "ACCU+conf";
+    case FusionMethod::kAccuConfidenceCopy:
+      return "ACCU+conf+copy";
+    case FusionMethod::kVoteConfidence:
+      return "VOTE+conf";
+    case FusionMethod::kRelation:
+      return "RELATION";
+    case FusionMethod::kHybrid:
+      return "HYBRID";
+    case FusionMethod::kHierarchyAware:
+      return "HIER";
+  }
+  return "?";
+}
+
+std::string PipelineReport::ToString() const {
+  std::string out;
+  TextTable stages_table({"Stage", "Time (s)", "Outputs"});
+  stages_table.set_title("Pipeline stages");
+  for (const StageStats& s : stages) {
+    stages_table.AddRow({s.name, FormatDouble(s.seconds, 3),
+                         FormatWithCommas(static_cast<int64_t>(s.outputs))});
+  }
+  out += stages_table.ToString();
+  out += "\n";
+
+  TextTable quality_table({"Class", "Attrs found", "Attr P", "Attr R",
+                           "Fused triples", "Fused P", "Raw P",
+                           "Novel triples", "Novel P"});
+  quality_table.set_title("Per-class quality vs world ground truth");
+  for (const ClassQuality& q : quality) {
+    quality_table.AddRow(
+        {q.class_name, std::to_string(q.attributes_found),
+         FormatDouble(q.attribute_precision, 3),
+         FormatDouble(q.attribute_recall, 3), std::to_string(q.fused_triples),
+         FormatDouble(q.fused_precision, 3), FormatDouble(q.raw_precision, 3),
+         std::to_string(q.novel_triples),
+         FormatDouble(q.novel_precision, 3)});
+  }
+  out += quality_table.ToString();
+  out += "\nTotal claims: " + FormatWithCommas(int64_t(total_claims)) +
+         ", fused triples: " + FormatWithCommas(int64_t(fused_triples)) +
+         ", discovered entities: " +
+         FormatWithCommas(int64_t(discovered_entities)) +
+         ", taxonomy edges: " + FormatWithCommas(int64_t(taxonomy_edges)) +
+         " (typing accuracy " + FormatDouble(typing_accuracy, 3) +
+         "), total time: " + FormatDouble(total_seconds, 3) + "s\n";
+  return out;
+}
+
+PipelineReport RunPipeline(const synth::World& world,
+                           const PipelineConfig& config,
+                           rdf::TripleStore* augmented) {
+  PipelineReport report;
+  Stopwatch total;
+  Rng rng(config.seed);
+
+  std::vector<std::string> classes = config.classes;
+  if (classes.empty()) {
+    for (const auto& wc : world.classes()) classes.push_back(wc.name);
+  }
+
+  auto stage = [&](const std::string& name, auto&& fn) {
+    Stopwatch watch;
+    size_t outputs = fn();
+    report.stages.push_back(StageStats{name, watch.ElapsedSeconds(), outputs});
+  };
+
+  // ---------- Render the paper's four source types from the world.
+  synth::KbSnapshot dbpedia, freebase;
+  std::vector<std::vector<synth::WebSite>> sites_per_class(classes.size());
+  std::vector<std::vector<synth::TextArticle>> articles_per_class(
+      classes.size());
+  std::vector<synth::QueryRecord> query_log;
+
+  stage("render inputs", [&] {
+    dbpedia = synth::GenerateKb(
+        world, GenericProfile(world, classes, true, rng.NextU64(),
+                              config.kb_error_rate));
+    freebase = synth::GenerateKb(
+        world, GenericProfile(world, classes, false, rng.NextU64(),
+                              config.kb_error_rate));
+    size_t outputs = dbpedia.TotalFacts() + freebase.TotalFacts();
+    for (size_t c = 0; c < classes.size(); ++c) {
+      synth::SiteConfig site_config;
+      site_config.class_name = classes[c];
+      site_config.num_sites = config.sites_per_class;
+      site_config.pages_per_site = config.pages_per_site;
+      site_config.value_error_rate = config.site_error_rate;
+      site_config.seed = rng.NextU64();
+      sites_per_class[c] = synth::GenerateSites(world, site_config);
+      for (const auto& site : sites_per_class[c]) {
+        outputs += site.pages.size();
+      }
+      synth::TextConfig text_config;
+      text_config.class_name = classes[c];
+      text_config.num_articles = config.articles_per_class;
+      text_config.value_error_rate = config.text_error_rate;
+      text_config.seed = rng.NextU64();
+      articles_per_class[c] = synth::GenerateArticles(world, text_config);
+      outputs += articles_per_class[c].size();
+    }
+    synth::QueryLogConfig query_config;
+    query_config.seed = rng.NextU64();
+    size_t relevant_total = 0;
+    for (const std::string& name : classes) {
+      auto cls_id = world.FindClass(name);
+      if (!cls_id) continue;
+      synth::QueryClassConfig qc;
+      qc.class_name = name;
+      qc.relevant_records = config.queries_per_class;
+      qc.queried_attributes = std::max<size_t>(
+          5, world.cls(*cls_id).attributes.size() / 2);
+      query_config.classes.push_back(qc);
+      relevant_total += qc.relevant_records;
+    }
+    query_config.total_records = relevant_total + config.junk_queries;
+    query_log = synth::GenerateQueryLog(world, query_config);
+    outputs += query_log.size();
+    return outputs;
+  });
+
+  // ---------- Knowledge extraction phase.
+  // (1) Existing KBs.
+  extract::ExistingKbExtractor kb_extractor(config.kb_extractor);
+  extract::KbExtraction combined;
+  std::vector<ExtractedTriple> all_triples;
+  stage("existing-KB extraction", [&] {
+    combined = kb_extractor.Combine({&dbpedia, &freebase});
+    auto t1 = kb_extractor.ExtractTriples(dbpedia);
+    auto t2 = kb_extractor.ExtractTriples(freebase);
+    all_triples.insert(all_triples.end(), t1.begin(), t1.end());
+    all_triples.insert(all_triples.end(), t2.begin(), t2.end());
+    size_t attrs = 0;
+    for (const auto& c : combined.classes) attrs += c.attributes.size();
+    return attrs;
+  });
+
+  // Entity sets: the paper specifies classes by representative entities of
+  // Freebase.
+  std::vector<std::vector<std::string>> entity_names(classes.size());
+  for (size_t c = 0; c < classes.size(); ++c) {
+    std::unordered_set<std::string> names;
+    for (const auto* kb : {&freebase, &dbpedia}) {
+      const synth::KbClass* kc = kb->FindClass(classes[c]);
+      if (kc == nullptr) continue;
+      for (const std::string& n : kc->entity_names) names.insert(n);
+    }
+    entity_names[c].assign(names.begin(), names.end());
+    std::sort(entity_names[c].begin(), entity_names[c].end());
+  }
+
+  // (2) Query stream.
+  extract::QueryStreamExtractor query_extractor(config.query_extractor);
+  for (size_t c = 0; c < classes.size(); ++c) {
+    query_extractor.AddClass(classes[c], entity_names[c]);
+  }
+  extract::QueryExtraction query_extraction;
+  stage("query-stream extraction", [&] {
+    std::vector<std::string> queries;
+    queries.reserve(query_log.size());
+    for (const auto& record : query_log) queries.push_back(record.query);
+    query_extraction = query_extractor.Extract(queries);
+    size_t attrs = 0;
+    for (const auto& c : query_extraction.classes) {
+      attrs += c.credible_attributes.size();
+    }
+    return attrs;
+  });
+
+  // Seeds per class: KB-combined union query-stream attributes.
+  std::vector<std::vector<std::string>> seeds(classes.size());
+  for (size_t c = 0; c < classes.size(); ++c) {
+    if (const auto* kc = combined.FindClass(classes[c])) {
+      for (const auto& a : kc->attributes) seeds[c].push_back(a.surface);
+    }
+    if (const auto* qc = query_extraction.FindClass(classes[c])) {
+      for (const auto& a : qc->credible_attributes) {
+        seeds[c].push_back(a.surface);
+      }
+    }
+  }
+
+  // (3) DOM trees.
+  extract::DomTreeExtractor dom_extractor(config.dom_extractor);
+  std::vector<extract::DomExtraction> dom_extractions(classes.size());
+  stage("DOM-tree extraction", [&] {
+    size_t outputs = 0;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      dom_extractions[c] = dom_extractor.Extract(sites_per_class[c],
+                                                 entity_names[c], seeds[c]);
+      outputs += dom_extractions[c].new_attributes.size();
+      all_triples.insert(all_triples.end(),
+                         dom_extractions[c].triples.begin(),
+                         dom_extractions[c].triples.end());
+    }
+    return outputs;
+  });
+
+  // (4) Web texts.
+  extract::WebTextExtractor text_extractor(config.text_extractor);
+  std::vector<extract::TextExtraction> text_extractions(classes.size());
+  stage("Web-text extraction", [&] {
+    size_t outputs = 0;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      std::vector<std::string> documents, source_names;
+      for (const auto& article : articles_per_class[c]) {
+        documents.push_back(article.text);
+        source_names.push_back(article.source);
+      }
+      text_extractions[c] = text_extractor.Extract(
+          classes[c], documents, source_names, entity_names[c], seeds[c]);
+      outputs += text_extractions[c].new_attributes.size();
+      all_triples.insert(all_triples.end(),
+                         text_extractions[c].triples.begin(),
+                         text_extractions[c].triples.end());
+    }
+    return outputs;
+  });
+
+  // (5) New entity creation (joint linking + discovery, MapReduce).
+  extract::EntityCreator entity_creator(config.entity_creation);
+  extract::EntityResolution resolution;
+  stage("entity creation", [&] {
+    std::vector<std::string> kb_names;
+    for (const auto& names : entity_names) {
+      kb_names.insert(kb_names.end(), names.begin(), names.end());
+    }
+    resolution = entity_creator.Run(all_triples, kb_names);
+    report.discovered_entities = resolution.discovered_entities;
+    return resolution.entities.size();
+  });
+
+  // (6) Enhanced ontology: taxonomic extraction + entity typing (§3.1).
+  if (config.build_taxonomy) {
+    stage("taxonomy extraction", [&] {
+      synth::TaxonomyCorpusConfig taxo_config;
+      taxo_config.sentences_per_entity = config.taxonomy_sentences_per_entity;
+      taxo_config.seed = config.seed ^ 0x5bd1e995ull;
+      auto docs = synth::GenerateTaxonomyCorpus(world, taxo_config);
+      std::vector<std::string> texts;
+      for (const auto& doc : docs) texts.push_back(doc.text);
+      extract::TaxonomyExtractor taxonomy_extractor(config.taxonomy);
+      auto taxonomy = taxonomy_extractor.Extract(texts);
+      report.taxonomy_edges = taxonomy.edges.size();
+      size_t typed = 0, correct = 0;
+      for (const std::string& name : classes) {
+        auto cls_id = world.FindClass(name);
+        if (!cls_id) continue;
+        std::string category = synth::CategoryNameOf(name);
+        for (const auto& entity : world.cls(*cls_id).entities) {
+          ++typed;
+          if (taxonomy.BestCategoryOf(entity.name) == category) ++correct;
+        }
+      }
+      report.typing_accuracy =
+          typed ? static_cast<double>(correct) / typed : 0.0;
+      return taxonomy.edges.size();
+    });
+  }
+
+  // ---------- Knowledge fusion phase.
+  fusion::ClaimTable table;
+  std::vector<ItemMeta> item_meta;
+  // Items the existing-KB channel covered; fused statements outside this
+  // set are *novel* knowledge (the augmentation payoff).
+  std::unordered_set<std::string> kb_items;
+  stage("claim assembly", [&] {
+    std::unordered_map<std::string, size_t> meta_index;
+    for (const ExtractedTriple& t : all_triples) {
+      std::string entity = t.entity;
+      size_t resolved = resolution.Resolve(entity);
+      if (resolved != SIZE_MAX) entity = resolution.entities[resolved].name;
+      std::string attr_key = extract::AttributeKey(t.attribute);
+      std::string item = t.class_name + "|" + entity + "|" + attr_key;
+      if (!meta_index.count(item)) {
+        meta_index.emplace(item, item_meta.size());
+        item_meta.push_back(
+            ItemMeta{t.class_name, entity, attr_key, t.attribute});
+      }
+      if (t.extractor == rdf::ExtractorKind::kExistingKb) {
+        kb_items.insert(item);
+      }
+      // Same value normalization as ClaimTable::FromTriples.
+      table.Add(item, t.source, NormalizeSurface(t.value), t.confidence);
+    }
+    report.total_claims = table.num_claims();
+    return table.num_claims();
+  });
+
+  fusion::FusionOutput output;
+  stage(std::string("fusion [") +
+            std::string(FusionMethodToString(config.fusion)) + "]",
+        [&] {
+          switch (config.fusion) {
+            case FusionMethod::kVote:
+              output = fusion::Vote(table);
+              break;
+            case FusionMethod::kAccu:
+              output = fusion::Accu(table, config.accu);
+              break;
+            case FusionMethod::kPopAccu: {
+              fusion::AccuConfig accu = config.accu;
+              accu.popularity = true;
+              output = fusion::Accu(table, accu);
+              break;
+            }
+            case FusionMethod::kAccuConfidence: {
+              fusion::AccuConfig accu = config.accu;
+              accu.use_confidence = true;
+              output = fusion::Accu(table, accu);
+              break;
+            }
+            case FusionMethod::kAccuConfidenceCopy: {
+              fusion::AccuConfig accu = config.accu;
+              accu.use_confidence = true;
+              fusion::CopyDetection copies = fusion::DetectCopying(table);
+              accu.source_weights = copies.independence;
+              output = fusion::Accu(table, accu);
+              break;
+            }
+            case FusionMethod::kVoteConfidence: {
+              fusion::VoteConfig vote;
+              vote.use_confidence = true;
+              output = fusion::Vote(table, vote);
+              break;
+            }
+            case FusionMethod::kRelation:
+              output = fusion::RelationFuse(table);
+              break;
+            case FusionMethod::kHybrid:
+              // Item keys are "class|entity|attribute key": route by the
+              // attribute's estimated functionality degree.
+              output = fusion::HybridFuse(table);
+              break;
+            case FusionMethod::kHierarchyAware: {
+              // Location-valued items resolve against the world's value
+              // hierarchy; flat items fall back to voting.
+              fusion::HierarchyFusionConfig hconfig;
+              hconfig.use_confidence = true;
+              output = fusion::HierarchyFuse(table, world.hierarchy(),
+                                             hconfig);
+              break;
+            }
+          }
+          return output.beliefs.size();
+        });
+
+  // ---------- KB augmentation + evaluation against the world.
+  // World-side lookups: AttributeKey(spec name) -> id; entity name -> id.
+  struct WorldIndex {
+    std::unordered_map<std::string, synth::AttributeId> attrs;
+    std::unordered_map<std::string, synth::EntityId> entities;
+    synth::ClassId cls = 0;
+    bool valid = false;
+  };
+  std::unordered_map<std::string, WorldIndex> world_index;
+  for (const std::string& name : classes) {
+    auto cls_id = world.FindClass(name);
+    if (!cls_id) continue;
+    WorldIndex index;
+    index.cls = *cls_id;
+    index.valid = true;
+    const synth::WorldClass& wc = world.cls(*cls_id);
+    for (synth::AttributeId a = 0; a < wc.attributes.size(); ++a) {
+      index.attrs.emplace(extract::AttributeKey(wc.attributes[a].name), a);
+    }
+    for (synth::EntityId e = 0; e < wc.entities.size(); ++e) {
+      index.entities.emplace(NormalizeSurface(wc.entities[e].name), e);
+    }
+    world_index.emplace(name, std::move(index));
+  }
+
+  auto value_is_true = [&](const ItemMeta& meta,
+                           const std::string& value) -> int {
+    auto wi = world_index.find(meta.class_name);
+    if (wi == world_index.end()) return -1;
+    auto a = wi->second.attrs.find(meta.attr_key);
+    auto e = wi->second.entities.find(NormalizeSurface(meta.entity));
+    if (a == wi->second.attrs.end() || e == wi->second.entities.end()) {
+      return -1;  // hallucinated attribute or entity: count as wrong
+    }
+    return world.IsTrueValue(wi->second.cls, e->second, a->second, value) ? 1
+                                                                          : 0;
+  };
+
+  stage("KB augmentation", [&] {
+    size_t emitted = 0;
+    // Per class accumulators.
+    std::unordered_map<std::string, ClassQuality> quality;
+    for (const std::string& name : classes) {
+      quality[name].class_name = name;
+    }
+    std::unordered_map<std::string, std::pair<size_t, size_t>> fused_counts,
+        raw_counts, novel_counts;  // class -> (correct, total)
+
+    for (fusion::ItemId i = 0; i < table.num_items(); ++i) {
+      const ItemMeta& meta = item_meta[i];
+      bool novel = kb_items.count(table.item_name(i)) == 0;
+      for (fusion::ValueId v : output.TruthsOf(i)) {
+        const std::string& value = table.value_name(v);
+        ++emitted;
+        auto& counts = fused_counts[meta.class_name];
+        int truth = value_is_true(meta, value);
+        ++counts.second;
+        if (truth == 1) ++counts.first;
+        if (novel) {
+          auto& nc = novel_counts[meta.class_name];
+          ++nc.second;
+          if (truth == 1) ++nc.first;
+        }
+        if (augmented != nullptr) {
+          augmented->InsertDecoded(
+              rdf::Term::Iri(
+                  rdf::EntityIri(meta.class_name, meta.entity)),
+              rdf::Term::Iri(
+                  rdf::AttributeIri(meta.class_name, meta.attr_display)),
+              rdf::Term::Literal(value),
+              rdf::Provenance{"fusion", rdf::ExtractorKind::kFusion, 1.0});
+        }
+      }
+    }
+    for (const fusion::Claim& claim : table.claims()) {
+      const ItemMeta& meta = item_meta[claim.item];
+      auto& counts = raw_counts[meta.class_name];
+      ++counts.second;
+      if (value_is_true(meta, table.value_name(claim.value)) == 1) {
+        ++counts.first;
+      }
+    }
+
+    // Attribute discovery quality: union of all extractors' attributes.
+    for (size_t c = 0; c < classes.size(); ++c) {
+      auto wi = world_index.find(classes[c]);
+      if (wi == world_index.end()) continue;
+      std::unordered_set<std::string> found;
+      if (const auto* kc = combined.FindClass(classes[c])) {
+        for (const auto& a : kc->attributes) {
+          found.insert(extract::AttributeKey(a.surface));
+        }
+      }
+      if (const auto* qc = query_extraction.FindClass(classes[c])) {
+        for (const auto& a : qc->credible_attributes) {
+          found.insert(extract::AttributeKey(a.surface));
+        }
+      }
+      for (const auto& a : dom_extractions[c].new_attributes) {
+        found.insert(extract::AttributeKey(a.surface));
+      }
+      for (const auto& a : text_extractions[c].new_attributes) {
+        found.insert(extract::AttributeKey(a.surface));
+      }
+      size_t correct = 0;
+      for (const std::string& key : found) {
+        if (wi->second.attrs.count(key)) ++correct;
+      }
+      ClassQuality& q = quality[classes[c]];
+      q.attributes_found = found.size();
+      q.attribute_precision =
+          found.empty() ? 0.0
+                        : static_cast<double>(correct) / found.size();
+      q.attribute_recall =
+          wi->second.attrs.empty()
+              ? 0.0
+              : static_cast<double>(correct) / wi->second.attrs.size();
+      auto fc = fused_counts[classes[c]];
+      q.fused_triples = fc.second;
+      q.fused_precision =
+          fc.second ? static_cast<double>(fc.first) / fc.second : 0.0;
+      auto rc = raw_counts[classes[c]];
+      q.raw_precision =
+          rc.second ? static_cast<double>(rc.first) / rc.second : 0.0;
+      auto nc = novel_counts[classes[c]];
+      q.novel_triples = nc.second;
+      q.novel_precision =
+          nc.second ? static_cast<double>(nc.first) / nc.second : 0.0;
+    }
+    for (const std::string& name : classes) {
+      report.quality.push_back(quality[name]);
+    }
+    report.fused_triples = emitted;
+    return emitted;
+  });
+
+  report.total_seconds = total.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace akb::core

@@ -1,0 +1,96 @@
+#include "extract/attribute_dedup.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/string_util.h"
+
+namespace akb::extract {
+
+namespace {
+
+bool IsStopword(const std::string& token) {
+  return token == "of" || token == "the" || token == "a" || token == "an" ||
+         token == "for" || token == "in";
+}
+
+}  // namespace
+
+std::string AttributeKey(std::string_view surface) {
+  // Unfold identifier styles, drop stopwords, sort the remaining tokens so
+  // "place of birth" and "birth place" collide.
+  std::vector<std::string> tokens =
+      SplitWhitespace(NormalizeIdentifier(surface));
+  std::vector<std::string> kept;
+  for (auto& token : tokens) {
+    if (!IsStopword(token)) kept.push_back(std::move(token));
+  }
+  if (kept.empty()) kept = std::move(tokens);  // all-stopword surface
+  std::sort(kept.begin(), kept.end());
+  return Join(kept, " ");
+}
+
+size_t AttributeDeduper::FindByKey(const std::string& key) const {
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  // Fuzzy fallback: nearest existing key within the edit threshold.
+  if (key.size() >= options_.min_fuzzy_length) {
+    size_t best = SIZE_MAX;
+    double best_sim = options_.fuzzy_threshold;
+    for (size_t c = 0; c < clusters_.size(); ++c) {
+      if (clusters_[c].key.size() < options_.min_fuzzy_length) continue;
+      // Cheap length prefilter before the O(n*m) edit distance.
+      size_t la = key.size(), lb = clusters_[c].key.size();
+      size_t diff = la > lb ? la - lb : lb - la;
+      if (static_cast<double>(diff) >
+          (1.0 - options_.fuzzy_threshold) *
+              static_cast<double>(std::max(la, lb))) {
+        continue;
+      }
+      double sim = EditSimilarity(key, clusters_[c].key);
+      if (sim >= best_sim) {
+        best_sim = sim;
+        best = c;
+      }
+    }
+    if (best != SIZE_MAX) return best;
+  }
+  return SIZE_MAX;
+}
+
+size_t AttributeDeduper::Find(std::string_view surface) const {
+  return FindByKey(AttributeKey(surface));
+}
+
+size_t AttributeDeduper::FindExact(std::string_view surface) const {
+  auto it = by_key_.find(AttributeKey(surface));
+  return it == by_key_.end() ? SIZE_MAX : it->second;
+}
+
+size_t AttributeDeduper::Add(std::string_view surface) {
+  std::string key = AttributeKey(surface);
+  size_t cluster = FindByKey(key);
+  if (cluster == SIZE_MAX) {
+    cluster = clusters_.size();
+    clusters_.emplace_back();
+    clusters_[cluster].key = key;
+    by_key_.emplace(key, cluster);
+  } else if (!by_key_.count(key)) {
+    // A fuzzy merge: remember this spelling of the key, too.
+    by_key_.emplace(key, cluster);
+  }
+  Cluster& c = clusters_[cluster];
+  ++c.support;
+  size_t count = ++c.surfaces[std::string(surface)];
+  if (count > c.best_count) {
+    c.best_count = count;
+    c.best_surface = std::string(surface);
+  }
+  return cluster;
+}
+
+const std::string& AttributeDeduper::representative(size_t cluster) const {
+  return clusters_[cluster].best_surface;
+}
+
+}  // namespace akb::extract

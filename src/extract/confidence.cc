@@ -1,0 +1,34 @@
+#include "extract/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace akb::extract {
+
+double ConfidenceCriterion::PriorOf(rdf::ExtractorKind kind) const {
+  switch (kind) {
+    case rdf::ExtractorKind::kExistingKb:
+      return kb_prior;
+    case rdf::ExtractorKind::kQueryStream:
+      return query_prior;
+    case rdf::ExtractorKind::kDomTree:
+      return dom_prior;
+    case rdf::ExtractorKind::kWebText:
+      return text_prior;
+    case rdf::ExtractorKind::kGroundTruth:
+      return 1.0;
+    default:
+      return 0.5;
+  }
+}
+
+double ConfidenceCriterion::Score(rdf::ExtractorKind kind, size_t support,
+                                  double quality) const {
+  quality = std::clamp(quality, 0.0, 1.0);
+  double gain = std::clamp(observation_gain, 1e-6, 1.0 - 1e-6);
+  double saturation =
+      1.0 - std::pow(1.0 - gain, static_cast<double>(support));
+  return PriorOf(kind) * quality * saturation;
+}
+
+}  // namespace akb::extract

@@ -1,0 +1,43 @@
+// The unified confidence criterion (paper §3.1).
+//
+// Each extractor produces evidence of a different kind (fact counts in a KB,
+// query-record support, tag-path similarity, validated lexical patterns).
+// The paper proposes assigning every triple a confidence score "based on an
+// unified criterion" so downstream fusion can compare scores across
+// extractors. We use one family:
+//
+//   confidence = prior(extractor) * quality * (1 - (1 - r)^support)
+//
+// where `quality` in [0,1] is the extractor-specific signal strength (e.g.
+// tag-path similarity), `support` is the number of independent observations,
+// and r is the per-observation credibility gain. The saturating support term
+// makes repeated evidence count while bounding the score below 1.
+#ifndef AKB_EXTRACT_CONFIDENCE_H_
+#define AKB_EXTRACT_CONFIDENCE_H_
+
+#include <cstddef>
+
+#include "rdf/triple.h"
+
+namespace akb::extract {
+
+struct ConfidenceCriterion {
+  /// Per-observation credibility gain.
+  double observation_gain = 0.35;
+  /// Extractor priors: how much each extraction channel is trusted a
+  /// priori (existing KBs most; open-Web DOM/text least).
+  double kb_prior = 0.95;
+  double query_prior = 0.80;
+  double dom_prior = 0.70;
+  double text_prior = 0.65;
+
+  /// The unified score in [0, 1).
+  double Score(rdf::ExtractorKind kind, size_t support,
+               double quality = 1.0) const;
+
+  double PriorOf(rdf::ExtractorKind kind) const;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_CONFIDENCE_H_

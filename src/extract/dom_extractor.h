@@ -1,0 +1,127 @@
+// DOM-tree attribute extraction — Algorithm 1 of the paper.
+//
+// Given a type T, a set of web sites about T, the entity set of T, and the
+// seed attribute set A_T (from the query stream + existing KBs):
+//
+//   for each site, for each page containing >= 1 entity node E and one
+//   non-entity node whose text is a seed attribute A:
+//     1. extract the tag path(s) between E and A -> induced pattern set
+//        (per page: "tag path patterns extracted from one Web page can
+//        hardly be applied to another page");
+//     2. compare every other non-entity node's E-to-node tag path with the
+//        induced patterns;
+//     3. similar paths => that node's text is a new attribute: add it to
+//        A_T and remove its path from the page's tag-path set.
+//   If |A_T| grew, continue with the site's pages; else (or when the
+//   attribute budget is hit) move to the next site.
+//
+// Beyond the paper's schema discovery, the extractor also harvests the
+// *value* paired with each recognized label node (the remaining text of the
+// label's row element), emitting (entity, attribute, value) triples for the
+// fusion phase.
+#ifndef AKB_EXTRACT_DOM_EXTRACTOR_H_
+#define AKB_EXTRACT_DOM_EXTRACTOR_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "extract/attribute_dedup.h"
+#include "extract/confidence.h"
+#include "extract/extraction.h"
+#include "html/tag_path.h"
+#include "synth/site_gen.h"
+
+namespace akb::extract {
+
+struct DomExtractorConfig {
+  /// Minimum tag-path similarity to an induced pattern for a non-entity
+  /// node to be recognized as an attribute label.
+  double similarity_threshold = 0.9;
+  /// Stop working a site once the seed set reaches this size (Algorithm 1's
+  /// "certain threshold"); 0 = unlimited.
+  size_t attribute_budget = 0;
+  /// Maximum passes over one site's pages (each pass re-applies the grown
+  /// seed set; the loop also stops as soon as a pass adds nothing).
+  size_t max_passes_per_site = 4;
+  /// Candidate label text longer than this many words is rejected.
+  size_t max_label_tokens = 4;
+  /// Entity discovery (paper §3.1, "create new entities automatically"):
+  /// when a page contains no known entity node, fall back to the page's
+  /// main heading (first <h1>) as a *candidate* entity mention and extract
+  /// against it. Candidate-page triples get a reduced confidence; whether
+  /// a candidate becomes a real entity is decided later by the joint
+  /// linking + discovery step (EntityCreator), based on cross-source
+  /// support.
+  bool discover_entities = false;
+  /// Confidence quality multiplier for candidate-entity pages.
+  double candidate_quality = 0.8;
+  /// Tag-path canonicalization.
+  html::TagPathOptions path_options;
+  AttributeDeduper::Options dedup;
+  ConfidenceCriterion confidence;
+};
+
+/// One discovered attribute with its evidence.
+struct DomAttribute {
+  std::string surface;
+  std::string canonical;
+  size_t support = 0;          ///< label nodes matched across pages
+  double best_similarity = 0;  ///< strongest tag-path similarity seen
+  double confidence = 0;
+};
+
+struct DomExtractionStats {
+  size_t pages_total = 0;
+  size_t pages_with_entity = 0;
+  size_t pages_used = 0;       ///< pages with >= 1 (E, seed A) pair
+  size_t patterns_induced = 0;
+  size_t nodes_considered = 0;
+  size_t nodes_matched = 0;
+  size_t passes = 0;
+  /// Pages anchored on a candidate (heading) entity instead of a known one.
+  size_t pages_with_candidate_anchor = 0;
+};
+
+struct DomExtraction {
+  std::string class_name;
+  /// Attributes NOT in the input seed set, discovered by pattern matching.
+  std::vector<DomAttribute> new_attributes;
+  /// (entity, attribute, value) statements harvested from label rows
+  /// (both seed and new labels).
+  std::vector<ExtractedTriple> triples;
+  /// Entity mentions taken from page headings on pages without a known
+  /// entity node (only when config.discover_entities is set). Input to the
+  /// joint linking + discovery step.
+  std::vector<std::string> candidate_entities;
+  DomExtractionStats stats;
+};
+
+class DomTreeExtractor {
+ public:
+  explicit DomTreeExtractor(DomExtractorConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Runs Algorithm 1 over the given sites.
+  ///
+  /// `entity_names`: the entity set of T (from Freebase, in the paper).
+  /// `seed_attributes`: A_T seeds from the query stream and existing KBs.
+  DomExtraction Extract(const std::vector<synth::WebSite>& sites,
+                        const std::vector<std::string>& entity_names,
+                        const std::vector<std::string>& seed_attributes) const;
+
+  /// Convenience overload for raw (url, html) pages of a single site.
+  DomExtraction ExtractPages(const std::string& class_name,
+                             const std::vector<std::string>& page_html,
+                             const std::string& site_domain,
+                             const std::vector<std::string>& entity_names,
+                             const std::vector<std::string>& seed_attributes)
+      const;
+
+ private:
+  DomExtractorConfig config_;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_DOM_EXTRACTOR_H_

@@ -1,0 +1,137 @@
+#include "extract/entity_creation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "mapreduce/engine.h"
+
+namespace akb::extract {
+
+namespace {
+
+// Canonical mention key: normalized surface with a leading article removed,
+// so "The Silent Harbor" and "Silent Harbor" cluster together.
+std::string MentionKey(std::string_view mention) {
+  std::string norm = NormalizeSurface(mention);
+  for (const char* article : {"the ", "a ", "an "}) {
+    if (StartsWith(norm, article)) {
+      return norm.substr(std::string_view(article).size());
+    }
+  }
+  return norm;
+}
+
+struct MentionEvidence {
+  std::string surface;
+  std::string source;
+};
+
+struct ClusterResult {
+  std::string key;
+  std::string best_surface;
+  size_t mentions = 0;
+  size_t sources = 0;
+};
+
+}  // namespace
+
+size_t EntityResolution::Resolve(std::string_view mention) const {
+  auto it = by_key.find(MentionKey(mention));
+  return it == by_key.end() ? SIZE_MAX : it->second;
+}
+
+EntityResolution EntityCreator::Run(
+    const std::vector<ExtractedTriple>& triples,
+    const std::vector<std::string>& kb_entity_names) const {
+  EntityResolution out;
+
+  std::unordered_map<std::string, std::string> kb_by_key;  // key -> name
+  for (const std::string& name : kb_entity_names) {
+    kb_by_key.emplace(MentionKey(name), name);
+  }
+
+  // One MapReduce job clusters mentions by key. Map: stateless per triple.
+  mapreduce::JobOptions options;
+  options.num_workers = config_.num_workers;
+  auto results =
+      mapreduce::RunJob<ExtractedTriple, std::string, MentionEvidence,
+                        ClusterResult>(
+          triples,
+          [](const ExtractedTriple& t,
+             mapreduce::Emitter<std::string, MentionEvidence>* emit) {
+            if (t.entity.empty()) return;
+            emit->Emit(MentionKey(t.entity),
+                       MentionEvidence{t.entity, t.source});
+          },
+          [](const std::string& key,
+             const std::vector<MentionEvidence>& evidence) {
+            ClusterResult cluster;
+            cluster.key = key;
+            cluster.mentions = evidence.size();
+            std::unordered_map<std::string, size_t> surface_counts;
+            std::unordered_set<std::string> sources;
+            for (const auto& e : evidence) {
+              ++surface_counts[e.surface];
+              sources.insert(e.source);
+            }
+            cluster.sources = sources.size();
+            size_t best = 0;
+            for (const auto& [surface, count] : surface_counts) {
+              if (count > best ||
+                  (count == best && surface < cluster.best_surface)) {
+                best = count;
+                cluster.best_surface = surface;
+              }
+            }
+            return cluster;
+          },
+          options);
+
+  // Deterministic order regardless of partitioning.
+  std::sort(results.begin(), results.end(),
+            [](const ClusterResult& a, const ClusterResult& b) {
+              return a.key < b.key;
+            });
+
+  for (const ClusterResult& cluster : results) {
+    auto kb_it = kb_by_key.find(cluster.key);
+    if (kb_it != kb_by_key.end()) {
+      ResolvedEntity entity;
+      entity.name = kb_it->second;  // canonical KB spelling wins
+      entity.is_new = false;
+      entity.mentions = cluster.mentions;
+      entity.sources = cluster.sources;
+      entity.confidence = 1.0;
+      out.by_key.emplace(cluster.key, out.entities.size());
+      out.entities.push_back(std::move(entity));
+      out.linked_mentions += cluster.mentions;
+    } else if (cluster.sources >= config_.min_new_entity_support) {
+      ResolvedEntity entity;
+      entity.name = cluster.best_surface;
+      entity.is_new = true;
+      entity.mentions = cluster.mentions;
+      entity.sources = cluster.sources;
+      entity.confidence = config_.confidence.Score(
+          rdf::ExtractorKind::kOther, cluster.sources);
+      out.by_key.emplace(cluster.key, out.entities.size());
+      out.entities.push_back(std::move(entity));
+      ++out.discovered_entities;
+    } else {
+      out.dropped_mentions += cluster.mentions;
+    }
+  }
+
+  // KB entities never mentioned still exist (linkable later).
+  for (const auto& [key, name] : kb_by_key) {
+    if (out.by_key.count(key)) continue;
+    ResolvedEntity entity;
+    entity.name = name;
+    entity.is_new = false;
+    out.by_key.emplace(key, out.entities.size());
+    out.entities.push_back(std::move(entity));
+  }
+  return out;
+}
+
+}  // namespace akb::extract

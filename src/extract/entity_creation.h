@@ -1,0 +1,73 @@
+// New entity creation: joint entity linking and discovery (paper §3.1).
+//
+// "Based on the discovered new attributes, we create new entities
+// automatically ... we propose to solve entity-linking and entity-discovery
+// jointly ... as well as a new distributed inference architecture, which is
+// inherent in the MapReduce architectures, that avoids the synchronicity
+// bottleneck."
+//
+// Mentions (entity surface forms appearing in extracted triples) are
+// clustered by a canonical key in a single MapReduce job: the map phase
+// emits (key, provenance) per mention with no cross-mention coordination
+// (that is the synchronicity-bottleneck avoidance — no global linking state
+// is consulted during the parallel phase); the reduce phase decides per
+// cluster whether the mention links to an existing KB entity or has enough
+// independent support to become a *new* entity.
+#ifndef AKB_EXTRACT_ENTITY_CREATION_H_
+#define AKB_EXTRACT_ENTITY_CREATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/confidence.h"
+#include "extract/extraction.h"
+
+namespace akb::extract {
+
+struct EntityCreationConfig {
+  /// Distinct sources that must mention an unlinked entity before it is
+  /// created.
+  size_t min_new_entity_support = 2;
+  /// Worker threads for the MapReduce job.
+  size_t num_workers = 2;
+  ConfidenceCriterion confidence;
+};
+
+struct ResolvedEntity {
+  std::string name;      ///< canonical surface (most frequent mention)
+  bool is_new = false;   ///< discovered, not present in the KB
+  size_t mentions = 0;   ///< total mentions
+  size_t sources = 0;    ///< distinct sources mentioning it
+  double confidence = 1.0;
+};
+
+struct EntityResolution {
+  std::vector<ResolvedEntity> entities;
+  /// normalized mention key -> index into `entities`.
+  std::unordered_map<std::string, size_t> by_key;
+  size_t linked_mentions = 0;
+  size_t discovered_entities = 0;
+  size_t dropped_mentions = 0;  ///< unlinked with insufficient support
+
+  /// Index of the entity a mention resolves to, or SIZE_MAX.
+  size_t Resolve(std::string_view mention) const;
+};
+
+class EntityCreator {
+ public:
+  explicit EntityCreator(EntityCreationConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Links the entity mentions of `triples` against `kb_entity_names` and
+  /// creates well-supported new entities.
+  EntityResolution Run(const std::vector<ExtractedTriple>& triples,
+                       const std::vector<std::string>& kb_entity_names) const;
+
+ private:
+  EntityCreationConfig config_;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_ENTITY_CREATION_H_

@@ -1,0 +1,37 @@
+// Common record types produced by the four knowledge extractors.
+#ifndef AKB_EXTRACT_EXTRACTION_H_
+#define AKB_EXTRACT_EXTRACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace akb::extract {
+
+/// A discovered attribute of a class (schema-level knowledge).
+struct ExtractedAttribute {
+  std::string class_name;
+  std::string surface;     ///< as seen in the source
+  std::string canonical;   ///< normalized representative form
+  double confidence = 0.0;
+  size_t support = 1;      ///< evidence count (facts / query records / nodes)
+  std::string source;      ///< site domain, KB name, or log id
+  rdf::ExtractorKind extractor = rdf::ExtractorKind::kOther;
+};
+
+/// An extracted (entity, attribute, value) statement (instance-level
+/// knowledge), convertible to an RDF triple.
+struct ExtractedTriple {
+  std::string class_name;
+  std::string entity;     ///< entity surface name
+  std::string attribute;  ///< attribute surface form
+  std::string value;
+  double confidence = 0.0;
+  std::string source;
+  rdf::ExtractorKind extractor = rdf::ExtractorKind::kOther;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_EXTRACTION_H_

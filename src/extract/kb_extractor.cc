@@ -1,0 +1,154 @@
+#include "extract/kb_extractor.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace akb::extract {
+
+const KbClassExtraction* KbExtraction::FindClass(std::string_view name) const {
+  for (const auto& c : classes) {
+    if (c.class_name == name) return &c;
+  }
+  return nullptr;
+}
+
+KbClassExtraction ExistingKbExtractor::ExtractClass(
+    const synth::KbSnapshot& kb, const synth::KbClass& cls) const {
+  KbClassExtraction out;
+  out.class_name = cls.name;
+
+  // Declared schema size after dedup (variants inside the schema collapse).
+  {
+    AttributeDeduper declared_dedup(config_.dedup);
+    for (const auto& attribute : cls.attributes) {
+      if (!attribute.declared) continue;
+      if (!attribute.surfaces.empty()) {
+        declared_dedup.Add(attribute.surfaces.front());
+      }
+    }
+    out.declared_attributes = declared_dedup.num_clusters();
+  }
+
+  // Instance layer: every surface used by a fact.
+  AttributeDeduper dedup(config_.dedup);
+  for (const synth::KbFact& fact : cls.facts) {
+    dedup.Add(fact.surface);
+  }
+  // Declared attributes belong to the mined set even when unused on
+  // instances (the schema itself is evidence).
+  for (const auto& attribute : cls.attributes) {
+    if (attribute.declared && !attribute.surfaces.empty()) {
+      dedup.Add(attribute.surfaces.front());
+    }
+  }
+
+  for (size_t c = 0; c < dedup.num_clusters(); ++c) {
+    if (dedup.support(c) < config_.min_support) continue;
+    ExtractedAttribute attribute;
+    attribute.class_name = cls.name;
+    attribute.surface = dedup.representative(c);
+    attribute.canonical = dedup.key(c);
+    attribute.support = dedup.support(c);
+    attribute.source = kb.name;
+    attribute.extractor = rdf::ExtractorKind::kExistingKb;
+    attribute.confidence = config_.confidence.Score(
+        rdf::ExtractorKind::kExistingKb, attribute.support);
+    out.attributes.push_back(std::move(attribute));
+  }
+  return out;
+}
+
+KbExtraction ExistingKbExtractor::Extract(const synth::KbSnapshot& kb) const {
+  KbExtraction extraction;
+  extraction.kb_name = kb.name;
+  for (const auto& cls : kb.classes) {
+    extraction.classes.push_back(ExtractClass(kb, cls));
+  }
+  return extraction;
+}
+
+KbExtraction ExistingKbExtractor::Combine(
+    const std::vector<const synth::KbSnapshot*>& kbs) const {
+  KbExtraction combined;
+  for (const auto* kb : kbs) {
+    if (!combined.kb_name.empty()) combined.kb_name += "+";
+    combined.kb_name += kb->name;
+  }
+
+  // class name -> shared deduper fed by each KB's mined attributes.
+  std::map<std::string, AttributeDeduper> dedupers;
+  std::map<std::string, std::unordered_map<size_t, ExtractedAttribute>>
+      merged;
+
+  for (const auto* kb : kbs) {
+    KbExtraction extraction = Extract(*kb);
+    for (const auto& cls : extraction.classes) {
+      auto [it, inserted] =
+          dedupers.try_emplace(cls.class_name, config_.dedup);
+      AttributeDeduper& dedup = it->second;
+      auto& attrs = merged[cls.class_name];
+      for (const auto& attribute : cls.attributes) {
+        size_t cluster = dedup.Add(attribute.surface);
+        auto found = attrs.find(cluster);
+        if (found == attrs.end()) {
+          ExtractedAttribute copy = attribute;
+          copy.source = combined.kb_name;
+          attrs.emplace(cluster, std::move(copy));
+        } else {
+          // Cross-KB duplicate: accumulate support, keep max confidence.
+          found->second.support += attribute.support;
+          found->second.confidence = config_.confidence.Score(
+              rdf::ExtractorKind::kExistingKb, found->second.support);
+        }
+      }
+    }
+  }
+
+  for (auto& [class_name, attrs] : merged) {
+    KbClassExtraction cls;
+    cls.class_name = class_name;
+    for (auto& [cluster, attribute] : attrs) {
+      cls.attributes.push_back(std::move(attribute));
+    }
+    combined.classes.push_back(std::move(cls));
+  }
+  return combined;
+}
+
+std::vector<ExtractedTriple> ExistingKbExtractor::ExtractTriples(
+    const synth::KbSnapshot& kb) const {
+  std::vector<ExtractedTriple> triples;
+  for (const auto& cls : kb.classes) {
+    // Surface -> canonical cluster representative, per class.
+    AttributeDeduper dedup(config_.dedup);
+    for (const synth::KbFact& fact : cls.facts) dedup.Add(fact.surface);
+
+    // Resolve world entity ids to their surface names.
+    std::unordered_map<synth::EntityId, const std::string*> names;
+    for (size_t i = 0; i < cls.entities.size(); ++i) {
+      if (i < cls.entity_names.size()) {
+        names.emplace(cls.entities[i], &cls.entity_names[i]);
+      }
+    }
+    for (const synth::KbFact& fact : cls.facts) {
+      ExtractedTriple triple;
+      triple.class_name = cls.name;
+      auto name_it = names.find(fact.entity);
+      triple.entity = name_it == names.end()
+                          ? "entity#" + std::to_string(fact.entity)
+                          : *name_it->second;
+      size_t cluster = dedup.Find(fact.surface);
+      triple.attribute = cluster == SIZE_MAX ? fact.surface
+                                             : dedup.representative(cluster);
+      triple.value = fact.value;
+      triple.source = kb.name;
+      triple.extractor = rdf::ExtractorKind::kExistingKb;
+      triple.confidence =
+          config_.confidence.Score(rdf::ExtractorKind::kExistingKb, 1);
+      triples.push_back(std::move(triple));
+    }
+  }
+  return triples;
+}
+
+}  // namespace akb::extract

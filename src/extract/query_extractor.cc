@@ -1,0 +1,273 @@
+#include "extract/query_extractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "common/string_util.h"
+#include "text/tokenize.h"
+
+namespace akb::extract {
+
+namespace {
+
+/// Placeholder token substituted for a recognized entity mention before
+/// pattern matching; never produced by the tokenizer.
+const char kEntityToken[] = "\x01" "ent";
+
+bool AllDigits(const std::vector<std::string>& tokens, size_t begin,
+               size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    if (!IsDigits(tokens[i])) return false;
+  }
+  return true;
+}
+
+bool AllStopwords(const std::vector<std::string>& tokens, size_t begin,
+                  size_t end) {
+  static const char* const kStop[] = {"the", "a",  "an", "of", "in",
+                                      "on",  "to", "is", "for"};
+  for (size_t i = begin; i < end; ++i) {
+    bool stop = false;
+    for (const char* s : kStop) {
+      if (tokens[i] == s) {
+        stop = true;
+        break;
+      }
+    }
+    if (!stop) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> QueryStreamExtractor::PatternSpecs() {
+  return {
+      "(what|how|when|who) is the [A] of ?(the|a|an) [E]",
+      "the [A] of ?(the|a|an) [E]",
+      "[E] 's [A]",
+      "[A] of ?(the|a|an) [E]",
+  };
+}
+
+QueryStreamExtractor::QueryStreamExtractor(QueryExtractorConfig config)
+    : config_(std::move(config)) {
+  // The [E] slot is compiled as a literal placeholder token: the entity
+  // mention is collapsed to that token before matching, so the entity
+  // position is matched exactly (a free [E] slot could swallow arbitrary
+  // trailing tokens during backtracking).
+  for (const std::string& spec : PatternSpecs()) {
+    auto pattern =
+        text::Pattern::Parse(ReplaceAll(spec, "[E]", kEntityToken));
+    assert(pattern.ok());
+    patterns_.push_back(std::move(pattern).value());
+  }
+}
+
+void QueryStreamExtractor::AddClass(
+    std::string class_name, const std::vector<std::string>& entity_names) {
+  ClassEntry entry;
+  entry.name = std::move(class_name);
+  size_t entity_ordinal = 0;
+  for (const std::string& name : entity_names) {
+    std::vector<std::string> tokens = text::TokenizeWords(name);
+    if (tokens.empty()) continue;
+    auto add_variant = [&](std::vector<std::string> variant) {
+      if (variant.empty()) return;
+      size_t index = entry.entity_tokens.size();
+      entry.by_first_token[variant.front()].push_back(index);
+      entry.entity_tokens.push_back(std::move(variant));
+      entry.entity_of_variant.push_back(entity_ordinal);
+    };
+    add_variant(tokens);
+    // Article-stripped variant ("silent harbor" for "The Silent Harbor"):
+    // queries often drop the article or re-add their own.
+    if (tokens.size() > 1 && (tokens.front() == "the" ||
+                              tokens.front() == "a" || tokens.front() == "an")) {
+      add_variant({tokens.begin() + 1, tokens.end()});
+    }
+    ++entity_ordinal;
+  }
+  classes_.push_back(std::move(entry));
+}
+
+size_t QueryStreamExtractor::MatchEntity(const ClassEntry& cls,
+                                         const std::vector<std::string>& tokens,
+                                         size_t begin, size_t end) {
+  if (begin >= end || end > tokens.size()) return SIZE_MAX;
+  auto it = cls.by_first_token.find(tokens[begin]);
+  if (it == cls.by_first_token.end()) return SIZE_MAX;
+  for (size_t index : it->second) {
+    const auto& entity = cls.entity_tokens[index];
+    if (entity.size() != end - begin) continue;
+    if (std::equal(entity.begin(), entity.end(), tokens.begin() + begin)) {
+      return index;
+    }
+  }
+  return SIZE_MAX;
+}
+
+bool QueryStreamExtractor::MentionsEntity(
+    const ClassEntry& cls, const std::vector<std::string>& tokens) {
+  for (size_t pos = 0; pos < tokens.size(); ++pos) {
+    auto it = cls.by_first_token.find(tokens[pos]);
+    if (it == cls.by_first_token.end()) continue;
+    for (size_t index : it->second) {
+      const auto& entity = cls.entity_tokens[index];
+      if (pos + entity.size() > tokens.size()) continue;
+      if (std::equal(entity.begin(), entity.end(), tokens.begin() + pos)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool QueryStreamExtractor::PassesFilters(
+    const std::vector<std::string>& tokens, size_t begin, size_t end) const {
+  size_t len = end - begin;
+  if (len == 0 || len > config_.max_attribute_tokens) return false;
+  if (AllDigits(tokens, begin, end)) return false;
+  if (AllStopwords(tokens, begin, end)) return false;
+  for (size_t i = begin; i < end; ++i) {
+    if (tokens[i] == kEntityToken) return false;
+    if (tokens[i].size() < 2) return false;
+    for (const std::string& junk : config_.junk_words) {
+      if (tokens[i] == junk) return false;
+    }
+  }
+  return true;
+}
+
+QueryExtraction QueryStreamExtractor::Extract(
+    const std::vector<std::string>& queries) const {
+  QueryExtraction result;
+  result.total_records = queries.size();
+
+  struct Candidate {
+    size_t records = 0;
+    std::unordered_set<size_t> entities;
+    std::unordered_map<std::string, size_t> surfaces;
+  };
+  struct ClassState {
+    size_t relevant = 0;
+    size_t pattern_hits = 0;
+    size_t filtered_out = 0;
+    AttributeDeduper dedup;
+    std::map<size_t, Candidate> candidates;  // cluster id -> evidence
+  };
+  std::vector<ClassState> states;
+  states.reserve(classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    states.emplace_back();
+    states.back().dedup = AttributeDeduper(config_.dedup);
+  }
+
+  for (const std::string& query : queries) {
+    std::vector<std::string> tokens = text::TokenizeWords(query);
+    if (tokens.empty()) continue;
+
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      const ClassEntry& cls = classes_[c];
+      ClassState& state = states[c];
+
+      // Find the longest entity mention (longest-first avoids matching the
+      // article-stripped variant inside the full name).
+      size_t ent_begin = SIZE_MAX, ent_len = 0, ent_index = SIZE_MAX;
+      for (size_t pos = 0; pos < tokens.size(); ++pos) {
+        auto it = cls.by_first_token.find(tokens[pos]);
+        if (it == cls.by_first_token.end()) continue;
+        for (size_t index : it->second) {
+          const auto& entity = cls.entity_tokens[index];
+          if (pos + entity.size() > tokens.size()) continue;
+          if (entity.size() > ent_len &&
+              std::equal(entity.begin(), entity.end(),
+                         tokens.begin() + pos)) {
+            ent_begin = pos;
+            ent_len = entity.size();
+            ent_index = index;
+          }
+        }
+      }
+      if (ent_begin == SIZE_MAX) continue;
+      ++state.relevant;
+
+      // Collapse the mention into a single placeholder token and try the
+      // pattern family anchored over the whole query.
+      std::vector<std::string> collapsed;
+      collapsed.reserve(tokens.size() - ent_len + 1);
+      collapsed.insert(collapsed.end(), tokens.begin(),
+                       tokens.begin() + ent_begin);
+      collapsed.push_back(kEntityToken);
+      collapsed.insert(collapsed.end(), tokens.begin() + ent_begin + ent_len,
+                       tokens.end());
+
+      for (const text::Pattern& pattern : patterns_) {
+        text::PatternMatch match;
+        if (!pattern.MatchWhole(collapsed, config_.max_attribute_tokens,
+                                &match)) {
+          continue;
+        }
+        auto a_slot = match.slots.find("A");
+        if (a_slot == match.slots.end()) continue;
+        ++state.pattern_hits;
+        if (!PassesFilters(collapsed, a_slot->second.begin,
+                           a_slot->second.end)) {
+          ++state.filtered_out;
+          break;
+        }
+        std::string surface = text::JoinTokens(collapsed,
+                                               a_slot->second.begin,
+                                               a_slot->second.end);
+        size_t cluster = state.dedup.Add(surface);
+        Candidate& cand = state.candidates[cluster];
+        ++cand.records;
+        cand.entities.insert(cls.entity_of_variant[ent_index]);
+        ++cand.surfaces[surface];
+        break;  // first matching pattern wins for this (query, class)
+      }
+    }
+  }
+
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    ClassState& state = states[c];
+    QueryClassExtraction out;
+    out.class_name = classes_[c].name;
+    out.relevant_records = state.relevant;
+    out.pattern_hits = state.pattern_hits;
+    out.filtered_out = state.filtered_out;
+    for (const auto& [cluster, cand] : state.candidates) {
+      if (cand.records < config_.min_record_support) continue;
+      if (cand.entities.size() < config_.min_entity_support) continue;
+      ExtractedAttribute attribute;
+      attribute.class_name = out.class_name;
+      attribute.surface = state.dedup.representative(cluster);
+      attribute.canonical = state.dedup.key(cluster);
+      attribute.support = cand.records;
+      attribute.source = "query_stream";
+      attribute.extractor = rdf::ExtractorKind::kQueryStream;
+      attribute.confidence = config_.confidence.Score(
+          rdf::ExtractorKind::kQueryStream, cand.records);
+      out.credible_attributes.push_back(std::move(attribute));
+    }
+    // Deterministic presentation: by descending support, then name.
+    std::sort(out.credible_attributes.begin(), out.credible_attributes.end(),
+              [](const ExtractedAttribute& a, const ExtractedAttribute& b) {
+                if (a.support != b.support) return a.support > b.support;
+                return a.canonical < b.canonical;
+              });
+    result.classes.push_back(std::move(out));
+  }
+  return result;
+}
+
+const QueryClassExtraction* QueryExtraction::FindClass(
+    std::string_view name) const {
+  for (const auto& c : classes) {
+    if (c.class_name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace akb::extract

@@ -1,0 +1,109 @@
+// Attribute extraction from the query stream (paper §4, Table 3).
+//
+// "We propose an improved query stream extraction technique by using more
+// patterns, such as 'what/how/when/who is the A of (the/a/an) E',
+// 'the A of (the/a/an) E' and 'E's A', and a set of filtering rules ...
+// For entity recognition, each of these classes is specified as a set of
+// representative entities."
+//
+// The extractor scans the stream once: a record is *relevant* to a class if
+// it mentions one of the class's representative entities; attribute
+// candidates are captured by the pattern family with the [E] slot anchored
+// to a recognized entity; filter rules drop meaningless captures; candidates
+// become *credible attributes* when their support (distinct records /
+// distinct entities) passes the credibility thresholds.
+#ifndef AKB_EXTRACT_QUERY_EXTRACTOR_H_
+#define AKB_EXTRACT_QUERY_EXTRACTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "extract/attribute_dedup.h"
+#include "extract/confidence.h"
+#include "extract/extraction.h"
+#include "text/pattern.h"
+
+namespace akb::extract {
+
+struct QueryExtractorConfig {
+  /// Minimal distinct query records supporting a credible attribute.
+  size_t min_record_support = 3;
+  /// Minimal distinct entities the attribute was asked about.
+  size_t min_entity_support = 2;
+  /// Filter rule: attribute phrases longer than this are dropped.
+  size_t max_attribute_tokens = 4;
+  /// Filter rule: junk words that disqualify a candidate attribute phrase.
+  std::vector<std::string> junk_words = {
+      "reviews", "photos", "tickets", "online", "wiki",  "news",
+      "deals",   "buy",    "cheap",   "free",   "login", "official"};
+  AttributeDeduper::Options dedup;
+  ConfidenceCriterion confidence;
+};
+
+/// Per-class result (one Table 3 row).
+struct QueryClassExtraction {
+  std::string class_name;
+  /// Query records mentioning one of the class's entities.
+  size_t relevant_records = 0;
+  /// Records where a pattern captured an (A, E) pair.
+  size_t pattern_hits = 0;
+  /// Candidates dropped by the filter rules.
+  size_t filtered_out = 0;
+  std::vector<ExtractedAttribute> credible_attributes;
+};
+
+struct QueryExtraction {
+  size_t total_records = 0;
+  std::vector<QueryClassExtraction> classes;
+
+  const QueryClassExtraction* FindClass(std::string_view name) const;
+};
+
+class QueryStreamExtractor {
+ public:
+  explicit QueryStreamExtractor(QueryExtractorConfig config = {});
+
+  /// Registers a class by its representative entity set (entity surface
+  /// names; matching is token-based and case-insensitive).
+  void AddClass(std::string class_name,
+                const std::vector<std::string>& entity_names);
+
+  /// Scans the stream (strings only; no ledger access).
+  QueryExtraction Extract(const std::vector<std::string>& queries) const;
+
+  /// The paper's pattern family, exposed for tests.
+  static std::vector<std::string> PatternSpecs();
+
+ private:
+  struct ClassEntry {
+    std::string name;
+    /// first token of each name variant -> variant indices (prefilter).
+    std::unordered_map<std::string, std::vector<size_t>> by_first_token;
+    /// Token sequences of the variants (full name and article-stripped).
+    std::vector<std::vector<std::string>> entity_tokens;
+    /// Entity ordinal of each variant (two variants of one entity share
+    /// the ordinal, so entity-support counting is per entity).
+    std::vector<size_t> entity_of_variant;
+  };
+
+  /// Index of the entity occupying tokens [begin, end) or SIZE_MAX.
+  static size_t MatchEntity(const ClassEntry& cls,
+                            const std::vector<std::string>& tokens,
+                            size_t begin, size_t end);
+  /// True if the class has an entity starting at any position (relevance).
+  static bool MentionsEntity(const ClassEntry& cls,
+                             const std::vector<std::string>& tokens);
+
+  bool PassesFilters(const std::vector<std::string>& tokens, size_t begin,
+                     size_t end) const;
+
+  QueryExtractorConfig config_;
+  std::vector<text::Pattern> patterns_;
+  std::vector<ClassEntry> classes_;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_QUERY_EXTRACTOR_H_

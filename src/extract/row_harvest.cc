@@ -1,0 +1,38 @@
+#include "extract/row_harvest.h"
+
+#include "common/string_util.h"
+
+namespace akb::extract {
+
+void CollectTextNodes(const html::Node* root,
+                      std::vector<const html::Node*>* out) {
+  if (root->is_text()) {
+    if (!Trim(root->text()).empty()) out->push_back(root);
+    return;
+  }
+  for (const auto& child : root->children()) {
+    CollectTextNodes(child.get(), out);
+  }
+}
+
+std::string HarvestRowValue(const html::Node* label) {
+  std::string label_text = NormalizeSurface(label->text());
+  const html::Node* row = label->parent();
+  while (row != nullptr && NormalizeSurface(row->InnerText()) == label_text) {
+    row = row->parent();
+  }
+  if (row == nullptr) return "";
+  std::vector<const html::Node*> texts;
+  CollectTextNodes(row, &texts);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    if (texts[i] == label) {
+      if (i + 1 < texts.size()) {
+        return std::string(Trim(texts[i + 1]->text()));
+      }
+      return "";
+    }
+  }
+  return "";
+}
+
+}  // namespace akb::extract

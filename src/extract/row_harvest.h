@@ -1,0 +1,25 @@
+// Shared label-row value harvesting for DOM extractors.
+#ifndef AKB_EXTRACT_ROW_HARVEST_H_
+#define AKB_EXTRACT_ROW_HARVEST_H_
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace akb::extract {
+
+/// Collects non-empty text nodes under `root` in document order.
+void CollectTextNodes(const html::Node* root,
+                      std::vector<const html::Node*>* out);
+
+/// The value paired with a label node: walk up to the first ancestor whose
+/// text extends beyond the label (the "row"), then take the text node that
+/// immediately follows the label inside that row. Works uniformly for
+/// tr/th+td, dt+dd, li spans, and div rows. Returns "" when no paired value
+/// exists.
+std::string HarvestRowValue(const html::Node* label);
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_ROW_HARVEST_H_

@@ -1,0 +1,190 @@
+#include "extract/schema_alignment.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "extract/attribute_dedup.h"
+
+namespace akb::extract {
+
+namespace {
+
+// class -> attribute key -> entity (normalized) -> value set (normalized).
+using ValueMap =
+    std::map<std::string,
+             std::map<std::string,
+                      std::unordered_map<std::string,
+                                         std::unordered_set<std::string>>>>;
+
+ValueMap BuildValueMap(const std::vector<ExtractedTriple>& triples) {
+  ValueMap out;
+  for (const ExtractedTriple& t : triples) {
+    out[t.class_name][AttributeKey(t.attribute)]
+       [NormalizeSurface(t.entity)]
+           .insert(NormalizeSurface(t.value));
+  }
+  return out;
+}
+
+}  // namespace
+
+SchemaAlignment AlignSchemas(const std::vector<ExtractedTriple>& a,
+                             const std::vector<ExtractedTriple>& b,
+                             const SchemaAlignmentConfig& config) {
+  SchemaAlignment out;
+  ValueMap map_a = BuildValueMap(a);
+  ValueMap map_b = BuildValueMap(b);
+
+  for (const auto& [class_name, attrs_a] : map_a) {
+    auto class_b = map_b.find(class_name);
+    if (class_b == map_b.end()) continue;
+    for (const auto& [key_a, entities_a] : attrs_a) {
+      for (const auto& [key_b, entities_b] : class_b->second) {
+        if (key_a == key_b) continue;  // identical keys need no alignment
+        // Iterate the smaller side.
+        const auto& smaller =
+            entities_a.size() <= entities_b.size() ? entities_a : entities_b;
+        const auto& larger =
+            entities_a.size() <= entities_b.size() ? entities_b : entities_a;
+        size_t shared = 0, agree = 0;
+        for (const auto& [entity, values] : smaller) {
+          auto other = larger.find(entity);
+          if (other == larger.end()) continue;
+          ++shared;
+          bool intersects = false;
+          for (const std::string& value : values) {
+            if (other->second.count(value)) {
+              intersects = true;
+              break;
+            }
+          }
+          if (intersects) ++agree;
+        }
+        if (shared < config.min_shared_entities) continue;
+        double agreement =
+            static_cast<double>(agree) / static_cast<double>(shared);
+        if (agreement < config.min_agreement) continue;
+        AlignedPair pair;
+        pair.class_name = class_name;
+        pair.attribute_a = key_a;
+        pair.attribute_b = key_b;
+        pair.shared_entities = shared;
+        pair.agreement = agreement;
+        out.pairs.push_back(std::move(pair));
+      }
+    }
+  }
+  std::sort(out.pairs.begin(), out.pairs.end(),
+            [](const AlignedPair& x, const AlignedPair& y) {
+              if (x.class_name != y.class_name) {
+                return x.class_name < y.class_name;
+              }
+              if (x.attribute_a != y.attribute_a) {
+                return x.attribute_a < y.attribute_a;
+              }
+              return x.attribute_b < y.attribute_b;
+            });
+  return out;
+}
+
+std::vector<SubAttribute> DetectSubAttributes(
+    const std::vector<ExtractedTriple>& triples,
+    const synth::ValueHierarchy& hierarchy,
+    const SubAttributeConfig& config) {
+  std::vector<SubAttribute> out;
+  ValueMap map = BuildValueMap(triples);
+
+  auto resolve = [&hierarchy](const std::string& value) {
+    synth::HierarchyNodeId node = hierarchy.Find(value);
+    if (node == synth::kNoHierarchyNode) {
+      node = hierarchy.Find(TitleCase(ToLower(value)));
+    }
+    return node;
+  };
+
+  for (const auto& [class_name, attrs] : map) {
+    for (const auto& [key_sub, entities_sub] : attrs) {
+      for (const auto& [key_super, entities_super] : attrs) {
+        if (key_sub == key_super) continue;
+        size_t shared = 0, ancestor = 0;
+        for (const auto& [entity, sub_values] : entities_sub) {
+          auto other = entities_super.find(entity);
+          if (other == entities_super.end()) continue;
+          // Both sides must resolve in the hierarchy.
+          bool counted = false, strict = false;
+          for (const std::string& sv : sub_values) {
+            synth::HierarchyNodeId sub_node = resolve(sv);
+            if (sub_node == synth::kNoHierarchyNode) continue;
+            for (const std::string& pv : other->second) {
+              synth::HierarchyNodeId super_node = resolve(pv);
+              if (super_node == synth::kNoHierarchyNode) continue;
+              counted = true;
+              if (sub_node != super_node &&
+                  hierarchy.IsAncestorOrSelf(sub_node, super_node)) {
+                strict = true;
+              }
+            }
+          }
+          if (counted) {
+            ++shared;
+            if (strict) ++ancestor;
+          }
+        }
+        if (shared < config.min_shared_entities) continue;
+        double rate =
+            static_cast<double>(ancestor) / static_cast<double>(shared);
+        if (rate < config.min_ancestor_rate) continue;
+        SubAttribute sub;
+        sub.class_name = class_name;
+        sub.sub = key_sub;
+        sub.super = key_super;
+        sub.shared_entities = shared;
+        sub.ancestor_rate = rate;
+        out.push_back(std::move(sub));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SubAttribute& x, const SubAttribute& y) {
+              if (x.class_name != y.class_name) {
+                return x.class_name < y.class_name;
+              }
+              if (x.sub != y.sub) return x.sub < y.sub;
+              return x.super < y.super;
+            });
+  return out;
+}
+
+size_t SchemaAlignment::MergedCount(
+    const std::vector<std::string>& keys) const {
+  // Union-find over the key set with aligned pairs as edges.
+  std::unordered_map<std::string, size_t> index;
+  for (const std::string& key : keys) {
+    index.emplace(key, index.size());
+  }
+  std::vector<size_t> parent(index.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const AlignedPair& pair : pairs) {
+    auto a = index.find(pair.attribute_a);
+    auto b = index.find(pair.attribute_b);
+    if (a == index.end() || b == index.end()) continue;
+    parent[find(a->second)] = find(b->second);
+  }
+  std::unordered_set<size_t> roots;
+  for (size_t i = 0; i < parent.size(); ++i) roots.insert(find(i));
+  return roots.size();
+}
+
+}  // namespace akb::extract

@@ -1,0 +1,89 @@
+// Schema alignment by value overlap.
+//
+// The paper's §1 lists *schema alignment* (Bellahsene et al., its ref [4])
+// among the four classic integration steps, and its §3 pipeline must
+// identify "misspellings, synonyms, and sub-attributes". Surface
+// normalization (AttributeDeduper) merges casing/styling variants and
+// misspellings, but true synonyms — "total budget" vs "overall cost" —
+// share no surface signal at all. What they do share is *values*: on the
+// entities both attributes describe, they agree.
+//
+// The aligner builds, per attribute, an entity -> value-set map from
+// extracted triples, and aligns attribute pairs (across two triple sets, or
+// within one) whose value agreement over shared entities is high. Aligned
+// clusters are merged on top of the surface-level clusters, recovering the
+// true attribute count that string matching alone overcounts.
+#ifndef AKB_EXTRACT_SCHEMA_ALIGNMENT_H_
+#define AKB_EXTRACT_SCHEMA_ALIGNMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/extraction.h"
+#include "synth/hierarchy.h"
+
+namespace akb::extract {
+
+struct SchemaAlignmentConfig {
+  /// Minimum entities both attributes describe.
+  size_t min_shared_entities = 3;
+  /// Minimum fraction of shared entities on which the value sets agree
+  /// (intersect) for the pair to align.
+  double min_agreement = 0.65;
+};
+
+/// One aligned attribute pair.
+struct AlignedPair {
+  std::string class_name;
+  std::string attribute_a;  ///< canonical key of side A
+  std::string attribute_b;  ///< canonical key of side B
+  size_t shared_entities = 0;
+  double agreement = 0.0;
+};
+
+struct SchemaAlignment {
+  std::vector<AlignedPair> pairs;
+
+  /// Number of merged attribute clusters over `keys` after applying the
+  /// aligned pairs as union-find edges (keys absent from any pair count as
+  /// singletons).
+  size_t MergedCount(const std::vector<std::string>& keys) const;
+};
+
+/// Aligns attributes of `a` against attributes of `b` per class. Attribute
+/// identity on each side is the canonical AttributeKey of the triple's
+/// attribute surface; values are compared after NormalizeSurface.
+SchemaAlignment AlignSchemas(const std::vector<ExtractedTriple>& a,
+                             const std::vector<ExtractedTriple>& b,
+                             const SchemaAlignmentConfig& config = {});
+
+/// A detected sub-attribute relation: on shared entities, `sub`'s value is
+/// consistently an ancestor (coarser version) of `super`'s value in the
+/// value hierarchy — e.g. "headquarters country" vs "headquarters". The
+/// paper (§3) requires sub-attributes to be identified alongside synonyms
+/// and misspellings so they are not fused as conflicts.
+struct SubAttribute {
+  std::string class_name;
+  std::string sub;        ///< canonical key of the coarser attribute
+  std::string super;      ///< canonical key of the finer attribute
+  size_t shared_entities = 0;
+  /// Fraction of shared entities where sub's value is a strict ancestor.
+  double ancestor_rate = 0.0;
+};
+
+struct SubAttributeConfig {
+  size_t min_shared_entities = 3;
+  /// Minimum fraction of shared entities with a strict-ancestor value.
+  double min_ancestor_rate = 0.6;
+};
+
+/// Detects sub-attribute pairs within one triple set, using `hierarchy` to
+/// test ancestry between (title-cased) values.
+std::vector<SubAttribute> DetectSubAttributes(
+    const std::vector<ExtractedTriple>& triples,
+    const synth::ValueHierarchy& hierarchy,
+    const SubAttributeConfig& config = {});
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_SCHEMA_ALIGNMENT_H_

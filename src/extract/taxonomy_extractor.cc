@@ -1,0 +1,198 @@
+#include "extract/taxonomy_extractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "text/tokenize.h"
+
+namespace akb::extract {
+
+namespace {
+
+// Head-noun selection per pattern: English noun phrases are head-final, and
+// the three patterns expose the category NP differently.
+enum class HeadRule {
+  kWholePhrase,  // "[X] is a [Y<.]"  -> the whole captured phrase
+  kLastToken,    // "[Y] such as"      -> lazy capture may drag a verb in;
+                 //                       keep the head (last) token
+  kFirstToken,   // "and other [Y...]" -> greedy capture may run on; keep
+                 //                       the first token
+};
+
+struct CompiledPattern {
+  text::Pattern pattern;
+  HeadRule head;
+};
+
+std::string Singular(const std::string& token) {
+  if (token.size() > 3 && EndsWith(token, "ies")) {
+    return token.substr(0, token.size() - 3) + "y";
+  }
+  if (token.size() > 3 && EndsWith(token, "ses")) {
+    return token.substr(0, token.size() - 2);
+  }
+  if (token.size() > 3 && EndsWith(token, "s") && !EndsWith(token, "ss")) {
+    return token.substr(0, token.size() - 1);
+  }
+  return token;
+}
+
+}  // namespace
+
+std::vector<std::string> TaxonomyExtractor::PatternSpecs() {
+  return {
+      "[X] is (a|an) [Y]",
+      "[Y] such as [X]",
+      "[X] and other [Y]",
+  };
+}
+
+std::string TaxonomyExtractor::NormalizeTerm(const std::string& surface) {
+  std::vector<std::string> tokens =
+      SplitWhitespace(NormalizeSurface(surface));
+  // Strip a leading article.
+  if (!tokens.empty() &&
+      (tokens[0] == "the" || tokens[0] == "a" || tokens[0] == "an")) {
+    tokens.erase(tokens.begin());
+  }
+  if (tokens.empty()) return "";
+  // Singularize the head (last) token.
+  tokens.back() = Singular(tokens.back());
+  return Join(tokens, " ");
+}
+
+TaxonomyExtractor::TaxonomyExtractor(TaxonomyExtractorConfig config)
+    : config_(std::move(config)) {
+  for (const std::string& spec : PatternSpecs()) {
+    auto pattern = text::Pattern::Parse(spec);
+    assert(pattern.ok());
+    patterns_.push_back(std::move(pattern).value());
+  }
+}
+
+ExtractedTaxonomy TaxonomyExtractor::Extract(
+    const std::vector<std::string>& documents) const {
+  ExtractedTaxonomy out;
+  static const HeadRule kRules[] = {HeadRule::kWholePhrase,
+                                    HeadRule::kLastToken,
+                                    HeadRule::kFirstToken};
+
+  std::map<std::pair<std::string, std::string>, size_t> support;
+  for (const std::string& document : documents) {
+    for (const std::string& raw : text::SplitSentences(document)) {
+      ++out.sentences_total;
+      std::vector<std::string> tokens = text::TokenizeWords(raw);
+      for (size_t p = 0; p < patterns_.size(); ++p) {
+        for (const text::PatternMatch& match :
+             patterns_[p].FindAll(tokens, config_.max_phrase_tokens)) {
+          auto x = match.slots.find("X");
+          auto y = match.slots.find("Y");
+          if (x == match.slots.end() || y == match.slots.end()) continue;
+
+          std::string instance =
+              text::JoinTokens(tokens, x->second.begin, x->second.end);
+          std::string category;
+          switch (kRules[p]) {
+            case HeadRule::kWholePhrase:
+              category = text::JoinTokens(tokens, y->second.begin,
+                                          y->second.end);
+              break;
+            case HeadRule::kLastToken:
+              category = tokens[y->second.end - 1];
+              break;
+            case HeadRule::kFirstToken:
+              category = tokens[y->second.begin];
+              break;
+          }
+          std::string norm_instance = NormalizeTerm(instance);
+          std::string norm_category = NormalizeTerm(category);
+          if (norm_instance.empty() || norm_category.empty()) continue;
+          if (norm_instance == norm_category) continue;
+          ++out.pattern_hits;
+          ++support[{norm_instance, norm_category}];
+        }
+      }
+    }
+  }
+
+  // Instance totals for the Probase-style plausibility.
+  std::map<std::string, size_t> instance_total;
+  for (const auto& [edge, count] : support) {
+    if (count >= config_.min_edge_support) {
+      instance_total[edge.first] += count;
+    }
+  }
+  for (const auto& [edge, count] : support) {
+    if (count < config_.min_edge_support) continue;
+    IsaEdge isa;
+    isa.instance = edge.first;
+    isa.category = edge.second;
+    isa.support = count;
+    isa.probability =
+        static_cast<double>(count) /
+        static_cast<double>(instance_total[edge.first]);
+    out.edges.push_back(std::move(isa));
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const IsaEdge& a, const IsaEdge& b) {
+              if (a.instance != b.instance) return a.instance < b.instance;
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.category < b.category;
+            });
+  return out;
+}
+
+std::vector<IsaEdge> ExtractedTaxonomy::CategoriesOf(
+    const std::string& instance) const {
+  std::string norm = TaxonomyExtractor::NormalizeTerm(instance);
+  std::vector<IsaEdge> out;
+  for (const IsaEdge& edge : edges) {
+    if (edge.instance == norm) out.push_back(edge);
+  }
+  std::sort(out.begin(), out.end(), [](const IsaEdge& a, const IsaEdge& b) {
+    if (a.probability != b.probability) return a.probability > b.probability;
+    return a.category < b.category;
+  });
+  return out;
+}
+
+std::string ExtractedTaxonomy::BestCategoryOf(
+    const std::string& instance) const {
+  auto categories = CategoriesOf(instance);
+  return categories.empty() ? "" : categories.front().category;
+}
+
+std::vector<std::string> ExtractedTaxonomy::InstancesOf(
+    const std::string& category) const {
+  std::string norm = TaxonomyExtractor::NormalizeTerm(category);
+  std::vector<std::string> out;
+  for (const IsaEdge& edge : edges) {
+    if (edge.category == norm) out.push_back(edge.instance);
+  }
+  return out;
+}
+
+bool ExtractedTaxonomy::IsDescendant(const std::string& descendant,
+                                     const std::string& ancestor) const {
+  std::string target = TaxonomyExtractor::NormalizeTerm(ancestor);
+  std::set<std::string> frontier{TaxonomyExtractor::NormalizeTerm(descendant)};
+  std::set<std::string> visited;
+  while (!frontier.empty()) {
+    std::string current = *frontier.begin();
+    frontier.erase(frontier.begin());
+    if (!visited.insert(current).second) continue;
+    for (const IsaEdge& edge : edges) {
+      if (edge.instance != current) continue;
+      if (edge.category == target) return true;
+      frontier.insert(edge.category);
+    }
+  }
+  return false;
+}
+
+}  // namespace akb::extract

@@ -1,0 +1,76 @@
+// Taxonomic knowledge extraction: Probase-style is-a harvesting (Wu et al.,
+// SIGMOD'12, the Web-based taxonomic extractor of the paper's §2.1).
+//
+// Hearst-family lexical patterns extract (instance, category) pairs from
+// free text:
+//   "[X] is a/an [Y]"
+//   "[Y]s such as [X]"
+//   "[X] and other [Y]s"
+// Pairs are aggregated into a probabilistic taxonomy: support counts per
+// edge, P(category | instance) = support(x,y) / support(x,*), exactly
+// Probase's plausibility measure. Categories are naively singularized so
+// "films such as X" and "X is a film" reinforce one edge.
+#ifndef AKB_EXTRACT_TAXONOMY_EXTRACTOR_H_
+#define AKB_EXTRACT_TAXONOMY_EXTRACTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/pattern.h"
+
+namespace akb::extract {
+
+struct TaxonomyExtractorConfig {
+  /// Minimum sentence support for an edge to be reported.
+  size_t min_edge_support = 2;
+  /// Max tokens for instance / category noun phrases.
+  size_t max_phrase_tokens = 4;
+};
+
+struct IsaEdge {
+  std::string instance;  ///< normalized surface
+  std::string category;  ///< normalized, singularized
+  size_t support = 0;
+  /// P(category | instance): edge support / total support of the instance.
+  double probability = 0.0;
+};
+
+struct ExtractedTaxonomy {
+  std::vector<IsaEdge> edges;
+  size_t sentences_total = 0;
+  size_t pattern_hits = 0;
+
+  /// Categories of an instance, most probable first.
+  std::vector<IsaEdge> CategoriesOf(const std::string& instance) const;
+  /// The most probable category, or "" when unknown.
+  std::string BestCategoryOf(const std::string& instance) const;
+  /// All instances of a category (direct edges only).
+  std::vector<std::string> InstancesOf(const std::string& category) const;
+  /// True iff `descendant` reaches `ancestor` through is-a edges
+  /// (transitive; cycles are tolerated).
+  bool IsDescendant(const std::string& descendant,
+                    const std::string& ancestor) const;
+};
+
+class TaxonomyExtractor {
+ public:
+  explicit TaxonomyExtractor(TaxonomyExtractorConfig config = {});
+
+  /// Harvests is-a edges from free-text documents.
+  ExtractedTaxonomy Extract(const std::vector<std::string>& documents) const;
+
+  /// The Hearst pattern family, exposed for tests.
+  static std::vector<std::string> PatternSpecs();
+
+  /// Normalization used for taxonomy keys ("Films" -> "film").
+  static std::string NormalizeTerm(const std::string& surface);
+
+ private:
+  TaxonomyExtractorConfig config_;
+  std::vector<text::Pattern> patterns_;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_TAXONOMY_EXTRACTOR_H_

@@ -1,0 +1,88 @@
+// Template-induction baseline for DOM attribute extraction, in the style of
+// RoadRunner (Crescenzi et al., SIGMOD'02) and EXALG (Arasu &
+// Garcia-Molina, SIGMOD'03) — the unsupervised prior work the paper's
+// related-work section positions Algorithm 1 against.
+//
+// Template methods need no seeds or entity sets: they align a site's pages
+// and classify text positions by how their content varies across pages.
+// This simplified reconstruction groups text nodes by their root tag path
+// and classifies each group by its repetition profile:
+//
+//   - boilerplate: one distinct text repeated on (almost) every page
+//     (nav links, footer) -> template furniture, dropped;
+//   - label slot: many distinct texts, each repeated on several pages
+//     (attribute names recur across entity pages) -> extracted attributes;
+//   - value slot: texts mostly unique per occurrence (entity-specific
+//     values) -> paired with the preceding label for triples.
+//
+// Known weaknesses (the reasons the paper gives for seeding instead):
+// per-site re-derivation, confusion when values repeat across pages
+// (popular categorical values look label-like), and the need for enough
+// pages per site to observe the repetition profile at all. The
+// `bench_baseline` harness measures exactly these failure modes against
+// Algorithm 1.
+#ifndef AKB_EXTRACT_TEMPLATE_EXTRACTOR_H_
+#define AKB_EXTRACT_TEMPLATE_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/attribute_dedup.h"
+#include "extract/confidence.h"
+#include "extract/extraction.h"
+#include "html/tag_path.h"
+#include "synth/site_gen.h"
+
+namespace akb::extract {
+
+struct TemplateExtractorConfig {
+  /// A path group is boilerplate (template furniture such as nav links and
+  /// footer text) when every one of its distinct texts appears on at least
+  /// this fraction of the site's pages: real labels only occur on the
+  /// subset of pages that render that attribute.
+  double boilerplate_page_fraction = 0.9;
+  /// A path group is a label slot when its mean occurrences per distinct
+  /// text is at least this (labels recur across pages).
+  double min_label_repetition = 2.0;
+  /// Minimum occurrences a group needs before it can be classified at all
+  /// (few pages => no signal; groups below this are skipped).
+  size_t min_group_occurrences = 4;
+  /// Label texts longer than this many words are rejected.
+  size_t max_label_tokens = 4;
+  AttributeDeduper::Options dedup;
+  ConfidenceCriterion confidence;
+};
+
+struct TemplateExtractionStats {
+  size_t pages = 0;
+  size_t path_groups = 0;
+  size_t boilerplate_groups = 0;
+  size_t label_groups = 0;
+  size_t value_groups = 0;
+};
+
+struct TemplateExtraction {
+  std::string class_name;
+  /// Attribute surfaces extracted from label slots (deduplicated).
+  std::vector<ExtractedAttribute> attributes;
+  /// (entity, attribute, value) statements; the entity is the page's <h1>
+  /// heading (template methods have no entity set to link against).
+  std::vector<ExtractedTriple> triples;
+  TemplateExtractionStats stats;
+};
+
+class TemplateBaselineExtractor {
+ public:
+  explicit TemplateBaselineExtractor(TemplateExtractorConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Runs template induction per site and unions the results.
+  TemplateExtraction Extract(const std::vector<synth::WebSite>& sites) const;
+
+ private:
+  TemplateExtractorConfig config_;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_TEMPLATE_EXTRACTOR_H_

@@ -1,0 +1,155 @@
+#include "extract/temporal_extractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <map>
+
+#include "common/string_util.h"
+#include "text/tokenize.h"
+
+namespace akb::extract {
+
+namespace {
+
+// Parses a token as a year within bounds; -1 on failure.
+int ParseYear(const std::string& token, int min_year, int max_year) {
+  if (token.size() != 4 || !IsDigits(token)) return -1;
+  int year = 0;
+  std::from_chars(token.data(), token.data() + token.size(), year);
+  if (year < min_year || year > max_year) return -1;
+  return year;
+}
+
+struct Key {
+  std::string entity;
+  std::string attribute;
+
+  bool operator<(const Key& other) const {
+    if (entity != other.entity) return entity < other.entity;
+    return attribute < other.attribute;
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> TemporalExtractor::PatternSpecs() {
+  return {
+      // the optional "," absorbs the comma after the year
+      "in [T] ?(,) the [A] of [E] was [V]",
+      "[V] became the [A] of [E] in [T]",
+  };
+}
+
+TemporalExtractor::TemporalExtractor(TemporalExtractorConfig config)
+    : config_(std::move(config)) {
+  for (const std::string& spec : PatternSpecs()) {
+    auto pattern = text::Pattern::Parse(spec);
+    assert(pattern.ok());
+    patterns_.push_back(std::move(pattern).value());
+  }
+}
+
+TemporalExtraction TemporalExtractor::Extract(
+    const std::vector<std::string>& documents) const {
+  TemporalExtraction out;
+
+  // (entity, attribute) -> year -> value -> support.
+  std::map<Key, std::map<int, std::map<std::string, size_t>>> cells;
+
+  for (const std::string& document : documents) {
+    for (const std::string& raw : text::SplitSentences(document)) {
+      ++out.sentences_total;
+      std::vector<std::string> tokens = text::TokenizeWords(raw);
+      for (const text::Pattern& pattern : patterns_) {
+        for (const text::PatternMatch& match :
+             pattern.FindAll(tokens, config_.max_phrase_tokens)) {
+          auto t = match.slots.find("T");
+          auto a = match.slots.find("A");
+          auto e = match.slots.find("E");
+          auto v = match.slots.find("V");
+          if (t == match.slots.end() || a == match.slots.end() ||
+              e == match.slots.end() || v == match.slots.end()) {
+            continue;
+          }
+          if (t->second.end - t->second.begin != 1) continue;
+          int year = ParseYear(tokens[t->second.begin], config_.min_year,
+                               config_.max_year);
+          if (year < 0) continue;
+          std::string entity = NormalizeSurface(
+              text::JoinTokens(tokens, e->second.begin, e->second.end));
+          std::string attribute = NormalizeSurface(
+              text::JoinTokens(tokens, a->second.begin, a->second.end));
+          std::string value = NormalizeSurface(
+              text::JoinTokens(tokens, v->second.begin, v->second.end));
+          if (entity.empty() || attribute.empty() || value.empty()) continue;
+          ++out.pattern_hits;
+          ++cells[Key{entity, attribute}][year][value];
+        }
+      }
+    }
+  }
+
+  // --- Majority per (entity, attribute, year), then interval merging.
+  for (const auto& [key, years] : cells) {
+    std::vector<std::pair<int, TemporalObservation>> winners;
+    for (const auto& [year, values] : years) {
+      std::string best;
+      size_t best_support = 0;
+      for (const auto& [value, support] : values) {
+        if (support > best_support ||
+            (support == best_support && value < best)) {
+          best = value;
+          best_support = support;
+        }
+      }
+      if (best_support < config_.min_support) continue;
+      TemporalObservation observation;
+      observation.entity = key.entity;
+      observation.attribute = key.attribute;
+      observation.value = best;
+      observation.year = year;
+      observation.support = best_support;
+      winners.emplace_back(year, observation);
+      out.observations.push_back(std::move(observation));
+    }
+
+    // Merge consecutive years with the same winner into intervals. A gap
+    // (unmentioned year) between equal values is bridged; a value change
+    // closes the interval.
+    TemporalInterval current;
+    bool open = false;
+    for (const auto& [year, observation] : winners) {
+      if (open && observation.value == current.value) {
+        current.end_year = year;
+        continue;
+      }
+      if (open) out.intervals.push_back(current);
+      current.entity = key.entity;
+      current.attribute = key.attribute;
+      current.value = observation.value;
+      current.start_year = year;
+      current.end_year = year;
+      open = true;
+    }
+    if (open) out.intervals.push_back(current);
+  }
+  return out;
+}
+
+std::string TemporalExtraction::ValueAt(const std::string& entity,
+                                        const std::string& attribute,
+                                        int year) const {
+  std::string norm_entity = NormalizeSurface(entity);
+  std::string norm_attribute = NormalizeSurface(attribute);
+  for (const TemporalInterval& interval : intervals) {
+    if (interval.entity == norm_entity &&
+        interval.attribute == norm_attribute &&
+        year >= interval.start_year && year <= interval.end_year) {
+      return interval.value;
+    }
+  }
+  return "";
+}
+
+}  // namespace akb::extract

@@ -1,0 +1,78 @@
+// Temporal knowledge extraction (paper §2.1, "Temporal Knowledge
+// Extractors identify the facts on given relations at different time
+// points").
+//
+// Dated lexical patterns extract (entity, attribute, value, year)
+// quadruples:
+//   "in [T] the [A] of [E] was [V]"
+//   "[V] became the [A] of [E] in [T]"
+// The [T] slot must be a plausible year. Per (entity, attribute, year),
+// conflicting observations are resolved by majority; per (entity,
+// attribute), the year-by-year winners are merged into maximal validity
+// *intervals* — the interval reconstruction the paper calls "more complex"
+// than snapshot extraction.
+#ifndef AKB_EXTRACT_TEMPORAL_EXTRACTOR_H_
+#define AKB_EXTRACT_TEMPORAL_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "text/pattern.h"
+
+namespace akb::extract {
+
+struct TemporalExtractorConfig {
+  int min_year = 1800;
+  int max_year = 2100;
+  size_t max_phrase_tokens = 4;
+  /// Minimum observations for a (entity, attribute, year, value) cell.
+  size_t min_support = 1;
+};
+
+/// One dated observation.
+struct TemporalObservation {
+  std::string entity;
+  std::string attribute;
+  std::string value;
+  int year = 0;
+  size_t support = 0;
+};
+
+/// A reconstructed validity interval.
+struct TemporalInterval {
+  std::string entity;
+  std::string attribute;
+  std::string value;
+  int start_year = 0;
+  int end_year = 0;
+};
+
+struct TemporalExtraction {
+  /// Majority value per (entity, attribute, year).
+  std::vector<TemporalObservation> observations;
+  /// Maximal intervals merged from consecutive years with one value.
+  std::vector<TemporalInterval> intervals;
+  size_t sentences_total = 0;
+  size_t pattern_hits = 0;
+
+  /// The extracted holder for (entity, attribute) at `year`, or "".
+  std::string ValueAt(const std::string& entity, const std::string& attribute,
+                      int year) const;
+};
+
+class TemporalExtractor {
+ public:
+  explicit TemporalExtractor(TemporalExtractorConfig config = {});
+
+  TemporalExtraction Extract(const std::vector<std::string>& documents) const;
+
+  static std::vector<std::string> PatternSpecs();
+
+ private:
+  TemporalExtractorConfig config_;
+  std::vector<text::Pattern> patterns_;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_TEMPORAL_EXTRACTOR_H_

@@ -1,0 +1,251 @@
+#include "extract/text_extractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "text/tokenize.h"
+
+namespace akb::extract {
+
+namespace {
+
+const char kEntityToken[] = "\x01" "ent";
+
+struct EntityIndex {
+  std::unordered_map<std::string, std::vector<size_t>> by_first_token;
+  std::vector<std::vector<std::string>> variants;
+  std::vector<std::string> names;  ///< original name per variant
+};
+
+EntityIndex BuildEntityIndex(const std::vector<std::string>& entity_names) {
+  EntityIndex index;
+  for (const std::string& name : entity_names) {
+    std::vector<std::string> tokens = text::TokenizeWords(name);
+    if (tokens.empty()) continue;
+    auto add = [&](std::vector<std::string> variant) {
+      if (variant.empty()) return;
+      index.by_first_token[variant.front()].push_back(index.variants.size());
+      index.variants.push_back(std::move(variant));
+      index.names.push_back(name);
+    };
+    add(tokens);
+    if (tokens.size() > 1 &&
+        (tokens.front() == "the" || tokens.front() == "a" ||
+         tokens.front() == "an")) {
+      add({tokens.begin() + 1, tokens.end()});
+    }
+  }
+  return index;
+}
+
+// Longest entity mention in `tokens`; fills begin/len/name. SIZE_MAX begin
+// when absent.
+void FindMention(const EntityIndex& index,
+                 const std::vector<std::string>& tokens, size_t* begin,
+                 size_t* len, std::string* name) {
+  *begin = SIZE_MAX;
+  *len = 0;
+  for (size_t pos = 0; pos < tokens.size(); ++pos) {
+    auto it = index.by_first_token.find(tokens[pos]);
+    if (it == index.by_first_token.end()) continue;
+    for (size_t v : it->second) {
+      const auto& variant = index.variants[v];
+      if (pos + variant.size() > tokens.size()) continue;
+      if (variant.size() > *len &&
+          std::equal(variant.begin(), variant.end(), tokens.begin() + pos)) {
+        *begin = pos;
+        *len = variant.size();
+        *name = index.names[v];
+      }
+    }
+  }
+}
+
+std::vector<std::string> Collapse(const std::vector<std::string>& tokens,
+                                  size_t begin, size_t len) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size() - len + 1);
+  out.insert(out.end(), tokens.begin(), tokens.begin() + begin);
+  out.push_back(kEntityToken);
+  out.insert(out.end(), tokens.begin() + begin + len, tokens.end());
+  return out;
+}
+
+bool SpanContainsEntity(const std::vector<std::string>& tokens,
+                        const text::SlotSpan& span) {
+  for (size_t i = span.begin; i < span.end; ++i) {
+    if (tokens[i] == kEntityToken) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> WebTextExtractor::CandidateSpecs() {
+  return {
+      // The productive family (matches how facts are verbalized).
+      "the [A] of [E] is [V]",
+      "[E] 's [A] is [V]",
+      "[V] is the [A] of [E]",
+      "[E] has a [A] of [V]",
+      // Decoys: plausible shapes that should fail pattern learning on a
+      // corpus that does not verbalize facts this way.
+      "[E] was [A] by [V]",
+      "the [A] at [E] costs [V]",
+      "[A] near [E]",
+  };
+}
+
+WebTextExtractor::WebTextExtractor(TextExtractorConfig config)
+    : config_(std::move(config)) {
+  for (const std::string& spec : CandidateSpecs()) {
+    auto pattern =
+        text::Pattern::Parse(ReplaceAll(spec, "[E]", kEntityToken));
+    assert(pattern.ok());
+    candidates_.push_back(std::move(pattern).value());
+    display_specs_.push_back(spec);
+  }
+}
+
+TextExtraction WebTextExtractor::Extract(
+    const std::string& class_name, const std::vector<std::string>& documents,
+    const std::vector<std::string>& source_names,
+    const std::vector<std::string>& entity_names,
+    const std::vector<std::string>& seed_attributes) const {
+  TextExtraction out;
+  out.class_name = class_name;
+
+  EntityIndex index = BuildEntityIndex(entity_names);
+  AttributeDeduper seed_dedup(config_.dedup);
+  for (const std::string& seed : seed_attributes) seed_dedup.Add(seed);
+
+  // Pre-tokenize sentences (shared by both phases).
+  struct Sentence {
+    std::vector<std::string> collapsed;
+    std::string entity;
+    size_t doc = 0;
+  };
+  std::vector<Sentence> sentences;
+  for (size_t d = 0; d < documents.size(); ++d) {
+    for (const std::string& raw : text::SplitSentences(documents[d])) {
+      std::vector<std::string> tokens = text::TokenizeWords(raw);
+      ++out.sentences_total;
+      size_t begin, len;
+      std::string entity;
+      FindMention(index, tokens, &begin, &len, &entity);
+      if (begin == SIZE_MAX) continue;
+      Sentence s;
+      s.collapsed = Collapse(tokens, begin, len);
+      s.entity = std::move(entity);
+      s.doc = d;
+      sentences.push_back(std::move(s));
+    }
+  }
+
+  // --- Phase 1: learn patterns from seed co-occurrences.
+  std::vector<size_t> pattern_support(candidates_.size(), 0);
+  for (const Sentence& s : sentences) {
+    for (size_t p = 0; p < candidates_.size(); ++p) {
+      for (const text::PatternMatch& match :
+           candidates_[p].FindAll(s.collapsed, config_.max_slot_tokens)) {
+        auto a = match.slots.find("A");
+        if (a == match.slots.end()) continue;
+        if (SpanContainsEntity(s.collapsed, a->second)) continue;
+        std::string a_text =
+            text::JoinTokens(s.collapsed, a->second.begin, a->second.end);
+        if (seed_dedup.Find(a_text) != SIZE_MAX) {
+          ++pattern_support[p];
+          break;
+        }
+      }
+    }
+  }
+  std::vector<size_t> learned;
+  for (size_t p = 0; p < candidates_.size(); ++p) {
+    if (pattern_support[p] >= config_.min_pattern_support) {
+      learned.push_back(p);
+      out.patterns.push_back(
+          LearnedPattern{display_specs_[p], pattern_support[p]});
+    }
+  }
+
+  // --- Phase 2: apply learned patterns corpus-wide.
+  AttributeDeduper dedup = seed_dedup;  // grows with discoveries
+  size_t input_clusters = dedup.num_clusters();
+  struct Candidate {
+    std::string surface;
+    size_t support = 0;
+    std::unordered_set<std::string> entities;
+  };
+  std::map<size_t, Candidate> candidates_found;
+
+  for (const Sentence& s : sentences) {
+    bool matched = false;
+    for (size_t p : learned) {
+      for (const text::PatternMatch& match :
+           candidates_[p].FindAll(s.collapsed, config_.max_slot_tokens)) {
+        auto a = match.slots.find("A");
+        if (a == match.slots.end()) continue;
+        if (SpanContainsEntity(s.collapsed, a->second)) continue;
+        std::string a_text =
+            text::JoinTokens(s.collapsed, a->second.begin, a->second.end);
+        auto a_tokens_count = a->second.end - a->second.begin;
+        if (a_tokens_count > config_.max_attribute_tokens) continue;
+        matched = true;
+
+        size_t cluster = dedup.Add(a_text);
+        if (cluster >= input_clusters) {
+          Candidate& cand = candidates_found[cluster];
+          if (cand.surface.empty()) cand.surface = a_text;
+          ++cand.support;
+          cand.entities.insert(s.entity);
+        }
+
+        auto v = match.slots.find("V");
+        if (v != match.slots.end() &&
+            !SpanContainsEntity(s.collapsed, v->second)) {
+          ExtractedTriple triple;
+          triple.class_name = class_name;
+          triple.entity = s.entity;
+          triple.attribute = dedup.representative(cluster);
+          triple.value =
+              text::JoinTokens(s.collapsed, v->second.begin, v->second.end);
+          triple.source = s.doc < source_names.size()
+                              ? source_names[s.doc]
+                              : "text_doc_" + std::to_string(s.doc);
+          triple.extractor = rdf::ExtractorKind::kWebText;
+          triple.confidence =
+              config_.confidence.Score(rdf::ExtractorKind::kWebText, 1);
+          out.triples.push_back(std::move(triple));
+        }
+      }
+    }
+    if (matched) ++out.sentences_matched;
+  }
+
+  for (const auto& [cluster, cand] : candidates_found) {
+    if (cand.support < config_.min_attribute_support) continue;
+    ExtractedAttribute attribute;
+    attribute.class_name = class_name;
+    attribute.surface = cand.surface;
+    attribute.canonical = dedup.key(cluster);
+    attribute.support = cand.support;
+    attribute.source = "web_text";
+    attribute.extractor = rdf::ExtractorKind::kWebText;
+    attribute.confidence = config_.confidence.Score(
+        rdf::ExtractorKind::kWebText, cand.support);
+    out.new_attributes.push_back(std::move(attribute));
+  }
+  std::sort(out.new_attributes.begin(), out.new_attributes.end(),
+            [](const ExtractedAttribute& a, const ExtractedAttribute& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.canonical < b.canonical;
+            });
+  return out;
+}
+
+}  // namespace akb::extract

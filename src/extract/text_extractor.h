@@ -1,0 +1,80 @@
+// Web-text knowledge extraction (paper §3.1).
+//
+// "For Web texts, we learn regular lexical and parse patterns (which are
+// unified syntax rules over the Web) from sentences and adopt these
+// patterns directly to conduct knowledge extraction."
+//
+// The extractor validates a family of candidate lexical patterns against
+// sentences in which both a known entity and a seed attribute occur; a
+// pattern is *learned* once it explains at least `min_pattern_support` such
+// seed sentences. Learned patterns are then applied corpus-wide: the [A]
+// slot yields new attributes, the [V] slot yields (entity, attribute,
+// value) triples.
+#ifndef AKB_EXTRACT_TEXT_EXTRACTOR_H_
+#define AKB_EXTRACT_TEXT_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "extract/attribute_dedup.h"
+#include "extract/confidence.h"
+#include "extract/extraction.h"
+#include "text/pattern.h"
+
+namespace akb::extract {
+
+struct TextExtractorConfig {
+  /// Seed sentences a candidate pattern must explain to be learned.
+  size_t min_pattern_support = 3;
+  /// Distinct sentences needed before a non-seed attribute is reported.
+  size_t min_attribute_support = 2;
+  size_t max_attribute_tokens = 4;
+  size_t max_slot_tokens = 5;
+  AttributeDeduper::Options dedup;
+  ConfidenceCriterion confidence;
+};
+
+struct LearnedPattern {
+  std::string spec;
+  size_t seed_support = 0;  ///< seed sentences it explained during learning
+};
+
+struct TextExtraction {
+  std::string class_name;
+  std::vector<LearnedPattern> patterns;
+  /// Attributes not in the seed set, found by applying learned patterns.
+  std::vector<ExtractedAttribute> new_attributes;
+  std::vector<ExtractedTriple> triples;
+  size_t sentences_total = 0;
+  size_t sentences_matched = 0;
+};
+
+class WebTextExtractor {
+ public:
+  explicit WebTextExtractor(TextExtractorConfig config = {});
+
+  /// Learns patterns from seed co-occurrences in `documents` (each one
+  /// source text), then applies them. `source_names` parallels `documents`
+  /// (provenance); pass an empty vector to autoname.
+  TextExtraction Extract(const std::string& class_name,
+                         const std::vector<std::string>& documents,
+                         const std::vector<std::string>& source_names,
+                         const std::vector<std::string>& entity_names,
+                         const std::vector<std::string>& seed_attributes)
+      const;
+
+  /// The candidate pattern family (superset of what gets learned),
+  /// exposed for tests.
+  static std::vector<std::string> CandidateSpecs();
+
+ private:
+  TextExtractorConfig config_;
+  std::vector<text::Pattern> candidates_;
+  /// Original specs (with "[E]") for reporting; candidates_ are compiled
+  /// with the entity placeholder substituted.
+  std::vector<std::string> display_specs_;
+};
+
+}  // namespace akb::extract
+
+#endif  // AKB_EXTRACT_TEXT_EXTRACTOR_H_

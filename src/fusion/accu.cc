@@ -1,0 +1,141 @@
+#include "fusion/accu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace akb::fusion {
+
+FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
+  FusionOutput out;
+  out.method = config.popularity ? "POPACCU" : "ACCU";
+  out.beliefs.resize(table.num_items());
+
+  size_t num_sources = table.num_sources();
+  std::vector<double> accuracy(num_sources, config.initial_accuracy);
+  for (size_t s = 0;
+       s < config.initial_source_accuracies.size() && s < num_sources; ++s) {
+    accuracy[s] = std::clamp(config.initial_source_accuracies[s],
+                             config.min_accuracy, config.max_accuracy);
+  }
+  const auto& by_item = table.claims_of_item();
+  const auto& claims = table.claims();
+
+  // Per-claim posterior belief of the claimed value (updated each round).
+  std::vector<double> claim_belief(claims.size(), 0.5);
+
+  // Global value popularity (for POPACCU's false-value distribution).
+  std::map<ValueId, double> popularity;
+  if (config.popularity) {
+    for (const Claim& claim : claims) popularity[claim.value] += 1.0;
+    double total = 0;
+    for (auto& [v, c] : popularity) total += c;
+    for (auto& [v, c] : popularity) c /= std::max(1.0, total);
+  }
+
+  auto claim_weight = [&](const Claim& claim) {
+    double w = config.use_confidence ? claim.confidence : 1.0;
+    if (claim.source < config.source_weights.size()) {
+      w *= config.source_weights[claim.source];
+    }
+    return std::clamp(w, 0.0, 1.0);
+  };
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // --- Step 1: value beliefs per item.
+    for (ItemId i = 0; i < table.num_items(); ++i) {
+      if (i >= by_item.size() || by_item[i].empty()) continue;
+      std::map<ValueId, double> score;  // log-odds accumulator
+      for (size_t ci : by_item[i]) {
+        const Claim& claim = claims[ci];
+        double a = std::clamp(accuracy[claim.source], config.min_accuracy,
+                              config.max_accuracy);
+        double n = config.false_values;
+        if (config.popularity) {
+          // Popularity-weighted effective n: popular values are easier to
+          // claim falsely, so they earn a weaker vote.
+          double pop = popularity.count(claim.value)
+                           ? popularity.at(claim.value)
+                           : 1e-6;
+          n = std::clamp(1.0 / std::max(pop, 1e-6), 1.5, 1e4);
+        }
+        double vote = std::log(n * a / (1.0 - a));
+        score[claim.value] += claim_weight(claim) * vote;
+      }
+      // Softmax over candidate values.
+      double max_score = -1e300;
+      for (const auto& [v, s] : score) max_score = std::max(max_score, s);
+      double z = 0.0;
+      for (const auto& [v, s] : score) z += std::exp(s - max_score);
+      auto& ranked = out.beliefs[i];
+      ranked.clear();
+      for (const auto& [v, s] : score) {
+        ranked.emplace_back(v, std::exp(s - max_score) / z);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      for (size_t ci : by_item[i]) {
+        for (const auto& [v, p] : ranked) {
+          if (v == claims[ci].value) {
+            claim_belief[ci] = p;
+            break;
+          }
+        }
+      }
+    }
+
+    // --- Step 2: source accuracies.
+    double max_delta = 0.0;
+    const auto& by_source = table.claims_of_source();
+    for (SourceId s = 0; s < num_sources; ++s) {
+      if (s >= by_source.size() || by_source[s].empty()) continue;
+      double sum = 0.0;
+      for (size_t ci : by_source[s]) sum += claim_belief[ci];
+      double updated = sum / static_cast<double>(by_source[s].size());
+      updated = std::clamp(updated, config.min_accuracy, config.max_accuracy);
+      max_delta = std::max(max_delta, std::fabs(updated - accuracy[s]));
+      accuracy[s] = updated;
+    }
+    if (max_delta < config.epsilon) break;
+  }
+
+  out.source_quality = std::move(accuracy);
+  return out;
+}
+
+FusionOutput PopAccu(const ClaimTable& table, AccuConfig config) {
+  config.popularity = true;
+  return Accu(table, config);
+}
+
+std::vector<double> EstimateInitialAccuracies(
+    const ClaimTable& table,
+    const std::function<bool(const std::string& item,
+                             const std::string& value)>& is_true,
+    double sample_fraction, double fallback) {
+  std::vector<double> accuracies(table.num_sources(), fallback);
+  const auto& by_source = table.claims_of_source();
+  for (SourceId s = 0; s < table.num_sources() && s < by_source.size();
+       ++s) {
+    const auto& claim_ids = by_source[s];
+    size_t sample = static_cast<size_t>(
+        sample_fraction * static_cast<double>(claim_ids.size()) + 0.5);
+    if (sample == 0) continue;
+    size_t correct = 0;
+    for (size_t k = 0; k < sample; ++k) {
+      const Claim& claim = table.claims()[claim_ids[k]];
+      if (is_true(table.item_name(claim.item),
+                  table.value_name(claim.value))) {
+        ++correct;
+      }
+    }
+    accuracies[s] = static_cast<double>(correct) /
+                    static_cast<double>(sample);
+  }
+  return accuracies;
+}
+
+}  // namespace akb::fusion

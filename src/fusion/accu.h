@@ -1,0 +1,73 @@
+// ACCU and POPACCU — accuracy-aware Bayesian fusion (Dong et al., PVLDB'09;
+// adapted to knowledge fusion in Dong et al., VLDB'14, which the paper
+// builds on).
+//
+// ACCU iterates two steps to a fixed point:
+//   1. value belief: P(v | claims) via Bayes, where a source with accuracy
+//      A votes ln(n A / (1 - A)) for its value (n = number of false values,
+//      assumed uniformly likely);
+//   2. source accuracy: A_s = mean belief of the values s claims.
+//
+// POPACCU replaces the uniform-false-value assumption with the observed
+// popularity of each false value, making it robust when wrong values are
+// correlated (e.g. systematic extraction errors).
+//
+// Both can weight votes by extraction confidence and by external per-source
+// weights (used by the correlation-aware pipeline to discount copiers).
+#ifndef AKB_FUSION_ACCU_H_
+#define AKB_FUSION_ACCU_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fusion/model.h"
+
+namespace akb::fusion {
+
+struct AccuConfig {
+  /// Initial accuracy of every source.
+  double initial_accuracy = 0.8;
+  /// Optional per-source initial accuracies (overrides initial_accuracy
+  /// where set; sources beyond the vector use the scalar). Dong et al.'s
+  /// knowledge-fusion adaptation seeds these from a labeled gold-standard
+  /// sample "rather than simply setting some default values" (§2.2) —
+  /// estimate each source's accuracy on the sample, then iterate.
+  std::vector<double> initial_source_accuracies;
+  /// Accuracy is clamped to [min_accuracy, max_accuracy] to keep the log
+  /// odds finite.
+  double min_accuracy = 0.05;
+  double max_accuracy = 0.99;
+  /// Assumed number of false values per item (ACCU's n).
+  double false_values = 10.0;
+  size_t max_iterations = 20;
+  /// Convergence threshold on max accuracy change.
+  double epsilon = 1e-4;
+  /// Popularity-weighted false values (POPACCU) instead of uniform.
+  bool popularity = false;
+  /// Weight claims by extraction confidence.
+  bool use_confidence = false;
+  /// Optional per-source vote dampening in [0,1] (e.g. copy-detection
+  /// independence weights); empty = all 1.
+  std::vector<double> source_weights;
+};
+
+FusionOutput Accu(const ClaimTable& table, const AccuConfig& config = {});
+
+/// Convenience wrapper with config.popularity = true.
+FusionOutput PopAccu(const ClaimTable& table, AccuConfig config = {});
+
+/// Estimates per-source accuracies from a labeled gold-standard sample:
+/// `is_true(item, value)` labels a claim; only the first `sample_fraction`
+/// of each source's claims is consulted (the gold standard covers a
+/// sample, not the corpus). Sources with no labeled claims fall back to
+/// `fallback`. Feed the result into AccuConfig::initial_source_accuracies.
+std::vector<double> EstimateInitialAccuracies(
+    const ClaimTable& table,
+    const std::function<bool(const std::string& item,
+                             const std::string& value)>& is_true,
+    double sample_fraction = 0.2, double fallback = 0.8);
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_ACCU_H_

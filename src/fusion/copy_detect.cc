@@ -1,0 +1,131 @@
+#include "fusion/copy_detect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace akb::fusion {
+
+CopyDetection DetectCopying(const ClaimTable& table,
+                            const CopyDetectConfig& config) {
+  size_t num_sources = table.num_sources();
+  CopyDetection out;
+  out.dependence.assign(num_sources, std::vector<double>(num_sources, 0.0));
+  out.independence.assign(num_sources, 1.0);
+
+  // Per-source item -> claimed value (first claim wins; duplicates were
+  // collapsed by the table).
+  std::vector<std::unordered_map<ItemId, ValueId>> source_claims(num_sources);
+  for (const Claim& claim : table.claims()) {
+    source_claims[claim.source].emplace(claim.item, claim.value);
+  }
+
+  // Majority value per item as the truth proxy.
+  std::vector<ValueId> majority(table.num_items(),
+                                static_cast<ValueId>(-1));
+  const auto& by_item = table.claims_of_item();
+  for (ItemId i = 0; i < table.num_items() && i < by_item.size(); ++i) {
+    std::map<ValueId, size_t> votes;
+    for (size_t ci : by_item[i]) ++votes[table.claims()[ci].value];
+    size_t best = 0;
+    for (const auto& [value, count] : votes) {
+      if (count > best) {
+        best = count;
+        majority[i] = value;
+      }
+    }
+  }
+
+  double n = std::max(1.5, config.false_values);
+  double c = std::clamp(config.copy_rate, 1e-3, 1.0 - 1e-3);
+
+  // Calibrate each source's error rate from its majority-agreement rate
+  // (conditioning on source accuracy, after Dong et al.): without this, two
+  // honest high-accuracy sources agree more often than a fixed error rate
+  // predicts and would be misread as copiers.
+  std::vector<double> source_error(num_sources, config.error_rate);
+  for (SourceId s = 0; s < num_sources; ++s) {
+    size_t agree = 0, total = 0;
+    for (const auto& [item, value] : source_claims[s]) {
+      ++total;
+      if (value == majority[item]) ++agree;
+    }
+    if (total >= config.min_common_items) {
+      source_error[s] =
+          1.0 - static_cast<double>(agree) / static_cast<double>(total);
+    }
+    source_error[s] = std::clamp(source_error[s], 0.02, 0.5);
+  }
+
+  double prior = std::clamp(config.prior_dependence, 1e-6, 1.0 - 1e-6);
+  double prior_log_odds = std::log(prior / (1 - prior));
+
+  for (SourceId a = 0; a < num_sources; ++a) {
+    for (SourceId b = a + 1; b < num_sources; ++b) {
+      const auto& ca = source_claims[a];
+      const auto& cb = source_claims[b];
+      const auto& smaller = ca.size() <= cb.size() ? ca : cb;
+      const auto& larger = ca.size() <= cb.size() ? cb : ca;
+
+      // Pairwise likelihoods with the calibrated error rate.
+      double eps = std::clamp(
+          0.5 * (source_error[a] + source_error[b]), 0.02, 0.5);
+      double p_at_i = (1 - eps) * (1 - eps);  // agree on true
+      double p_af_i = eps * eps / n;          // agree on false
+      double p_d_i = std::max(1e-9, 1.0 - p_at_i - p_af_i);
+      double p_at_d = c * (1 - eps) + (1 - c) * p_at_i;
+      double p_af_d = c * eps + (1 - c) * p_af_i;
+      double p_d_d = std::max(1e-9, (1 - c) * p_d_i);
+
+      size_t common = 0;
+      double log_odds = prior_log_odds;
+      for (const auto& [item, value] : smaller) {
+        auto it = larger.find(item);
+        if (it == larger.end()) continue;
+        ++common;
+        if (value == it->second) {
+          if (value == majority[item]) {
+            log_odds += std::log(p_at_d / p_at_i);
+          } else {
+            log_odds += std::log(p_af_d / p_af_i);
+          }
+        } else {
+          log_odds += std::log(p_d_d / p_d_i);
+        }
+      }
+      double posterior = prior;
+      if (common >= config.min_common_items) {
+        log_odds = std::clamp(log_odds, -30.0, 30.0);
+        double odds = std::exp(log_odds);
+        posterior = odds / (1.0 + odds);
+      }
+      out.dependence[a][b] = posterior;
+      out.dependence[b][a] = posterior;
+    }
+  }
+
+  // Independence weights: for each *confidently* dependent pair, discount
+  // the source with fewer claims (the presumed copier; the larger source is
+  // kept as the original — ties discount the higher id). Pairs left at the
+  // prior (too little overlap or weak evidence) must not discount at all:
+  // multiplying a prior-level haircut across dozens of partners would
+  // crush every small source.
+  double confident = std::min(1.0, prior + 0.25);
+  for (SourceId a = 0; a < num_sources; ++a) {
+    for (SourceId b = 0; b < num_sources; ++b) {
+      if (a == b) continue;
+      if (out.dependence[a][b] < confident) continue;
+      bool a_is_copier =
+          source_claims[a].size() < source_claims[b].size() ||
+          (source_claims[a].size() == source_claims[b].size() && a > b);
+      if (a_is_copier) {
+        out.independence[a] *= 1.0 - c * out.dependence[a][b];
+      }
+    }
+    out.independence[a] = std::max(out.independence[a], 1e-3);
+  }
+  return out;
+}
+
+}  // namespace akb::fusion

@@ -1,0 +1,58 @@
+// Source-correlation (copy) detection, after Dong et al. (PVLDB'10), which
+// the paper proposes to apply to both Web sources and extractors
+// ("Considering inter-Web sources and inter-extractors correlations",
+// §3.2).
+//
+// Key insight: two independent sources agree on true values often (truth is
+// unique) but agree on *false* values rarely (there are many ways to be
+// wrong); shared false values are therefore strong evidence of copying.
+// For each source pair we compute the Bayesian posterior of dependence from
+// their agreement profile (agree-on-likely-true / agree-on-likely-false /
+// disagree), using the majority value per item as the truth proxy.
+//
+// The per-source *independence weight* down-weights sources whose claims
+// are largely explained by copying; feeding these weights into VOTE/ACCU
+// yields correlation-aware fusion.
+#ifndef AKB_FUSION_COPY_DETECT_H_
+#define AKB_FUSION_COPY_DETECT_H_
+
+#include <vector>
+
+#include "fusion/model.h"
+
+namespace akb::fusion {
+
+struct CopyDetectConfig {
+  /// Prior probability that an arbitrary source pair is dependent.
+  double prior_dependence = 0.1;
+  /// Assumed copy rate of a dependent pair (fraction of shared items where
+  /// the copier reproduces the target).
+  double copy_rate = 0.8;
+  /// Assumed error rate of an independent source.
+  double error_rate = 0.2;
+  /// Assumed number of distinct false values per item.
+  double false_values = 10.0;
+  /// Pairs sharing fewer items than this are left at the prior.
+  size_t min_common_items = 5;
+};
+
+struct CopyDetection {
+  /// Pairwise posterior dependence probabilities, row-major, symmetric,
+  /// diagonal 0.
+  std::vector<std::vector<double>> dependence;
+  /// Per-source independence weight in (0, 1]:
+  /// w_s = prod over later-ordered partners (1 - copy_rate * P(dep)).
+  std::vector<double> independence;
+
+  double Dependence(SourceId a, SourceId b) const {
+    return dependence[a][b];
+  }
+};
+
+/// Analyzes the claim table. O(S^2 * shared items).
+CopyDetection DetectCopying(const ClaimTable& table,
+                            const CopyDetectConfig& config = {});
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_COPY_DETECT_H_

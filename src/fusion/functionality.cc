@@ -1,0 +1,76 @@
+#include "fusion/functionality.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace akb::fusion {
+
+std::string LastSegmentAttribute(const std::string& item_name) {
+  size_t pos = item_name.rfind('|');
+  if (pos == std::string::npos) return item_name;
+  return item_name.substr(pos + 1);
+}
+
+double FunctionalityEstimate::DegreeOf(const std::string& attribute) const {
+  auto it = degree.find(attribute);
+  return it == degree.end() ? 1.0 : it->second;
+}
+
+FunctionalityEstimate EstimateFunctionality(
+    const ClaimTable& table, const AttributeOfItem& attribute_of) {
+  FunctionalityEstimate out;
+
+  const auto& by_item = table.claims_of_item();
+  const auto& claims = table.claims();
+
+  // attribute -> (sum of item degrees, item count)
+  std::unordered_map<std::string, std::pair<double, size_t>> accumulator;
+
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    if (i >= by_item.size() || by_item[i].empty()) continue;
+    // Values claimed per source on this item.
+    std::map<SourceId, size_t> values_per_source;
+    for (size_t ci : by_item[i]) {
+      ++values_per_source[claims[ci].source];
+    }
+    double sum = 0.0;
+    for (const auto& [source, count] : values_per_source) {
+      sum += 1.0 / static_cast<double>(count);
+    }
+    double item_degree = sum / static_cast<double>(values_per_source.size());
+    auto& [total, count] = accumulator[attribute_of(table.item_name(i))];
+    total += item_degree;
+    ++count;
+  }
+
+  for (const auto& [attribute, acc] : accumulator) {
+    out.degree[attribute] = acc.first / static_cast<double>(acc.second);
+    out.items[attribute] = acc.second;
+  }
+  return out;
+}
+
+FusionOutput HybridFuse(const ClaimTable& table,
+                        const HybridFusionConfig& config,
+                        const AttributeOfItem& attribute_of) {
+  FusionOutput out;
+  out.method = "HYBRID";
+  out.beliefs.resize(table.num_items());
+
+  FunctionalityEstimate estimate = EstimateFunctionality(table, attribute_of);
+
+  FusionOutput accu = Accu(table, config.accu);
+  FusionOutput ltm = MultiTruth(table, config.multi_truth);
+
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    double degree = estimate.DegreeOf(attribute_of(table.item_name(i)));
+    const FusionOutput& chosen =
+        degree >= config.functional_threshold ? accu : ltm;
+    if (i < chosen.beliefs.size()) out.beliefs[i] = chosen.beliefs[i];
+  }
+  out.source_quality = std::move(accu.source_quality);
+  return out;
+}
+
+}  // namespace akb::fusion

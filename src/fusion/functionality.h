@@ -1,0 +1,72 @@
+// Attribute functionality degree and hybrid fusion (§3.2).
+//
+// "Very few works have considered the functionality degree of attributes."
+// — the paper's observation that fusion must know whether an attribute is
+// functional (one truth: birth place at a fixed granularity, capital) or
+// non-functional (many truths: cast, spoken languages) to pick the right
+// truth model. Treating a multi-valued attribute as single-truth drops
+// recall; treating a functional one as multi-truth admits false values.
+//
+// The estimator computes, per attribute, the *functionality degree*: the
+// mean concentration of per-source claims per (entity, attribute) item.
+// Sources list one value for functional attributes and several for
+// non-functional ones, so
+//
+//   degree(a) = mean over items of a of (items' mean 1/|values per source|)
+//
+// is ~1.0 for functional attributes and < 1 for multi-valued ones.
+// HybridFuse routes each item by its attribute's degree: ACCU (competitive,
+// single truth) above the threshold, LTM (independent truths) below.
+#ifndef AKB_FUSION_FUNCTIONALITY_H_
+#define AKB_FUSION_FUNCTIONALITY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "fusion/accu.h"
+#include "fusion/model.h"
+#include "fusion/multi_truth.h"
+
+namespace akb::fusion {
+
+/// Maps an item to its attribute group. The pipeline's item keys are
+/// "class|entity|attribute key"; the default grouper takes everything after
+/// the last '|'. Items mapping to "" form one anonymous group.
+using AttributeOfItem = std::function<std::string(const std::string&)>;
+
+/// The default grouper for "a|b|c"-style item keys (last segment).
+std::string LastSegmentAttribute(const std::string& item_name);
+
+struct FunctionalityEstimate {
+  /// attribute key -> functionality degree in (0, 1].
+  std::unordered_map<std::string, double> degree;
+  /// attribute key -> supporting item count.
+  std::unordered_map<std::string, size_t> items;
+
+  /// Degree of an attribute (1.0 when unseen: assume functional).
+  double DegreeOf(const std::string& attribute) const;
+};
+
+/// Estimates per-attribute functionality degrees from the claim table.
+FunctionalityEstimate EstimateFunctionality(
+    const ClaimTable& table,
+    const AttributeOfItem& attribute_of = LastSegmentAttribute);
+
+struct HybridFusionConfig {
+  /// Attributes with degree >= this are treated as functional.
+  double functional_threshold = 0.8;
+  AccuConfig accu;
+  MultiTruthConfig multi_truth;
+};
+
+/// Routes each item to ACCU or LTM by its attribute's functionality
+/// degree; beliefs are merged into one output. source_quality holds the
+/// ACCU-estimated accuracies.
+FusionOutput HybridFuse(
+    const ClaimTable& table, const HybridFusionConfig& config = {},
+    const AttributeOfItem& attribute_of = LastSegmentAttribute);
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_FUNCTIONALITY_H_

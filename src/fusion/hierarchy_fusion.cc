@@ -1,0 +1,129 @@
+#include "fusion/hierarchy_fusion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+#include "fusion/vote.h"
+
+namespace akb::fusion {
+
+FusionOutput HierarchyFuse(const ClaimTable& table,
+                           const synth::ValueHierarchy& hierarchy,
+                           const HierarchyFusionConfig& config) {
+  FusionOutput out;
+  out.method = "HIER";
+  out.beliefs.resize(table.num_items());
+
+  // Pre-resolve every distinct value string against the hierarchy.
+  std::vector<synth::HierarchyNodeId> node_of_value(table.num_values(),
+                                                    synth::kNoHierarchyNode);
+  for (ValueId v = 0; v < table.num_values(); ++v) {
+    const std::string& name = table.value_name(v);
+    synth::HierarchyNodeId node = hierarchy.Find(name);
+    if (node == synth::kNoHierarchyNode) {
+      // Extractors may have case-normalized the value; hierarchy names are
+      // title case.
+      node = hierarchy.Find(TitleCase(ToLower(name)));
+    }
+    node_of_value[v] = node;
+  }
+
+  const auto& by_item = table.claims_of_item();
+  const auto& claims = table.claims();
+
+  auto claim_weight = [&](const Claim& claim) {
+    double w = config.use_confidence ? claim.confidence : 1.0;
+    if (claim.source < config.source_weights.size()) {
+      w *= config.source_weights[claim.source];
+    }
+    return w;
+  };
+
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    if (i >= by_item.size() || by_item[i].empty()) continue;
+
+    // Split claims into hierarchical and flat.
+    double total = 0.0;
+    std::map<synth::HierarchyNodeId, double> support;
+    std::map<ValueId, double> flat_votes;
+    double flat_total = 0.0;
+    for (size_t ci : by_item[i]) {
+      const Claim& claim = claims[ci];
+      double w = claim_weight(claim);
+      total += w;
+      synth::HierarchyNodeId node = node_of_value[claim.value];
+      if (node == synth::kNoHierarchyNode) {
+        flat_votes[claim.value] += w;
+        flat_total += w;
+        continue;
+      }
+      // A claim supports its node and every ancestor on the root chain.
+      for (synth::HierarchyNodeId n : hierarchy.RootChain(node)) {
+        support[n] += w;
+      }
+    }
+
+    auto& ranked = out.beliefs[i];
+    if (support.empty()) {
+      // Pure flat item: plain (weighted) vote.
+      for (const auto& [value, weight] : flat_votes) {
+        ranked.emplace_back(value,
+                            flat_total > 0 ? weight / flat_total : 0.0);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      continue;
+    }
+
+    // Accepted chain: nodes with enough support, deepest first.
+    std::vector<std::pair<synth::HierarchyNodeId, double>> accepted;
+    for (const auto& [node, weight] : support) {
+      if (weight >= config.support_fraction * total) {
+        accepted.emplace_back(node, weight / total);
+      }
+    }
+    std::sort(accepted.begin(), accepted.end(),
+              [&](const auto& a, const auto& b) {
+                size_t da = hierarchy.depth(a.first);
+                size_t db = hierarchy.depth(b.first);
+                if (da != db) return da > db;  // deepest (most specific) first
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    for (const auto& [node, belief] : accepted) {
+      ValueId v;
+      if (table.FindValue(hierarchy.name(node), &v)) {
+        ranked.emplace_back(v, belief);
+      }
+    }
+    if (ranked.empty()) {
+      // Nothing met the threshold: report the best-supported node among
+      // the *claimed* values (an unclaimed ancestor cannot be emitted —
+      // its surface form never entered the value dictionary).
+      ValueId best_value = 0;
+      double best_score = -1.0;
+      for (size_t ci : by_item[i]) {
+        const Claim& claim = claims[ci];
+        synth::HierarchyNodeId node = node_of_value[claim.value];
+        if (node == synth::kNoHierarchyNode) continue;
+        double score = support[node] + 1e-6 * static_cast<double>(
+                                                  hierarchy.depth(node));
+        if (score > best_score) {
+          best_score = score;
+          best_value = claim.value;
+        }
+      }
+      if (best_score >= 0.0) {
+        ranked.emplace_back(
+            best_value, support[node_of_value[best_value]] / total);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace akb::fusion

@@ -1,0 +1,45 @@
+// Hierarchy-aware fusion (paper §3.2, "Considering hierarchical value
+// spaces").
+//
+// "Because of such value hierarchy, even for data items with functional
+// attributes, there can be multiple truths (e.g. (Susie Fang, birth place,
+// China) and (Susie Fang, birth place, Wuhan) can both be true). [Existing
+// methods] simply consider the values represented at multiple levels of
+// abstraction as conflicting values."
+//
+// The resolver maps claimed values onto a value hierarchy. A claim of a
+// value supports every node on that value's root chain (claiming "Wuhan"
+// also supports "Hubei" and "China"), so generalized and specific claims
+// reinforce instead of conflict. The reported truth is the *deepest* node
+// whose accumulated support reaches `support_fraction` of the item's total
+// claim weight; coarser ancestors are also returned (they are true too),
+// with beliefs equal to their support share. Items whose values are not in
+// the hierarchy fall back to plain voting.
+#ifndef AKB_FUSION_HIERARCHY_FUSION_H_
+#define AKB_FUSION_HIERARCHY_FUSION_H_
+
+#include "fusion/model.h"
+#include "synth/hierarchy.h"
+
+namespace akb::fusion {
+
+struct HierarchyFusionConfig {
+  /// Fraction of an item's total claim weight a node must accumulate to be
+  /// accepted as (part of) the truth chain.
+  double support_fraction = 0.5;
+  /// Weight claims by extraction confidence.
+  bool use_confidence = false;
+  /// Optional per-source weights (copy-detection output).
+  std::vector<double> source_weights;
+};
+
+/// `hierarchy` must outlive the call. Returns, per item, the accepted truth
+/// chain (deepest node first), or the vote result for non-hierarchical
+/// items.
+FusionOutput HierarchyFuse(const ClaimTable& table,
+                           const synth::ValueHierarchy& hierarchy,
+                           const HierarchyFusionConfig& config = {});
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_HIERARCHY_FUSION_H_

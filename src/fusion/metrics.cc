@@ -1,0 +1,108 @@
+#include "fusion/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace akb::fusion {
+
+FusionMetrics Evaluate(const FusionOutput& output, const ClaimTable& table,
+                       const synth::FusionDataset& dataset,
+                       double truth_threshold) {
+  FusionMetrics metrics;
+  metrics.method = output.method;
+
+  size_t asserted = 0, correct = 0, leaf_correct = 0;
+  size_t findable_truths = 0, found_truths = 0;
+  size_t hier_asserted = 0;
+  double depth_sum = 0.0;
+
+  for (size_t d = 0; d < dataset.items.size(); ++d) {
+    const auto& item = dataset.items[d];
+    ItemId id;
+    if (!table.FindItem(item.id, &id)) continue;  // no source covered it
+    ++metrics.items_scored;
+
+    std::vector<ValueId> truths = output.TruthsOf(id, truth_threshold);
+    std::unordered_set<std::string> asserted_values;
+    for (ValueId v : truths) asserted_values.insert(table.value_name(v));
+
+    for (const std::string& value : asserted_values) {
+      ++asserted;
+      bool ok = dataset.IsTrue(d, value);
+      if (ok) ++correct;
+      if (item.hierarchical) {
+        ++hier_asserted;
+        synth::HierarchyNodeId node = dataset.hierarchy.Find(value);
+        if (node != synth::kNoHierarchyNode) {
+          depth_sum += static_cast<double>(dataset.hierarchy.depth(node));
+        }
+        if (ok && node == item.truth_leaf) ++leaf_correct;
+      } else if (ok) {
+        ++leaf_correct;
+      }
+    }
+
+    // Recall denominator: true values some source actually claimed.
+    for (const std::string& truth : item.truths) {
+      ValueId v;
+      bool claimed = false;
+      if (table.FindValue(truth, &v)) {
+        for (ValueId cand : table.ValuesOfItem(id)) {
+          if (cand == v) {
+            claimed = true;
+            break;
+          }
+        }
+      }
+      if (!claimed && item.hierarchical) {
+        // Any claimed ancestor makes the (coarsened) truth findable.
+        for (ValueId cand : table.ValuesOfItem(id)) {
+          synth::HierarchyNodeId node =
+              dataset.hierarchy.Find(table.value_name(cand));
+          if (node != synth::kNoHierarchyNode &&
+              dataset.hierarchy.IsAncestorOrSelf(node, item.truth_leaf)) {
+            claimed = true;
+            break;
+          }
+        }
+      }
+      if (!claimed) continue;
+      ++findable_truths;
+      bool found = false;
+      for (const std::string& value : asserted_values) {
+        if (value == truth) {
+          found = true;
+          break;
+        }
+        if (item.hierarchical) {
+          synth::HierarchyNodeId node = dataset.hierarchy.Find(value);
+          if (node != synth::kNoHierarchyNode &&
+              dataset.hierarchy.IsAncestorOrSelf(node, item.truth_leaf)) {
+            found = true;  // a correct (possibly coarser) answer
+            break;
+          }
+        }
+      }
+      if (found) ++found_truths;
+    }
+  }
+
+  metrics.asserted = asserted;
+  metrics.correct = correct;
+  metrics.precision =
+      asserted ? static_cast<double>(correct) / asserted : 0.0;
+  metrics.recall = findable_truths
+                       ? static_cast<double>(found_truths) / findable_truths
+                       : 0.0;
+  metrics.f1 = (metrics.precision + metrics.recall) > 0
+                   ? 2 * metrics.precision * metrics.recall /
+                         (metrics.precision + metrics.recall)
+                   : 0.0;
+  metrics.leaf_precision =
+      asserted ? static_cast<double>(leaf_correct) / asserted : 0.0;
+  metrics.mean_depth =
+      hier_asserted ? depth_sum / static_cast<double>(hier_asserted) : 0.0;
+  return metrics;
+}
+
+}  // namespace akb::fusion

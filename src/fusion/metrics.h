@@ -1,0 +1,41 @@
+// Evaluation metrics for fusion outputs against a known-truth dataset.
+#ifndef AKB_FUSION_METRICS_H_
+#define AKB_FUSION_METRICS_H_
+
+#include <string>
+
+#include "fusion/model.h"
+#include "synth/claim_gen.h"
+
+namespace akb::fusion {
+
+struct FusionMetrics {
+  std::string method;
+  /// Of the values the method asserts, the fraction that are true.
+  double precision = 0.0;
+  /// Of the true values that were claimed by >= 1 source (i.e. findable),
+  /// the fraction the method asserts.
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Exact-truth precision for hierarchical items: asserted value equals
+  /// the true leaf (not merely an ancestor). Equals `precision` when the
+  /// dataset has no hierarchy.
+  double leaf_precision = 0.0;
+  /// Mean hierarchy depth of asserted values on hierarchical items
+  /// (specificity: deeper = more informative). 0 without hierarchy.
+  double mean_depth = 0.0;
+  size_t items_scored = 0;
+  size_t asserted = 0;
+  size_t correct = 0;
+};
+
+/// Scores `output` (thresholded with `truth_threshold` via TruthsOf)
+/// against the generator's ground truth. The table must be the one built
+/// by ClaimTable::FromDataset(dataset).
+FusionMetrics Evaluate(const FusionOutput& output, const ClaimTable& table,
+                       const synth::FusionDataset& dataset,
+                       double truth_threshold = 0.5);
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_METRICS_H_

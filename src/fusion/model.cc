@@ -1,0 +1,126 @@
+#include "fusion/model.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "extract/attribute_dedup.h"
+
+namespace akb::fusion {
+
+uint32_t ClaimTable::Intern(std::vector<std::string>* names,
+                            std::unordered_map<std::string, uint32_t>* index,
+                            const std::string& name) {
+  auto it = index->find(name);
+  if (it != index->end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names->size());
+  names->push_back(name);
+  index->emplace(name, id);
+  return id;
+}
+
+void ClaimTable::Add(const std::string& item, const std::string& source,
+                     const std::string& value, double confidence) {
+  ItemId i = Intern(&items_, &item_index_, item);
+  SourceId s = Intern(&sources_, &source_index_, source);
+  ValueId v = Intern(&values_, &value_index_, value);
+
+  // Collapse duplicate (item, source, value) claims.
+  uint64_t key = (static_cast<uint64_t>(i) << 40) ^
+                 (static_cast<uint64_t>(s) << 20) ^ v;
+  auto& bucket = dup_index_[key];
+  for (size_t ci : bucket) {
+    Claim& existing = claims_[ci];
+    if (existing.item == i && existing.source == s && existing.value == v) {
+      existing.confidence = std::max(existing.confidence, confidence);
+      return;
+    }
+  }
+  bucket.push_back(claims_.size());
+
+  if (by_item_.size() <= i) by_item_.resize(i + 1);
+  if (by_source_.size() <= s) by_source_.resize(s + 1);
+  by_item_[i].push_back(claims_.size());
+  by_source_[s].push_back(claims_.size());
+  claims_.push_back(Claim{i, s, v, confidence});
+}
+
+ClaimTable ClaimTable::FromDataset(const synth::FusionDataset& dataset) {
+  ClaimTable table;
+  for (const auto& record : dataset.claims) {
+    table.Add(dataset.items[record.item].id,
+              dataset.sources[record.source].name, record.value);
+  }
+  // Items no source covered still exist (recall denominator handled by
+  // metrics via the dataset itself, but keep ids aligned where possible).
+  return table;
+}
+
+ClaimTable ClaimTable::FromTriples(
+    const std::vector<extract::ExtractedTriple>& triples) {
+  ClaimTable table;
+  for (const auto& t : triples) {
+    std::string item =
+        t.class_name + "|" + t.entity + "|" + extract::AttributeKey(t.attribute);
+    // Values are case/punctuation-normalized so the same fact extracted by
+    // different channels (case-preserving DOM vs lowercased text/query)
+    // corroborates instead of splitting into distinct values.
+    table.Add(item, t.source, NormalizeSurface(t.value), t.confidence);
+  }
+  return table;
+}
+
+bool ClaimTable::FindItem(const std::string& name, ItemId* id) const {
+  auto it = item_index_.find(name);
+  if (it == item_index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+bool ClaimTable::FindSource(const std::string& name, SourceId* id) const {
+  auto it = source_index_.find(name);
+  if (it == source_index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+bool ClaimTable::FindValue(const std::string& name, ValueId* id) const {
+  auto it = value_index_.find(name);
+  if (it == value_index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+std::vector<ValueId> ClaimTable::ValuesOfItem(ItemId item) const {
+  std::vector<ValueId> out;
+  if (item >= by_item_.size()) return out;
+  for (size_t ci : by_item_[item]) {
+    ValueId v = claims_[ci].value;
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<SourceId> ClaimTable::SourcesOfItem(ItemId item) const {
+  std::vector<SourceId> out;
+  if (item >= by_item_.size()) return out;
+  for (size_t ci : by_item_[item]) {
+    SourceId s = claims_[ci].source;
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<ValueId> FusionOutput::TruthsOf(ItemId item,
+                                            double threshold) const {
+  std::vector<ValueId> out;
+  if (item >= beliefs.size()) return out;
+  const auto& ranked = beliefs[item];
+  for (const auto& [value, belief] : ranked) {
+    if (belief >= threshold) out.push_back(value);
+  }
+  if (out.empty() && !ranked.empty()) out.push_back(ranked.front().first);
+  return out;
+}
+
+}  // namespace akb::fusion

@@ -1,0 +1,114 @@
+// The knowledge-fusion data model.
+//
+// Fusion operates on *claims*: (data item, source, value) with an optional
+// extraction confidence. A data item is one attribute of one entity (e.g.
+// "Susie Fang | birth place"); sources are Web sites, KBs, or query logs;
+// conflicting claims about one item are what fusion resolves (§3.2).
+#ifndef AKB_FUSION_MODEL_H_
+#define AKB_FUSION_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extract/extraction.h"
+#include "synth/claim_gen.h"
+
+namespace akb::fusion {
+
+using ItemId = uint32_t;
+using SourceId = uint32_t;
+using ValueId = uint32_t;
+
+/// One claim, dictionary-encoded.
+struct Claim {
+  ItemId item = 0;
+  SourceId source = 0;
+  ValueId value = 0;
+  /// Extraction confidence attached by phase one (1.0 when absent).
+  double confidence = 1.0;
+};
+
+/// Dense, indexed claim set.
+class ClaimTable {
+ public:
+  ClaimTable() = default;
+
+  /// Adds one claim (interning item/source/value strings). Duplicate
+  /// (item, source, value) claims are collapsed, keeping max confidence.
+  void Add(const std::string& item, const std::string& source,
+           const std::string& value, double confidence = 1.0);
+
+  /// Builds from a synthetic fusion dataset.
+  static ClaimTable FromDataset(const synth::FusionDataset& dataset);
+
+  /// Builds from extracted triples; the item key is
+  /// "<class>|<entity>|<attribute key>". Sources keep their own names so
+  /// inter-source correlation is measurable.
+  static ClaimTable FromTriples(
+      const std::vector<extract::ExtractedTriple>& triples);
+
+  size_t num_items() const { return items_.size(); }
+  size_t num_sources() const { return sources_.size(); }
+  size_t num_values() const { return values_.size(); }
+  size_t num_claims() const { return claims_.size(); }
+
+  const std::string& item_name(ItemId id) const { return items_[id]; }
+  const std::string& source_name(SourceId id) const { return sources_[id]; }
+  const std::string& value_name(ValueId id) const { return values_[id]; }
+  const std::vector<Claim>& claims() const { return claims_; }
+
+  /// Claims grouped per item (indices into claims()).
+  const std::vector<std::vector<size_t>>& claims_of_item() const {
+    return by_item_;
+  }
+  /// Claims grouped per source (indices into claims()).
+  const std::vector<std::vector<size_t>>& claims_of_source() const {
+    return by_source_;
+  }
+
+  /// Id lookups (SIZE_MAX-like sentinel: returns false when absent).
+  bool FindItem(const std::string& name, ItemId* id) const;
+  bool FindSource(const std::string& name, SourceId* id) const;
+  bool FindValue(const std::string& name, ValueId* id) const;
+
+  /// Distinct values claimed for an item, in first-seen order.
+  std::vector<ValueId> ValuesOfItem(ItemId item) const;
+
+  /// Distinct sources that claim anything about an item.
+  std::vector<SourceId> SourcesOfItem(ItemId item) const;
+
+ private:
+  uint32_t Intern(std::vector<std::string>* names,
+                  std::unordered_map<std::string, uint32_t>* index,
+                  const std::string& name);
+
+  std::vector<std::string> items_, sources_, values_;
+  std::unordered_map<std::string, uint32_t> item_index_, source_index_,
+      value_index_;
+  std::vector<Claim> claims_;
+  std::vector<std::vector<size_t>> by_item_, by_source_;
+  // (item, source, value) -> claim index, for duplicate collapsing.
+  std::unordered_map<uint64_t, std::vector<size_t>> dup_index_;
+};
+
+/// Uniform output of every fusion method: per item, the believed values
+/// with belief scores (descending). Single-truth methods emit one value per
+/// item; multi-truth methods may emit several.
+struct FusionOutput {
+  std::string method;
+  /// Per item: (value, belief) pairs, best first.
+  std::vector<std::vector<std::pair<ValueId, double>>> beliefs;
+  /// Per source: estimated quality (accuracy / sensitivity; semantics
+  /// depend on the method). Empty when the method does not estimate it.
+  std::vector<double> source_quality;
+
+  /// Values believed for `item` (belief >= threshold; at least the top
+  /// value for single-truth outputs).
+  std::vector<ValueId> TruthsOf(ItemId item, double threshold = 0.5) const;
+};
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_MODEL_H_

@@ -1,0 +1,140 @@
+#include "fusion/multi_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace akb::fusion {
+
+FusionOutput MultiTruth(const ClaimTable& table,
+                        const MultiTruthConfig& config) {
+  FusionOutput out;
+  out.method = "LTM";
+  out.beliefs.resize(table.num_items());
+
+  const auto& by_item = table.claims_of_item();
+  const auto& claims = table.claims();
+  size_t num_sources = table.num_sources();
+
+  // Enumerate (item, value) candidate pairs and which sources claim them.
+  struct Pair {
+    ItemId item;
+    ValueId value;
+    // (source, confidence weight) of claimants.
+    std::vector<std::pair<SourceId, double>> claimants;
+    double belief;
+  };
+  std::vector<Pair> pairs;
+  std::vector<std::vector<size_t>> pairs_of_item(table.num_items());
+  std::vector<std::vector<SourceId>> item_sources(table.num_items());
+
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    if (i >= by_item.size()) continue;
+    std::map<ValueId, size_t> pair_of_value;
+    std::set<SourceId> sources;
+    for (size_t ci : by_item[i]) {
+      const Claim& claim = claims[ci];
+      sources.insert(claim.source);
+      auto [it, inserted] = pair_of_value.try_emplace(claim.value, pairs.size());
+      if (inserted) {
+        pairs.push_back(Pair{i, claim.value, {}, config.prior_truth});
+        pairs_of_item[i].push_back(it->second);
+      }
+      double w = config.use_confidence ? claim.confidence : 1.0;
+      pairs[it->second].claimants.emplace_back(claim.source, w);
+    }
+    item_sources[i].assign(sources.begin(), sources.end());
+  }
+
+  std::vector<double> sensitivity(num_sources, config.initial_sensitivity);
+  std::vector<double> specificity(num_sources, config.initial_specificity);
+
+  double prior_odds =
+      config.prior_truth / std::max(1e-9, 1.0 - config.prior_truth);
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // --- E step: posterior truth of each (item, value) pair.
+    for (Pair& pair : pairs) {
+      double log_odds = std::log(prior_odds);
+      // Sources covering the item either claim this value (positive
+      // observation) or claim something else / abstain on the value
+      // (negative observation).
+      std::map<SourceId, double> claim_weight;
+      for (const auto& [s, w] : pair.claimants) {
+        claim_weight[s] = std::max(claim_weight[s], w);
+      }
+      for (SourceId s : item_sources[pair.item]) {
+        double sens = std::clamp(sensitivity[s], config.min_quality,
+                                 config.max_quality);
+        double spec = std::clamp(specificity[s], config.min_quality,
+                                 config.max_quality);
+        auto it = claim_weight.find(s);
+        if (it != claim_weight.end()) {
+          // P(claim | true) / P(claim | false) = sens / (1 - spec),
+          // tempered by the extraction confidence.
+          double lr = sens / std::max(1e-9, 1.0 - spec);
+          log_odds += it->second * std::log(lr);
+        } else {
+          double lr = (1.0 - sens) / spec;
+          log_odds += std::log(lr);
+        }
+      }
+      log_odds = std::clamp(log_odds, -30.0, 30.0);
+      double odds = std::exp(log_odds);
+      pair.belief = odds / (1.0 + odds);
+    }
+
+    // --- M step: per-source sensitivity and specificity.
+    std::vector<double> tp(num_sources, 0), truth_mass(num_sources, 0);
+    std::vector<double> tn(num_sources, 0), false_mass(num_sources, 0);
+    for (ItemId i = 0; i < table.num_items(); ++i) {
+      for (size_t pi : pairs_of_item[i]) {
+        const Pair& pair = pairs[pi];
+        std::set<SourceId> claimants;
+        for (const auto& [s, w] : pair.claimants) claimants.insert(s);
+        for (SourceId s : item_sources[i]) {
+          bool claimed = claimants.count(s) > 0;
+          truth_mass[s] += pair.belief;
+          false_mass[s] += 1.0 - pair.belief;
+          if (claimed) {
+            tp[s] += pair.belief;
+          } else {
+            tn[s] += 1.0 - pair.belief;
+          }
+        }
+      }
+    }
+    double max_delta = 0.0;
+    for (SourceId s = 0; s < num_sources; ++s) {
+      if (truth_mass[s] > 1e-9) {
+        double updated = std::clamp(tp[s] / truth_mass[s],
+                                    config.min_quality, config.max_quality);
+        max_delta = std::max(max_delta, std::fabs(updated - sensitivity[s]));
+        sensitivity[s] = updated;
+      }
+      if (false_mass[s] > 1e-9) {
+        double updated = std::clamp(tn[s] / false_mass[s],
+                                    config.min_quality, config.max_quality);
+        max_delta = std::max(max_delta, std::fabs(updated - specificity[s]));
+        specificity[s] = updated;
+      }
+    }
+    if (max_delta < config.epsilon) break;
+  }
+
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    auto& ranked = out.beliefs[i];
+    for (size_t pi : pairs_of_item[i]) {
+      ranked.emplace_back(pairs[pi].value, pairs[pi].belief);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+  out.source_quality = std::move(sensitivity);
+  return out;
+}
+
+}  // namespace akb::fusion

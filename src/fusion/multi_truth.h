@@ -1,0 +1,42 @@
+// Multi-truth fusion for non-functional attributes, after the latent truth
+// model of Zhao et al. (PVLDB'12), which the paper adopts as the basis of
+// its "handling functional and non-functional attributes" goal (§3.2).
+//
+// Each (item, value) pair carries a latent truth bit. A source is modelled
+// by *sensitivity* (P(claims v | v true), i.e. recall) and *specificity*
+// (P(does not claim v | v false)); both are estimated jointly with the
+// truth bits by EM-style alternation. Unlike VOTE/ACCU, beliefs of
+// different values of one item do not compete — several can end above the
+// acceptance threshold, so items may keep multiple truths.
+#ifndef AKB_FUSION_MULTI_TRUTH_H_
+#define AKB_FUSION_MULTI_TRUTH_H_
+
+#include "fusion/model.h"
+
+namespace akb::fusion {
+
+struct MultiTruthConfig {
+  double initial_sensitivity = 0.7;
+  double initial_specificity = 0.9;
+  /// Prior probability that a claimed (item, value) pair is true.
+  double prior_truth = 0.4;
+  size_t max_iterations = 20;
+  double epsilon = 1e-4;
+  /// (item, value) pairs with posterior >= this are truths.
+  double acceptance_threshold = 0.5;
+  /// Clamp for estimated source parameters.
+  double min_quality = 0.05;
+  double max_quality = 0.99;
+  /// Weight observations by extraction confidence.
+  bool use_confidence = false;
+};
+
+/// Returns beliefs for every claimed (item, value) pair; TruthsOf() with the
+/// acceptance threshold yields the (possibly multiple) truths per item.
+/// source_quality holds estimated sensitivities.
+FusionOutput MultiTruth(const ClaimTable& table,
+                        const MultiTruthConfig& config = {});
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_MULTI_TRUTH_H_

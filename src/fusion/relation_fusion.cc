@@ -1,0 +1,172 @@
+#include "fusion/relation_fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace akb::fusion {
+
+namespace {
+
+uint64_t PairKey(ItemId item, ValueId value) {
+  return (static_cast<uint64_t>(item) << 32) | value;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> ClaimCorrelations(const ClaimTable& table,
+                                                   size_t min_common_items) {
+  size_t num_sources = table.num_sources();
+  std::vector<std::unordered_set<uint64_t>> claim_sets(num_sources);
+  std::vector<std::unordered_set<ItemId>> item_sets(num_sources);
+  for (const Claim& claim : table.claims()) {
+    claim_sets[claim.source].insert(PairKey(claim.item, claim.value));
+    item_sets[claim.source].insert(claim.item);
+  }
+
+  std::vector<std::vector<double>> corr(num_sources,
+                                        std::vector<double>(num_sources, 0));
+  for (SourceId a = 0; a < num_sources; ++a) {
+    corr[a][a] = 1.0;
+    for (SourceId b = a + 1; b < num_sources; ++b) {
+      // Common items gate: tiny overlaps carry no signal.
+      const auto& smaller_items =
+          item_sets[a].size() <= item_sets[b].size() ? item_sets[a]
+                                                     : item_sets[b];
+      const auto& larger_items =
+          item_sets[a].size() <= item_sets[b].size() ? item_sets[b]
+                                                     : item_sets[a];
+      size_t common_items = 0;
+      for (ItemId item : smaller_items) {
+        if (larger_items.count(item)) ++common_items;
+      }
+      if (common_items < min_common_items) continue;
+
+      const auto& smaller =
+          claim_sets[a].size() <= claim_sets[b].size() ? claim_sets[a]
+                                                       : claim_sets[b];
+      const auto& larger =
+          claim_sets[a].size() <= claim_sets[b].size() ? claim_sets[b]
+                                                       : claim_sets[a];
+      size_t inter = 0;
+      for (uint64_t key : smaller) {
+        if (larger.count(key)) ++inter;
+      }
+      size_t uni = claim_sets[a].size() + claim_sets[b].size() - inter;
+      double jaccard = uni ? static_cast<double>(inter) / uni : 0.0;
+      corr[a][b] = jaccard;
+      corr[b][a] = jaccard;
+    }
+  }
+  return corr;
+}
+
+FusionOutput RelationFuse(const ClaimTable& table,
+                          const RelationFusionConfig& config) {
+  FusionOutput out;
+  out.method = "RELATION";
+  out.beliefs.resize(table.num_items());
+
+  size_t num_sources = table.num_sources();
+  std::vector<double> precision(num_sources, config.initial_precision);
+  std::vector<std::vector<double>> corr =
+      ClaimCorrelations(table, config.min_common_items);
+
+  // Source processing order: claim-count descending (the biggest source of
+  // a correlated group is counted in full; its satellites are discounted).
+  std::vector<size_t> claim_counts(num_sources, 0);
+  for (const Claim& claim : table.claims()) ++claim_counts[claim.source];
+
+  const auto& by_item = table.claims_of_item();
+  const auto& claims = table.claims();
+  std::vector<double> claim_belief(claims.size(), 0.5);
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // --- Beliefs: noisy-or over novelty-discounted supporter votes.
+    for (ItemId i = 0; i < table.num_items(); ++i) {
+      if (i >= by_item.size() || by_item[i].empty()) continue;
+      // Group the item's claims per value.
+      struct Supporter {
+        SourceId source;
+        double weight;  // extraction-confidence weight
+        size_t claim_index;
+      };
+      std::map<ValueId, std::vector<Supporter>> per_value;
+      for (size_t ci : by_item[i]) {
+        const Claim& claim = claims[ci];
+        double w = config.use_confidence ? claim.confidence : 1.0;
+        per_value[claim.value].push_back(Supporter{claim.source, w, ci});
+      }
+      auto& ranked = out.beliefs[i];
+      ranked.clear();
+      // Bayesian log-odds per value with novelty-discounted votes.
+      double max_score = -1e300;
+      for (auto& [value, supporters] : per_value) {
+        std::sort(supporters.begin(), supporters.end(),
+                  [&](const Supporter& a, const Supporter& b) {
+                    if (claim_counts[a.source] != claim_counts[b.source]) {
+                      return claim_counts[a.source] > claim_counts[b.source];
+                    }
+                    return a.source < b.source;
+                  });
+        double score = 0.0;
+        std::vector<SourceId> counted;
+        for (const Supporter& s : supporters) {
+          double novelty = 1.0;
+          for (SourceId t : counted) {
+            novelty = std::min(novelty, 1.0 - corr[s.source][t]);
+          }
+          counted.push_back(s.source);
+          double p = std::clamp(precision[s.source], config.min_precision,
+                                config.max_precision);
+          score += novelty * s.weight *
+                   std::log(config.false_values * p / (1.0 - p));
+        }
+        ranked.emplace_back(value, score);
+        max_score = std::max(max_score, score);
+      }
+      double z = 0.0;
+      for (auto& [value, score] : ranked) z += std::exp(score - max_score);
+      for (auto& [value, score] : ranked) {
+        score = std::exp(score - max_score) / z;
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      for (size_t ci : by_item[i]) {
+        const Claim& claim = claims[ci];
+        for (const auto& [value, belief] : ranked) {
+          if (value == claim.value) {
+            claim_belief[ci] = belief;
+            break;
+          }
+        }
+      }
+    }
+
+    // --- Precision update.
+    double max_delta = 0.0;
+    const auto& by_source = table.claims_of_source();
+    for (SourceId s = 0; s < num_sources; ++s) {
+      if (s >= by_source.size() || by_source[s].empty()) continue;
+      double sum = 0.0;
+      for (size_t ci : by_source[s]) sum += claim_belief[ci];
+      double updated =
+          std::clamp(sum / static_cast<double>(by_source[s].size()),
+                     config.min_precision, config.max_precision);
+      max_delta = std::max(max_delta, std::fabs(updated - precision[s]));
+      precision[s] = updated;
+    }
+    if (max_delta < config.epsilon) break;
+  }
+
+  out.source_quality = std::move(precision);
+  return out;
+}
+
+}  // namespace akb::fusion

@@ -1,0 +1,53 @@
+// Relation-based fusion with source correlations, after Pochampally et al.
+// (SIGMOD'14), the method the paper builds its "inter-source correlations"
+// goal on (§3.2, citing [25]).
+//
+// Key idea: when sources overlap heavily (mirrors, aggregators, shared
+// upstreams), counting each of their votes independently double-counts the
+// same evidence. This implementation estimates
+//   - per-source precision p_s (iteratively, against current beliefs), and
+//   - pairwise claim-set correlation corr(s,t) (Jaccard over the (item,
+//     value) pairs both assert),
+// and combines votes with a *novelty discount*: processing an item's
+// supporters in claim-count order, each source's vote is scaled by
+// (1 - max correlation with an already-counted supporter), so a bloc of
+// mirrors contributes little more than its largest member. Discounted
+// votes enter a Bayesian log-odds score per value (as in ACCU) and beliefs
+// are normalized per item; values tied in support share the belief mass,
+// so equally-supported co-truths can both pass the acceptance threshold.
+#ifndef AKB_FUSION_RELATION_FUSION_H_
+#define AKB_FUSION_RELATION_FUSION_H_
+
+#include "fusion/model.h"
+
+namespace akb::fusion {
+
+struct RelationFusionConfig {
+  double initial_precision = 0.7;
+  double min_precision = 0.05;
+  double max_precision = 0.99;
+  size_t max_iterations = 10;
+  double epsilon = 1e-4;
+  /// Pairs sharing fewer items than this keep correlation 0.
+  size_t min_common_items = 5;
+  /// Assumed number of false values per item (the ACCU-style n).
+  double false_values = 10.0;
+  /// Beliefs at or above this are truths.
+  double acceptance_threshold = 0.5;
+  /// Weight votes by extraction confidence.
+  bool use_confidence = false;
+};
+
+/// Returns per-item normalized beliefs over novelty-discounted votes;
+/// source_quality holds the estimated precisions.
+FusionOutput RelationFuse(const ClaimTable& table,
+                          const RelationFusionConfig& config = {});
+
+/// Pairwise claim-set correlation (Jaccard over asserted (item, value)
+/// pairs), exposed for tests and diagnostics. Symmetric, diagonal 1.
+std::vector<std::vector<double>> ClaimCorrelations(
+    const ClaimTable& table, size_t min_common_items = 5);
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_RELATION_FUSION_H_

@@ -1,0 +1,36 @@
+#include "fusion/vote.h"
+
+#include <algorithm>
+#include <map>
+
+namespace akb::fusion {
+
+FusionOutput Vote(const ClaimTable& table, const VoteConfig& config) {
+  FusionOutput out;
+  out.method = config.use_confidence ? "VOTE-conf" : "VOTE";
+  out.beliefs.resize(table.num_items());
+
+  const auto& by_item = table.claims_of_item();
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    if (i >= by_item.size()) continue;
+    std::map<ValueId, double> votes;
+    double total = 0.0;
+    for (size_t ci : by_item[i]) {
+      const Claim& claim = table.claims()[ci];
+      double w = config.use_confidence ? claim.confidence : 1.0;
+      votes[claim.value] += w;
+      total += w;
+    }
+    auto& ranked = out.beliefs[i];
+    for (const auto& [value, weight] : votes) {
+      ranked.emplace_back(value, total > 0 ? weight / total : 0.0);
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+  }
+  return out;
+}
+
+}  // namespace akb::fusion

@@ -1,0 +1,24 @@
+// VOTE — the baseline data-fusion method (Dong et al., VLDB'14, adapted for
+// knowledge fusion in the paper's related work), plus the confidence-
+// weighted variant after Pasternack & Roth (IJCAI'11): each claim counts
+// with the extraction confidence attached in phase one instead of 1.
+#ifndef AKB_FUSION_VOTE_H_
+#define AKB_FUSION_VOTE_H_
+
+#include "fusion/model.h"
+
+namespace akb::fusion {
+
+struct VoteConfig {
+  /// Weight claims by their extraction confidence (generalized fact-
+  /// finding); plain VOTE when false.
+  bool use_confidence = false;
+};
+
+/// Per item, belief(v) = (weighted) votes for v / total votes on the item;
+/// single truth = argmax.
+FusionOutput Vote(const ClaimTable& table, const VoteConfig& config = {});
+
+}  // namespace akb::fusion
+
+#endif  // AKB_FUSION_VOTE_H_

@@ -1,0 +1,242 @@
+#include "html/dom.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "html/entities.h"
+
+namespace akb::html {
+
+namespace {
+
+constexpr std::array<std::string_view, 14> kVoidElements = {
+    "area", "base",  "br",   "col",  "embed",  "hr",  "img",
+    "input", "link", "meta", "param", "source", "track", "wbr"};
+
+// Tags implicitly closed when a sibling of the same group opens.
+bool ImplicitlyCloses(std::string_view open, std::string_view incoming) {
+  if (open == "li" && incoming == "li") return true;
+  if (open == "p" && incoming == "p") return true;
+  if (open == "option" && incoming == "option") return true;
+  if ((open == "dt" || open == "dd") &&
+      (incoming == "dt" || incoming == "dd")) {
+    return true;
+  }
+  if ((open == "td" || open == "th") &&
+      (incoming == "td" || incoming == "th" || incoming == "tr")) {
+    return true;
+  }
+  if (open == "tr" && incoming == "tr") return true;
+  return false;
+}
+
+void CollectText(const Node* node, std::string* out) {
+  if (node->is_text()) {
+    std::string_view trimmed = Trim(node->text());
+    if (!trimmed.empty()) {
+      if (!out->empty()) out->push_back(' ');
+      out->append(trimmed);
+    }
+    return;
+  }
+  for (const auto& child : node->children()) {
+    CollectText(child.get(), out);
+  }
+}
+
+void SerializeNode(const Node* node, std::string* out) {
+  switch (node->kind()) {
+    case NodeKind::kDocument:
+      for (const auto& child : node->children()) {
+        SerializeNode(child.get(), out);
+      }
+      break;
+    case NodeKind::kText:
+      out->append(EncodeEntities(node->text()));
+      break;
+    case NodeKind::kComment:
+      out->append("<!--").append(node->text()).append("-->");
+      break;
+    case NodeKind::kElement: {
+      out->push_back('<');
+      out->append(node->tag());
+      for (const auto& [name, value] : node->attributes()) {
+        out->push_back(' ');
+        out->append(name).append("=\"").append(EncodeEntities(value));
+        out->push_back('"');
+      }
+      out->push_back('>');
+      if (IsVoidElement(node->tag())) break;
+      for (const auto& child : node->children()) {
+        SerializeNode(child.get(), out);
+      }
+      out->append("</").append(node->tag()).append(">");
+      break;
+    }
+  }
+}
+
+template <typename Fn>
+void Visit(const Node* node, Fn&& fn) {
+  fn(node);
+  for (const auto& child : node->children()) {
+    Visit(child.get(), fn);
+  }
+}
+
+}  // namespace
+
+bool IsVoidElement(std::string_view tag) {
+  for (std::string_view v : kVoidElements) {
+    if (v == tag) return true;
+  }
+  return false;
+}
+
+std::string Node::attribute(std::string_view name) const {
+  for (const auto& [n, v] : attributes_) {
+    if (n == name) return v;
+  }
+  return "";
+}
+
+bool Node::has_attribute(std::string_view name) const {
+  for (const auto& [n, v] : attributes_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+Node* Node::AppendChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Node* Node::AppendElement(std::string tag) {
+  auto node = std::make_unique<Node>(NodeKind::kElement);
+  node->set_tag(std::move(tag));
+  return AppendChild(std::move(node));
+}
+
+Node* Node::AppendText(std::string text) {
+  auto node = std::make_unique<Node>(NodeKind::kText);
+  node->set_text(std::move(text));
+  return AppendChild(std::move(node));
+}
+
+std::string Node::InnerText() const {
+  std::string out;
+  CollectText(this, &out);
+  return out;
+}
+
+std::vector<const Node*> Node::RootPath() const {
+  std::vector<const Node*> path;
+  for (const Node* n = this; n != nullptr; n = n->parent()) {
+    path.push_back(n);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+size_t Node::Depth() const {
+  size_t depth = 0;
+  for (const Node* n = parent(); n != nullptr; n = n->parent()) ++depth;
+  return depth;
+}
+
+Document::Document() : root_(std::make_unique<Node>(NodeKind::kDocument)) {}
+
+std::vector<const Node*> Document::TextNodes() const {
+  std::vector<const Node*> out;
+  Visit(root(), [&](const Node* n) {
+    if (n->is_text() && !Trim(n->text()).empty()) out.push_back(n);
+  });
+  return out;
+}
+
+std::vector<const Node*> Document::ElementsByTag(std::string_view tag) const {
+  std::vector<const Node*> out;
+  Visit(root(), [&](const Node* n) {
+    if (n->is_element() && n->tag() == tag) out.push_back(n);
+  });
+  return out;
+}
+
+const Node* Document::FirstByTag(std::string_view tag) const {
+  auto all = ElementsByTag(tag);
+  return all.empty() ? nullptr : all.front();
+}
+
+size_t Document::NodeCount() const {
+  size_t count = 0;
+  Visit(root(), [&](const Node*) { ++count; });
+  return count - 1;  // exclude the synthetic root
+}
+
+std::string Document::ToHtml() const {
+  std::string out;
+  SerializeNode(root(), &out);
+  return out;
+}
+
+Document ParseHtml(std::string_view markup) {
+  Document doc;
+  std::vector<Node*> stack;
+  stack.push_back(doc.root());
+
+  for (Token& token : Tokenize(markup)) {
+    Node* top = stack.back();
+    switch (token.kind) {
+      case TokenKind::kText: {
+        auto node = std::make_unique<Node>(NodeKind::kText);
+        node->set_text(std::move(token.data));
+        top->AppendChild(std::move(node));
+        break;
+      }
+      case TokenKind::kComment: {
+        auto node = std::make_unique<Node>(NodeKind::kComment);
+        node->set_text(std::move(token.data));
+        top->AppendChild(std::move(node));
+        break;
+      }
+      case TokenKind::kDoctype:
+        break;  // not represented in the tree
+      case TokenKind::kStartTag: {
+        // Apply implicit closes: pop while the open element yields to the
+        // incoming tag.
+        while (stack.size() > 1 &&
+               ImplicitlyCloses(stack.back()->tag(), token.data)) {
+          stack.pop_back();
+        }
+        top = stack.back();
+        auto node = std::make_unique<Node>(NodeKind::kElement);
+        node->set_tag(token.data);
+        for (auto& [name, value] : token.attributes) {
+          node->add_attribute(std::move(name), std::move(value));
+        }
+        Node* raw = top->AppendChild(std::move(node));
+        if (!token.self_closing && !IsVoidElement(token.data)) {
+          stack.push_back(raw);
+        }
+        break;
+      }
+      case TokenKind::kEndTag: {
+        // Find a matching open element; if none, ignore the end tag.
+        for (size_t k = stack.size(); k-- > 1;) {
+          if (stack[k]->tag() == token.data) {
+            stack.resize(k);
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return doc;
+}
+
+}  // namespace akb::html

@@ -1,0 +1,123 @@
+// DOM tree: nodes, documents, and a tolerant tree-building parser.
+//
+// The DOM-tree extractor (paper §4, Algorithm 1) consumes these trees: it
+// classifies text nodes into entity / non-entity nodes and reasons about the
+// tag paths connecting them.
+#ifndef AKB_HTML_DOM_H_
+#define AKB_HTML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "html/tokenizer.h"
+
+namespace akb::html {
+
+enum class NodeKind : uint8_t { kDocument, kElement, kText, kComment };
+
+/// One DOM node. Owned by its parent (the Document owns the root).
+class Node {
+ public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  /// Lowercased tag name; empty for non-elements.
+  const std::string& tag() const { return tag_; }
+  void set_tag(std::string tag) { tag_ = std::move(tag); }
+
+  /// Text content for text/comment nodes.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  void add_attribute(std::string name, std::string value) {
+    attributes_.emplace_back(std::move(name), std::move(value));
+  }
+  /// Value of the attribute or "" if absent.
+  std::string attribute(std::string_view name) const;
+  bool has_attribute(std::string_view name) const;
+
+  Node* parent() const { return parent_; }
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+  size_t num_children() const { return children_.size(); }
+  Node* child(size_t i) const { return children_[i].get(); }
+
+  /// Appends a child and returns a raw pointer to it (ownership kept here).
+  Node* AppendChild(std::unique_ptr<Node> child);
+
+  /// Convenience builders for programmatic page construction.
+  Node* AppendElement(std::string tag);
+  Node* AppendText(std::string text);
+
+  /// Concatenated text of all descendant text nodes, whitespace-normalized.
+  std::string InnerText() const;
+
+  /// Chain of nodes from the document root down to (and including) this.
+  std::vector<const Node*> RootPath() const;
+
+  /// Depth of this node (root has depth 0).
+  size_t Depth() const;
+
+ private:
+  NodeKind kind_;
+  std::string tag_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  Node* parent_ = nullptr;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// An owned DOM tree.
+class Document {
+ public:
+  Document();
+
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  /// The synthetic document root (NodeKind::kDocument).
+  Node* root() { return root_.get(); }
+  const Node* root() const { return root_.get(); }
+
+  /// All text nodes whose trimmed text is non-empty, in document order.
+  std::vector<const Node*> TextNodes() const;
+
+  /// All elements with the given (lowercase) tag, in document order.
+  std::vector<const Node*> ElementsByTag(std::string_view tag) const;
+
+  /// First element with the given tag or nullptr.
+  const Node* FirstByTag(std::string_view tag) const;
+
+  /// Total node count (excluding the synthetic root).
+  size_t NodeCount() const;
+
+  /// Serializes the tree back to markup (element/text/comment nodes).
+  std::string ToHtml() const;
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+/// Parses markup into a Document. Tolerant: mismatched end tags are ignored,
+/// unclosed elements are closed at EOF, void elements never take children,
+/// and the common implicit closes (<li>, <p>, <td>, <tr>, <option>, <dt>,
+/// <dd>) are applied.
+Document ParseHtml(std::string_view markup);
+
+/// True for HTML void elements (br, img, meta, ...).
+bool IsVoidElement(std::string_view tag);
+
+}  // namespace akb::html
+
+#endif  // AKB_HTML_DOM_H_

@@ -1,0 +1,120 @@
+#include "html/entities.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace akb::html {
+
+namespace {
+
+// Encodes a Unicode code point as UTF-8.
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      out.push_back(s[i++]);
+      continue;
+    }
+    std::string_view name = s.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (name == "nbsp") {
+      out.push_back(' ');
+    } else if (!name.empty() && name[0] == '#') {
+      uint32_t cp = 0;
+      bool valid = name.size() > 1;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (size_t k = 2; k < name.size(); ++k) {
+          unsigned char c = static_cast<unsigned char>(name[k]);
+          if (!std::isxdigit(c)) {
+            valid = false;
+            break;
+          }
+          cp = cp * 16 + static_cast<uint32_t>(
+                             std::isdigit(c) ? c - '0'
+                                             : std::tolower(c) - 'a' + 10);
+        }
+      } else {
+        for (size_t k = 1; k < name.size(); ++k) {
+          unsigned char c = static_cast<unsigned char>(name[k]);
+          if (!std::isdigit(c)) {
+            valid = false;
+            break;
+          }
+          cp = cp * 10 + static_cast<uint32_t>(c - '0');
+        }
+      }
+      if (valid && cp > 0 && cp <= 0x10FFFF) {
+        AppendUtf8(&out, cp);
+      } else {
+        out.append(s.substr(i, semi - i + 1));
+      }
+    } else {
+      // Unknown entity: pass through verbatim.
+      out.append(s.substr(i, semi - i + 1));
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+std::string EncodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace akb::html

@@ -1,0 +1,19 @@
+// HTML character entity encoding/decoding (named subset + numeric).
+#ifndef AKB_HTML_ENTITIES_H_
+#define AKB_HTML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace akb::html {
+
+/// Decodes &amp; &lt; &gt; &quot; &apos; &nbsp; and numeric &#NN; / &#xHH;
+/// references. Unknown entities are passed through verbatim.
+std::string DecodeEntities(std::string_view s);
+
+/// Escapes & < > " for safe embedding in markup / attribute values.
+std::string EncodeEntities(std::string_view s);
+
+}  // namespace akb::html
+
+#endif  // AKB_HTML_ENTITIES_H_

@@ -1,0 +1,132 @@
+#include "html/tag_path.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/string_util.h"
+
+namespace akb::html {
+
+namespace {
+
+constexpr std::array<std::string_view, 9> kNoiseTags = {
+    "b", "i", "em", "strong", "span", "font", "u", "small", "sup"};
+
+// Element chain from root to the nearest element ancestor of `node`
+// (inclusive if `node` is itself an element).
+std::vector<const Node*> ElementChain(const Node* node) {
+  std::vector<const Node*> chain;
+  for (const Node* n = node; n != nullptr; n = n->parent()) {
+    if (n->is_element()) chain.push_back(n);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace
+
+bool IsNoiseTag(std::string_view tag) {
+  for (std::string_view t : kNoiseTags) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+std::string TagPath::ToString() const { return Join(steps, "/"); }
+
+namespace {
+// A tag is stripped only when presentational AND unclassed: <span
+// class="key"> carries template structure, bare <em> carries style.
+bool StripStep(const Node* element, const TagPathOptions& options) {
+  return options.strip_noise_tags && IsNoiseTag(element->tag()) &&
+         element->attribute("class").empty();
+}
+}  // namespace
+
+std::string StepSignature(const Node* element, const TagPathOptions& options) {
+  std::string sig = element->tag();
+  if (options.include_classes) {
+    std::string cls = element->attribute("class");
+    if (!cls.empty()) {
+      // Use the first class token only; that is where templates put their
+      // structural role (e.g. "infobox").
+      auto tokens = SplitWhitespace(cls);
+      if (!tokens.empty()) {
+        sig.push_back('.');
+        sig.append(tokens.front());
+      }
+    }
+  }
+  return sig;
+}
+
+TagPath RootTagPath(const Node* node, const TagPathOptions& options) {
+  TagPath path;
+  for (const Node* e : ElementChain(node)) {
+    if (StripStep(e, options)) continue;
+    path.steps.push_back(StepSignature(e, options));
+  }
+  return path;
+}
+
+const Node* LowestCommonAncestor(const Node* a, const Node* b) {
+  std::vector<const Node*> pa = a->RootPath();
+  std::vector<const Node*> pb = b->RootPath();
+  const Node* lca = nullptr;
+  size_t n = std::min(pa.size(), pb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (pa[i] != pb[i]) break;
+    lca = pa[i];
+  }
+  return lca;
+}
+
+TagPath PathBetween(const Node* from, const Node* to,
+                    const TagPathOptions& options) {
+  const Node* lca = LowestCommonAncestor(from, to);
+  TagPath path;
+  if (lca == nullptr) return path;
+
+  // Up-steps: element ancestors of `from`, strictly below the LCA, from the
+  // node outward.
+  for (const Node* n = from; n != nullptr && n != lca; n = n->parent()) {
+    if (!n->is_element()) continue;
+    if (StripStep(n, options)) continue;
+    std::string step = "^";
+    step += StepSignature(n, options);
+    path.steps.push_back(std::move(step));
+  }
+
+  // Down-steps: element ancestors of `to`, strictly below the LCA, from the
+  // LCA downward.
+  std::vector<std::string> down;
+  for (const Node* n = to; n != nullptr && n != lca; n = n->parent()) {
+    if (!n->is_element()) continue;
+    if (StripStep(n, options)) continue;
+    down.push_back(StepSignature(n, options));
+  }
+  std::reverse(down.begin(), down.end());
+  for (auto& step : down) path.steps.push_back(std::move(step));
+  return path;
+}
+
+double TagPathSimilarity(const TagPath& a, const TagPath& b) {
+  size_t la = a.steps.size(), lb = b.steps.size();
+  if (la == 0 && lb == 0) return 1.0;
+  // Edit distance over step tokens.
+  std::vector<size_t> prev(la + 1), cur(la + 1);
+  for (size_t i = 0; i <= la; ++i) prev[i] = i;
+  for (size_t j = 1; j <= lb; ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= la; ++i) {
+      size_t sub = prev[i - 1] + (a.steps[i - 1] == b.steps[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  size_t dist = prev[la];
+  return 1.0 - static_cast<double>(dist) /
+                   static_cast<double>(std::max(la, lb));
+}
+
+}  // namespace akb::html

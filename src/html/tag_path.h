@@ -1,0 +1,70 @@
+// Tag paths: the structural signatures Algorithm 1 reasons about.
+//
+// A tag path is the sequence of element steps connecting two nodes in a DOM
+// tree. The paper's key observation is that within one web page (and usually
+// one site) the tag path from an entity node to each of its attribute nodes
+// is highly regular, while paths differ across sites — so patterns must be
+// induced per page and cannot be transferred.
+#ifndef AKB_HTML_TAG_PATH_H_
+#define AKB_HTML_TAG_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace akb::html {
+
+/// Canonicalized tag path.
+///
+/// `steps` are element signatures ("div.infobox", "td", ...). For a
+/// node-to-node path the first part walks *up* from the source node to the
+/// lowest common ancestor (steps prefixed with '^') and the second part
+/// walks *down* to the target.
+struct TagPath {
+  std::vector<std::string> steps;
+
+  bool operator==(const TagPath& other) const { return steps == other.steps; }
+  bool empty() const { return steps.empty(); }
+  size_t size() const { return steps.size(); }
+
+  /// "/" joined representation, e.g. "^td/^tr/tr/td".
+  std::string ToString() const;
+};
+
+struct TagPathOptions {
+  /// Presentational tags removed during canonicalization; they carry style,
+  /// not structure (the paper: tag paths are "removed of noisy tags").
+  bool strip_noise_tags = true;
+  /// Include the element's class attribute in the step ("div.infobox").
+  bool include_classes = true;
+};
+
+/// True for presentational tags skipped by canonicalization (b, i, em,
+/// strong, span, font, u, small, sub, sup).
+bool IsNoiseTag(std::string_view tag);
+
+/// The canonical signature of one element ("tag" or "tag.class").
+std::string StepSignature(const Node* element, const TagPathOptions& options);
+
+/// Path from the document root to `node` (node itself excluded if a text
+/// node; its element chain is used).
+TagPath RootTagPath(const Node* node, const TagPathOptions& options = {});
+
+/// Path between two nodes via their lowest common ancestor. Up-steps (from
+/// `from` to the LCA, exclusive) are prefixed with '^'; down-steps descend
+/// from below the LCA to `to`. Returns an empty path if the nodes share no
+/// root.
+TagPath PathBetween(const Node* from, const Node* to,
+                    const TagPathOptions& options = {});
+
+/// Similarity in [0,1]: 1 - (step edit distance) / max(len). Two empty paths
+/// have similarity 1.
+double TagPathSimilarity(const TagPath& a, const TagPath& b);
+
+/// Lowest common ancestor of two nodes in the same tree, or nullptr.
+const Node* LowestCommonAncestor(const Node* a, const Node* b);
+
+}  // namespace akb::html
+
+#endif  // AKB_HTML_TAG_PATH_H_

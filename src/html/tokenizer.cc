@@ -1,0 +1,188 @@
+#include "html/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "html/entities.h"
+
+namespace akb::html {
+
+namespace {
+
+bool IsNameChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '-' || c == '_' || c == ':';
+}
+
+// Parses attributes from the inside of a tag: `rest` is everything between
+// the tag name and the closing '>'.
+void ParseAttributes(std::string_view rest, Token* token) {
+  size_t i = 0;
+  while (i < rest.size()) {
+    while (i < rest.size() &&
+           std::isspace(static_cast<unsigned char>(rest[i]))) {
+      ++i;
+    }
+    if (i >= rest.size()) break;
+    if (rest[i] == '/') {
+      token->self_closing = true;
+      ++i;
+      continue;
+    }
+    size_t name_start = i;
+    while (i < rest.size() && IsNameChar(rest[i])) ++i;
+    if (i == name_start) {
+      ++i;  // skip junk
+      continue;
+    }
+    std::string name = ToLower(rest.substr(name_start, i - name_start));
+    while (i < rest.size() &&
+           std::isspace(static_cast<unsigned char>(rest[i]))) {
+      ++i;
+    }
+    std::string value;
+    if (i < rest.size() && rest[i] == '=') {
+      ++i;
+      while (i < rest.size() &&
+             std::isspace(static_cast<unsigned char>(rest[i]))) {
+        ++i;
+      }
+      if (i < rest.size() && (rest[i] == '"' || rest[i] == '\'')) {
+        char quote = rest[i++];
+        size_t value_start = i;
+        while (i < rest.size() && rest[i] != quote) ++i;
+        value = DecodeEntities(rest.substr(value_start, i - value_start));
+        if (i < rest.size()) ++i;  // closing quote
+      } else {
+        size_t value_start = i;
+        while (i < rest.size() &&
+               !std::isspace(static_cast<unsigned char>(rest[i])) &&
+               rest[i] != '/') {
+          ++i;
+        }
+        value = DecodeEntities(rest.substr(value_start, i - value_start));
+      }
+    }
+    token->attributes.emplace_back(std::move(name), std::move(value));
+  }
+}
+
+}  // namespace
+
+std::string Token::attribute(const std::string& name) const {
+  for (const auto& [n, v] : attributes) {
+    if (n == name) return v;
+  }
+  return "";
+}
+
+std::vector<Token> Tokenize(std::string_view markup) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+
+  auto emit_text = [&](std::string_view raw) {
+    if (raw.empty()) return;
+    Token t;
+    t.kind = TokenKind::kText;
+    t.data = DecodeEntities(raw);
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < markup.size()) {
+    if (markup[i] != '<') {
+      size_t lt = markup.find('<', i);
+      if (lt == std::string_view::npos) lt = markup.size();
+      emit_text(markup.substr(i, lt - i));
+      i = lt;
+      continue;
+    }
+
+    // Comment.
+    if (markup.substr(i, 4) == "<!--") {
+      size_t end = markup.find("-->", i + 4);
+      Token t;
+      t.kind = TokenKind::kComment;
+      if (end == std::string_view::npos) {
+        t.data = std::string(markup.substr(i + 4));
+        i = markup.size();
+      } else {
+        t.data = std::string(markup.substr(i + 4, end - i - 4));
+        i = end + 3;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Doctype / other declarations.
+    if (i + 1 < markup.size() && markup[i + 1] == '!') {
+      size_t end = markup.find('>', i);
+      Token t;
+      t.kind = TokenKind::kDoctype;
+      if (end == std::string_view::npos) {
+        t.data = std::string(markup.substr(i + 2));
+        i = markup.size();
+      } else {
+        t.data = std::string(markup.substr(i + 2, end - i - 2));
+        i = end + 1;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    bool is_end = i + 1 < markup.size() && markup[i + 1] == '/';
+    size_t name_start = i + (is_end ? 2 : 1);
+    size_t j = name_start;
+    while (j < markup.size() && IsNameChar(markup[j])) ++j;
+    if (j == name_start) {
+      // Stray '<' — treat as text.
+      emit_text(markup.substr(i, 1));
+      ++i;
+      continue;
+    }
+    std::string name = ToLower(markup.substr(name_start, j - name_start));
+    size_t gt = markup.find('>', j);
+    if (gt == std::string_view::npos) {
+      emit_text(markup.substr(i));
+      break;
+    }
+
+    Token t;
+    t.kind = is_end ? TokenKind::kEndTag : TokenKind::kStartTag;
+    t.data = name;
+    if (!is_end) {
+      ParseAttributes(markup.substr(j, gt - j), &t);
+    }
+    tokens.push_back(std::move(t));
+    i = gt + 1;
+
+    // Raw-text elements: everything until the matching close tag is one
+    // text token.
+    if (!is_end && (name == "script" || name == "style")) {
+      std::string close = "</" + name;
+      size_t end = i;
+      while (true) {
+        end = markup.find(close, end);
+        if (end == std::string_view::npos) {
+          end = markup.size();
+          break;
+        }
+        size_t after = end + close.size();
+        if (after >= markup.size() || markup[after] == '>' ||
+            std::isspace(static_cast<unsigned char>(markup[after]))) {
+          break;
+        }
+        ++end;
+      }
+      if (end > i) {
+        Token raw;
+        raw.kind = TokenKind::kText;
+        raw.data = std::string(markup.substr(i, end - i));
+        tokens.push_back(std::move(raw));
+      }
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace akb::html

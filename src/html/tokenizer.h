@@ -1,0 +1,42 @@
+// HTML tokenizer: splits markup into start tags (with attributes), end tags,
+// text, comments, and doctype declarations. Tolerant of real-world sloppiness
+// (unquoted attributes, stray '<', missing quotes are handled best-effort).
+#ifndef AKB_HTML_TOKENIZER_H_
+#define AKB_HTML_TOKENIZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace akb::html {
+
+enum class TokenKind : uint8_t {
+  kStartTag,
+  kEndTag,
+  kText,
+  kComment,
+  kDoctype,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kText;
+  /// Lowercased tag name for start/end tags; raw text otherwise.
+  std::string data;
+  /// (name, value) pairs, names lowercased, values entity-decoded.
+  std::vector<std::pair<std::string, std::string>> attributes;
+  /// Start tag ends with "/>" (also set for void elements by the parser).
+  bool self_closing = false;
+
+  /// Returns the attribute value or "" if absent.
+  std::string attribute(const std::string& name) const;
+};
+
+/// Tokenizes `markup`. Text inside <script>/<style> is emitted as a single
+/// raw text token. Never fails: unparseable fragments degrade to text.
+std::vector<Token> Tokenize(std::string_view markup);
+
+}  // namespace akb::html
+
+#endif  // AKB_HTML_TOKENIZER_H_

@@ -1,0 +1,133 @@
+// In-process MapReduce engine.
+//
+// The paper scales knowledge fusion by expressing it as MapReduce jobs
+// (after Dong et al., VLDB'14) and proposes a "distributed inference
+// architecture, inherent in the MapReduce architectures, that avoids the
+// synchronicity bottleneck" (§3.1). We reproduce the dataflow — map,
+// hash-partitioned shuffle, grouped reduce — as a multi-threaded in-process
+// engine so the same fusion jobs run unchanged on one machine.
+//
+// Determinism: regardless of thread count, reduce groups are formed per
+// partition in sorted key order and per-key values keep the input order of
+// the records that produced them, so job output is reproducible.
+#ifndef AKB_MAPREDUCE_ENGINE_H_
+#define AKB_MAPREDUCE_ENGINE_H_
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/thread_pool.h"
+
+namespace akb::mapreduce {
+
+struct JobOptions {
+  /// Worker threads for both map and reduce phases.
+  size_t num_workers = 1;
+  /// Shuffle partitions; defaults to 4 * num_workers when 0.
+  size_t num_partitions = 0;
+};
+
+/// Collects (key, value) pairs emitted by one map task.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void Emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// Runs one MapReduce job.
+///
+/// `map_fn(input, emitter)` is called once per input record;
+/// `reduce_fn(key, values)` once per distinct key, receiving the values in
+/// deterministic order; `hash_fn(key)` routes keys to partitions.
+/// The result concatenates reduce outputs by (partition, sorted key).
+template <typename Input, typename K, typename V, typename Output>
+std::vector<Output> RunJob(
+    const std::vector<Input>& inputs,
+    const std::function<void(const Input&, Emitter<K, V>*)>& map_fn,
+    const std::function<Output(const K&, const std::vector<V>&)>& reduce_fn,
+    const std::function<size_t(const K&)>& hash_fn,
+    const JobOptions& options = {}) {
+  size_t workers = std::max<size_t>(1, options.num_workers);
+  size_t partitions = options.num_partitions
+                          ? options.num_partitions
+                          : std::max<size_t>(1, workers * 4);
+
+  // --- Map phase: each worker maps a contiguous chunk of inputs.
+  size_t chunks = std::min(inputs.size(), workers * 4);
+  if (chunks == 0) chunks = 1;
+  // chunk -> partition -> (key, value) pairs, kept separate so the shuffle
+  // can merge them in chunk order (determinism).
+  std::vector<std::vector<std::vector<std::pair<K, V>>>> mapped(
+      chunks, std::vector<std::vector<std::pair<K, V>>>(partitions));
+
+  {
+    ThreadPool pool(workers);
+    size_t per_chunk = (inputs.size() + chunks - 1) / chunks;
+    for (size_t c = 0; c < chunks; ++c) {
+      pool.Submit([&, c] {
+        size_t begin = c * per_chunk;
+        size_t end = std::min(inputs.size(), begin + per_chunk);
+        Emitter<K, V> emitter;
+        for (size_t i = begin; i < end; ++i) {
+          map_fn(inputs[i], &emitter);
+        }
+        for (auto& [key, value] : emitter.pairs()) {
+          size_t p = hash_fn(key) % partitions;
+          mapped[c][p].emplace_back(std::move(key), std::move(value));
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  // --- Shuffle + reduce phase: group per partition, reduce in parallel.
+  std::vector<std::vector<Output>> partition_outputs(partitions);
+  {
+    ThreadPool pool(workers);
+    for (size_t p = 0; p < partitions; ++p) {
+      pool.Submit([&, p] {
+        std::map<K, std::vector<V>> groups;  // sorted keys => determinism
+        for (size_t c = 0; c < chunks; ++c) {
+          for (auto& [key, value] : mapped[c][p]) {
+            groups[key].push_back(std::move(value));
+          }
+        }
+        for (auto& [key, values] : groups) {
+          partition_outputs[p].push_back(reduce_fn(key, values));
+        }
+      });
+    }
+    pool.Wait();
+  }
+
+  std::vector<Output> out;
+  for (auto& po : partition_outputs) {
+    for (auto& o : po) out.push_back(std::move(o));
+  }
+  return out;
+}
+
+/// Convenience overload using std::hash<K>.
+template <typename Input, typename K, typename V, typename Output>
+std::vector<Output> RunJob(
+    const std::vector<Input>& inputs,
+    const std::function<void(const Input&, Emitter<K, V>*)>& map_fn,
+    const std::function<Output(const K&, const std::vector<V>&)>& reduce_fn,
+    const JobOptions& options = {}) {
+  return RunJob<Input, K, V, Output>(
+      inputs, map_fn, reduce_fn,
+      [](const K& k) { return std::hash<K>{}(k); }, options);
+}
+
+}  // namespace akb::mapreduce
+
+#endif  // AKB_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used by the MapReduce engine.
+#ifndef AKB_MAPREDUCE_THREAD_POOL_H_
+#define AKB_MAPREDUCE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace akb::mapreduce {
+
+/// Simple FIFO thread pool. Submit work with Submit(); Wait() blocks until
+/// every submitted task has finished (and may be called repeatedly).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace akb::mapreduce
+
+#endif  // AKB_MAPREDUCE_THREAD_POOL_H_

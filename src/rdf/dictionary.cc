@@ -1,0 +1,26 @@
+#include "rdf/dictionary.h"
+
+#include <cassert>
+
+namespace akb::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  terms_.push_back(term);
+  TermId id = static_cast<TermId>(terms_.size());  // ids start at 1
+  index_.emplace(term, id);
+  return id;
+}
+
+TermId Dictionary::Find(const Term& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+const Term& Dictionary::Lookup(TermId id) const {
+  assert(Contains(id));
+  return terms_[id - 1];
+}
+
+}  // namespace akb::rdf

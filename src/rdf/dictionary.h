@@ -1,0 +1,50 @@
+// Term dictionary: bidirectional mapping between Terms and dense TermIds.
+#ifndef AKB_RDF_DICTIONARY_H_
+#define AKB_RDF_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace akb::rdf {
+
+/// Interns terms, assigning dense ids starting at 1 (0 = kInvalidTermId,
+/// used as the wildcard in triple patterns). Not thread-safe; a store owns
+/// exactly one dictionary and serializes access.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(const Term& term);
+
+  /// Convenience interning helpers.
+  TermId InternIri(std::string iri) {
+    return Intern(Term::Iri(std::move(iri)));
+  }
+  TermId InternLiteral(std::string value) {
+    return Intern(Term::Literal(std::move(value)));
+  }
+
+  /// Returns the id of `term` or kInvalidTermId if it was never interned.
+  TermId Find(const Term& term) const;
+
+  /// Decodes an id. Precondition: id was returned by Intern.
+  const Term& Lookup(TermId id) const;
+
+  /// True iff id is a valid, previously interned id.
+  bool Contains(TermId id) const { return id >= 1 && id <= terms_.size(); }
+
+  /// Number of distinct terms interned.
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace akb::rdf
+
+#endif  // AKB_RDF_DICTIONARY_H_

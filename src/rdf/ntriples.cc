@@ -1,0 +1,183 @@
+#include "rdf/ntriples.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace akb::rdf {
+
+namespace {
+
+ExtractorKind ExtractorKindFromString(std::string_view name) {
+  if (name == "ground_truth") return ExtractorKind::kGroundTruth;
+  if (name == "existing_kb") return ExtractorKind::kExistingKb;
+  if (name == "query_stream") return ExtractorKind::kQueryStream;
+  if (name == "dom_tree") return ExtractorKind::kDomTree;
+  if (name == "web_text") return ExtractorKind::kWebText;
+  if (name == "fusion") return ExtractorKind::kFusion;
+  return ExtractorKind::kOther;
+}
+
+std::string ProvenanceComment(const Provenance& p) {
+  return "# source=" + p.source +
+         " extractor=" + std::string(ExtractorKindToString(p.extractor)) +
+         " confidence=" + FormatDouble(p.confidence, 6);
+}
+
+// Consumes one term starting at text[pos]; advances pos past the term.
+Result<Term> ConsumeTerm(std::string_view text, size_t* pos) {
+  while (*pos < text.size() && (text[*pos] == ' ' || text[*pos] == '\t')) {
+    ++*pos;
+  }
+  if (*pos >= text.size()) return Status::ParseError("expected term");
+  char c = text[*pos];
+  if (c == '<') {
+    size_t end = text.find('>', *pos + 1);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated IRI");
+    }
+    Term t = Term::Iri(std::string(text.substr(*pos + 1, end - *pos - 1)));
+    *pos = end + 1;
+    return t;
+  }
+  if (c == '"') {
+    std::string value;
+    size_t i = *pos + 1;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        ++i;
+        if (text[i] == 'n') {
+          value.push_back('\n');
+        } else {
+          value.push_back(text[i]);
+        }
+      } else {
+        value.push_back(text[i]);
+      }
+      ++i;
+    }
+    if (i >= text.size()) return Status::ParseError("unterminated literal");
+    *pos = i + 1;
+    return Term::Literal(std::move(value));
+  }
+  if (c == '_' && *pos + 1 < text.size() && text[*pos + 1] == ':') {
+    size_t i = *pos + 2;
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    Term t = Term::Blank(std::string(text.substr(start, i - start)));
+    *pos = i;
+    return t;
+  }
+  return Status::ParseError("unrecognized term start '" + std::string(1, c) +
+                            "'");
+}
+
+}  // namespace
+
+std::string WriteNTriples(const TripleStore& store,
+                          const NTriplesWriteOptions& options) {
+  std::string out;
+  if (options.include_provenance) {
+    for (size_t i = 0; i < store.num_claims(); ++i) {
+      const Claim& c = store.claim(i);
+      const auto& d = store.dictionary();
+      out += d.Lookup(c.triple.subject).ToString() + " " +
+             d.Lookup(c.triple.predicate).ToString() + " " +
+             d.Lookup(c.triple.object).ToString() + " . " +
+             ProvenanceComment(c.provenance) + "\n";
+    }
+  } else {
+    for (size_t i = 0; i < store.num_triples(); ++i) {
+      out += store.DecodeToString(i) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<Term> ParseTerm(std::string_view text) {
+  size_t pos = 0;
+  auto result = ConsumeTerm(text, &pos);
+  if (!result.ok()) return result;
+  if (!Trim(text.substr(pos)).empty()) {
+    return Status::ParseError("trailing garbage after term");
+  }
+  return result;
+}
+
+Status WriteNTriplesFile(const TripleStore& store, const std::string& path,
+                         const NTriplesWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << WriteNTriples(store, options);
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Status ReadNTriplesFile(const std::string& path, TripleStore* store) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadNTriples(buffer.str(), store);
+}
+
+Status ReadNTriples(std::string_view text, TripleStore* store) {
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    ++line_no;
+    start = end + 1;
+    if (end == text.size() && line.empty()) break;
+    if (line.empty() || line[0] == '#') continue;
+
+    size_t pos = 0;
+    auto error = [&](const Status& s) {
+      return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                s.message());
+    };
+    auto s_term = ConsumeTerm(line, &pos);
+    if (!s_term.ok()) return error(s_term.status());
+    auto p_term = ConsumeTerm(line, &pos);
+    if (!p_term.ok()) return error(p_term.status());
+    auto o_term = ConsumeTerm(line, &pos);
+    if (!o_term.ok()) return error(o_term.status());
+
+    std::string_view rest = Trim(line.substr(pos));
+    if (rest.empty() || rest[0] != '.') {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": missing terminating '.'");
+    }
+    rest = Trim(rest.substr(1));
+
+    Provenance prov;
+    if (!rest.empty() && rest[0] == '#') {
+      for (const auto& field : SplitWhitespace(rest.substr(1))) {
+        auto eq = field.find('=');
+        if (eq == std::string::npos) continue;
+        std::string key = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        if (key == "source") {
+          prov.source = value;
+        } else if (key == "extractor") {
+          prov.extractor = ExtractorKindFromString(value);
+        } else if (key == "confidence") {
+          double conf = 1.0;
+          auto [ptr, ec] =
+              std::from_chars(value.data(), value.data() + value.size(), conf);
+          (void)ptr;
+          if (ec == std::errc()) prov.confidence = conf;
+        }
+      }
+    }
+    store->InsertDecoded(*s_term, *p_term, *o_term, std::move(prov));
+  }
+  return Status::OK();
+}
+
+}  // namespace akb::rdf

@@ -1,0 +1,46 @@
+// N-Triples-style serialization for triple stores.
+//
+// Format: one "<s> <p> <o> ." line per distinct triple. With provenance
+// enabled, each claim additionally carries a trailing comment
+// "# source=<src> extractor=<name> confidence=<c>" so round-trips preserve
+// the fusion inputs.
+#ifndef AKB_RDF_NTRIPLES_H_
+#define AKB_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/triple_store.h"
+
+namespace akb::rdf {
+
+struct NTriplesWriteOptions {
+  /// Write one line per claim with provenance comments instead of one line
+  /// per distinct triple.
+  bool include_provenance = false;
+};
+
+/// Serializes the store.
+std::string WriteNTriples(const TripleStore& store,
+                          const NTriplesWriteOptions& options = {});
+
+/// Parses N-Triples text into `store` (appending). Lines that are empty or
+/// pure comments are skipped; provenance comments produced by WriteNTriples
+/// are recognized and restored. Returns ParseError with the line number on
+/// malformed input.
+Status ReadNTriples(std::string_view text, TripleStore* store);
+
+/// Parses a single term in N-Triples surface form.
+Result<Term> ParseTerm(std::string_view text);
+
+/// Serializes the store to a file. Returns IoError on failure.
+Status WriteNTriplesFile(const TripleStore& store, const std::string& path,
+                         const NTriplesWriteOptions& options = {});
+
+/// Parses an N-Triples file into `store` (appending).
+Status ReadNTriplesFile(const std::string& path, TripleStore* store);
+
+}  // namespace akb::rdf
+
+#endif  // AKB_RDF_NTRIPLES_H_

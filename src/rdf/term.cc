@@ -1,0 +1,54 @@
+#include "rdf/term.h"
+
+#include "common/string_util.h"
+
+namespace akb::rdf {
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kLiteral: {
+      std::string escaped;
+      escaped.reserve(lexical.size() + 2);
+      for (char c : lexical) {
+        if (c == '"' || c == '\\') escaped.push_back('\\');
+        if (c == '\n') {
+          escaped += "\\n";
+          continue;
+        }
+        escaped.push_back(c);
+      }
+      return "\"" + escaped + "\"";
+    }
+    case TermKind::kBlank:
+      return "_:" + lexical;
+  }
+  return "";
+}
+
+namespace {
+std::string Slug(std::string_view s) {
+  std::string norm = NormalizeSurface(s);
+  for (auto& c : norm) {
+    if (c == ' ') c = '_';
+  }
+  return norm;
+}
+}  // namespace
+
+std::string EntityIri(std::string_view class_name, std::string_view entity) {
+  return "http://akb.local/entity/" + Slug(class_name) + "/" + Slug(entity);
+}
+
+std::string AttributeIri(std::string_view class_name,
+                         std::string_view attribute) {
+  return "http://akb.local/attribute/" + Slug(class_name) + "/" +
+         Slug(attribute);
+}
+
+std::string ClassIri(std::string_view class_name) {
+  return "http://akb.local/class/" + Slug(class_name);
+}
+
+}  // namespace akb::rdf

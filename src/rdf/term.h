@@ -1,0 +1,70 @@
+// RDF terms. The framework represents all extracted knowledge as RDF triples
+// ("actionable knowledge" in the paper); terms are dictionary-encoded to
+// 32-bit ids so triples are cheap to index and compare.
+#ifndef AKB_RDF_TERM_H_
+#define AKB_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace akb::rdf {
+
+/// Kind of an RDF term.
+enum class TermKind : uint8_t {
+  kIri = 0,      ///< e.g. <http://akb.local/entity/film/42>
+  kLiteral = 1,  ///< e.g. "Wuhan"
+  kBlank = 2,    ///< e.g. _:b12
+};
+
+/// Dictionary id of a term. 0 is reserved as the invalid id / wildcard.
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = 0;
+
+/// A decoded term: kind plus lexical form (IRI string without angle
+/// brackets, literal value without quotes, or blank-node label without _:).
+struct Term {
+  TermKind kind = TermKind::kIri;
+  std::string lexical;
+
+  static Term Iri(std::string iri) {
+    return Term{TermKind::kIri, std::move(iri)};
+  }
+  static Term Literal(std::string value) {
+    return Term{TermKind::kLiteral, std::move(value)};
+  }
+  static Term Blank(std::string label) {
+    return Term{TermKind::kBlank, std::move(label)};
+  }
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && lexical == other.lexical;
+  }
+
+  /// N-Triples surface form: <iri>, "literal", or _:label.
+  std::string ToString() const;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    return std::hash<std::string>{}(t.lexical) * 3 +
+           static_cast<size_t>(t.kind);
+  }
+};
+
+/// Well-known predicate names used across the framework.
+namespace predicates {
+inline constexpr std::string_view kType = "http://akb.local/ontology/type";
+inline constexpr std::string_view kLabel = "http://akb.local/ontology/label";
+}  // namespace predicates
+
+/// IRI builders for the akb.local namespace.
+std::string EntityIri(std::string_view class_name, std::string_view entity);
+std::string AttributeIri(std::string_view class_name,
+                         std::string_view attribute);
+std::string ClassIri(std::string_view class_name);
+
+}  // namespace akb::rdf
+
+#endif  // AKB_RDF_TERM_H_

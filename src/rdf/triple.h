@@ -1,0 +1,71 @@
+// Triples and provenance records.
+//
+// The paper attaches two pieces of metadata to every extracted triple:
+// where it came from (Web source) and which extractor produced it, plus a
+// confidence score from the unified criterion (§3.1). Knowledge fusion
+// (§3.2) consumes exactly this (triple, source, extractor, confidence)
+// quadruple, so the store keeps claims, not just distinct triples.
+#ifndef AKB_RDF_TRIPLE_H_
+#define AKB_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.h"
+#include "rdf/term.h"
+
+namespace akb::rdf {
+
+/// A dictionary-encoded RDF triple.
+struct Triple {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+
+  bool operator==(const Triple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t seed = std::hash<TermId>{}(t.subject);
+    HashCombine(&seed, std::hash<TermId>{}(t.predicate));
+    HashCombine(&seed, std::hash<TermId>{}(t.object));
+    return seed;
+  }
+};
+
+/// Which of the framework's extractors asserted a claim.
+enum class ExtractorKind : uint8_t {
+  kGroundTruth = 0,  ///< synthetic world truth (evaluation only)
+  kExistingKb = 1,   ///< KB-combining extractor (Freebase+DBpedia)
+  kQueryStream = 2,  ///< query-stream pattern extractor
+  kDomTree = 3,      ///< Algorithm 1 tag-path extractor
+  kWebText = 4,      ///< lexical-pattern text extractor
+  kFusion = 5,       ///< produced by the knowledge-fusion phase
+  kOther = 6,
+};
+
+std::string_view ExtractorKindToString(ExtractorKind kind);
+
+/// Provenance of one claim: the Web source (site / KB / log) it was
+/// extracted from, the extractor that produced it, and the extractor's
+/// confidence in [0, 1].
+struct Provenance {
+  std::string source;
+  ExtractorKind extractor = ExtractorKind::kOther;
+  double confidence = 1.0;
+};
+
+/// One claim: a triple asserted by a (source, extractor) pair.
+struct Claim {
+  Triple triple;
+  Provenance provenance;
+};
+
+}  // namespace akb::rdf
+
+#endif  // AKB_RDF_TRIPLE_H_

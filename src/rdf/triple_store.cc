@@ -1,0 +1,120 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace akb::rdf {
+
+std::string_view ExtractorKindToString(ExtractorKind kind) {
+  switch (kind) {
+    case ExtractorKind::kGroundTruth:
+      return "ground_truth";
+    case ExtractorKind::kExistingKb:
+      return "existing_kb";
+    case ExtractorKind::kQueryStream:
+      return "query_stream";
+    case ExtractorKind::kDomTree:
+      return "dom_tree";
+    case ExtractorKind::kWebText:
+      return "web_text";
+    case ExtractorKind::kFusion:
+      return "fusion";
+    case ExtractorKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+size_t TripleStore::Insert(const Triple& triple, Provenance provenance) {
+  size_t claim_index = claims_.size();
+  claims_.push_back(Claim{triple, std::move(provenance)});
+
+  auto it = triple_index_.find(triple);
+  size_t ti;
+  if (it != triple_index_.end()) {
+    ti = it->second;
+  } else {
+    ti = triples_.size();
+    triples_.push_back(triple);
+    claims_of_.emplace_back();
+    triple_index_.emplace(triple, ti);
+    by_subject_[triple.subject].push_back(ti);
+    by_predicate_[triple.predicate].push_back(ti);
+    by_object_[triple.object].push_back(ti);
+  }
+  claims_of_[ti].push_back(claim_index);
+  return ti;
+}
+
+size_t TripleStore::InsertDecoded(const Term& s, const Term& p, const Term& o,
+                                  Provenance provenance) {
+  Triple t{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)};
+  return Insert(t, std::move(provenance));
+}
+
+bool TripleStore::Contains(const Triple& t) const {
+  return triple_index_.count(t) > 0;
+}
+
+std::vector<size_t> TripleStore::Match(const TriplePattern& pattern) const {
+  // Fully bound: direct lookup.
+  if (pattern.subject && pattern.predicate && pattern.object) {
+    auto it = triple_index_.find(
+        Triple{pattern.subject, pattern.predicate, pattern.object});
+    if (it == triple_index_.end()) return {};
+    return {it->second};
+  }
+
+  // Pick the most selective bound index as candidate set.
+  const std::vector<size_t>* candidates = nullptr;
+  auto consider = [&](const std::unordered_map<TermId, std::vector<size_t>>&
+                          index,
+                      TermId key) {
+    if (!key) return;
+    auto it = index.find(key);
+    static const std::vector<size_t> kEmpty;
+    const std::vector<size_t>* found = it == index.end() ? &kEmpty : &it->second;
+    if (candidates == nullptr || found->size() < candidates->size()) {
+      candidates = found;
+    }
+  };
+  consider(by_subject_, pattern.subject);
+  consider(by_predicate_, pattern.predicate);
+  consider(by_object_, pattern.object);
+
+  std::vector<size_t> out;
+  auto matches = [&](const Triple& t) {
+    return (!pattern.subject || t.subject == pattern.subject) &&
+           (!pattern.predicate || t.predicate == pattern.predicate) &&
+           (!pattern.object || t.object == pattern.object);
+  };
+
+  if (candidates == nullptr) {
+    // Fully unbound: scan everything.
+    out.resize(triples_.size());
+    for (size_t i = 0; i < triples_.size(); ++i) out[i] = i;
+    return out;
+  }
+  for (size_t ti : *candidates) {
+    if (matches(triples_[ti])) out.push_back(ti);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string TripleStore::DecodeToString(size_t triple_index) const {
+  const Triple& t = triples_[triple_index];
+  return dict_.Lookup(t.subject).ToString() + " " +
+         dict_.Lookup(t.predicate).ToString() + " " +
+         dict_.Lookup(t.object).ToString() + " .";
+}
+
+std::vector<TermId> TripleStore::ObjectsOf(TermId subject,
+                                           TermId predicate) const {
+  std::vector<TermId> out;
+  for (size_t ti : Match(TriplePattern{subject, predicate, kInvalidTermId})) {
+    out.push_back(triples_[ti].object);
+  }
+  return out;
+}
+
+}  // namespace akb::rdf

@@ -1,0 +1,87 @@
+// In-memory triple store with provenance and pattern queries.
+#ifndef AKB_RDF_TRIPLE_STORE_H_
+#define AKB_RDF_TRIPLE_STORE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace akb::rdf {
+
+/// A triple pattern; kInvalidTermId (0) in any position is a wildcard.
+struct TriplePattern {
+  TermId subject = kInvalidTermId;
+  TermId predicate = kInvalidTermId;
+  TermId object = kInvalidTermId;
+};
+
+/// Append-only triple store.
+///
+/// Stores *claims* (triple + provenance); the same triple asserted by two
+/// sources yields two claims but one distinct triple. Maintains S/P/O hash
+/// indexes over distinct triples for pattern matching, and a per-triple claim
+/// list for fusion.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// The dictionary encoding this store's terms.
+  Dictionary& dictionary() { return dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// Adds one claim. Returns the distinct-triple index the claim attached to.
+  size_t Insert(const Triple& triple, Provenance provenance);
+
+  /// Convenience: interns the terms and inserts.
+  size_t InsertDecoded(const Term& s, const Term& p, const Term& o,
+                       Provenance provenance);
+
+  /// Number of claims (provenanced assertions).
+  size_t num_claims() const { return claims_.size(); }
+  /// Number of distinct triples.
+  size_t num_triples() const { return triples_.size(); }
+
+  const Claim& claim(size_t i) const { return claims_[i]; }
+  const Triple& triple(size_t i) const { return triples_[i]; }
+
+  /// All claims attached to distinct triple `i` (indices into claims).
+  const std::vector<size_t>& claims_of(size_t triple_index) const {
+    return claims_of_[triple_index];
+  }
+
+  /// True iff the exact triple is present.
+  bool Contains(const Triple& t) const;
+
+  /// Distinct-triple indices matching the pattern, in insertion order.
+  std::vector<size_t> Match(const TriplePattern& pattern) const;
+
+  /// Decodes triple `i` into N-Triples surface form ("<s> <p> <o> .").
+  std::string DecodeToString(size_t triple_index) const;
+
+  /// All distinct objects for (subject, predicate), in insertion order.
+  std::vector<TermId> ObjectsOf(TermId subject, TermId predicate) const;
+
+ private:
+  Dictionary dict_;
+  std::vector<Claim> claims_;
+  std::vector<Triple> triples_;
+  std::vector<std::vector<size_t>> claims_of_;
+  std::unordered_map<Triple, size_t, TripleHash> triple_index_;
+  std::unordered_map<TermId, std::vector<size_t>> by_subject_;
+  std::unordered_map<TermId, std::vector<size_t>> by_predicate_;
+  std::unordered_map<TermId, std::vector<size_t>> by_object_;
+};
+
+}  // namespace akb::rdf
+
+#endif  // AKB_RDF_TRIPLE_STORE_H_

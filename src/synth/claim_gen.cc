@@ -1,0 +1,187 @@
+#include "synth/claim_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace akb::synth {
+
+bool FusionDataset::IsTrue(size_t i, const std::string& value) const {
+  const Item& item = items[i];
+  for (const std::string& t : item.truths) {
+    if (t == value) return true;
+  }
+  if (item.hierarchical && item.truth_leaf != kNoHierarchyNode) {
+    HierarchyNodeId node = hierarchy.Find(value);
+    if (node != kNoHierarchyNode &&
+        hierarchy.IsAncestorOrSelf(node, item.truth_leaf)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<SourceSpec> MakeSources(size_t n, double lo, double hi,
+                                    double coverage) {
+  std::vector<SourceSpec> sources;
+  for (size_t i = 0; i < n; ++i) {
+    SourceSpec spec;
+    spec.name = "source_" + std::to_string(i);
+    spec.accuracy =
+        n <= 1 ? lo : lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(n - 1);
+    spec.coverage = coverage;
+    sources.push_back(std::move(spec));
+  }
+  return sources;
+}
+
+FusionDataset GenerateClaims(const ClaimGenConfig& config) {
+  FusionDataset dataset;
+  dataset.sources = config.sources;
+  Rng rng(config.seed);
+
+  bool uses_hierarchy = config.hierarchical_rate > 0.0;
+  if (uses_hierarchy) {
+    dataset.hierarchy = BuildLocationHierarchy(8, 3, 4, rng.NextU64());
+  }
+  std::vector<HierarchyNodeId> leaves =
+      uses_hierarchy ? dataset.hierarchy.Leaves()
+                     : std::vector<HierarchyNodeId>{};
+
+  // --- Items.
+  for (size_t i = 0; i < config.num_items; ++i) {
+    FusionDataset::Item item;
+    bool group_multi_truth = false;
+    bool has_group = config.attribute_groups > 0;
+    if (has_group) {
+      size_t group = i % config.attribute_groups;
+      size_t functional_groups = static_cast<size_t>(
+          config.functional_group_rate *
+          static_cast<double>(config.attribute_groups));
+      group_multi_truth = group >= functional_groups;
+      item.id = "attr_" + std::to_string(group) + "|item_" +
+                std::to_string(i);
+    } else {
+      item.id = "item_" + std::to_string(i);
+    }
+    if (uses_hierarchy && rng.Bernoulli(config.hierarchical_rate) &&
+        !leaves.empty()) {
+      item.hierarchical = true;
+      item.truth_leaf = leaves[rng.Index(leaves.size())];
+      item.truths.push_back(dataset.hierarchy.name(item.truth_leaf));
+      // Domain = all hierarchy values (sources may claim any level).
+      for (HierarchyNodeId n = 1; n < dataset.hierarchy.size(); ++n) {
+        item.domain.push_back(dataset.hierarchy.name(n));
+      }
+    } else {
+      size_t num_truths = 1;
+      bool multi = has_group ? group_multi_truth
+                             : rng.Bernoulli(config.multi_truth_rate);
+      if (multi) {
+        num_truths =
+            2 + rng.Index(std::max<size_t>(1, config.max_truths - 1));
+      }
+      size_t domain = std::max(config.domain_size, num_truths + 1);
+      for (size_t v = 0; v < domain; ++v) {
+        std::string value = "v";
+        value += std::to_string(v);
+        value += "_";
+        value += std::to_string(i);
+        item.domain.push_back(std::move(value));
+      }
+      auto picks = rng.SampleWithoutReplacement(domain, num_truths);
+      for (size_t p : picks) item.truths.push_back(item.domain[p]);
+    }
+    dataset.items.push_back(std::move(item));
+  }
+
+  // --- Claims. Copiers need the target's claims first, so generate in
+  // dependency order (independents first; single-level copying only).
+  std::vector<size_t> order;
+  for (size_t s = 0; s < dataset.sources.size(); ++s) {
+    if (dataset.sources[s].copies_from < 0) order.push_back(s);
+  }
+  for (size_t s = 0; s < dataset.sources.size(); ++s) {
+    if (dataset.sources[s].copies_from >= 0) order.push_back(s);
+  }
+
+  // item -> source -> claimed value set (for copy lookups).
+  std::vector<std::unordered_map<size_t, std::vector<std::string>>> claimed(
+      config.num_items);
+
+  for (size_t s : order) {
+    const SourceSpec& spec = dataset.sources[s];
+    Rng source_rng = rng.Fork();
+    for (size_t i = 0; i < config.num_items; ++i) {
+      if (!source_rng.Bernoulli(spec.coverage)) continue;
+      const FusionDataset::Item& item = dataset.items[i];
+
+      std::vector<std::string> values;
+      bool copied = false;
+      if (spec.copies_from >= 0) {
+        auto it = claimed[i].find(static_cast<size_t>(spec.copies_from));
+        if (it != claimed[i].end() && source_rng.Bernoulli(spec.copy_rate)) {
+          values = it->second;
+          copied = true;
+        }
+      }
+      if (!copied) {
+        if (source_rng.Bernoulli(spec.accuracy)) {
+          // True claim(s). Multi-truth items yield a multi-valued claim
+          // set: each truth independently with truth_claim_rate, at least
+          // one always.
+          for (const std::string& truth : item.truths) {
+            if (source_rng.Bernoulli(spec.truth_claim_rate)) {
+              values.push_back(truth);
+            }
+          }
+          if (values.empty()) {
+            values.push_back(
+                item.truths[source_rng.Index(item.truths.size())]);
+          }
+          if (item.hierarchical && values.size() == 1 &&
+              source_rng.Bernoulli(spec.generalize_rate)) {
+            auto chain = dataset.hierarchy.RootChain(item.truth_leaf);
+            if (chain.size() > 1) {
+              values[0] = dataset.hierarchy.name(
+                  chain[source_rng.Index(chain.size() - 1)]);
+            }
+          }
+        } else {
+          // False claim from the domain.
+          std::string value;
+          for (int attempt = 0; attempt < 16; ++attempt) {
+            const std::string& candidate =
+                item.domain[source_rng.Index(item.domain.size())];
+            bool is_true =
+                std::find(item.truths.begin(), item.truths.end(),
+                          candidate) != item.truths.end();
+            // For hierarchical items ancestors of the truth are also true;
+            // reject them as "false" picks.
+            if (item.hierarchical) {
+              HierarchyNodeId node = dataset.hierarchy.Find(candidate);
+              if (node != kNoHierarchyNode &&
+                  dataset.hierarchy.IsAncestorOrSelf(node, item.truth_leaf)) {
+                is_true = true;
+              }
+            }
+            if (!is_true) {
+              value = candidate;
+              break;
+            }
+          }
+          if (value.empty()) value = item.domain.front();
+          values.push_back(std::move(value));
+        }
+      }
+      claimed[i][s] = values;
+      for (const std::string& value : values) {
+        dataset.claims.push_back(FusionDataset::ClaimRecord{i, s, value});
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace akb::synth

@@ -1,0 +1,99 @@
+// Synthetic claim datasets for knowledge-fusion experiments (§3.2).
+//
+// Fusion methods consume (data item, source, value) claims. This generator
+// produces claim sets with *controlled* source behaviour — per-source
+// accuracy and coverage, copier sources that plagiarize a target source,
+// multi-truth items, and hierarchical value domains — so each fusion
+// technique's claimed advantage is testable in isolation.
+#ifndef AKB_SYNTH_CLAIM_GEN_H_
+#define AKB_SYNTH_CLAIM_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/hierarchy.h"
+
+namespace akb::synth {
+
+/// Behaviour of one synthetic source.
+struct SourceSpec {
+  std::string name;
+  /// Probability a claim it makes independently is a true value.
+  double accuracy = 0.8;
+  /// Probability it claims anything about a given item.
+  double coverage = 0.7;
+  /// Index of the source this one copies, or -1 if independent.
+  int copies_from = -1;
+  /// When a copier covers an item the target also covers, probability it
+  /// copies the target's value instead of claiming independently.
+  double copy_rate = 0.85;
+  /// For hierarchical items: probability a true claim is reported at a
+  /// coarser (ancestor) level.
+  double generalize_rate = 0.0;
+  /// For multi-truth items: probability each individual true value is
+  /// included in the source's (multi-valued) claim set; at least one true
+  /// value is always claimed. Real sources list several values for
+  /// non-functional attributes (cast lists, spoken languages), which is
+  /// what latent-truth-model fusion exploits.
+  double truth_claim_rate = 0.8;
+};
+
+struct ClaimGenConfig {
+  size_t num_items = 400;
+  /// Candidate values per (non-hierarchical) item, including the truths.
+  size_t domain_size = 10;
+  /// Fraction of items with more than one true value.
+  double multi_truth_rate = 0.0;
+  /// Max true values for a multi-truth item.
+  size_t max_truths = 3;
+  /// When > 0, items are partitioned round-robin into this many *attribute
+  /// groups* (item ids become "attr_<g>|item_<i>"), and truth cardinality
+  /// is decided per group instead of per item: the first
+  /// `functional_group_rate` fraction of groups is functional (one truth),
+  /// the rest multi-truth. This models real schemas, where functionality
+  /// is a property of the attribute, not of the individual data item.
+  size_t attribute_groups = 0;
+  double functional_group_rate = 0.5;
+  /// Fraction of items whose domain is the location hierarchy.
+  double hierarchical_rate = 0.0;
+  std::vector<SourceSpec> sources;
+  uint64_t seed = 17;
+};
+
+/// A generated fusion workload with known truth.
+struct FusionDataset {
+  struct Item {
+    std::string id;
+    std::vector<std::string> truths;   ///< exact true values
+    std::vector<std::string> domain;   ///< candidates (truths included)
+    bool hierarchical = false;
+    HierarchyNodeId truth_leaf = kNoHierarchyNode;
+  };
+  struct ClaimRecord {
+    size_t item = 0;
+    size_t source = 0;
+    std::string value;
+  };
+
+  std::vector<Item> items;
+  std::vector<SourceSpec> sources;
+  std::vector<ClaimRecord> claims;
+  /// The hierarchy backing hierarchical items (non-empty only if used).
+  ValueHierarchy hierarchy;
+
+  /// True iff `value` is correct for item `i` (exact truth, or an ancestor
+  /// of the true leaf for hierarchical items).
+  bool IsTrue(size_t i, const std::string& value) const;
+};
+
+/// Generates a dataset; deterministic in config.seed.
+FusionDataset GenerateClaims(const ClaimGenConfig& config);
+
+/// Convenience: n independent sources with accuracies evenly spaced in
+/// [lo, hi] and the given coverage.
+std::vector<SourceSpec> MakeSources(size_t n, double lo, double hi,
+                                    double coverage = 0.7);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_CLAIM_GEN_H_

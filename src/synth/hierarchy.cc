@@ -1,0 +1,92 @@
+#include "synth/hierarchy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "synth/names.h"
+
+namespace akb::synth {
+
+ValueHierarchy::ValueHierarchy() {
+  names_.push_back("(root)");
+  parents_.push_back(kHierarchyRoot);
+  children_.emplace_back();
+  depths_.push_back(0);
+}
+
+HierarchyNodeId ValueHierarchy::AddChild(HierarchyNodeId parent,
+                                         std::string name) {
+  assert(parent < names_.size());
+  HierarchyNodeId id = static_cast<HierarchyNodeId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  parents_.push_back(parent);
+  children_.emplace_back();
+  depths_.push_back(depths_[parent] + 1);
+  children_[parent].push_back(id);
+  return id;
+}
+
+HierarchyNodeId ValueHierarchy::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoHierarchyNode : it->second;
+}
+
+bool ValueHierarchy::IsAncestorOrSelf(HierarchyNodeId ancestor,
+                                      HierarchyNodeId node) const {
+  HierarchyNodeId n = node;
+  while (true) {
+    if (n == ancestor) return true;
+    if (n == kHierarchyRoot) return false;
+    n = parents_[n];
+  }
+}
+
+std::vector<HierarchyNodeId> ValueHierarchy::RootChain(
+    HierarchyNodeId node) const {
+  std::vector<HierarchyNodeId> chain;
+  for (HierarchyNodeId n = node; n != kHierarchyRoot; n = parents_[n]) {
+    chain.push_back(n);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::vector<HierarchyNodeId> ValueHierarchy::Leaves() const {
+  std::vector<HierarchyNodeId> leaves;
+  for (HierarchyNodeId id = 1; id < names_.size(); ++id) {
+    if (children_[id].empty()) leaves.push_back(id);
+  }
+  return leaves;
+}
+
+HierarchyNodeId ValueHierarchy::Lca(HierarchyNodeId a,
+                                    HierarchyNodeId b) const {
+  while (depths_[a] > depths_[b]) a = parents_[a];
+  while (depths_[b] > depths_[a]) b = parents_[b];
+  while (a != b) {
+    a = parents_[a];
+    b = parents_[b];
+  }
+  return a;
+}
+
+ValueHierarchy BuildLocationHierarchy(size_t countries,
+                                      size_t regions_per_country,
+                                      size_t cities_per_region,
+                                      uint64_t seed) {
+  ValueHierarchy h;
+  PlaceNameGenerator names{Rng(seed)};
+  for (size_t c = 0; c < countries; ++c) {
+    HierarchyNodeId country = h.AddChild(kHierarchyRoot, names.Next());
+    for (size_t r = 0; r < regions_per_country; ++r) {
+      HierarchyNodeId region = h.AddChild(country, names.Next());
+      for (size_t k = 0; k < cities_per_region; ++k) {
+        h.AddChild(region, names.Next());
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace akb::synth

@@ -1,0 +1,74 @@
+// Hierarchical value spaces (paper §3.2).
+//
+// The paper's example: South Australia - Australia - Adelaide form a chain in
+// the location hierarchy, so (X, birth place, Australia) and (X, birth place,
+// Adelaide) are both true even for a functional attribute. We model such
+// domains as a rooted tree of values; ground truth picks a leaf, and sources
+// may (correctly) report any ancestor at a coarser level of abstraction.
+#ifndef AKB_SYNTH_HIERARCHY_H_
+#define AKB_SYNTH_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace akb::synth {
+
+/// Index of a value within a ValueHierarchy; root is node 0.
+using HierarchyNodeId = uint32_t;
+inline constexpr HierarchyNodeId kHierarchyRoot = 0;
+inline constexpr HierarchyNodeId kNoHierarchyNode =
+    static_cast<HierarchyNodeId>(-1);
+
+/// A rooted tree of named values.
+class ValueHierarchy {
+ public:
+  ValueHierarchy();
+
+  /// Adds a child value under `parent`; names must be globally unique.
+  HierarchyNodeId AddChild(HierarchyNodeId parent, std::string name);
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(HierarchyNodeId id) const { return names_[id]; }
+  HierarchyNodeId parent(HierarchyNodeId id) const { return parents_[id]; }
+  const std::vector<HierarchyNodeId>& children(HierarchyNodeId id) const {
+    return children_[id];
+  }
+  size_t depth(HierarchyNodeId id) const { return depths_[id]; }
+
+  /// Id of the value with this name, or kNoHierarchyNode.
+  HierarchyNodeId Find(const std::string& name) const;
+
+  /// True iff `ancestor` lies on the root path of `node` (inclusive).
+  bool IsAncestorOrSelf(HierarchyNodeId ancestor, HierarchyNodeId node) const;
+
+  /// Chain from the root (exclusive) down to `node` (inclusive).
+  std::vector<HierarchyNodeId> RootChain(HierarchyNodeId node) const;
+
+  /// All leaves (values with no children), excluding the root if childless.
+  std::vector<HierarchyNodeId> Leaves() const;
+
+  /// Lowest common ancestor (may be the root).
+  HierarchyNodeId Lca(HierarchyNodeId a, HierarchyNodeId b) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<HierarchyNodeId> parents_;
+  std::vector<std::vector<HierarchyNodeId>> children_;
+  std::vector<size_t> depths_;
+  std::unordered_map<std::string, HierarchyNodeId> by_name_;
+};
+
+/// Builds a three-level location hierarchy: `countries` children of the
+/// root, each with `regions_per_country` regions of `cities_per_region`
+/// cities. Names come from a PlaceNameGenerator seeded by `seed`.
+ValueHierarchy BuildLocationHierarchy(size_t countries,
+                                      size_t regions_per_country,
+                                      size_t cities_per_region, uint64_t seed);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_HIERARCHY_H_

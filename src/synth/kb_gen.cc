@@ -1,0 +1,309 @@
+#include "synth/kb_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "synth/names.h"
+
+namespace akb::synth {
+
+std::string KbClass::EntityName(EntityId id) const {
+  for (size_t i = 0; i < entities.size(); ++i) {
+    if (entities[i] == id) return i < entity_names.size() ? entity_names[i] : "";
+  }
+  return "";
+}
+
+size_t KbClass::NumDeclared() const {
+  size_t count = 0;
+  for (const auto& attribute : attributes) {
+    if (attribute.declared) ++count;
+  }
+  return count;
+}
+
+const KbClass* KbSnapshot::FindClass(std::string_view class_name) const {
+  for (const auto& c : classes) {
+    if (c.name == class_name) return &c;
+  }
+  return nullptr;
+}
+
+size_t KbSnapshot::TotalEntities() const {
+  size_t total = 0;
+  for (const auto& c : classes) total += c.entities.size();
+  return total;
+}
+
+size_t KbSnapshot::TotalDeclaredAttributes() const {
+  size_t total = 0;
+  for (const auto& c : classes) total += c.NumDeclared();
+  return total;
+}
+
+size_t KbSnapshot::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& c : classes) total += c.facts.size();
+  return total;
+}
+
+namespace {
+
+// Picks the value a KB reports for a fact; may be wrong or generalized.
+std::string RenderFactValue(const World& world, const WorldClass& wc,
+                            const Fact& fact, const KbClassProfile& profile,
+                            Rng* rng, bool* correct) {
+  const AttributeSpec& spec = wc.attributes[fact.attribute];
+  *correct = true;
+
+  if (spec.domain == ValueDomainKind::kLocation &&
+      fact.location != kNoHierarchyNode) {
+    if (rng->Bernoulli(profile.error_rate)) {
+      // Wrong leaf from the hierarchy.
+      *correct = false;
+      auto leaves = world.hierarchy().Leaves();
+      HierarchyNodeId pick = leaves[rng->Index(leaves.size())];
+      if (pick == fact.location) *correct = true;  // accidental truth
+      return world.hierarchy().name(pick);
+    }
+    if (rng->Bernoulli(profile.generalize_rate)) {
+      // A coarser-but-true ancestor.
+      auto chain = world.hierarchy().RootChain(fact.location);
+      if (chain.size() > 1) {
+        size_t level = rng->Index(chain.size() - 1);
+        return world.hierarchy().name(chain[level]);
+      }
+    }
+    return world.hierarchy().name(fact.location);
+  }
+
+  if (!fact.values.empty() && !rng->Bernoulli(profile.error_rate)) {
+    return fact.values[rng->Index(fact.values.size())];
+  }
+  // Wrong value from the attribute's pool (or a corrupted true value when
+  // the pool is trivially small).
+  *correct = false;
+  if (spec.value_pool.size() > 1) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& candidate =
+          spec.value_pool[rng->Index(spec.value_pool.size())];
+      bool is_true = std::find(fact.values.begin(), fact.values.end(),
+                               candidate) != fact.values.end();
+      if (!is_true) return candidate;
+    }
+  }
+  if (!fact.values.empty()) return Misspell(fact.values.front(), rng);
+  return "unknown";
+}
+
+}  // namespace
+
+KbSnapshot GenerateKb(const World& world, const KbProfile& profile) {
+  KbSnapshot snapshot;
+  snapshot.name = profile.kb_name;
+  Rng master(profile.seed);
+
+  for (const KbClassProfile& cp : profile.classes) {
+    auto cls_id = world.FindClass(cp.class_name);
+    if (!cls_id) {
+      AKB_LOG(Warning) << "KB profile references unknown class '"
+                       << cp.class_name << "'";
+      continue;
+    }
+    const WorldClass& wc = world.cls(*cls_id);
+    Rng rng = master.Fork();
+
+    KbClass out;
+    out.name = cp.class_name;
+
+    // --- Attribute selection window.
+    size_t begin = std::min(cp.attr_offset, wc.attributes.size());
+    size_t end = std::min(begin + cp.instance_attributes, wc.attributes.size());
+    if (end - begin < cp.instance_attributes) {
+      AKB_LOG(Warning) << "class '" << cp.class_name << "' has only "
+                       << wc.attributes.size()
+                       << " attributes; instance window truncated to "
+                       << (end - begin);
+    }
+    // The declared schema is the window prefix (which canonical ids land
+    // there is arbitrary since attribute order is already shuffled).
+    for (size_t i = begin; i < end; ++i) {
+      KbAttribute attribute;
+      attribute.canonical = static_cast<AttributeId>(i);
+      attribute.declared = (i - begin) < cp.declared_attributes;
+      if (cp.synonym_rate > 0 && rng.Bernoulli(cp.synonym_rate) &&
+          HasSynonym(wc.attributes[i].name)) {
+        attribute.surfaces.push_back(
+            SynonymSurface(wc.attributes[i].name));
+      }
+      size_t num_surfaces =
+          1 + rng.Index(std::max<size_t>(1, cp.max_surface_variants));
+      for (size_t v = 0; v < num_surfaces; ++v) {
+        SurfaceStyle style =
+            v == 0 ? SurfaceStyle::kPlain
+                   : SampleStyle(cp.variant_rate * 2.5, cp.misspell_rate * 2.5,
+                                 &rng);
+        std::string surface =
+            RenderSurface(wc.attributes[i].name, style, &rng);
+        if (std::find(attribute.surfaces.begin(), attribute.surfaces.end(),
+                      surface) == attribute.surfaces.end()) {
+          attribute.surfaces.push_back(std::move(surface));
+        }
+      }
+      out.attributes.push_back(std::move(attribute));
+    }
+
+    // --- Entity subset.
+    size_t num_entities = static_cast<size_t>(
+        cp.entity_coverage * static_cast<double>(wc.entities.size()) + 0.5);
+    auto picks =
+        rng.SampleWithoutReplacement(wc.entities.size(), num_entities);
+    std::sort(picks.begin(), picks.end());
+    for (size_t p : picks) {
+      out.entities.push_back(static_cast<EntityId>(p));
+      out.entity_names.push_back(wc.entities[p].name);
+    }
+
+    // Sub-attribute companions: a coarse "<name> country" attribute per
+    // selected location attribute, reporting the country ancestor.
+    std::vector<size_t> sub_of;  // parallel to out.attributes; SIZE_MAX=none
+    sub_of.assign(out.attributes.size(), SIZE_MAX);
+    if (cp.sub_attribute_rate > 0) {
+      size_t original = out.attributes.size();
+      for (size_t ai = 0; ai < original; ++ai) {
+        const AttributeSpec& spec =
+            wc.attributes[out.attributes[ai].canonical];
+        if (spec.domain != ValueDomainKind::kLocation) continue;
+        if (!rng.Bernoulli(cp.sub_attribute_rate)) continue;
+        KbAttribute companion;
+        companion.canonical = out.attributes[ai].canonical;
+        companion.declared = false;
+        companion.surfaces = {spec.name + " country"};
+        sub_of.push_back(ai);
+        out.attributes.push_back(std::move(companion));
+      }
+    }
+
+    // --- Instance facts.
+    for (EntityId e : out.entities) {
+      const Entity& entity = wc.entities[e];
+      for (size_t ai = 0; ai < out.attributes.size(); ++ai) {
+        if (!rng.Bernoulli(cp.fact_coverage)) continue;
+        const KbAttribute& attribute = out.attributes[ai];
+        const Fact& fact = entity.facts[attribute.canonical];
+        KbFact kb_fact;
+        kb_fact.entity = e;
+        kb_fact.attribute_index = ai;
+        kb_fact.surface =
+            attribute.surfaces[rng.Index(attribute.surfaces.size())];
+        if (ai < sub_of.size() && sub_of[ai] != SIZE_MAX &&
+            fact.location != kNoHierarchyNode) {
+          // Companion fact: the country-level (top) ancestor.
+          auto chain = world.hierarchy().RootChain(fact.location);
+          kb_fact.value = world.hierarchy().name(chain.front());
+          kb_fact.correct = true;
+        } else {
+          kb_fact.value =
+              RenderFactValue(world, wc, fact, cp, &rng, &kb_fact.correct);
+        }
+        out.facts.push_back(std::move(kb_fact));
+      }
+    }
+    snapshot.classes.push_back(std::move(out));
+  }
+  return snapshot;
+}
+
+namespace {
+
+KbClassProfile MakeClassProfile(const std::string& name, size_t offset,
+                                size_t instance, size_t declared) {
+  KbClassProfile profile;
+  profile.class_name = name;
+  profile.attr_offset = offset;
+  profile.instance_attributes = instance;
+  profile.declared_attributes = declared;
+  return profile;
+}
+
+}  // namespace
+
+KbProfile PaperDbpediaProfile() {
+  // "Extrac.(DBpedia)" (instance) and "DBpedia" (declared) columns of
+  // Table 2. Window offset 0: DBpedia takes the head of each class's
+  // attribute inventory.
+  KbProfile profile;
+  profile.kb_name = "DBpediaSynth";
+  profile.seed = 101;
+  profile.classes = {
+      MakeClassProfile("Book", 0, 48, 21),
+      MakeClassProfile("Film", 0, 53, 53),
+      MakeClassProfile("Country", 0, 360, 191),
+      MakeClassProfile("University", 0, 484, 21),
+      MakeClassProfile("Hotel", 0, 216, 18),
+  };
+  return profile;
+}
+
+KbProfile PaperFreebaseProfile() {
+  // Offsets are union - instance so that |DBpedia ∪ Freebase| equals the
+  // "Combine" column (Book 60, Film 92, Country 489, University 518,
+  // Hotel 255).
+  KbProfile profile;
+  profile.kb_name = "FreebaseSynth";
+  profile.seed = 202;
+  profile.classes = {
+      MakeClassProfile("Book", 60 - 19, 19, 5),
+      MakeClassProfile("Film", 92 - 54, 54, 54),
+      MakeClassProfile("Country", 489 - 150, 150, 22),
+      MakeClassProfile("University", 518 - 57, 57, 9),
+      MakeClassProfile("Hotel", 255 - 56, 56, 7),
+  };
+  // Freebase-style: broader entity coverage, sparser per-entity facts.
+  for (auto& c : profile.classes) {
+    c.entity_coverage = 0.9;
+    c.fact_coverage = 0.4;
+  }
+  return profile;
+}
+
+KbSnapshot GenerateProfileKb(const std::string& name, size_t entities,
+                             size_t attributes, uint64_t seed) {
+  KbSnapshot snapshot;
+  snapshot.name = name;
+  Rng rng(seed);
+  constexpr size_t kMaxAttrsPerClass = 200;
+  size_t num_classes =
+      std::max<size_t>(1, (attributes + kMaxAttrsPerClass - 1) /
+                              kMaxAttrsPerClass);
+  size_t attrs_left = attributes;
+  size_t entities_left = entities;
+  for (size_t c = 0; c < num_classes; ++c) {
+    KbClass cls;
+    cls.name = "class_" + std::to_string(c);
+    size_t attrs_here =
+        std::min(attrs_left, (attributes + num_classes - 1) / num_classes);
+    size_t entities_here = c + 1 == num_classes
+                               ? entities_left
+                               : entities / num_classes;
+    attrs_left -= attrs_here;
+    entities_left -= entities_here;
+    AttributePhraseGenerator phrases{rng.Fork()};
+    for (const std::string& phrase : phrases.Generate(attrs_here)) {
+      KbAttribute attribute;
+      attribute.canonical = static_cast<AttributeId>(cls.attributes.size());
+      attribute.declared = true;
+      attribute.surfaces = {phrase};
+      cls.attributes.push_back(std::move(attribute));
+    }
+    for (size_t e = 0; e < entities_here; ++e) {
+      cls.entities.push_back(static_cast<EntityId>(e));
+    }
+    snapshot.classes.push_back(std::move(cls));
+  }
+  return snapshot;
+}
+
+}  // namespace akb::synth

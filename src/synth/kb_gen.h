@@ -1,0 +1,127 @@
+// Synthetic KB snapshots standing in for Freebase and DBpedia.
+//
+// Real large-scale KBs have two property layers: a small *declared* schema
+// (the "# Attributes" columns of the paper's Tables 1-2: Freebase's
+// University type has 9 properties) and a much larger set of properties
+// actually *used* on instances (raw infobox properties, user-added keys).
+// The paper's existing-KB extractor mines the instance layer, normalizes and
+// dedups surface variants, and thereby grows the usable attribute set
+// (Table 2's "Extrac." columns); combining two KBs grows it further
+// ("Combine" column).
+//
+// A KbSnapshot generated here reproduces exactly that structure: per class a
+// declared subset, an instance-attribute superset rendered under 1..k noisy
+// surface forms, entity coverage, and facts with a controlled error rate.
+#ifndef AKB_SYNTH_KB_GEN_H_
+#define AKB_SYNTH_KB_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/noise.h"
+#include "synth/world.h"
+
+namespace akb::synth {
+
+/// Per-class generation parameters for one KB.
+struct KbClassProfile {
+  std::string class_name;
+  /// First canonical attribute id this KB draws from (selection window
+  /// [attr_offset, attr_offset + instance_attributes) of the world class's
+  /// attribute inventory). Offsets let two KBs overlap by a controlled
+  /// amount.
+  size_t attr_offset = 0;
+  /// Attributes used on instances (the extractable set).
+  size_t instance_attributes = 20;
+  /// Attributes in the declared schema (a subset of the instance set).
+  size_t declared_attributes = 10;
+  /// Fraction of world entities present in this KB.
+  double entity_coverage = 0.8;
+  /// Probability an (entity, attribute) fact is materialized.
+  double fact_coverage = 0.5;
+  /// Probability a materialized fact carries a wrong value.
+  double error_rate = 0.05;
+  /// Probability a location-valued fact reports an ancestor (coarser) value.
+  double generalize_rate = 0.2;
+  /// Surface-form noise for attribute names in the instance layer.
+  double variant_rate = 0.35;
+  double misspell_rate = 0.03;
+  /// Probability an attribute additionally appears under a token-level
+  /// synonym surface ("total budget" as "overall cost"). Synonyms defeat
+  /// string normalization; merging them needs schema alignment.
+  double synonym_rate = 0.0;
+  /// Probability a location-valued attribute gets a *sub-attribute*
+  /// companion "<name> country" whose facts report the country-level
+  /// ancestor of the same underlying value (the paper's "sub-attributes"
+  /// to be identified during fusion, §3).
+  double sub_attribute_rate = 0.0;
+  /// Max distinct surface forms one attribute appears under in this KB.
+  size_t max_surface_variants = 3;
+};
+
+struct KbProfile {
+  std::string kb_name;
+  uint64_t seed = 1;
+  std::vector<KbClassProfile> classes;
+};
+
+/// One attribute as it exists inside a generated KB.
+struct KbAttribute {
+  AttributeId canonical = 0;          ///< id in the world class
+  bool declared = false;              ///< part of the declared schema
+  std::vector<std::string> surfaces;  ///< forms used on instances
+};
+
+/// One instance-level fact.
+struct KbFact {
+  EntityId entity = 0;          ///< world entity id
+  size_t attribute_index = 0;   ///< into KbClass::attributes
+  std::string surface;          ///< attribute surface form used
+  std::string value;
+  bool correct = true;          ///< generation ledger (not visible to extractors)
+};
+
+struct KbClass {
+  std::string name;
+  std::vector<KbAttribute> attributes;
+  std::vector<EntityId> entities;          ///< world ids present in this KB
+  std::vector<std::string> entity_names;   ///< parallel to `entities`
+  std::vector<KbFact> facts;
+
+  /// Name of a world entity present in this KB, or "" if absent.
+  std::string EntityName(EntityId id) const;
+
+  size_t NumDeclared() const;
+};
+
+/// A generated KB.
+struct KbSnapshot {
+  std::string name;
+  std::vector<KbClass> classes;
+
+  const KbClass* FindClass(std::string_view class_name) const;
+  size_t TotalEntities() const;
+  size_t TotalDeclaredAttributes() const;
+  size_t TotalFacts() const;
+};
+
+/// Renders a KB snapshot of `world` according to `profile`.
+KbSnapshot GenerateKb(const World& world, const KbProfile& profile);
+
+/// The two paper KBs over the PaperDefault world, with per-class declared /
+/// instance counts and overlaps chosen so that the ground-truth extractable
+/// sets match Table 2 (DBpedia: Book 21->48 ... ; Freebase: Book 5->19 ...;
+/// union = "Combine" column).
+KbProfile PaperDbpediaProfile();
+KbProfile PaperFreebaseProfile();
+
+/// A scale-model KB with the given totals, world-independent: `entities`
+/// generic entities across ceil(attributes/200) generic classes carrying
+/// `attributes` distinct declared attributes overall. Used for Table 1,
+/// where only aggregate statistics matter.
+KbSnapshot GenerateProfileKb(const std::string& name, size_t entities,
+                             size_t attributes, uint64_t seed);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_KB_GEN_H_

@@ -1,0 +1,141 @@
+#include "synth/names.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace akb::synth {
+
+namespace {
+
+const char* const kOnsets[] = {"b",  "br", "c",  "d",  "dr", "f",  "g",
+                               "gr", "h",  "k",  "kel", "l", "m",  "mar",
+                               "n",  "p",  "r",  "s",  "t",  "v",  "z"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ia", "ei", "ou"};
+const char* const kCodas[] = {"n",   "r",   "l",   "s",   "th", "nd",
+                              "ria", "nia", "dor", "mar", "vik", "ton"};
+
+const char* const kAdjectives[] = {
+    "silent",  "golden",  "hidden", "broken",  "distant", "eternal",
+    "crimson", "frozen",  "gentle", "hollow",  "iron",    "lonely",
+    "midnight", "pale",   "quiet",  "restless", "scarlet", "shattered",
+    "velvet",  "wandering", "winter", "ancient", "burning", "fading"};
+
+const char* const kTitleNouns[] = {
+    "harbor", "garden", "mirror",  "river",   "empire",  "horizon",
+    "letter", "voyage", "orchard", "citadel", "lantern", "meadow",
+    "anthem", "canyon", "harvest", "journey", "kingdom", "labyrinth",
+    "monsoon", "odyssey", "paradox", "quarry", "refuge", "sonata"};
+
+const char* const kFirstNames[] = {
+    "elena", "marcus", "sofia",  "viktor", "amara",  "dmitri",
+    "freya", "hassan", "ingrid", "jonas",  "leila",  "mateo",
+    "nadia", "omar",   "petra",  "quentin", "rosa",  "stefan",
+    "talia", "ulrich", "vera",   "wendell", "yara",  "zoran"};
+
+const char* const kLastNames[] = {
+    "marsh",   "calder",  "voss",    "renner",  "hale",   "draven",
+    "ferro",   "glass",   "holt",    "ivers",   "keating", "lunde",
+    "moreau",  "norell",  "okafor",  "petrov",  "quist",  "ramsey",
+    "santos",  "thorne",  "ulvang",  "varga",   "whitman", "zeller"};
+
+const char* const kAttrModifiers[] = {
+    "original", "total",    "average",  "primary",  "official", "annual",
+    "main",     "initial",  "final",    "current",  "former",   "estimated",
+    "maximum",  "minimum",  "national", "regional", "local",    "gross",
+    "net",      "daily",    "overall",  "public",   "private",  "historic",
+    "secondary", "combined", "internal", "external", "leading",  "typical"};
+
+const char* const kAttrNouns[] = {
+    "title",      "name",       "budget",     "length",     "author",
+    "director",   "publisher",  "language",   "genre",      "capital",
+    "population", "area",       "currency",   "anthem",     "motto",
+    "founder",    "enrollment", "endowment",  "campus",     "mascot",
+    "chancellor", "rating",     "rate",       "capacity",   "address",
+    "manager",    "revenue",    "runtime",    "producer",   "composer",
+    "editor",     "isbn",       "pages",      "format",     "edition",
+    "circulation", "altitude",  "climate",    "timezone",   "religion",
+    "president",  "dean",       "faculty",    "tuition",    "ranking",
+    "amenities",  "cuisine",    "checkout",   "suites",     "stars",
+    "district",   "borough",    "exports",    "imports",    "coastline",
+    "debut",      "sequel",     "soundtrack", "screenplay", "cast"};
+
+}  // namespace
+
+std::string PlaceNameGenerator::Next() {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::string name;
+    size_t syllables = 1 + rng_.Index(2);
+    for (size_t s = 0; s <= syllables; ++s) {
+      name += kOnsets[rng_.Index(std::size(kOnsets))];
+      name += kVowels[rng_.Index(std::size(kVowels))];
+    }
+    name += kCodas[rng_.Index(std::size(kCodas))];
+    name = TitleCase(name);
+    if (used_.insert(name).second) return name;
+  }
+  // Fall back to a counter suffix; practically unreachable.
+  std::string name = "Place" + std::to_string(used_.size());
+  used_.insert(name);
+  return name;
+}
+
+std::string TitleGenerator::Next() {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::string name = "The ";
+    name += TitleCase(kAdjectives[rng_.Index(std::size(kAdjectives))]);
+    name += " ";
+    name += TitleCase(kTitleNouns[rng_.Index(std::size(kTitleNouns))]);
+    if (attempt > 100) {
+      // Dense usage: extend with a numeral suffix (space grows to ~500k).
+      name += " ";
+      name += std::to_string(2 + rng_.Index(997));
+    }
+    if (used_.insert(name).second) return name;
+  }
+  std::string name = "The Untitled " + std::to_string(used_.size());
+  used_.insert(name);
+  return name;
+}
+
+std::string PersonNameGenerator::Next() {
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::string name =
+        TitleCase(kFirstNames[rng_.Index(std::size(kFirstNames))]);
+    name += " ";
+    name += TitleCase(kLastNames[rng_.Index(std::size(kLastNames))]);
+    if (attempt > 200) {
+      name += " ";
+      name.push_back(static_cast<char>('A' + rng_.Index(26)));
+    }
+    if (used_.insert(name).second) return name;
+  }
+  std::string name = "Person " + std::to_string(used_.size());
+  used_.insert(name);
+  return name;
+}
+
+std::vector<std::string> AttributePhraseGenerator::Generate(size_t count) {
+  // Build the full cross product deterministically, shuffle, take a prefix.
+  std::vector<std::string> pool;
+  pool.reserve(std::size(kAttrNouns) * (1 + std::size(kAttrModifiers)));
+  for (const char* noun : kAttrNouns) pool.emplace_back(noun);
+  for (const char* mod : kAttrModifiers) {
+    for (const char* noun : kAttrNouns) {
+      pool.push_back(std::string(mod) + " " + noun);
+    }
+  }
+  rng_.Shuffle(&pool);
+  if (count > pool.size()) {
+    // Extend with numbered metrics; keeps uniqueness for huge requests.
+    size_t extra = count - pool.size();
+    for (size_t i = 0; i < extra; ++i) {
+      pool.push_back("metric " + std::to_string(i + 1));
+    }
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace akb::synth

@@ -1,0 +1,69 @@
+// Deterministic name generation for the synthetic world: entity names,
+// attribute noun phrases, place names. All generation is driven by a seeded
+// Rng so worlds are exactly reproducible.
+#ifndef AKB_SYNTH_NAMES_H_
+#define AKB_SYNTH_NAMES_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace akb::synth {
+
+/// Generates unique pronounceable place names ("Varonia", "Keldran").
+class PlaceNameGenerator {
+ public:
+  explicit PlaceNameGenerator(Rng rng) : rng_(rng) {}
+
+  /// Returns a fresh place name, distinct from all previously returned.
+  std::string Next();
+
+ private:
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+/// Generates unique multi-word titles ("The Silent Harbor") for books/films.
+class TitleGenerator {
+ public:
+  explicit TitleGenerator(Rng rng) : rng_(rng) {}
+
+  std::string Next();
+
+ private:
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+/// Generates unique person names ("Elena Marsh").
+class PersonNameGenerator {
+ public:
+  explicit PersonNameGenerator(Rng rng) : rng_(rng) {}
+
+  std::string Next();
+
+ private:
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+/// Generates unique attribute noun phrases ("original title",
+/// "total enrollment", "average room rate"). The phrase inventory is large
+/// enough (modifier x noun cross product) for the Country/University-sized
+/// attribute pools of Table 2.
+class AttributePhraseGenerator {
+ public:
+  explicit AttributePhraseGenerator(Rng rng) : rng_(rng) {}
+
+  /// Returns `count` distinct attribute phrases.
+  std::vector<std::string> Generate(size_t count);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_NAMES_H_

@@ -1,0 +1,144 @@
+#include "synth/noise.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace akb::synth {
+
+namespace {
+
+std::string JoinWith(const std::vector<std::string>& words,
+                     std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i) out += sep;
+    out += words[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Misspell(std::string_view word, Rng* rng) {
+  std::string w(word);
+  if (w.empty()) return w;
+  // Pick an editable (alphanumeric) position.
+  size_t pos = rng->Index(w.size());
+  int kind = static_cast<int>(rng->Index(4));
+  switch (kind) {
+    case 0:  // swap with next
+      if (pos + 1 < w.size()) {
+        std::swap(w[pos], w[pos + 1]);
+        break;
+      }
+      [[fallthrough]];
+    case 1:  // drop
+      if (w.size() > 1) {
+        w.erase(pos, 1);
+        break;
+      }
+      [[fallthrough]];
+    case 2:  // duplicate
+      w.insert(w.begin() + static_cast<long>(pos), w[pos]);
+      break;
+    default: {  // replace with a nearby letter
+      char repl = static_cast<char>('a' + rng->Index(26));
+      if (repl == w[pos]) repl = repl == 'z' ? 'a' : static_cast<char>(repl + 1);
+      w[pos] = repl;
+      break;
+    }
+  }
+  return w;
+}
+
+std::string RenderSurface(std::string_view phrase, SurfaceStyle style,
+                          Rng* rng) {
+  std::vector<std::string> words = SplitWhitespace(phrase);
+  if (words.empty()) return std::string(phrase);
+  switch (style) {
+    case SurfaceStyle::kPlain:
+      return JoinWith(words, " ");
+    case SurfaceStyle::kTitle:
+      return TitleCase(JoinWith(words, " "));
+    case SurfaceStyle::kSnake:
+      return JoinWith(words, "_");
+    case SurfaceStyle::kCamel: {
+      std::string out = words[0];
+      for (size_t i = 1; i < words.size(); ++i) {
+        std::string w = words[i];
+        if (!w.empty()) w[0] = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(w[0])));
+        out += w;
+      }
+      return out;
+    }
+    case SurfaceStyle::kHyphen:
+      return JoinWith(words, "-");
+    case SurfaceStyle::kOfForm: {
+      if (words.size() < 2) return words[0];
+      // Front the head noun: "birth place" -> "place of birth".
+      std::vector<std::string> rest(words.begin(), words.end() - 1);
+      return words.back() + " of " + JoinWith(rest, " ");
+    }
+    case SurfaceStyle::kMisspelled: {
+      size_t which = rng->Index(words.size());
+      words[which] = Misspell(words[which], rng);
+      return JoinWith(words, " ");
+    }
+  }
+  return JoinWith(words, " ");
+}
+
+namespace {
+// Token-level synonym map over the attribute vocabulary (names.cc).
+const std::pair<const char*, const char*> kSynonyms[] = {
+    {"total", "overall"},   {"average", "mean"},
+    {"budget", "cost"},     {"annual", "yearly"},
+    {"primary", "main"},    {"estimated", "approximate"},
+    {"revenue", "income"},  {"length", "duration"},
+    {"capacity", "volume"}, {"rating", "score"},
+    {"maximum", "peak"},    {"enrollment", "intake"},
+    {"author", "writer"},   {"initial", "first"},
+    {"former", "previous"}, {"national", "countrywide"},
+};
+
+const char* SynonymOf(const std::string& token) {
+  for (const auto& [word, synonym] : kSynonyms) {
+    if (token == word) return synonym;
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::string SynonymSurface(std::string_view phrase) {
+  std::vector<std::string> words = SplitWhitespace(phrase);
+  bool changed = false;
+  for (auto& word : words) {
+    if (const char* synonym = SynonymOf(word)) {
+      word = synonym;
+      changed = true;
+    }
+  }
+  if (!changed) return std::string(phrase);
+  return JoinWith(words, " ");
+}
+
+bool HasSynonym(std::string_view phrase) {
+  return SynonymSurface(phrase) != phrase;
+}
+
+SurfaceStyle SampleStyle(double variant_rate, double misspell_rate, Rng* rng) {
+  double u = rng->NextDouble();
+  if (u < misspell_rate) return SurfaceStyle::kMisspelled;
+  if (u < misspell_rate + variant_rate) {
+    // One of the non-trivial, non-misspelled variants.
+    static const SurfaceStyle kVariants[] = {
+        SurfaceStyle::kTitle, SurfaceStyle::kSnake, SurfaceStyle::kCamel,
+        SurfaceStyle::kHyphen, SurfaceStyle::kOfForm};
+    return kVariants[rng->Index(std::size(kVariants))];
+  }
+  return SurfaceStyle::kPlain;
+}
+
+}  // namespace akb::synth

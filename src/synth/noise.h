@@ -1,0 +1,56 @@
+// Surface-form noise models.
+//
+// The paper's fusion phase must identify "misspellings, synonyms, and
+// sub-attributes" (§3); its extraction phase must dedup attribute variants
+// across KBs. These generators produce exactly that noise: the same canonical
+// attribute appears as "birth place", "place of birth", "birthPlace",
+// "birth_place", or a misspelled form, depending on the source.
+#ifndef AKB_SYNTH_NOISE_H_
+#define AKB_SYNTH_NOISE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace akb::synth {
+
+/// Styles a canonical phrase can be rendered in by different sources.
+enum class SurfaceStyle : uint8_t {
+  kPlain = 0,      ///< "birth place"
+  kTitle = 1,      ///< "Birth Place"
+  kSnake = 2,      ///< "birth_place"
+  kCamel = 3,      ///< "birthPlace"
+  kHyphen = 4,     ///< "birth-place"
+  kOfForm = 5,     ///< "place of birth" (head noun fronted)
+  kMisspelled = 6, ///< one random character edit
+};
+inline constexpr int kNumSurfaceStyles = 7;
+
+/// Renders `phrase` (lowercase, space-separated) in the given style.
+/// kMisspelled and kOfForm consume randomness from `rng`.
+std::string RenderSurface(std::string_view phrase, SurfaceStyle style,
+                          Rng* rng);
+
+/// Applies one random edit (swap / drop / duplicate / replace a character).
+/// Single-character strings get a replacement edit.
+std::string Misspell(std::string_view word, Rng* rng);
+
+/// Picks a style: kPlain with probability 1-variant_rate-misspell_rate,
+/// a non-trivial variant with probability variant_rate, misspelled with
+/// probability misspell_rate.
+SurfaceStyle SampleStyle(double variant_rate, double misspell_rate, Rng* rng);
+
+/// Substitutes every token that has a known synonym ("total budget" ->
+/// "overall cost"). Unlike casing/of-form variants, a synonym surface does
+/// NOT normalize back to the original phrase — merging it requires
+/// value-overlap schema alignment, not string matching. Returns the input
+/// unchanged when no token has a synonym.
+std::string SynonymSurface(std::string_view phrase);
+
+/// True iff SynonymSurface(phrase) differs from phrase.
+bool HasSynonym(std::string_view phrase);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_NOISE_H_

@@ -1,0 +1,144 @@
+#include "synth/query_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "synth/noise.h"
+
+namespace akb::synth {
+
+namespace {
+
+const char* const kWhWords[] = {"what", "how", "when", "who"};
+
+const char* const kNavSuffixes[] = {"reviews",  "photos", "tickets",
+                                    "online",   "wiki",   "news",
+                                    "near me",  "deals",  "official site"};
+
+const char* const kJunkQueries[] = {
+    "weather tomorrow",        "cheap flights",        "pizza delivery",
+    "currency converter",      "news headlines",       "football scores",
+    "download free music",     "movie showtimes",      "driving directions",
+    "birthday gift ideas",     "stock market today",   "local restaurants",
+    "how to tie a tie",        "translate hello",      "lottery numbers",
+    "best laptop 2015",        "horoscope today",      "recipe chicken soup"};
+
+std::string MaybeMisspell(std::string s, double rate, Rng* rng) {
+  if (rng->Bernoulli(rate)) return Misspell(s, rng);
+  return s;
+}
+
+// Renders an attribute query from the paper's pattern family.
+std::string AttributeQuery(const std::string& attribute,
+                           const std::string& entity, Rng* rng) {
+  switch (rng->Index(4)) {
+    case 0: {
+      std::string q(kWhWords[rng->Index(std::size(kWhWords))]);
+      q += " is the " + attribute + " of ";
+      if (rng->Bernoulli(0.4)) q += "the ";
+      q += entity;
+      return q;
+    }
+    case 1: {
+      std::string q = "the " + attribute + " of ";
+      if (rng->Bernoulli(0.4)) q += "the ";
+      q += entity;
+      return q;
+    }
+    case 2:
+      return entity + "'s " + attribute;
+    default:
+      return attribute + " of " + entity;
+  }
+}
+
+std::string NavigationalQuery(const std::string& entity, Rng* rng) {
+  if (rng->Bernoulli(0.25)) return entity;
+  std::string q = entity;
+  q += " ";
+  q += kNavSuffixes[rng->Index(std::size(kNavSuffixes))];
+  if (rng->Bernoulli(0.2)) q = "buy " + q;
+  return q;
+}
+
+}  // namespace
+
+QueryLogConfig QueryLogConfig::PaperDefault(size_t scale_divisor) {
+  if (scale_divisor == 0) scale_divisor = 1;
+  QueryLogConfig config;
+  config.seed = 11;
+  config.attribute_zipf = 0.7;
+  config.total_records = 29283918 / scale_divisor;
+  config.classes = {
+      // class, relevant records (Table 3 / divisor), queried attrs, nav rate
+      {"Book", 259556 / scale_divisor, 100, 0.30},
+      {"Film", 403672 / scale_divisor, 62, 0.50},
+      {"Country", 393244 / scale_divisor, 210, 0.30},
+      {"University", 24633 / scale_divisor, 25, 0.40},
+      {"Hotel", 15544 / scale_divisor, 6, 0.97},
+  };
+  return config;
+}
+
+std::vector<QueryRecord> GenerateQueryLog(const World& world,
+                                          const QueryLogConfig& config) {
+  std::vector<QueryRecord> records;
+  Rng master(config.seed);
+
+  size_t relevant_total = 0;
+  for (const QueryClassConfig& cc : config.classes) {
+    Rng rng = master.Fork();
+    auto cls_id = world.FindClass(cc.class_name);
+    if (!cls_id) {
+      AKB_LOG(Warning) << "GenerateQueryLog: unknown class '" << cc.class_name
+                       << "'";
+      continue;
+    }
+    const WorldClass& wc = world.cls(*cls_id);
+    if (wc.entities.empty()) continue;
+    size_t pool = std::min(cc.queried_attributes, wc.attributes.size());
+    ZipfTable attr_zipf(std::max<size_t>(1, pool), config.attribute_zipf);
+    // Entity popularity is Zipf-skewed too (a few famous entities dominate).
+    ZipfTable entity_zipf(wc.entities.size(), 0.8);
+
+    for (size_t i = 0; i < cc.relevant_records; ++i) {
+      const Entity& entity = wc.entities[entity_zipf.Sample(&rng)];
+      QueryRecord record;
+      record.cls = *cls_id;
+      if (pool > 0 && !rng.Bernoulli(cc.navigational_rate)) {
+        uint32_t attr = static_cast<uint32_t>(attr_zipf.Sample(&rng));
+        record.attribute = attr;
+        record.query = AttributeQuery(ToLower(wc.attributes[attr].name),
+                                      ToLower(entity.name), &rng);
+      } else {
+        record.query = NavigationalQuery(ToLower(entity.name), &rng);
+      }
+      record.query = MaybeMisspell(std::move(record.query),
+                                   config.misspell_rate, &rng);
+      records.push_back(std::move(record));
+    }
+    relevant_total += cc.relevant_records;
+  }
+
+  // Background junk.
+  Rng junk_rng = master.Fork();
+  size_t junk = config.total_records > relevant_total
+                    ? config.total_records - relevant_total
+                    : 0;
+  for (size_t i = 0; i < junk; ++i) {
+    QueryRecord record;
+    record.query = kJunkQueries[junk_rng.Index(std::size(kJunkQueries))];
+    if (junk_rng.Bernoulli(0.3)) {
+      record.query += " ";
+      record.query += junk_rng.Identifier(4);
+    }
+    records.push_back(std::move(record));
+  }
+
+  Rng shuffle_rng = master.Fork();
+  shuffle_rng.Shuffle(&records);
+  return records;
+}
+
+}  // namespace akb::synth

@@ -1,0 +1,63 @@
+// Synthetic search-engine query stream.
+//
+// Substitutes for the 29,283,918 Google+AOL query records of the paper's
+// Table 3 experiment. Per class, the generator emits `relevant_records`
+// queries that mention one of the class's entities; a fraction are
+// *attribute queries* rendered from the paper's own pattern family
+// ("what is the A of E", "the A of E", "E's A"), the rest are navigational
+// ("E reviews", "buy E online"). Attribute mentions are Zipf-skewed over a
+// per-class queried-attribute pool, so thresholding on support yields the
+// Table 3 "credible attributes" shape: classes with few relevant records
+// (Hotel) starve below the credibility threshold and extract nothing.
+// Background junk queries fill the stream to `total_records`.
+#ifndef AKB_SYNTH_QUERY_GEN_H_
+#define AKB_SYNTH_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/world.h"
+
+namespace akb::synth {
+
+struct QueryClassConfig {
+  std::string class_name;
+  /// Queries mentioning an entity of this class.
+  size_t relevant_records = 1000;
+  /// Distinct attributes that appear in this class's attribute queries
+  /// (a prefix of the class's canonical inventory), Zipf-skewed.
+  size_t queried_attributes = 40;
+  /// Fraction of relevant queries that are navigational (no attribute).
+  double navigational_rate = 0.35;
+};
+
+struct QueryLogConfig {
+  std::vector<QueryClassConfig> classes;
+  /// Total stream size; the remainder beyond relevant records is junk.
+  size_t total_records = 20000;
+  /// Zipf exponent over the queried-attribute pool.
+  double attribute_zipf = 0.9;
+  double misspell_rate = 0.02;
+  uint64_t seed = 11;
+
+  /// Table 3 workload at 1/scale_divisor of the paper's volume
+  /// (divisor 100: 292,839 records; Book 2,596 relevant, ... Hotel 155).
+  static QueryLogConfig PaperDefault(size_t scale_divisor = 100);
+};
+
+/// One query record. `cls`/`attribute` are the generation ledger
+/// (kNoLedger when not applicable); extractors must only look at `query`.
+struct QueryRecord {
+  std::string query;
+  static constexpr uint32_t kNoLedger = static_cast<uint32_t>(-1);
+  uint32_t cls = kNoLedger;
+  uint32_t attribute = kNoLedger;
+};
+
+/// Generates the full stream in shuffled order.
+std::vector<QueryRecord> GenerateQueryLog(const World& world,
+                                          const QueryLogConfig& config);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_QUERY_GEN_H_

@@ -1,0 +1,240 @@
+#include "synth/site_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "html/entities.h"
+#include "synth/noise.h"
+
+namespace akb::synth {
+
+namespace {
+
+const char* const kJunkWords[] = {
+    "home",    "contact", "about",   "login",   "register", "subscribe",
+    "special", "offer",   "deals",   "today",   "trending", "popular",
+    "latest",  "archive", "sitemap", "privacy", "terms",    "careers"};
+
+std::string JunkPhrase(Rng* rng, size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i) out += " ";
+    out += kJunkWords[rng->Index(std::size(kJunkWords))];
+  }
+  return out;
+}
+
+std::string Esc(const std::string& s) { return html::EncodeEntities(s); }
+
+// Renders one attribute row in the site's layout. `styled` wraps the label
+// in a presentational tag (per-row styling jitter real pages exhibit).
+void AppendRow(LayoutStyle style, const std::string& label,
+               const std::string& value, bool styled, std::string* out) {
+  std::string rendered_label =
+      styled ? "<b>" + Esc(label) + "</b>" : Esc(label);
+  switch (style) {
+    case LayoutStyle::kInfoboxTable:
+      *out += "<tr><th>" + rendered_label +
+              "</th><td><span class=\"val\">" + Esc(value) +
+              "</span></td></tr>";
+      break;
+    case LayoutStyle::kDefinitionList:
+      *out += "<dt>" + rendered_label + "</dt><dd><span>" + Esc(value) +
+              "</span></dd>";
+      break;
+    case LayoutStyle::kListItems:
+      *out += "<li><span class=\"key\">" + rendered_label +
+              "</span><em>" + Esc(value) + "</em></li>";
+      break;
+    case LayoutStyle::kDivRows:
+      *out += "<div class=\"row\"><div class=\"k\">" + rendered_label +
+              "</div><div class=\"v\">" + Esc(value) + "</div></div>";
+      break;
+  }
+}
+
+void OpenBlock(LayoutStyle style, std::string* out) {
+  switch (style) {
+    case LayoutStyle::kInfoboxTable:
+      *out += "<table class=\"infobox\">";
+      break;
+    case LayoutStyle::kDefinitionList:
+      *out += "<dl class=\"facts\">";
+      break;
+    case LayoutStyle::kListItems:
+      *out += "<ul class=\"facts\">";
+      break;
+    case LayoutStyle::kDivRows:
+      *out += "<div class=\"props\">";
+      break;
+  }
+}
+
+void CloseBlock(LayoutStyle style, std::string* out) {
+  switch (style) {
+    case LayoutStyle::kInfoboxTable:
+      *out += "</table>";
+      break;
+    case LayoutStyle::kDefinitionList:
+      *out += "</dl>";
+      break;
+    case LayoutStyle::kListItems:
+      *out += "</ul>";
+      break;
+    case LayoutStyle::kDivRows:
+      *out += "</div>";
+      break;
+  }
+}
+
+// Picks the value a page displays for a fact (same noise semantics as the
+// KB generator, but independent draws: sites are independent sources).
+std::string RenderValue(const World& world, const WorldClass& wc,
+                        const Fact& fact, const SiteConfig& config, Rng* rng,
+                        bool* correct) {
+  const AttributeSpec& spec = wc.attributes[fact.attribute];
+  *correct = true;
+  if (spec.domain == ValueDomainKind::kLocation &&
+      fact.location != kNoHierarchyNode) {
+    if (rng->Bernoulli(config.value_error_rate)) {
+      auto leaves = world.hierarchy().Leaves();
+      HierarchyNodeId pick = leaves[rng->Index(leaves.size())];
+      *correct = pick == fact.location;
+      return world.hierarchy().name(pick);
+    }
+    if (rng->Bernoulli(config.generalize_rate)) {
+      auto chain = world.hierarchy().RootChain(fact.location);
+      if (chain.size() > 1) {
+        return world.hierarchy().name(chain[rng->Index(chain.size() - 1)]);
+      }
+    }
+    return world.hierarchy().name(fact.location);
+  }
+  if (!fact.values.empty() && !rng->Bernoulli(config.value_error_rate)) {
+    return fact.values[rng->Index(fact.values.size())];
+  }
+  *correct = false;
+  if (spec.value_pool.size() > 1) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& candidate =
+          spec.value_pool[rng->Index(spec.value_pool.size())];
+      if (std::find(fact.values.begin(), fact.values.end(), candidate) ==
+          fact.values.end()) {
+        return candidate;
+      }
+    }
+  }
+  if (!fact.values.empty()) return Misspell(fact.values.front(), rng);
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<WebSite> GenerateSites(const World& world,
+                                   const SiteConfig& config) {
+  std::vector<WebSite> sites;
+  auto cls_id = world.FindClass(config.class_name);
+  if (!cls_id) {
+    AKB_LOG(Warning) << "GenerateSites: unknown class '" << config.class_name
+                     << "'";
+    return sites;
+  }
+  const WorldClass& wc = world.cls(*cls_id);
+  if (wc.entities.empty() || wc.attributes.empty()) return sites;
+
+  Rng master(config.seed);
+  for (size_t s = 0; s < config.num_sites; ++s) {
+    Rng rng = master.Fork();
+    WebSite site;
+    site.class_name = config.class_name;
+    site.style = config.forced_style >= 0 &&
+                         config.forced_style < kNumLayoutStyles
+                     ? static_cast<LayoutStyle>(config.forced_style)
+                     : static_cast<LayoutStyle>(rng.Index(kNumLayoutStyles));
+    site.domain = ToLower(config.class_name) + "-" + rng.Identifier(6) +
+                  ".example.com";
+    // Site-specific wrapper class names: inter-site heterogeneity.
+    std::string shell_class = "shell-" + rng.Identifier(4);
+    std::string main_class = "main-" + rng.Identifier(4);
+    // Boilerplate is fixed per site (real sites render the same nav and
+    // footer on every page); ads remain random per page.
+    std::vector<std::string> nav_words;
+    for (size_t i = 0; i < 4; ++i) nav_words.push_back(JunkPhrase(&rng, 1));
+    std::string footer_phrase = JunkPhrase(&rng, 3);
+
+    for (size_t p = 0; p < config.pages_per_site; ++p) {
+      EntityId entity_id = static_cast<EntityId>(rng.Index(wc.entities.size()));
+      const Entity& entity = wc.entities[entity_id];
+
+      WebPage page;
+      page.entity = entity_id;
+      page.entity_name = entity.name;
+      page.url = "http://" + site.domain + "/page" + std::to_string(p) +
+                 ".html";
+
+      // Sample the attributes this page renders.
+      size_t want = std::max<size_t>(
+          1, static_cast<size_t>(config.attribute_coverage *
+                                 static_cast<double>(wc.attributes.size())));
+      auto attr_picks =
+          rng.SampleWithoutReplacement(wc.attributes.size(), want);
+      std::sort(attr_picks.begin(), attr_picks.end());
+
+      std::string& h = page.html;
+      h += "<!DOCTYPE html><html><head><title>" + Esc(entity.name) +
+           "</title></head><body>";
+      h += "<div class=\"" + shell_class + "\">";
+
+      // Nav boilerplate (identical on every page of the site).
+      size_t noise_blocks = rng.Poisson(config.mean_noise_blocks);
+      h += "<ul class=\"nav\">";
+      for (const std::string& word : nav_words) {
+        h += "<li><a href=\"#\">" + word + "</a></li>";
+      }
+      h += "</ul>";
+
+      h += "<div class=\"" + main_class + "\">";
+      h += "<h1>" + Esc(entity.name) + "</h1>";
+
+      for (size_t i = 0; i < noise_blocks; ++i) {
+        h += "<div class=\"ad ad-" + rng.Identifier(3) + "\"><p>" +
+             JunkPhrase(&rng, 2 + rng.Index(4)) + "</p></div>";
+      }
+
+      // Per-page wrapper jitter around the attribute block.
+      size_t wrappers = rng.Index(config.max_page_wrappers + 1);
+      for (size_t w = 0; w < wrappers; ++w) {
+        h += "<div class=\"wrap-" + rng.Identifier(3) + "\">";
+      }
+      OpenBlock(site.style, &h);
+      for (size_t pick : attr_picks) {
+        const AttributeSpec& spec = wc.attributes[pick];
+        const Fact& fact = entity.facts[pick];
+        SurfaceStyle label_style = SampleStyle(config.label_variant_rate,
+                                               config.label_misspell_rate,
+                                               &rng);
+        RenderedPair pair;
+        pair.attribute = static_cast<AttributeId>(pick);
+        pair.label = RenderSurface(spec.name, label_style, &rng);
+        pair.value =
+            RenderValue(world, wc, fact, config, &rng, &pair.value_correct);
+        AppendRow(site.style, pair.label, pair.value,
+                  rng.Bernoulli(config.label_style_rate), &h);
+        page.pairs.push_back(std::move(pair));
+      }
+      CloseBlock(site.style, &h);
+      for (size_t w = 0; w < wrappers; ++w) h += "</div>";
+
+      // Footer boilerplate.
+      h += "<div class=\"footer\"><p>" + footer_phrase + "</p></div>";
+      h += "</div></div></body></html>";
+
+      site.pages.push_back(std::move(page));
+    }
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
+}  // namespace akb::synth

@@ -1,0 +1,88 @@
+// Synthetic web sites: the input to the DOM-tree extractor (Algorithm 1).
+//
+// Real sites (the paper's example: imdb.com for Film) render entity pages
+// from site-specific templates: an entity heading plus attribute rows laid
+// out in a site-chosen structure (infobox table / definition list / list
+// items / styled divs), surrounded by nav, ads, and footer noise. Tag paths
+// from the entity node to attribute labels are regular *within* a site but
+// arbitrary *across* sites — exactly the property Algorithm 1 exploits and
+// the reason it induces patterns per page instead of learning global ones.
+//
+// Each generated page carries a ledger of the (label surface, canonical
+// attribute, value) pairs actually rendered, so extraction precision and
+// recall are computable exactly.
+#ifndef AKB_SYNTH_SITE_GEN_H_
+#define AKB_SYNTH_SITE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/world.h"
+
+namespace akb::synth {
+
+/// Per-site row layout for attribute pairs.
+enum class LayoutStyle : uint8_t {
+  kInfoboxTable = 0,    ///< table.infobox > tr > (th label, td > span value)
+  kDefinitionList = 1,  ///< dl > (dt label, dd > span value)
+  kListItems = 2,       ///< ul > li > (span.key label, em value)
+  kDivRows = 3,         ///< div.props > div.row > (div.k label, div.v value)
+};
+inline constexpr int kNumLayoutStyles = 4;
+
+struct SiteConfig {
+  std::string class_name;
+  size_t num_sites = 4;
+  size_t pages_per_site = 25;
+  /// Fraction of the class's attributes a page renders (sampled per page).
+  double attribute_coverage = 0.3;
+  /// Label surface noise (variants / misspellings of attribute names).
+  double label_variant_rate = 0.12;
+  double label_misspell_rate = 0.03;
+  /// Probability a rendered value is wrong.
+  double value_error_rate = 0.05;
+  /// Probability a label is wrapped in a presentational tag (<b>/<em>);
+  /// tag-path canonicalization must see through this styling jitter.
+  double label_style_rate = 0.15;
+  /// Probability a location value is reported at a coarser level.
+  double generalize_rate = 0.2;
+  /// Mean number of nav/ads/footer noise blocks per page.
+  double mean_noise_blocks = 3.0;
+  /// Extra random wrapper divs around the attribute block (0..n per page).
+  size_t max_page_wrappers = 2;
+  /// Force every site to one layout (kNumLayoutStyles = pick per site at
+  /// random, the default).
+  int forced_style = kNumLayoutStyles;
+  uint64_t seed = 3;
+};
+
+/// Ledger entry: one attribute pair as rendered on a page.
+struct RenderedPair {
+  std::string label;            ///< surface form of the attribute name
+  AttributeId attribute = 0;    ///< canonical id in the world class
+  std::string value;            ///< surface form of the value
+  bool value_correct = true;
+};
+
+struct WebPage {
+  std::string url;
+  std::string html;
+  EntityId entity = 0;
+  std::string entity_name;
+  std::vector<RenderedPair> pairs;
+};
+
+struct WebSite {
+  std::string domain;
+  std::string class_name;
+  LayoutStyle style = LayoutStyle::kInfoboxTable;
+  std::vector<WebPage> pages;
+};
+
+/// Generates `config.num_sites` sites about `config.class_name`.
+std::vector<WebSite> GenerateSites(const World& world,
+                                   const SiteConfig& config);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_SITE_GEN_H_

@@ -1,0 +1,126 @@
+#include "synth/taxonomy_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace akb::synth {
+
+namespace {
+
+const char* const kDistractors[] = {
+    "The announcement drew wide attention.",
+    "Experts remain cautiously optimistic about the trend.",
+    "No further details were made available.",
+    "The report covers the previous fiscal year.",
+    "Readers responded with considerable enthusiasm.",
+};
+
+// Pluralize naively for the "such as" pattern.
+std::string Plural(const std::string& noun) {
+  if (noun.empty()) return noun;
+  if (EndsWith(noun, "y")) return noun.substr(0, noun.size() - 1) + "ies";
+  if (EndsWith(noun, "s")) return noun + "es";
+  return noun + "s";
+}
+
+}  // namespace
+
+std::string CategoryNameOf(const std::string& class_name) {
+  return ToLower(class_name);
+}
+
+std::vector<std::string> SuperclassChainOf(const std::string& class_name) {
+  std::string category = CategoryNameOf(class_name);
+  if (category == "book" || category == "film") {
+    return {category, "creative work", "thing"};
+  }
+  if (category == "country") {
+    return {category, "geopolitical region", "place"};
+  }
+  if (category == "university" || category == "hotel") {
+    return {category, "institution", "organization"};
+  }
+  return {category, "thing"};
+}
+
+std::vector<TaxonomyDocument> GenerateTaxonomyCorpus(
+    const World& world, const TaxonomyCorpusConfig& config) {
+  std::vector<TaxonomyDocument> documents(
+      std::max<size_t>(1, config.num_documents));
+  Rng rng(config.seed);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    documents[d].source = "taxo-" + rng.Identifier(5) + ".example.com";
+  }
+
+  size_t doc_index = 0;
+  auto emit = [&](std::string sentence, IsaFact fact) {
+    TaxonomyDocument& doc = documents[doc_index % documents.size()];
+    ++doc_index;
+    doc.text += sentence + " ";
+    doc.facts.push_back(std::move(fact));
+    size_t distractors = rng.Poisson(config.distractor_rate);
+    for (size_t i = 0; i < distractors; ++i) {
+      doc.text += kDistractors[rng.Index(std::size(kDistractors))];
+      doc.text += " ";
+    }
+  };
+
+  // --- Instance-level sentences.
+  for (const WorldClass& wc : world.classes()) {
+    std::string category = CategoryNameOf(wc.name);
+    for (const Entity& entity : wc.entities) {
+      for (size_t s = 0; s < config.sentences_per_entity; ++s) {
+        std::string used_category = category;
+        bool correct = true;
+        if (rng.Bernoulli(config.error_rate) && world.classes().size() > 1) {
+          const WorldClass& other =
+              world.classes()[rng.Index(world.classes().size())];
+          if (other.name != wc.name) {
+            used_category = CategoryNameOf(other.name);
+            correct = false;
+          }
+        }
+        std::string article =
+            (!used_category.empty() &&
+             std::string("aeiou").find(used_category[0]) != std::string::npos)
+                ? "an"
+                : "a";
+        std::string sentence;
+        switch (rng.Index(3)) {
+          case 0:
+            sentence = entity.name + " is " + article + " " + used_category +
+                       ".";
+            break;
+          case 1:
+            sentence = "Critics discussed " + Plural(used_category) +
+                       " such as " + entity.name + ".";
+            break;
+          default:
+            sentence = entity.name + " and other " + Plural(used_category) +
+                       " were mentioned.";
+            break;
+        }
+        emit(std::move(sentence),
+             IsaFact{entity.name, used_category, correct});
+      }
+    }
+
+    // --- Category-level sentences (the superclass chain).
+    auto chain = SuperclassChainOf(wc.name);
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        std::string article =
+            std::string("aeiou").find(chain[i][0]) != std::string::npos
+                ? "An"
+                : "A";
+        emit(article + " " + chain[i] + " is a " + chain[i + 1] + ".",
+             IsaFact{chain[i], chain[i + 1], true});
+      }
+    }
+  }
+  return documents;
+}
+
+}  // namespace akb::synth

@@ -1,0 +1,61 @@
+// Synthetic "is-a" corpus for taxonomic knowledge extraction.
+//
+// The paper's related work (§2.1) covers taxonomic extractors — YAGO-style
+// Wikipedia linking and Probase-style Web harvesting — and §3.1 plans an
+// "enhanced ontology" grown from the open Web. This generator renders the
+// world's entity-class memberships (plus a configurable superclass chain)
+// as natural-language sentences in the Hearst-pattern family:
+//
+//   "The Silent Harbor is a film."        (instance is-a category)
+//   "films such as The Silent Harbor ..." (category such-as instances)
+//   "The Silent Harbor and other films"   (instance and-other category)
+//   "A film is a creative work."          (category is-a supercategory)
+//
+// with distractor prose and a ledger of the encoded edges.
+#ifndef AKB_SYNTH_TAXONOMY_GEN_H_
+#define AKB_SYNTH_TAXONOMY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/world.h"
+
+namespace akb::synth {
+
+struct TaxonomyCorpusConfig {
+  /// Is-a sentences rendered per entity (across all documents).
+  size_t sentences_per_entity = 2;
+  /// Distractor sentences per is-a sentence (on average).
+  double distractor_rate = 0.5;
+  /// Probability an is-a statement is wrong (entity attributed to a
+  /// different class).
+  double error_rate = 0.03;
+  size_t num_documents = 20;
+  uint64_t seed = 19;
+};
+
+/// One encoded is-a edge (the ledger).
+struct IsaFact {
+  std::string instance;   ///< surface ("The Silent Harbor" or "film")
+  std::string category;   ///< surface ("film", "creative work")
+  bool correct = true;
+};
+
+struct TaxonomyDocument {
+  std::string source;
+  std::string text;
+  std::vector<IsaFact> facts;
+};
+
+/// The category name used for a world class ("Film" -> "film") and the
+/// default superclass chain above it ("film" -> "creative work" ->
+/// "thing"). Exposed so evaluation can reconstruct the ground truth.
+std::string CategoryNameOf(const std::string& class_name);
+std::vector<std::string> SuperclassChainOf(const std::string& class_name);
+
+std::vector<TaxonomyDocument> GenerateTaxonomyCorpus(
+    const World& world, const TaxonomyCorpusConfig& config);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_TAXONOMY_GEN_H_

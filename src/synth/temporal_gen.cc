@@ -1,0 +1,82 @@
+#include "synth/temporal_gen.h"
+
+#include <algorithm>
+
+#include "synth/names.h"
+
+namespace akb::synth {
+
+std::string TemporalWorld::HolderAt(size_t entity, int year) const {
+  if (entity >= timelines.size()) return "";
+  for (const Tenure& tenure : timelines[entity]) {
+    if (year >= tenure.start_year && year <= tenure.end_year) {
+      return tenure.holder;
+    }
+  }
+  return "";
+}
+
+TemporalCorpus GenerateTemporalCorpus(const TemporalConfig& config) {
+  TemporalCorpus corpus;
+  corpus.world.config = config;
+  Rng rng(config.seed);
+
+  PlaceNameGenerator places{rng.Fork()};
+  PersonNameGenerator persons{rng.Fork()};
+
+  // --- Entities with gap-free timelines.
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    corpus.world.entities.push_back(places.Next());
+    std::vector<Tenure> timeline;
+    int year = config.first_year;
+    while (year <= config.last_year) {
+      Tenure tenure;
+      tenure.holder = persons.Next();
+      tenure.start_year = year;
+      int tenure_len =
+          1 + static_cast<int>(rng.Poisson(config.mean_tenure - 1.0));
+      tenure.end_year = std::min(config.last_year, year + tenure_len - 1);
+      year = tenure.end_year + 1;
+      timeline.push_back(std::move(tenure));
+    }
+    corpus.world.timelines.push_back(std::move(timeline));
+  }
+
+  // --- Documents with dated sentences.
+  corpus.documents.resize(std::max<size_t>(1, config.num_documents));
+  for (size_t d = 0; d < corpus.documents.size(); ++d) {
+    corpus.documents[d].source = "news-" + rng.Identifier(5) + ".example.com";
+  }
+  size_t doc_index = 0;
+  for (size_t e = 0; e < corpus.world.entities.size(); ++e) {
+    const std::string& entity = corpus.world.entities[e];
+    for (int year = config.first_year; year <= config.last_year; ++year) {
+      if (!rng.Bernoulli(config.mention_rate)) continue;
+      std::string holder = corpus.world.HolderAt(e, year);
+      if (rng.Bernoulli(config.error_rate)) {
+        holder = persons.Next();  // a wrong person
+      }
+      std::string sentence;
+      bool is_start_year = false;
+      for (const Tenure& tenure : corpus.world.timelines[e]) {
+        if (tenure.start_year == year && tenure.holder == holder) {
+          is_start_year = true;
+        }
+      }
+      if (is_start_year && rng.Bernoulli(0.5)) {
+        sentence = holder + " became the " + config.attribute + " of " +
+                   entity + " in " + std::to_string(year) + ".";
+      } else {
+        sentence = "In " + std::to_string(year) + ", the " +
+                   config.attribute + " of " + entity + " was " + holder +
+                   ".";
+      }
+      TemporalDocument& doc = corpus.documents[doc_index % corpus.documents.size()];
+      ++doc_index;
+      doc.text += sentence + " ";
+    }
+  }
+  return corpus;
+}
+
+}  // namespace akb::synth

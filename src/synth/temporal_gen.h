@@ -1,0 +1,76 @@
+// Synthetic corpus for temporal knowledge extraction.
+//
+// The paper's related work (§2.1) closes with "Temporal Knowledge
+// Extractors [that] identify the facts on given relations at different time
+// points ... the solutions are more complex [because] the valid time points
+// of facts" must be extracted too. This generator builds per-entity value
+// *timelines* for a time-varying attribute (a country's leader, a
+// university's president) and renders them as dated sentences:
+//
+//   "In 2007, the president of Varonia was Elena Marsh."
+//   "Elena Marsh became the president of Varonia in 2004."
+//
+// The ledger keeps the full timeline, so interval reconstruction is
+// evaluable exactly.
+#ifndef AKB_SYNTH_TEMPORAL_GEN_H_
+#define AKB_SYNTH_TEMPORAL_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace akb::synth {
+
+struct TemporalConfig {
+  size_t num_entities = 20;
+  /// Inclusive year range of the timelines.
+  int first_year = 2000;
+  int last_year = 2015;
+  /// Mean tenure (years a value stays valid before changing).
+  double mean_tenure = 4.0;
+  /// The time-varying attribute's surface name.
+  std::string attribute = "president";
+  /// Dated sentences rendered per entity-year (coverage; 1.0 = every year
+  /// mentioned once).
+  double mention_rate = 0.8;
+  /// Probability a dated sentence reports a wrong holder.
+  double error_rate = 0.05;
+  size_t num_documents = 10;
+  uint64_t seed = 23;
+};
+
+/// One tenure on an entity's timeline: `holder` is valid in
+/// [start_year, end_year] inclusive.
+struct Tenure {
+  std::string holder;
+  int start_year = 0;
+  int end_year = 0;
+};
+
+struct TemporalWorld {
+  std::vector<std::string> entities;
+  /// Parallel to `entities`: each entity's tenures, chronological,
+  /// gap-free over [first_year, last_year].
+  std::vector<std::vector<Tenure>> timelines;
+  TemporalConfig config;
+
+  /// The true holder for an entity at a year, or "" outside the range.
+  std::string HolderAt(size_t entity, int year) const;
+};
+
+struct TemporalDocument {
+  std::string source;
+  std::string text;
+};
+
+struct TemporalCorpus {
+  TemporalWorld world;
+  std::vector<TemporalDocument> documents;
+};
+
+TemporalCorpus GenerateTemporalCorpus(const TemporalConfig& config);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_TEMPORAL_GEN_H_

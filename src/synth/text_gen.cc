@@ -1,0 +1,132 @@
+#include "synth/text_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "synth/noise.h"
+
+namespace akb::synth {
+
+namespace {
+
+const char* const kDistractors[] = {
+    "Critics were divided about the announcement.",
+    "More details will follow in the coming weeks.",
+    "The event attracted considerable attention online.",
+    "Several sources declined to comment on the matter.",
+    "Observers called the development long overdue.",
+    "A spokesperson confirmed the schedule remains unchanged.",
+    "The community reacted with a mix of surprise and enthusiasm.",
+    "Further coverage is available in our weekend edition.",
+};
+
+// Factual sentence templates. {A}=attribute, {E}=entity, {V}=value.
+// These deliberately align with the lexical patterns the extractor learns.
+const char* const kFactTemplates[] = {
+    "The {A} of {E} is {V}.",
+    "{E}'s {A} is {V}.",
+    "{V} is the {A} of {E}.",
+    "{E} has a {A} of {V}.",
+};
+
+std::string FillTemplate(const char* tmpl, const std::string& a,
+                         const std::string& e, const std::string& v) {
+  std::string out;
+  for (const char* p = tmpl; *p != '\0'; ++p) {
+    if (*p == '{' && p[1] != '\0' && p[2] == '}') {
+      switch (p[1]) {
+        case 'A':
+          out += a;
+          break;
+        case 'E':
+          out += e;
+          break;
+        case 'V':
+          out += v;
+          break;
+        default:
+          out.push_back(*p);
+          continue;
+      }
+      p += 2;
+    } else {
+      out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TextArticle> GenerateArticles(const World& world,
+                                          const TextConfig& config) {
+  std::vector<TextArticle> articles;
+  auto cls_id = world.FindClass(config.class_name);
+  if (!cls_id) {
+    AKB_LOG(Warning) << "GenerateArticles: unknown class '"
+                     << config.class_name << "'";
+    return articles;
+  }
+  const WorldClass& wc = world.cls(*cls_id);
+  if (wc.entities.empty() || wc.attributes.empty()) return articles;
+
+  Rng master(config.seed);
+  for (size_t n = 0; n < config.num_articles; ++n) {
+    Rng rng = master.Fork();
+    TextArticle article;
+    article.source = "text-" + rng.Identifier(5) + ".example.com";
+
+    for (size_t f = 0; f < config.facts_per_article; ++f) {
+      EntityId entity_id =
+          static_cast<EntityId>(rng.Index(wc.entities.size()));
+      const Entity& entity = wc.entities[entity_id];
+      AttributeId attr_id =
+          static_cast<AttributeId>(rng.Index(wc.attributes.size()));
+      const AttributeSpec& spec = wc.attributes[attr_id];
+      const Fact& fact = entity.facts[attr_id];
+
+      TextFact ledger;
+      ledger.entity = entity_id;
+      ledger.attribute = attr_id;
+      ledger.label = rng.Bernoulli(config.attr_misspell_rate)
+                         ? RenderSurface(spec.name, SurfaceStyle::kMisspelled,
+                                         &rng)
+                         : spec.name;
+
+      // Value (true or erroneous).
+      if (!fact.values.empty() && !rng.Bernoulli(config.value_error_rate)) {
+        ledger.value = fact.values[rng.Index(fact.values.size())];
+        ledger.value_correct = true;
+      } else {
+        ledger.value_correct = false;
+        if (spec.value_pool.size() > 1) {
+          ledger.value = spec.value_pool[rng.Index(spec.value_pool.size())];
+          ledger.value_correct =
+              std::find(fact.values.begin(), fact.values.end(),
+                        ledger.value) != fact.values.end();
+        } else if (!fact.values.empty()) {
+          ledger.value = Misspell(fact.values.front(), &rng);
+        } else {
+          ledger.value = "unknown";
+        }
+      }
+
+      const char* tmpl = kFactTemplates[rng.Index(std::size(kFactTemplates))];
+      article.text +=
+          FillTemplate(tmpl, ledger.label, entity.name, ledger.value);
+      article.text += " ";
+      article.facts.push_back(std::move(ledger));
+
+      // Distractor prose.
+      size_t distractors = rng.Poisson(config.distractor_rate);
+      for (size_t d = 0; d < distractors; ++d) {
+        article.text += kDistractors[rng.Index(std::size(kDistractors))];
+        article.text += " ";
+      }
+    }
+    articles.push_back(std::move(article));
+  }
+  return articles;
+}
+
+}  // namespace akb::synth

@@ -1,0 +1,52 @@
+// Synthetic Web-text corpus: natural-language articles rendered from world
+// facts, the input to the Web-text extractor.
+//
+// Articles mix factual sentences generated from a family of lexical
+// templates ("The budget of The Silent Harbor is 2,100,000.") with
+// distractor prose. The ledger records which (entity, attribute, value)
+// each factual sentence encodes, enabling exact precision/recall.
+#ifndef AKB_SYNTH_TEXT_GEN_H_
+#define AKB_SYNTH_TEXT_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/world.h"
+
+namespace akb::synth {
+
+struct TextConfig {
+  std::string class_name;
+  size_t num_articles = 40;
+  /// Factual sentences per article.
+  size_t facts_per_article = 8;
+  /// Distractor sentences inserted per factual sentence (on average).
+  double distractor_rate = 0.6;
+  double value_error_rate = 0.05;
+  /// Probability the attribute phrase in a sentence is misspelled.
+  double attr_misspell_rate = 0.02;
+  uint64_t seed = 5;
+};
+
+/// Ledger entry for one factual sentence.
+struct TextFact {
+  EntityId entity = 0;
+  AttributeId attribute = 0;
+  std::string label;  ///< attribute surface used in the sentence
+  std::string value;
+  bool value_correct = true;
+};
+
+struct TextArticle {
+  std::string source;  ///< synthetic source id ("text-ab12.example.com")
+  std::string text;
+  std::vector<TextFact> facts;
+};
+
+/// Generates articles about entities of `config.class_name`.
+std::vector<TextArticle> GenerateArticles(const World& world,
+                                          const TextConfig& config);
+
+}  // namespace akb::synth
+
+#endif  // AKB_SYNTH_TEXT_GEN_H_

@@ -1,0 +1,231 @@
+#include "synth/world.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "synth/names.h"
+
+namespace akb::synth {
+
+namespace {
+
+std::string MakeEntityName(EntityNameStyle style, TitleGenerator* titles,
+                           PlaceNameGenerator* places) {
+  switch (style) {
+    case EntityNameStyle::kTitle:
+      return titles->Next();
+    case EntityNameStyle::kPlace:
+      return places->Next();
+    case EntityNameStyle::kUniversity:
+      return "University of " + places->Next();
+    case EntityNameStyle::kHotel:
+      return "Hotel " + places->Next();
+  }
+  return titles->Next();
+}
+
+// Builds the per-attribute candidate value pool.
+std::vector<std::string> BuildValuePool(ValueDomainKind domain,
+                                        size_t pool_size, Rng* rng,
+                                        PersonNameGenerator* persons,
+                                        TitleGenerator* titles) {
+  std::vector<std::string> pool;
+  pool.reserve(pool_size);
+  switch (domain) {
+    case ValueDomainKind::kNumeric:
+      for (size_t i = 0; i < pool_size; ++i) {
+        pool.push_back(std::to_string(rng->UniformInt(1, 2000000)));
+      }
+      break;
+    case ValueDomainKind::kPerson:
+      for (size_t i = 0; i < pool_size; ++i) pool.push_back(persons->Next());
+      break;
+    case ValueDomainKind::kCategorical:
+      for (size_t i = 0; i < pool_size; ++i) {
+        // Short title-like strings without the leading article.
+        std::string t = titles->Next();
+        if (StartsWith(t, "The ")) t = t.substr(4);
+        pool.push_back(std::move(t));
+      }
+      break;
+    case ValueDomainKind::kLocation:
+      break;  // values come from the hierarchy, not a pool
+  }
+  return pool;
+}
+
+}  // namespace
+
+WorldConfig WorldConfig::PaperDefault() {
+  WorldConfig config;
+  config.seed = 42;
+  config.classes = {
+      {"Book", 120, 120, EntityNameStyle::kTitle},
+      {"Film", 110, 150, EntityNameStyle::kTitle},
+      {"Country", 550, 80, EntityNameStyle::kPlace},
+      {"University", 600, 90, EntityNameStyle::kUniversity},
+      {"Hotel", 300, 60, EntityNameStyle::kHotel},
+  };
+  return config;
+}
+
+WorldConfig WorldConfig::Small() {
+  WorldConfig config;
+  config.seed = 7;
+  config.classes = {
+      {"Book", 12, 15, EntityNameStyle::kTitle},
+      {"Film", 14, 15, EntityNameStyle::kTitle},
+      {"Country", 10, 8, EntityNameStyle::kPlace},
+  };
+  config.hierarchy_countries = 4;
+  config.hierarchy_regions_per_country = 2;
+  config.hierarchy_cities_per_region = 3;
+  config.value_pool_size = 10;
+  return config;
+}
+
+std::optional<AttributeId> WorldClass::FindAttribute(
+    std::string_view name) const {
+  auto it = attribute_index.find(NormalizeSurface(name));
+  if (it == attribute_index.end()) return std::nullopt;
+  return it->second;
+}
+
+World World::Build(const WorldConfig& config) {
+  World world;
+  world.config_ = config;
+
+  Rng master(config.seed);
+  // Entity-name generators are shared across classes so entity names are
+  // globally unique (queries and sentences mention entities by bare name).
+  TitleGenerator entity_titles{Rng(config.seed ^ 0x9e3779b9ull)};
+  PlaceNameGenerator entity_places{Rng(config.seed ^ 0x7f4a7c15ull)};
+  world.hierarchy_ = BuildLocationHierarchy(
+      config.hierarchy_countries, config.hierarchy_regions_per_country,
+      config.hierarchy_cities_per_region, master.NextU64());
+  std::vector<HierarchyNodeId> leaves = world.hierarchy_.Leaves();
+
+  for (const ClassConfig& cc : config.classes) {
+    Rng rng = master.Fork();
+    WorldClass wc;
+    wc.name = cc.name;
+    wc.name_style = cc.name_style;
+
+    // --- Attributes.
+    AttributePhraseGenerator phrases{rng.Fork()};
+    PersonNameGenerator persons{rng.Fork()};
+    TitleGenerator value_titles{rng.Fork()};
+    std::vector<std::string> names = phrases.Generate(cc.num_attributes);
+    for (size_t i = 0; i < names.size(); ++i) {
+      AttributeSpec spec;
+      spec.name = names[i];
+      double u = rng.NextDouble();
+      if (u < config.location_attribute_rate) {
+        spec.domain = ValueDomainKind::kLocation;
+      } else if (u < config.location_attribute_rate +
+                         config.person_attribute_rate) {
+        spec.domain = ValueDomainKind::kPerson;
+      } else if (u < config.location_attribute_rate +
+                         config.person_attribute_rate +
+                         config.numeric_attribute_rate) {
+        spec.domain = ValueDomainKind::kNumeric;
+      } else {
+        spec.domain = ValueDomainKind::kCategorical;
+      }
+      // Location attributes are functional in the single-leaf sense; other
+      // domains may be multi-truth.
+      spec.functional = spec.domain == ValueDomainKind::kLocation ||
+                        !rng.Bernoulli(config.non_functional_rate);
+      spec.value_pool = BuildValuePool(spec.domain, config.value_pool_size,
+                                       &rng, &persons, &value_titles);
+      wc.attribute_index.emplace(NormalizeSurface(spec.name),
+                                 static_cast<AttributeId>(wc.attributes.size()));
+      wc.attributes.push_back(std::move(spec));
+    }
+
+    // --- Entities and ground-truth facts.
+    for (size_t e = 0; e < cc.num_entities; ++e) {
+      Entity entity;
+      entity.name =
+          MakeEntityName(cc.name_style, &entity_titles, &entity_places);
+      entity.facts.reserve(wc.attributes.size());
+      for (AttributeId a = 0; a < wc.attributes.size(); ++a) {
+        const AttributeSpec& spec = wc.attributes[a];
+        Fact fact;
+        fact.attribute = a;
+        if (spec.domain == ValueDomainKind::kLocation) {
+          fact.location = leaves.empty() ? kNoHierarchyNode
+                                         : leaves[rng.Index(leaves.size())];
+          if (fact.location != kNoHierarchyNode) {
+            fact.values.push_back(world.hierarchy_.name(fact.location));
+          }
+        } else {
+          size_t count =
+              spec.functional
+                  ? 1
+                  : 1 + rng.Index(std::max<size_t>(1, config.max_multi_values));
+          auto picks =
+              rng.SampleWithoutReplacement(spec.value_pool.size(), count);
+          for (size_t p : picks) fact.values.push_back(spec.value_pool[p]);
+        }
+        entity.facts.push_back(std::move(fact));
+      }
+      wc.entities.push_back(std::move(entity));
+    }
+    world.classes_.push_back(std::move(wc));
+  }
+  return world;
+}
+
+std::optional<ClassId> World::FindClass(std::string_view name) const {
+  for (ClassId i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool World::IsTrueValue(ClassId cls_id, EntityId entity, AttributeId attribute,
+                        std::string_view value) const {
+  const WorldClass& wc = classes_[cls_id];
+  if (entity >= wc.entities.size()) return false;
+  if (attribute >= wc.attributes.size()) return false;
+  const Fact& fact = wc.entities[entity].facts[attribute];
+  std::string norm = NormalizeSurface(value);
+  for (const std::string& v : fact.values) {
+    if (NormalizeSurface(v) == norm) return true;
+  }
+  if (fact.location != kNoHierarchyNode) {
+    // Any ancestor of the true leaf is a correct (coarser) answer.
+    HierarchyNodeId node = hierarchy_.Find(std::string(Trim(value)));
+    if (node == kNoHierarchyNode) {
+      // Try the title-cased form (hierarchy names are title case).
+      node = hierarchy_.Find(TitleCase(ToLower(value)));
+    }
+    if (node != kNoHierarchyNode &&
+        hierarchy_.IsAncestorOrSelf(node, fact.location)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool World::IsTrueAttribute(ClassId cls_id, std::string_view name) const {
+  return classes_[cls_id].FindAttribute(name).has_value();
+}
+
+size_t World::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& wc : classes_) {
+    for (const auto& e : wc.entities) total += e.facts.size();
+  }
+  return total;
+}
+
+size_t World::TotalEntities() const {
+  size_t total = 0;
+  for (const auto& wc : classes_) total += wc.entities.size();
+  return total;
+}
+
+}  // namespace akb::synth

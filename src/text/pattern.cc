@@ -1,0 +1,157 @@
+#include "text/pattern.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace akb::text {
+
+namespace {
+
+bool IsSentencePunct(const std::string& token) {
+  return token.size() == 1 &&
+         std::ispunct(static_cast<unsigned char>(token[0]));
+}
+
+}  // namespace
+
+Result<Pattern> Pattern::Parse(std::string_view spec) {
+  Pattern pattern;
+  pattern.spec_ = std::string(spec);
+  for (std::string_view raw : akb::SplitWhitespace(spec)) {
+    Element element;
+    std::string_view piece = raw;
+    if (!piece.empty() && piece[0] == '?') {
+      element.optional = true;
+      piece = piece.substr(1);
+      if (piece.empty() || piece[0] != '(') {
+        return Status::ParseError("'?' must be followed by '(...)' in '" +
+                                  std::string(raw) + "'");
+      }
+    }
+    if (!piece.empty() && piece[0] == '[') {
+      if (piece.back() != ']' || piece.size() < 3) {
+        return Status::ParseError("malformed slot '" + std::string(raw) + "'");
+      }
+      element.kind = ElementKind::kSlot;
+      element.value = std::string(piece.substr(1, piece.size() - 2));
+      pattern.slot_names_.push_back(element.value);
+    } else if (!piece.empty() && piece[0] == '(') {
+      if (piece.back() != ')' || piece.size() < 3) {
+        return Status::ParseError("malformed alternation '" +
+                                  std::string(raw) + "'");
+      }
+      element.kind = ElementKind::kAlternation;
+      for (const auto& choice :
+           akb::Split(piece.substr(1, piece.size() - 2), '|')) {
+        if (choice.empty()) {
+          return Status::ParseError("empty alternation choice in '" +
+                                    std::string(raw) + "'");
+        }
+        element.choices.push_back(akb::ToLower(choice));
+      }
+    } else {
+      element.kind = ElementKind::kLiteral;
+      element.value = akb::ToLower(piece);
+    }
+    pattern.elements_.push_back(std::move(element));
+  }
+  if (pattern.elements_.empty()) {
+    return Status::ParseError("empty pattern");
+  }
+  return pattern;
+}
+
+bool Pattern::MatchFrom(const std::vector<std::string>& tokens, size_t pos,
+                        size_t element_index, size_t max_slot_tokens,
+                        bool anchored, PatternMatch* match) const {
+  if (element_index == elements_.size()) {
+    if (anchored && pos != tokens.size()) return false;
+    match->extent.end = pos;
+    return true;
+  }
+  const Element& element = elements_[element_index];
+  switch (element.kind) {
+    case ElementKind::kLiteral:
+      if (pos < tokens.size() && tokens[pos] == element.value) {
+        return MatchFrom(tokens, pos + 1, element_index + 1, max_slot_tokens,
+                         anchored, match);
+      }
+      return false;
+    case ElementKind::kAlternation: {
+      if (pos < tokens.size()) {
+        for (const auto& choice : element.choices) {
+          if (tokens[pos] == choice) {
+            if (MatchFrom(tokens, pos + 1, element_index + 1, max_slot_tokens,
+                          anchored, match)) {
+              return true;
+            }
+            break;  // the same word cannot match a different choice
+          }
+        }
+      }
+      if (element.optional) {
+        return MatchFrom(tokens, pos, element_index + 1, max_slot_tokens,
+                         anchored, match);
+      }
+      return false;
+    }
+    case ElementKind::kSlot: {
+      // Feasible capture lengths: 1..max, bounded by the sequence end and
+      // by sentence punctuation (a slot never swallows a '.' or ',').
+      size_t max_len = 0;
+      while (max_len < max_slot_tokens && pos + max_len < tokens.size() &&
+             !IsSentencePunct(tokens[pos + max_len])) {
+        ++max_len;
+      }
+      if (max_len == 0) return false;
+      bool is_final = element_index + 1 == elements_.size();
+      // Interior slots are lazy so literal context binds tightly; a final
+      // slot is greedy so trailing captures (values) are not truncated.
+      for (size_t k = 0; k < max_len; ++k) {
+        size_t len = is_final ? max_len - k : k + 1;
+        match->slots[element.value] = SlotSpan{pos, pos + len};
+        if (MatchFrom(tokens, pos + len, element_index + 1, max_slot_tokens,
+                      anchored, match)) {
+          return true;
+        }
+      }
+      match->slots.erase(element.value);
+      return false;
+    }
+  }
+  return false;
+}
+
+bool Pattern::MatchAt(const std::vector<std::string>& tokens, size_t pos,
+                      size_t max_slot_tokens, PatternMatch* match) const {
+  match->slots.clear();
+  match->extent.begin = pos;
+  return MatchFrom(tokens, pos, 0, max_slot_tokens, /*anchored=*/false,
+                   match);
+}
+
+bool Pattern::MatchWhole(const std::vector<std::string>& tokens,
+                         size_t max_slot_tokens, PatternMatch* match) const {
+  match->slots.clear();
+  match->extent.begin = 0;
+  return MatchFrom(tokens, 0, 0, max_slot_tokens, /*anchored=*/true, match);
+}
+
+std::vector<PatternMatch> Pattern::FindAll(
+    const std::vector<std::string>& tokens, size_t max_slot_tokens) const {
+  std::vector<PatternMatch> matches;
+  size_t pos = 0;
+  while (pos < tokens.size()) {
+    PatternMatch match;
+    if (MatchAt(tokens, pos, max_slot_tokens, &match)) {
+      matches.push_back(match);
+      pos = match.extent.end > pos ? match.extent.end : pos + 1;
+    } else {
+      ++pos;
+    }
+  }
+  return matches;
+}
+
+}  // namespace akb::text

@@ -1,0 +1,97 @@
+// Lexical slot patterns ("regular lexical patterns" in the paper, §3.1).
+//
+// A pattern is a token sequence containing literals, optional groups,
+// single-word alternations, and named slots that capture 1..k tokens:
+//
+//   "what is the [A] of ?(the|a|an) [E]"
+//   "the [A] of ?(the|a|an) [E]"
+//   "[E] 's [A]"
+//
+// The same machinery serves the query-stream extractor (matching query
+// records) and the Web-text extractor (learning which patterns connect seed
+// (entity, attribute) pairs in sentences, then applying them).
+#ifndef AKB_TEXT_PATTERN_H_
+#define AKB_TEXT_PATTERN_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace akb::text {
+
+/// A captured slot: token index range [begin, end).
+struct SlotSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool operator==(const SlotSpan& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// One complete match of a pattern against a token sequence.
+struct PatternMatch {
+  /// Token range of the whole match.
+  SlotSpan extent;
+  /// slot name -> captured token range.
+  std::map<std::string, SlotSpan> slots;
+};
+
+/// A compiled lexical pattern.
+class Pattern {
+ public:
+  /// Parses the pattern language:
+  ///   word            literal token (matched case-insensitively)
+  ///   [Name]          slot capturing 1..max_slot_tokens tokens
+  ///   (a|b|c)         exactly one of the listed words
+  ///   ?(a|b|c)        optionally one of the listed words
+  /// Whitespace separates elements. Returns ParseError on malformed input.
+  static Result<Pattern> Parse(std::string_view spec);
+
+  /// All non-overlapping matches scanning left to right. Slots are matched
+  /// lazily (shortest first) and may capture at most `max_slot_tokens`
+  /// tokens; a slot never captures a sentence-punctuation token.
+  std::vector<PatternMatch> FindAll(const std::vector<std::string>& tokens,
+                                    size_t max_slot_tokens = 4) const;
+
+  /// True iff the pattern matches starting exactly at `pos`; fills `match`.
+  bool MatchAt(const std::vector<std::string>& tokens, size_t pos,
+               size_t max_slot_tokens, PatternMatch* match) const;
+
+  /// Anchored match: the pattern must consume the whole token sequence
+  /// (slots backtrack/extend as needed). Used for query records, which are
+  /// complete utterances of a pattern.
+  bool MatchWhole(const std::vector<std::string>& tokens,
+                  size_t max_slot_tokens, PatternMatch* match) const;
+
+  /// Slot names in order of appearance.
+  const std::vector<std::string>& slot_names() const { return slot_names_; }
+
+  /// The original spec text.
+  const std::string& spec() const { return spec_; }
+
+ private:
+  enum class ElementKind : uint8_t { kLiteral, kSlot, kAlternation };
+  struct Element {
+    ElementKind kind;
+    bool optional = false;
+    std::string value;                  // literal word or slot name
+    std::vector<std::string> choices;   // alternation words
+  };
+
+  bool MatchFrom(const std::vector<std::string>& tokens, size_t pos,
+                 size_t element_index, size_t max_slot_tokens, bool anchored,
+                 PatternMatch* match) const;
+
+  std::string spec_;
+  std::vector<Element> elements_;
+  std::vector<std::string> slot_names_;
+};
+
+}  // namespace akb::text
+
+#endif  // AKB_TEXT_PATTERN_H_

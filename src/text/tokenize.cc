@@ -1,0 +1,111 @@
+#include "text/tokenize.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace akb::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '-' || c == '_';
+}
+
+bool IsPunct(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::ispunct(u) && c != '\'' && c != '-' && c != '_';
+}
+
+const char* const kAbbreviations[] = {"dr.",  "mr.", "mrs.", "ms.", "prof.",
+                                      "st.",  "no.", "vs.",  "etc.", "e.g.",
+                                      "i.e.", "u.s."};
+
+bool EndsWithAbbreviation(std::string_view text, size_t dot_pos) {
+  for (const char* abbr : kAbbreviations) {
+    std::string_view a(abbr);
+    if (dot_pos + 1 < a.size()) continue;
+    size_t start = dot_pos + 1 - a.size();
+    if (akb::ToLower(text.substr(start, a.size())) == a) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeWords(std::string_view s) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isspace(u)) {
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      // "'s" clitic; otherwise a punctuation token.
+      if (i + 1 < s.size() && (s[i + 1] == 's' || s[i + 1] == 'S') &&
+          (i + 2 >= s.size() || !IsWordChar(s[i + 2]))) {
+        tokens.push_back("'s");
+        i += 2;
+      } else {
+        tokens.push_back("'");
+        ++i;
+      }
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < s.size() && IsWordChar(s[i])) ++i;
+      tokens.push_back(akb::ToLower(s.substr(start, i - start)));
+      continue;
+    }
+    if (IsPunct(c)) {
+      tokens.push_back(std::string(1, c));
+      ++i;
+      continue;
+    }
+    ++i;  // other bytes (e.g. UTF-8 continuation) skipped
+  }
+  return tokens;
+}
+
+std::vector<std::string> SplitSentences(std::string_view s) {
+  std::vector<std::string> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    // A decimal point ("3.14") does not end a sentence.
+    if (c == '.' && i + 1 < s.size() &&
+        std::isdigit(static_cast<unsigned char>(s[i + 1]))) {
+      continue;
+    }
+    if (c == '.' && EndsWithAbbreviation(s, i)) continue;
+    bool boundary = i + 1 >= s.size() ||
+                    std::isspace(static_cast<unsigned char>(s[i + 1]));
+    if (!boundary) continue;
+    std::string_view sentence = akb::Trim(s.substr(start, i - start + 1));
+    if (!sentence.empty()) sentences.emplace_back(sentence);
+    start = i + 1;
+  }
+  std::string_view tail = akb::Trim(s.substr(start));
+  if (!tail.empty()) sentences.emplace_back(tail);
+  return sentences;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens, size_t begin,
+                       size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const std::string& t = tokens[i];
+    bool no_space = t == "'s" || (t.size() == 1 && IsPunct(t[0]));
+    if (!out.empty() && !no_space) out.push_back(' ');
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace akb::text

@@ -1,0 +1,28 @@
+// Word tokenization and sentence splitting for Web-text and query-stream
+// processing.
+#ifndef AKB_TEXT_TOKENIZE_H_
+#define AKB_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace akb::text {
+
+/// Splits into lowercase word tokens. Apostrophe-s is split off as the token
+/// "'s" (needed by the "E's A" query pattern); other punctuation becomes
+/// single-character tokens; numbers stay whole.
+std::vector<std::string> TokenizeWords(std::string_view s);
+
+/// Splits text into sentences on . ! ? followed by whitespace/EOF, keeping
+/// abbreviations like "Dr." and decimal numbers intact (best-effort).
+std::vector<std::string> SplitSentences(std::string_view s);
+
+/// Joins word tokens back into a readable string (no space before
+/// punctuation or "'s").
+std::string JoinTokens(const std::vector<std::string>& tokens, size_t begin,
+                       size_t end);
+
+}  // namespace akb::text
+
+#endif  // AKB_TEXT_TOKENIZE_H_

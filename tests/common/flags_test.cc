@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace akb {
+namespace {
+
+FlagSet ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagSet::Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags = ParseArgs({"--name=value", "--n=42"});
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetInt("n"), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags = ParseArgs({"--name", "value", "--n", "42"});
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetInt("n"), 42);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagSet flags = ParseArgs({"--verbose", "--output=x"});
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_FALSE(flags.GetBool("missing"));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+}
+
+TEST(FlagsTest, BoolValueForms) {
+  EXPECT_TRUE(ParseArgs({"--x=true"}).GetBool("x"));
+  EXPECT_TRUE(ParseArgs({"--x=1"}).GetBool("x"));
+  EXPECT_TRUE(ParseArgs({"--x=yes"}).GetBool("x"));
+  EXPECT_FALSE(ParseArgs({"--x=false"}).GetBool("x"));
+  EXPECT_FALSE(ParseArgs({"--x=0"}).GetBool("x"));
+}
+
+TEST(FlagsTest, Positionals) {
+  FlagSet flags = ParseArgs({"command", "--n=1", "file.nt"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "command");
+  EXPECT_EQ(flags.positional()[1], "file.nt");
+}
+
+TEST(FlagsTest, DoubleDashEndsFlags) {
+  FlagSet flags = ParseArgs({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(flags.Has("a"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagsTest, NumericFallbacks) {
+  FlagSet flags = ParseArgs({"--bad=abc", "--d=2.5"});
+  EXPECT_EQ(flags.GetInt("bad", 7), 7);
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d"), 2.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("bad", 1.5), 1.5);
+}
+
+TEST(FlagsTest, ListSplitting) {
+  FlagSet flags = ParseArgs({"--classes=Book, Film ,Country"});
+  auto list = flags.GetList("classes");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "Book");
+  EXPECT_EQ(list[1], "Film");
+  EXPECT_EQ(list[2], "Country");
+  EXPECT_TRUE(flags.GetList("missing").empty());
+}
+
+TEST(FlagsTest, NegativeNumberAsValue) {
+  // "-5" does not start with "--", so it is consumed as the value.
+  FlagSet flags = ParseArgs({"--n", "-5"});
+  EXPECT_EQ(flags.GetInt("n"), -5);
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  FlagSet flags = ParseArgs({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n"), 2);
+}
+
+}  // namespace
+}  // namespace akb

@@ -1,0 +1,43 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+namespace akb {
+namespace {
+
+TEST(Fnv1aTest, KnownVectors) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1aTest, DifferentInputsDiffer) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("cba"));
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  size_t s1 = 0, s2 = 0;
+  HashCombine(&s1, 1);
+  HashCombine(&s1, 2);
+  HashCombine(&s2, 2);
+  HashCombine(&s2, 1);
+  EXPECT_NE(s1, s2);
+}
+
+TEST(PairHashTest, UsableInUnorderedMap) {
+  std::unordered_map<std::pair<int, std::string>, int, PairHash> m;
+  m[{1, "a"}] = 10;
+  m[{1, "b"}] = 20;
+  m[{2, "a"}] = 30;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ((m[{1, "a"}]), 10);
+  EXPECT_EQ((m[{2, "a"}]), 30);
+}
+
+}  // namespace
+}  // namespace akb

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace akb {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  AKB_LOG(Debug) << "below the level " << 42;
+  AKB_LOG(Info) << "still below " << 3.14;
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  AKB_LOG(Warning) << "test warning (expected in test output)";
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace akb

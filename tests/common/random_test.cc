@@ -1,0 +1,203 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace akb {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(4, 4), 4);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 5));
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(2);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / double(n), 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMeanAndStddev) {
+  Rng rng(3);
+  double sum = 0, sum_sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(4);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(4);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(8);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (size_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsToN) {
+  Rng rng(8);
+  auto sample = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, GeometricAverageMatches) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += double(rng.Geometric(0.5));
+  // Mean of geometric (failures before success) with p=0.5 is 1.
+  EXPECT_NEAR(sum / n, 1.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(10);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += double(rng.Poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(10);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, IdentifierHasRequestedLengthAndAlphabet) {
+  Rng rng(12);
+  std::string id = rng.Identifier(16);
+  EXPECT_EQ(id.size(), 16u);
+  for (char c : id) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RngTest, ForkedGeneratorsAreIndependentButDeterministic) {
+  Rng a(77), b(77);
+  Rng fa = a.Fork(), fb = b.Fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  // Parent streams stay in sync after forking.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(ZipfTableTest, RankZeroMostPopular) {
+  ZipfTable table(50, 1.0);
+  Rng rng(13);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[table.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[49]);
+}
+
+TEST(ZipfTableTest, SamplesWithinRange) {
+  ZipfTable table(7, 0.5);
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(table.Sample(&rng), 7u);
+}
+
+TEST(ZipfTableTest, SingleElement) {
+  ZipfTable table(1, 1.0);
+  Rng rng(15);
+  EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+// Property sweep: the empirical mean of UniformInt stays near the midpoint
+// for a range of spans.
+class UniformIntSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(UniformIntSweep, MeanNearMidpoint) {
+  int64_t hi = GetParam();
+  Rng rng(static_cast<uint64_t>(hi) * 2654435761u + 1);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += double(rng.UniformInt(0, hi));
+  double expected = hi / 2.0;
+  EXPECT_NEAR(sum / n, expected, std::max(0.5, expected * 0.05));
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, UniformIntSweep,
+                         ::testing::Values(1, 2, 9, 10, 100, 1000, 65535));
+
+}  // namespace
+}  // namespace akb

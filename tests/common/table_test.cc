@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace akb {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"Class", "# Attributes"});
+  t.AddRow({"Book", "60"});
+  t.AddRow({"University", "518"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| Class      |"), std::string::npos);
+  EXPECT_NE(out.find("| Book       |"), std::string::npos);
+  EXPECT_NE(out.find("| University |"), std::string::npos);
+  EXPECT_NE(out.find("518"), std::string::npos);
+}
+
+TEST(TextTableTest, TitlePrintedFirst) {
+  TextTable t({"A"});
+  t.set_title("Table 1: Stats");
+  t.AddRow({"x"});
+  EXPECT_EQ(t.ToString().rfind("Table 1: Stats\n", 0), 0u);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.row(0).size(), 3u);
+  EXPECT_EQ(t.row(0)[1], "");
+}
+
+TEST(TextTableTest, CountsRowsAndCols) {
+  TextTable t({"A", "B"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTableTest, CsvBasic) {
+  TextTable t({"A", "B"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "A,B\n1,2\n");
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t({"name", "note"});
+  t.AddRow({"a,b", "he said \"hi\""});
+  t.AddRow({"line\nbreak", "plain"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable t({"OnlyHeader"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("OnlyHeader"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace akb

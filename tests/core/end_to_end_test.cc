@@ -1,0 +1,213 @@
+// Cross-module integration tests: generators -> extractors -> fusion ->
+// RDF store, exercised as a chain (not through the pipeline facade).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "extract/attribute_dedup.h"
+#include "extract/dom_extractor.h"
+#include "extract/kb_extractor.h"
+#include "extract/text_extractor.h"
+#include "fusion/accu.h"
+#include "fusion/metrics.h"
+#include "fusion/model.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "synth/kb_gen.h"
+#include "synth/site_gen.h"
+#include "synth/text_gen.h"
+#include "synth/world.h"
+
+namespace akb {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  static const synth::World& World() {
+    static synth::World world =
+        synth::World::Build(synth::WorldConfig::Small());
+    return world;
+  }
+};
+
+TEST_F(EndToEndTest, KbSeedsDriveDomExtraction) {
+  const auto& world = World();
+  auto cls_id = world.FindClass("Film");
+  const auto& wc = world.cls(*cls_id);
+
+  // Seeds come from a KB covering only the head of the inventory.
+  synth::KbProfile profile;
+  profile.kb_name = "SeedKb";
+  profile.seed = 61;
+  synth::KbClassProfile cp;
+  cp.class_name = "Film";
+  cp.instance_attributes = 5;
+  cp.declared_attributes = 3;
+  profile.classes = {cp};
+  synth::KbSnapshot kb = synth::GenerateKb(world, profile);
+
+  extract::ExistingKbExtractor kb_extractor;
+  auto kb_extraction = kb_extractor.Extract(kb);
+  std::vector<std::string> seeds;
+  for (const auto& attr : kb_extraction.classes[0].attributes) {
+    seeds.push_back(attr.surface);
+  }
+  ASSERT_GE(seeds.size(), 4u);
+
+  synth::SiteConfig site_config;
+  site_config.class_name = "Film";
+  site_config.num_sites = 2;
+  site_config.pages_per_site = 10;
+  site_config.attribute_coverage = 0.6;
+  site_config.seed = 62;
+  auto sites = synth::GenerateSites(world, site_config);
+
+  std::vector<std::string> entities;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+
+  extract::DomTreeExtractor dom_extractor;
+  auto dom = dom_extractor.Extract(sites, entities, seeds);
+
+  // The DOM extractor reaches attributes the KB never declared.
+  std::set<std::string> seed_keys, new_keys;
+  for (const auto& seed : seeds) {
+    seed_keys.insert(extract::AttributeKey(seed));
+  }
+  for (const auto& attr : dom.new_attributes) {
+    new_keys.insert(extract::AttributeKey(attr.surface));
+  }
+  size_t beyond_seeds = 0;
+  for (const auto& key : new_keys) {
+    if (!seed_keys.count(key)) ++beyond_seeds;
+  }
+  EXPECT_GT(beyond_seeds, wc.attributes.size() / 3);
+}
+
+TEST_F(EndToEndTest, MultiExtractorClaimsFuseAboveSingleSourcePrecision) {
+  const auto& world = World();
+  auto cls_id = world.FindClass("Book");
+  const auto& wc = world.cls(*cls_id);
+
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < 5; ++a) seeds.push_back(wc.attributes[a].name);
+
+  // DOM triples from noisy sites.
+  synth::SiteConfig site_config;
+  site_config.class_name = "Book";
+  site_config.num_sites = 4;
+  site_config.pages_per_site = 12;
+  site_config.attribute_coverage = 0.5;
+  site_config.value_error_rate = 0.25;
+  site_config.seed = 63;
+  auto sites = synth::GenerateSites(world, site_config);
+  extract::DomTreeExtractor dom_extractor;
+  auto dom = dom_extractor.Extract(sites, entities, seeds);
+
+  // Text triples.
+  synth::TextConfig text_config;
+  text_config.class_name = "Book";
+  text_config.num_articles = 40;
+  text_config.value_error_rate = 0.25;
+  text_config.seed = 64;
+  auto articles = synth::GenerateArticles(world, text_config);
+  std::vector<std::string> documents, names;
+  for (const auto& article : articles) {
+    documents.push_back(article.text);
+    names.push_back(article.source);
+  }
+  extract::WebTextExtractor text_extractor;
+  auto text = text_extractor.Extract("Book", documents, names, entities,
+                                     seeds);
+
+  std::vector<extract::ExtractedTriple> all = dom.triples;
+  all.insert(all.end(), text.triples.begin(), text.triples.end());
+  ASSERT_GT(all.size(), 100u);
+
+  fusion::ClaimTable table = fusion::ClaimTable::FromTriples(all);
+  fusion::FusionOutput fused = fusion::Accu(table);
+
+  // Measure fused precision against the world.
+  std::unordered_map<std::string, synth::AttributeId> attr_by_key;
+  for (synth::AttributeId a = 0; a < wc.attributes.size(); ++a) {
+    attr_by_key.emplace(extract::AttributeKey(wc.attributes[a].name), a);
+  }
+  std::unordered_map<std::string, synth::EntityId> entity_by_name;
+  for (synth::EntityId e = 0; e < wc.entities.size(); ++e) {
+    entity_by_name.emplace(NormalizeSurface(wc.entities[e].name), e);
+  }
+  size_t correct = 0, scored = 0;
+  size_t raw_correct = 0, raw_total = 0;
+  auto judge = [&](fusion::ItemId item, const std::string& value) -> int {
+    auto parts = Split(table.item_name(item), '|');
+    if (parts.size() != 3) return -1;
+    auto e = entity_by_name.find(NormalizeSurface(parts[1]));
+    auto a = attr_by_key.find(parts[2]);
+    if (e == entity_by_name.end() || a == attr_by_key.end()) return -1;
+    return world.IsTrueValue(*cls_id, e->second, a->second, value) ? 1 : 0;
+  };
+  for (fusion::ItemId i = 0; i < table.num_items(); ++i) {
+    auto truths = fused.TruthsOf(i);
+    if (truths.empty()) continue;
+    int verdict = judge(i, table.value_name(truths[0]));
+    if (verdict < 0) continue;
+    ++scored;
+    if (verdict == 1) ++correct;
+  }
+  for (const auto& claim : table.claims()) {
+    int verdict = judge(claim.item, table.value_name(claim.value));
+    if (verdict < 0) continue;
+    ++raw_total;
+    if (verdict == 1) ++raw_correct;
+  }
+  ASSERT_GT(scored, 50u);
+  double fused_precision = double(correct) / double(scored);
+  double raw_precision = double(raw_correct) / double(raw_total);
+  EXPECT_GT(fused_precision, raw_precision);
+  EXPECT_GT(fused_precision, 0.8);
+}
+
+TEST_F(EndToEndTest, FusedTriplesRoundTripThroughRdfStore) {
+  const auto& world = World();
+  auto cls_id = world.FindClass("Country");
+  const auto& wc = world.cls(*cls_id);
+
+  synth::TextConfig text_config;
+  text_config.class_name = "Country";
+  text_config.num_articles = 15;
+  text_config.seed = 65;
+  auto articles = synth::GenerateArticles(world, text_config);
+  std::vector<std::string> documents;
+  for (const auto& article : articles) documents.push_back(article.text);
+
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < wc.attributes.size(); ++a) {
+    seeds.push_back(wc.attributes[a].name);
+  }
+  extract::WebTextExtractor text_extractor;
+  auto extraction =
+      text_extractor.Extract("Country", documents, {}, entities, seeds);
+  ASSERT_FALSE(extraction.triples.empty());
+
+  rdf::TripleStore store;
+  for (const auto& t : extraction.triples) {
+    store.InsertDecoded(
+        rdf::Term::Iri(rdf::EntityIri(t.class_name, t.entity)),
+        rdf::Term::Iri(rdf::AttributeIri(t.class_name, t.attribute)),
+        rdf::Term::Literal(t.value),
+        rdf::Provenance{t.source, t.extractor, t.confidence});
+  }
+  rdf::NTriplesWriteOptions options;
+  options.include_provenance = true;
+  std::string serialized = rdf::WriteNTriples(store, options);
+
+  rdf::TripleStore restored;
+  ASSERT_TRUE(rdf::ReadNTriples(serialized, &restored).ok());
+  EXPECT_EQ(restored.num_claims(), store.num_claims());
+  EXPECT_EQ(restored.num_triples(), store.num_triples());
+}
+
+}  // namespace
+}  // namespace akb

@@ -1,0 +1,142 @@
+#include "extract/attribute_dedup.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "synth/noise.h"
+
+namespace akb::extract {
+namespace {
+
+TEST(AttributeKeyTest, IdentifierStylesCollide) {
+  std::string key = AttributeKey("birth place");
+  EXPECT_EQ(AttributeKey("Birth Place"), key);
+  EXPECT_EQ(AttributeKey("birth_place"), key);
+  EXPECT_EQ(AttributeKey("birthPlace"), key);
+  EXPECT_EQ(AttributeKey("birth-place"), key);
+}
+
+TEST(AttributeKeyTest, OfFormCollides) {
+  EXPECT_EQ(AttributeKey("place of birth"), AttributeKey("birth place"));
+  EXPECT_EQ(AttributeKey("date of release"), AttributeKey("release date"));
+}
+
+TEST(AttributeKeyTest, StopwordsDropped) {
+  EXPECT_EQ(AttributeKey("the capital"), AttributeKey("capital"));
+  EXPECT_EQ(AttributeKey("capital of the country"),
+            AttributeKey("country capital"));
+}
+
+TEST(AttributeKeyTest, AllStopwordSurfaceKept) {
+  EXPECT_FALSE(AttributeKey("the of").empty());
+}
+
+TEST(AttributeKeyTest, DistinctAttributesStayDistinct) {
+  EXPECT_NE(AttributeKey("birth place"), AttributeKey("death place"));
+  EXPECT_NE(AttributeKey("total budget"), AttributeKey("total revenue"));
+}
+
+TEST(AttributeDeduperTest, MergesVariants) {
+  AttributeDeduper dedup;
+  size_t a = dedup.Add("birth place");
+  EXPECT_EQ(dedup.Add("birthPlace"), a);
+  EXPECT_EQ(dedup.Add("birth_place"), a);
+  EXPECT_EQ(dedup.Add("place of birth"), a);
+  EXPECT_EQ(dedup.num_clusters(), 1u);
+  EXPECT_EQ(dedup.support(a), 4u);
+}
+
+TEST(AttributeDeduperTest, SeparatesDistinctAttributes) {
+  AttributeDeduper dedup;
+  size_t a = dedup.Add("birth place");
+  size_t b = dedup.Add("death place");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dedup.num_clusters(), 2u);
+}
+
+TEST(AttributeDeduperTest, FuzzyMergesMisspellings) {
+  AttributeDeduper dedup;
+  size_t a = dedup.Add("total budget");
+  EXPECT_EQ(dedup.Add("total budgte"), a);  // swapped letters
+  EXPECT_EQ(dedup.Add("totl budget"), a);   // dropped letter
+  EXPECT_EQ(dedup.num_clusters(), 1u);
+}
+
+TEST(AttributeDeduperTest, ShortKeysNeverFuzzyMerge) {
+  AttributeDeduper dedup;
+  size_t a = dedup.Add("rate");
+  size_t b = dedup.Add("rats");  // one edit away but too short
+  EXPECT_NE(a, b);
+}
+
+TEST(AttributeDeduperTest, RepresentativeIsMostFrequentSurface) {
+  AttributeDeduper dedup;
+  size_t c = dedup.Add("birthPlace");
+  dedup.Add("birth place");
+  dedup.Add("birth place");
+  EXPECT_EQ(dedup.representative(c), "birth place");
+}
+
+TEST(AttributeDeduperTest, FindDoesNotInsert) {
+  AttributeDeduper dedup;
+  EXPECT_EQ(dedup.Find("ghost attr"), SIZE_MAX);
+  EXPECT_EQ(dedup.num_clusters(), 0u);
+  size_t a = dedup.Add("release date");
+  EXPECT_EQ(dedup.Find("date of release"), a);
+  EXPECT_EQ(dedup.Find("releose date"), a);  // fuzzy find
+  EXPECT_EQ(dedup.num_clusters(), 1u);
+}
+
+TEST(AttributeDeduperTest, KeyAccessor) {
+  AttributeDeduper dedup;
+  size_t c = dedup.Add("birthPlace");
+  EXPECT_EQ(dedup.key(c), AttributeKey("birth place"));
+}
+
+TEST(AttributeDeduperTest, FuzzyThresholdConfigurable) {
+  AttributeDeduper::Options strict;
+  strict.fuzzy_threshold = 1.01;  // never fuzzy-merge
+  AttributeDeduper dedup(strict);
+  size_t a = dedup.Add("total budget");
+  size_t b = dedup.Add("totl budget");
+  EXPECT_NE(a, b);
+}
+
+TEST(AttributeDeduperTest, ManySurfacesStayConsistent) {
+  // Numbered names differ by one character, so fuzzy merging must be off
+  // for them to stay distinct (a deliberate edge of fuzzy matching).
+  AttributeDeduper::Options options;
+  options.fuzzy_threshold = 1.01;
+  AttributeDeduper dedup(options);
+  for (int i = 0; i < 50; ++i) {
+    std::string base = "metric number" + std::to_string(i);
+    size_t c = dedup.Add(base);
+    EXPECT_EQ(dedup.Add(base + " "), c);
+  }
+  EXPECT_EQ(dedup.num_clusters(), 50u);
+}
+
+// Property sweep: every rendered style of a phrase lands in its cluster.
+class StyleSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StyleSweep, AllStylesMerge) {
+  const char* phrase = GetParam();
+  Rng rng(77);
+  AttributeDeduper dedup;
+  size_t c = dedup.Add(phrase);
+  for (int style = 0; style < synth::kNumSurfaceStyles; ++style) {
+    if (style == static_cast<int>(synth::SurfaceStyle::kMisspelled)) continue;
+    std::string rendered = synth::RenderSurface(
+        phrase, static_cast<synth::SurfaceStyle>(style), &rng);
+    EXPECT_EQ(dedup.Add(rendered), c) << rendered;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Phrases, StyleSweep,
+                         ::testing::Values("birth place", "total enrollment",
+                                           "average room rate",
+                                           "original title",
+                                           "gross revenue"));
+
+}  // namespace
+}  // namespace akb::extract

@@ -1,0 +1,86 @@
+#include "extract/confidence.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::extract {
+namespace {
+
+TEST(ConfidenceTest, ScoreWithinUnitInterval) {
+  ConfidenceCriterion criterion;
+  for (size_t support : {0u, 1u, 2u, 10u, 1000u}) {
+    for (double quality : {0.0, 0.3, 1.0}) {
+      double s = criterion.Score(rdf::ExtractorKind::kDomTree, support,
+                                 quality);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LT(s, 1.0);
+    }
+  }
+}
+
+TEST(ConfidenceTest, ZeroSupportIsZero) {
+  ConfidenceCriterion criterion;
+  EXPECT_DOUBLE_EQ(criterion.Score(rdf::ExtractorKind::kExistingKb, 0), 0.0);
+}
+
+TEST(ConfidenceTest, MonotoneInSupport) {
+  ConfidenceCriterion criterion;
+  double prev = 0.0;
+  for (size_t support = 1; support <= 20; ++support) {
+    double s = criterion.Score(rdf::ExtractorKind::kWebText, support);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ConfidenceTest, SaturatesBelowPrior) {
+  ConfidenceCriterion criterion;
+  double huge = criterion.Score(rdf::ExtractorKind::kQueryStream, 100000);
+  EXPECT_NEAR(huge, criterion.query_prior, 1e-6);
+  EXPECT_LT(huge, criterion.query_prior + 1e-9);
+}
+
+TEST(ConfidenceTest, QualityScalesScore) {
+  ConfidenceCriterion criterion;
+  double full = criterion.Score(rdf::ExtractorKind::kDomTree, 5, 1.0);
+  double half = criterion.Score(rdf::ExtractorKind::kDomTree, 5, 0.5);
+  EXPECT_NEAR(half, full / 2, 1e-9);
+}
+
+TEST(ConfidenceTest, QualityClamped) {
+  ConfidenceCriterion criterion;
+  EXPECT_DOUBLE_EQ(criterion.Score(rdf::ExtractorKind::kDomTree, 5, -1.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(criterion.Score(rdf::ExtractorKind::kDomTree, 5, 2.0),
+                   criterion.Score(rdf::ExtractorKind::kDomTree, 5, 1.0));
+}
+
+TEST(ConfidenceTest, PriorsOrderChannelsByTrust) {
+  // The unified criterion (§3.1): curated KBs are trusted more than query
+  // logs, which beat open-Web DOM/text extraction.
+  ConfidenceCriterion criterion;
+  double kb = criterion.Score(rdf::ExtractorKind::kExistingKb, 3);
+  double query = criterion.Score(rdf::ExtractorKind::kQueryStream, 3);
+  double dom = criterion.Score(rdf::ExtractorKind::kDomTree, 3);
+  double text = criterion.Score(rdf::ExtractorKind::kWebText, 3);
+  EXPECT_GT(kb, query);
+  EXPECT_GT(query, dom);
+  EXPECT_GT(dom, text);
+}
+
+TEST(ConfidenceTest, PriorOfGroundTruthIsOne) {
+  ConfidenceCriterion criterion;
+  EXPECT_DOUBLE_EQ(criterion.PriorOf(rdf::ExtractorKind::kGroundTruth), 1.0);
+  EXPECT_DOUBLE_EQ(criterion.PriorOf(rdf::ExtractorKind::kOther), 0.5);
+}
+
+TEST(ConfidenceTest, ComparableAcrossExtractors) {
+  // Same support and quality: scores differ only by the prior, making them
+  // comparable during fusion.
+  ConfidenceCriterion criterion;
+  double dom = criterion.Score(rdf::ExtractorKind::kDomTree, 4, 0.8);
+  double text = criterion.Score(rdf::ExtractorKind::kWebText, 4, 0.8);
+  EXPECT_NEAR(dom / text, criterion.dom_prior / criterion.text_prior, 1e-9);
+}
+
+}  // namespace
+}  // namespace akb::extract

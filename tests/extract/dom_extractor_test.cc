@@ -1,0 +1,372 @@
+#include "extract/dom_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extract/attribute_dedup.h"
+#include "extract/entity_creation.h"
+#include "synth/site_gen.h"
+#include "synth/world.h"
+
+namespace akb::extract {
+namespace {
+
+// A hand-built two-page site in infobox style. Pages share a template but
+// carry page-specific wrappers; nav/ads noise is present.
+std::string MakePage(const std::string& entity,
+                     const std::vector<std::pair<std::string, std::string>>&
+                         rows,
+                     const std::string& wrapper_class) {
+  std::string h = "<html><body><ul class=\"nav\"><li><a href=\"#\">home</a>"
+                  "</li><li><a href=\"#\">login</a></li></ul>";
+  h += "<div class=\"" + wrapper_class + "\"><h1>" + entity + "</h1>";
+  h += "<div class=\"ad\"><p>special offer today</p></div>";
+  h += "<table class=\"infobox\">";
+  for (const auto& [label, value] : rows) {
+    h += "<tr><th>" + label + "</th><td><span class=\"val\">" + value +
+         "</span></td></tr>";
+  }
+  h += "</table></div><div class=\"footer\"><p>terms privacy</p></div>"
+       "</body></html>";
+  return h;
+}
+
+class DomExtractorTest : public ::testing::Test {
+ protected:
+  DomExtraction RunTwoPages() {
+    std::vector<std::string> pages = {
+        MakePage("Alpha One",
+                 {{"budget", "100"},
+                  {"director", "Jane Doe"},
+                  {"running time", "90 min"}},
+                 "main-a"),
+        MakePage("Beta Two",
+                 {{"budget", "200"},
+                  {"producer", "John Roe"},
+                  {"language", "Esperanto"}},
+                 "main-b"),
+    };
+    DomTreeExtractor extractor;
+    return extractor.ExtractPages("Film", pages, "films.example.com",
+                                  {"Alpha One", "Beta Two"}, {"budget"});
+  }
+};
+
+TEST_F(DomExtractorTest, DiscoversSiblingLabels) {
+  DomExtraction out = RunTwoPages();
+  std::set<std::string> found;
+  for (const auto& attr : out.new_attributes) found.insert(attr.surface);
+  EXPECT_TRUE(found.count("director"));
+  EXPECT_TRUE(found.count("running time"));
+  EXPECT_TRUE(found.count("producer"));
+  EXPECT_TRUE(found.count("language"));
+}
+
+TEST_F(DomExtractorTest, SeedNotReportedAsNew) {
+  DomExtraction out = RunTwoPages();
+  for (const auto& attr : out.new_attributes) {
+    EXPECT_NE(attr.surface, "budget");
+  }
+}
+
+TEST_F(DomExtractorTest, NoiseTextNotExtracted) {
+  DomExtraction out = RunTwoPages();
+  std::set<std::string> found;
+  for (const auto& attr : out.new_attributes) found.insert(attr.surface);
+  EXPECT_FALSE(found.count("home"));
+  EXPECT_FALSE(found.count("login"));
+  EXPECT_FALSE(found.count("special offer today"));
+  EXPECT_FALSE(found.count("terms privacy"));
+}
+
+TEST_F(DomExtractorTest, ValuesNotExtractedAsAttributes) {
+  DomExtraction out = RunTwoPages();
+  std::set<std::string> found;
+  for (const auto& attr : out.new_attributes) found.insert(attr.surface);
+  EXPECT_FALSE(found.count("Jane Doe"));
+  EXPECT_FALSE(found.count("Esperanto"));
+  EXPECT_FALSE(found.count("100"));
+}
+
+TEST_F(DomExtractorTest, HarvestsTriplesWithValues) {
+  DomExtraction out = RunTwoPages();
+  std::set<std::string> statements;
+  for (const auto& t : out.triples) {
+    EXPECT_EQ(t.extractor, rdf::ExtractorKind::kDomTree);
+    EXPECT_EQ(t.source, "films.example.com");
+    statements.insert(t.entity + "|" + t.attribute + "|" + t.value);
+  }
+  EXPECT_TRUE(statements.count("Alpha One|budget|100"));
+  EXPECT_TRUE(statements.count("Alpha One|director|Jane Doe"));
+  EXPECT_TRUE(statements.count("Beta Two|producer|John Roe"));
+  EXPECT_TRUE(statements.count("Beta Two|language|Esperanto"));
+}
+
+TEST_F(DomExtractorTest, StatsReflectWork) {
+  DomExtraction out = RunTwoPages();
+  EXPECT_EQ(out.stats.pages_total, 2u);
+  EXPECT_EQ(out.stats.pages_with_entity, 2u);
+  EXPECT_EQ(out.stats.pages_used, 2u);
+  EXPECT_GT(out.stats.patterns_induced, 0u);
+  EXPECT_GT(out.stats.nodes_matched, 0u);
+}
+
+TEST_F(DomExtractorTest, SeedGrowthPropagatesAcrossPages) {
+  // Page 2 contains no original seed; it is only usable because page 1's
+  // discoveries ("director" etc.) do not appear there either — but
+  // "budget" does. Remove budget from page 2 and rely on iteration:
+  std::vector<std::string> pages = {
+      MakePage("Alpha One", {{"budget", "100"}, {"director", "Jane"}},
+               "main-a"),
+      // No "budget" here; only reachable via the discovered "director".
+      MakePage("Beta Two", {{"director", "Kim"}, {"producer", "Lee"}},
+               "main-b"),
+  };
+  DomTreeExtractor extractor;
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "films.example.com", {"Alpha One", "Beta Two"},
+      {"budget"});
+  std::set<std::string> found;
+  for (const auto& attr : out.new_attributes) found.insert(attr.surface);
+  EXPECT_TRUE(found.count("director"));
+  EXPECT_TRUE(found.count("producer"))
+      << "second page should be seeded by first page's discovery";
+}
+
+TEST_F(DomExtractorTest, PageWithoutEntityIgnored) {
+  std::vector<std::string> pages = {
+      MakePage("Unknown Entity", {{"budget", "1"}}, "main-a"),
+  };
+  DomTreeExtractor extractor;
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "x.example.com", {"Alpha One"}, {"budget"});
+  EXPECT_TRUE(out.new_attributes.empty());
+  EXPECT_TRUE(out.triples.empty());
+  EXPECT_EQ(out.stats.pages_with_entity, 0u);
+}
+
+TEST_F(DomExtractorTest, PageWithoutSeedIgnored) {
+  std::vector<std::string> pages = {
+      MakePage("Alpha One", {{"director", "Jane"}}, "main-a"),
+  };
+  DomTreeExtractor extractor;
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "x.example.com", {"Alpha One"}, {"budget"});
+  EXPECT_TRUE(out.new_attributes.empty());
+  EXPECT_EQ(out.stats.pages_used, 0u);
+}
+
+TEST_F(DomExtractorTest, AttributeBudgetStopsDiscovery) {
+  DomExtractorConfig config;
+  config.attribute_budget = 2;  // seed (1) + one discovery
+  DomTreeExtractor extractor(config);
+  std::vector<std::string> pages = {
+      MakePage("Alpha One",
+               {{"budget", "100"},
+                {"director", "Jane"},
+                {"producer", "Lee"},
+                {"language", "X"}},
+               "main-a"),
+  };
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "x.example.com", {"Alpha One"}, {"budget"});
+  EXPECT_EQ(out.new_attributes.size(), 1u);
+}
+
+TEST_F(DomExtractorTest, SimilarityThresholdControlsRecall) {
+  // With an impossible threshold nothing new is found.
+  DomExtractorConfig config;
+  config.similarity_threshold = 1.01;
+  DomTreeExtractor extractor(config);
+  std::vector<std::string> pages = {
+      MakePage("Alpha One", {{"budget", "100"}, {"director", "Jane"}},
+               "main-a"),
+  };
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "x.example.com", {"Alpha One"}, {"budget"});
+  EXPECT_TRUE(out.new_attributes.empty());
+}
+
+TEST_F(DomExtractorTest, EntityDiscoveryOffByDefault) {
+  std::vector<std::string> pages = {
+      MakePage("Alpha One", {{"budget", "100"}, {"director", "Jane"}},
+               "main-a"),
+      MakePage("Unknown Star", {{"budget", "7"}, {"producer", "Kim"}},
+               "main-b"),
+  };
+  DomTreeExtractor extractor;  // discover_entities = false
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "x.example.com", {"Alpha One"}, {"budget"});
+  EXPECT_TRUE(out.candidate_entities.empty());
+  EXPECT_EQ(out.stats.pages_with_candidate_anchor, 0u);
+  for (const auto& t : out.triples) EXPECT_EQ(t.entity, "Alpha One");
+}
+
+TEST_F(DomExtractorTest, EntityDiscoveryUsesHeadingAsCandidate) {
+  std::vector<std::string> pages = {
+      MakePage("Alpha One", {{"budget", "100"}, {"director", "Jane"}},
+               "main-a"),
+      // Page about an entity no KB knows.
+      MakePage("Unknown Star", {{"budget", "7"}, {"producer", "Kim"}},
+               "main-b"),
+  };
+  DomExtractorConfig config;
+  config.discover_entities = true;
+  DomTreeExtractor extractor(config);
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "x.example.com", {"Alpha One"}, {"budget"});
+  ASSERT_EQ(out.candidate_entities.size(), 1u);
+  EXPECT_EQ(out.candidate_entities[0], "Unknown Star");
+  EXPECT_EQ(out.stats.pages_with_candidate_anchor, 1u);
+  // Triples were harvested against the candidate anchor...
+  bool candidate_triple = false;
+  for (const auto& t : out.triples) {
+    if (t.entity == "Unknown Star" && t.attribute == "budget" &&
+        t.value == "7") {
+      candidate_triple = true;
+    }
+  }
+  EXPECT_TRUE(candidate_triple);
+}
+
+TEST_F(DomExtractorTest, CandidateTriplesCarryReducedConfidence) {
+  std::vector<std::string> pages = {
+      MakePage("Alpha One", {{"budget", "100"}}, "main-a"),
+      MakePage("Unknown Star", {{"budget", "7"}}, "main-b"),
+  };
+  DomExtractorConfig config;
+  config.discover_entities = true;
+  config.candidate_quality = 0.5;
+  DomTreeExtractor extractor(config);
+  DomExtraction out = extractor.ExtractPages(
+      "Film", pages, "x.example.com", {"Alpha One"}, {"budget"});
+  double known_conf = 0, candidate_conf = 0;
+  for (const auto& t : out.triples) {
+    if (t.entity == "Alpha One") known_conf = t.confidence;
+    if (t.entity == "Unknown Star") candidate_conf = t.confidence;
+  }
+  ASSERT_GT(known_conf, 0.0);
+  ASSERT_GT(candidate_conf, 0.0);
+  EXPECT_NEAR(candidate_conf, known_conf * 0.5, 1e-9);
+}
+
+TEST_F(DomExtractorTest, DiscoveryFeedsJointEntityCreation) {
+  // Two sites mention the same unknown entity: the EntityCreator promotes
+  // it to a new entity (>= 2 distinct sources).
+  DomExtractorConfig config;
+  config.discover_entities = true;
+  DomTreeExtractor extractor(config);
+  std::vector<extract::ExtractedTriple> all;
+  for (const char* domain : {"a.example.com", "b.example.com"}) {
+    std::vector<std::string> pages = {
+        MakePage("Alpha One", {{"budget", "100"}}, "main-a"),
+        MakePage("Unknown Star", {{"budget", "7"}}, "main-b"),
+    };
+    DomExtraction out = extractor.ExtractPages("Film", pages, domain,
+                                               {"Alpha One"}, {"budget"});
+    all.insert(all.end(), out.triples.begin(), out.triples.end());
+  }
+  extract::EntityCreator creator;  // min 2 sources
+  auto resolution = creator.Run(all, {"Alpha One"});
+  EXPECT_EQ(resolution.discovered_entities, 1u);
+  size_t idx = resolution.Resolve("Unknown Star");
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_TRUE(resolution.entities[idx].is_new);
+}
+
+// Every site layout the generator ships must be extractable: the label and
+// value tag paths differ structurally in all four templates.
+class LayoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutSweep, EachLayoutExtractable) {
+  using synth::World;
+  using synth::WorldConfig;
+  World world = World::Build(WorldConfig::Small());
+  auto cls_id = world.FindClass("Film");
+  const auto& wc = world.cls(*cls_id);
+
+  synth::SiteConfig config;
+  config.class_name = "Film";
+  config.num_sites = 2;
+  config.pages_per_site = 10;
+  config.attribute_coverage = 0.5;
+  config.forced_style = GetParam();
+  config.seed = 123;
+  auto sites = synth::GenerateSites(world, config);
+  for (const auto& site : sites) {
+    EXPECT_EQ(static_cast<int>(site.style), GetParam());
+  }
+
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < 4; ++a) seeds.push_back(wc.attributes[a].name);
+
+  DomTreeExtractor extractor;
+  DomExtraction out = extractor.Extract(sites, entities, seeds);
+
+  std::set<std::string> true_keys;
+  for (const auto& spec : wc.attributes) {
+    true_keys.insert(AttributeKey(spec.name));
+  }
+  size_t correct = 0;
+  for (const auto& attr : out.new_attributes) {
+    if (true_keys.count(AttributeKey(attr.surface))) ++correct;
+  }
+  ASSERT_GT(out.new_attributes.size(), 3u) << "layout " << GetParam();
+  EXPECT_GE(double(correct) / double(out.new_attributes.size()), 0.75)
+      << "layout " << GetParam();
+  EXPECT_GT(out.triples.size(), 20u) << "layout " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, LayoutSweep,
+                         ::testing::Range(0, synth::kNumLayoutStyles));
+
+TEST(DomExtractorGeneratedTest, HighQualityOnGeneratedSites) {
+  using synth::World;
+  using synth::WorldConfig;
+  World world = World::Build(WorldConfig::Small());
+  auto cls_id = world.FindClass("Film");
+  const auto& wc = world.cls(*cls_id);
+
+  synth::SiteConfig site_config;
+  site_config.class_name = "Film";
+  site_config.num_sites = 3;
+  site_config.pages_per_site = 10;
+  site_config.attribute_coverage = 0.5;
+  site_config.seed = 77;
+  auto sites = synth::GenerateSites(world, site_config);
+
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < 4; ++a) seeds.push_back(wc.attributes[a].name);
+
+  DomTreeExtractor extractor;
+  DomExtraction out = extractor.Extract(sites, entities, seeds);
+
+  std::set<std::string> true_keys;
+  for (const auto& spec : wc.attributes) {
+    true_keys.insert(AttributeKey(spec.name));
+  }
+  size_t correct = 0;
+  for (const auto& attr : out.new_attributes) {
+    if (true_keys.count(AttributeKey(attr.surface))) ++correct;
+  }
+  ASSERT_GT(out.new_attributes.size(), 3u);
+  // Precision: misspelled labels may form spurious clusters, but the bulk
+  // must be true attributes.
+  EXPECT_GE(double(correct) / double(out.new_attributes.size()), 0.8);
+  // Recall over the non-seed inventory.
+  EXPECT_GE(correct, (wc.attributes.size() - seeds.size()) / 2);
+  // Triples reference real entities.
+  for (const auto& t : out.triples) {
+    bool known = false;
+    for (const auto& entity : wc.entities) {
+      if (entity.name == t.entity) known = true;
+    }
+    EXPECT_TRUE(known) << t.entity;
+  }
+}
+
+}  // namespace
+}  // namespace akb::extract

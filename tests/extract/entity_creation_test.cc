@@ -1,0 +1,127 @@
+#include "extract/entity_creation.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::extract {
+namespace {
+
+ExtractedTriple Triple(const std::string& entity, const std::string& source) {
+  ExtractedTriple t;
+  t.class_name = "Film";
+  t.entity = entity;
+  t.attribute = "budget";
+  t.value = "1";
+  t.source = source;
+  return t;
+}
+
+TEST(EntityCreationTest, LinksKnownEntities) {
+  EntityCreator creator;
+  auto resolution = creator.Run(
+      {Triple("The Silent Harbor", "s1"), Triple("the silent harbor", "s2")},
+      {"The Silent Harbor"});
+  size_t idx = resolution.Resolve("The Silent Harbor");
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_FALSE(resolution.entities[idx].is_new);
+  EXPECT_EQ(resolution.entities[idx].name, "The Silent Harbor");
+  EXPECT_EQ(resolution.entities[idx].mentions, 2u);
+  EXPECT_EQ(resolution.linked_mentions, 2u);
+  EXPECT_EQ(resolution.discovered_entities, 0u);
+}
+
+TEST(EntityCreationTest, ArticleVariantsLinkTogether) {
+  EntityCreator creator;
+  auto resolution = creator.Run({Triple("Silent Harbor", "s1")},
+                                {"The Silent Harbor"});
+  size_t idx = resolution.Resolve("Silent Harbor");
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_FALSE(resolution.entities[idx].is_new);
+  // Canonical KB spelling wins over the mention's surface.
+  EXPECT_EQ(resolution.entities[idx].name, "The Silent Harbor");
+}
+
+TEST(EntityCreationTest, DiscoversWellSupportedNewEntity) {
+  EntityCreator creator;  // default: >= 2 distinct sources
+  auto resolution = creator.Run(
+      {Triple("Fresh Face", "s1"), Triple("Fresh Face", "s2"),
+       Triple("Fresh Face", "s2")},
+      {"The Silent Harbor"});
+  size_t idx = resolution.Resolve("Fresh Face");
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_TRUE(resolution.entities[idx].is_new);
+  EXPECT_EQ(resolution.entities[idx].mentions, 3u);
+  EXPECT_EQ(resolution.entities[idx].sources, 2u);
+  EXPECT_EQ(resolution.discovered_entities, 1u);
+  EXPECT_GT(resolution.entities[idx].confidence, 0.0);
+  EXPECT_LT(resolution.entities[idx].confidence, 1.0);
+}
+
+TEST(EntityCreationTest, SingleSourceMentionDropped) {
+  EntityCreator creator;
+  auto resolution = creator.Run(
+      {Triple("Rumor Only", "s1"), Triple("Rumor Only", "s1")},
+      {"The Silent Harbor"});
+  EXPECT_EQ(resolution.Resolve("Rumor Only"), SIZE_MAX);
+  EXPECT_EQ(resolution.discovered_entities, 0u);
+  EXPECT_EQ(resolution.dropped_mentions, 2u);
+}
+
+TEST(EntityCreationTest, SupportThresholdConfigurable) {
+  EntityCreationConfig config;
+  config.min_new_entity_support = 1;
+  EntityCreator creator(config);
+  auto resolution = creator.Run({Triple("Rumor Only", "s1")}, {});
+  EXPECT_NE(resolution.Resolve("Rumor Only"), SIZE_MAX);
+  EXPECT_EQ(resolution.discovered_entities, 1u);
+}
+
+TEST(EntityCreationTest, MostFrequentSurfaceWinsForNewEntities) {
+  EntityCreationConfig config;
+  config.min_new_entity_support = 2;
+  EntityCreator creator(config);
+  auto resolution = creator.Run(
+      {Triple("fresh face", "s1"), Triple("Fresh Face", "s2"),
+       Triple("Fresh Face", "s3")},
+      {});
+  size_t idx = resolution.Resolve("Fresh Face");
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_EQ(resolution.entities[idx].name, "Fresh Face");
+}
+
+TEST(EntityCreationTest, UnmentionedKbEntitiesStillResolvable) {
+  EntityCreator creator;
+  auto resolution = creator.Run({}, {"The Quiet Garden"});
+  size_t idx = resolution.Resolve("quiet garden");
+  ASSERT_NE(idx, SIZE_MAX);
+  EXPECT_FALSE(resolution.entities[idx].is_new);
+  EXPECT_EQ(resolution.entities[idx].mentions, 0u);
+}
+
+TEST(EntityCreationTest, ResolveUnknownReturnsSentinel) {
+  EntityCreator creator;
+  auto resolution = creator.Run({}, {});
+  EXPECT_EQ(resolution.Resolve("whatever"), SIZE_MAX);
+}
+
+TEST(EntityCreationTest, DeterministicAcrossWorkerCounts) {
+  std::vector<ExtractedTriple> triples;
+  for (int i = 0; i < 200; ++i) {
+    triples.push_back(Triple("Entity " + std::to_string(i % 23),
+                             "source" + std::to_string(i % 7)));
+  }
+  EntityCreationConfig one;
+  one.num_workers = 1;
+  EntityCreationConfig four;
+  four.num_workers = 4;
+  auto a = EntityCreator(one).Run(triples, {"Entity 0", "Entity 1"});
+  auto b = EntityCreator(four).Run(triples, {"Entity 0", "Entity 1"});
+  ASSERT_EQ(a.entities.size(), b.entities.size());
+  for (size_t i = 0; i < a.entities.size(); ++i) {
+    EXPECT_EQ(a.entities[i].name, b.entities[i].name);
+    EXPECT_EQ(a.entities[i].mentions, b.entities[i].mentions);
+    EXPECT_EQ(a.entities[i].is_new, b.entities[i].is_new);
+  }
+}
+
+}  // namespace
+}  // namespace akb::extract

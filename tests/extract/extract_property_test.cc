@@ -1,0 +1,131 @@
+// Robustness property tests for the extractors: hostile inputs must never
+// crash or hang, and invariants hold across random configurations.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "extract/dom_extractor.h"
+#include "extract/query_extractor.h"
+#include "extract/taxonomy_extractor.h"
+#include "extract/temporal_extractor.h"
+#include "extract/text_extractor.h"
+
+namespace akb::extract {
+namespace {
+
+std::string RandomSoup(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      " abcdefghijklmnop'.,?!\"<>0123456789-_&;  the of is a";
+  std::string soup;
+  size_t length = rng->Index(max_len);
+  for (size_t i = 0; i < length; ++i) {
+    soup.push_back(kAlphabet[rng->Index(sizeof(kAlphabet) - 1)]);
+  }
+  return soup;
+}
+
+class ExtractorFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtractorFuzz, QueryExtractorSurvivesGarbage) {
+  Rng rng(GetParam());
+  QueryStreamExtractor extractor;
+  extractor.AddClass("Film", {"The Silent Harbor", "X", ""});
+  std::vector<std::string> queries;
+  for (int i = 0; i < 300; ++i) queries.push_back(RandomSoup(&rng, 60));
+  queries.push_back("");
+  queries.push_back("'s 's 's");
+  queries.push_back("the of of of the");
+  auto result = extractor.Extract(queries);
+  EXPECT_EQ(result.total_records, queries.size());
+  for (const auto& cls : result.classes) {
+    EXPECT_LE(cls.relevant_records, queries.size());
+    for (const auto& attribute : cls.credible_attributes) {
+      EXPECT_FALSE(attribute.surface.empty());
+      EXPECT_GE(attribute.support, 1u);
+    }
+  }
+}
+
+TEST_P(ExtractorFuzz, TextExtractorSurvivesGarbage) {
+  Rng rng(GetParam());
+  WebTextExtractor extractor;
+  std::vector<std::string> documents;
+  for (int i = 0; i < 30; ++i) documents.push_back(RandomSoup(&rng, 400));
+  documents.push_back("");
+  auto out = extractor.Extract("Film", documents, {}, {"Alpha One"},
+                               {"budget"});
+  for (const auto& t : out.triples) {
+    EXPECT_FALSE(t.attribute.empty());
+    EXPECT_FALSE(t.value.empty());
+  }
+}
+
+TEST_P(ExtractorFuzz, DomExtractorSurvivesGarbageMarkup) {
+  Rng rng(GetParam());
+  std::vector<std::string> pages;
+  for (int i = 0; i < 10; ++i) {
+    pages.push_back("<html><body><h1>Alpha One</h1>" + RandomSoup(&rng, 300) +
+                    "</body></html>");
+  }
+  pages.push_back("");
+  pages.push_back("<<<<>>>>");
+  DomTreeExtractor extractor;
+  auto out = extractor.ExtractPages("Film", pages, "fuzz.example.com",
+                                    {"Alpha One"}, {"budget"});
+  EXPECT_EQ(out.stats.pages_total, pages.size());
+}
+
+TEST_P(ExtractorFuzz, TaxonomyExtractorSurvivesGarbage) {
+  Rng rng(GetParam());
+  TaxonomyExtractor extractor;
+  std::vector<std::string> documents;
+  for (int i = 0; i < 30; ++i) {
+    documents.push_back(RandomSoup(&rng, 300) + " is a " +
+                        RandomSoup(&rng, 10));
+  }
+  auto out = extractor.Extract(documents);
+  for (const auto& edge : out.edges) {
+    EXPECT_FALSE(edge.instance.empty());
+    EXPECT_FALSE(edge.category.empty());
+    EXPECT_GT(edge.probability, 0.0);
+    EXPECT_LE(edge.probability, 1.0 + 1e-9);
+  }
+}
+
+TEST_P(ExtractorFuzz, TemporalExtractorSurvivesGarbage) {
+  Rng rng(GetParam());
+  TemporalExtractor extractor;
+  std::vector<std::string> documents;
+  for (int i = 0; i < 30; ++i) {
+    documents.push_back("in " + std::to_string(rng.Index(99999)) + " " +
+                        RandomSoup(&rng, 200));
+  }
+  auto out = extractor.Extract(documents);
+  for (const auto& interval : out.intervals) {
+    EXPECT_LE(interval.start_year, interval.end_year);
+    EXPECT_GE(interval.start_year, 1800);
+    EXPECT_LE(interval.end_year, 2100);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractorFuzz,
+                         ::testing::Range<uint64_t>(1, 6));
+
+// Probabilities of an instance's categories always sum to ~1 (Probase's
+// plausibility is a proper distribution per instance).
+TEST(TaxonomyInvariantTest, PerInstanceProbabilitiesSumToOne) {
+  TaxonomyExtractorConfig config;
+  config.min_edge_support = 1;
+  TaxonomyExtractor extractor(config);
+  auto out = extractor.Extract({
+      "Avatar is a film. Avatar is a blockbuster. Avatar is a movie. "
+      "Dune is a book. Dune is a film.",
+  });
+  std::map<std::string, double> sums;
+  for (const auto& edge : out.edges) sums[edge.instance] += edge.probability;
+  for (const auto& [instance, sum] : sums) {
+    EXPECT_NEAR(sum, 1.0, 1e-9) << instance;
+  }
+}
+
+}  // namespace
+}  // namespace akb::extract

@@ -1,0 +1,220 @@
+#include "extract/query_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/query_gen.h"
+#include "synth/world.h"
+
+namespace akb::extract {
+namespace {
+
+class QueryExtractorTest : public ::testing::Test {
+ protected:
+  QueryExtractorTest() {
+    QueryExtractorConfig config;
+    config.min_record_support = 2;
+    config.min_entity_support = 1;
+    extractor_ = std::make_unique<QueryStreamExtractor>(config);
+    extractor_->AddClass("Film",
+                         {"The Silent Harbor", "The Golden Voyage"});
+  }
+
+  QueryExtraction Run(const std::vector<std::string>& queries) {
+    return extractor_->Extract(queries);
+  }
+
+  std::unique_ptr<QueryStreamExtractor> extractor_;
+};
+
+TEST_F(QueryExtractorTest, CountsRelevantRecords) {
+  auto result = Run({
+      "what is the budget of the silent harbor",
+      "the golden voyage reviews",
+      "weather tomorrow",
+      "pizza near me",
+  });
+  ASSERT_EQ(result.classes.size(), 1u);
+  EXPECT_EQ(result.total_records, 4u);
+  EXPECT_EQ(result.classes[0].relevant_records, 2u);
+}
+
+TEST_F(QueryExtractorTest, ExtractsAttributeWithSupport) {
+  auto result = Run({
+      "what is the budget of the silent harbor",
+      "the budget of the golden voyage",
+  });
+  ASSERT_EQ(result.classes[0].credible_attributes.size(), 1u);
+  const auto& attr = result.classes[0].credible_attributes[0];
+  EXPECT_EQ(attr.surface, "budget");
+  EXPECT_EQ(attr.support, 2u);
+  EXPECT_EQ(attr.extractor, rdf::ExtractorKind::kQueryStream);
+  EXPECT_GT(attr.confidence, 0.0);
+}
+
+TEST_F(QueryExtractorTest, BelowSupportThresholdNotCredible) {
+  auto result = Run({"what is the budget of the silent harbor"});
+  EXPECT_TRUE(result.classes[0].credible_attributes.empty());
+  EXPECT_EQ(result.classes[0].pattern_hits, 1u);
+}
+
+TEST_F(QueryExtractorTest, EntitySupportThresholdEnforced) {
+  QueryExtractorConfig config;
+  config.min_record_support = 2;
+  config.min_entity_support = 2;
+  QueryStreamExtractor extractor(config);
+  extractor.AddClass("Film", {"The Silent Harbor", "The Golden Voyage"});
+  // Two records, one entity: fails the entity threshold.
+  auto one_entity = extractor.Extract({
+      "the budget of the silent harbor",
+      "silent harbor's budget",
+  });
+  EXPECT_TRUE(one_entity.classes[0].credible_attributes.empty());
+  // Two records, two entities: passes.
+  auto two_entities = extractor.Extract({
+      "the budget of the silent harbor",
+      "the golden voyage's budget",
+  });
+  EXPECT_EQ(two_entities.classes[0].credible_attributes.size(), 1u);
+}
+
+TEST_F(QueryExtractorTest, AllPaperPatternsFire) {
+  auto result = Run({
+      "what is the director of the silent harbor",
+      "who is the director of the golden voyage",
+      "the director of the silent harbor",
+      "director of the golden voyage",
+      "the silent harbor's director",
+  });
+  ASSERT_EQ(result.classes[0].credible_attributes.size(), 1u);
+  EXPECT_EQ(result.classes[0].credible_attributes[0].surface, "director");
+  EXPECT_EQ(result.classes[0].credible_attributes[0].support, 5u);
+}
+
+TEST_F(QueryExtractorTest, ArticleStrippedEntityRecognized) {
+  auto result = Run({
+      "the budget of silent harbor",
+      "silent harbor's budget",
+  });
+  EXPECT_EQ(result.classes[0].relevant_records, 2u);
+  EXPECT_EQ(result.classes[0].credible_attributes.size(), 1u);
+}
+
+TEST_F(QueryExtractorTest, NavigationalQueriesRelevantButYieldNothing) {
+  auto result = Run({
+      "the silent harbor reviews",
+      "buy the golden voyage tickets",
+      "the silent harbor",
+  });
+  EXPECT_EQ(result.classes[0].relevant_records, 3u);
+  EXPECT_TRUE(result.classes[0].credible_attributes.empty());
+}
+
+TEST_F(QueryExtractorTest, FilterRulesDropJunkAttributes) {
+  auto result = Run({
+      // "reviews" is a junk word.
+      "the reviews of the silent harbor",
+      "the reviews of the golden voyage",
+      // digits-only attribute.
+      "the 2015 of the silent harbor",
+      "the 2015 of the golden voyage",
+  });
+  EXPECT_TRUE(result.classes[0].credible_attributes.empty());
+  EXPECT_GT(result.classes[0].filtered_out, 0u);
+}
+
+TEST_F(QueryExtractorTest, MultiWordAttributesCaptured) {
+  auto result = Run({
+      "what is the total gross revenue of the silent harbor",
+      "the total gross revenue of the golden voyage",
+  });
+  ASSERT_EQ(result.classes[0].credible_attributes.size(), 1u);
+  EXPECT_EQ(result.classes[0].credible_attributes[0].surface,
+            "total gross revenue");
+}
+
+TEST_F(QueryExtractorTest, VariantSurfacesDeduplicated) {
+  auto result = Run({
+      "the release date of the silent harbor",
+      "the date of release of the golden voyage",
+  });
+  ASSERT_EQ(result.classes[0].credible_attributes.size(), 1u);
+  EXPECT_EQ(result.classes[0].credible_attributes[0].support, 2u);
+}
+
+TEST_F(QueryExtractorTest, MultipleClassesSeparated) {
+  QueryStreamExtractor extractor;  // default thresholds
+  extractor.AddClass("Film", {"The Silent Harbor"});
+  extractor.AddClass("Country", {"Varonia"});
+  auto result = extractor.Extract({
+      "the capital of varonia", "the capital of varonia",
+      "the capital of varonia",
+      "the budget of the silent harbor", "the budget of the silent harbor",
+      "the budget of the silent harbor",
+  });
+  ASSERT_EQ(result.classes.size(), 2u);
+  const auto* film = result.FindClass("Film");
+  const auto* country = result.FindClass("Country");
+  ASSERT_NE(film, nullptr);
+  ASSERT_NE(country, nullptr);
+  EXPECT_EQ(film->relevant_records, 3u);
+  EXPECT_EQ(country->relevant_records, 3u);
+}
+
+TEST_F(QueryExtractorTest, EmptyStream) {
+  auto result = Run({});
+  EXPECT_EQ(result.total_records, 0u);
+  EXPECT_EQ(result.classes[0].relevant_records, 0u);
+}
+
+TEST(QueryExtractorPatternsTest, SpecsParse) {
+  for (const auto& spec : QueryStreamExtractor::PatternSpecs()) {
+    EXPECT_TRUE(text::Pattern::Parse(spec).ok()) << spec;
+  }
+}
+
+TEST(QueryExtractorIntegrationTest, TableThreeShapeOnGeneratedStream) {
+  // More relevant query records => more credible attributes; a class whose
+  // queries are navigational (Hotel in the paper) yields none.
+  using synth::World;
+  using synth::WorldConfig;
+  WorldConfig wc;
+  wc.seed = 5;
+  wc.classes = {
+      {"Rich", 40, 30, synth::EntityNameStyle::kTitle},
+      {"Poor", 40, 30, synth::EntityNameStyle::kPlace},
+      {"Nav", 40, 30, synth::EntityNameStyle::kHotel},
+  };
+  World world = World::Build(wc);
+
+  synth::QueryLogConfig qc;
+  qc.seed = 6;
+  qc.total_records = 7000;
+  qc.classes = {
+      {"Rich", 5000, 30, 0.3},
+      {"Poor", 500, 30, 0.3},
+      {"Nav", 300, 30, 0.98},  // low volume AND navigational, like Hotel
+  };
+  auto log = synth::GenerateQueryLog(world, qc);
+  std::vector<std::string> queries;
+  for (const auto& record : log) queries.push_back(record.query);
+
+  QueryStreamExtractor extractor;
+  for (const char* cls : {"Rich", "Poor", "Nav"}) {
+    std::vector<std::string> names;
+    for (const auto& entity : world.cls(*world.FindClass(cls)).entities) {
+      names.push_back(entity.name);
+    }
+    extractor.AddClass(cls, names);
+  }
+  auto result = extractor.Extract(queries);
+  const auto* rich = result.FindClass("Rich");
+  const auto* poor = result.FindClass("Poor");
+  const auto* nav = result.FindClass("Nav");
+  EXPECT_GT(rich->relevant_records, poor->relevant_records);
+  EXPECT_GT(rich->credible_attributes.size(),
+            poor->credible_attributes.size());
+  EXPECT_LE(nav->credible_attributes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace akb::extract

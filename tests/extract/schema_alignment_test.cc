@@ -1,0 +1,258 @@
+#include "extract/schema_alignment.h"
+
+#include <gtest/gtest.h>
+
+#include "extract/attribute_dedup.h"
+#include "extract/kb_extractor.h"
+#include "synth/kb_gen.h"
+#include "synth/noise.h"
+#include "synth/world.h"
+
+namespace akb::extract {
+namespace {
+
+ExtractedTriple Triple(const std::string& entity, const std::string& attr,
+                       const std::string& value,
+                       const std::string& cls = "Film") {
+  ExtractedTriple t;
+  t.class_name = cls;
+  t.entity = entity;
+  t.attribute = attr;
+  t.value = value;
+  t.source = "test";
+  return t;
+}
+
+TEST(SynonymSurfaceTest, SubstitutesKnownTokens) {
+  EXPECT_EQ(synth::SynonymSurface("total budget"), "overall cost");
+  EXPECT_EQ(synth::SynonymSurface("average rating"), "mean score");
+  EXPECT_EQ(synth::SynonymSurface("unknown words"), "unknown words");
+  EXPECT_TRUE(synth::HasSynonym("annual revenue"));
+  EXPECT_FALSE(synth::HasSynonym("director"));
+}
+
+TEST(SchemaAlignmentTest, AlignsSynonymsByValueOverlap) {
+  std::vector<ExtractedTriple> a = {
+      Triple("e1", "total budget", "100"),
+      Triple("e2", "total budget", "200"),
+      Triple("e3", "total budget", "300"),
+      Triple("e4", "total budget", "400"),
+  };
+  std::vector<ExtractedTriple> b = {
+      Triple("e1", "overall cost", "100"),
+      Triple("e2", "overall cost", "200"),
+      Triple("e3", "overall cost", "300"),
+      Triple("e4", "overall cost", "999"),  // one disagreement tolerated
+  };
+  SchemaAlignment alignment = AlignSchemas(a, b);
+  ASSERT_EQ(alignment.pairs.size(), 1u);
+  EXPECT_EQ(alignment.pairs[0].attribute_a, AttributeKey("total budget"));
+  EXPECT_EQ(alignment.pairs[0].attribute_b, AttributeKey("overall cost"));
+  EXPECT_EQ(alignment.pairs[0].shared_entities, 4u);
+  EXPECT_NEAR(alignment.pairs[0].agreement, 0.75, 1e-9);
+}
+
+TEST(SchemaAlignmentTest, DistinctAttributesDoNotAlign) {
+  std::vector<ExtractedTriple> a = {
+      Triple("e1", "budget", "100"),
+      Triple("e2", "budget", "200"),
+      Triple("e3", "budget", "300"),
+  };
+  std::vector<ExtractedTriple> b = {
+      Triple("e1", "director", "jane"),
+      Triple("e2", "director", "kim"),
+      Triple("e3", "director", "lee"),
+  };
+  EXPECT_TRUE(AlignSchemas(a, b).pairs.empty());
+}
+
+TEST(SchemaAlignmentTest, TooFewSharedEntitiesGated) {
+  std::vector<ExtractedTriple> a = {
+      Triple("e1", "budget", "100"),
+      Triple("e2", "budget", "200"),
+  };
+  std::vector<ExtractedTriple> b = {
+      Triple("e1", "cost", "100"),
+      Triple("e2", "cost", "200"),
+  };
+  SchemaAlignmentConfig config;
+  config.min_shared_entities = 3;
+  EXPECT_TRUE(AlignSchemas(a, b, config).pairs.empty());
+  config.min_shared_entities = 2;
+  EXPECT_EQ(AlignSchemas(a, b, config).pairs.size(), 1u);
+}
+
+TEST(SchemaAlignmentTest, ClassesDoNotCrossAlign) {
+  std::vector<ExtractedTriple> a = {
+      Triple("e1", "budget", "100", "Film"),
+      Triple("e2", "budget", "200", "Film"),
+      Triple("e3", "budget", "300", "Film"),
+  };
+  std::vector<ExtractedTriple> b = {
+      Triple("e1", "cost", "100", "Book"),
+      Triple("e2", "cost", "200", "Book"),
+      Triple("e3", "cost", "300", "Book"),
+  };
+  SchemaAlignmentConfig config;
+  config.min_shared_entities = 2;
+  EXPECT_TRUE(AlignSchemas(a, b, config).pairs.empty());
+}
+
+TEST(SchemaAlignmentTest, IdenticalKeysSkipped) {
+  std::vector<ExtractedTriple> a = {
+      Triple("e1", "budget", "100"), Triple("e2", "budget", "200"),
+      Triple("e3", "budget", "300"),
+  };
+  // Same attribute on the other side: no alignment edge needed.
+  EXPECT_TRUE(AlignSchemas(a, a).pairs.empty());
+}
+
+TEST(SchemaAlignmentTest, MergedCountUnionFind) {
+  SchemaAlignment alignment;
+  alignment.pairs.push_back({"Film", "a", "b", 5, 1.0});
+  alignment.pairs.push_back({"Film", "b", "c", 5, 1.0});
+  // {a,b,c} merge; d stays a singleton.
+  EXPECT_EQ(alignment.MergedCount({"a", "b", "c", "d"}), 2u);
+  EXPECT_EQ(alignment.MergedCount({"a", "d"}), 2u);
+  EXPECT_EQ(alignment.MergedCount({}), 0u);
+}
+
+TEST(SchemaAlignmentTest, RecoversSynonymSplitOnGeneratedKbs) {
+  // Two KBs over the same world; KB B renders attributes under synonym
+  // surfaces. Surface dedup splits those attributes; value-overlap
+  // alignment merges them back.
+  using synth::World;
+  using synth::WorldConfig;
+  World world = World::Build(WorldConfig::Small());
+
+  synth::KbProfile profile_a;
+  profile_a.kb_name = "A";
+  profile_a.seed = 301;
+  synth::KbClassProfile cp;
+  cp.class_name = "Film";
+  cp.instance_attributes = 14;
+  cp.declared_attributes = 7;
+  cp.fact_coverage = 0.8;
+  cp.error_rate = 0.02;
+  cp.misspell_rate = 0.0;
+  profile_a.classes = {cp};
+
+  synth::KbProfile profile_b = profile_a;
+  profile_b.kb_name = "B";
+  profile_b.seed = 302;
+  profile_b.classes[0].synonym_rate = 1.0;  // every synonym-able attribute
+
+  auto kb_a = synth::GenerateKb(world, profile_a);
+  auto kb_b = synth::GenerateKb(world, profile_b);
+
+  ExistingKbExtractor extractor;
+  auto triples_a = extractor.ExtractTriples(kb_a);
+  auto triples_b = extractor.ExtractTriples(kb_b);
+
+  SchemaAlignmentConfig config;
+  config.min_shared_entities = 3;
+  config.min_agreement = 0.5;
+  SchemaAlignment alignment = AlignSchemas(triples_a, triples_b, config);
+
+  // At least one true synonym pair must align (the small world's 14 Film
+  // attributes contain several synonym-able phrases).
+  size_t synonym_pairs = 0;
+  auto cls_id = world.FindClass("Film");
+  for (const auto& spec : world.cls(*cls_id).attributes) {
+    if (!synth::HasSynonym(spec.name)) continue;
+    std::string key_a = AttributeKey(spec.name);
+    std::string key_b = AttributeKey(synth::SynonymSurface(spec.name));
+    for (const auto& pair : alignment.pairs) {
+      if ((pair.attribute_a == key_a && pair.attribute_b == key_b) ||
+          (pair.attribute_a == key_b && pair.attribute_b == key_a)) {
+        ++synonym_pairs;
+      }
+    }
+  }
+  EXPECT_GT(synonym_pairs, 0u);
+}
+
+TEST(SubAttributeTest, DetectsCoarseCompanion) {
+  synth::ValueHierarchy h;
+  auto country = h.AddChild(synth::kHierarchyRoot, "Avaland");
+  auto region = h.AddChild(country, "North Ava");
+  auto city = h.AddChild(region, "Avaville");
+  auto country2 = h.AddChild(synth::kHierarchyRoot, "Borland");
+  auto region2 = h.AddChild(country2, "East Bor");
+  auto city2 = h.AddChild(region2, "Borville");
+  (void)city;
+  (void)city2;
+
+  std::vector<ExtractedTriple> triples = {
+      Triple("e1", "headquarters", "Avaville"),
+      Triple("e1", "headquarters country", "Avaland"),
+      Triple("e2", "headquarters", "Borville"),
+      Triple("e2", "headquarters country", "Borland"),
+      Triple("e3", "headquarters", "Avaville"),
+      Triple("e3", "headquarters country", "Avaland"),
+  };
+  auto subs = DetectSubAttributes(triples, h);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].sub, AttributeKey("headquarters country"));
+  EXPECT_EQ(subs[0].super, AttributeKey("headquarters"));
+  EXPECT_EQ(subs[0].shared_entities, 3u);
+  EXPECT_DOUBLE_EQ(subs[0].ancestor_rate, 1.0);
+}
+
+TEST(SubAttributeTest, EqualValuesAreNotSub) {
+  synth::ValueHierarchy h;
+  h.AddChild(synth::kHierarchyRoot, "Avaland");
+  std::vector<ExtractedTriple> triples = {
+      Triple("e1", "a", "Avaland"), Triple("e1", "b", "Avaland"),
+      Triple("e2", "a", "Avaland"), Triple("e2", "b", "Avaland"),
+      Triple("e3", "a", "Avaland"), Triple("e3", "b", "Avaland"),
+  };
+  EXPECT_TRUE(DetectSubAttributes(triples, h).empty());
+}
+
+TEST(SubAttributeTest, NonHierarchicalValuesIgnored) {
+  synth::ValueHierarchy h;
+  h.AddChild(synth::kHierarchyRoot, "Avaland");
+  std::vector<ExtractedTriple> triples = {
+      Triple("e1", "a", "100"), Triple("e1", "b", "blue"),
+      Triple("e2", "a", "200"), Triple("e2", "b", "red"),
+      Triple("e3", "a", "300"), Triple("e3", "b", "green"),
+  };
+  EXPECT_TRUE(DetectSubAttributes(triples, h).empty());
+}
+
+TEST(SubAttributeTest, DetectsOnGeneratedKb) {
+  using synth::World;
+  using synth::WorldConfig;
+  WorldConfig wc = WorldConfig::Small();
+  wc.location_attribute_rate = 0.4;  // ensure several location attributes
+  World world = World::Build(wc);
+
+  synth::KbProfile profile;
+  profile.kb_name = "SubKb";
+  profile.seed = 401;
+  synth::KbClassProfile cp;
+  cp.class_name = "Film";
+  cp.instance_attributes = 14;
+  cp.declared_attributes = 7;
+  cp.fact_coverage = 0.9;
+  cp.error_rate = 0.02;
+  cp.generalize_rate = 0.0;  // keep the super-attribute at leaf level
+  cp.sub_attribute_rate = 1.0;
+  profile.classes = {cp};
+  auto kb = synth::GenerateKb(world, profile);
+
+  ExistingKbExtractor extractor;
+  auto triples = extractor.ExtractTriples(kb);
+  auto subs = DetectSubAttributes(triples, world.hierarchy());
+  ASSERT_FALSE(subs.empty());
+  // Every detected pair has the "<name> country" key as the sub side.
+  for (const auto& sub : subs) {
+    EXPECT_NE(sub.sub.find("country"), std::string::npos)
+        << sub.sub << " < " << sub.super;
+    EXPECT_GE(sub.ancestor_rate, 0.6);
+  }
+}
+
+}  // namespace
+}  // namespace akb::extract

@@ -1,0 +1,153 @@
+#include "extract/taxonomy_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/taxonomy_gen.h"
+#include "synth/world.h"
+
+namespace akb::extract {
+namespace {
+
+TaxonomyExtractor MakeExtractor(size_t min_support = 1) {
+  TaxonomyExtractorConfig config;
+  config.min_edge_support = min_support;
+  return TaxonomyExtractor(config);
+}
+
+TEST(NormalizeTermTest, ArticlesAndPlurals) {
+  EXPECT_EQ(TaxonomyExtractor::NormalizeTerm("The Silent Harbor"),
+            "silent harbor");
+  EXPECT_EQ(TaxonomyExtractor::NormalizeTerm("films"), "film");
+  EXPECT_EQ(TaxonomyExtractor::NormalizeTerm("countries"), "country");
+  EXPECT_EQ(TaxonomyExtractor::NormalizeTerm("classes"), "class");
+  EXPECT_EQ(TaxonomyExtractor::NormalizeTerm("chess"), "chess");
+  EXPECT_EQ(TaxonomyExtractor::NormalizeTerm("creative works"),
+            "creative work");
+}
+
+TEST(TaxonomyExtractorTest, IsAPattern) {
+  auto out = MakeExtractor().Extract({"The Silent Harbor is a film."});
+  ASSERT_EQ(out.edges.size(), 1u);
+  EXPECT_EQ(out.edges[0].instance, "silent harbor");
+  EXPECT_EQ(out.edges[0].category, "film");
+  EXPECT_EQ(out.edges[0].support, 1u);
+  EXPECT_DOUBLE_EQ(out.edges[0].probability, 1.0);
+}
+
+TEST(TaxonomyExtractorTest, SuchAsPattern) {
+  auto out = MakeExtractor().Extract(
+      {"Critics discussed films such as The Silent Harbor."});
+  ASSERT_EQ(out.edges.size(), 1u);
+  EXPECT_EQ(out.edges[0].instance, "silent harbor");
+  EXPECT_EQ(out.edges[0].category, "film");
+}
+
+TEST(TaxonomyExtractorTest, AndOtherPattern) {
+  auto out = MakeExtractor().Extract(
+      {"The Silent Harbor and other films were mentioned."});
+  ASSERT_EQ(out.edges.size(), 1u);
+  EXPECT_EQ(out.edges[0].category, "film");
+}
+
+TEST(TaxonomyExtractorTest, PatternsReinforceOneEdge) {
+  auto out = MakeExtractor().Extract({
+      "The Silent Harbor is a film. "
+      "Critics discussed films such as The Silent Harbor. "
+      "The Silent Harbor and other films were mentioned.",
+  });
+  ASSERT_EQ(out.edges.size(), 1u);
+  EXPECT_EQ(out.edges[0].support, 3u);
+}
+
+TEST(TaxonomyExtractorTest, MultiWordCategoryViaIsA) {
+  auto out = MakeExtractor().Extract({"A film is a creative work."});
+  ASSERT_EQ(out.edges.size(), 1u);
+  EXPECT_EQ(out.edges[0].instance, "film");
+  EXPECT_EQ(out.edges[0].category, "creative work");
+}
+
+TEST(TaxonomyExtractorTest, ProbabilitiesPartitionPerInstance) {
+  auto out = MakeExtractor().Extract({
+      "Avatar is a film. Avatar is a film. Avatar is a blockbuster.",
+  });
+  auto categories = out.CategoriesOf("Avatar");
+  ASSERT_EQ(categories.size(), 2u);
+  EXPECT_EQ(categories[0].category, "film");
+  EXPECT_NEAR(categories[0].probability, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(categories[1].probability, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(out.BestCategoryOf("Avatar"), "film");
+}
+
+TEST(TaxonomyExtractorTest, MinSupportFilters) {
+  auto out = MakeExtractor(2).Extract({"Avatar is a film."});
+  EXPECT_TRUE(out.edges.empty());
+}
+
+TEST(TaxonomyExtractorTest, SelfEdgesDropped) {
+  auto out = MakeExtractor().Extract({"A film is a film."});
+  EXPECT_TRUE(out.edges.empty());
+}
+
+TEST(TaxonomyExtractorTest, InstancesOf) {
+  auto out = MakeExtractor().Extract({
+      "Avatar is a film. Titanic is a film. Dune is a book.",
+  });
+  auto films = out.InstancesOf("films");  // plural query normalizes
+  EXPECT_EQ(films.size(), 2u);
+}
+
+TEST(TaxonomyExtractorTest, TransitiveDescendants) {
+  auto out = MakeExtractor().Extract({
+      "Avatar is a film. A film is a creative work. "
+      "A creative work is a thing.",
+  });
+  EXPECT_TRUE(out.IsDescendant("Avatar", "film"));
+  EXPECT_TRUE(out.IsDescendant("Avatar", "creative work"));
+  EXPECT_TRUE(out.IsDescendant("Avatar", "thing"));
+  EXPECT_FALSE(out.IsDescendant("film", "Avatar"));
+  EXPECT_FALSE(out.IsDescendant("ghost", "thing"));
+}
+
+TEST(TaxonomyExtractorTest, CycleTolerated) {
+  auto out = MakeExtractor().Extract({
+      "A foo is a bar. A bar is a foo.",
+  });
+  // Must terminate; both directions reachable.
+  EXPECT_TRUE(out.IsDescendant("foo", "bar"));
+  EXPECT_TRUE(out.IsDescendant("bar", "foo"));
+  EXPECT_FALSE(out.IsDescendant("foo", "baz"));
+}
+
+TEST(TaxonomyExtractorTest, GeneratedCorpusRecoversMemberships) {
+  using synth::World;
+  using synth::WorldConfig;
+  World world = World::Build(WorldConfig::Small());
+  synth::TaxonomyCorpusConfig config;
+  config.sentences_per_entity = 3;
+  config.error_rate = 0.05;
+  config.seed = 72;
+  auto docs = synth::GenerateTaxonomyCorpus(world, config);
+  std::vector<std::string> texts;
+  for (const auto& doc : docs) texts.push_back(doc.text);
+
+  TaxonomyExtractor extractor(TaxonomyExtractorConfig{});  // support >= 2
+  auto taxonomy = extractor.Extract(texts);
+
+  size_t correct = 0, total = 0;
+  for (const auto& wc : world.classes()) {
+    std::string category = synth::CategoryNameOf(wc.name);
+    for (const auto& entity : wc.entities) {
+      ++total;
+      if (taxonomy.BestCategoryOf(entity.name) == category) ++correct;
+    }
+  }
+  // With 3 sentences per entity and 5% noise, the majority category is
+  // almost always the true class.
+  EXPECT_GT(double(correct) / double(total), 0.85);
+
+  // The superclass chain is recovered too.
+  EXPECT_TRUE(taxonomy.IsDescendant("film", "thing"));
+}
+
+}  // namespace
+}  // namespace akb::extract

@@ -1,0 +1,167 @@
+#include "extract/template_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extract/attribute_dedup.h"
+#include "synth/site_gen.h"
+#include "synth/world.h"
+
+namespace akb::extract {
+namespace {
+
+// Site builder: N pages sharing a template; nav/footer boilerplate; rows
+// with per-page entity/value but recurring labels.
+synth::WebSite MakeSite(
+    const std::vector<std::pair<std::string,
+                                std::vector<std::pair<std::string,
+                                                      std::string>>>>& pages) {
+  synth::WebSite site;
+  site.class_name = "Film";
+  site.domain = "tpl.example.com";
+  for (const auto& [entity, rows] : pages) {
+    synth::WebPage page;
+    page.entity_name = entity;
+    std::string& h = page.html;
+    h = "<html><body><ul class=\"nav\"><li><a href=\"#\">home</a></li>"
+        "<li><a href=\"#\">about</a></li></ul>";
+    h += "<div class=\"main\"><h1>" + entity + "</h1><table class=\"info\">";
+    for (const auto& [label, value] : rows) {
+      h += "<tr><th>" + label + "</th><td>" + value + "</td></tr>";
+    }
+    h += "</table></div><div class=\"footer\"><p>copyright forever</p></div>"
+         "</body></html>";
+    site.pages.push_back(std::move(page));
+  }
+  return site;
+}
+
+synth::WebSite FourPageSite() {
+  return MakeSite({
+      {"Alpha", {{"budget", "100"}, {"director", "Jane"}}},
+      {"Beta", {{"budget", "200"}, {"director", "Kim"}}},
+      {"Gamma", {{"budget", "300"}, {"language", "French"}}},
+      {"Delta", {{"budget", "400"}, {"language", "German"}}},
+  });
+}
+
+TEST(TemplateExtractorTest, ExtractsRecurringLabels) {
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract({FourPageSite()});
+  std::set<std::string> found;
+  for (const auto& attribute : out.attributes) {
+    found.insert(attribute.surface);
+  }
+  EXPECT_TRUE(found.count("budget"));
+  EXPECT_TRUE(found.count("director"));
+  EXPECT_TRUE(found.count("language"));
+}
+
+TEST(TemplateExtractorTest, BoilerplateDropped) {
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract({FourPageSite()});
+  std::set<std::string> found;
+  for (const auto& attribute : out.attributes) {
+    found.insert(attribute.surface);
+  }
+  EXPECT_FALSE(found.count("home"));
+  EXPECT_FALSE(found.count("about"));
+  EXPECT_FALSE(found.count("copyright forever"));
+  EXPECT_GT(out.stats.boilerplate_groups, 0u);
+}
+
+TEST(TemplateExtractorTest, UniqueValuesNotExtracted) {
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract({FourPageSite()});
+  std::set<std::string> found;
+  for (const auto& attribute : out.attributes) {
+    found.insert(attribute.surface);
+  }
+  EXPECT_FALSE(found.count("100"));
+  EXPECT_FALSE(found.count("Jane"));
+  EXPECT_FALSE(found.count("French"));
+}
+
+TEST(TemplateExtractorTest, TriplesPairHeadingLabelValue) {
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract({FourPageSite()});
+  std::set<std::string> statements;
+  for (const auto& t : out.triples) {
+    statements.insert(t.entity + "|" + t.attribute + "|" + t.value);
+  }
+  EXPECT_TRUE(statements.count("Alpha|budget|100"));
+  EXPECT_TRUE(statements.count("Delta|language|German"));
+}
+
+TEST(TemplateExtractorTest, TooFewPagesNoSignal) {
+  // The documented weakness: with one page there is no repetition profile.
+  synth::WebSite site = MakeSite({
+      {"Alpha", {{"budget", "100"}, {"director", "Jane"}}},
+  });
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract({site});
+  EXPECT_TRUE(out.attributes.empty());
+}
+
+TEST(TemplateExtractorTest, RepeatedValuesConfuseTheBaseline) {
+  // The second documented weakness: when a value column draws from a small
+  // categorical pool, its repetition profile is label-like and the
+  // baseline extracts the *values* as attributes. (Algorithm 1 is immune:
+  // the value tag path never matches an induced label path.)
+  synth::WebSite site = MakeSite({
+      {"Alpha", {{"genre", "drama"}, {"rating", "pg"}}},
+      {"Beta", {{"genre", "drama"}, {"rating", "pg"}}},
+      {"Gamma", {{"genre", "drama"}, {"rating", "restricted"}}},
+      {"Delta", {{"genre", "comedy"}, {"rating", "restricted"}}},
+  });
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract({site});
+  std::set<std::string> found;
+  for (const auto& attribute : out.attributes) {
+    found.insert(attribute.surface);
+  }
+  EXPECT_TRUE(found.count("drama"));
+}
+
+TEST(TemplateExtractorTest, StatsPopulated) {
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract({FourPageSite()});
+  EXPECT_EQ(out.stats.pages, 4u);
+  EXPECT_GT(out.stats.path_groups, 3u);
+  EXPECT_GT(out.stats.label_groups, 0u);
+}
+
+TEST(TemplateExtractorTest, GeneratedSitesReasonableQuality) {
+  using synth::World;
+  using synth::WorldConfig;
+  World world = World::Build(WorldConfig::Small());
+  synth::SiteConfig config;
+  config.class_name = "Film";
+  config.num_sites = 3;
+  config.pages_per_site = 20;
+  config.attribute_coverage = 0.5;
+  config.seed = 99;
+  auto sites = synth::GenerateSites(world, config);
+
+  TemplateBaselineExtractor extractor;
+  TemplateExtraction out = extractor.Extract(sites);
+  ASSERT_GT(out.attributes.size(), 5u);
+
+  auto cls_id = world.FindClass("Film");
+  std::set<std::string> true_keys;
+  for (const auto& spec : world.cls(*cls_id).attributes) {
+    true_keys.insert(AttributeKey(spec.name));
+  }
+  size_t correct = 0;
+  for (const auto& attribute : out.attributes) {
+    if (true_keys.count(AttributeKey(attribute.surface))) ++correct;
+  }
+  // The baseline works on template-heavy sites with enough pages, just
+  // less precisely than the seeded Algorithm 1.
+  EXPECT_GE(double(correct) / double(out.attributes.size()), 0.5);
+  EXPECT_GE(correct, true_keys.size() / 2);
+}
+
+}  // namespace
+}  // namespace akb::extract

@@ -1,0 +1,135 @@
+#include "extract/temporal_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "synth/temporal_gen.h"
+
+namespace akb::extract {
+namespace {
+
+TEST(TemporalExtractorTest, InYearPattern) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract(
+      {"In 2007, the president of Varonia was Elena Marsh."});
+  ASSERT_EQ(out.observations.size(), 1u);
+  const auto& observation = out.observations[0];
+  EXPECT_EQ(observation.entity, "varonia");
+  EXPECT_EQ(observation.attribute, "president");
+  EXPECT_EQ(observation.value, "elena marsh");
+  EXPECT_EQ(observation.year, 2007);
+}
+
+TEST(TemporalExtractorTest, BecamePattern) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract(
+      {"Elena Marsh became the president of Varonia in 2004."});
+  ASSERT_EQ(out.observations.size(), 1u);
+  EXPECT_EQ(out.observations[0].year, 2004);
+  EXPECT_EQ(out.observations[0].value, "elena marsh");
+}
+
+TEST(TemporalExtractorTest, YearBoundsEnforced) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract({
+      "In 1492, the president of Varonia was Old Man.",  // below min 1800
+      "In 9999, the president of Varonia was Robot.",    // above max
+      "In 20x7, the president of Varonia was Typo.",     // not a year
+  });
+  EXPECT_TRUE(out.observations.empty());
+}
+
+TEST(TemporalExtractorTest, MajorityResolvesConflicts) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract({
+      "In 2007, the president of Varonia was Elena Marsh. "
+      "In 2007, the president of Varonia was Elena Marsh. "
+      "In 2007, the president of Varonia was Wrong Person.",
+  });
+  ASSERT_EQ(out.observations.size(), 1u);
+  EXPECT_EQ(out.observations[0].value, "elena marsh");
+  EXPECT_EQ(out.observations[0].support, 2u);
+}
+
+TEST(TemporalExtractorTest, IntervalsMergeConsecutiveYears) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract({
+      "In 2004, the president of Varonia was Alpha Person. "
+      "In 2005, the president of Varonia was Alpha Person. "
+      "In 2006, the president of Varonia was Alpha Person. "
+      "In 2007, the president of Varonia was Beta Person. "
+      "In 2008, the president of Varonia was Beta Person.",
+  });
+  ASSERT_EQ(out.intervals.size(), 2u);
+  EXPECT_EQ(out.intervals[0].value, "alpha person");
+  EXPECT_EQ(out.intervals[0].start_year, 2004);
+  EXPECT_EQ(out.intervals[0].end_year, 2006);
+  EXPECT_EQ(out.intervals[1].value, "beta person");
+  EXPECT_EQ(out.intervals[1].start_year, 2007);
+  EXPECT_EQ(out.intervals[1].end_year, 2008);
+}
+
+TEST(TemporalExtractorTest, GapsBridgedWithinOneValue) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract({
+      "In 2004, the president of Varonia was Alpha Person. "
+      "In 2008, the president of Varonia was Alpha Person.",
+  });
+  ASSERT_EQ(out.intervals.size(), 1u);
+  EXPECT_EQ(out.intervals[0].start_year, 2004);
+  EXPECT_EQ(out.intervals[0].end_year, 2008);
+}
+
+TEST(TemporalExtractorTest, ValueAtUsesIntervals) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract({
+      "In 2004, the president of Varonia was Alpha Person. "
+      "In 2006, the president of Varonia was Alpha Person.",
+  });
+  EXPECT_EQ(out.ValueAt("Varonia", "president", 2005), "alpha person");
+  EXPECT_EQ(out.ValueAt("Varonia", "president", 2010), "");
+  EXPECT_EQ(out.ValueAt("Ghost", "president", 2005), "");
+}
+
+TEST(TemporalExtractorTest, DistinctEntitiesSeparated) {
+  TemporalExtractor extractor;
+  auto out = extractor.Extract({
+      "In 2004, the president of Varonia was Alpha Person. "
+      "In 2004, the president of Keldran was Beta Person.",
+  });
+  EXPECT_EQ(out.ValueAt("Varonia", "president", 2004), "alpha person");
+  EXPECT_EQ(out.ValueAt("Keldran", "president", 2004), "beta person");
+}
+
+TEST(TemporalExtractorTest, GeneratedCorpusTimelineRecovery) {
+  synth::TemporalConfig config;
+  config.num_entities = 12;
+  config.first_year = 2000;
+  config.last_year = 2015;
+  config.mention_rate = 0.9;
+  config.error_rate = 0.05;
+  config.seed = 92;
+  synth::TemporalCorpus corpus = synth::GenerateTemporalCorpus(config);
+
+  std::vector<std::string> texts;
+  for (const auto& doc : corpus.documents) texts.push_back(doc.text);
+  TemporalExtractor extractor;
+  auto out = extractor.Extract(texts);
+
+  size_t checked = 0, correct = 0;
+  for (size_t e = 0; e < corpus.world.entities.size(); ++e) {
+    for (int year = config.first_year; year <= config.last_year; ++year) {
+      std::string truth = corpus.world.HolderAt(e, year);
+      std::string extracted = out.ValueAt(corpus.world.entities[e],
+                                          config.attribute, year);
+      if (extracted.empty()) continue;  // year never mentioned
+      ++checked;
+      if (akb::NormalizeSurface(truth) == extracted) ++correct;
+    }
+  }
+  ASSERT_GT(checked, 100u);
+  EXPECT_GT(double(correct) / double(checked), 0.85);
+}
+
+}  // namespace
+}  // namespace akb::extract

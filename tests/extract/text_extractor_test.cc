@@ -1,0 +1,193 @@
+#include "extract/text_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "extract/attribute_dedup.h"
+#include "synth/text_gen.h"
+#include "synth/world.h"
+
+namespace akb::extract {
+namespace {
+
+class TextExtractorTest : public ::testing::Test {
+ protected:
+  TextExtractorTest() {
+    TextExtractorConfig config;
+    config.min_pattern_support = 2;
+    config.min_attribute_support = 1;
+    extractor_ = std::make_unique<WebTextExtractor>(config);
+  }
+
+  TextExtraction Run(const std::vector<std::string>& documents) {
+    return extractor_->Extract("Film", documents, {},
+                               {"Alpha One", "Beta Two"},
+                               {"budget", "director"});
+  }
+
+  std::unique_ptr<WebTextExtractor> extractor_;
+};
+
+TEST_F(TextExtractorTest, LearnsProductivePattern) {
+  auto out = Run({
+      "The budget of Alpha One is 100. The director of Beta Two is Jane.",
+  });
+  ASSERT_FALSE(out.patterns.empty());
+  bool learned = false;
+  for (const auto& pattern : out.patterns) {
+    if (pattern.spec == "the [A] of [E] is [V]") {
+      learned = true;
+      EXPECT_GE(pattern.seed_support, 2u);
+    }
+  }
+  EXPECT_TRUE(learned);
+}
+
+TEST_F(TextExtractorTest, BelowPatternSupportNotLearned) {
+  auto out = Run({"The budget of Alpha One is 100."});
+  for (const auto& pattern : out.patterns) {
+    EXPECT_NE(pattern.spec, "the [A] of [E] is [V]");
+  }
+}
+
+TEST_F(TextExtractorTest, DecoyPatternsNotLearned) {
+  auto out = Run({
+      "The budget of Alpha One is 100. The budget of Beta Two is 200. "
+      "The director of Alpha One is Jane.",
+  });
+  for (const auto& pattern : out.patterns) {
+    EXPECT_NE(pattern.spec, "[A] near [E]");
+    EXPECT_NE(pattern.spec, "[E] was [A] by [V]");
+  }
+}
+
+TEST_F(TextExtractorTest, AppliesLearnedPatternToNewAttributes) {
+  auto out = Run({
+      // Learning evidence (seeds: budget, director).
+      "The budget of Alpha One is 100. The director of Beta Two is Jane. "
+      // New attribute via the learned pattern.
+      "The language of Alpha One is Esperanto.",
+  });
+  std::set<std::string> found;
+  for (const auto& attr : out.new_attributes) found.insert(attr.surface);
+  EXPECT_TRUE(found.count("language"));
+}
+
+TEST_F(TextExtractorTest, EmitsTriplesWithValues) {
+  auto out = Run({
+      "The budget of Alpha One is 100. The budget of Beta Two is 250. "
+      "The language of Alpha One is Esperanto.",
+  });
+  std::set<std::string> statements;
+  for (const auto& t : out.triples) {
+    EXPECT_EQ(t.extractor, rdf::ExtractorKind::kWebText);
+    EXPECT_EQ(t.class_name, "Film");
+    statements.insert(t.entity + "|" + t.attribute + "|" + t.value);
+  }
+  EXPECT_TRUE(statements.count("Alpha One|budget|100"));
+  EXPECT_TRUE(statements.count("Beta Two|budget|250"));
+  // Token-based extraction lowercases surface values.
+  EXPECT_TRUE(statements.count("Alpha One|language|esperanto"));
+}
+
+TEST_F(TextExtractorTest, MultiWordValueCapturedWhole) {
+  auto out = Run({
+      "The budget of Alpha One is 100. The budget of Beta Two is 200. "
+      "The director of Alpha One is Mary Jane Watson.",
+  });
+  bool found = false;
+  for (const auto& t : out.triples) {
+    if (t.attribute == "director" && t.entity == "Alpha One") {
+      EXPECT_EQ(t.value, "mary jane watson");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TextExtractorTest, PossessivePatternWorks) {
+  auto out = Run({
+      "Alpha One's budget is 100. Beta Two's director is Jane. "
+      "Beta Two's soundtrack is Great.",
+  });
+  std::set<std::string> found;
+  for (const auto& attr : out.new_attributes) found.insert(attr.surface);
+  EXPECT_TRUE(found.count("soundtrack"));
+}
+
+TEST_F(TextExtractorTest, SentencesWithoutEntitiesIgnored) {
+  auto out = Run({
+      "The budget of Gamma Three is 7. The director of Delta Four is X.",
+  });
+  EXPECT_TRUE(out.patterns.empty());
+  EXPECT_TRUE(out.triples.empty());
+  EXPECT_EQ(out.sentences_matched, 0u);
+}
+
+TEST_F(TextExtractorTest, StatsCountSentences) {
+  auto out = Run({
+      "The budget of Alpha One is 100. Unrelated prose here. "
+      "The budget of Beta Two is 200.",
+  });
+  EXPECT_EQ(out.sentences_total, 3u);
+  EXPECT_EQ(out.sentences_matched, 2u);
+}
+
+TEST_F(TextExtractorTest, SourceNamesAttached) {
+  TextExtractorConfig config;
+  config.min_pattern_support = 1;
+  WebTextExtractor extractor(config);
+  auto out = extractor.Extract(
+      "Film", {"The budget of Alpha One is 100."}, {"src-a"},
+      {"Alpha One"}, {"budget"});
+  ASSERT_FALSE(out.triples.empty());
+  EXPECT_EQ(out.triples[0].source, "src-a");
+}
+
+TEST(TextExtractorSpecsTest, AllCandidateSpecsParse) {
+  for (const auto& spec : WebTextExtractor::CandidateSpecs()) {
+    EXPECT_TRUE(text::Pattern::Parse(spec).ok()) << spec;
+  }
+}
+
+TEST(TextExtractorGeneratedTest, WorksOnGeneratedCorpus) {
+  using synth::World;
+  using synth::WorldConfig;
+  World world = World::Build(WorldConfig::Small());
+  auto cls_id = world.FindClass("Book");
+  const auto& wc = world.cls(*cls_id);
+
+  synth::TextConfig text_config;
+  text_config.class_name = "Book";
+  text_config.num_articles = 30;
+  text_config.facts_per_article = 6;
+  text_config.seed = 13;
+  auto articles = synth::GenerateArticles(world, text_config);
+
+  std::vector<std::string> documents;
+  for (const auto& article : articles) documents.push_back(article.text);
+  std::vector<std::string> entities, seeds;
+  for (const auto& entity : wc.entities) entities.push_back(entity.name);
+  for (size_t a = 0; a < 4; ++a) seeds.push_back(wc.attributes[a].name);
+
+  WebTextExtractor extractor;
+  TextExtraction out =
+      extractor.Extract("Book", documents, {}, entities, seeds);
+
+  EXPECT_GE(out.patterns.size(), 3u);  // the productive family validates
+  EXPECT_GT(out.triples.size(), 20u);
+  std::set<std::string> true_keys;
+  for (const auto& spec : wc.attributes) {
+    true_keys.insert(AttributeKey(spec.name));
+  }
+  size_t correct = 0;
+  for (const auto& attr : out.new_attributes) {
+    if (true_keys.count(AttributeKey(attr.surface))) ++correct;
+  }
+  ASSERT_GT(out.new_attributes.size(), 0u);
+  EXPECT_GE(double(correct) / double(out.new_attributes.size()), 0.8);
+}
+
+}  // namespace
+}  // namespace akb::extract

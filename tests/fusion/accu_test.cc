@@ -1,0 +1,233 @@
+#include "fusion/accu.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/metrics.h"
+#include "fusion/vote.h"
+
+namespace akb::fusion {
+namespace {
+
+// Skewed sources: one very accurate source against several mediocre ones.
+synth::FusionDataset SkewedDataset(uint64_t seed) {
+  synth::ClaimGenConfig config;
+  config.num_items = 400;
+  config.domain_size = 12;
+  config.seed = seed;
+  config.sources = synth::MakeSources(5, 0.45, 0.55, 0.9);
+  synth::SourceSpec oracle;
+  oracle.name = "oracle";
+  oracle.accuracy = 0.97;
+  oracle.coverage = 0.9;
+  config.sources.push_back(oracle);
+  return synth::GenerateClaims(config);
+}
+
+double Precision(const FusionOutput& out, const ClaimTable& table,
+                 const synth::FusionDataset& dataset) {
+  return Evaluate(out, table, dataset).precision;
+}
+
+TEST(AccuTest, EstimatesSourceAccuracies) {
+  synth::FusionDataset dataset = SkewedDataset(21);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = Accu(table);
+  ASSERT_EQ(out.source_quality.size(), table.num_sources());
+  SourceId oracle;
+  ASSERT_TRUE(table.FindSource("oracle", &oracle));
+  // The oracle must be recognized as the best source.
+  for (SourceId s = 0; s < table.num_sources(); ++s) {
+    if (s == oracle) continue;
+    EXPECT_GT(out.source_quality[oracle], out.source_quality[s]);
+  }
+  EXPECT_GT(out.source_quality[oracle], 0.8);
+}
+
+TEST(AccuTest, BeatsVoteOnSkewedSources) {
+  // The ACCU-vs-VOTE shape (Dong et al.): accuracy-awareness wins when
+  // source quality is heterogeneous.
+  double accu_total = 0, vote_total = 0;
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    synth::FusionDataset dataset = SkewedDataset(seed);
+    ClaimTable table = ClaimTable::FromDataset(dataset);
+    accu_total += Precision(Accu(table), table, dataset);
+    vote_total += Precision(Vote(table), table, dataset);
+  }
+  EXPECT_GT(accu_total, vote_total + 0.05 * 3);
+}
+
+TEST(AccuTest, BeliefsAreProbabilities) {
+  synth::FusionDataset dataset = SkewedDataset(24);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = Accu(table);
+  for (const auto& ranked : out.beliefs) {
+    double sum = 0;
+    for (const auto& [value, belief] : ranked) {
+      EXPECT_GE(belief, 0.0);
+      EXPECT_LE(belief, 1.0 + 1e-9);
+      sum += belief;
+    }
+    if (!ranked.empty()) EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(AccuTest, RankedDescending) {
+  synth::FusionDataset dataset = SkewedDataset(25);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = Accu(table);
+  for (const auto& ranked : out.beliefs) {
+    for (size_t i = 1; i < ranked.size(); ++i) {
+      EXPECT_GE(ranked[i - 1].second, ranked[i].second);
+    }
+  }
+}
+
+TEST(AccuTest, UnanimousClaimFullySupported) {
+  ClaimTable table;
+  table.Add("i1", "s1", "v");
+  table.Add("i1", "s2", "v");
+  table.Add("i1", "s3", "v");
+  FusionOutput out = Accu(table);
+  EXPECT_EQ(table.value_name(out.TruthsOf(0)[0]), "v");
+  EXPECT_NEAR(out.beliefs[0][0].second, 1.0, 1e-6);
+}
+
+TEST(AccuTest, AccuracyClamped) {
+  ClaimTable table;
+  table.Add("i1", "s1", "v");
+  AccuConfig config;
+  config.max_accuracy = 0.9;
+  FusionOutput out = Accu(table, config);
+  for (double quality : out.source_quality) {
+    EXPECT_LE(quality, 0.9 + 1e-9);
+    EXPECT_GE(quality, config.min_accuracy - 1e-9);
+  }
+}
+
+TEST(AccuTest, ConvergesWithinIterationBudget) {
+  synth::FusionDataset dataset = SkewedDataset(26);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  AccuConfig few;
+  few.max_iterations = 50;
+  few.epsilon = 1e-6;
+  FusionOutput a = Accu(table, few);
+  AccuConfig more = few;
+  more.max_iterations = 100;
+  FusionOutput b = Accu(table, more);
+  // Already converged: extra iterations change nothing.
+  for (SourceId s = 0; s < table.num_sources(); ++s) {
+    EXPECT_NEAR(a.source_quality[s], b.source_quality[s], 1e-4);
+  }
+}
+
+TEST(AccuTest, ConfidenceWeightingUsesClaimConfidence) {
+  ClaimTable table;
+  table.Add("i1", "s1", "low", 0.05);
+  table.Add("i1", "s2", "low", 0.05);
+  table.Add("i1", "s3", "high", 0.95);
+  AccuConfig config;
+  config.use_confidence = true;
+  config.max_iterations = 1;  // isolate the weighting effect
+  FusionOutput out = Accu(table, config);
+  EXPECT_EQ(table.value_name(out.TruthsOf(0)[0]), "high");
+}
+
+TEST(AccuTest, SourceWeightsDampenSources) {
+  ClaimTable table;
+  table.Add("i1", "s1", "a");
+  table.Add("i1", "s2", "a");
+  table.Add("i1", "s3", "b");
+  AccuConfig config;
+  config.max_iterations = 1;
+  config.source_weights = {0.0, 0.0, 1.0};  // mute s1, s2
+  FusionOutput out = Accu(table, config);
+  EXPECT_EQ(table.value_name(out.TruthsOf(0)[0]), "b");
+}
+
+TEST(AccuGoldStandardTest, EstimatesInitialAccuraciesFromSample) {
+  synth::FusionDataset dataset = SkewedDataset(28);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  auto is_true = [&](const std::string& item, const std::string& value) {
+    for (size_t d = 0; d < dataset.items.size(); ++d) {
+      if (dataset.items[d].id == item) return dataset.IsTrue(d, value);
+    }
+    return false;
+  };
+  auto initial = EstimateInitialAccuracies(table, is_true, 0.25);
+  ASSERT_EQ(initial.size(), table.num_sources());
+  SourceId oracle, weak;
+  ASSERT_TRUE(table.FindSource("oracle", &oracle));
+  ASSERT_TRUE(table.FindSource("source_0", &weak));  // accuracy 0.45
+  // The sampled estimates reflect the true ordering.
+  EXPECT_GT(initial[oracle], 0.85);
+  EXPECT_LT(initial[weak], 0.65);
+}
+
+TEST(AccuGoldStandardTest, SeededInitialsMatchOrBeatDefaults) {
+  // Dong et al.'s improvement (§2.2): seed initial source qualities from a
+  // gold-standard sample instead of defaults. With a tight iteration
+  // budget, seeding must not hurt and typically helps convergence.
+  synth::FusionDataset dataset = SkewedDataset(29);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  auto is_true = [&](const std::string& item, const std::string& value) {
+    for (size_t d = 0; d < dataset.items.size(); ++d) {
+      if (dataset.items[d].id == item) return dataset.IsTrue(d, value);
+    }
+    return false;
+  };
+  AccuConfig seeded;
+  seeded.max_iterations = 1;  // no room to self-correct
+  seeded.initial_source_accuracies =
+      EstimateInitialAccuracies(table, is_true, 0.25);
+  AccuConfig defaults;
+  defaults.max_iterations = 1;
+  double seeded_precision =
+      Precision(Accu(table, seeded), table, dataset);
+  double default_precision =
+      Precision(Accu(table, defaults), table, dataset);
+  EXPECT_GE(seeded_precision, default_precision);
+  // And with full iterations the seeded run stays at least as good.
+  seeded.max_iterations = 20;
+  defaults.max_iterations = 20;
+  EXPECT_GE(Precision(Accu(table, seeded), table, dataset) + 0.01,
+            Precision(Accu(table, defaults), table, dataset));
+}
+
+TEST(PopAccuTest, MethodNameAndBasicAgreement) {
+  synth::FusionDataset dataset = SkewedDataset(27);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = PopAccu(table);
+  EXPECT_EQ(out.method, "POPACCU");
+  // POPACCU should be in the same quality band as ACCU here (no
+  // adversarial popularity skew in this dataset).
+  double pop = Precision(out, table, dataset);
+  double accu = Precision(Accu(table), table, dataset);
+  EXPECT_NEAR(pop, accu, 0.08);
+}
+
+TEST(PopAccuTest, RobustToCorrelatedFalseValues) {
+  // Systematic extraction errors: many sources repeat the same wrong
+  // value. POPACCU discounts agreements on popular values.
+  ClaimTable table;
+  for (int i = 0; i < 60; ++i) {
+    std::string item = "i" + std::to_string(i);
+    // Three sloppy sources always write "unknown".
+    table.Add(item, "sloppy1", "unknown");
+    table.Add(item, "sloppy2", "unknown");
+    table.Add(item, "sloppy3", "unknown");
+    // Two good sources give the real (distinct per item) value.
+    table.Add(item, "good1", "real" + std::to_string(i));
+    table.Add(item, "good2", "real" + std::to_string(i));
+  }
+  FusionOutput pop = PopAccu(table);
+  size_t pop_correct = 0;
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    std::string truth = "real" + std::to_string(i);
+    if (table.value_name(pop.TruthsOf(i)[0]) == truth) ++pop_correct;
+  }
+  // POPACCU should strongly prefer the per-item real values.
+  EXPECT_GT(pop_correct, table.num_items() * 8 / 10);
+}
+
+}  // namespace
+}  // namespace akb::fusion

@@ -1,0 +1,131 @@
+#include "fusion/functionality.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/metrics.h"
+#include "fusion/vote.h"
+
+namespace akb::fusion {
+namespace {
+
+// Mixed workload: half the attribute groups functional, half multi-truth.
+synth::FusionDataset MixedDataset(uint64_t seed) {
+  synth::ClaimGenConfig config;
+  config.num_items = 600;
+  config.domain_size = 10;
+  config.attribute_groups = 6;
+  config.functional_group_rate = 0.5;
+  config.max_truths = 3;
+  config.seed = seed;
+  config.sources = synth::MakeSources(6, 0.75, 0.9, 0.85);
+  return synth::GenerateClaims(config);
+}
+
+TEST(LastSegmentAttributeTest, Parsing) {
+  EXPECT_EQ(LastSegmentAttribute("Film|Alpha|budget"), "budget");
+  EXPECT_EQ(LastSegmentAttribute("attr_3|item_7"), "item_7");
+  EXPECT_EQ(LastSegmentAttribute("plain"), "plain");
+}
+
+TEST(EstimateFunctionalityTest, SeparatesFunctionalFromMultiValued) {
+  synth::FusionDataset dataset = MixedDataset(81);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  // Group items by their attr_<g> prefix.
+  auto grouper = [](const std::string& item) {
+    return item.substr(0, item.find('|'));
+  };
+  FunctionalityEstimate estimate = EstimateFunctionality(table, grouper);
+  ASSERT_EQ(estimate.degree.size(), 6u);
+  // Groups 0-2 functional (degree ~1), groups 3-5 multi-truth (degree < 1).
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_GT(estimate.DegreeOf("attr_" + std::to_string(g)), 0.9) << g;
+  }
+  for (int g = 3; g < 6; ++g) {
+    EXPECT_LT(estimate.DegreeOf("attr_" + std::to_string(g)), 0.8) << g;
+  }
+}
+
+TEST(EstimateFunctionalityTest, UnseenAttributeAssumedFunctional) {
+  FunctionalityEstimate estimate;
+  EXPECT_DOUBLE_EQ(estimate.DegreeOf("ghost"), 1.0);
+}
+
+TEST(EstimateFunctionalityTest, ItemCountsTracked) {
+  synth::FusionDataset dataset = MixedDataset(82);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  auto grouper = [](const std::string& item) {
+    return item.substr(0, item.find('|'));
+  };
+  FunctionalityEstimate estimate = EstimateFunctionality(table, grouper);
+  size_t total = 0;
+  for (const auto& [attribute, count] : estimate.items) total += count;
+  EXPECT_EQ(total, table.num_items());
+}
+
+TEST(HybridFuseTest, BeatsBothPureMethodsOnMixedWorkload) {
+  // The paper's point: one truth model cannot serve both kinds of
+  // attribute. The hybrid router should dominate each pure method on a
+  // mixed workload (F1).
+  auto grouper = [](const std::string& item) {
+    return item.substr(0, item.find('|'));
+  };
+  double hybrid = 0, accu = 0, ltm = 0;
+  for (uint64_t seed : {83u, 84u, 85u}) {
+    synth::FusionDataset dataset = MixedDataset(seed);
+    ClaimTable table = ClaimTable::FromDataset(dataset);
+    hybrid += Evaluate(HybridFuse(table, {}, grouper), table, dataset).f1;
+    accu += Evaluate(Accu(table), table, dataset).f1;
+    ltm += Evaluate(MultiTruth(table), table, dataset).f1;
+  }
+  EXPECT_GT(hybrid, accu);
+  EXPECT_GT(hybrid, ltm - 0.02 * 3);  // at least on par with pure LTM
+}
+
+TEST(HybridFuseTest, FunctionalItemsSingleTruth) {
+  auto grouper = [](const std::string& item) {
+    return item.substr(0, item.find('|'));
+  };
+  synth::FusionDataset dataset = MixedDataset(86);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = HybridFuse(table, {}, grouper);
+  // Items of functional groups (attr_0..2) emit exactly one truth.
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    const std::string& name = table.item_name(i);
+    if (name.rfind("attr_0|", 0) == 0 || name.rfind("attr_1|", 0) == 0 ||
+        name.rfind("attr_2|", 0) == 0) {
+      EXPECT_LE(out.TruthsOf(i).size(), 1u) << name;
+    }
+  }
+}
+
+TEST(HybridFuseTest, MultiTruthItemsCanEmitSeveral) {
+  auto grouper = [](const std::string& item) {
+    return item.substr(0, item.find('|'));
+  };
+  synth::FusionDataset dataset = MixedDataset(87);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = HybridFuse(table, {}, grouper);
+  size_t multi = 0;
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    if (out.TruthsOf(i).size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, 20u);
+}
+
+TEST(HybridFuseTest, ThresholdOneRoutesEverythingToLtm) {
+  auto grouper = [](const std::string& item) {
+    return item.substr(0, item.find('|'));
+  };
+  synth::FusionDataset dataset = MixedDataset(88);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  HybridFusionConfig config;
+  config.functional_threshold = 1.01;  // nothing counts as functional
+  FusionOutput hybrid = HybridFuse(table, config, grouper);
+  FusionOutput ltm = MultiTruth(table);
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    EXPECT_EQ(hybrid.TruthsOf(i), ltm.TruthsOf(i));
+  }
+}
+
+}  // namespace
+}  // namespace akb::fusion

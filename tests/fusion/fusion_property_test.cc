@@ -1,0 +1,180 @@
+// Cross-method property tests: every fusion method must produce valid,
+// deterministic beliefs on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "fusion/accu.h"
+#include "fusion/copy_detect.h"
+#include "fusion/functionality.h"
+#include "fusion/hierarchy_fusion.h"
+#include "fusion/metrics.h"
+#include "fusion/multi_truth.h"
+#include "fusion/relation_fusion.h"
+#include "fusion/vote.h"
+
+namespace akb::fusion {
+namespace {
+
+struct NamedMethod {
+  const char* name;
+  std::function<FusionOutput(const ClaimTable&,
+                             const synth::FusionDataset&)> run;
+};
+
+std::vector<NamedMethod> AllMethods() {
+  return {
+      {"VOTE",
+       [](const ClaimTable& t, const synth::FusionDataset&) {
+         return Vote(t);
+       }},
+      {"VOTE-conf",
+       [](const ClaimTable& t, const synth::FusionDataset&) {
+         VoteConfig config;
+         config.use_confidence = true;
+         return Vote(t, config);
+       }},
+      {"ACCU",
+       [](const ClaimTable& t, const synth::FusionDataset&) {
+         return Accu(t);
+       }},
+      {"POPACCU",
+       [](const ClaimTable& t, const synth::FusionDataset&) {
+         return PopAccu(t);
+       }},
+      {"LTM",
+       [](const ClaimTable& t, const synth::FusionDataset&) {
+         return MultiTruth(t);
+       }},
+      {"RELATION",
+       [](const ClaimTable& t, const synth::FusionDataset&) {
+         return RelationFuse(t);
+       }},
+      {"HYBRID",
+       [](const ClaimTable& t, const synth::FusionDataset&) {
+         return HybridFuse(t);
+       }},
+      {"HIER",
+       [](const ClaimTable& t, const synth::FusionDataset& d) {
+         return HierarchyFuse(t, d.hierarchy);
+       }},
+  };
+}
+
+synth::FusionDataset RandomDataset(uint64_t seed) {
+  Rng rng(seed);
+  synth::ClaimGenConfig config;
+  config.seed = seed;
+  config.num_items = 100 + rng.Index(200);
+  config.domain_size = 4 + rng.Index(12);
+  config.multi_truth_rate = rng.NextDouble() * 0.5;
+  config.hierarchical_rate = rng.NextDouble() * 0.5;
+  config.sources = synth::MakeSources(3 + rng.Index(6),
+                                      0.4 + 0.2 * rng.NextDouble(),
+                                      0.7 + 0.25 * rng.NextDouble(),
+                                      0.5 + 0.4 * rng.NextDouble());
+  if (rng.Bernoulli(0.5) && config.sources.size() >= 2) {
+    config.sources.back().copies_from = 0;
+  }
+  return synth::GenerateClaims(config);
+}
+
+class FusionMethodProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FusionMethodProperties, BeliefsValidAndDeterministic) {
+  synth::FusionDataset dataset = RandomDataset(GetParam());
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  for (const NamedMethod& method : AllMethods()) {
+    FusionOutput first = method.run(table, dataset);
+    // HIER's semantics differ deliberately: its per-item list is a truth
+    // *chain* ordered deepest-first (not by belief), and it may assert an
+    // implied ancestor of a claimed value.
+    bool is_hier = std::string(method.name) == "HIER";
+    // Beliefs valid: within [0,1], ranked descending, covered items yield
+    // at least one truth.
+    ASSERT_EQ(first.beliefs.size(), table.num_items()) << method.name;
+    for (ItemId i = 0; i < table.num_items(); ++i) {
+      const auto& ranked = first.beliefs[i];
+      for (size_t k = 0; k < ranked.size(); ++k) {
+        EXPECT_GE(ranked[k].second, -1e-9) << method.name;
+        EXPECT_LE(ranked[k].second, 1.0 + 1e-9) << method.name;
+        if (k > 0 && !is_hier) {
+          EXPECT_GE(ranked[k - 1].second, ranked[k].second) << method.name;
+        }
+      }
+      if (!table.ValuesOfItem(i).empty()) {
+        EXPECT_FALSE(first.TruthsOf(i).empty())
+            << method.name << " item " << i;
+        // Asserted values must be claimed for the item — or, for HIER, be
+        // an ancestor of a value claimed for the item.
+        auto candidates = table.ValuesOfItem(i);
+        for (ValueId v : first.TruthsOf(i)) {
+          bool claimed = std::find(candidates.begin(), candidates.end(),
+                                   v) != candidates.end();
+          if (!claimed && is_hier) {
+            auto node = dataset.hierarchy.Find(table.value_name(v));
+            for (ValueId candidate : candidates) {
+              auto cnode =
+                  dataset.hierarchy.Find(table.value_name(candidate));
+              if (node != synth::kNoHierarchyNode &&
+                  cnode != synth::kNoHierarchyNode &&
+                  dataset.hierarchy.IsAncestorOrSelf(node, cnode)) {
+                claimed = true;
+                break;
+              }
+            }
+          }
+          EXPECT_TRUE(claimed)
+              << method.name << " asserted an unclaimed value";
+        }
+      }
+    }
+    // Deterministic: a second run is identical.
+    FusionOutput second = method.run(table, dataset);
+    for (ItemId i = 0; i < table.num_items(); ++i) {
+      ASSERT_EQ(first.beliefs[i].size(), second.beliefs[i].size())
+          << method.name;
+      for (size_t k = 0; k < first.beliefs[i].size(); ++k) {
+        EXPECT_EQ(first.beliefs[i][k].first, second.beliefs[i][k].first);
+        EXPECT_DOUBLE_EQ(first.beliefs[i][k].second,
+                         second.beliefs[i][k].second);
+      }
+    }
+    // Metrics well-formed.
+    FusionMetrics metrics = Evaluate(first, table, dataset);
+    EXPECT_GE(metrics.precision, 0.0);
+    EXPECT_LE(metrics.precision, 1.0);
+    EXPECT_GE(metrics.recall, 0.0);
+    EXPECT_LE(metrics.recall, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionMethodProperties,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(CopyDetectionPropertyTest, WeightsAlwaysUsable) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    synth::FusionDataset dataset = RandomDataset(seed * 131);
+    ClaimTable table = ClaimTable::FromDataset(dataset);
+    CopyDetection detection = DetectCopying(table);
+    ASSERT_EQ(detection.independence.size(), table.num_sources());
+    for (double w : detection.independence) {
+      EXPECT_GT(w, 0.0);
+      EXPECT_LE(w, 1.0);
+    }
+    for (SourceId a = 0; a < table.num_sources(); ++a) {
+      for (SourceId b = 0; b < table.num_sources(); ++b) {
+        EXPECT_GE(detection.dependence[a][b], 0.0);
+        EXPECT_LE(detection.dependence[a][b], 1.0);
+      }
+    }
+    // The weights must plug into ACCU without breaking it.
+    AccuConfig config;
+    config.source_weights = detection.independence;
+    FusionOutput out = Accu(table, config);
+    EXPECT_EQ(out.beliefs.size(), table.num_items());
+  }
+}
+
+}  // namespace
+}  // namespace akb::fusion

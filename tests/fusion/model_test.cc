@@ -1,0 +1,128 @@
+#include "fusion/model.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::fusion {
+namespace {
+
+TEST(ClaimTableTest, InternsAndCounts) {
+  ClaimTable table;
+  table.Add("item1", "s1", "v1");
+  table.Add("item1", "s2", "v2");
+  table.Add("item2", "s1", "v1");
+  EXPECT_EQ(table.num_items(), 2u);
+  EXPECT_EQ(table.num_sources(), 2u);
+  EXPECT_EQ(table.num_values(), 2u);
+  EXPECT_EQ(table.num_claims(), 3u);
+}
+
+TEST(ClaimTableTest, DuplicateClaimsCollapseKeepingMaxConfidence) {
+  ClaimTable table;
+  table.Add("item1", "s1", "v1", 0.4);
+  table.Add("item1", "s1", "v1", 0.9);
+  table.Add("item1", "s1", "v1", 0.6);
+  EXPECT_EQ(table.num_claims(), 1u);
+  EXPECT_DOUBLE_EQ(table.claims()[0].confidence, 0.9);
+}
+
+TEST(ClaimTableTest, SameSourceDifferentValuesKept) {
+  ClaimTable table;
+  table.Add("item1", "s1", "v1");
+  table.Add("item1", "s1", "v2");
+  EXPECT_EQ(table.num_claims(), 2u);
+}
+
+TEST(ClaimTableTest, NameLookups) {
+  ClaimTable table;
+  table.Add("item1", "s1", "v1");
+  ItemId item;
+  SourceId source;
+  ValueId value;
+  EXPECT_TRUE(table.FindItem("item1", &item));
+  EXPECT_TRUE(table.FindSource("s1", &source));
+  EXPECT_TRUE(table.FindValue("v1", &value));
+  EXPECT_EQ(table.item_name(item), "item1");
+  EXPECT_EQ(table.source_name(source), "s1");
+  EXPECT_EQ(table.value_name(value), "v1");
+  EXPECT_FALSE(table.FindItem("ghost", &item));
+  EXPECT_FALSE(table.FindSource("ghost", &source));
+  EXPECT_FALSE(table.FindValue("ghost", &value));
+}
+
+TEST(ClaimTableTest, PerItemAndPerSourceIndexes) {
+  ClaimTable table;
+  table.Add("i1", "s1", "v1");
+  table.Add("i1", "s2", "v2");
+  table.Add("i2", "s1", "v3");
+  ItemId i1;
+  ASSERT_TRUE(table.FindItem("i1", &i1));
+  EXPECT_EQ(table.claims_of_item()[i1].size(), 2u);
+  SourceId s1;
+  ASSERT_TRUE(table.FindSource("s1", &s1));
+  EXPECT_EQ(table.claims_of_source()[s1].size(), 2u);
+}
+
+TEST(ClaimTableTest, ValuesAndSourcesOfItem) {
+  ClaimTable table;
+  table.Add("i1", "s1", "v1");
+  table.Add("i1", "s2", "v1");
+  table.Add("i1", "s3", "v2");
+  ItemId i1;
+  ASSERT_TRUE(table.FindItem("i1", &i1));
+  EXPECT_EQ(table.ValuesOfItem(i1).size(), 2u);
+  EXPECT_EQ(table.SourcesOfItem(i1).size(), 3u);
+}
+
+TEST(ClaimTableTest, FromDataset) {
+  synth::ClaimGenConfig config;
+  config.num_items = 20;
+  config.sources = synth::MakeSources(3, 0.8, 0.9, 1.0);
+  config.seed = 3;
+  synth::FusionDataset dataset = synth::GenerateClaims(config);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  EXPECT_EQ(table.num_claims(), dataset.claims.size());
+  EXPECT_EQ(table.num_sources(), 3u);
+  EXPECT_EQ(table.num_items(), 20u);  // coverage 1.0: every item claimed
+}
+
+TEST(ClaimTableTest, FromTriplesBuildsItemKeys) {
+  std::vector<extract::ExtractedTriple> triples(2);
+  triples[0].class_name = "Film";
+  triples[0].entity = "Alpha";
+  triples[0].attribute = "birthPlace";
+  triples[0].value = "X";
+  triples[0].source = "s1";
+  triples[0].confidence = 0.5;
+  triples[1] = triples[0];
+  triples[1].attribute = "birth place";  // same canonical attribute
+  triples[1].source = "s2";
+  ClaimTable table = ClaimTable::FromTriples(triples);
+  // Both triples land on the same item despite surface differences.
+  EXPECT_EQ(table.num_items(), 1u);
+  EXPECT_EQ(table.num_claims(), 2u);
+}
+
+TEST(FusionOutputTest, TruthsOfThresholds) {
+  FusionOutput output;
+  output.beliefs.resize(1);
+  output.beliefs[0] = {{7, 0.8}, {9, 0.6}, {11, 0.2}};
+  EXPECT_EQ(output.TruthsOf(0, 0.5),
+            (std::vector<ValueId>{7, 9}));
+  EXPECT_EQ(output.TruthsOf(0, 0.9), (std::vector<ValueId>{7}));
+}
+
+TEST(FusionOutputTest, TruthsOfFallsBackToTopValue) {
+  FusionOutput output;
+  output.beliefs.resize(1);
+  output.beliefs[0] = {{3, 0.3}, {4, 0.2}};
+  // Nothing above 0.5: the top value is still returned (single truth).
+  EXPECT_EQ(output.TruthsOf(0, 0.5), (std::vector<ValueId>{3}));
+}
+
+TEST(FusionOutputTest, TruthsOfOutOfRangeItem) {
+  FusionOutput output;
+  EXPECT_TRUE(output.TruthsOf(5).empty());
+}
+
+}  // namespace
+}  // namespace akb::fusion

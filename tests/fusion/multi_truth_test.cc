@@ -1,0 +1,136 @@
+#include "fusion/multi_truth.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fusion/metrics.h"
+#include "fusion/vote.h"
+
+namespace akb::fusion {
+namespace {
+
+synth::FusionDataset MultiTruthDataset(uint64_t seed,
+                                       double multi_rate = 0.6) {
+  synth::ClaimGenConfig config;
+  config.num_items = 300;
+  config.domain_size = 10;
+  config.multi_truth_rate = multi_rate;
+  config.max_truths = 3;
+  config.seed = seed;
+  config.sources = synth::MakeSources(6, 0.75, 0.9, 0.85);
+  return synth::GenerateClaims(config);
+}
+
+TEST(MultiTruthTest, RecoversMultipleTruths) {
+  synth::FusionDataset dataset = MultiTruthDataset(31);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = MultiTruth(table);
+  EXPECT_EQ(out.method, "LTM");
+
+  size_t items_with_multi_output = 0;
+  for (size_t d = 0; d < dataset.items.size(); ++d) {
+    ItemId id;
+    if (!table.FindItem(dataset.items[d].id, &id)) continue;
+    if (out.TruthsOf(id).size() > 1) ++items_with_multi_output;
+  }
+  // A single-truth method would make this zero.
+  EXPECT_GT(items_with_multi_output, 50u);
+}
+
+TEST(MultiTruthTest, BetterRecallThanVoteOnMultiTruthData) {
+  // The paper's motivation for handling non-functional attributes: single
+  // truth methods lose the extra true values.
+  double ltm_recall = 0, vote_recall = 0;
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    synth::FusionDataset dataset = MultiTruthDataset(seed);
+    ClaimTable table = ClaimTable::FromDataset(dataset);
+    ltm_recall += Evaluate(MultiTruth(table), table, dataset).recall;
+    vote_recall += Evaluate(Vote(table), table, dataset).recall;
+  }
+  EXPECT_GT(ltm_recall, vote_recall + 0.15 * 3);
+}
+
+TEST(MultiTruthTest, PrecisionStaysReasonable) {
+  synth::FusionDataset dataset = MultiTruthDataset(34);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionMetrics metrics = Evaluate(MultiTruth(table), table, dataset);
+  EXPECT_GT(metrics.precision, 0.75);
+  EXPECT_GT(metrics.f1, 0.75);
+}
+
+TEST(MultiTruthTest, SingleTruthDataStillHandled) {
+  synth::FusionDataset dataset = MultiTruthDataset(35, /*multi_rate=*/0.0);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionMetrics metrics = Evaluate(MultiTruth(table), table, dataset);
+  EXPECT_GT(metrics.precision, 0.8);
+}
+
+TEST(MultiTruthTest, BeliefsWithinUnitInterval) {
+  synth::FusionDataset dataset = MultiTruthDataset(36);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = MultiTruth(table);
+  for (const auto& ranked : out.beliefs) {
+    for (const auto& [value, belief] : ranked) {
+      EXPECT_GE(belief, 0.0);
+      EXPECT_LE(belief, 1.0);
+    }
+  }
+}
+
+TEST(MultiTruthTest, SensitivityEstimatedPerSource) {
+  synth::FusionDataset dataset = MultiTruthDataset(37);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = MultiTruth(table);
+  ASSERT_EQ(out.source_quality.size(), table.num_sources());
+  for (double q : out.source_quality) {
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, 1.0);
+  }
+}
+
+TEST(MultiTruthTest, UnanimousPairAccepted) {
+  ClaimTable table;
+  table.Add("i1", "s1", "v");
+  table.Add("i1", "s2", "v");
+  table.Add("i1", "s3", "v");
+  FusionOutput out = MultiTruth(table);
+  auto truths = out.TruthsOf(0);
+  ASSERT_EQ(truths.size(), 1u);
+  EXPECT_EQ(table.value_name(truths[0]), "v");
+}
+
+TEST(MultiTruthTest, LoneDissenterRejected) {
+  ClaimTable table;
+  // Sources s1..s4 agree on v for many items; s5 alone pushes w on one.
+  for (int i = 0; i < 20; ++i) {
+    std::string item = "i" + std::to_string(i);
+    table.Add(item, "s1", "v" + std::to_string(i));
+    table.Add(item, "s2", "v" + std::to_string(i));
+    table.Add(item, "s3", "v" + std::to_string(i));
+    table.Add(item, "s4", "v" + std::to_string(i));
+    table.Add(item, "s5", "w" + std::to_string(i));
+  }
+  FusionOutput out = MultiTruth(table);
+  ItemId i0;
+  ASSERT_TRUE(table.FindItem("i0", &i0));
+  std::set<std::string> accepted;
+  for (ValueId v : out.TruthsOf(i0)) accepted.insert(table.value_name(v));
+  EXPECT_TRUE(accepted.count("v0"));
+  EXPECT_FALSE(accepted.count("w0"));
+}
+
+TEST(MultiTruthTest, AcceptanceThresholdConfigurable) {
+  synth::FusionDataset dataset = MultiTruthDataset(38);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = MultiTruth(table);
+  size_t liberal = 0, strict = 0;
+  for (ItemId i = 0; i < table.num_items(); ++i) {
+    liberal += out.TruthsOf(i, 0.2).size();
+    strict += out.TruthsOf(i, 0.9).size();
+  }
+  EXPECT_GE(liberal, strict);
+}
+
+}  // namespace
+}  // namespace akb::fusion

@@ -1,0 +1,147 @@
+#include "fusion/relation_fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/metrics.h"
+#include "fusion/vote.h"
+
+namespace akb::fusion {
+namespace {
+
+synth::FusionDataset CorrelatedDataset(uint64_t seed, size_t mirrors,
+                                       double copy_rate = 0.95) {
+  synth::ClaimGenConfig config;
+  config.num_items = 600;
+  config.domain_size = 12;
+  config.seed = seed;
+  config.sources = synth::MakeSources(4, 0.75, 0.85, 0.85);
+  synth::SourceSpec origin;
+  origin.name = "origin";
+  origin.accuracy = 0.4;  // a bad source with many mirrors
+  origin.coverage = 0.9;
+  config.sources.push_back(origin);
+  for (size_t m = 0; m < mirrors; ++m) {
+    synth::SourceSpec mirror;
+    mirror.name = "mirror" + std::to_string(m);
+    mirror.accuracy = 0.4;
+    mirror.coverage = 0.85;
+    mirror.copies_from = 4;
+    mirror.copy_rate = copy_rate;
+    config.sources.push_back(mirror);
+  }
+  return synth::GenerateClaims(config);
+}
+
+TEST(ClaimCorrelationsTest, MirrorsHighIndependentsLow) {
+  synth::FusionDataset dataset = CorrelatedDataset(61, 2);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  auto corr = ClaimCorrelations(table);
+  SourceId origin, mirror0, s0, s1;
+  ASSERT_TRUE(table.FindSource("origin", &origin));
+  ASSERT_TRUE(table.FindSource("mirror0", &mirror0));
+  ASSERT_TRUE(table.FindSource("source_0", &s0));
+  ASSERT_TRUE(table.FindSource("source_1", &s1));
+  EXPECT_GT(corr[origin][mirror0], 0.6);
+  EXPECT_LT(corr[s0][s1], 0.4);
+  // Symmetric, diagonal 1.
+  EXPECT_DOUBLE_EQ(corr[origin][mirror0], corr[mirror0][origin]);
+  EXPECT_DOUBLE_EQ(corr[origin][origin], 1.0);
+}
+
+TEST(ClaimCorrelationsTest, SmallOverlapGated) {
+  ClaimTable table;
+  table.Add("i1", "a", "v");
+  table.Add("i1", "b", "v");
+  auto corr = ClaimCorrelations(table, /*min_common_items=*/5);
+  EXPECT_DOUBLE_EQ(corr[0][1], 0.0);
+}
+
+TEST(RelationFuseTest, ResistsMirrorBloc) {
+  double relation = 0, vote = 0;
+  for (uint64_t seed : {62u, 63u, 64u}) {
+    synth::FusionDataset dataset = CorrelatedDataset(seed, 3);
+    ClaimTable table = ClaimTable::FromDataset(dataset);
+    relation += Evaluate(RelationFuse(table), table, dataset).precision;
+    vote += Evaluate(Vote(table), table, dataset).precision;
+  }
+  EXPECT_GT(relation, vote + 0.05 * 3);
+}
+
+TEST(RelationFuseTest, EstimatesPrecisions) {
+  synth::FusionDataset dataset = CorrelatedDataset(65, 1);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = RelationFuse(table);
+  ASSERT_EQ(out.source_quality.size(), table.num_sources());
+  SourceId best, origin;
+  ASSERT_TRUE(table.FindSource("source_3", &best));  // accuracy 0.85
+  ASSERT_TRUE(table.FindSource("origin", &origin));  // accuracy 0.4
+  EXPECT_GT(out.source_quality[best], out.source_quality[origin]);
+}
+
+TEST(RelationFuseTest, NoisyOrSupportsMultiTruth) {
+  // Two values, each supported by two good independent sources: both can
+  // end above threshold (no single-truth competition).
+  ClaimTable table;
+  for (int i = 0; i < 30; ++i) {
+    std::string item = "i" + std::to_string(i);
+    table.Add(item, "s1", "a" + std::to_string(i));
+    table.Add(item, "s2", "a" + std::to_string(i));
+    table.Add(item, "s3", "b" + std::to_string(i));
+    table.Add(item, "s4", "b" + std::to_string(i));
+  }
+  FusionOutput out = RelationFuse(table);
+  ItemId i0;
+  ASSERT_TRUE(table.FindItem("i0", &i0));
+  EXPECT_EQ(out.TruthsOf(i0).size(), 2u);
+}
+
+TEST(RelationFuseTest, LoneWeakClaimBelowThreshold) {
+  ClaimTable table;
+  // A consensus value supported by two of three staggered sources + a lone
+  // dissenter per item. Staggered coverage keeps the consensus sources'
+  // claim sets from being identical (identical sets would rightly be
+  // collapsed into one by the correlation discount).
+  for (int i = 0; i < 42; ++i) {
+    std::string item = "i" + std::to_string(i);
+    std::string value = "v" + std::to_string(i);
+    if (i % 3 != 0) table.Add(item, "s1", value);
+    if (i % 3 != 1) table.Add(item, "s2", value);
+    if (i % 3 != 2) table.Add(item, "s3", value);
+    table.Add(item, "weak", "w" + std::to_string(i));
+  }
+  FusionOutput out = RelationFuse(table);
+  ItemId i0;
+  ValueId w0;
+  ASSERT_TRUE(table.FindItem("i0", &i0));
+  ASSERT_TRUE(table.FindValue("w0", &w0));
+  for (const auto& [value, belief] : out.beliefs[i0]) {
+    if (value == w0) EXPECT_LT(belief, 0.5);
+  }
+}
+
+TEST(RelationFuseTest, ConfidenceWeightingApplies) {
+  ClaimTable table;
+  for (int i = 0; i < 30; ++i) {
+    std::string item = "i" + std::to_string(i);
+    table.Add(item, "s1", "low" + std::to_string(i), 0.05);
+    table.Add(item, "s2", "high" + std::to_string(i), 0.95);
+  }
+  RelationFusionConfig config;
+  config.use_confidence = true;
+  config.max_iterations = 1;
+  FusionOutput out = RelationFuse(table, config);
+  ItemId i0;
+  ASSERT_TRUE(table.FindItem("i0", &i0));
+  ValueId top = out.beliefs[i0].front().first;
+  EXPECT_EQ(table.value_name(top).rfind("high", 0), 0u);
+}
+
+TEST(RelationFuseTest, EmptyTable) {
+  ClaimTable table;
+  FusionOutput out = RelationFuse(table);
+  EXPECT_TRUE(out.beliefs.empty());
+  EXPECT_TRUE(out.source_quality.empty());
+}
+
+}  // namespace
+}  // namespace akb::fusion

@@ -1,0 +1,101 @@
+#include "fusion/vote.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::fusion {
+namespace {
+
+TEST(VoteTest, MajorityWins) {
+  ClaimTable table;
+  table.Add("i1", "s1", "right");
+  table.Add("i1", "s2", "right");
+  table.Add("i1", "s3", "wrong");
+  FusionOutput out = Vote(table);
+  EXPECT_EQ(out.method, "VOTE");
+  ItemId i1;
+  ASSERT_TRUE(table.FindItem("i1", &i1));
+  auto truths = out.TruthsOf(i1);
+  ASSERT_EQ(truths.size(), 1u);
+  EXPECT_EQ(table.value_name(truths[0]), "right");
+  EXPECT_NEAR(out.beliefs[i1][0].second, 2.0 / 3.0, 1e-9);
+}
+
+TEST(VoteTest, BeliefsSumToOne) {
+  ClaimTable table;
+  table.Add("i1", "s1", "a");
+  table.Add("i1", "s2", "b");
+  table.Add("i1", "s3", "c");
+  table.Add("i1", "s4", "a");
+  FusionOutput out = Vote(table);
+  double sum = 0;
+  for (const auto& [value, belief] : out.beliefs[0]) sum += belief;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(VoteTest, TieBrokenDeterministically) {
+  ClaimTable table;
+  table.Add("i1", "s1", "a");
+  table.Add("i1", "s2", "b");
+  FusionOutput out1 = Vote(table);
+  FusionOutput out2 = Vote(table);
+  EXPECT_EQ(out1.TruthsOf(0), out2.TruthsOf(0));
+}
+
+TEST(VoteTest, ConfidenceWeightingFlipsOutcome) {
+  ClaimTable table;
+  table.Add("i1", "s1", "low", 0.1);
+  table.Add("i1", "s2", "low", 0.1);
+  table.Add("i1", "s3", "high", 0.9);
+  FusionOutput plain = Vote(table);
+  EXPECT_EQ(table.value_name(plain.TruthsOf(0)[0]), "low");
+
+  VoteConfig config;
+  config.use_confidence = true;
+  FusionOutput weighted = Vote(table, config);
+  EXPECT_EQ(weighted.method, "VOTE-conf");
+  EXPECT_EQ(table.value_name(weighted.TruthsOf(0)[0]), "high");
+}
+
+TEST(VoteTest, ItemsIndependent) {
+  ClaimTable table;
+  table.Add("i1", "s1", "a");
+  table.Add("i2", "s1", "b");
+  table.Add("i2", "s2", "b");
+  FusionOutput out = Vote(table);
+  ItemId i1, i2;
+  ASSERT_TRUE(table.FindItem("i1", &i1));
+  ASSERT_TRUE(table.FindItem("i2", &i2));
+  EXPECT_EQ(table.value_name(out.TruthsOf(i1)[0]), "a");
+  EXPECT_EQ(table.value_name(out.TruthsOf(i2)[0]), "b");
+}
+
+TEST(VoteTest, EmptyTable) {
+  ClaimTable table;
+  FusionOutput out = Vote(table);
+  EXPECT_TRUE(out.beliefs.empty());
+}
+
+TEST(VoteTest, AccuracyShapeOnSyntheticData) {
+  // VOTE recovers most truths when sources are decent on average.
+  synth::ClaimGenConfig config;
+  config.num_items = 300;
+  config.sources = synth::MakeSources(7, 0.7, 0.9, 0.8);
+  config.seed = 10;
+  synth::FusionDataset dataset = synth::GenerateClaims(config);
+  ClaimTable table = ClaimTable::FromDataset(dataset);
+  FusionOutput out = Vote(table);
+  size_t correct = 0, total = 0;
+  for (size_t d = 0; d < dataset.items.size(); ++d) {
+    ItemId id;
+    if (!table.FindItem(dataset.items[d].id, &id)) continue;
+    auto truths = out.TruthsOf(id);
+    if (truths.empty()) continue;
+    ++total;
+    if (dataset.IsTrue(d, table.value_name(truths[0]))) ++correct;
+  }
+  ASSERT_GT(total, 250u);
+  EXPECT_GT(double(correct) / double(total), 0.85);
+}
+
+}  // namespace
+}  // namespace akb::fusion

@@ -1,0 +1,166 @@
+#include "html/dom.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::html {
+namespace {
+
+TEST(ParseHtmlTest, BuildsNestedTree) {
+  Document doc = ParseHtml("<div><p>one</p><p>two</p></div>");
+  const Node* root = doc.root();
+  ASSERT_EQ(root->num_children(), 1u);
+  const Node* div = root->child(0);
+  EXPECT_EQ(div->tag(), "div");
+  ASSERT_EQ(div->num_children(), 2u);
+  EXPECT_EQ(div->child(0)->tag(), "p");
+  EXPECT_EQ(div->child(0)->child(0)->text(), "one");
+  EXPECT_EQ(div->child(1)->child(0)->text(), "two");
+}
+
+TEST(ParseHtmlTest, ParentPointersSet) {
+  Document doc = ParseHtml("<div><p>x</p></div>");
+  const Node* p = doc.FirstByTag("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->parent()->tag(), "div");
+  EXPECT_EQ(p->parent()->parent(), doc.root());
+}
+
+TEST(ParseHtmlTest, AttributesAvailable) {
+  Document doc = ParseHtml(R"(<div class="box main" id="d1">x</div>)");
+  const Node* div = doc.FirstByTag("div");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->attribute("class"), "box main");
+  EXPECT_EQ(div->attribute("id"), "d1");
+  EXPECT_TRUE(div->has_attribute("id"));
+  EXPECT_FALSE(div->has_attribute("href"));
+  EXPECT_EQ(div->attribute("href"), "");
+}
+
+TEST(ParseHtmlTest, VoidElementsTakeNoChildren) {
+  Document doc = ParseHtml("<p>a<br>b<img src=x>c</p>");
+  const Node* p = doc.FirstByTag("p");
+  ASSERT_NE(p, nullptr);
+  // a, br, b, img, c are all siblings under p.
+  EXPECT_EQ(p->num_children(), 5u);
+  EXPECT_EQ(doc.FirstByTag("br")->num_children(), 0u);
+}
+
+TEST(ParseHtmlTest, ImplicitCloseLi) {
+  Document doc = ParseHtml("<ul><li>a<li>b<li>c</ul>");
+  auto lis = doc.ElementsByTag("li");
+  ASSERT_EQ(lis.size(), 3u);
+  for (const Node* li : lis) {
+    EXPECT_EQ(li->parent()->tag(), "ul");
+  }
+}
+
+TEST(ParseHtmlTest, ImplicitCloseTableCells) {
+  Document doc = ParseHtml(
+      "<table><tr><td>a<td>b<tr><td>c</table>");
+  EXPECT_EQ(doc.ElementsByTag("tr").size(), 2u);
+  EXPECT_EQ(doc.ElementsByTag("td").size(), 3u);
+  for (const Node* td : doc.ElementsByTag("td")) {
+    EXPECT_EQ(td->parent()->tag(), "tr");
+  }
+}
+
+TEST(ParseHtmlTest, ImplicitCloseDtDd) {
+  Document doc = ParseHtml("<dl><dt>k1<dd>v1<dt>k2<dd>v2</dl>");
+  EXPECT_EQ(doc.ElementsByTag("dt").size(), 2u);
+  EXPECT_EQ(doc.ElementsByTag("dd").size(), 2u);
+  for (const Node* dd : doc.ElementsByTag("dd")) {
+    EXPECT_EQ(dd->parent()->tag(), "dl");
+  }
+}
+
+TEST(ParseHtmlTest, MismatchedEndTagIgnored) {
+  Document doc = ParseHtml("<div><p>x</span></p></div>");
+  EXPECT_EQ(doc.ElementsByTag("p").size(), 1u);
+  EXPECT_EQ(doc.ElementsByTag("div").size(), 1u);
+}
+
+TEST(ParseHtmlTest, UnclosedElementsClosedAtEof) {
+  Document doc = ParseHtml("<div><p>dangling");
+  const Node* p = doc.FirstByTag("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->InnerText(), "dangling");
+}
+
+TEST(InnerTextTest, ConcatenatesAndNormalizes) {
+  Document doc = ParseHtml("<div> a <b>bold</b>\n c </div>");
+  EXPECT_EQ(doc.FirstByTag("div")->InnerText(), "a bold c");
+}
+
+TEST(InnerTextTest, SkipsEmptyTextNodes) {
+  Document doc = ParseHtml("<div>  \n\t  <p>x</p>   </div>");
+  EXPECT_EQ(doc.FirstByTag("div")->InnerText(), "x");
+}
+
+TEST(TextNodesTest, DocumentOrderNonEmptyOnly) {
+  Document doc = ParseHtml("<div>one<p>two</p>  <span>three</span></div>");
+  auto texts = doc.TextNodes();
+  ASSERT_EQ(texts.size(), 3u);
+  EXPECT_EQ(texts[0]->text(), "one");
+  EXPECT_EQ(texts[1]->text(), "two");
+  EXPECT_EQ(texts[2]->text(), "three");
+}
+
+TEST(NodeCountTest, CountsElementsAndText) {
+  Document doc = ParseHtml("<div><p>x</p></div>");
+  // div, p, text
+  EXPECT_EQ(doc.NodeCount(), 3u);
+}
+
+TEST(RootPathTest, FromRootToNode) {
+  Document doc = ParseHtml("<div><p><span>x</span></p></div>");
+  const Node* span = doc.FirstByTag("span");
+  auto path = span->RootPath();
+  ASSERT_EQ(path.size(), 4u);  // document, div, p, span
+  EXPECT_EQ(path[0], doc.root());
+  EXPECT_EQ(path[3], span);
+}
+
+TEST(DepthTest, RootChildrenAtDepthOne) {
+  Document doc = ParseHtml("<div><p>x</p></div>");
+  EXPECT_EQ(doc.FirstByTag("div")->Depth(), 1u);
+  EXPECT_EQ(doc.FirstByTag("p")->Depth(), 2u);
+}
+
+TEST(BuilderTest, AppendElementAndText) {
+  Document doc;
+  Node* div = doc.root()->AppendElement("div");
+  div->add_attribute("class", "x");
+  div->AppendText("hello");
+  EXPECT_EQ(doc.ToHtml(), R"(<div class="x">hello</div>)");
+}
+
+TEST(ToHtmlTest, RoundTripsStructure) {
+  std::string markup =
+      R"(<div class="a"><table><tr><th>k</th><td>v</td></tr></table></div>)";
+  Document doc = ParseHtml(markup);
+  EXPECT_EQ(doc.ToHtml(), markup);
+}
+
+TEST(ToHtmlTest, EscapesTextAndAttributes) {
+  Document doc;
+  Node* div = doc.root()->AppendElement("div");
+  div->add_attribute("title", "a \"b\"");
+  div->AppendText("1 < 2 & 3");
+  std::string html = doc.ToHtml();
+  EXPECT_NE(html.find("a &quot;b&quot;"), std::string::npos);
+  EXPECT_NE(html.find("1 &lt; 2 &amp; 3"), std::string::npos);
+  // And it parses back to the same text.
+  Document again = ParseHtml(html);
+  EXPECT_EQ(again.FirstByTag("div")->InnerText(), "1 < 2 & 3");
+}
+
+TEST(IsVoidElementTest, KnownVoids) {
+  EXPECT_TRUE(IsVoidElement("br"));
+  EXPECT_TRUE(IsVoidElement("img"));
+  EXPECT_TRUE(IsVoidElement("meta"));
+  EXPECT_FALSE(IsVoidElement("div"));
+  EXPECT_FALSE(IsVoidElement("span"));
+}
+
+}  // namespace
+}  // namespace akb::html

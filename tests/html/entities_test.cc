@@ -1,0 +1,58 @@
+#include "html/entities.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::html {
+namespace {
+
+TEST(DecodeEntitiesTest, NamedEntities) {
+  EXPECT_EQ(DecodeEntities("a &amp; b"), "a & b");
+  EXPECT_EQ(DecodeEntities("&lt;tag&gt;"), "<tag>");
+  EXPECT_EQ(DecodeEntities("&quot;q&quot; &apos;a&apos;"), "\"q\" 'a'");
+  EXPECT_EQ(DecodeEntities("x&nbsp;y"), "x y");
+}
+
+TEST(DecodeEntitiesTest, NumericDecimal) {
+  EXPECT_EQ(DecodeEntities("&#65;&#66;"), "AB");
+  EXPECT_EQ(DecodeEntities("&#32;"), " ");
+}
+
+TEST(DecodeEntitiesTest, NumericHex) {
+  EXPECT_EQ(DecodeEntities("&#x41;"), "A");
+  EXPECT_EQ(DecodeEntities("&#X61;"), "a");
+}
+
+TEST(DecodeEntitiesTest, MultiByteUtf8) {
+  EXPECT_EQ(DecodeEntities("&#233;"), "\xC3\xA9");        // é
+  EXPECT_EQ(DecodeEntities("&#x20AC;"), "\xE2\x82\xAC");  // €
+}
+
+TEST(DecodeEntitiesTest, UnknownEntityPassesThrough) {
+  EXPECT_EQ(DecodeEntities("&bogus;"), "&bogus;");
+  EXPECT_EQ(DecodeEntities("&#xZZ;"), "&#xZZ;");
+}
+
+TEST(DecodeEntitiesTest, BareAmpersand) {
+  EXPECT_EQ(DecodeEntities("a & b"), "a & b");
+  EXPECT_EQ(DecodeEntities("ends with &"), "ends with &");
+  EXPECT_EQ(DecodeEntities("&noSemicolonHereForAWhile x"),
+            "&noSemicolonHereForAWhile x");
+}
+
+TEST(DecodeEntitiesTest, EmptyString) { EXPECT_EQ(DecodeEntities(""), ""); }
+
+TEST(EncodeEntitiesTest, EscapesMarkupCharacters) {
+  EXPECT_EQ(EncodeEntities("a < b & c > d \"e\""),
+            "a &lt; b &amp; c &gt; d &quot;e&quot;");
+  EXPECT_EQ(EncodeEntities("plain"), "plain");
+}
+
+TEST(EntitiesRoundTripTest, EncodeThenDecodeIsIdentity) {
+  for (const char* s :
+       {"a & b < c > d \"e\"", "no specials", "&&&&", "<>\"&"}) {
+    EXPECT_EQ(DecodeEntities(EncodeEntities(s)), s);
+  }
+}
+
+}  // namespace
+}  // namespace akb::html

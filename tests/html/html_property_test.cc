@@ -1,0 +1,123 @@
+// Property tests for the HTML stack: random tree round-trips and
+// crash-resistance against byte-level fuzz.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "html/dom.h"
+#include "html/entities.h"
+
+namespace akb::html {
+namespace {
+
+// Tags free of implicit-close interactions (nesting <p> in <p> or <td>
+// outside <tr> is *supposed* to be rewritten by the tolerant parser, which
+// would legitimately break a naive round-trip).
+const char* const kTags[] = {"div", "span",    "b",  "h1",
+                             "em",  "section", "ul", "article"};
+
+// Builds a random element tree under `parent`.
+void BuildRandomTree(Node* parent, Rng* rng, int depth, size_t* budget) {
+  size_t children = 1 + rng->Index(3);
+  for (size_t c = 0; c < children && *budget > 0; ++c) {
+    --*budget;
+    if (depth > 0 && rng->Bernoulli(0.6)) {
+      Node* element = parent->AppendElement(
+          kTags[rng->Index(std::size(kTags))]);
+      if (rng->Bernoulli(0.5)) {
+        element->add_attribute("class", rng->Identifier(5));
+      }
+      if (rng->Bernoulli(0.3)) {
+        element->add_attribute("data-x",
+                               "v " + std::to_string(rng->Index(100)));
+      }
+      BuildRandomTree(element, rng, depth - 1, budget);
+    } else {
+      // Never two adjacent text siblings: the parser correctly merges
+      // them, which would (legitimately) fail naive tree equality.
+      bool last_is_text = parent->num_children() > 0 &&
+                          parent->child(parent->num_children() - 1)->is_text();
+      if (last_is_text) continue;
+      parent->AppendText("text " + rng->Identifier(4) + " & <" +
+                         std::to_string(rng->Index(10)) + ">");
+    }
+  }
+}
+
+// Structural equality of two trees (tag, attrs, text, children).
+bool TreesEqual(const Node* a, const Node* b) {
+  if (a->kind() != b->kind()) return false;
+  if (a->tag() != b->tag()) return false;
+  if (a->text() != b->text()) return false;
+  if (a->attributes() != b->attributes()) return false;
+  if (a->num_children() != b->num_children()) return false;
+  for (size_t i = 0; i < a->num_children(); ++i) {
+    if (!TreesEqual(a->child(i), b->child(i))) return false;
+  }
+  return true;
+}
+
+class HtmlRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HtmlRoundTrip, SerializeParseIsIdentity) {
+  Rng rng(GetParam());
+  Document original;
+  size_t budget = 60;
+  BuildRandomTree(original.root(), &rng, 5, &budget);
+
+  std::string html = original.ToHtml();
+  Document parsed = ParseHtml(html);
+  EXPECT_TRUE(TreesEqual(original.root(), parsed.root()))
+      << "round-trip changed the tree for seed " << GetParam() << "\n"
+      << html;
+  // And serialization is a fixed point.
+  EXPECT_EQ(parsed.ToHtml(), html);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlRoundTrip,
+                         ::testing::Range<uint64_t>(1, 21));
+
+class HtmlFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HtmlFuzz, GarbageNeverCrashesParser) {
+  Rng rng(GetParam());
+  // Byte soup biased toward markup characters.
+  static const char kAlphabet[] =
+      "<>/=\"' abcdefgh&;!-\n\tdiv spanclass#x41;&amp;<b><<</";
+  for (int round = 0; round < 50; ++round) {
+    std::string soup;
+    size_t length = rng.Index(300);
+    for (size_t i = 0; i < length; ++i) {
+      soup.push_back(kAlphabet[rng.Index(sizeof(kAlphabet) - 1)]);
+    }
+    Document doc = ParseHtml(soup);
+    // Whatever came out must be re-serializable and re-parseable.
+    std::string rendered = doc.ToHtml();
+    Document again = ParseHtml(rendered);
+    // Second-generation serialization must be stable (idempotence after
+    // one normalization pass).
+    EXPECT_EQ(again.ToHtml(), rendered) << "seed " << GetParam()
+                                        << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HtmlFuzz, ::testing::Range<uint64_t>(1, 11));
+
+class EntitiesFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EntitiesFuzz, EncodeDecodeIdentityOnRandomText) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    std::string text;
+    size_t length = rng.Index(80);
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(static_cast<char>(32 + rng.Index(95)));
+    }
+    EXPECT_EQ(DecodeEntities(EncodeEntities(text)), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntitiesFuzz,
+                         ::testing::Range<uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace akb::html

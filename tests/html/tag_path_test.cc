@@ -1,0 +1,165 @@
+#include "html/tag_path.h"
+
+#include <gtest/gtest.h>
+
+#include "html/dom.h"
+
+namespace akb::html {
+namespace {
+
+// One infobox-style page used across tests.
+constexpr char kPage[] = R"(
+<html><body>
+  <div class="main shell">
+    <h1>Entity Name</h1>
+    <table class="infobox extra">
+      <tr><th>budget</th><td><span class="val">42</span></td></tr>
+      <tr><th>director</th><td><span class="val">Jane</span></td></tr>
+    </table>
+    <ul class="nav"><li><a href="#">home</a></li></ul>
+  </div>
+</body></html>)";
+
+class TagPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = ParseHtml(kPage);
+    for (const Node* t : doc_.TextNodes()) {
+      std::string text = t->text();
+      if (text == "Entity Name") entity_ = t;
+      if (text == "budget") budget_ = t;
+      if (text == "director") director_ = t;
+      if (text == "42") value42_ = t;
+      if (text == "home") home_ = t;
+    }
+    ASSERT_NE(entity_, nullptr);
+    ASSERT_NE(budget_, nullptr);
+    ASSERT_NE(director_, nullptr);
+    ASSERT_NE(value42_, nullptr);
+    ASSERT_NE(home_, nullptr);
+  }
+
+  Document doc_;
+  const Node* entity_ = nullptr;
+  const Node* budget_ = nullptr;
+  const Node* director_ = nullptr;
+  const Node* value42_ = nullptr;
+  const Node* home_ = nullptr;
+};
+
+TEST_F(TagPathTest, RootTagPathIncludesClasses) {
+  TagPath path = RootTagPath(budget_);
+  EXPECT_EQ(path.ToString(), "html/body/div.main/table.infobox/tr/th");
+}
+
+TEST_F(TagPathTest, RootTagPathWithoutClasses) {
+  TagPathOptions options;
+  options.include_classes = false;
+  TagPath path = RootTagPath(budget_, options);
+  EXPECT_EQ(path.ToString(), "html/body/div/table/tr/th");
+}
+
+TEST_F(TagPathTest, OnlyFirstClassTokenUsed) {
+  TagPath path = RootTagPath(entity_);
+  // div carries class "main shell" -> step "div.main".
+  EXPECT_EQ(path.ToString(), "html/body/div.main/h1");
+}
+
+TEST_F(TagPathTest, LowestCommonAncestor) {
+  const Node* lca = LowestCommonAncestor(entity_, budget_);
+  ASSERT_NE(lca, nullptr);
+  EXPECT_EQ(lca->tag(), "div");
+  EXPECT_EQ(LowestCommonAncestor(budget_, budget_), budget_);
+}
+
+TEST_F(TagPathTest, PathBetweenEntityAndLabel) {
+  TagPath path = PathBetween(entity_, budget_);
+  EXPECT_EQ(path.ToString(), "^h1/table.infobox/tr/th");
+}
+
+TEST_F(TagPathTest, LabelsOfSameTemplateShareIdenticalPath) {
+  TagPath a = PathBetween(entity_, budget_);
+  TagPath b = PathBetween(entity_, director_);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(TagPathSimilarity(a, b), 1.0);
+}
+
+TEST_F(TagPathTest, ValuePathDiffersFromLabelPath) {
+  TagPath label = PathBetween(entity_, budget_);
+  TagPath value = PathBetween(entity_, value42_);
+  EXPECT_NE(label, value);
+  double sim = TagPathSimilarity(label, value);
+  EXPECT_LT(sim, 0.9);  // below the default extractor threshold
+  EXPECT_GT(sim, 0.0);
+}
+
+TEST_F(TagPathTest, NavNoiseIsDissimilar) {
+  TagPath label = PathBetween(entity_, budget_);
+  TagPath nav = PathBetween(entity_, home_);
+  EXPECT_LT(TagPathSimilarity(label, nav), 0.6);
+}
+
+TEST_F(TagPathTest, SimilarityIsSymmetric) {
+  TagPath a = PathBetween(entity_, budget_);
+  TagPath b = PathBetween(entity_, value42_);
+  EXPECT_DOUBLE_EQ(TagPathSimilarity(a, b), TagPathSimilarity(b, a));
+}
+
+TEST(TagPathSimilarityTest, EmptyPaths) {
+  TagPath empty;
+  EXPECT_DOUBLE_EQ(TagPathSimilarity(empty, empty), 1.0);
+  TagPath one;
+  one.steps = {"div"};
+  EXPECT_DOUBLE_EQ(TagPathSimilarity(empty, one), 0.0);
+}
+
+TEST(TagPathSimilarityTest, KnownEditDistance) {
+  TagPath a, b;
+  a.steps = {"div", "tr", "th"};
+  b.steps = {"div", "tr", "td"};
+  EXPECT_NEAR(TagPathSimilarity(a, b), 2.0 / 3.0, 1e-9);
+}
+
+TEST(NoiseTagTest, BareNoiseTagsStripped) {
+  Document doc = ParseHtml(
+      "<div><p><b><i>deep</i></b></p><p>flat</p></div>");
+  const Node* deep = doc.TextNodes()[0];
+  const Node* flat = doc.TextNodes()[1];
+  // b and i are presentational and unclassed: both texts share the same
+  // canonical root path.
+  EXPECT_EQ(RootTagPath(deep).ToString(), RootTagPath(flat).ToString());
+}
+
+TEST(NoiseTagTest, ClassedSpanIsKept) {
+  Document doc = ParseHtml(
+      R"(<li><span class="key">label</span><em>value</em></li>)");
+  const Node* label = doc.TextNodes()[0];
+  const Node* value = doc.TextNodes()[1];
+  EXPECT_EQ(RootTagPath(label).ToString(), "li/span.key");
+  EXPECT_EQ(RootTagPath(value).ToString(), "li");  // bare <em> stripped
+}
+
+TEST(NoiseTagTest, StrippingCanBeDisabled) {
+  Document doc = ParseHtml("<p><b>x</b></p>");
+  TagPathOptions options;
+  options.strip_noise_tags = false;
+  EXPECT_EQ(RootTagPath(doc.TextNodes()[0], options).ToString(), "p/b");
+}
+
+TEST(IsNoiseTagTest, Membership) {
+  EXPECT_TRUE(IsNoiseTag("b"));
+  EXPECT_TRUE(IsNoiseTag("span"));
+  EXPECT_TRUE(IsNoiseTag("em"));
+  EXPECT_FALSE(IsNoiseTag("div"));
+  EXPECT_FALSE(IsNoiseTag("th"));
+}
+
+TEST(PathBetweenTest, DisconnectedNodesYieldEmpty) {
+  Document a = ParseHtml("<p>x</p>");
+  Document b = ParseHtml("<p>y</p>");
+  TagPath path = PathBetween(a.TextNodes()[0], b.TextNodes()[0]);
+  EXPECT_TRUE(path.empty());
+}
+
+}  // namespace
+}  // namespace akb::html

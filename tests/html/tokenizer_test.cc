@@ -1,0 +1,117 @@
+#include "html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::html {
+namespace {
+
+TEST(TokenizerTest, TextOnly) {
+  auto tokens = Tokenize("hello world");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[0].data, "hello world");
+}
+
+TEST(TokenizerTest, SimpleElement) {
+  auto tokens = Tokenize("<p>hi</p>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStartTag);
+  EXPECT_EQ(tokens[0].data, "p");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+  EXPECT_EQ(tokens[2].data, "p");
+}
+
+TEST(TokenizerTest, TagNamesLowercased) {
+  auto tokens = Tokenize("<DIV></DiV>");
+  EXPECT_EQ(tokens[0].data, "div");
+  EXPECT_EQ(tokens[1].data, "div");
+}
+
+TEST(TokenizerTest, QuotedAttributes) {
+  auto tokens = Tokenize(R"(<a href="http://x" class='c1 c2'>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].attribute("href"), "http://x");
+  EXPECT_EQ(tokens[0].attribute("class"), "c1 c2");
+}
+
+TEST(TokenizerTest, UnquotedAndValuelessAttributes) {
+  auto tokens = Tokenize("<input type=checkbox checked>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].attribute("type"), "checkbox");
+  EXPECT_TRUE(tokens[0].attributes.size() == 2);
+  EXPECT_EQ(tokens[0].attribute("checked"), "");
+}
+
+TEST(TokenizerTest, AttributeNamesLowercasedValuesDecoded) {
+  auto tokens = Tokenize(R"(<a TITLE="a &amp; b">)");
+  EXPECT_EQ(tokens[0].attribute("title"), "a & b");
+}
+
+TEST(TokenizerTest, SelfClosingFlag) {
+  auto tokens = Tokenize("<br/><img src=x />");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+  EXPECT_EQ(tokens[1].attribute("src"), "x");
+}
+
+TEST(TokenizerTest, Comment) {
+  auto tokens = Tokenize("a<!-- hidden -->b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].data, " hidden ");
+}
+
+TEST(TokenizerTest, UnterminatedComment) {
+  auto tokens = Tokenize("a<!-- never closed");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+}
+
+TEST(TokenizerTest, Doctype) {
+  auto tokens = Tokenize("<!DOCTYPE html><p>x</p>");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDoctype);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kStartTag);
+}
+
+TEST(TokenizerTest, EntityDecodedText) {
+  auto tokens = Tokenize("<p>a &amp; b</p>");
+  EXPECT_EQ(tokens[1].data, "a & b");
+}
+
+TEST(TokenizerTest, StrayLessThanBecomesText) {
+  auto tokens = Tokenize("1 < 2");
+  std::string all;
+  for (const auto& t : tokens) {
+    EXPECT_EQ(t.kind, TokenKind::kText);
+    all += t.data;
+  }
+  EXPECT_EQ(all, "1 < 2");
+}
+
+TEST(TokenizerTest, UnterminatedTagBecomesText) {
+  auto tokens = Tokenize("before <a href=");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+}
+
+TEST(TokenizerTest, ScriptContentIsRawText) {
+  auto tokens = Tokenize("<script>if (a < b) { x(); }</script><p>t</p>");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].data, "script");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].data, "if (a < b) { x(); }");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEndTag);
+}
+
+TEST(TokenizerTest, StyleContentIsRawText) {
+  auto tokens = Tokenize("<style>a > b { color: red }</style>");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kText);
+  EXPECT_EQ(tokens[1].data, "a > b { color: red }");
+}
+
+TEST(TokenizerTest, EmptyInput) { EXPECT_TRUE(Tokenize("").empty()); }
+
+}  // namespace
+}  // namespace akb::html

@@ -1,0 +1,153 @@
+#include "mapreduce/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace akb::mapreduce {
+namespace {
+
+// Canonical word count.
+std::vector<std::pair<std::string, int>> WordCount(
+    const std::vector<std::string>& docs, const JobOptions& options) {
+  auto out = RunJob<std::string, std::string, int,
+                    std::pair<std::string, int>>(
+      docs,
+      [](const std::string& doc, Emitter<std::string, int>* emit) {
+        size_t start = 0;
+        while (start < doc.size()) {
+          size_t end = doc.find(' ', start);
+          if (end == std::string::npos) end = doc.size();
+          if (end > start) emit->Emit(doc.substr(start, end - start), 1);
+          start = end + 1;
+        }
+      },
+      [](const std::string& word, const std::vector<int>& counts) {
+        int total = 0;
+        for (int c : counts) total += c;
+        return std::make_pair(word, total);
+      },
+      options);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(EngineTest, WordCountSingleWorker) {
+  JobOptions options;
+  options.num_workers = 1;
+  auto counts = WordCount({"a b a", "b c", "a"}, options);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], std::make_pair(std::string("a"), 3));
+  EXPECT_EQ(counts[1], std::make_pair(std::string("b"), 2));
+  EXPECT_EQ(counts[2], std::make_pair(std::string("c"), 1));
+}
+
+TEST(EngineTest, ResultIndependentOfWorkerCount) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 200; ++i) {
+    docs.push_back("w" + std::to_string(i % 17) + " w" +
+                   std::to_string(i % 5) + " shared");
+  }
+  JobOptions one;
+  one.num_workers = 1;
+  auto baseline = WordCount(docs, one);
+  for (size_t workers : {2u, 4u, 8u}) {
+    JobOptions options;
+    options.num_workers = workers;
+    EXPECT_EQ(WordCount(docs, options), baseline) << workers << " workers";
+  }
+}
+
+TEST(EngineTest, ResultIndependentOfPartitionCount) {
+  std::vector<std::string> docs{"x y z", "x x", "z"};
+  JobOptions base;
+  base.num_workers = 2;
+  base.num_partitions = 1;
+  auto baseline = WordCount(docs, base);
+  for (size_t partitions : {2u, 7u, 64u}) {
+    JobOptions options;
+    options.num_workers = 2;
+    options.num_partitions = partitions;
+    EXPECT_EQ(WordCount(docs, options), baseline);
+  }
+}
+
+TEST(EngineTest, EmptyInput) {
+  JobOptions options;
+  auto out = RunJob<int, int, int, int>(
+      {},
+      [](const int&, Emitter<int, int>*) { FAIL() << "map on empty input"; },
+      [](const int&, const std::vector<int>&) { return 0; }, options);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EngineTest, MapMayEmitNothing) {
+  JobOptions options;
+  options.num_workers = 2;
+  auto out = RunJob<int, int, int, int>(
+      {1, 2, 3, 4},
+      [](const int& x, Emitter<int, int>* emit) {
+        if (x % 2 == 0) emit->Emit(x, x);
+      },
+      [](const int& k, const std::vector<int>&) { return k; }, options);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{2, 4}));
+}
+
+TEST(EngineTest, ValuesArriveGroupedPerKey) {
+  JobOptions options;
+  options.num_workers = 3;
+  std::vector<int> inputs;
+  for (int i = 0; i < 90; ++i) inputs.push_back(i);
+  auto out = RunJob<int, int, int, std::pair<int, size_t>>(
+      inputs,
+      [](const int& x, Emitter<int, int>* emit) { emit->Emit(x % 9, x); },
+      [](const int& k, const std::vector<int>& values) {
+        // Every value must belong to this key's residue class.
+        for (int v : values) EXPECT_EQ(v % 9, k);
+        return std::make_pair(k, values.size());
+      },
+      options);
+  ASSERT_EQ(out.size(), 9u);
+  for (const auto& [k, n] : out) EXPECT_EQ(n, 10u);
+}
+
+TEST(EngineTest, CustomHashFunction) {
+  JobOptions options;
+  options.num_workers = 2;
+  options.num_partitions = 4;
+  auto out = RunJob<int, int, int, int>(
+      {1, 2, 3, 4, 5, 6},
+      [](const int& x, Emitter<int, int>* emit) { emit->Emit(x % 2, x); },
+      [](const int& k, const std::vector<int>& values) {
+        return k * 100 + static_cast<int>(values.size());
+      },
+      [](const int& k) { return static_cast<size_t>(k); }, options);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<int>{3, 103}));
+}
+
+TEST(EngineTest, PerKeyValueOrderIsDeterministic) {
+  // Values for a key preserve input order regardless of worker count.
+  std::vector<int> inputs;
+  for (int i = 0; i < 64; ++i) inputs.push_back(i);
+  auto run = [&](size_t workers) {
+    JobOptions options;
+    options.num_workers = workers;
+    options.num_partitions = 3;
+    return RunJob<int, int, int, std::vector<int>>(
+        inputs,
+        [](const int& x, Emitter<int, int>* emit) { emit->Emit(0, x); },
+        [](const int&, const std::vector<int>& values) { return values; },
+        options);
+  };
+  auto a = run(1);
+  auto b = run(4);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0], b[0]);
+}
+
+}  // namespace
+}  // namespace akb::mapreduce

@@ -1,0 +1,68 @@
+// Property tests: randomized MapReduce jobs agree with a serial reference
+// implementation for every worker/partition configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "mapreduce/engine.h"
+
+namespace akb::mapreduce {
+namespace {
+
+struct JobCase {
+  uint64_t seed;
+  size_t workers;
+  size_t partitions;
+};
+
+class RandomJob : public ::testing::TestWithParam<JobCase> {};
+
+TEST_P(RandomJob, MatchesSerialReference) {
+  const JobCase& job = GetParam();
+  Rng rng(job.seed);
+  size_t n = 200 + rng.Index(800);
+  std::vector<int> inputs;
+  for (size_t i = 0; i < n; ++i) {
+    inputs.push_back(static_cast<int>(rng.Index(500)));
+  }
+  size_t key_space = 1 + rng.Index(40);
+
+  // Serial reference: group then sum-of-squares per key.
+  std::map<int, long> expected;
+  for (int x : inputs) {
+    expected[static_cast<int>(x % key_space)] += static_cast<long>(x) * x;
+  }
+
+  JobOptions options;
+  options.num_workers = job.workers;
+  options.num_partitions = job.partitions;
+  auto results = RunJob<int, int, long, std::pair<int, long>>(
+      inputs,
+      [key_space](const int& x, Emitter<int, long>* emit) {
+        emit->Emit(static_cast<int>(x % key_space),
+                   static_cast<long>(x) * x);
+      },
+      [](const int& key, const std::vector<long>& values) {
+        long total = 0;
+        for (long v : values) total += v;
+        return std::make_pair(key, total);
+      },
+      options);
+
+  std::map<int, long> actual(results.begin(), results.end());
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(results.size(), expected.size());  // no duplicate keys emitted
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RandomJob,
+    ::testing::Values(JobCase{1, 1, 1}, JobCase{2, 1, 8}, JobCase{3, 2, 1},
+                      JobCase{4, 2, 3}, JobCase{5, 4, 4}, JobCase{6, 4, 16},
+                      JobCase{7, 8, 2}, JobCase{8, 8, 32},
+                      JobCase{9, 3, 0 /* default partitions */},
+                      JobCase{10, 16, 5}));
+
+}  // namespace
+}  // namespace akb::mapreduce

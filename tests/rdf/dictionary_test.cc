@@ -1,0 +1,69 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::rdf {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIdsFromOne) {
+  Dictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  TermId a = dict.InternIri("http://a");
+  TermId b = dict.InternLiteral("b");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a1 = dict.InternIri("http://a");
+  TermId a2 = dict.InternIri("http://a");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, KindDistinguishesTerms) {
+  Dictionary dict;
+  TermId iri = dict.Intern(Term::Iri("x"));
+  TermId lit = dict.Intern(Term::Literal("x"));
+  EXPECT_NE(iri, lit);
+}
+
+TEST(DictionaryTest, LookupRoundTrips) {
+  Dictionary dict;
+  Term t = Term::Literal("Wuhan");
+  TermId id = dict.Intern(t);
+  EXPECT_EQ(dict.Lookup(id), t);
+}
+
+TEST(DictionaryTest, FindReturnsInvalidForUnknown) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Find(Term::Iri("missing")), kInvalidTermId);
+  dict.InternIri("present");
+  EXPECT_NE(dict.Find(Term::Iri("present")), kInvalidTermId);
+}
+
+TEST(DictionaryTest, ContainsChecksRange) {
+  Dictionary dict;
+  EXPECT_FALSE(dict.Contains(0));
+  EXPECT_FALSE(dict.Contains(1));
+  dict.InternIri("x");
+  EXPECT_TRUE(dict.Contains(1));
+  EXPECT_FALSE(dict.Contains(2));
+}
+
+TEST(DictionaryTest, ManyTermsStayConsistent) {
+  Dictionary dict;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(dict.InternLiteral("value_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.Lookup(ids[i]).lexical, "value_" + std::to_string(i));
+    EXPECT_EQ(dict.InternLiteral("value_" + std::to_string(i)), ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace akb::rdf

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "rdf/ntriples.h"
+
+namespace akb::rdf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(NTriplesFileTest, WriteAndReadBack) {
+  TripleStore store;
+  store.InsertDecoded(Term::Iri("http://e/a"), Term::Iri("http://p/x"),
+                      Term::Literal("v1"),
+                      Provenance{"s1", ExtractorKind::kDomTree, 0.5});
+  store.InsertDecoded(Term::Iri("http://e/b"), Term::Iri("http://p/y"),
+                      Term::Iri("http://e/c"), {});
+
+  std::string path = TempPath("roundtrip.nt");
+  NTriplesWriteOptions options;
+  options.include_provenance = true;
+  ASSERT_TRUE(WriteNTriplesFile(store, path, options).ok());
+
+  TripleStore restored;
+  ASSERT_TRUE(ReadNTriplesFile(path, &restored).ok());
+  EXPECT_EQ(restored.num_triples(), 2u);
+  EXPECT_EQ(restored.num_claims(), 2u);
+  EXPECT_EQ(restored.claim(0).provenance.source, "s1");
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesFileTest, ReadMissingFileFails) {
+  TripleStore store;
+  Status status = ReadNTriplesFile("/nonexistent/dir/x.nt", &store);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(NTriplesFileTest, WriteToBadPathFails) {
+  TripleStore store;
+  Status status = WriteNTriplesFile(store, "/nonexistent/dir/x.nt");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(NTriplesFileTest, ReadAppendsToExistingStore) {
+  TripleStore store;
+  store.InsertDecoded(Term::Iri("http://e/pre"), Term::Iri("http://p/x"),
+                      Term::Literal("v"), {});
+  std::string path = TempPath("append.nt");
+  {
+    TripleStore file_store;
+    file_store.InsertDecoded(Term::Iri("http://e/new"),
+                             Term::Iri("http://p/x"), Term::Literal("w"),
+                             {});
+    ASSERT_TRUE(WriteNTriplesFile(file_store, path).ok());
+  }
+  ASSERT_TRUE(ReadNTriplesFile(path, &store).ok());
+  EXPECT_EQ(store.num_triples(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace akb::rdf

@@ -1,0 +1,142 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::rdf {
+namespace {
+
+TEST(ParseTermTest, Iri) {
+  auto r = ParseTerm("<http://x/y>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, TermKind::kIri);
+  EXPECT_EQ(r->lexical, "http://x/y");
+}
+
+TEST(ParseTermTest, Literal) {
+  auto r = ParseTerm("\"hello world\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, TermKind::kLiteral);
+  EXPECT_EQ(r->lexical, "hello world");
+}
+
+TEST(ParseTermTest, LiteralWithEscapes) {
+  auto r = ParseTerm(R"("say \"hi\" and \n done")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->lexical, "say \"hi\" and \n done");
+}
+
+TEST(ParseTermTest, Blank) {
+  auto r = ParseTerm("_:b12");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, TermKind::kBlank);
+  EXPECT_EQ(r->lexical, "b12");
+}
+
+TEST(ParseTermTest, Errors) {
+  EXPECT_FALSE(ParseTerm("").ok());
+  EXPECT_FALSE(ParseTerm("<unterminated").ok());
+  EXPECT_FALSE(ParseTerm("\"unterminated").ok());
+  EXPECT_FALSE(ParseTerm("plainword").ok());
+  EXPECT_FALSE(ParseTerm("<a> trailing").ok());
+}
+
+TEST(ReadNTriplesTest, ParsesTriples) {
+  TripleStore store;
+  Status s = ReadNTriples(
+      "<http://e/a> <http://p/x> \"v1\" .\n"
+      "<http://e/a> <http://p/x> <http://e/b> .\n",
+      &store);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(store.num_triples(), 2u);
+}
+
+TEST(ReadNTriplesTest, SkipsCommentsAndBlanks) {
+  TripleStore store;
+  Status s = ReadNTriples(
+      "# a comment\n"
+      "\n"
+      "   \n"
+      "<http://e/a> <http://p/x> \"v\" .\n"
+      "# trailing comment\n",
+      &store);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(store.num_triples(), 1u);
+}
+
+TEST(ReadNTriplesTest, MalformedLineReportsLineNumber) {
+  TripleStore store;
+  Status s = ReadNTriples(
+      "<http://e/a> <http://p/x> \"v\" .\n"
+      "<http://e/a> <http://p/x> garbage .\n",
+      &store);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+}
+
+TEST(ReadNTriplesTest, MissingDotFails) {
+  TripleStore store;
+  Status s = ReadNTriples("<http://e/a> <http://p/x> \"v\"\n", &store);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(WriteNTriplesTest, DistinctTriples) {
+  TripleStore store;
+  store.InsertDecoded(Term::Iri("http://e/a"), Term::Iri("http://p/x"),
+                      Term::Literal("v"), {});
+  EXPECT_EQ(WriteNTriples(store),
+            "<http://e/a> <http://p/x> \"v\" .\n");
+}
+
+TEST(RoundTripTest, PlainTriplesSurvive) {
+  TripleStore original;
+  original.InsertDecoded(Term::Iri("http://e/a"), Term::Iri("http://p/x"),
+                         Term::Literal("with \"quotes\" and\nnewline"), {});
+  original.InsertDecoded(Term::Iri("http://e/b"), Term::Iri("http://p/y"),
+                         Term::Iri("http://e/c"), {});
+  std::string text = WriteNTriples(original);
+
+  TripleStore restored;
+  ASSERT_TRUE(ReadNTriples(text, &restored).ok());
+  EXPECT_EQ(restored.num_triples(), original.num_triples());
+  EXPECT_EQ(WriteNTriples(restored), text);
+}
+
+TEST(RoundTripTest, ProvenanceSurvives) {
+  TripleStore original;
+  original.InsertDecoded(
+      Term::Iri("http://e/a"), Term::Iri("http://p/x"), Term::Literal("v"),
+      Provenance{"site1.example.com", ExtractorKind::kDomTree, 0.75});
+  NTriplesWriteOptions options;
+  options.include_provenance = true;
+  std::string text = WriteNTriples(original, options);
+  EXPECT_NE(text.find("source=site1.example.com"), std::string::npos);
+  EXPECT_NE(text.find("extractor=dom_tree"), std::string::npos);
+
+  TripleStore restored;
+  ASSERT_TRUE(ReadNTriples(text, &restored).ok());
+  ASSERT_EQ(restored.num_claims(), 1u);
+  const Provenance& p = restored.claim(0).provenance;
+  EXPECT_EQ(p.source, "site1.example.com");
+  EXPECT_EQ(p.extractor, ExtractorKind::kDomTree);
+  EXPECT_NEAR(p.confidence, 0.75, 1e-6);
+}
+
+TEST(RoundTripTest, ClaimsPerProvenanceLine) {
+  TripleStore original;
+  original.InsertDecoded(Term::Iri("http://e/a"), Term::Iri("http://p/x"),
+                         Term::Literal("v"),
+                         Provenance{"s1", ExtractorKind::kWebText, 0.5});
+  original.InsertDecoded(Term::Iri("http://e/a"), Term::Iri("http://p/x"),
+                         Term::Literal("v"),
+                         Provenance{"s2", ExtractorKind::kExistingKb, 0.9});
+  NTriplesWriteOptions options;
+  options.include_provenance = true;
+  TripleStore restored;
+  ASSERT_TRUE(ReadNTriples(WriteNTriples(original, options), &restored).ok());
+  EXPECT_EQ(restored.num_claims(), 2u);
+  EXPECT_EQ(restored.num_triples(), 1u);
+}
+
+}  // namespace
+}  // namespace akb::rdf

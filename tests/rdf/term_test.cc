@@ -1,0 +1,51 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::rdf {
+namespace {
+
+TEST(TermTest, FactoryKinds) {
+  EXPECT_EQ(Term::Iri("http://x").kind, TermKind::kIri);
+  EXPECT_EQ(Term::Literal("v").kind, TermKind::kLiteral);
+  EXPECT_EQ(Term::Blank("b1").kind, TermKind::kBlank);
+}
+
+TEST(TermTest, ToStringSurfaceForms) {
+  EXPECT_EQ(Term::Iri("http://x/y").ToString(), "<http://x/y>");
+  EXPECT_EQ(Term::Literal("hello").ToString(), "\"hello\"");
+  EXPECT_EQ(Term::Blank("b1").ToString(), "_:b1");
+}
+
+TEST(TermTest, LiteralEscaping) {
+  EXPECT_EQ(Term::Literal("say \"hi\"").ToString(), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(Term::Literal("back\\slash").ToString(), "\"back\\\\slash\"");
+  EXPECT_EQ(Term::Literal("line\nbreak").ToString(), "\"line\\nbreak\"");
+}
+
+TEST(TermTest, EqualityIncludesKind) {
+  EXPECT_EQ(Term::Iri("x"), Term::Iri("x"));
+  EXPECT_FALSE(Term::Iri("x") == Term::Literal("x"));
+  EXPECT_FALSE(Term::Iri("x") == Term::Iri("y"));
+}
+
+TEST(TermTest, HashDistinguishesKind) {
+  TermHash h;
+  EXPECT_NE(h(Term::Iri("x")), h(Term::Literal("x")));
+}
+
+TEST(IriBuildersTest, SlugifiesNames) {
+  EXPECT_EQ(EntityIri("Film", "The Silent Harbor"),
+            "http://akb.local/entity/film/the_silent_harbor");
+  EXPECT_EQ(AttributeIri("Book", "Original Title"),
+            "http://akb.local/attribute/book/original_title");
+  EXPECT_EQ(ClassIri("University"), "http://akb.local/class/university");
+}
+
+TEST(IriBuildersTest, PunctuationCollapsed) {
+  EXPECT_EQ(EntityIri("Book", "Dr. Who's  Guide!"),
+            "http://akb.local/entity/book/dr_who_s_guide");
+}
+
+}  // namespace
+}  // namespace akb::rdf

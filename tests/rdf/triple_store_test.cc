@@ -1,0 +1,127 @@
+#include "rdf/triple_store.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::rdf {
+namespace {
+
+Provenance Prov(const std::string& source, double confidence = 1.0) {
+  return Provenance{source, ExtractorKind::kOther, confidence};
+}
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  // (s1 p1 o1), (s1 p1 o2), (s2 p1 o1), (s2 p2 o2)
+  void SetUp() override {
+    s1_ = store_.dictionary().InternIri("http://e/s1");
+    s2_ = store_.dictionary().InternIri("http://e/s2");
+    p1_ = store_.dictionary().InternIri("http://p/p1");
+    p2_ = store_.dictionary().InternIri("http://p/p2");
+    o1_ = store_.dictionary().InternLiteral("o1");
+    o2_ = store_.dictionary().InternLiteral("o2");
+    store_.Insert({s1_, p1_, o1_}, Prov("a"));
+    store_.Insert({s1_, p1_, o2_}, Prov("b"));
+    store_.Insert({s2_, p1_, o1_}, Prov("a"));
+    store_.Insert({s2_, p2_, o2_}, Prov("c"));
+  }
+
+  TripleStore store_;
+  TermId s1_, s2_, p1_, p2_, o1_, o2_;
+};
+
+TEST_F(TripleStoreTest, CountsClaimsAndDistinctTriples) {
+  EXPECT_EQ(store_.num_claims(), 4u);
+  EXPECT_EQ(store_.num_triples(), 4u);
+}
+
+TEST_F(TripleStoreTest, DuplicateClaimSharesTriple) {
+  store_.Insert({s1_, p1_, o1_}, Prov("d", 0.5));
+  EXPECT_EQ(store_.num_claims(), 5u);
+  EXPECT_EQ(store_.num_triples(), 4u);
+  // Both claims attach to the same distinct triple.
+  auto matches = store_.Match({s1_, p1_, o1_});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(store_.claims_of(matches[0]).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, ContainsExactTriples) {
+  EXPECT_TRUE(store_.Contains({s1_, p1_, o1_}));
+  EXPECT_FALSE(store_.Contains({s1_, p2_, o1_}));
+}
+
+TEST_F(TripleStoreTest, MatchFullyBound) {
+  EXPECT_EQ(store_.Match({s2_, p2_, o2_}).size(), 1u);
+  EXPECT_TRUE(store_.Match({s2_, p2_, o1_}).empty());
+}
+
+TEST_F(TripleStoreTest, MatchBySubject) {
+  EXPECT_EQ(store_.Match({s1_, 0, 0}).size(), 2u);
+  EXPECT_EQ(store_.Match({s2_, 0, 0}).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchByPredicate) {
+  EXPECT_EQ(store_.Match({0, p1_, 0}).size(), 3u);
+  EXPECT_EQ(store_.Match({0, p2_, 0}).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, MatchByObject) {
+  EXPECT_EQ(store_.Match({0, 0, o1_}).size(), 2u);
+  EXPECT_EQ(store_.Match({0, 0, o2_}).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchTwoBound) {
+  EXPECT_EQ(store_.Match({s1_, p1_, 0}).size(), 2u);
+  EXPECT_EQ(store_.Match({0, p1_, o1_}).size(), 2u);
+  EXPECT_EQ(store_.Match({s2_, 0, o2_}).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, MatchFullyUnboundReturnsAll) {
+  EXPECT_EQ(store_.Match({0, 0, 0}).size(), 4u);
+}
+
+TEST_F(TripleStoreTest, MatchUnknownTermReturnsEmpty) {
+  TermId ghost = store_.dictionary().InternIri("http://ghost");
+  EXPECT_TRUE(store_.Match({ghost, 0, 0}).empty());
+}
+
+TEST_F(TripleStoreTest, ObjectsOf) {
+  auto objects = store_.ObjectsOf(s1_, p1_);
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(objects[0], o1_);
+  EXPECT_EQ(objects[1], o2_);
+}
+
+TEST_F(TripleStoreTest, DecodeToString) {
+  auto matches = store_.Match({s2_, p2_, o2_});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(store_.DecodeToString(matches[0]),
+            "<http://e/s2> <http://p/p2> \"o2\" .");
+}
+
+TEST_F(TripleStoreTest, ProvenancePreserved) {
+  auto matches = store_.Match({s1_, p1_, o2_});
+  ASSERT_EQ(matches.size(), 1u);
+  const auto& claim_ids = store_.claims_of(matches[0]);
+  ASSERT_EQ(claim_ids.size(), 1u);
+  EXPECT_EQ(store_.claim(claim_ids[0]).provenance.source, "b");
+}
+
+TEST_F(TripleStoreTest, InsertDecodedInternsTerms) {
+  TripleStore fresh;
+  fresh.InsertDecoded(Term::Iri("http://e/x"), Term::Iri("http://p/y"),
+                      Term::Literal("z"),
+                      Provenance{"src", ExtractorKind::kDomTree, 0.7});
+  EXPECT_EQ(fresh.num_triples(), 1u);
+  EXPECT_EQ(fresh.claim(0).provenance.extractor, ExtractorKind::kDomTree);
+  EXPECT_DOUBLE_EQ(fresh.claim(0).provenance.confidence, 0.7);
+}
+
+TEST(ExtractorKindTest, AllKindsNamed) {
+  for (int k = 0; k <= 6; ++k) {
+    EXPECT_NE(ExtractorKindToString(static_cast<ExtractorKind>(k)),
+              "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace akb::rdf

@@ -1,0 +1,190 @@
+#include "synth/claim_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace akb::synth {
+namespace {
+
+ClaimGenConfig BaseConfig() {
+  ClaimGenConfig config;
+  config.num_items = 200;
+  config.domain_size = 8;
+  config.seed = 55;
+  config.sources = MakeSources(5, 0.6, 0.95, 0.8);
+  return config;
+}
+
+TEST(MakeSourcesTest, SpacesAccuracies) {
+  auto sources = MakeSources(3, 0.5, 0.9, 0.7);
+  ASSERT_EQ(sources.size(), 3u);
+  EXPECT_DOUBLE_EQ(sources[0].accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(sources[1].accuracy, 0.7);
+  EXPECT_DOUBLE_EQ(sources[2].accuracy, 0.9);
+  for (const auto& s : sources) EXPECT_DOUBLE_EQ(s.coverage, 0.7);
+}
+
+TEST(ClaimGenTest, ItemAndClaimVolume) {
+  FusionDataset dataset = GenerateClaims(BaseConfig());
+  EXPECT_EQ(dataset.items.size(), 200u);
+  // ~ 5 sources * 200 items * 0.8 coverage.
+  EXPECT_GT(dataset.claims.size(), 600u);
+  EXPECT_LT(dataset.claims.size(), 1000u);
+}
+
+TEST(ClaimGenTest, SingleTruthByDefault) {
+  FusionDataset dataset = GenerateClaims(BaseConfig());
+  for (const auto& item : dataset.items) {
+    EXPECT_EQ(item.truths.size(), 1u);
+    EXPECT_GE(item.domain.size(), 8u);
+  }
+}
+
+TEST(ClaimGenTest, TruthsAreInDomain) {
+  FusionDataset dataset = GenerateClaims(BaseConfig());
+  for (const auto& item : dataset.items) {
+    for (const auto& truth : item.truths) {
+      EXPECT_NE(std::find(item.domain.begin(), item.domain.end(), truth),
+                item.domain.end());
+    }
+  }
+}
+
+TEST(ClaimGenTest, SourceAccuracyReflectedInClaims) {
+  ClaimGenConfig config = BaseConfig();
+  config.num_items = 600;
+  FusionDataset dataset = GenerateClaims(config);
+  std::map<size_t, std::pair<size_t, size_t>> per_source;  // correct, total
+  for (const auto& claim : dataset.claims) {
+    auto& [correct, total] = per_source[claim.source];
+    ++total;
+    if (dataset.IsTrue(claim.item, claim.value)) ++correct;
+  }
+  for (size_t s = 0; s < dataset.sources.size(); ++s) {
+    double expected = dataset.sources[s].accuracy;
+    double observed =
+        double(per_source[s].first) / double(per_source[s].second);
+    EXPECT_NEAR(observed, expected, 0.06) << "source " << s;
+  }
+}
+
+TEST(ClaimGenTest, MultiTruthItemsGenerated) {
+  ClaimGenConfig config = BaseConfig();
+  config.multi_truth_rate = 0.5;
+  config.max_truths = 3;
+  FusionDataset dataset = GenerateClaims(config);
+  size_t multi = 0;
+  for (const auto& item : dataset.items) {
+    EXPECT_LE(item.truths.size(), 3u);
+    if (item.truths.size() > 1) ++multi;
+  }
+  EXPECT_NEAR(double(multi) / dataset.items.size(), 0.5, 0.1);
+}
+
+TEST(ClaimGenTest, HierarchicalItemsUseHierarchy) {
+  ClaimGenConfig config = BaseConfig();
+  config.hierarchical_rate = 1.0;
+  FusionDataset dataset = GenerateClaims(config);
+  EXPECT_GT(dataset.hierarchy.size(), 1u);
+  for (const auto& item : dataset.items) {
+    ASSERT_TRUE(item.hierarchical);
+    ASSERT_NE(item.truth_leaf, kNoHierarchyNode);
+    EXPECT_TRUE(dataset.hierarchy.children(item.truth_leaf).empty());
+    EXPECT_EQ(item.truths.front(), dataset.hierarchy.name(item.truth_leaf));
+  }
+}
+
+TEST(ClaimGenTest, IsTrueAcceptsAncestorsForHierarchicalItems) {
+  ClaimGenConfig config = BaseConfig();
+  config.hierarchical_rate = 1.0;
+  FusionDataset dataset = GenerateClaims(config);
+  const auto& item = dataset.items[0];
+  auto chain = dataset.hierarchy.RootChain(item.truth_leaf);
+  for (HierarchyNodeId node : chain) {
+    EXPECT_TRUE(dataset.IsTrue(0, dataset.hierarchy.name(node)));
+  }
+}
+
+TEST(ClaimGenTest, GeneralizeRateProducesAncestorClaims) {
+  ClaimGenConfig config = BaseConfig();
+  config.hierarchical_rate = 1.0;
+  for (auto& source : config.sources) {
+    source.generalize_rate = 0.6;
+    source.accuracy = 1.0;
+  }
+  FusionDataset dataset = GenerateClaims(config);
+  size_t generalized = 0, exact = 0;
+  for (const auto& claim : dataset.claims) {
+    const auto& item = dataset.items[claim.item];
+    if (claim.value == item.truths.front()) {
+      ++exact;
+    } else {
+      EXPECT_TRUE(dataset.IsTrue(claim.item, claim.value)) << claim.value;
+      ++generalized;
+    }
+  }
+  EXPECT_GT(generalized, 0u);
+  EXPECT_GT(exact, 0u);
+}
+
+TEST(ClaimGenTest, CopierMirrorsTarget) {
+  ClaimGenConfig config = BaseConfig();
+  config.sources = MakeSources(2, 0.7, 0.7, 0.9);
+  SourceSpec copier;
+  copier.name = "copier";
+  copier.accuracy = 0.7;
+  copier.coverage = 0.9;
+  copier.copies_from = 0;
+  copier.copy_rate = 1.0;
+  config.sources.push_back(copier);
+  FusionDataset dataset = GenerateClaims(config);
+
+  std::map<size_t, std::map<size_t, std::string>> by_item;
+  for (const auto& claim : dataset.claims) {
+    by_item[claim.item][claim.source] = claim.value;
+  }
+  size_t both = 0, agree = 0;
+  for (const auto& [item, claims] : by_item) {
+    auto target = claims.find(0);
+    auto copy = claims.find(2);
+    if (target == claims.end() || copy == claims.end()) continue;
+    ++both;
+    if (target->second == copy->second) ++agree;
+  }
+  ASSERT_GT(both, 50u);
+  EXPECT_GT(double(agree) / double(both), 0.95);
+}
+
+TEST(ClaimGenTest, IndependentSourcesAgreeLess) {
+  ClaimGenConfig config = BaseConfig();
+  config.sources = MakeSources(2, 0.7, 0.7, 0.9);
+  FusionDataset dataset = GenerateClaims(config);
+  std::map<size_t, std::map<size_t, std::string>> by_item;
+  for (const auto& claim : dataset.claims) {
+    by_item[claim.item][claim.source] = claim.value;
+  }
+  size_t both = 0, agree = 0;
+  for (const auto& [item, claims] : by_item) {
+    if (claims.size() < 2) continue;
+    ++both;
+    if (claims.at(0) == claims.at(1)) ++agree;
+  }
+  // Two 0.7-accurate independent sources agree ~0.49 + eps of the time.
+  EXPECT_LT(double(agree) / double(both), 0.75);
+}
+
+TEST(ClaimGenTest, DeterministicForSeed) {
+  FusionDataset a = GenerateClaims(BaseConfig());
+  FusionDataset b = GenerateClaims(BaseConfig());
+  ASSERT_EQ(a.claims.size(), b.claims.size());
+  for (size_t i = 0; i < a.claims.size(); ++i) {
+    EXPECT_EQ(a.claims[i].value, b.claims[i].value);
+    EXPECT_EQ(a.claims[i].item, b.claims[i].item);
+    EXPECT_EQ(a.claims[i].source, b.claims[i].source);
+  }
+}
+
+}  // namespace
+}  // namespace akb::synth

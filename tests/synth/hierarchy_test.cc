@@ -1,0 +1,104 @@
+#include "synth/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::synth {
+namespace {
+
+class HierarchyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // root -> {Australia -> {SA -> {Adelaide}, NSW -> {Sydney}}, China ->
+    // {Hubei -> {Wuhan}}}
+    australia_ = h_.AddChild(kHierarchyRoot, "Australia");
+    sa_ = h_.AddChild(australia_, "South Australia");
+    adelaide_ = h_.AddChild(sa_, "Adelaide");
+    nsw_ = h_.AddChild(australia_, "New South Wales");
+    sydney_ = h_.AddChild(nsw_, "Sydney");
+    china_ = h_.AddChild(kHierarchyRoot, "China");
+    hubei_ = h_.AddChild(china_, "Hubei");
+    wuhan_ = h_.AddChild(hubei_, "Wuhan");
+  }
+
+  ValueHierarchy h_;
+  HierarchyNodeId australia_, sa_, adelaide_, nsw_, sydney_, china_, hubei_,
+      wuhan_;
+};
+
+TEST_F(HierarchyTest, SizeCountsRoot) { EXPECT_EQ(h_.size(), 9u); }
+
+TEST_F(HierarchyTest, ParentAndDepth) {
+  EXPECT_EQ(h_.parent(adelaide_), sa_);
+  EXPECT_EQ(h_.parent(sa_), australia_);
+  EXPECT_EQ(h_.parent(australia_), kHierarchyRoot);
+  EXPECT_EQ(h_.depth(kHierarchyRoot), 0u);
+  EXPECT_EQ(h_.depth(australia_), 1u);
+  EXPECT_EQ(h_.depth(adelaide_), 3u);
+}
+
+TEST_F(HierarchyTest, FindByName) {
+  EXPECT_EQ(h_.Find("Wuhan"), wuhan_);
+  EXPECT_EQ(h_.Find("Nowhere"), kNoHierarchyNode);
+}
+
+TEST_F(HierarchyTest, IsAncestorOrSelf) {
+  // The paper's example: (X, birth place, China) and (X, birth place,
+  // Wuhan) are both true.
+  EXPECT_TRUE(h_.IsAncestorOrSelf(china_, wuhan_));
+  EXPECT_TRUE(h_.IsAncestorOrSelf(hubei_, wuhan_));
+  EXPECT_TRUE(h_.IsAncestorOrSelf(wuhan_, wuhan_));
+  EXPECT_FALSE(h_.IsAncestorOrSelf(wuhan_, china_));
+  EXPECT_FALSE(h_.IsAncestorOrSelf(australia_, wuhan_));
+  EXPECT_TRUE(h_.IsAncestorOrSelf(kHierarchyRoot, wuhan_));
+}
+
+TEST_F(HierarchyTest, RootChainExcludesRoot) {
+  auto chain = h_.RootChain(adelaide_);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], australia_);
+  EXPECT_EQ(chain[1], sa_);
+  EXPECT_EQ(chain[2], adelaide_);
+}
+
+TEST_F(HierarchyTest, LeavesAreChildless) {
+  auto leaves = h_.Leaves();
+  EXPECT_EQ(leaves.size(), 3u);  // Adelaide, Sydney, Wuhan
+  for (HierarchyNodeId leaf : leaves) {
+    EXPECT_TRUE(h_.children(leaf).empty());
+  }
+}
+
+TEST_F(HierarchyTest, Lca) {
+  EXPECT_EQ(h_.Lca(adelaide_, sydney_), australia_);
+  EXPECT_EQ(h_.Lca(adelaide_, wuhan_), kHierarchyRoot);
+  EXPECT_EQ(h_.Lca(adelaide_, sa_), sa_);
+  EXPECT_EQ(h_.Lca(wuhan_, wuhan_), wuhan_);
+}
+
+TEST(BuildLocationHierarchyTest, ShapeMatchesParameters) {
+  ValueHierarchy h = BuildLocationHierarchy(3, 2, 4, 99);
+  // 1 root + 3 countries + 6 regions + 24 cities.
+  EXPECT_EQ(h.size(), 34u);
+  EXPECT_EQ(h.children(kHierarchyRoot).size(), 3u);
+  EXPECT_EQ(h.Leaves().size(), 24u);
+  for (HierarchyNodeId leaf : h.Leaves()) EXPECT_EQ(h.depth(leaf), 3u);
+}
+
+TEST(BuildLocationHierarchyTest, DeterministicForSeed) {
+  ValueHierarchy a = BuildLocationHierarchy(2, 2, 2, 7);
+  ValueHierarchy b = BuildLocationHierarchy(2, 2, 2, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (HierarchyNodeId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.name(i), b.name(i));
+  }
+}
+
+TEST(BuildLocationHierarchyTest, NamesAreUnique) {
+  ValueHierarchy h = BuildLocationHierarchy(4, 3, 3, 5);
+  for (HierarchyNodeId i = 1; i < h.size(); ++i) {
+    EXPECT_EQ(h.Find(h.name(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace akb::synth

@@ -1,0 +1,252 @@
+#include "synth/kb_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace akb::synth {
+namespace {
+
+class KbGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override { world_ = World::Build(WorldConfig::Small()); }
+
+  KbProfile SmallProfile() {
+    KbProfile profile;
+    profile.kb_name = "TestKb";
+    profile.seed = 9;
+    KbClassProfile cp;
+    cp.class_name = "Book";
+    cp.attr_offset = 2;
+    cp.instance_attributes = 8;
+    cp.declared_attributes = 4;
+    cp.entity_coverage = 0.8;
+    cp.fact_coverage = 0.6;
+    profile.classes = {cp};
+    return profile;
+  }
+
+  World world_ = World::Build(WorldConfig::Small());
+};
+
+TEST_F(KbGenTest, RespectsAttributeWindow) {
+  KbSnapshot kb = GenerateKb(world_, SmallProfile());
+  ASSERT_EQ(kb.classes.size(), 1u);
+  const KbClass& cls = kb.classes[0];
+  EXPECT_EQ(cls.attributes.size(), 8u);
+  for (const auto& attribute : cls.attributes) {
+    EXPECT_GE(attribute.canonical, 2u);
+    EXPECT_LT(attribute.canonical, 10u);
+  }
+  EXPECT_EQ(cls.NumDeclared(), 4u);
+}
+
+TEST_F(KbGenTest, DeclaredAttributesAreWindowPrefix) {
+  KbSnapshot kb = GenerateKb(world_, SmallProfile());
+  const KbClass& cls = kb.classes[0];
+  for (const auto& attribute : cls.attributes) {
+    if (attribute.declared) {
+      EXPECT_LT(attribute.canonical, 2u + 4u);
+    }
+  }
+}
+
+TEST_F(KbGenTest, EntityCoverageApproximate) {
+  KbSnapshot kb = GenerateKb(world_, SmallProfile());
+  const KbClass& cls = kb.classes[0];
+  // 0.8 * 15 = 12.
+  EXPECT_EQ(cls.entities.size(), 12u);
+  EXPECT_EQ(cls.entity_names.size(), cls.entities.size());
+  // Names resolve against the world.
+  for (size_t i = 0; i < cls.entities.size(); ++i) {
+    EXPECT_EQ(cls.entity_names[i],
+              world_.cls(0).entities[cls.entities[i]].name);
+  }
+}
+
+TEST_F(KbGenTest, EntityNameLookup) {
+  KbSnapshot kb = GenerateKb(world_, SmallProfile());
+  const KbClass& cls = kb.classes[0];
+  EXPECT_EQ(cls.EntityName(cls.entities[0]), cls.entity_names[0]);
+}
+
+TEST_F(KbGenTest, FactsReferenceKnownAttributesAndEntities) {
+  KbSnapshot kb = GenerateKb(world_, SmallProfile());
+  const KbClass& cls = kb.classes[0];
+  std::set<EntityId> entity_set(cls.entities.begin(), cls.entities.end());
+  EXPECT_GT(cls.facts.size(), 0u);
+  for (const KbFact& fact : cls.facts) {
+    EXPECT_TRUE(entity_set.count(fact.entity));
+    ASSERT_LT(fact.attribute_index, cls.attributes.size());
+    const auto& surfaces = cls.attributes[fact.attribute_index].surfaces;
+    EXPECT_NE(std::find(surfaces.begin(), surfaces.end(), fact.surface),
+              surfaces.end());
+    EXPECT_FALSE(fact.value.empty());
+  }
+}
+
+TEST_F(KbGenTest, ErrorLedgerMatchesWorldTruth) {
+  KbProfile profile = SmallProfile();
+  profile.classes[0].error_rate = 0.3;
+  KbSnapshot kb = GenerateKb(world_, profile);
+  const KbClass& cls = kb.classes[0];
+  size_t correct = 0;
+  for (const KbFact& fact : cls.facts) {
+    bool truth =
+        world_.IsTrueValue(0, fact.entity,
+                           cls.attributes[fact.attribute_index].canonical,
+                           fact.value);
+    EXPECT_EQ(truth, fact.correct)
+        << fact.value << " for attribute "
+        << cls.attributes[fact.attribute_index].surfaces.front();
+    if (fact.correct) ++correct;
+  }
+  // Roughly 70% correct.
+  double rate = double(correct) / double(cls.facts.size());
+  EXPECT_GT(rate, 0.55);
+  EXPECT_LT(rate, 0.85);
+}
+
+TEST_F(KbGenTest, ZeroErrorRateAllCorrect) {
+  KbProfile profile = SmallProfile();
+  profile.classes[0].error_rate = 0.0;
+  KbSnapshot kb = GenerateKb(world_, profile);
+  for (const KbFact& fact : kb.classes[0].facts) {
+    EXPECT_TRUE(fact.correct);
+  }
+}
+
+TEST_F(KbGenTest, DeterministicForSeed) {
+  KbSnapshot a = GenerateKb(world_, SmallProfile());
+  KbSnapshot b = GenerateKb(world_, SmallProfile());
+  ASSERT_EQ(a.classes[0].facts.size(), b.classes[0].facts.size());
+  for (size_t i = 0; i < a.classes[0].facts.size(); ++i) {
+    EXPECT_EQ(a.classes[0].facts[i].value, b.classes[0].facts[i].value);
+    EXPECT_EQ(a.classes[0].facts[i].surface, b.classes[0].facts[i].surface);
+  }
+}
+
+TEST_F(KbGenTest, UnknownClassSkipped) {
+  KbProfile profile = SmallProfile();
+  profile.classes[0].class_name = "NoSuchClass";
+  KbSnapshot kb = GenerateKb(world_, profile);
+  EXPECT_TRUE(kb.classes.empty());
+}
+
+TEST_F(KbGenTest, WindowTruncatedAtInventoryEnd) {
+  KbProfile profile = SmallProfile();
+  profile.classes[0].attr_offset = 10;
+  profile.classes[0].instance_attributes = 50;  // Book has only 12
+  KbSnapshot kb = GenerateKb(world_, profile);
+  EXPECT_EQ(kb.classes[0].attributes.size(), 2u);
+}
+
+TEST_F(KbGenTest, FindClassAndTotals) {
+  KbSnapshot kb = GenerateKb(world_, SmallProfile());
+  EXPECT_NE(kb.FindClass("Book"), nullptr);
+  EXPECT_EQ(kb.FindClass("Film"), nullptr);
+  EXPECT_EQ(kb.TotalEntities(), kb.classes[0].entities.size());
+  EXPECT_EQ(kb.TotalDeclaredAttributes(), 4u);
+  EXPECT_EQ(kb.TotalFacts(), kb.classes[0].facts.size());
+}
+
+TEST_F(KbGenTest, SubAttributeCompanionsGenerated) {
+  WorldConfig wc = WorldConfig::Small();
+  wc.location_attribute_rate = 0.5;
+  World world = World::Build(wc);
+
+  KbProfile profile;
+  profile.kb_name = "SubKb";
+  profile.seed = 77;
+  KbClassProfile cp;
+  cp.class_name = "Film";
+  cp.instance_attributes = 14;
+  cp.declared_attributes = 7;
+  cp.fact_coverage = 1.0;
+  cp.error_rate = 0.0;
+  cp.sub_attribute_rate = 1.0;
+  profile.classes = {cp};
+  KbSnapshot kb = GenerateKb(world, profile);
+  const KbClass& cls = kb.classes[0];
+
+  auto cls_id = world.FindClass("Film");
+  const auto& world_cls = world.cls(*cls_id);
+  size_t location_attrs = 0;
+  for (const auto& spec : world_cls.attributes) {
+    if (spec.domain == ValueDomainKind::kLocation) ++location_attrs;
+  }
+  ASSERT_GT(location_attrs, 0u);
+  // One "<name> country" companion per location attribute (rate 1.0).
+  size_t companions = 0;
+  for (const auto& attribute : cls.attributes) {
+    if (attribute.surfaces.size() == 1 &&
+        attribute.surfaces[0].find(" country") != std::string::npos) {
+      ++companions;
+      EXPECT_FALSE(attribute.declared);
+    }
+  }
+  EXPECT_EQ(companions, location_attrs);
+
+  // Companion facts report top-level (country) hierarchy values that are
+  // ancestors of the entity's true leaf.
+  for (const KbFact& fact : cls.facts) {
+    const auto& surfaces = cls.attributes[fact.attribute_index].surfaces;
+    if (surfaces.size() != 1 ||
+        surfaces[0].find(" country") == std::string::npos) {
+      continue;
+    }
+    HierarchyNodeId node = world.hierarchy().Find(fact.value);
+    ASSERT_NE(node, kNoHierarchyNode) << fact.value;
+    EXPECT_EQ(world.hierarchy().depth(node), 1u);  // country level
+    const Fact& truth = world_cls.entities[fact.entity]
+                            .facts[cls.attributes[fact.attribute_index]
+                                       .canonical];
+    EXPECT_TRUE(world.hierarchy().IsAncestorOrSelf(node, truth.location));
+  }
+}
+
+TEST(PaperProfilesTest, MatchTableTwoGroundTruth) {
+  // The paper KB profiles encode Table 2: instance windows and offsets are
+  // chosen so |DBpedia ∪ Freebase| per class equals the Combine column.
+  KbProfile dbp = PaperDbpediaProfile();
+  KbProfile fb = PaperFreebaseProfile();
+  struct Row {
+    const char* cls;
+    size_t dbp_decl, dbp_inst, fb_decl, fb_inst, combine;
+  } rows[] = {{"Book", 21, 48, 5, 19, 60},
+              {"Film", 53, 53, 54, 54, 92},
+              {"Country", 191, 360, 22, 150, 489},
+              {"University", 21, 484, 9, 57, 518},
+              {"Hotel", 18, 216, 7, 56, 255}};
+  ASSERT_EQ(dbp.classes.size(), 5u);
+  ASSERT_EQ(fb.classes.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(dbp.classes[i].class_name, rows[i].cls);
+    EXPECT_EQ(dbp.classes[i].declared_attributes, rows[i].dbp_decl);
+    EXPECT_EQ(dbp.classes[i].instance_attributes, rows[i].dbp_inst);
+    EXPECT_EQ(fb.classes[i].declared_attributes, rows[i].fb_decl);
+    EXPECT_EQ(fb.classes[i].instance_attributes, rows[i].fb_inst);
+    // Union arithmetic.
+    size_t overlap = dbp.classes[i].instance_attributes +
+                     fb.classes[i].instance_attributes - rows[i].combine;
+    EXPECT_EQ(fb.classes[i].attr_offset,
+              dbp.classes[i].instance_attributes - overlap);
+  }
+}
+
+TEST(GenerateProfileKbTest, TotalsMatchRequest) {
+  KbSnapshot kb = GenerateProfileKb("YAGO-model", 10000, 100, 1);
+  EXPECT_EQ(kb.name, "YAGO-model");
+  EXPECT_EQ(kb.TotalEntities(), 10000u);
+  EXPECT_EQ(kb.TotalDeclaredAttributes(), 100u);
+}
+
+TEST(GenerateProfileKbTest, LargeAttributeCountSplitsClasses) {
+  KbSnapshot kb = GenerateProfileKb("DBpedia-model", 4000, 6000, 2);
+  EXPECT_EQ(kb.TotalDeclaredAttributes(), 6000u);
+  EXPECT_EQ(kb.TotalEntities(), 4000u);
+  EXPECT_GE(kb.classes.size(), 30u);
+}
+
+}  // namespace
+}  // namespace akb::synth

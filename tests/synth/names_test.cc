@@ -1,0 +1,77 @@
+#include "synth/names.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace akb::synth {
+namespace {
+
+TEST(PlaceNameGeneratorTest, UniqueAndDeterministic) {
+  PlaceNameGenerator a{Rng(1)}, b{Rng(1)};
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::string name = a.Next();
+    EXPECT_EQ(name, b.Next());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate: " << name;
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[0])));
+  }
+}
+
+TEST(TitleGeneratorTest, UniqueTitlesStartWithThe) {
+  TitleGenerator gen{Rng(2)};
+  std::set<std::string> seen;
+  for (int i = 0; i < 800; ++i) {
+    std::string title = gen.Next();
+    EXPECT_TRUE(seen.insert(title).second);
+    EXPECT_EQ(title.rfind("The ", 0), 0u) << title;
+  }
+}
+
+TEST(PersonNameGeneratorTest, TwoWordsTitleCase) {
+  PersonNameGenerator gen{Rng(3)};
+  std::set<std::string> seen;
+  for (int i = 0; i < 400; ++i) {
+    std::string name = gen.Next();
+    EXPECT_TRUE(seen.insert(name).second);
+    size_t space = name.find(' ');
+    ASSERT_NE(space, std::string::npos);
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[0])));
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(name[space + 1])));
+  }
+}
+
+TEST(AttributePhraseGeneratorTest, CountAndUniqueness) {
+  AttributePhraseGenerator gen{Rng(4)};
+  auto phrases = gen.Generate(600);
+  EXPECT_EQ(phrases.size(), 600u);
+  std::set<std::string> distinct(phrases.begin(), phrases.end());
+  EXPECT_EQ(distinct.size(), 600u);
+}
+
+TEST(AttributePhraseGeneratorTest, DeterministicForSeed) {
+  AttributePhraseGenerator a{Rng(5)}, b{Rng(5)};
+  EXPECT_EQ(a.Generate(50), b.Generate(50));
+}
+
+TEST(AttributePhraseGeneratorTest, LowercaseWords) {
+  AttributePhraseGenerator gen{Rng(6)};
+  for (const auto& phrase : gen.Generate(100)) {
+    for (char c : phrase) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) || c == ' ' ||
+                  std::isdigit(static_cast<unsigned char>(c)))
+          << phrase;
+    }
+  }
+}
+
+TEST(AttributePhraseGeneratorTest, HugeRequestStillUnique) {
+  AttributePhraseGenerator gen{Rng(7)};
+  auto phrases = gen.Generate(2500);  // beyond the cross-product pool
+  std::set<std::string> distinct(phrases.begin(), phrases.end());
+  EXPECT_EQ(distinct.size(), phrases.size());
+}
+
+}  // namespace
+}  // namespace akb::synth

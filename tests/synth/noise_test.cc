@@ -1,0 +1,124 @@
+#include "synth/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace akb::synth {
+namespace {
+
+TEST(MisspellTest, ChangesWordByOneEdit) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::string out = Misspell("budget", &rng);
+    EXPECT_NE(out, "budget");
+    EXPECT_LE(EditDistance(out, "budget"), 2u);  // swap counts as 2 units
+    EXPECT_GE(out.size(), 5u);
+    EXPECT_LE(out.size(), 7u);
+  }
+}
+
+TEST(MisspellTest, SingleCharacterWordStillEdited) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    std::string out = Misspell("a", &rng);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(MisspellTest, EmptyStringUnchanged) {
+  Rng rng(3);
+  EXPECT_EQ(Misspell("", &rng), "");
+}
+
+TEST(MisspellTest, DeterministicForSeed) {
+  Rng a(4), b(4);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(Misspell("population", &a), Misspell("population", &b));
+  }
+}
+
+TEST(RenderSurfaceTest, DeterministicStyles) {
+  Rng rng(5);
+  EXPECT_EQ(RenderSurface("birth place", SurfaceStyle::kPlain, &rng),
+            "birth place");
+  EXPECT_EQ(RenderSurface("birth place", SurfaceStyle::kTitle, &rng),
+            "Birth Place");
+  EXPECT_EQ(RenderSurface("birth place", SurfaceStyle::kSnake, &rng),
+            "birth_place");
+  EXPECT_EQ(RenderSurface("birth place", SurfaceStyle::kCamel, &rng),
+            "birthPlace");
+  EXPECT_EQ(RenderSurface("birth place", SurfaceStyle::kHyphen, &rng),
+            "birth-place");
+  EXPECT_EQ(RenderSurface("birth place", SurfaceStyle::kOfForm, &rng),
+            "place of birth");
+}
+
+TEST(RenderSurfaceTest, OfFormWithThreeWords) {
+  Rng rng(6);
+  EXPECT_EQ(RenderSurface("total gross revenue", SurfaceStyle::kOfForm, &rng),
+            "revenue of total gross");
+}
+
+TEST(RenderSurfaceTest, SingleWordOfFormIsIdentity) {
+  Rng rng(7);
+  EXPECT_EQ(RenderSurface("budget", SurfaceStyle::kOfForm, &rng), "budget");
+}
+
+TEST(RenderSurfaceTest, MisspelledDiffersFromOriginal) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(RenderSurface("birth place", SurfaceStyle::kMisspelled, &rng),
+              "birth place");
+  }
+}
+
+TEST(RenderSurfaceTest, VariantsNormalizeBackToCanonical) {
+  // The dedup pipeline depends on identifier styles normalizing to the
+  // plain phrase.
+  Rng rng(9);
+  for (SurfaceStyle style :
+       {SurfaceStyle::kTitle, SurfaceStyle::kSnake, SurfaceStyle::kCamel,
+        SurfaceStyle::kHyphen}) {
+    std::string rendered = RenderSurface("release date", style, &rng);
+    EXPECT_EQ(NormalizeIdentifier(rendered), "release date") << rendered;
+  }
+}
+
+TEST(SampleStyleTest, RatesZeroGivePlain) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleStyle(0.0, 0.0, &rng), SurfaceStyle::kPlain);
+  }
+}
+
+TEST(SampleStyleTest, RateOneNeverPlain) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(SampleStyle(1.0, 0.0, &rng), SurfaceStyle::kPlain);
+    EXPECT_NE(SampleStyle(1.0, 0.0, &rng), SurfaceStyle::kMisspelled);
+  }
+}
+
+TEST(SampleStyleTest, MisspellRateOne) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleStyle(0.0, 1.0, &rng), SurfaceStyle::kMisspelled);
+  }
+}
+
+TEST(SampleStyleTest, ApproximateRates) {
+  Rng rng(13);
+  int variants = 0, misspells = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    SurfaceStyle style = SampleStyle(0.3, 0.1, &rng);
+    if (style == SurfaceStyle::kMisspelled) ++misspells;
+    else if (style != SurfaceStyle::kPlain) ++variants;
+  }
+  EXPECT_NEAR(variants / double(n), 0.3, 0.02);
+  EXPECT_NEAR(misspells / double(n), 0.1, 0.02);
+}
+
+}  // namespace
+}  // namespace akb::synth

@@ -1,0 +1,143 @@
+#include "synth/query_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace akb::synth {
+namespace {
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  QueryLogConfig Config() {
+    QueryLogConfig config;
+    config.seed = 41;
+    config.total_records = 3000;
+    config.classes = {
+        {"Book", 800, 8, 0.3},
+        {"Film", 600, 10, 0.5},
+        {"Country", 400, 6, 0.97},
+    };
+    return config;
+  }
+
+  World world_ = World::Build(WorldConfig::Small());
+};
+
+TEST_F(QueryGenTest, TotalVolumeMatches) {
+  auto log = GenerateQueryLog(world_, Config());
+  EXPECT_EQ(log.size(), 3000u);
+}
+
+TEST_F(QueryGenTest, PerClassRelevantCounts) {
+  auto log = GenerateQueryLog(world_, Config());
+  size_t book = 0, film = 0, country = 0, junk = 0;
+  for (const auto& record : log) {
+    if (record.cls == QueryRecord::kNoLedger) {
+      ++junk;
+    } else if (world_.cls(record.cls).name == "Book") {
+      ++book;
+    } else if (world_.cls(record.cls).name == "Film") {
+      ++film;
+    } else {
+      ++country;
+    }
+  }
+  EXPECT_EQ(book, 800u);
+  EXPECT_EQ(film, 600u);
+  EXPECT_EQ(country, 400u);
+  EXPECT_EQ(junk, 3000u - 1800u);
+}
+
+TEST_F(QueryGenTest, NavigationalRateControlsAttributeQueries) {
+  auto log = GenerateQueryLog(world_, Config());
+  size_t country_attr = 0, country_total = 0;
+  for (const auto& record : log) {
+    if (record.cls != QueryRecord::kNoLedger &&
+        world_.cls(record.cls).name == "Country") {
+      ++country_total;
+      if (record.attribute != QueryRecord::kNoLedger) ++country_attr;
+    }
+  }
+  // Nav rate 0.97: very few attribute queries.
+  EXPECT_LT(double(country_attr) / double(country_total), 0.08);
+}
+
+TEST_F(QueryGenTest, AttributeQueriesMentionAttributeAndEntity) {
+  auto log = GenerateQueryLog(world_, Config());
+  size_t checked = 0;
+  for (const auto& record : log) {
+    if (record.cls == QueryRecord::kNoLedger ||
+        record.attribute == QueryRecord::kNoLedger) {
+      continue;
+    }
+    const WorldClass& wc = world_.cls(record.cls);
+    const std::string attr = ToLower(wc.attributes[record.attribute].name);
+    // Tolerate misspellings: only check pristine records.
+    if (record.query.find(attr) != std::string::npos) ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(QueryGenTest, QueriedAttributePoolRespected) {
+  auto log = GenerateQueryLog(world_, Config());
+  for (const auto& record : log) {
+    if (record.attribute == QueryRecord::kNoLedger) continue;
+    if (record.cls == QueryRecord::kNoLedger) continue;
+    const auto& cc = Config().classes;
+    for (const auto& c : cc) {
+      if (world_.cls(record.cls).name == c.class_name) {
+        EXPECT_LT(record.attribute, c.queried_attributes);
+      }
+    }
+  }
+}
+
+TEST_F(QueryGenTest, QueriesAreLowercase) {
+  auto log = GenerateQueryLog(world_, Config());
+  for (const auto& record : log) {
+    for (char c : record.query) {
+      EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)))
+          << record.query;
+    }
+  }
+}
+
+TEST_F(QueryGenTest, DeterministicForSeed) {
+  auto a = GenerateQueryLog(world_, Config());
+  auto b = GenerateQueryLog(world_, Config());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].query, b[i].query);
+}
+
+TEST_F(QueryGenTest, ShuffledNotGrouped) {
+  auto log = GenerateQueryLog(world_, Config());
+  // The first 100 records should mix classes (not all Book).
+  std::set<uint32_t> classes_seen;
+  for (size_t i = 0; i < 100; ++i) classes_seen.insert(log[i].cls);
+  EXPECT_GT(classes_seen.size(), 1u);
+}
+
+TEST(QueryLogPaperDefaultTest, ScalesTableThree) {
+  QueryLogConfig config = QueryLogConfig::PaperDefault(100);
+  EXPECT_EQ(config.total_records, 292839u);
+  ASSERT_EQ(config.classes.size(), 5u);
+  EXPECT_EQ(config.classes[0].class_name, "Book");
+  EXPECT_EQ(config.classes[0].relevant_records, 2595u);
+  EXPECT_EQ(config.classes[1].relevant_records, 4036u);
+  EXPECT_EQ(config.classes[2].relevant_records, 3932u);
+  EXPECT_EQ(config.classes[3].relevant_records, 246u);
+  EXPECT_EQ(config.classes[4].relevant_records, 155u);
+  // Hotel is nearly all navigational: the N/A row of Table 3.
+  EXPECT_GT(config.classes[4].navigational_rate, 0.9);
+}
+
+TEST(QueryLogPaperDefaultTest, DivisorZeroTreatedAsOne) {
+  QueryLogConfig config = QueryLogConfig::PaperDefault(0);
+  EXPECT_EQ(config.total_records, 29283918u);
+}
+
+}  // namespace
+}  // namespace akb::synth

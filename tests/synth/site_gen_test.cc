@@ -1,0 +1,165 @@
+#include "synth/site_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "html/dom.h"
+#include "html/tag_path.h"
+
+namespace akb::synth {
+namespace {
+
+class SiteGenTest : public ::testing::Test {
+ protected:
+  SiteConfig Config() {
+    SiteConfig config;
+    config.class_name = "Film";
+    config.num_sites = 3;
+    config.pages_per_site = 6;
+    config.attribute_coverage = 0.4;
+    config.seed = 21;
+    return config;
+  }
+
+  World world_ = World::Build(WorldConfig::Small());
+};
+
+TEST_F(SiteGenTest, GeneratesRequestedVolume) {
+  auto sites = GenerateSites(world_, Config());
+  ASSERT_EQ(sites.size(), 3u);
+  for (const auto& site : sites) {
+    EXPECT_EQ(site.pages.size(), 6u);
+    EXPECT_EQ(site.class_name, "Film");
+    EXPECT_NE(site.domain.find(".example.com"), std::string::npos);
+  }
+}
+
+TEST_F(SiteGenTest, DomainsAreDistinct) {
+  auto sites = GenerateSites(world_, Config());
+  std::set<std::string> domains;
+  for (const auto& site : sites) domains.insert(site.domain);
+  EXPECT_EQ(domains.size(), sites.size());
+}
+
+TEST_F(SiteGenTest, PagesParse) {
+  for (const auto& site : GenerateSites(world_, Config())) {
+    for (const auto& page : site.pages) {
+      html::Document doc = html::ParseHtml(page.html);
+      EXPECT_GT(doc.NodeCount(), 10u);
+      ASSERT_NE(doc.FirstByTag("h1"), nullptr);
+      EXPECT_EQ(doc.FirstByTag("h1")->InnerText(), page.entity_name);
+    }
+  }
+}
+
+TEST_F(SiteGenTest, LedgerMatchesRenderedText) {
+  for (const auto& site : GenerateSites(world_, Config())) {
+    for (const auto& page : site.pages) {
+      html::Document doc = html::ParseHtml(page.html);
+      std::set<std::string> texts;
+      for (const auto* node : doc.TextNodes()) {
+        texts.insert(std::string(Trim(node->text())));
+      }
+      for (const auto& pair : page.pairs) {
+        EXPECT_TRUE(texts.count(pair.label))
+            << "label '" << pair.label << "' not rendered";
+        EXPECT_TRUE(texts.count(pair.value))
+            << "value '" << pair.value << "' not rendered";
+      }
+    }
+  }
+}
+
+TEST_F(SiteGenTest, LedgerAttributesValid) {
+  auto cls_id = world_.FindClass("Film");
+  ASSERT_TRUE(cls_id.has_value());
+  const WorldClass& wc = world_.cls(*cls_id);
+  for (const auto& site : GenerateSites(world_, Config())) {
+    for (const auto& page : site.pages) {
+      EXPECT_FALSE(page.pairs.empty());
+      std::set<AttributeId> seen;
+      for (const auto& pair : page.pairs) {
+        ASSERT_LT(pair.attribute, wc.attributes.size());
+        EXPECT_TRUE(seen.insert(pair.attribute).second)
+            << "attribute rendered twice on one page";
+      }
+    }
+  }
+}
+
+TEST_F(SiteGenTest, ValueCorrectnessLedgerConsistent) {
+  SiteConfig config = Config();
+  config.value_error_rate = 0.4;
+  auto cls_id = world_.FindClass("Film");
+  for (const auto& site : GenerateSites(world_, config)) {
+    for (const auto& page : site.pages) {
+      for (const auto& pair : page.pairs) {
+        EXPECT_EQ(world_.IsTrueValue(*cls_id, page.entity, pair.attribute,
+                                     pair.value),
+                  pair.value_correct)
+            << pair.value;
+      }
+    }
+  }
+}
+
+TEST_F(SiteGenTest, IntraSiteLabelPathsConsistentPerPage) {
+  // The property Algorithm 1 exploits: on one page, all attribute labels
+  // share one entity-to-label tag path.
+  for (const auto& site : GenerateSites(world_, Config())) {
+    const auto& page = site.pages.front();
+    html::Document doc = html::ParseHtml(page.html);
+    const html::Node* h1_text = nullptr;
+    for (const auto* node : doc.TextNodes()) {
+      if (Trim(node->text()) == page.entity_name &&
+          node->parent()->tag() == "h1") {
+        h1_text = node;
+      }
+    }
+    ASSERT_NE(h1_text, nullptr);
+    std::set<std::string> label_texts, label_paths;
+    for (const auto& pair : page.pairs) label_texts.insert(pair.label);
+    for (const auto* node : doc.TextNodes()) {
+      if (label_texts.count(std::string(Trim(node->text())))) {
+        label_paths.insert(html::PathBetween(h1_text, node).ToString());
+      }
+    }
+    EXPECT_EQ(label_paths.size(), 1u)
+        << "labels on one page should share a single canonical path";
+  }
+}
+
+TEST_F(SiteGenTest, DeterministicForSeed) {
+  auto a = GenerateSites(world_, Config());
+  auto b = GenerateSites(world_, Config());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].domain, b[s].domain);
+    ASSERT_EQ(a[s].pages.size(), b[s].pages.size());
+    for (size_t p = 0; p < a[s].pages.size(); ++p) {
+      EXPECT_EQ(a[s].pages[p].html, b[s].pages[p].html);
+    }
+  }
+}
+
+TEST_F(SiteGenTest, UnknownClassYieldsNothing) {
+  SiteConfig config = Config();
+  config.class_name = "Ghost";
+  EXPECT_TRUE(GenerateSites(world_, config).empty());
+}
+
+TEST_F(SiteGenTest, CoverageControlsPairCount) {
+  SiteConfig narrow = Config();
+  narrow.attribute_coverage = 0.15;
+  SiteConfig wide = Config();
+  wide.attribute_coverage = 0.9;
+  auto narrow_sites = GenerateSites(world_, narrow);
+  auto wide_sites = GenerateSites(world_, wide);
+  EXPECT_LT(narrow_sites[0].pages[0].pairs.size(),
+            wide_sites[0].pages[0].pairs.size());
+}
+
+}  // namespace
+}  // namespace akb::synth

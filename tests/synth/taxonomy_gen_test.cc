@@ -1,0 +1,89 @@
+#include "synth/taxonomy_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::synth {
+namespace {
+
+class TaxonomyGenTest : public ::testing::Test {
+ protected:
+  TaxonomyCorpusConfig Config() {
+    TaxonomyCorpusConfig config;
+    config.sentences_per_entity = 2;
+    config.num_documents = 8;
+    config.seed = 71;
+    return config;
+  }
+
+  World world_ = World::Build(WorldConfig::Small());
+};
+
+TEST_F(TaxonomyGenTest, CategoryNames) {
+  EXPECT_EQ(CategoryNameOf("Film"), "film");
+  EXPECT_EQ(CategoryNameOf("Book"), "book");
+}
+
+TEST_F(TaxonomyGenTest, SuperclassChainsAnchored) {
+  auto film = SuperclassChainOf("Film");
+  ASSERT_GE(film.size(), 2u);
+  EXPECT_EQ(film.front(), "film");
+  auto country = SuperclassChainOf("Country");
+  EXPECT_EQ(country.front(), "country");
+  auto unknown = SuperclassChainOf("Widget");
+  EXPECT_EQ(unknown.back(), "thing");
+}
+
+TEST_F(TaxonomyGenTest, VolumeMatchesConfig) {
+  auto docs = GenerateTaxonomyCorpus(world_, Config());
+  EXPECT_EQ(docs.size(), 8u);
+  size_t facts = 0;
+  for (const auto& doc : docs) {
+    EXPECT_FALSE(doc.text.empty());
+    facts += doc.facts.size();
+  }
+  // 2 per entity (38 entities) + 3 repeats per superclass edge.
+  EXPECT_GT(facts, world_.TotalEntities() * 2);
+}
+
+TEST_F(TaxonomyGenTest, FactsAppearInText) {
+  auto docs = GenerateTaxonomyCorpus(world_, Config());
+  for (const auto& doc : docs) {
+    for (const auto& fact : doc.facts) {
+      EXPECT_NE(doc.text.find(fact.instance), std::string::npos)
+          << fact.instance;
+    }
+  }
+}
+
+TEST_F(TaxonomyGenTest, ErrorLedgerHonest) {
+  TaxonomyCorpusConfig config = Config();
+  config.error_rate = 0.3;
+  auto docs = GenerateTaxonomyCorpus(world_, config);
+  size_t wrong = 0, total = 0;
+  for (const auto& doc : docs) {
+    for (const auto& fact : doc.facts) {
+      ++total;
+      if (!fact.correct) ++wrong;
+    }
+  }
+  EXPECT_GT(wrong, 0u);
+  EXPECT_LT(double(wrong) / double(total), 0.4);
+}
+
+TEST_F(TaxonomyGenTest, ZeroErrorAllCorrect) {
+  TaxonomyCorpusConfig config = Config();
+  config.error_rate = 0.0;
+  for (const auto& doc : GenerateTaxonomyCorpus(world_, config)) {
+    for (const auto& fact : doc.facts) EXPECT_TRUE(fact.correct);
+  }
+}
+
+TEST_F(TaxonomyGenTest, DeterministicForSeed) {
+  auto a = GenerateTaxonomyCorpus(world_, Config());
+  auto b = GenerateTaxonomyCorpus(world_, Config());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+}  // namespace
+}  // namespace akb::synth

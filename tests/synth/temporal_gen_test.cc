@@ -1,0 +1,76 @@
+#include "synth/temporal_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::synth {
+namespace {
+
+TemporalConfig Config() {
+  TemporalConfig config;
+  config.num_entities = 10;
+  config.first_year = 2000;
+  config.last_year = 2012;
+  config.seed = 91;
+  return config;
+}
+
+TEST(TemporalGenTest, TimelinesGapFreeAndOrdered) {
+  TemporalCorpus corpus = GenerateTemporalCorpus(Config());
+  ASSERT_EQ(corpus.world.entities.size(), 10u);
+  ASSERT_EQ(corpus.world.timelines.size(), 10u);
+  for (const auto& timeline : corpus.world.timelines) {
+    ASSERT_FALSE(timeline.empty());
+    EXPECT_EQ(timeline.front().start_year, 2000);
+    EXPECT_EQ(timeline.back().end_year, 2012);
+    for (size_t i = 0; i < timeline.size(); ++i) {
+      EXPECT_LE(timeline[i].start_year, timeline[i].end_year);
+      if (i > 0) {
+        EXPECT_EQ(timeline[i].start_year, timeline[i - 1].end_year + 1);
+      }
+    }
+  }
+}
+
+TEST(TemporalGenTest, HoldersDistinctWithinEntity) {
+  TemporalCorpus corpus = GenerateTemporalCorpus(Config());
+  for (const auto& timeline : corpus.world.timelines) {
+    for (size_t i = 1; i < timeline.size(); ++i) {
+      EXPECT_NE(timeline[i].holder, timeline[i - 1].holder);
+    }
+  }
+}
+
+TEST(TemporalGenTest, HolderAtResolvesYears) {
+  TemporalCorpus corpus = GenerateTemporalCorpus(Config());
+  const auto& timeline = corpus.world.timelines[0];
+  for (const Tenure& tenure : timeline) {
+    for (int year = tenure.start_year; year <= tenure.end_year; ++year) {
+      EXPECT_EQ(corpus.world.HolderAt(0, year), tenure.holder);
+    }
+  }
+  EXPECT_EQ(corpus.world.HolderAt(0, 1990), "");
+  EXPECT_EQ(corpus.world.HolderAt(99, 2005), "");
+}
+
+TEST(TemporalGenTest, SentencesMentionEntityAndYear) {
+  TemporalCorpus corpus = GenerateTemporalCorpus(Config());
+  std::string all;
+  for (const auto& doc : corpus.documents) all += doc.text;
+  for (const auto& entity : corpus.world.entities) {
+    EXPECT_NE(all.find(entity), std::string::npos) << entity;
+  }
+  EXPECT_NE(all.find("2005"), std::string::npos);
+  EXPECT_NE(all.find("president"), std::string::npos);
+}
+
+TEST(TemporalGenTest, DeterministicForSeed) {
+  TemporalCorpus a = GenerateTemporalCorpus(Config());
+  TemporalCorpus b = GenerateTemporalCorpus(Config());
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.documents.size(); ++i) {
+    EXPECT_EQ(a.documents[i].text, b.documents[i].text);
+  }
+}
+
+}  // namespace
+}  // namespace akb::synth

@@ -1,0 +1,105 @@
+#include "synth/text_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenize.h"
+
+namespace akb::synth {
+namespace {
+
+class TextGenTest : public ::testing::Test {
+ protected:
+  TextConfig Config() {
+    TextConfig config;
+    config.class_name = "Book";
+    config.num_articles = 10;
+    config.facts_per_article = 5;
+    config.seed = 31;
+    return config;
+  }
+
+  World world_ = World::Build(WorldConfig::Small());
+};
+
+TEST_F(TextGenTest, GeneratesRequestedVolume) {
+  auto articles = GenerateArticles(world_, Config());
+  ASSERT_EQ(articles.size(), 10u);
+  for (const auto& article : articles) {
+    EXPECT_EQ(article.facts.size(), 5u);
+    EXPECT_FALSE(article.text.empty());
+    EXPECT_NE(article.source.find(".example.com"), std::string::npos);
+  }
+}
+
+TEST_F(TextGenTest, FactsAppearInText) {
+  auto cls_id = world_.FindClass("Book");
+  for (const auto& article : GenerateArticles(world_, Config())) {
+    for (const auto& fact : article.facts) {
+      const auto& entity = world_.cls(*cls_id).entities[fact.entity];
+      EXPECT_NE(article.text.find(entity.name), std::string::npos)
+          << "entity missing from text";
+      EXPECT_NE(article.text.find(fact.value), std::string::npos)
+          << "value missing from text";
+      EXPECT_NE(article.text.find(fact.label), std::string::npos)
+          << "attribute label missing from text";
+    }
+  }
+}
+
+TEST_F(TextGenTest, LedgerCorrectnessMatchesWorld) {
+  TextConfig config = Config();
+  config.value_error_rate = 0.3;
+  auto cls_id = world_.FindClass("Book");
+  size_t wrong = 0, total = 0;
+  for (const auto& article : GenerateArticles(world_, config)) {
+    for (const auto& fact : article.facts) {
+      EXPECT_EQ(
+          world_.IsTrueValue(*cls_id, fact.entity, fact.attribute, fact.value),
+          fact.value_correct);
+      ++total;
+      if (!fact.value_correct) ++wrong;
+    }
+  }
+  EXPECT_GT(wrong, 0u);
+  EXPECT_LT(wrong, total);
+}
+
+TEST_F(TextGenTest, SentencesSplitCleanly) {
+  for (const auto& article : GenerateArticles(world_, Config())) {
+    auto sentences = text::SplitSentences(article.text);
+    EXPECT_GE(sentences.size(), article.facts.size());
+  }
+}
+
+TEST_F(TextGenTest, DistractorRateAddsProse) {
+  TextConfig quiet = Config();
+  quiet.distractor_rate = 0.0;
+  TextConfig noisy = Config();
+  noisy.distractor_rate = 3.0;
+  size_t quiet_len = 0, noisy_len = 0;
+  for (const auto& a : GenerateArticles(world_, quiet)) {
+    quiet_len += a.text.size();
+  }
+  for (const auto& a : GenerateArticles(world_, noisy)) {
+    noisy_len += a.text.size();
+  }
+  EXPECT_GT(noisy_len, quiet_len * 2);
+}
+
+TEST_F(TextGenTest, DeterministicForSeed) {
+  auto a = GenerateArticles(world_, Config());
+  auto b = GenerateArticles(world_, Config());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].text, b[i].text);
+  }
+}
+
+TEST_F(TextGenTest, UnknownClassYieldsNothing) {
+  TextConfig config = Config();
+  config.class_name = "Ghost";
+  EXPECT_TRUE(GenerateArticles(world_, config).empty());
+}
+
+}  // namespace
+}  // namespace akb::synth

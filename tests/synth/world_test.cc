@@ -1,0 +1,194 @@
+#include "synth/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace akb::synth {
+namespace {
+
+TEST(WorldTest, SmallWorldShape) {
+  World world = World::Build(WorldConfig::Small());
+  ASSERT_EQ(world.classes().size(), 3u);
+  EXPECT_EQ(world.cls(0).name, "Book");
+  EXPECT_EQ(world.cls(0).attributes.size(), 12u);
+  EXPECT_EQ(world.cls(0).entities.size(), 15u);
+  EXPECT_EQ(world.cls(2).name, "Country");
+}
+
+TEST(WorldTest, PaperDefaultCoversTableTwoUnions) {
+  // Each class must hold at least the Table 2 "Combine" column so the
+  // generated KBs can realize those extractable sets.
+  World world = World::Build(WorldConfig::PaperDefault());
+  struct Need {
+    const char* cls;
+    size_t combine;
+  } needs[] = {{"Book", 60},
+               {"Film", 92},
+               {"Country", 489},
+               {"University", 518},
+               {"Hotel", 255}};
+  for (const auto& need : needs) {
+    auto id = world.FindClass(need.cls);
+    ASSERT_TRUE(id.has_value()) << need.cls;
+    EXPECT_GE(world.cls(*id).attributes.size(), need.combine) << need.cls;
+  }
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  World a = World::Build(WorldConfig::Small());
+  World b = World::Build(WorldConfig::Small());
+  ASSERT_EQ(a.classes().size(), b.classes().size());
+  for (size_t c = 0; c < a.classes().size(); ++c) {
+    ASSERT_EQ(a.cls(c).entities.size(), b.cls(c).entities.size());
+    for (size_t e = 0; e < a.cls(c).entities.size(); ++e) {
+      EXPECT_EQ(a.cls(c).entities[e].name, b.cls(c).entities[e].name);
+    }
+    for (size_t x = 0; x < a.cls(c).attributes.size(); ++x) {
+      EXPECT_EQ(a.cls(c).attributes[x].name, b.cls(c).attributes[x].name);
+    }
+  }
+}
+
+TEST(WorldTest, DifferentSeedsDiffer) {
+  WorldConfig config_a = WorldConfig::Small();
+  WorldConfig config_b = WorldConfig::Small();
+  config_b.seed = config_a.seed + 1;
+  World a = World::Build(config_a);
+  World b = World::Build(config_b);
+  bool any_diff = false;
+  for (size_t e = 0; e < a.cls(0).entities.size(); ++e) {
+    if (a.cls(0).entities[e].name != b.cls(0).entities[e].name) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorldTest, EntityNamesGloballyUnique) {
+  World world = World::Build(WorldConfig::Small());
+  std::set<std::string> names;
+  for (const auto& wc : world.classes()) {
+    for (const auto& entity : wc.entities) {
+      EXPECT_TRUE(names.insert(entity.name).second)
+          << "duplicate entity name: " << entity.name;
+    }
+  }
+}
+
+TEST(WorldTest, EveryEntityHasFactPerAttribute) {
+  World world = World::Build(WorldConfig::Small());
+  for (const auto& wc : world.classes()) {
+    for (const auto& entity : wc.entities) {
+      ASSERT_EQ(entity.facts.size(), wc.attributes.size());
+      for (size_t a = 0; a < entity.facts.size(); ++a) {
+        EXPECT_EQ(entity.facts[a].attribute, a);
+        EXPECT_FALSE(entity.facts[a].values.empty());
+      }
+    }
+  }
+}
+
+TEST(WorldTest, FunctionalAttributesHaveSingleValue) {
+  World world = World::Build(WorldConfig::Small());
+  for (const auto& wc : world.classes()) {
+    for (const auto& entity : wc.entities) {
+      for (size_t a = 0; a < wc.attributes.size(); ++a) {
+        if (wc.attributes[a].functional) {
+          EXPECT_EQ(entity.facts[a].values.size(), 1u);
+        } else {
+          EXPECT_GE(entity.facts[a].values.size(), 1u);
+          EXPECT_LE(entity.facts[a].values.size(),
+                    world.config().max_multi_values);
+        }
+      }
+    }
+  }
+}
+
+TEST(WorldTest, LocationFactsPointAtHierarchyLeaves) {
+  World world = World::Build(WorldConfig::Small());
+  for (const auto& wc : world.classes()) {
+    for (const auto& entity : wc.entities) {
+      for (size_t a = 0; a < wc.attributes.size(); ++a) {
+        if (wc.attributes[a].domain != ValueDomainKind::kLocation) continue;
+        const Fact& fact = entity.facts[a];
+        ASSERT_NE(fact.location, kNoHierarchyNode);
+        EXPECT_TRUE(world.hierarchy().children(fact.location).empty());
+        EXPECT_EQ(fact.values.front(),
+                  world.hierarchy().name(fact.location));
+      }
+    }
+  }
+}
+
+TEST(WorldTest, FindClassAndAttribute) {
+  World world = World::Build(WorldConfig::Small());
+  EXPECT_TRUE(world.FindClass("Book").has_value());
+  EXPECT_FALSE(world.FindClass("Starship").has_value());
+  const WorldClass& book = world.cls(*world.FindClass("Book"));
+  const std::string& attr = book.attributes[0].name;
+  EXPECT_TRUE(book.FindAttribute(attr).has_value());
+  EXPECT_TRUE(book.FindAttribute(ToUpper(attr)).has_value());
+  EXPECT_FALSE(book.FindAttribute("definitely not there").has_value());
+}
+
+TEST(WorldTest, IsTrueValueExactMatch) {
+  World world = World::Build(WorldConfig::Small());
+  const WorldClass& wc = world.cls(0);
+  const Fact& fact = wc.entities[0].facts[0];
+  EXPECT_TRUE(world.IsTrueValue(0, 0, 0, fact.values.front()));
+  EXPECT_TRUE(world.IsTrueValue(0, 0, 0, ToUpper(fact.values.front())));
+  EXPECT_FALSE(world.IsTrueValue(0, 0, 0, "certainly wrong value"));
+}
+
+TEST(WorldTest, IsTrueValueAcceptsLocationAncestors) {
+  World world = World::Build(WorldConfig::Small());
+  for (ClassId c = 0; c < world.classes().size(); ++c) {
+    const WorldClass& wc = world.cls(c);
+    for (AttributeId a = 0; a < wc.attributes.size(); ++a) {
+      if (wc.attributes[a].domain != ValueDomainKind::kLocation) continue;
+      const Fact& fact = wc.entities[0].facts[a];
+      for (HierarchyNodeId node : world.hierarchy().RootChain(fact.location)) {
+        EXPECT_TRUE(
+            world.IsTrueValue(c, 0, a, world.hierarchy().name(node)));
+      }
+      return;  // one location attribute suffices
+    }
+  }
+  GTEST_SKIP() << "no location attribute in this small world";
+}
+
+TEST(WorldTest, IsTrueValueBoundsChecked) {
+  World world = World::Build(WorldConfig::Small());
+  EXPECT_FALSE(world.IsTrueValue(0, 100000, 0, "x"));
+  EXPECT_FALSE(world.IsTrueValue(0, 0, 100000, "x"));
+}
+
+TEST(WorldTest, Totals) {
+  World world = World::Build(WorldConfig::Small());
+  EXPECT_EQ(world.TotalEntities(), 15u + 15u + 8u);
+  size_t facts = 15 * 12 + 15 * 14 + 8 * 10;
+  EXPECT_EQ(world.TotalFacts(), facts);
+}
+
+TEST(WorldTest, EntityNameStylesRespected) {
+  WorldConfig config;
+  config.seed = 3;
+  config.classes = {
+      {"U", 5, 4, EntityNameStyle::kUniversity},
+      {"H", 5, 4, EntityNameStyle::kHotel},
+  };
+  World world = World::Build(config);
+  for (const auto& entity : world.cls(0).entities) {
+    EXPECT_EQ(entity.name.rfind("University of ", 0), 0u) << entity.name;
+  }
+  for (const auto& entity : world.cls(1).entities) {
+    EXPECT_EQ(entity.name.rfind("Hotel ", 0), 0u) << entity.name;
+  }
+}
+
+}  // namespace
+}  // namespace akb::synth

@@ -1,0 +1,120 @@
+// Property tests for the text layer: tokenizer stability and pattern
+// matcher invariants under random input.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "text/pattern.h"
+#include "text/tokenize.h"
+
+namespace akb::text {
+namespace {
+
+std::vector<std::string> RandomTokens(Rng* rng, size_t max_len) {
+  static const char* const kWords[] = {"the", "a",    "of",   "is",  "budget",
+                                       "x",   "film", "was",  "in",  "2007",
+                                       "'s",  ".",    ",",    "and", "other"};
+  std::vector<std::string> tokens;
+  size_t n = rng->Index(max_len + 1);
+  for (size_t i = 0; i < n; ++i) {
+    tokens.push_back(kWords[rng->Index(std::size(kWords))]);
+  }
+  return tokens;
+}
+
+class TokenizeStability : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizeStability, JoinThenTokenizeIsIdentity) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::string> tokens = RandomTokens(&rng, 12);
+    std::string joined = JoinTokens(tokens, 0, tokens.size());
+    std::vector<std::string> again = TokenizeWords(joined);
+    EXPECT_EQ(again, tokens) << "joined: '" << joined << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizeStability,
+                         ::testing::Range<uint64_t>(1, 6));
+
+class TokenizeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizeFuzz, ArbitraryBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    std::string soup;
+    size_t length = rng.Index(120);
+    for (size_t i = 0; i < length; ++i) {
+      soup.push_back(static_cast<char>(rng.Index(256)));
+    }
+    auto tokens = TokenizeWords(soup);
+    for (const auto& token : tokens) EXPECT_FALSE(token.empty());
+    auto sentences = SplitSentences(soup);
+    for (const auto& sentence : sentences) {
+      EXPECT_EQ(Trim(sentence), sentence);  // trimmed
+      EXPECT_FALSE(sentence.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizeFuzz,
+                         ::testing::Range<uint64_t>(1, 6));
+
+class PatternInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternInvariants, FindAllExtentsAreSaneAndDisjoint) {
+  Rng rng(GetParam());
+  std::vector<Pattern> patterns;
+  for (const char* spec :
+       {"the [A] of [E]", "[E] 's [A]", "[X] is (a|an) [Y]",
+        "in [T] ?(,) the [A] of [E] was [V]", "[A] and other [B]"}) {
+    auto parsed = Pattern::Parse(spec);
+    ASSERT_TRUE(parsed.ok());
+    patterns.push_back(std::move(parsed).value());
+  }
+
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::string> tokens = RandomTokens(&rng, 20);
+    for (const Pattern& pattern : patterns) {
+      auto matches = pattern.FindAll(tokens, 4);
+      size_t previous_end = 0;
+      for (const PatternMatch& match : matches) {
+        // Extents are within bounds, ordered, non-overlapping.
+        EXPECT_LE(match.extent.begin, match.extent.end);
+        EXPECT_LE(match.extent.end, tokens.size());
+        EXPECT_GE(match.extent.begin, previous_end);
+        previous_end = match.extent.end;
+        // Every slot lies inside the extent and is non-empty.
+        for (const auto& [name, span] : match.slots) {
+          EXPECT_LT(span.begin, span.end);
+          EXPECT_GE(span.begin, match.extent.begin);
+          EXPECT_LE(span.end, match.extent.end);
+        }
+        // A re-match at the same position reproduces the match.
+        PatternMatch again;
+        EXPECT_TRUE(pattern.MatchAt(tokens, match.extent.begin, 4, &again));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternInvariants,
+                         ::testing::Range<uint64_t>(1, 6));
+
+TEST(PatternInvariantsTest, MatchWholeImpliesMatchAtZero) {
+  auto pattern = Pattern::Parse("the [A] of [E]");
+  ASSERT_TRUE(pattern.ok());
+  Rng rng(99);
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::string> tokens = RandomTokens(&rng, 10);
+    PatternMatch whole;
+    if (pattern->MatchWhole(tokens, 4, &whole)) {
+      PatternMatch at;
+      EXPECT_TRUE(pattern->MatchAt(tokens, 0, 4, &at));
+      EXPECT_EQ(whole.extent.end, tokens.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace akb::text

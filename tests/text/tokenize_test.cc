@@ -1,0 +1,95 @@
+#include "text/tokenize.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::text {
+namespace {
+
+TEST(TokenizeWordsTest, LowercasesWords) {
+  EXPECT_EQ(TokenizeWords("Hello World"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizeWordsTest, ApostropheS) {
+  EXPECT_EQ(TokenizeWords("Obama's profession"),
+            (std::vector<std::string>{"obama", "'s", "profession"}));
+  EXPECT_EQ(TokenizeWords("the harbor's edge"),
+            (std::vector<std::string>{"the", "harbor", "'s", "edge"}));
+}
+
+TEST(TokenizeWordsTest, ApostropheInsideWordIsPunct) {
+  auto tokens = TokenizeWords("rock 'n roll");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"rock", "'", "n", "roll"}));
+}
+
+TEST(TokenizeWordsTest, PunctuationAsSingleTokens) {
+  EXPECT_EQ(TokenizeWords("yes, no."),
+            (std::vector<std::string>{"yes", ",", "no", "."}));
+}
+
+TEST(TokenizeWordsTest, NumbersStayWhole) {
+  EXPECT_EQ(TokenizeWords("in 1984 there"),
+            (std::vector<std::string>{"in", "1984", "there"}));
+}
+
+TEST(TokenizeWordsTest, HyphenatedWordsKept) {
+  EXPECT_EQ(TokenizeWords("state-of-the-art"),
+            (std::vector<std::string>{"state-of-the-art"}));
+}
+
+TEST(TokenizeWordsTest, EmptyAndWhitespace) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("   \t\n ").empty());
+}
+
+TEST(SplitSentencesTest, BasicSplit) {
+  auto s = SplitSentences("One here. Two there! Three maybe?");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "One here.");
+  EXPECT_EQ(s[1], "Two there!");
+  EXPECT_EQ(s[2], "Three maybe?");
+}
+
+TEST(SplitSentencesTest, DecimalNumbersNotBoundaries) {
+  auto s = SplitSentences("Pi is 3.14 roughly. Next.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "Pi is 3.14 roughly.");
+}
+
+TEST(SplitSentencesTest, AbbreviationsNotBoundaries) {
+  auto s = SplitSentences("Dr. Smith arrived. He left.");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "Dr. Smith arrived.");
+}
+
+TEST(SplitSentencesTest, TrailingTextWithoutTerminator) {
+  auto s = SplitSentences("Complete. incomplete tail");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], "incomplete tail");
+}
+
+TEST(SplitSentencesTest, EmptyInput) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   ").empty());
+}
+
+TEST(JoinTokensTest, RebuildsReadableText) {
+  std::vector<std::string> tokens{"the", "budget", "of", "x", ",", "today"};
+  EXPECT_EQ(JoinTokens(tokens, 0, 6), "the budget of x, today");
+}
+
+TEST(JoinTokensTest, NoSpaceBeforeClitic) {
+  std::vector<std::string> tokens{"harbor", "'s", "budget"};
+  EXPECT_EQ(JoinTokens(tokens, 0, 3), "harbor's budget");
+}
+
+TEST(JoinTokensTest, SubrangeAndClamping) {
+  std::vector<std::string> tokens{"a", "b", "c"};
+  EXPECT_EQ(JoinTokens(tokens, 1, 2), "b");
+  EXPECT_EQ(JoinTokens(tokens, 1, 99), "b c");
+  EXPECT_EQ(JoinTokens(tokens, 2, 2), "");
+}
+
+}  // namespace
+}  // namespace akb::text
