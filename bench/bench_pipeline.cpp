@@ -9,7 +9,10 @@
 
 #include <cstdio>
 
+#include "common/stopwatch.h"
 #include "core/pipeline.h"
+#include "obs/bench_io.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -36,15 +39,25 @@ PipelineConfig DefaultConfig() {
   return config;
 }
 
-void PrintPipelineReport() {
+void PrintPipelineReport(akb::obs::BenchSuite* suite) {
   akb::rdf::TripleStore augmented;
-  PipelineReport report =
-      RunPipeline(PaperWorld(), DefaultConfig(), &augmented);
+  akb::obs::Histogram run_micros;
+  PipelineReport report;
+  {
+    akb::ScopedTimer<akb::obs::Histogram> timer(&run_micros);
+    report = RunPipeline(PaperWorld(), DefaultConfig(), &augmented);
+  }
   std::printf(
       "Figure 1 reproduction: full pipeline over the five paper classes\n\n");
   std::printf("%s\n", report.ToString().c_str());
   std::printf("Augmented KB: %zu distinct fused triples\n\n",
               augmented.num_triples());
+  suite->Add({"full_pipeline_paper_world",
+              double(run_micros.Sum()) / 1e3,
+              "ms",
+              1,
+              {{"fused_triples", double(report.fused_triples)},
+               {"total_claims", double(report.total_claims)}}});
 }
 
 void BM_FullPipeline(benchmark::State& state) {
@@ -75,7 +88,9 @@ BENCHMARK(BM_PipelinePerFusionMethod)
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintPipelineReport();
+  akb::obs::BenchSuite suite("bench_pipeline");
+  PrintPipelineReport(&suite);
+  suite.WriteDefaultFile();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

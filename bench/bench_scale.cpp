@@ -18,6 +18,7 @@
 #include "extract/entity_creation.h"
 #include "fusion/model.h"
 #include "mapreduce/engine.h"
+#include "obs/bench_io.h"
 #include "synth/claim_gen.h"
 
 namespace {
@@ -80,7 +81,7 @@ std::vector<ItemVerdict> MapReduceVote(const ClaimTable& table,
   return verdicts;
 }
 
-void PrintScaling() {
+void PrintScaling(obs::BenchSuite* suite) {
   akb::TextTable table({"Claims", "Workers", "Time (ms)",
                         "Claims/s", "Identical to 1-worker run"});
   table.set_title(
@@ -92,13 +93,20 @@ void PrintScaling() {
     for (size_t workers : {1u, 2u, 4u, 8u}) {
       Stopwatch watch;
       std::vector<ItemVerdict> verdicts = MapReduceVote(claims, workers);
-      double ms = watch.ElapsedMillis();
+      double ms = double(watch.ElapsedMicros()) / 1e3;
       bool identical = verdicts == baseline;
       table.AddRow(
           {FormatWithCommas(int64_t(claims.num_claims())),
            std::to_string(workers), FormatDouble(ms, 2),
            FormatWithCommas(int64_t(claims.num_claims() / (ms / 1000.0))),
            identical ? "yes" : "NO"});
+      suite->Add({"mapreduce_vote_" + std::to_string(items) + "items_" +
+                      std::to_string(workers) + "workers",
+                  ms,
+                  "ms",
+                  1,
+                  {{"claims", double(claims.num_claims())},
+                   {"identical", identical ? 1.0 : 0.0}}});
     }
   }
   std::printf("%s\n", table.ToString().c_str());
@@ -149,7 +157,9 @@ BENCHMARK(BM_EntityCreation)->Arg(1)->Arg(2)->Arg(4)
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintScaling();
+  obs::BenchSuite suite("bench_scale");
+  PrintScaling(&suite);
+  suite.WriteDefaultFile();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -41,36 +41,53 @@ std::string FlagSet::GetString(const std::string& name,
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+/// std::from_chars rejects surrounding whitespace and a leading '+', both
+/// of which show up in hand-typed flag values ("--n +5", "--d ' 2.5'").
+/// Normalize before parsing so "--name=value" and "--name value" parse
+/// identically regardless of shell quoting.
+std::string_view NumericBody(std::string_view raw) {
+  std::string_view s = Trim(raw);
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  return s;
+}
+
+template <typename T>
+bool ParseNumber(std::string_view raw, T* out) {
+  std::string_view s = NumericBody(raw);
+  if (s.empty()) return false;
+  T value{};
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
 int64_t FlagSet::GetInt(const std::string& name, int64_t fallback) const {
   auto it = values_.find(name);
-  if (it == values_.end() || it->second.empty()) return fallback;
+  if (it == values_.end()) return fallback;
   int64_t value = 0;
-  auto [ptr, ec] = std::from_chars(it->second.data(),
-                                   it->second.data() + it->second.size(),
-                                   value);
-  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
-    return fallback;
-  }
-  return value;
+  return ParseNumber(it->second, &value) ? value : fallback;
 }
 
 double FlagSet::GetDouble(const std::string& name, double fallback) const {
   auto it = values_.find(name);
-  if (it == values_.end() || it->second.empty()) return fallback;
+  if (it == values_.end()) return fallback;
   double value = 0;
-  auto [ptr, ec] = std::from_chars(it->second.data(),
-                                   it->second.data() + it->second.size(),
-                                   value);
-  if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
-    return fallback;
-  }
-  return value;
+  return ParseNumber(it->second, &value) ? value : fallback;
 }
 
 bool FlagSet::GetBool(const std::string& name, bool fallback) const {
+  // "--no-name" (bare) negates, so scripts can switch defaulted-on
+  // behavior off; an explicit "--name=..." wins when both appear.
   auto it = values_.find(name);
-  if (it == values_.end()) return fallback;
-  std::string value = ToLower(it->second);
+  if (it == values_.end()) {
+    return values_.count("no-" + name) ? false : fallback;
+  }
+  std::string value = ToLower(std::string(Trim(it->second)));
   if (value.empty() || value == "1" || value == "true" || value == "yes") {
     return true;
   }

@@ -23,13 +23,16 @@ class FlagSet {
 
   bool Has(const std::string& name) const { return values_.count(name) > 0; }
 
-  /// Value accessors with defaults. GetInt/GetDouble return the default on
-  /// parse failure (check Has + GetString for strict handling).
+  /// Value accessors with defaults. GetInt/GetDouble tolerate surrounding
+  /// whitespace and a leading '+', and return the default on parse failure
+  /// (check Has + GetString for strict handling). "--name=value" and
+  /// "--name value" parse identically through every accessor.
   std::string GetString(const std::string& name,
                         const std::string& fallback = "") const;
   int64_t GetInt(const std::string& name, int64_t fallback = 0) const;
   double GetDouble(const std::string& name, double fallback = 0.0) const;
   /// True when the flag is present with no value, "1", "true", or "yes".
+  /// A bare "--no-name" reads as false (unless "--name" also appears).
   bool GetBool(const std::string& name, bool fallback = false) const;
 
   const std::vector<std::string>& positional() const { return positional_; }

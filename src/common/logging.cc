@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 
 namespace akb {
 
@@ -27,6 +29,31 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+/// Small dense per-thread id (T1, T2, ...) — readable, unlike the hash of
+/// std::thread::id.
+uint32_t ThisThreadLogId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "HH:MM:SS.mmm" wall-clock timestamp into `buf` (size >= 16).
+void FormatTimestamp(char* buf, size_t size) {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  std::time_t seconds = system_clock::to_time_t(now);
+  auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm_buf;
+#if defined(_WIN32)
+  localtime_s(&tm_buf, &seconds);
+#else
+  localtime_r(&seconds, &tm_buf);
+#endif
+  std::snprintf(buf, size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
@@ -38,14 +65,23 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+    char timestamp[16];
+    FormatTimestamp(timestamp, sizeof(timestamp));
+    stream_ << "[" << LevelName(level) << " " << timestamp << " T"
+            << ThisThreadLogId() << " " << Basename(file) << ":" << line
             << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // Build the complete line (terminator included) and emit it with a
+    // single fwrite so messages from concurrent threads never interleave
+    // mid-line, then flush so a crash cannot swallow buffered lines.
+    stream_ << '\n';
+    std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   (void)level_;
 }

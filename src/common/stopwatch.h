@@ -3,6 +3,7 @@
 #define AKB_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace akb {
 
@@ -19,9 +20,43 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Integral microseconds — the unit the obs latency histograms record.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer that reports elapsed microseconds into a sink on destruction.
+/// `Sink` is any type with Record(int64_t) — typically obs::Histogram —
+/// kept as a template so common/ stays dependency-free of obs/.
+///
+///   {
+///     ScopedTimer timer(registry.GetHistogram("akb.fusion.accu_micros"));
+///     ...work...
+///   }  // histogram records here
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->Record(watch_.ElapsedMicros());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Reads without stopping (the destructor still reports the full span).
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+
+ private:
+  Sink* sink_;
+  Stopwatch watch_;
 };
 
 }  // namespace akb

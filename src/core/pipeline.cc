@@ -8,6 +8,8 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "extract/attribute_dedup.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "synth/taxonomy_gen.h"
 #include "fusion/copy_detect.h"
 #include "fusion/functionality.h"
@@ -122,6 +124,10 @@ std::string PipelineReport::ToString() const {
          ", taxonomy edges: " + FormatWithCommas(int64_t(taxonomy_edges)) +
          " (typing accuracy " + FormatDouble(typing_accuracy, 3) +
          "), total time: " + FormatDouble(total_seconds, 3) + "s\n";
+  if (!metrics.entries.empty()) {
+    out += "\n";
+    out += metrics.ToTable();
+  }
   return out;
 }
 
@@ -131,6 +137,9 @@ PipelineReport RunPipeline(const synth::World& world,
   PipelineReport report;
   Stopwatch total;
   Rng rng(config.seed);
+  obs::MetricsSnapshot metrics_before = obs::MetricsRegistry::Global().Snapshot();
+  AKB_COUNTER_INC("akb.pipeline.runs");
+  obs::ScopedSpan run_span("pipeline.run");
 
   std::vector<std::string> classes = config.classes;
   if (classes.empty()) {
@@ -138,8 +147,10 @@ PipelineReport RunPipeline(const synth::World& world,
   }
 
   auto stage = [&](const std::string& name, auto&& fn) {
+    obs::ScopedSpan span("pipeline." + name);
     Stopwatch watch;
     size_t outputs = fn();
+    AKB_HISTOGRAM_RECORD("akb.pipeline.stage_micros", watch.ElapsedMicros());
     report.stages.push_back(StageStats{name, watch.ElapsedSeconds(), outputs});
   };
 
@@ -158,6 +169,7 @@ PipelineReport RunPipeline(const synth::World& world,
         world, GenericProfile(world, classes, false, rng.NextU64(),
                               config.kb_error_rate));
     size_t outputs = dbpedia.TotalFacts() + freebase.TotalFacts();
+    size_t pages_rendered = 0, articles_rendered = 0;
     for (size_t c = 0; c < classes.size(); ++c) {
       synth::SiteConfig site_config;
       site_config.class_name = classes[c];
@@ -168,6 +180,7 @@ PipelineReport RunPipeline(const synth::World& world,
       sites_per_class[c] = synth::GenerateSites(world, site_config);
       for (const auto& site : sites_per_class[c]) {
         outputs += site.pages.size();
+        pages_rendered += site.pages.size();
       }
       synth::TextConfig text_config;
       text_config.class_name = classes[c];
@@ -176,7 +189,11 @@ PipelineReport RunPipeline(const synth::World& world,
       text_config.seed = rng.NextU64();
       articles_per_class[c] = synth::GenerateArticles(world, text_config);
       outputs += articles_per_class[c].size();
+      articles_rendered += articles_per_class[c].size();
     }
+    AKB_COUNTER_ADD("akb.pipeline.pages_rendered", int64_t(pages_rendered));
+    AKB_COUNTER_ADD("akb.pipeline.articles_rendered",
+                    int64_t(articles_rendered));
     synth::QueryLogConfig query_config;
     query_config.seed = rng.NextU64();
     size_t relevant_total = 0;
@@ -194,6 +211,7 @@ PipelineReport RunPipeline(const synth::World& world,
     query_config.total_records = relevant_total + config.junk_queries;
     query_log = synth::GenerateQueryLog(world, query_config);
     outputs += query_log.size();
+    AKB_COUNTER_ADD("akb.pipeline.query_log_lines", int64_t(query_log.size()));
     return outputs;
   });
 
@@ -264,6 +282,7 @@ PipelineReport RunPipeline(const synth::World& world,
   stage("DOM-tree extraction", [&] {
     size_t outputs = 0;
     for (size_t c = 0; c < classes.size(); ++c) {
+      obs::ScopedSpan span("extract.dom." + classes[c]);
       dom_extractions[c] = dom_extractor.Extract(sites_per_class[c],
                                                  entity_names[c], seeds[c]);
       outputs += dom_extractions[c].new_attributes.size();
@@ -280,6 +299,7 @@ PipelineReport RunPipeline(const synth::World& world,
   stage("Web-text extraction", [&] {
     size_t outputs = 0;
     for (size_t c = 0; c < classes.size(); ++c) {
+      obs::ScopedSpan span("extract.text." + classes[c]);
       std::vector<std::string> documents, source_names;
       for (const auto& article : articles_per_class[c]) {
         documents.push_back(article.text);
@@ -344,7 +364,9 @@ PipelineReport RunPipeline(const synth::World& world,
   std::unordered_set<std::string> kb_items;
   stage("claim assembly", [&] {
     std::unordered_map<std::string, size_t> meta_index;
+    std::unordered_map<rdf::ExtractorKind, size_t> claims_by_extractor;
     for (const ExtractedTriple& t : all_triples) {
+      ++claims_by_extractor[t.extractor];
       std::string entity = t.entity;
       size_t resolved = resolution.Resolve(entity);
       if (resolved != SIZE_MAX) entity = resolution.entities[resolved].name;
@@ -361,6 +383,12 @@ PipelineReport RunPipeline(const synth::World& world,
       // Same value normalization as ClaimTable::FromTriples.
       table.Add(item, t.source, NormalizeSurface(t.value), t.confidence);
     }
+    for (const auto& [kind, count] : claims_by_extractor) {
+      obs::CounterAdd(std::string("akb.pipeline.claims.") +
+                          std::string(rdf::ExtractorKindToString(kind)),
+                      int64_t(count));
+    }
+    AKB_COUNTER_ADD("akb.pipeline.claims", int64_t(table.num_claims()));
     report.total_claims = table.num_claims();
     return table.num_claims();
   });
@@ -463,6 +491,7 @@ PipelineReport RunPipeline(const synth::World& world,
 
   stage("KB augmentation", [&] {
     size_t emitted = 0;
+    size_t novel_emitted = 0;
     // Per class accumulators.
     std::unordered_map<std::string, ClassQuality> quality;
     for (const std::string& name : classes) {
@@ -482,6 +511,7 @@ PipelineReport RunPipeline(const synth::World& world,
         ++counts.second;
         if (truth == 1) ++counts.first;
         if (novel) {
+          ++novel_emitted;
           auto& nc = novel_counts[meta.class_name];
           ++nc.second;
           if (truth == 1) ++nc.first;
@@ -555,11 +585,16 @@ PipelineReport RunPipeline(const synth::World& world,
     for (const std::string& name : classes) {
       report.quality.push_back(quality[name]);
     }
+    AKB_COUNTER_ADD("akb.pipeline.triples_fused", int64_t(emitted));
+    AKB_COUNTER_ADD("akb.pipeline.triples_novel", int64_t(novel_emitted));
     report.fused_triples = emitted;
     return emitted;
   });
 
   report.total_seconds = total.ElapsedSeconds();
+  AKB_HISTOGRAM_RECORD("akb.pipeline.run_micros", total.ElapsedMicros());
+  report.metrics =
+      obs::MetricsRegistry::Global().Snapshot().DiffFrom(metrics_before);
   return report;
 }
 

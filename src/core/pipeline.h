@@ -15,6 +15,7 @@
 
 #include "extract/dom_extractor.h"
 #include "extract/entity_creation.h"
+#include "obs/metrics.h"
 #include "extract/kb_extractor.h"
 #include "extract/query_extractor.h"
 #include "extract/taxonomy_extractor.h"
@@ -126,7 +127,13 @@ struct PipelineReport {
   double typing_accuracy = 0.0;
   double total_seconds = 0.0;
 
-  /// Formats the report as text tables.
+  /// What this run added to the process-global obs registry (counters and
+  /// histograms are per-run deltas; gauges are end-of-run values). Export
+  /// with metrics.ToJson() — `akb_cli pipeline --metrics-out=FILE`.
+  obs::MetricsSnapshot metrics;
+
+  /// Formats the report as text tables (stages, per-class quality, and a
+  /// stats section from `metrics`).
   std::string ToString() const;
 };
 

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "extract/row_harvest.h"
 #include "html/dom.h"
+#include "obs/metrics.h"
 #include "text/tokenize.h"
 
 namespace akb::extract {
@@ -269,6 +270,20 @@ DomExtraction DomTreeExtractor::Extract(
     unique.push_back(std::move(triple));
   }
   out.triples = std::move(unique);
+
+  AKB_COUNTER_ADD("akb.extract.dom.claims", int64_t(out.triples.size()));
+  AKB_COUNTER_ADD("akb.extract.dom.new_attributes",
+                  int64_t(out.new_attributes.size()));
+  AKB_COUNTER_ADD("akb.extract.dom.patterns_induced",
+                  int64_t(out.stats.patterns_induced));
+  AKB_COUNTER_ADD("akb.extract.dom.nodes_classified",
+                  int64_t(out.stats.nodes_considered));
+  AKB_COUNTER_ADD("akb.extract.dom.pages_used",
+                  int64_t(out.stats.pages_used));
+  if (!out.class_name.empty()) {
+    obs::CounterAdd("akb.extract.dom.claims." + out.class_name,
+                    int64_t(out.triples.size()));
+  }
   return out;
 }
 

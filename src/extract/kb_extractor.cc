@@ -3,6 +3,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace akb::extract {
 
 const KbClassExtraction* KbExtraction::FindClass(std::string_view name) const {
@@ -119,6 +121,7 @@ std::vector<ExtractedTriple> ExistingKbExtractor::ExtractTriples(
     const synth::KbSnapshot& kb) const {
   std::vector<ExtractedTriple> triples;
   for (const auto& cls : kb.classes) {
+    size_t class_start = triples.size();
     // Surface -> canonical cluster representative, per class.
     AttributeDeduper dedup(config_.dedup);
     for (const synth::KbFact& fact : cls.facts) dedup.Add(fact.surface);
@@ -147,7 +150,10 @@ std::vector<ExtractedTriple> ExistingKbExtractor::ExtractTriples(
           config_.confidence.Score(rdf::ExtractorKind::kExistingKb, 1);
       triples.push_back(std::move(triple));
     }
+    obs::CounterAdd("akb.extract.kb.claims." + cls.name,
+                    int64_t(triples.size() - class_start));
   }
+  AKB_COUNTER_ADD("akb.extract.kb.claims", int64_t(triples.size()));
   return triples;
 }
 

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "text/tokenize.h"
 
 namespace akb::extract {
@@ -257,6 +258,15 @@ QueryExtraction QueryStreamExtractor::Extract(
                 if (a.support != b.support) return a.support > b.support;
                 return a.canonical < b.canonical;
               });
+    AKB_COUNTER_ADD("akb.extract.query.lines_matched",
+                    int64_t(state.pattern_hits));
+    AKB_COUNTER_ADD("akb.extract.query.relevant_records",
+                    int64_t(state.relevant));
+    AKB_COUNTER_ADD("akb.extract.query.credible_attributes",
+                    int64_t(out.credible_attributes.size()));
+    obs::CounterAdd(
+        "akb.extract.query.credible_attributes." + out.class_name,
+        int64_t(out.credible_attributes.size()));
     result.classes.push_back(std::move(out));
   }
   return result;

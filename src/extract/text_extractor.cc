@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "text/tokenize.h"
 
 namespace akb::extract {
@@ -245,6 +246,14 @@ TextExtraction WebTextExtractor::Extract(
               if (a.support != b.support) return a.support > b.support;
               return a.canonical < b.canonical;
             });
+
+  AKB_COUNTER_ADD("akb.extract.text.claims", int64_t(out.triples.size()));
+  AKB_COUNTER_ADD("akb.extract.text.new_attributes",
+                  int64_t(out.new_attributes.size()));
+  AKB_COUNTER_ADD("akb.extract.text.sentences_matched",
+                  int64_t(out.sentences_matched));
+  obs::CounterAdd("akb.extract.text.claims." + class_name,
+                  int64_t(out.triples.size()));
   return out;
 }
 

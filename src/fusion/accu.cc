@@ -4,9 +4,13 @@
 #include <cmath>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace akb::fusion {
 
 FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
+  AKB_TRACE_SPAN("fusion.accu");
   FusionOutput out;
   out.method = config.popularity ? "POPACCU" : "ACCU";
   out.beliefs.resize(table.num_items());
@@ -41,7 +45,9 @@ FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
     return std::clamp(w, 0.0, 1.0);
   };
 
+  size_t iterations_run = 0;
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    ++iterations_run;
     // --- Step 1: value beliefs per item.
     for (ItemId i = 0; i < table.num_items(); ++i) {
       if (i >= by_item.size() || by_item[i].empty()) continue;
@@ -101,6 +107,8 @@ FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
     }
     if (max_delta < config.epsilon) break;
   }
+  AKB_COUNTER_ADD("akb.fusion.accu.iterations", int64_t(iterations_run));
+  AKB_COUNTER_INC("akb.fusion.accu.runs");
 
   out.source_quality = std::move(accuracy);
   return out;

@@ -1,6 +1,12 @@
 #include "mapreduce/thread_pool.h"
 
+#include "obs/metrics.h"
+
 namespace akb::mapreduce {
+
+// Pool telemetry is global across pool instances (pools are short-lived
+// inside MapReduce jobs): queue_depth/workers_busy show the current and
+// high-water saturation, tasks_executed the cumulative volume.
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -8,6 +14,8 @@ ThreadPool::ThreadPool(size_t num_threads) {
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  AKB_GAUGE_ADD("akb.mapreduce.pool.workers_total",
+                int64_t(num_threads));
 }
 
 ThreadPool::~ThreadPool() {
@@ -17,19 +25,40 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (auto& worker : workers_) worker.join();
+  AKB_GAUGE_ADD("akb.mapreduce.pool.workers_total",
+                -int64_t(workers_.size()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    ++tasks_submitted_;
+    AKB_GAUGE_SET("akb.mapreduce.pool.queue_depth",
+                  int64_t(queue_.size()));
   }
+  AKB_COUNTER_INC("akb.mapreduce.pool.tasks_submitted");
   work_available_.notify_one();
 }
 
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_executed_;
+}
+
+size_t ThreadPool::tasks_submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_submitted_;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -46,13 +75,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      AKB_GAUGE_SET("akb.mapreduce.pool.queue_depth",
+                    int64_t(queue_.size()));
+      AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", 1);
     }
     task();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;
+      ++tasks_executed_;
+      AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", -1);
       if (queue_.empty() && active_ == 0) all_done_.notify_all();
     }
+    AKB_COUNTER_INC("akb.mapreduce.pool.tasks_executed");
   }
 }
 

@@ -29,15 +29,23 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Local telemetry (this pool only). Process-wide aggregates live in the
+  /// obs metrics registry under "akb.mapreduce.pool.*".
+  size_t tasks_executed() const;
+  size_t tasks_submitted() const;
+  size_t queue_depth() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   size_t active_ = 0;
+  size_t tasks_submitted_ = 0;
+  size_t tasks_executed_ = 0;
   bool shutdown_ = false;
 };
 

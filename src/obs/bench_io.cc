@@ -1,0 +1,158 @@
+#include "obs/bench_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace akb::obs {
+
+namespace {
+
+Json SuiteToJson(const BenchSuite& suite) {
+  Json root = Json::Object();
+  root.Set("schema", "akb-bench-v1");
+  root.Set("bench", suite.bench_name());
+  Json results = Json::Array();
+  for (const BenchResult& r : suite.results()) {
+    Json item = Json::Object();
+    item.Set("name", r.name);
+    item.Set("value", r.value);
+    item.Set("unit", r.unit);
+    item.Set("iterations", r.iterations);
+    if (!r.extra.empty()) {
+      Json extra = Json::Object();
+      for (const auto& [key, value] : r.extra) extra.Set(key, value);
+      item.Set("extra", std::move(extra));
+    }
+    results.Append(std::move(item));
+  }
+  root.Set("results", std::move(results));
+  return root;
+}
+
+Status SuiteFromJson(const Json& root, BenchSuite* out) {
+  if (!root.is_object()) {
+    return Status::ParseError("bench json: top level is not an object");
+  }
+  const Json* schema = root.Find("schema");
+  if (schema == nullptr || schema->AsString() != "akb-bench-v1") {
+    return Status::ParseError("bench json: missing schema akb-bench-v1");
+  }
+  const Json* bench = root.Find("bench");
+  *out = BenchSuite(bench ? bench->AsString() : "unknown");
+  const Json* results = root.Find("results");
+  if (results == nullptr || !results->is_array()) return Status::OK();
+  for (const Json& item : results->items()) {
+    BenchResult r;
+    if (const Json* name = item.Find("name")) r.name = name->AsString();
+    if (const Json* value = item.Find("value")) r.value = value->AsDouble();
+    if (const Json* unit = item.Find("unit")) r.unit = unit->AsString();
+    if (const Json* iters = item.Find("iterations")) {
+      r.iterations = iters->AsInt(1);
+    }
+    if (const Json* extra = item.Find("extra")) {
+      for (const auto& [key, value] : extra->members()) {
+        r.extra.emplace_back(key, value.AsDouble());
+      }
+    }
+    out->Add(std::move(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string BenchSuite::ToJson(int indent) const {
+  return SuiteToJson(*this).Dump(indent);
+}
+
+Status BenchSuite::WriteFile(const std::string& path) const {
+  return WriteTextFile(path, ToJson() + "\n");
+}
+
+void BenchSuite::WriteDefaultFile() const {
+  const char* env = std::getenv("AKB_BENCH_OUT");
+  std::string path =
+      env != nullptr && *env != '\0'
+          ? std::string(env)
+          : "BENCH_" + bench_name_ + ".json";
+  Status status = WriteFile(path);
+  if (!status.ok()) {
+    AKB_LOG(Warning) << "bench json not written: " << status.ToString();
+  } else {
+    std::printf("bench results: %s\n", path.c_str());
+  }
+}
+
+Status BenchSuite::ReadFile(const std::string& path, BenchSuite* out) {
+  std::string contents;
+  Status status = ReadTextFile(path, &contents);
+  if (!status.ok()) return status;
+  Json root;
+  status = Json::Parse(contents, &root);
+  if (!status.ok()) {
+    return Status::ParseError(path + ": " + status.ToString());
+  }
+  return SuiteFromJson(root, out);
+}
+
+Status MergeBenchFiles(const std::vector<std::string>& inputs,
+                       const std::string& output) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("bench-merge: no input files");
+  }
+  Json merged = Json::Object();
+  merged.Set("schema", "akb-bench-merged-v1");
+  Json benches = Json::Array();
+  for (const std::string& path : inputs) {
+    std::string contents;
+    Status status = ReadTextFile(path, &contents);
+    if (!status.ok()) return status;
+    Json root;
+    status = Json::Parse(contents, &root);
+    if (!status.ok()) {
+      return Status::ParseError(path + ": " + status.ToString());
+    }
+    const Json* schema = root.is_object() ? root.Find("schema") : nullptr;
+    if (schema != nullptr && schema->AsString() == "akb-bench-merged-v1") {
+      // Merged files flatten into the output (idempotent re-merges).
+      if (const Json* nested = root.Find("benches")) {
+        for (const Json& suite : nested->items()) {
+          benches.Append(suite);
+        }
+      }
+      continue;
+    }
+    BenchSuite suite("");
+    status = SuiteFromJson(root, &suite);
+    if (!status.ok()) return status;
+    benches.Append(SuiteToJson(suite));
+  }
+  merged.Set("benches", std::move(benches));
+  return WriteTextFile(output, merged.Dump(2) + "\n");
+}
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(contents.data(), std::streamsize(contents.size()));
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadTextFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  *contents = buffer.str();
+  return Status::OK();
+}
+
+}  // namespace akb::obs

@@ -1,0 +1,71 @@
+// Common machine-readable bench results format ("akb-bench-v1"), so the
+// repo's bench trajectory can be tracked across PRs:
+//
+//   {
+//     "schema": "akb-bench-v1",
+//     "bench": "bench_obs",
+//     "results": [
+//       {"name": "pipeline_metrics_on", "value": 412.7, "unit": "ms",
+//        "iterations": 3, "extra": {"fused_triples": 1234}}
+//     ]
+//   }
+//
+// Each bench target writes one such file (BENCH_<name>.json by default;
+// override with the AKB_BENCH_OUT environment variable). `akb_cli
+// bench-merge` folds many of them into a single trajectory file.
+#ifndef AKB_OBS_BENCH_IO_H_
+#define AKB_OBS_BENCH_IO_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace akb::obs {
+
+struct BenchResult {
+  std::string name;
+  double value = 0.0;
+  std::string unit = "ms";
+  int64_t iterations = 1;
+  /// Extra numeric facts (throughput, outputs, overhead %...).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+class BenchSuite {
+ public:
+  explicit BenchSuite(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(BenchResult result) { results_.push_back(std::move(result)); }
+  const std::string& bench_name() const { return bench_name_; }
+  const std::vector<BenchResult>& results() const { return results_; }
+
+  std::string ToJson(int indent = 2) const;
+  Status WriteFile(const std::string& path) const;
+  /// Writes to $AKB_BENCH_OUT when set, else "BENCH_<bench_name>.json" in
+  /// the working directory. Logs a warning (and keeps going) on failure so
+  /// benches stay usable in read-only checkouts.
+  void WriteDefaultFile() const;
+
+  static Status ReadFile(const std::string& path, BenchSuite* out);
+
+ private:
+  std::string bench_name_;
+  std::vector<BenchResult> results_;
+};
+
+/// Merges per-bench "akb-bench-v1" files into one trajectory file:
+/// {"schema": "akb-bench-merged-v1", "benches": [<suite>, ...]}. Inputs
+/// that are themselves merged files contribute their nested suites.
+Status MergeBenchFiles(const std::vector<std::string>& inputs,
+                       const std::string& output);
+
+/// Small file helpers shared by metrics/trace/bench export.
+Status WriteTextFile(const std::string& path, const std::string& contents);
+Status ReadTextFile(const std::string& path, std::string* contents);
+
+}  // namespace akb::obs
+
+#endif  // AKB_OBS_BENCH_IO_H_

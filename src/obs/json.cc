@@ -1,0 +1,386 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace akb::obs {
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; null is the conventional stand-in.
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips doubles but produces noisy output; %.12g is enough
+  // for timing/metric values and stays readable.
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::Set(std::string_view key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      if (integer_) {
+        out->append(std::to_string(int_));
+      } else {
+        AppendNumber(out, number_);
+      }
+      break;
+    case Type::kString:
+      out->push_back('"');
+      out->append(JsonEscape(string_));
+      out->push_back('"');
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out->push_back(',');
+        newline(depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i) out->push_back(',');
+        newline(depth + 1);
+        out->push_back('"');
+        out->append(JsonEscape(members_[i].first));
+        out->append(indent > 0 ? "\": " : "\":");
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Status Run(Json* out) {
+    Status s = ParseValue(out);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Fail(const std::string& what) {
+    return Status::ParseError("json: " + what + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    if (ConsumeWord("true")) {
+      *out = Json(true);
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      *out = Json(false);
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      *out = Json();
+      return Status::OK();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    bool integral = true;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ < text_.size() &&
+        (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      while (pos_ < text_.size()) {
+        char c = text_[pos_];
+        if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+            c == '+' || c == '-') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      int64_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        *out = Json(value);
+        return Status::OK();
+      }
+      // Out-of-int64-range integer literal: fall through to double.
+    }
+    double value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Fail("malformed number '" + std::string(token) + "'");
+    }
+    *out = Json(value);
+    return Status::OK();
+  }
+
+  Status ParseString(Json* out) {
+    std::string value;
+    Status s = ParseRawString(&value);
+    if (!s.ok()) return s;
+    *out = Json(std::move(value));
+    return Status::OK();
+  }
+
+  Status ParseRawString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= unsigned(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= unsigned(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= unsigned(h - 'A' + 10);
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two 3-byte sequences; good enough for metric names).
+          if (code < 0x80) {
+            out->push_back(char(code));
+          } else if (code < 0x800) {
+            out->push_back(char(0xC0 | (code >> 6)));
+            out->push_back(char(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(char(0xE0 | (code >> 12)));
+            out->push_back(char(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(char(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseArray(Json* out) {
+    Consume('[');
+    *out = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Json item;
+      Status s = ParseValue(&item);
+      if (!s.ok()) return s;
+      out->Append(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json* out) {
+    Consume('{');
+    *out = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      Status s = ParseRawString(&key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      Json value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status Json::Parse(std::string_view text, Json* out) {
+  return Parser(text).Run(out);
+}
+
+}  // namespace akb::obs

@@ -1,0 +1,107 @@
+// Minimal JSON value model, parser, and serializer for the observability
+// layer: metrics/trace export, and the common bench-results format that
+// `akb_cli bench-merge` consumes. Deliberately small — no external deps,
+// objects preserve insertion order (stable, diffable output files).
+#ifndef AKB_OBS_JSON_H_
+#define AKB_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace akb::obs {
+
+/// One JSON value. Numbers remember whether they were written as integers
+/// so counters export without a trailing ".0" (and without precision loss
+/// up to int64 range on parse of integral literals).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int64_t n) : type_(Type::kNumber), integer_(true), int_(n) {}
+  Json(int n) : Json(static_cast<int64_t>(n)) {}
+  Json(size_t n) : Json(static_cast<int64_t>(n)) {}
+  Json(double d) : type_(Type::kNumber), number_(d) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : Json(std::string(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    if (!is_number()) return fallback;
+    return integer_ ? static_cast<double>(int_) : number_;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    if (!is_number()) return fallback;
+    return integer_ ? int_ : static_cast<int64_t>(number_);
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access.
+  void Append(Json value) { items_.push_back(std::move(value)); }
+  size_t size() const { return items_.size(); }
+  const Json& at(size_t i) const { return items_[i]; }
+  const std::vector<Json>& items() const { return items_; }
+
+  /// Object access (insertion-ordered; Set replaces an existing key).
+  void Set(std::string_view key, Json value);
+  /// Returns nullptr when absent (or not an object).
+  const Json* Find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits compact one-line JSON.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses `text` into `*out`. On failure returns an error Status naming
+  /// the byte offset.
+  static Status Parse(std::string_view text, Json* out);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  bool integer_ = false;
+  int64_t int_ = 0;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                             // kArray
+  std::vector<std::pair<std::string, Json>> members_;   // kObject
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace akb::obs
+
+#endif  // AKB_OBS_JSON_H_

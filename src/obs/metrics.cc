@@ -1,0 +1,397 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace akb::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Small per-thread index used to pick a counter shard. Dense ids (not the
+/// hash of std::thread::id) so the first kShards threads never collide.
+size_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % Counter::kShards;
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- Counter
+
+void Counter::Add(int64_t n) {
+  if (!MetricsEnabled()) return;
+  shards_[ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------------ Gauge
+
+void Gauge::UpdateMax(int64_t v) {
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Set(int64_t v) {
+  if (!MetricsEnabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+  UpdateMax(v);
+}
+
+void Gauge::Add(int64_t delta) {
+  if (!MetricsEnabled()) return;
+  int64_t v = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  UpdateMax(v);
+}
+
+void Gauge::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram
+
+namespace {
+size_t BucketOf(int64_t value) {
+  return std::bit_width(static_cast<uint64_t>(value));
+}
+}  // namespace
+
+void Histogram::Record(int64_t value) {
+  if (!MetricsEnabled()) return;
+  if (value < 0) value = 0;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Min() const {
+  int64_t v = min_.load(std::memory_order_relaxed);
+  return v == INT64_MAX ? 0 : v;
+}
+
+double Histogram::Mean() const {
+  int64_t n = Count();
+  return n ? static_cast<double>(Sum()) / static_cast<double>(n) : 0.0;
+}
+
+int64_t Histogram::BucketCount(size_t bucket) const {
+  return bucket < kBuckets ? buckets_[bucket].load(std::memory_order_relaxed)
+                           : 0;
+}
+
+double Histogram::Percentile(double p) const {
+  int64_t total = Count();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  double rank = p / 100.0 * static_cast<double>(total);
+  int64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    int64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      // Linear interpolation inside [2^(b-1), 2^b), clamped to observed
+      // min/max so tiny samples don't report below-min estimates.
+      double lo = b == 0 ? 0.0 : static_cast<double>(int64_t(1) << (b - 1));
+      double hi = static_cast<double>(int64_t(1) << b);
+      double frac =
+          in_bucket ? (rank - static_cast<double>(seen)) /
+                          static_cast<double>(in_bucket)
+                    : 0.0;
+      double estimate = lo + frac * (hi - lo);
+      estimate = std::max(estimate, static_cast<double>(Min()));
+      estimate = std::min(estimate, static_cast<double>(Max()));
+      return estimate;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(Max());
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshotEntry entry;
+    entry.name = name;
+    entry.kind = MetricKind::kCounter;
+    entry.value = counter->Value();
+    snapshot.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshotEntry entry;
+    entry.name = name;
+    entry.kind = MetricKind::kGauge;
+    entry.value = gauge->Value();
+    entry.max = gauge->Max();
+    snapshot.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSnapshotEntry entry;
+    entry.name = name;
+    entry.kind = MetricKind::kHistogram;
+    entry.count = histogram->Count();
+    entry.sum = histogram->Sum();
+    entry.min = histogram->Min();
+    entry.max = histogram->Max();
+    entry.p50 = histogram->Percentile(50);
+    entry.p90 = histogram->Percentile(90);
+    entry.p99 = histogram->Percentile(99);
+    snapshot.entries.push_back(std::move(entry));
+  }
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+// --------------------------------------------------------------- Snapshot
+
+const MetricSnapshotEntry* MetricsSnapshot::Find(std::string_view name)
+    const {
+  for (const auto& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffFrom(const MetricsSnapshot& before)
+    const {
+  MetricsSnapshot diff;
+  for (const MetricSnapshotEntry& entry : entries) {
+    MetricSnapshotEntry delta = entry;
+    if (const MetricSnapshotEntry* prev = before.Find(entry.name)) {
+      switch (entry.kind) {
+        case MetricKind::kCounter:
+          delta.value -= prev->value;
+          break;
+        case MetricKind::kGauge:
+          break;  // gauges are point-in-time
+        case MetricKind::kHistogram:
+          // count/sum subtract cleanly; min/max/percentiles stay cumulative
+          // (bucket-level diffing is not worth the complexity here).
+          delta.count -= prev->count;
+          delta.sum -= prev->sum;
+          break;
+      }
+    }
+    // Drop metrics this interval never touched, so per-run reports stay
+    // readable even though the registry is process-global.
+    bool touched = delta.kind == MetricKind::kHistogram
+                       ? delta.count != 0
+                       : delta.value != 0 || delta.max != 0;
+    if (touched) diff.entries.push_back(std::move(delta));
+  }
+  return diff;
+}
+
+namespace {
+std::string_view KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(int indent) const {
+  Json root = Json::Object();
+  root.Set("schema", "akb-metrics-v1");
+  Json list = Json::Array();
+  for (const MetricSnapshotEntry& entry : entries) {
+    Json m = Json::Object();
+    m.Set("name", entry.name);
+    m.Set("kind", KindName(entry.kind));
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        m.Set("value", entry.value);
+        break;
+      case MetricKind::kGauge:
+        m.Set("value", entry.value);
+        m.Set("max", entry.max);
+        break;
+      case MetricKind::kHistogram:
+        m.Set("count", entry.count);
+        m.Set("sum", entry.sum);
+        m.Set("min", entry.min);
+        m.Set("max", entry.max);
+        m.Set("p50", entry.p50);
+        m.Set("p90", entry.p90);
+        m.Set("p99", entry.p99);
+        break;
+    }
+    list.Append(std::move(m));
+  }
+  root.Set("metrics", std::move(list));
+  return root.Dump(indent);
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::string out;
+  TextTable scalars({"Metric", "Kind", "Value", "Max"});
+  scalars.set_title("Counters and gauges");
+  size_t num_scalars = 0;
+  for (const MetricSnapshotEntry& entry : entries) {
+    if (entry.kind == MetricKind::kHistogram) continue;
+    ++num_scalars;
+    scalars.AddRow({entry.name, std::string(KindName(entry.kind)),
+                    FormatWithCommas(entry.value),
+                    entry.kind == MetricKind::kGauge
+                        ? FormatWithCommas(entry.max)
+                        : std::string("-")});
+  }
+  if (num_scalars) out += scalars.ToString();
+
+  TextTable hists(
+      {"Histogram", "Count", "Mean", "p50", "p90", "p99", "Max"});
+  hists.set_title("Histograms (microseconds unless named otherwise)");
+  size_t num_hists = 0;
+  for (const MetricSnapshotEntry& entry : entries) {
+    if (entry.kind != MetricKind::kHistogram) continue;
+    ++num_hists;
+    double mean = entry.count
+                      ? static_cast<double>(entry.sum) /
+                            static_cast<double>(entry.count)
+                      : 0.0;
+    hists.AddRow({entry.name, FormatWithCommas(entry.count),
+                  FormatDouble(mean, 1), FormatDouble(entry.p50, 1),
+                  FormatDouble(entry.p90, 1), FormatDouble(entry.p99, 1),
+                  FormatWithCommas(entry.max)});
+  }
+  if (num_hists) {
+    if (num_scalars) out += "\n";
+    out += hists.ToString();
+  }
+  return out;
+}
+
+// ------------------------------------------------------- dynamic helpers
+
+void CounterAdd(std::string_view name, int64_t n) {
+#ifndef AKB_METRICS_DISABLED
+  if (!MetricsEnabled()) return;
+  MetricsRegistry::Global().GetCounter(name)->Add(n);
+#else
+  (void)name;
+  (void)n;
+#endif
+}
+
+void GaugeSet(std::string_view name, int64_t v) {
+#ifndef AKB_METRICS_DISABLED
+  if (!MetricsEnabled()) return;
+  MetricsRegistry::Global().GetGauge(name)->Set(v);
+#else
+  (void)name;
+  (void)v;
+#endif
+}
+
+void HistogramRecord(std::string_view name, int64_t v) {
+#ifndef AKB_METRICS_DISABLED
+  if (!MetricsEnabled()) return;
+  MetricsRegistry::Global().GetHistogram(name)->Record(v);
+#else
+  (void)name;
+  (void)v;
+#endif
+}
+
+}  // namespace akb::obs

@@ -1,0 +1,206 @@
+// akb::obs metrics — a process-global registry of lock-cheap counters,
+// gauges, and fixed-bucket latency histograms.
+//
+// Design goals (per-stage instrumentation of a hot extraction pipeline):
+//   * a hot-loop increment costs ~one relaxed atomic add on a cache line
+//     sharded by thread, so concurrent extractor workers do not contend;
+//   * metrics are addressable by dotted name ("akb.extract.dom.claims"),
+//     registered on first use, and pointer-stable thereafter (the AKB_*
+//     macros cache the pointer in a function-local static);
+//   * the whole registry is snapshot-able at any time and exports both as
+//     JSON (machine trajectory) and as a human table (CLI report).
+//
+// Compile out every call site with -DAKB_METRICS_DISABLED, or disable at
+// runtime with SetMetricsEnabled(false) (one relaxed load per op).
+#ifndef AKB_OBS_METRICS_H_
+#define AKB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace akb::obs {
+
+/// Runtime kill switch shared by counters, gauges, and histograms.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+/// Monotonic counter, sharded across cache lines by thread so that N
+/// extractor workers incrementing the same name do not bounce one line.
+class Counter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  void Add(int64_t n = 1);
+  void Increment() { Add(1); }
+  int64_t Value() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Point-in-time value (queue depth, busy workers). Tracks the high-water
+/// mark since the last Reset so saturation shows up in snapshots.
+class Gauge {
+ public:
+  void Set(int64_t v);
+  void Add(int64_t delta);
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  void UpdateMax(int64_t v);
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Fixed-bucket latency histogram: 64 exponential (power-of-two) buckets;
+/// bucket i counts values v with bit_width(v) == i, i.e. [2^(i-1), 2^i).
+/// Record() is two relaxed adds; negative values clamp to 0.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(int64_t value);
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Min() const;
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Bucket-interpolated percentile estimate, p in [0, 100].
+  double Percentile(double p) const;
+  int64_t BucketCount(size_t bucket) const;
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's state at snapshot time.
+struct MetricSnapshotEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;  ///< counter total / gauge current value
+  int64_t max = 0;    ///< gauge high-water mark / histogram max
+  // Histogram-only fields.
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSnapshotEntry> entries;  ///< sorted by name
+
+  const MetricSnapshotEntry* Find(std::string_view name) const;
+  /// Counter/histogram totals minus `before` (per-run deltas out of the
+  /// process-global registry); gauges keep their current value. Metrics
+  /// absent from `before` are kept unchanged.
+  MetricsSnapshot DiffFrom(const MetricsSnapshot& before) const;
+  std::string ToJson(int indent = 2) const;
+  /// Two human tables (counters+gauges, histograms) via common/table.
+  std::string ToTable() const;
+};
+
+/// Name -> metric map. Registration takes a mutex; lookups after the first
+/// use are free when going through the AKB_* macros (function-local static
+/// pointer cache). Metric pointers stay valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (tests, per-bench isolation).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Dynamic-name helpers for per-class metrics ("akb.extract.dom.claims." +
+/// class_name): one registry map lookup per call, so use them at batch
+/// granularity, not inside per-node loops.
+void CounterAdd(std::string_view name, int64_t n = 1);
+void GaugeSet(std::string_view name, int64_t v);
+void HistogramRecord(std::string_view name, int64_t v);
+
+}  // namespace akb::obs
+
+#ifdef AKB_METRICS_DISABLED
+
+#define AKB_COUNTER_ADD(name, n) \
+  do {                           \
+  } while (0)
+#define AKB_COUNTER_INC(name) \
+  do {                        \
+  } while (0)
+#define AKB_GAUGE_SET(name, v) \
+  do {                         \
+  } while (0)
+#define AKB_GAUGE_ADD(name, d) \
+  do {                         \
+  } while (0)
+#define AKB_HISTOGRAM_RECORD(name, v) \
+  do {                                \
+  } while (0)
+
+#else
+
+// `name` must be a string literal (or otherwise identical on every
+// execution of the statement): the metric pointer is resolved once and
+// cached, so the steady-state cost is one relaxed add.
+#define AKB_COUNTER_ADD(name, n)                                    \
+  do {                                                              \
+    static ::akb::obs::Counter* akb_metric_counter_ =               \
+        ::akb::obs::MetricsRegistry::Global().GetCounter(name);     \
+    akb_metric_counter_->Add(n);                                    \
+  } while (0)
+#define AKB_COUNTER_INC(name) AKB_COUNTER_ADD(name, 1)
+#define AKB_GAUGE_SET(name, v)                                      \
+  do {                                                              \
+    static ::akb::obs::Gauge* akb_metric_gauge_ =                   \
+        ::akb::obs::MetricsRegistry::Global().GetGauge(name);       \
+    akb_metric_gauge_->Set(v);                                      \
+  } while (0)
+#define AKB_GAUGE_ADD(name, d)                                      \
+  do {                                                              \
+    static ::akb::obs::Gauge* akb_metric_gauge_ =                   \
+        ::akb::obs::MetricsRegistry::Global().GetGauge(name);       \
+    akb_metric_gauge_->Add(d);                                      \
+  } while (0)
+#define AKB_HISTOGRAM_RECORD(name, v)                               \
+  do {                                                              \
+    static ::akb::obs::Histogram* akb_metric_histogram_ =           \
+        ::akb::obs::MetricsRegistry::Global().GetHistogram(name);   \
+    akb_metric_histogram_->Record(v);                               \
+  } while (0)
+
+#endif  // AKB_METRICS_DISABLED
+
+#endif  // AKB_OBS_METRICS_H_

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace akb::obs {
+
+namespace {
+
+// Per-thread stack of open span indices (indices into spans_ of the
+// session generation recorded alongside).
+struct ThreadSpanStack {
+  uint64_t generation = 0;
+  std::vector<size_t> open;
+};
+thread_local ThreadSpanStack tls_stack;
+
+constexpr int kGenerationBits = 16;
+constexpr size_t kIndexMask =
+    (size_t(1) << (64 - kGenerationBits)) - 1;
+
+size_t PackHandle(uint64_t generation, size_t index) {
+  return (size_t(generation & ((1u << kGenerationBits) - 1))
+          << (64 - kGenerationBits)) |
+         (index & kIndexMask);
+}
+
+}  // namespace
+
+TraceSession& TraceSession::Global() {
+  static TraceSession* session = new TraceSession();  // never freed
+  return *session;
+}
+
+void TraceSession::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  thread_ids_.clear();
+  ++generation_;
+  origin_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::Stop() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceSession::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  thread_ids_.clear();
+  ++generation_;
+}
+
+size_t TraceSession::BeginSpan(std::string_view name) {
+  if (!enabled()) return SIZE_MAX;
+  uint64_t now_us = 0;
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_us = uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - origin_)
+                          .count());
+    auto [it, inserted] = thread_ids_.emplace(
+        std::this_thread::get_id(), uint32_t(thread_ids_.size()));
+    TraceSpan span;
+    span.name = std::string(name);
+    span.start_us = now_us;
+    span.tid = it->second;
+    if (tls_stack.generation == generation_ && !tls_stack.open.empty()) {
+      span.parent = tls_stack.open.back();
+      span.depth = tls_stack.open.size();
+    }
+    index = spans_.size();
+    spans_.push_back(std::move(span));
+    if (tls_stack.generation != generation_) {
+      tls_stack.generation = generation_;
+      tls_stack.open.clear();
+    }
+    tls_stack.open.push_back(index);
+    return PackHandle(generation_, index);
+  }
+}
+
+void TraceSession::EndSpan(size_t handle) {
+  if (handle == SIZE_MAX) return;
+  size_t index = handle & kIndexMask;
+  uint64_t generation = handle >> (64 - kGenerationBits);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if ((generation_ & ((1u << kGenerationBits) - 1)) != generation ||
+      index >= spans_.size()) {
+    return;  // session was cleared since this span opened
+  }
+  uint64_t now_us = uint64_t(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+  TraceSpan& span = spans_[index];
+  span.dur_us = now_us >= span.start_us ? now_us - span.start_us : 0;
+  if (tls_stack.generation == generation_ && !tls_stack.open.empty() &&
+      tls_stack.open.back() == index) {
+    tls_stack.open.pop_back();
+  }
+}
+
+std::vector<TraceSpan> TraceSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+size_t TraceSession::num_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::string TraceSession::ToChromeJson() const {
+  std::vector<TraceSpan> spans = Snapshot();
+  Json events = Json::Array();
+  for (const TraceSpan& span : spans) {
+    Json event = Json::Object();
+    event.Set("name", span.name);
+    event.Set("cat", "akb");
+    event.Set("ph", "X");
+    event.Set("ts", int64_t(span.start_us));
+    event.Set("dur", int64_t(span.dur_us));
+    event.Set("pid", 1);
+    event.Set("tid", int64_t(span.tid));
+    Json args = Json::Object();
+    args.Set("depth", int64_t(span.depth));
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+  return events.Dump(1);
+}
+
+}  // namespace akb::obs

@@ -1,0 +1,102 @@
+// akb::obs tracing — scoped spans that record a hierarchical span tree per
+// pipeline run and export Chrome trace_event JSON (load the file at
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Usage:
+//   obs::TraceSession::Global().Start();
+//   { AKB_TRACE_SPAN("pipeline.fusion"); ... }      // RAII
+//   WriteFile(path, obs::TraceSession::Global().ToChromeJson());
+//
+// Spans nest per thread (a thread-local stack tracks the open span), so
+// the exported tree is well-formed even when extractor stages run on the
+// MapReduce pool. When the session is not started, AKB_TRACE_SPAN costs
+// one relaxed atomic load.
+#ifndef AKB_OBS_TRACE_H_
+#define AKB_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace akb::obs {
+
+/// One completed (or still open) span.
+struct TraceSpan {
+  std::string name;
+  uint64_t start_us = 0;  ///< microseconds since session start
+  uint64_t dur_us = 0;    ///< 0 while the span is open
+  uint32_t tid = 0;       ///< dense per-session thread index
+  size_t parent = SIZE_MAX;  ///< index into the span vector; SIZE_MAX = root
+  size_t depth = 0;
+};
+
+class TraceSession {
+ public:
+  static TraceSession& Global();
+
+  /// Clears prior spans and starts recording (time origin = now).
+  void Start();
+  void Stop();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a span opening; returns an opaque handle (generation-tagged
+  /// span index), or SIZE_MAX when the session is disabled. EndSpan
+  /// ignores SIZE_MAX and handles from a cleared session.
+  size_t BeginSpan(std::string_view name);
+  void EndSpan(size_t handle);
+
+  std::vector<TraceSpan> Snapshot() const;
+  size_t num_spans() const;
+
+  /// Chrome trace_event "array format": a JSON array of complete ("ph":
+  /// "X") events. Open spans are exported with their current duration.
+  std::string ToChromeJson() const;
+
+  void Clear();
+
+ private:
+  TraceSession() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> spans_;
+  std::unordered_map<std::thread::id, uint32_t> thread_ids_;
+  std::chrono::steady_clock::time_point origin_;
+  /// Bumped on Clear/Start so stale ScopedSpans from a previous session
+  /// cannot close a reused index.
+  uint64_t generation_ = 0;
+};
+
+/// RAII span. Safe to construct when tracing is disabled (no-op).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name)
+      : index_(TraceSession::Global().BeginSpan(name)) {}
+  ~ScopedSpan() {
+    if (index_ != SIZE_MAX) TraceSession::Global().EndSpan(index_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  size_t index_;
+};
+
+}  // namespace akb::obs
+
+#define AKB_TRACE_CONCAT_INNER(a, b) a##b
+#define AKB_TRACE_CONCAT(a, b) AKB_TRACE_CONCAT_INNER(a, b)
+/// Opens a span for the rest of the enclosing scope.
+#define AKB_TRACE_SPAN(name) \
+  ::akb::obs::ScopedSpan AKB_TRACE_CONCAT(akb_trace_span_, __COUNTER__)(name)
+
+#endif  // AKB_OBS_TRACE_H_

@@ -81,5 +81,54 @@ TEST(FlagsTest, LastOccurrenceWins) {
   EXPECT_EQ(flags.GetInt("n"), 2);
 }
 
+TEST(FlagsTest, GetDoubleParsesCommonForms) {
+  FlagSet flags = ParseArgs({"--a=2.5", "--b=-0.75", "--c=1e3", "--d=4"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("a"), 2.5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("b"), -0.75);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("c"), 1000.0);
+  // An integer-shaped value reads through both numeric accessors.
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d"), 4.0);
+  EXPECT_EQ(flags.GetInt("d"), 4);
+}
+
+TEST(FlagsTest, NumericParsingToleratesWhitespaceAndPlus) {
+  FlagSet flags = ParseArgs({"--n", " 42 ", "--d", " +2.5", "--p=+7"});
+  EXPECT_EQ(flags.GetInt("n"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d"), 2.5);
+  EXPECT_EQ(flags.GetInt("p"), 7);
+}
+
+TEST(FlagsTest, TrailingJunkFallsBackToDefault) {
+  FlagSet flags = ParseArgs({"--n=42abc", "--d=2.5x"});
+  EXPECT_EQ(flags.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 1.5), 1.5);
+}
+
+TEST(FlagsTest, EqualsAndSpaceSyntaxAgreeAcrossAccessors) {
+  FlagSet eq = ParseArgs({"--s=text", "--n=5", "--d=0.5", "--b=true"});
+  FlagSet sp = ParseArgs({"--s", "text", "--n", "5", "--d", "0.5",
+                          "--b", "true"});
+  EXPECT_EQ(eq.GetString("s"), sp.GetString("s"));
+  EXPECT_EQ(eq.GetInt("n"), sp.GetInt("n"));
+  EXPECT_DOUBLE_EQ(eq.GetDouble("d"), sp.GetDouble("d"));
+  EXPECT_EQ(eq.GetBool("b"), sp.GetBool("b"));
+}
+
+TEST(FlagsTest, NoPrefixNegatesDefaultedOnBool) {
+  FlagSet flags = ParseArgs({"--no-taxonomy"});
+  EXPECT_FALSE(flags.GetBool("taxonomy", true));
+  // Explicit "--name" wins over "--no-name".
+  FlagSet both = ParseArgs({"--no-taxonomy", "--taxonomy=true"});
+  EXPECT_TRUE(both.GetBool("taxonomy", false));
+  // Absent entirely: fallback rules.
+  EXPECT_TRUE(ParseArgs({}).GetBool("taxonomy", true));
+}
+
+TEST(FlagsTest, BoolValueTrimsWhitespace) {
+  FlagSet flags = ParseArgs({"--x", " true ", "--y", " 0 "});
+  EXPECT_TRUE(flags.GetBool("x"));
+  EXPECT_FALSE(flags.GetBool("y"));
+}
+
 }  // namespace
 }  // namespace akb

@@ -1,0 +1,122 @@
+#include "obs/bench_io.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace akb::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+BenchSuite MakeSuite(const std::string& bench, double value) {
+  BenchSuite suite(bench);
+  suite.Add({"run", value, "ms", 3, {{"outputs", 17.0}}});
+  return suite;
+}
+
+TEST(BenchIoTest, WriteAndReadTextFileRoundTrip) {
+  std::string path = TempPath("bench_io_text.txt");
+  ASSERT_TRUE(WriteTextFile(path, "hello\nworld\n").ok());
+  std::string contents;
+  ASSERT_TRUE(ReadTextFile(path, &contents).ok());
+  EXPECT_EQ(contents, "hello\nworld\n");
+}
+
+TEST(BenchIoTest, ReadMissingFileFails) {
+  std::string contents;
+  EXPECT_FALSE(ReadTextFile(TempPath("does_not_exist.json"), &contents).ok());
+  BenchSuite suite("x");
+  EXPECT_FALSE(BenchSuite::ReadFile(TempPath("nope.json"), &suite).ok());
+}
+
+TEST(BenchIoTest, SuiteJsonHasSchemaAndResults) {
+  BenchSuite suite = MakeSuite("bench_demo", 12.5);
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(suite.ToJson(), &parsed).ok());
+  EXPECT_EQ(parsed.Find("schema")->AsString(), "akb-bench-v1");
+  EXPECT_EQ(parsed.Find("bench")->AsString(), "bench_demo");
+  const Json* results = parsed.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->size(), 1u);
+  const Json& r = results->at(0);
+  EXPECT_EQ(r.Find("name")->AsString(), "run");
+  EXPECT_DOUBLE_EQ(r.Find("value")->AsDouble(), 12.5);
+  EXPECT_EQ(r.Find("unit")->AsString(), "ms");
+  EXPECT_EQ(r.Find("iterations")->AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r.Find("extra")->Find("outputs")->AsDouble(), 17.0);
+}
+
+TEST(BenchIoTest, SuiteFileRoundTrip) {
+  std::string path = TempPath("bench_io_suite.json");
+  BenchSuite suite = MakeSuite("bench_roundtrip", 3.25);
+  ASSERT_TRUE(suite.WriteFile(path).ok());
+
+  BenchSuite loaded("placeholder");
+  ASSERT_TRUE(BenchSuite::ReadFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.bench_name(), "bench_roundtrip");
+  ASSERT_EQ(loaded.results().size(), 1u);
+  const BenchResult& r = loaded.results()[0];
+  EXPECT_EQ(r.name, "run");
+  EXPECT_DOUBLE_EQ(r.value, 3.25);
+  EXPECT_EQ(r.unit, "ms");
+  EXPECT_EQ(r.iterations, 3);
+  ASSERT_EQ(r.extra.size(), 1u);
+  EXPECT_EQ(r.extra[0].first, "outputs");
+  EXPECT_DOUBLE_EQ(r.extra[0].second, 17.0);
+}
+
+TEST(BenchIoTest, MergeCombinesSuites) {
+  std::string a = TempPath("bench_io_a.json");
+  std::string b = TempPath("bench_io_b.json");
+  std::string merged = TempPath("bench_io_merged.json");
+  ASSERT_TRUE(MakeSuite("bench_a", 1.0).WriteFile(a).ok());
+  ASSERT_TRUE(MakeSuite("bench_b", 2.0).WriteFile(b).ok());
+  ASSERT_TRUE(MergeBenchFiles({a, b}, merged).ok());
+
+  std::string contents;
+  ASSERT_TRUE(ReadTextFile(merged, &contents).ok());
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(contents, &parsed).ok());
+  EXPECT_EQ(parsed.Find("schema")->AsString(), "akb-bench-merged-v1");
+  const Json* benches = parsed.Find("benches");
+  ASSERT_NE(benches, nullptr);
+  ASSERT_EQ(benches->size(), 2u);
+  EXPECT_EQ(benches->at(0).Find("bench")->AsString(), "bench_a");
+  EXPECT_EQ(benches->at(1).Find("bench")->AsString(), "bench_b");
+}
+
+TEST(BenchIoTest, MergeFlattensAlreadyMergedInputs) {
+  std::string a = TempPath("bench_io_flat_a.json");
+  std::string b = TempPath("bench_io_flat_b.json");
+  std::string first = TempPath("bench_io_flat_first.json");
+  std::string all = TempPath("bench_io_flat_all.json");
+  ASSERT_TRUE(MakeSuite("bench_a", 1.0).WriteFile(a).ok());
+  ASSERT_TRUE(MakeSuite("bench_b", 2.0).WriteFile(b).ok());
+  ASSERT_TRUE(MergeBenchFiles({a, b}, first).ok());
+  // Re-merging a merged file with one more suite keeps a flat list.
+  std::string c = TempPath("bench_io_flat_c.json");
+  ASSERT_TRUE(MakeSuite("bench_c", 3.0).WriteFile(c).ok());
+  ASSERT_TRUE(MergeBenchFiles({first, c}, all).ok());
+
+  std::string contents;
+  ASSERT_TRUE(ReadTextFile(all, &contents).ok());
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(contents, &parsed).ok());
+  ASSERT_EQ(parsed.Find("benches")->size(), 3u);
+  EXPECT_EQ(parsed.Find("benches")->at(2).Find("bench")->AsString(),
+            "bench_c");
+}
+
+TEST(BenchIoTest, MergeFailsOnMalformedInput) {
+  std::string bad = TempPath("bench_io_bad.json");
+  ASSERT_TRUE(WriteTextFile(bad, "{not json").ok());
+  EXPECT_FALSE(MergeBenchFiles({bad}, TempPath("bench_io_out.json")).ok());
+}
+
+}  // namespace
+}  // namespace akb::obs

@@ -1,0 +1,113 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace akb::obs {
+namespace {
+
+TEST(JsonTest, BuildsAndDumpsScalars) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(int64_t(42)).Dump(), "42");
+  EXPECT_EQ(Json(int64_t(-7)).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegersKeepIntegerFormatting) {
+  // Counters must not export as "12.0".
+  Json j(int64_t(1234567890123));
+  EXPECT_EQ(j.Dump(), "1234567890123");
+  EXPECT_EQ(j.AsInt(), 1234567890123);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("zebra", 1);
+  obj.Set("alpha", 2);
+  obj.Set("mid", 3);
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Set on an existing key replaces in place.
+  obj.Set("alpha", 9);
+  EXPECT_EQ(obj.Find("alpha")->AsInt(), 9);
+  EXPECT_EQ(obj.members().size(), 3u);
+}
+
+TEST(JsonTest, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(Json(1).Find("x"), nullptr);
+  EXPECT_EQ(Json::Array().Find("x"), nullptr);
+  EXPECT_EQ(Json::Object().Find("missing"), nullptr);
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, ParsesScalars) {
+  Json v;
+  ASSERT_TRUE(Json::Parse("null", &v).ok());
+  EXPECT_TRUE(v.is_null());
+  ASSERT_TRUE(Json::Parse("true", &v).ok());
+  EXPECT_TRUE(v.AsBool());
+  ASSERT_TRUE(Json::Parse("-12", &v).ok());
+  EXPECT_EQ(v.AsInt(), -12);
+  ASSERT_TRUE(Json::Parse("2.5e2", &v).ok());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 250.0);
+  ASSERT_TRUE(Json::Parse("\"a\\u0041b\"", &v).ok());
+  EXPECT_EQ(v.AsString(), "aAb");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  Json v;
+  ASSERT_TRUE(
+      Json::Parse("{\"a\": [1, 2, {\"b\": false}], \"c\": \"d\"}", &v).ok());
+  ASSERT_TRUE(v.is_object());
+  const Json* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(1).AsInt(), 2);
+  EXPECT_FALSE(a->at(2).Find("b")->AsBool(true));
+  EXPECT_EQ(v.Find("c")->AsString(), "d");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  Json v;
+  EXPECT_FALSE(Json::Parse("", &v).ok());
+  EXPECT_FALSE(Json::Parse("{", &v).ok());
+  EXPECT_FALSE(Json::Parse("[1, 2", &v).ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated", &v).ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}", &v).ok());
+  EXPECT_FALSE(Json::Parse("1 trailing", &v).ok());
+  EXPECT_FALSE(Json::Parse("nul", &v).ok());
+}
+
+TEST(JsonTest, RoundTripsThroughDumpAndParse) {
+  Json obj = Json::Object();
+  obj.Set("name", "akb.pipeline.claims");
+  obj.Set("count", int64_t(12345));
+  obj.Set("mean", 2.75);
+  obj.Set("enabled", true);
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append("two");
+  arr.Append(Json());
+  obj.Set("tags", std::move(arr));
+
+  for (int indent : {0, 2}) {
+    Json parsed;
+    ASSERT_TRUE(Json::Parse(obj.Dump(indent), &parsed).ok()) << indent;
+    EXPECT_EQ(parsed.Dump(), obj.Dump());
+  }
+}
+
+TEST(JsonTest, ParseErrorNamesByteOffset) {
+  Json v;
+  Status status = Json::Parse("[1, x]", &v);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace akb::obs

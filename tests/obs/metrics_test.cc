@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace akb::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 6);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), int64_t(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, TracksValueAndHighWaterMark) {
+  Gauge g;
+  g.Set(3);
+  g.Add(4);
+  EXPECT_EQ(g.Value(), 7);
+  EXPECT_EQ(g.Max(), 7);
+  g.Add(-5);
+  EXPECT_EQ(g.Value(), 2);
+  EXPECT_EQ(g.Max(), 7);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(g.Max(), 0);
+}
+
+TEST(HistogramTest, RecordsBasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0);
+  for (int64_t v : {1, 2, 4, 8, 100}) h.Record(v);
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_EQ(h.Sum(), 115);
+  EXPECT_EQ(h.Min(), 1);
+  EXPECT_EQ(h.Max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 23.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-50);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.Min(), 0);
+  EXPECT_EQ(h.Sum(), 0);
+}
+
+TEST(HistogramTest, PercentilesAreClampedToObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(100);
+  EXPECT_GE(h.Percentile(0), 100.0 - 1e-9);
+  EXPECT_LE(h.Percentile(100), 100.0 + 1e-9);
+  // All mass in one bucket: every percentile is the single value.
+  EXPECT_NEAR(h.Percentile(50), 100.0, 1e-6);
+}
+
+TEST(HistogramTest, PercentileOrderingIsMonotone) {
+  Histogram h;
+  for (int64_t v = 1; v <= 10000; ++v) h.Record(v);
+  double p50 = h.Percentile(50);
+  double p90 = h.Percentile(90);
+  double p99 = h.Percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Exponential buckets: coarse, but p50 must land within a power of two
+  // of the true median.
+  EXPECT_GT(p50, 2500.0);
+  EXPECT_LT(p50, 10000.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsCountExactly) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(7);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), int64_t(kThreads) * kPerThread);
+  EXPECT_EQ(h.Sum(), int64_t(kThreads) * kPerThread * 7);
+}
+
+TEST(MetricsRegistryTest, NamesArePointerStable) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* a = registry.GetCounter("akb.test.registry.stable");
+  Counter* b = registry.GetCounter("akb.test.registry.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("akb.test.registry.other"));
+}
+
+TEST(MetricsRegistryTest, SnapshotFindsRegisteredMetrics) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("akb.test.snapshot.counter")->Add(11);
+  registry.GetGauge("akb.test.snapshot.gauge")->Set(4);
+  registry.GetHistogram("akb.test.snapshot.histogram")->Record(16);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  const MetricSnapshotEntry* c = snap.Find("akb.test.snapshot.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::kCounter);
+  EXPECT_GE(c->value, 11);
+
+  const MetricSnapshotEntry* g = snap.Find("akb.test.snapshot.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricKind::kGauge);
+  EXPECT_EQ(g->value, 4);
+
+  const MetricSnapshotEntry* h = snap.Find("akb.test.snapshot.histogram");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricKind::kHistogram);
+  EXPECT_GE(h->count, 1);
+  EXPECT_EQ(snap.Find("akb.test.snapshot.missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, DiffReportsPerRunDeltas) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("akb.test.diff.counter");
+  Histogram* h = registry.GetHistogram("akb.test.diff.histogram");
+  c->Add(100);
+  h->Record(10);
+
+  MetricsSnapshot before = registry.Snapshot();
+  c->Add(42);
+  h->Record(20);
+  h->Record(30);
+  MetricsSnapshot delta = registry.Snapshot().DiffFrom(before);
+
+  const MetricSnapshotEntry* dc = delta.Find("akb.test.diff.counter");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->value, 42);
+
+  const MetricSnapshotEntry* dh = delta.Find("akb.test.diff.histogram");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->count, 2);
+  EXPECT_EQ(dh->sum, 50);
+}
+
+TEST(MetricsRegistryTest, DiffDropsUntouchedMetrics) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("akb.test.diff.untouched")->Add(5);
+  MetricsSnapshot before = registry.Snapshot();
+  registry.GetCounter("akb.test.diff.touched")->Add(1);
+  MetricsSnapshot delta = registry.Snapshot().DiffFrom(before);
+  EXPECT_EQ(delta.Find("akb.test.diff.untouched"), nullptr);
+  EXPECT_NE(delta.Find("akb.test.diff.touched"), nullptr);
+}
+
+TEST(MetricsRegistryTest, MacrosAndDynamicHelpersHitTheSameMetric) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("akb.test.macro.counter");
+  c->Reset();
+  AKB_COUNTER_ADD("akb.test.macro.counter", 3);
+  CounterAdd("akb.test.macro.counter", 4);
+  EXPECT_EQ(c->Value(), 7);
+}
+
+TEST(MetricsRegistryTest, RuntimeKillSwitchSuppressesUpdates) {
+  auto& registry = MetricsRegistry::Global();
+  Counter* c = registry.GetCounter("akb.test.killswitch.counter");
+  c->Reset();
+  SetMetricsEnabled(false);
+  AKB_COUNTER_INC("akb.test.killswitch.counter");
+  CounterAdd("akb.test.killswitch.counter");
+  GaugeSet("akb.test.killswitch.gauge", 9);
+  HistogramRecord("akb.test.killswitch.histogram", 9);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(c->Value(), 0);
+  AKB_COUNTER_INC("akb.test.killswitch.counter");
+  EXPECT_EQ(c->Value(), 1);
+}
+
+TEST(MetricsSnapshotTest, JsonExportParses) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("akb.test.json.counter")->Add(2);
+  registry.GetHistogram("akb.test.json.histogram")->Record(1000);
+  MetricsSnapshot snap = registry.Snapshot();
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(snap.ToJson(), &parsed).ok());
+  EXPECT_EQ(parsed.Find("schema")->AsString(), "akb-metrics-v1");
+  const Json* metrics = parsed.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  bool found = false;
+  for (const Json& m : metrics->items()) {
+    if (m.Find("name")->AsString() == "akb.test.json.counter") {
+      found = true;
+      EXPECT_EQ(m.Find("kind")->AsString(), "counter");
+      EXPECT_GE(m.Find("value")->AsInt(), 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MetricsSnapshotTest, TableMentionsMetrics) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("akb.test.table.counter")->Add(1);
+  std::string table = registry.Snapshot().ToTable();
+  EXPECT_NE(table.find("akb.test.table.counter"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace akb::obs

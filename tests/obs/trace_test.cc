@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace akb::obs {
+namespace {
+
+// The global session is process-wide, so every test starts it fresh.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { TraceSession::Global().Start(); }
+  void TearDown() override {
+    TraceSession::Global().Stop();
+    TraceSession::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, RecordsScopedSpans) {
+  {
+    AKB_TRACE_SPAN("outer");
+    AKB_TRACE_SPAN("inner");
+  }
+  std::vector<TraceSpan> spans = TraceSession::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[1].name, "inner");
+}
+
+TEST_F(TraceTest, NestingFormsWellFormedTree) {
+  {
+    ScopedSpan a("a");
+    {
+      ScopedSpan b("a.b");
+      { ScopedSpan c("a.b.c"); }
+      { ScopedSpan d("a.b.d"); }
+    }
+    { ScopedSpan e("a.e"); }
+  }
+  std::vector<TraceSpan> spans = TraceSession::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 5u);
+  // Spans are recorded in open order: a, a.b, a.b.c, a.b.d, a.e.
+  EXPECT_EQ(spans[0].parent, SIZE_MAX);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].parent, 1u);
+  EXPECT_EQ(spans[2].depth, 2u);
+  EXPECT_EQ(spans[3].parent, 1u);  // sibling of c, same parent b
+  EXPECT_EQ(spans[4].parent, 0u);  // e hangs off a, not off b
+  EXPECT_EQ(spans[4].depth, 1u);
+  // Every parent index precedes its child and depths are consistent.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent == SIZE_MAX) continue;
+    ASSERT_LT(spans[i].parent, i);
+    EXPECT_EQ(spans[i].depth, spans[spans[i].parent].depth + 1);
+  }
+}
+
+TEST_F(TraceTest, ClosedSpansHaveContainedDurations) {
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  std::vector<TraceSpan> spans = TraceSession::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const TraceSpan& outer = spans[0];
+  const TraceSpan& inner = spans[1];
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.dur_us, outer.start_us + outer.dur_us);
+}
+
+TEST_F(TraceTest, ThreadsNestIndependently) {
+  {
+    AKB_TRACE_SPAN("main.root");
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([] {
+        AKB_TRACE_SPAN("worker.outer");
+        AKB_TRACE_SPAN("worker.inner");
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  std::vector<TraceSpan> spans = TraceSession::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 9u);
+  for (const TraceSpan& span : spans) {
+    if (span.name != "worker.inner") continue;
+    // Each inner span's parent is an outer span on the SAME thread — never
+    // the main thread's root.
+    ASSERT_NE(span.parent, SIZE_MAX);
+    EXPECT_EQ(spans[span.parent].name, "worker.outer");
+    EXPECT_EQ(spans[span.parent].tid, span.tid);
+  }
+}
+
+TEST_F(TraceTest, DisabledSessionRecordsNothing) {
+  TraceSession::Global().Stop();
+  { AKB_TRACE_SPAN("ignored"); }
+  EXPECT_EQ(TraceSession::Global().num_spans(), 0u);
+}
+
+TEST_F(TraceTest, StaleHandlesFromClearedSessionAreIgnored) {
+  size_t handle = TraceSession::Global().BeginSpan("old");
+  ASSERT_NE(handle, SIZE_MAX);
+  TraceSession::Global().Start();  // new generation; "old" is gone
+  TraceSession::Global().BeginSpan("new");
+  TraceSession::Global().EndSpan(handle);  // must not close "new"
+  std::vector<TraceSpan> spans = TraceSession::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "new");
+  EXPECT_EQ(spans[0].dur_us, 0u);  // still open
+}
+
+TEST_F(TraceTest, ChromeJsonIsValidTraceEventArray) {
+  {
+    ScopedSpan outer("stage");
+    ScopedSpan inner("stage.sub");
+  }
+  Json parsed;
+  ASSERT_TRUE(
+      Json::Parse(TraceSession::Global().ToChromeJson(), &parsed).ok());
+  ASSERT_TRUE(parsed.is_array());
+  ASSERT_EQ(parsed.size(), 2u);
+  for (const Json& event : parsed.items()) {
+    EXPECT_EQ(event.Find("ph")->AsString(), "X");
+    EXPECT_EQ(event.Find("cat")->AsString(), "akb");
+    EXPECT_NE(event.Find("name"), nullptr);
+    EXPECT_NE(event.Find("ts"), nullptr);
+    EXPECT_NE(event.Find("dur"), nullptr);
+    EXPECT_NE(event.Find("tid"), nullptr);
+    EXPECT_EQ(event.Find("pid")->AsInt(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace akb::obs

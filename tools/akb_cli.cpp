@@ -4,11 +4,12 @@
 //           [--seed=N] [--sites=N] [--pages=N] [--articles=N]
 //           [--queries=N] [--fusion=vote|accu|popaccu|accu_conf|
 //            accu_conf_copy|vote_conf|relation] [--output=kb.nt]
-//           [--provenance]
+//           [--provenance] [--metrics-out=m.json] [--trace-out=t.json]
 //   akb_cli extract-dom [--world=...] [--class=Film] [--sites=N]
 //           [--pages=N] [--seeds=N] [--seed=N]
 //   akb_cli fuse-demo [--items=N] [--seed=N]
 //   akb_cli inspect <file.nt>
+//   akb_cli bench-merge [--out=BENCH_pipeline.json] <bench1.json> ...
 #include <cstdio>
 #include <string>
 
@@ -19,6 +20,9 @@
 #include "fusion/accu.h"
 #include "fusion/metrics.h"
 #include "fusion/vote.h"
+#include "obs/bench_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "synth/claim_gen.h"
 #include "synth/site_gen.h"
@@ -57,10 +61,37 @@ int RunPipelineCommand(const FlagSet& flags) {
   config.queries_per_class = size_t(flags.GetInt("queries", 1200));
   config.fusion = ParseFusion(flags.GetString("fusion", "accu_conf_copy"));
 
+  std::string trace_out = flags.GetString("trace-out");
+  if (!trace_out.empty()) obs::TraceSession::Global().Start();
+
   rdf::TripleStore augmented;
   core::PipelineReport report =
       core::RunPipeline(world, config, &augmented);
   std::printf("%s\n", report.ToString().c_str());
+
+  if (!trace_out.empty()) {
+    obs::TraceSession::Global().Stop();
+    Status status = obs::WriteTextFile(
+        trace_out, obs::TraceSession::Global().ToChromeJson() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote %zu trace spans to %s (open in chrome://tracing)\n",
+                obs::TraceSession::Global().num_spans(), trace_out.c_str());
+  }
+
+  std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    Status status =
+        obs::WriteTextFile(metrics_out, report.metrics.ToJson() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote %zu metrics to %s\n", report.metrics.entries.size(),
+                metrics_out.c_str());
+  }
 
   std::string output = flags.GetString("output");
   if (!output.empty()) {
@@ -74,6 +105,25 @@ int RunPipelineCommand(const FlagSet& flags) {
     std::printf("Wrote %zu triples to %s\n", augmented.num_triples(),
                 output.c_str());
   }
+  return 0;
+}
+
+int RunBenchMergeCommand(const FlagSet& flags) {
+  std::vector<std::string> inputs(flags.positional().begin() + 1,
+                                  flags.positional().end());
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: akb_cli bench-merge [--out=FILE] <bench.json>...\n");
+    return 2;
+  }
+  std::string out = flags.GetString("out", "BENCH_pipeline.json");
+  Status status = obs::MergeBenchFiles(inputs, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Merged %zu bench files into %s\n", inputs.size(),
+              out.c_str());
   return 0;
 }
 
@@ -159,11 +209,14 @@ void PrintUsage() {
       "  pipeline      run the full Figure-1 pipeline (see --output)\n"
       "  extract-dom   run Algorithm 1 on generated sites\n"
       "  fuse-demo     compare VOTE vs ACCU on a synthetic claim set\n"
-      "  inspect FILE  summarize an N-Triples file\n\n"
+      "  inspect FILE  summarize an N-Triples file\n"
+      "  bench-merge   merge per-bench JSON results into one file\n\n"
       "common flags: --world=small|paper --seed=N\n"
       "pipeline:     --classes=A,B --sites=N --pages=N --articles=N\n"
       "              --queries=N --fusion=NAME --output=FILE --provenance\n"
-      "extract-dom:  --class=NAME --sites=N --pages=N --seeds=N\n");
+      "              --metrics-out=FILE --trace-out=FILE (chrome://tracing)\n"
+      "extract-dom:  --class=NAME --sites=N --pages=N --seeds=N\n"
+      "bench-merge:  --out=FILE (default BENCH_pipeline.json) inputs...\n");
 }
 
 }  // namespace
@@ -179,6 +232,7 @@ int main(int argc, char** argv) {
   if (command == "extract-dom") return RunExtractDomCommand(flags);
   if (command == "fuse-demo") return RunFuseDemoCommand(flags);
   if (command == "inspect") return RunInspectCommand(flags);
+  if (command == "bench-merge") return RunBenchMergeCommand(flags);
   PrintUsage();
   return 2;
 }
