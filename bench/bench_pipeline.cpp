@@ -70,6 +70,22 @@ void BM_FullPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
 
+void BM_FullPipelineWorkers(benchmark::State& state) {
+  // The sharded pipeline at explicit worker counts (0 would auto-size to
+  // the host); the report is bit-identical at every arg, so this measures
+  // pure scheduling cost/win.
+  const World& world = PaperWorld();
+  PipelineConfig config = DefaultConfig();
+  config.num_workers = size_t(state.range(0));
+  for (auto _ : state) {
+    PipelineReport report = RunPipeline(world, config);
+    benchmark::DoNotOptimize(report.fused_triples);
+  }
+  state.SetLabel(std::to_string(config.num_workers) + " workers");
+}
+BENCHMARK(BM_FullPipelineWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_PipelinePerFusionMethod(benchmark::State& state) {
   const World& world = PaperWorld();
   PipelineConfig config = DefaultConfig();

@@ -15,10 +15,12 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "core/pipeline.h"
 #include "extract/entity_creation.h"
 #include "fusion/model.h"
 #include "mapreduce/engine.h"
 #include "obs/bench_io.h"
+#include "rdf/ntriples.h"
 #include "synth/claim_gen.h"
 
 namespace {
@@ -112,6 +114,56 @@ void PrintScaling(obs::BenchSuite* suite) {
   std::printf("%s\n", table.ToString().c_str());
 }
 
+// The whole sharded pipeline swept over worker counts: every run's
+// augmented store must serialize to the same bytes as the single-worker
+// reference, and the speedup column records how far the sharding actually
+// scales on this host (bounded by its core count — single-core boxes
+// legitimately report ~1x).
+void PrintPipelineScaling(obs::BenchSuite* suite) {
+  synth::World world = synth::World::Build(synth::WorldConfig::PaperDefault());
+  core::PipelineConfig config;
+  config.seed = 42;
+  config.sites_per_class = 3;
+  config.pages_per_site = 15;
+  config.articles_per_class = 25;
+  config.queries_per_class = 1200;
+  config.junk_queries = 4000;
+
+  akb::TextTable table({"Workers", "Time (ms)", "Speedup vs 1",
+                        "Identical to 1-worker run"});
+  table.set_title(
+      "E3b: full sharded pipeline — worker sweep (augmented-store bytes "
+      "verified against the single-worker run)");
+  std::string reference_nt;
+  double reference_ms = 0;
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    core::PipelineConfig run_config = config;
+    run_config.num_workers = workers;
+    rdf::TripleStore augmented;
+    Stopwatch watch;
+    core::PipelineReport report =
+        core::RunPipeline(world, run_config, &augmented);
+    double ms = double(watch.ElapsedMicros()) / 1e3;
+    std::string nt = rdf::WriteNTriples(augmented);
+    if (workers == 1) {
+      reference_nt = nt;
+      reference_ms = ms;
+    }
+    bool identical = nt == reference_nt;
+    double speedup = ms > 0 ? reference_ms / ms : 0.0;
+    table.AddRow({std::to_string(workers), FormatDouble(ms, 2),
+                  FormatDouble(speedup, 2), identical ? "yes" : "NO"});
+    suite->Add({"pipeline_scale_" + std::to_string(workers) + "workers",
+                ms,
+                "ms",
+                1,
+                {{"speedup", speedup},
+                 {"identical", identical ? 1.0 : 0.0},
+                 {"fused_triples", double(report.fused_triples)}}});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
 void BM_MapReduceVote(benchmark::State& state) {
   ClaimTable table = BuildTable(20000, 92);
   size_t workers = size_t(state.range(0));
@@ -159,6 +211,7 @@ BENCHMARK(BM_EntityCreation)->Arg(1)->Arg(2)->Arg(4)
 int main(int argc, char** argv) {
   obs::BenchSuite suite("bench_scale");
   PrintScaling(&suite);
+  PrintPipelineScaling(&suite);
   suite.WriteDefaultFile();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

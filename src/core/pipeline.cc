@@ -1,6 +1,8 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <memory>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,6 +10,7 @@
 #include "common/string_util.h"
 #include "common/table.h"
 #include "extract/attribute_dedup.h"
+#include "mapreduce/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "synth/taxonomy_gen.h"
@@ -146,6 +149,22 @@ PipelineReport RunPipeline(const synth::World& world,
     for (const auto& wc : world.classes()) classes.push_back(wc.name);
   }
 
+  // One pool serves every sharded stage of this run (Wait() between
+  // stages is the barrier). Every parallel section below either writes
+  // disjoint, order-indexed slots or merges with order-insensitive
+  // operations, so the report is bit-identical at every worker count —
+  // the serial reference path is pool == nullptr.
+  size_t workers =
+      config.num_workers
+          ? config.num_workers
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  std::unique_ptr<mapreduce::ThreadPool> pool;
+  if (workers > 1) {
+    pool = std::make_unique<mapreduce::ThreadPool>(workers);
+  }
+  size_t chunks = std::max<size_t>(1, workers * 4);
+  AKB_GAUGE_SET("akb.pipeline.workers", int64_t(workers));
+
   auto stage = [&](const std::string& name, auto&& fn) {
     obs::ScopedSpan span("pipeline." + name);
     Stopwatch watch;
@@ -162,38 +181,26 @@ PipelineReport RunPipeline(const synth::World& world,
   std::vector<synth::QueryRecord> query_log;
 
   stage("render inputs", [&] {
-    dbpedia = synth::GenerateKb(
-        world, GenericProfile(world, classes, true, rng.NextU64(),
-                              config.kb_error_rate));
-    freebase = synth::GenerateKb(
-        world, GenericProfile(world, classes, false, rng.NextU64(),
-                              config.kb_error_rate));
-    size_t outputs = dbpedia.TotalFacts() + freebase.TotalFacts();
-    size_t pages_rendered = 0, articles_rendered = 0;
+    // Every seed is drawn up front from the single master RNG, in the same
+    // order the serial pipeline drew them, so the rendered bytes do not
+    // depend on task scheduling.
+    synth::KbProfile dbpedia_profile = GenericProfile(
+        world, classes, true, rng.NextU64(), config.kb_error_rate);
+    synth::KbProfile freebase_profile = GenericProfile(
+        world, classes, false, rng.NextU64(), config.kb_error_rate);
+    std::vector<synth::SiteConfig> site_configs(classes.size());
+    std::vector<synth::TextConfig> text_configs(classes.size());
     for (size_t c = 0; c < classes.size(); ++c) {
-      synth::SiteConfig site_config;
-      site_config.class_name = classes[c];
-      site_config.num_sites = config.sites_per_class;
-      site_config.pages_per_site = config.pages_per_site;
-      site_config.value_error_rate = config.site_error_rate;
-      site_config.seed = rng.NextU64();
-      sites_per_class[c] = synth::GenerateSites(world, site_config);
-      for (const auto& site : sites_per_class[c]) {
-        outputs += site.pages.size();
-        pages_rendered += site.pages.size();
-      }
-      synth::TextConfig text_config;
-      text_config.class_name = classes[c];
-      text_config.num_articles = config.articles_per_class;
-      text_config.value_error_rate = config.text_error_rate;
-      text_config.seed = rng.NextU64();
-      articles_per_class[c] = synth::GenerateArticles(world, text_config);
-      outputs += articles_per_class[c].size();
-      articles_rendered += articles_per_class[c].size();
+      site_configs[c].class_name = classes[c];
+      site_configs[c].num_sites = config.sites_per_class;
+      site_configs[c].pages_per_site = config.pages_per_site;
+      site_configs[c].value_error_rate = config.site_error_rate;
+      site_configs[c].seed = rng.NextU64();
+      text_configs[c].class_name = classes[c];
+      text_configs[c].num_articles = config.articles_per_class;
+      text_configs[c].value_error_rate = config.text_error_rate;
+      text_configs[c].seed = rng.NextU64();
     }
-    AKB_COUNTER_ADD("akb.pipeline.pages_rendered", int64_t(pages_rendered));
-    AKB_COUNTER_ADD("akb.pipeline.articles_rendered",
-                    int64_t(articles_rendered));
     synth::QueryLogConfig query_config;
     query_config.seed = rng.NextU64();
     size_t relevant_total = 0;
@@ -209,7 +216,84 @@ PipelineReport RunPipeline(const synth::World& world,
       relevant_total += qc.relevant_records;
     }
     query_config.total_records = relevant_total + config.junk_queries;
-    query_log = synth::GenerateQueryLog(world, query_config);
+
+    // Fan out: the two KBs, the query log, and one (class, range) shard
+    // per worker-sized slice of each class's sites and articles. Each
+    // shard writes its own slot; per class, slots concatenate in range
+    // order, which the range-generation APIs guarantee equals a full
+    // serial render.
+    struct RenderShard {
+      size_t cls;
+      size_t begin;
+      size_t end;
+      bool text;
+    };
+    std::vector<RenderShard> render_shards;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      size_t n = site_configs[c].num_sites;
+      size_t pieces = std::max<size_t>(1, std::min(n, workers));
+      size_t per = n ? (n + pieces - 1) / pieces : 0;
+      for (size_t b = 0; b < n; b += per) {
+        render_shards.push_back({c, b, std::min(n, b + per), false});
+      }
+      n = text_configs[c].num_articles;
+      pieces = std::max<size_t>(1, std::min(n, workers));
+      per = n ? (n + pieces - 1) / pieces : 0;
+      for (size_t b = 0; b < n; b += per) {
+        render_shards.push_back({c, b, std::min(n, b + per), true});
+      }
+    }
+    std::vector<std::vector<synth::WebSite>> site_parts(
+        render_shards.size());
+    std::vector<std::vector<synth::TextArticle>> article_parts(
+        render_shards.size());
+    AKB_COUNTER_ADD("akb.pipeline.shards",
+                    int64_t(render_shards.size() + 3));
+    mapreduce::ParallelFor(
+        pool.get(), render_shards.size() + 3, [&](size_t t) {
+          Stopwatch shard_watch;
+          if (t == 0) {
+            dbpedia = synth::GenerateKb(world, dbpedia_profile);
+          } else if (t == 1) {
+            freebase = synth::GenerateKb(world, freebase_profile);
+          } else if (t == 2) {
+            query_log = synth::GenerateQueryLog(world, query_config);
+          } else {
+            const RenderShard& shard = render_shards[t - 3];
+            if (shard.text) {
+              article_parts[t - 3] = synth::GenerateArticleRange(
+                  world, text_configs[shard.cls], shard.begin, shard.end);
+            } else {
+              site_parts[t - 3] = synth::GenerateSiteRange(
+                  world, site_configs[shard.cls], shard.begin, shard.end);
+            }
+          }
+          AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
+                               shard_watch.ElapsedMicros());
+        });
+    for (size_t i = 0; i < render_shards.size(); ++i) {
+      size_t c = render_shards[i].cls;
+      for (auto& article : article_parts[i]) {
+        articles_per_class[c].push_back(std::move(article));
+      }
+      for (auto& site : site_parts[i]) {
+        sites_per_class[c].push_back(std::move(site));
+      }
+    }
+
+    size_t outputs = dbpedia.TotalFacts() + freebase.TotalFacts();
+    size_t pages_rendered = 0, articles_rendered = 0;
+    for (size_t c = 0; c < classes.size(); ++c) {
+      for (const auto& site : sites_per_class[c]) {
+        outputs += site.pages.size();
+        pages_rendered += site.pages.size();
+      }
+      outputs += articles_per_class[c].size();
+      articles_rendered += articles_per_class[c].size();
+    }
+    AKB_COUNTER_ADD("akb.pipeline.pages_rendered", int64_t(pages_rendered));
+    AKB_COUNTER_ADD("akb.pipeline.articles_rendered",
+                    int64_t(articles_rendered));
     outputs += query_log.size();
     AKB_COUNTER_ADD("akb.pipeline.query_log_lines", int64_t(query_log.size()));
     return outputs;
@@ -221,9 +305,19 @@ PipelineReport RunPipeline(const synth::World& world,
   extract::KbExtraction combined;
   std::vector<ExtractedTriple> all_triples;
   stage("existing-KB extraction", [&] {
-    combined = kb_extractor.Combine({&dbpedia, &freebase});
-    auto t1 = kb_extractor.ExtractTriples(dbpedia);
-    auto t2 = kb_extractor.ExtractTriples(freebase);
+    // Combine and the two triple extractions are independent read-only
+    // passes over the snapshots; the triples append in fixed order after
+    // the barrier.
+    std::vector<ExtractedTriple> t1, t2;
+    mapreduce::ParallelFor(pool.get(), 3, [&](size_t t) {
+      if (t == 0) {
+        combined = kb_extractor.Combine({&dbpedia, &freebase});
+      } else if (t == 1) {
+        t1 = kb_extractor.ExtractTriples(dbpedia);
+      } else {
+        t2 = kb_extractor.ExtractTriples(freebase);
+      }
+    });
     all_triples.insert(all_triples.end(), t1.begin(), t1.end());
     all_triples.insert(all_triples.end(), t2.begin(), t2.end());
     size_t attrs = 0;
@@ -255,7 +349,7 @@ PipelineReport RunPipeline(const synth::World& world,
     std::vector<std::string> queries;
     queries.reserve(query_log.size());
     for (const auto& record : query_log) queries.push_back(record.query);
-    query_extraction = query_extractor.Extract(queries);
+    query_extraction = query_extractor.ExtractSharded(queries, pool.get());
     size_t attrs = 0;
     for (const auto& c : query_extraction.classes) {
       attrs += c.credible_attributes.size();
@@ -280,11 +374,32 @@ PipelineReport RunPipeline(const synth::World& world,
   extract::DomTreeExtractor dom_extractor(config.dom_extractor);
   std::vector<extract::DomExtraction> dom_extractions(classes.size());
   stage("DOM-tree extraction", [&] {
+    // Map: every (class, site) pair is one task — flattening classes and
+    // sites into one fan-out keeps all workers busy even when a class has
+    // few sites. Reduce: per-class ordered merge.
+    std::vector<std::pair<size_t, size_t>> units;  // (class, site)
+    std::vector<std::vector<extract::DomExtraction>> site_shards(
+        classes.size());
+    for (size_t c = 0; c < classes.size(); ++c) {
+      site_shards[c].resize(sites_per_class[c].size());
+      for (size_t s = 0; s < sites_per_class[c].size(); ++s) {
+        units.emplace_back(c, s);
+      }
+    }
+    AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(units.size()));
+    mapreduce::ParallelFor(pool.get(), units.size(), [&](size_t u) {
+      auto [c, s] = units[u];
+      Stopwatch shard_watch;
+      obs::ScopedSpan span("extract.dom." + classes[c]);
+      site_shards[c][s] = dom_extractor.ExtractSite(
+          sites_per_class[c][s], entity_names[c], seeds[c]);
+      AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
+                           shard_watch.ElapsedMicros());
+    });
     size_t outputs = 0;
     for (size_t c = 0; c < classes.size(); ++c) {
-      obs::ScopedSpan span("extract.dom." + classes[c]);
-      dom_extractions[c] = dom_extractor.Extract(sites_per_class[c],
-                                                 entity_names[c], seeds[c]);
+      dom_extractions[c] = dom_extractor.MergeSiteExtractions(
+          std::move(site_shards[c]), seeds[c]);
       outputs += dom_extractions[c].new_attributes.size();
       all_triples.insert(all_triples.end(),
                          dom_extractions[c].triples.begin(),
@@ -297,8 +412,12 @@ PipelineReport RunPipeline(const synth::World& world,
   extract::WebTextExtractor text_extractor(config.text_extractor);
   std::vector<extract::TextExtraction> text_extractions(classes.size());
   stage("Web-text extraction", [&] {
-    size_t outputs = 0;
-    for (size_t c = 0; c < classes.size(); ++c) {
+    // One map task per class (the extractor's deduper grows across a
+    // class's sentences in order, so a class is the finest deterministic
+    // shard); triples append in class order after the barrier.
+    AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(classes.size()));
+    mapreduce::ParallelFor(pool.get(), classes.size(), [&](size_t c) {
+      Stopwatch shard_watch;
       obs::ScopedSpan span("extract.text." + classes[c]);
       std::vector<std::string> documents, source_names;
       for (const auto& article : articles_per_class[c]) {
@@ -307,6 +426,11 @@ PipelineReport RunPipeline(const synth::World& world,
       }
       text_extractions[c] = text_extractor.Extract(
           classes[c], documents, source_names, entity_names[c], seeds[c]);
+      AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
+                           shard_watch.ElapsedMicros());
+    });
+    size_t outputs = 0;
+    for (size_t c = 0; c < classes.size(); ++c) {
       outputs += text_extractions[c].new_attributes.size();
       all_triples.insert(all_triples.end(),
                          text_extractions[c].triples.begin(),
@@ -315,8 +439,12 @@ PipelineReport RunPipeline(const synth::World& world,
     return outputs;
   });
 
-  // (5) New entity creation (joint linking + discovery, MapReduce).
-  extract::EntityCreator entity_creator(config.entity_creation);
+  // (5) New entity creation (joint linking + discovery, MapReduce). The
+  // job's output is sorted by cluster key, so the worker count is free.
+  extract::EntityCreationConfig entity_creation_config =
+      config.entity_creation;
+  entity_creation_config.num_workers = workers;
+  extract::EntityCreator entity_creator(entity_creation_config);
   extract::EntityResolution resolution;
   stage("entity creation", [&] {
     std::vector<std::string> kb_names;
@@ -363,25 +491,51 @@ PipelineReport RunPipeline(const synth::World& world,
   // set are *novel* knowledge (the augmentation payoff).
   std::unordered_set<std::string> kb_items;
   stage("claim assembly", [&] {
+    // The per-triple string work (entity resolution, attribute
+    // canonicalization, value normalization) is pure, so it precomputes in
+    // parallel ranges into per-triple slots; the id-assigning intern loop
+    // then runs serially over the prepared rows in triple order, which
+    // fixes every ItemId/SourceId/ValueId independent of scheduling.
+    struct PreparedClaim {
+      std::string entity;
+      std::string attr_key;
+      std::string value;
+      std::string item;
+    };
+    std::vector<PreparedClaim> prepared(all_triples.size());
+    mapreduce::ParallelForRanges(
+        pool.get(), all_triples.size(), chunks,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const ExtractedTriple& t = all_triples[i];
+            PreparedClaim& p = prepared[i];
+            p.entity = t.entity;
+            size_t resolved = resolution.Resolve(p.entity);
+            if (resolved != SIZE_MAX) {
+              p.entity = resolution.entities[resolved].name;
+            }
+            p.attr_key = extract::AttributeKey(t.attribute);
+            p.item = t.class_name + "|" + p.entity + "|" + p.attr_key;
+            // Same value normalization as ClaimTable::FromTriples.
+            p.value = NormalizeSurface(t.value);
+          }
+        });
     std::unordered_map<std::string, size_t> meta_index;
     std::unordered_map<rdf::ExtractorKind, size_t> claims_by_extractor;
-    for (const ExtractedTriple& t : all_triples) {
+    for (size_t i = 0; i < all_triples.size(); ++i) {
+      const ExtractedTriple& t = all_triples[i];
+      PreparedClaim& p = prepared[i];
       ++claims_by_extractor[t.extractor];
-      std::string entity = t.entity;
-      size_t resolved = resolution.Resolve(entity);
-      if (resolved != SIZE_MAX) entity = resolution.entities[resolved].name;
-      std::string attr_key = extract::AttributeKey(t.attribute);
-      std::string item = t.class_name + "|" + entity + "|" + attr_key;
-      if (!meta_index.count(item)) {
-        meta_index.emplace(item, item_meta.size());
+      if (!meta_index.count(p.item)) {
+        meta_index.emplace(p.item, item_meta.size());
         item_meta.push_back(
-            ItemMeta{t.class_name, entity, attr_key, t.attribute});
+            ItemMeta{t.class_name, p.entity, p.attr_key, t.attribute});
       }
       if (t.extractor == rdf::ExtractorKind::kExistingKb) {
-        kb_items.insert(item);
+        kb_items.insert(p.item);
       }
-      // Same value normalization as ClaimTable::FromTriples.
-      table.Add(item, t.source, NormalizeSurface(t.value), t.confidence);
+      table.Add(std::move(p.item), t.source, std::move(p.value),
+                t.confidence);
     }
     for (const auto& [kind, count] : claims_by_extractor) {
       obs::CounterAdd(std::string("akb.pipeline.claims.") +
@@ -397,29 +551,43 @@ PipelineReport RunPipeline(const synth::World& world,
   stage(std::string("fusion [") +
             std::string(FusionMethodToString(config.fusion)) + "]",
         [&] {
+          // Every family shards by item (ACCU synchronizes only at round
+          // barriers), so the worker count never changes the output.
           switch (config.fusion) {
-            case FusionMethod::kVote:
-              output = fusion::Vote(table);
+            case FusionMethod::kVote: {
+              fusion::VoteConfig vote;
+              vote.num_workers = workers;
+              output = fusion::Vote(table, vote);
               break;
-            case FusionMethod::kAccu:
-              output = fusion::Accu(table, config.accu);
+            }
+            case FusionMethod::kAccu: {
+              fusion::AccuConfig accu = config.accu;
+              accu.num_workers = workers;
+              output = fusion::Accu(table, accu);
               break;
+            }
             case FusionMethod::kPopAccu: {
               fusion::AccuConfig accu = config.accu;
               accu.popularity = true;
+              accu.num_workers = workers;
               output = fusion::Accu(table, accu);
               break;
             }
             case FusionMethod::kAccuConfidence: {
               fusion::AccuConfig accu = config.accu;
               accu.use_confidence = true;
+              accu.num_workers = workers;
               output = fusion::Accu(table, accu);
               break;
             }
             case FusionMethod::kAccuConfidenceCopy: {
               fusion::AccuConfig accu = config.accu;
               accu.use_confidence = true;
-              fusion::CopyDetection copies = fusion::DetectCopying(table);
+              accu.num_workers = workers;
+              fusion::CopyDetectConfig copy_config;
+              copy_config.num_workers = workers;
+              fusion::CopyDetection copies =
+                  fusion::DetectCopying(table, copy_config);
               accu.source_weights = copies.independence;
               output = fusion::Accu(table, accu);
               break;
@@ -427,6 +595,7 @@ PipelineReport RunPipeline(const synth::World& world,
             case FusionMethod::kVoteConfidence: {
               fusion::VoteConfig vote;
               vote.use_confidence = true;
+              vote.num_workers = workers;
               output = fusion::Vote(table, vote);
               break;
             }
@@ -500,21 +669,52 @@ PipelineReport RunPipeline(const synth::World& world,
     std::unordered_map<std::string, std::pair<size_t, size_t>> fused_counts,
         raw_counts, novel_counts;  // class -> (correct, total)
 
+    // Truth lookups against the world (hash probes + value matching) are
+    // read-only, so both verdict passes shard into disjoint slots; the
+    // counting and the store inserts stay serial in item order, keeping
+    // the augmented store's triple order scheduling-independent.
+    struct FusedVerdict {
+      fusion::ValueId value;
+      int truth;
+    };
+    std::vector<std::vector<FusedVerdict>> fused_verdicts(table.num_items());
+    mapreduce::ParallelForRanges(
+        pool.get(), table.num_items(), chunks,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const ItemMeta& meta = item_meta[i];
+            for (fusion::ValueId v :
+                 output.TruthsOf(static_cast<fusion::ItemId>(i))) {
+              fused_verdicts[i].push_back(
+                  FusedVerdict{v, value_is_true(meta, table.value_name(v))});
+            }
+          }
+        });
+    std::vector<int8_t> raw_truth(table.claims().size());
+    mapreduce::ParallelForRanges(
+        pool.get(), table.claims().size(), chunks,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            const fusion::Claim& claim = table.claims()[i];
+            raw_truth[i] = static_cast<int8_t>(value_is_true(
+                item_meta[claim.item], table.value_name(claim.value)));
+          }
+        });
+
     for (fusion::ItemId i = 0; i < table.num_items(); ++i) {
       const ItemMeta& meta = item_meta[i];
       bool novel = kb_items.count(table.item_name(i)) == 0;
-      for (fusion::ValueId v : output.TruthsOf(i)) {
-        const std::string& value = table.value_name(v);
+      for (const FusedVerdict& verdict : fused_verdicts[i]) {
+        const std::string& value = table.value_name(verdict.value);
         ++emitted;
         auto& counts = fused_counts[meta.class_name];
-        int truth = value_is_true(meta, value);
         ++counts.second;
-        if (truth == 1) ++counts.first;
+        if (verdict.truth == 1) ++counts.first;
         if (novel) {
           ++novel_emitted;
           auto& nc = novel_counts[meta.class_name];
           ++nc.second;
-          if (truth == 1) ++nc.first;
+          if (verdict.truth == 1) ++nc.first;
         }
         if (augmented != nullptr) {
           augmented->InsertDecoded(
@@ -527,13 +727,12 @@ PipelineReport RunPipeline(const synth::World& world,
         }
       }
     }
-    for (const fusion::Claim& claim : table.claims()) {
+    for (size_t i = 0; i < table.claims().size(); ++i) {
+      const fusion::Claim& claim = table.claims()[i];
       const ItemMeta& meta = item_meta[claim.item];
       auto& counts = raw_counts[meta.class_name];
       ++counts.second;
-      if (value_is_true(meta, table.value_name(claim.value)) == 1) {
-        ++counts.first;
-      }
+      if (raw_truth[i] == 1) ++counts.first;
     }
 
     // Attribute discovery quality: union of all extractors' attributes.

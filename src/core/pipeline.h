@@ -85,7 +85,11 @@ struct PipelineConfig {
 
   FusionMethod fusion = FusionMethod::kAccuConfidenceCopy;
   fusion::AccuConfig accu;
-  size_t num_workers = 2;
+  /// Worker threads for the sharded stages (rendering, extraction, claim
+  /// assembly, fusion, augmentation); 0 = one per hardware thread. Every
+  /// worker count — including 1, the serial reference path — produces a
+  /// bit-identical report.
+  size_t num_workers = 0;
 };
 
 /// Timing + volume of one pipeline stage.

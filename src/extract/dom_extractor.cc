@@ -32,8 +32,18 @@ DomExtraction DomTreeExtractor::Extract(
     const std::vector<synth::WebSite>& sites,
     const std::vector<std::string>& entity_names,
     const std::vector<std::string>& seed_attributes) const {
+  std::vector<const synth::WebSite*> ptrs;
+  ptrs.reserve(sites.size());
+  for (const synth::WebSite& site : sites) ptrs.push_back(&site);
+  return ExtractSites(ptrs, entity_names, seed_attributes);
+}
+
+DomExtraction DomTreeExtractor::ExtractSites(
+    const std::vector<const synth::WebSite*>& sites,
+    const std::vector<std::string>& entity_names,
+    const std::vector<std::string>& seed_attributes) const {
   DomExtraction out;
-  if (!sites.empty()) out.class_name = sites.front().class_name;
+  if (!sites.empty()) out.class_name = sites.front()->class_name;
 
   // Normalized entity set for entity-node recognition.
   std::unordered_map<std::string, std::string> entities;  // norm -> name
@@ -52,7 +62,8 @@ DomExtraction DomTreeExtractor::Extract(
   // candidate-entity pages), parallel to out.triples until the dedup pass.
   std::vector<double> triple_quality;
 
-  for (const synth::WebSite& site : sites) {
+  for (const synth::WebSite* site_ptr : sites) {
+    const synth::WebSite& site = *site_ptr;
     if (config_.attribute_budget &&
         dedup.num_clusters() >= config_.attribute_budget) {
       break;
@@ -302,6 +313,104 @@ DomExtraction DomTreeExtractor::ExtractPages(
     site.pages.push_back(std::move(page));
   }
   return Extract({std::move(site)}, entity_names, seed_attributes);
+}
+
+DomExtraction DomTreeExtractor::ExtractSite(
+    const synth::WebSite& site,
+    const std::vector<std::string>& entity_names,
+    const std::vector<std::string>& seed_attributes) const {
+  return ExtractSites({&site}, entity_names, seed_attributes);
+}
+
+DomExtraction DomTreeExtractor::ExtractSharded(
+    const std::vector<synth::WebSite>& sites,
+    const std::vector<std::string>& entity_names,
+    const std::vector<std::string>& seed_attributes,
+    mapreduce::ThreadPool* pool) const {
+  // Map phase: one task per site, each running Algorithm 1 with only the
+  // input seeds (site-local growth). Tasks write disjoint slots, so any
+  // worker count — including the inline pool == nullptr path — produces
+  // the same per_site array.
+  std::vector<DomExtraction> per_site(sites.size());
+  mapreduce::ParallelFor(pool, sites.size(), [&](size_t s) {
+    per_site[s] = ExtractSite(sites[s], entity_names, seed_attributes);
+  });
+  return MergeSiteExtractions(std::move(per_site), seed_attributes);
+}
+
+DomExtraction DomTreeExtractor::MergeSiteExtractions(
+    std::vector<DomExtraction> per_site,
+    const std::vector<std::string>& seed_attributes) const {
+  DomExtraction out;
+  for (const DomExtraction& shard : per_site) {
+    if (!shard.class_name.empty()) {
+      out.class_name = shard.class_name;
+      break;
+    }
+  }
+
+  // Merge in shard order throughout.
+  //
+  // Attributes: re-cluster every shard's discoveries through a fresh
+  // deduper so near-duplicate surfaces found on different sites collapse;
+  // support sums, best similarity maxes, and confidence is recomputed from
+  // the merged evidence (matching how Extract scores a cluster it saw on
+  // several sites).
+  AttributeDeduper dedup(config_.dedup);
+  for (const std::string& seed : seed_attributes) dedup.Add(seed);
+  size_t input_clusters = dedup.num_clusters();
+  std::map<size_t, DomAttribute> merged;
+  for (const DomExtraction& shard : per_site) {
+    for (const DomAttribute& attr : shard.new_attributes) {
+      size_t cluster = dedup.Add(attr.surface);
+      if (cluster < input_clusters) continue;  // collapsed into a seed
+      DomAttribute& m = merged[cluster];
+      if (m.surface.empty()) {
+        m.surface = attr.surface;
+        m.canonical = dedup.key(cluster);
+      }
+      m.support += attr.support;
+      m.best_similarity = std::max(m.best_similarity, attr.best_similarity);
+    }
+  }
+  for (auto& [cluster, attr] : merged) {
+    attr.support = std::max<size_t>(attr.support, 1);
+    attr.confidence = config_.confidence.Score(
+        rdf::ExtractorKind::kDomTree, attr.support, attr.best_similarity);
+    out.new_attributes.push_back(std::move(attr));
+  }
+  std::sort(out.new_attributes.begin(), out.new_attributes.end(),
+            [](const DomAttribute& a, const DomAttribute& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.canonical < b.canonical;
+            });
+
+  // Triples concatenate in site order (each site's source domain is
+  // distinct, so the per-shard (entity, attribute, value, source)
+  // collapse already removed every duplicate). Attribute surfaces remap
+  // to the merged representatives so fusion keys agree across sites.
+  for (DomExtraction& shard : per_site) {
+    for (ExtractedTriple& triple : shard.triples) {
+      size_t cluster = dedup.Find(triple.attribute);
+      if (cluster != SIZE_MAX) {
+        triple.attribute = dedup.representative(cluster);
+      }
+      out.triples.push_back(std::move(triple));
+    }
+    for (std::string& candidate : shard.candidate_entities) {
+      out.candidate_entities.push_back(std::move(candidate));
+    }
+    out.stats.pages_total += shard.stats.pages_total;
+    out.stats.pages_with_entity += shard.stats.pages_with_entity;
+    out.stats.pages_used += shard.stats.pages_used;
+    out.stats.patterns_induced += shard.stats.patterns_induced;
+    out.stats.nodes_considered += shard.stats.nodes_considered;
+    out.stats.nodes_matched += shard.stats.nodes_matched;
+    out.stats.passes += shard.stats.passes;
+    out.stats.pages_with_candidate_anchor +=
+        shard.stats.pages_with_candidate_anchor;
+  }
+  return out;
 }
 
 }  // namespace akb::extract

@@ -30,6 +30,7 @@
 #include "extract/confidence.h"
 #include "extract/extraction.h"
 #include "html/tag_path.h"
+#include "mapreduce/thread_pool.h"
 #include "synth/site_gen.h"
 
 namespace akb::extract {
@@ -118,7 +119,44 @@ class DomTreeExtractor {
                              const std::vector<std::string>& seed_attributes)
       const;
 
+  /// One map task of the sharded mode: Algorithm 1 over a single site with
+  /// *site-local* seed growth (CERES-style — a discovery on this site does
+  /// not seed any other). Reads only const state, so sites extract
+  /// concurrently.
+  DomExtraction ExtractSite(
+      const synth::WebSite& site,
+      const std::vector<std::string>& entity_names,
+      const std::vector<std::string>& seed_attributes) const;
+
+  /// Deterministic ordered merge of per-site shards (the reduce of the
+  /// sharded mode). In shard order: attributes re-cluster through a fresh
+  /// deduper (support sums, best similarity maxes, confidence recomputed
+  /// from merged evidence), triples concatenate with their attribute
+  /// surfaces remapped to the merged representatives, stats sum.
+  DomExtraction MergeSiteExtractions(
+      std::vector<DomExtraction> shards,
+      const std::vector<std::string>& seed_attributes) const;
+
+  /// Parallel variant: ExtractSite per site on `pool`, then
+  /// MergeSiteExtractions in site order. Shards never communicate, so the
+  /// result is bit-identical for any worker count, including the inline
+  /// pool == nullptr path. Note the site-local seed growth makes this a
+  /// deliberately different (not just reordered) computation from
+  /// Extract().
+  DomExtraction ExtractSharded(
+      const std::vector<synth::WebSite>& sites,
+      const std::vector<std::string>& entity_names,
+      const std::vector<std::string>& seed_attributes,
+      mapreduce::ThreadPool* pool) const;
+
  private:
+  /// Pointer-based core of Extract (lets ExtractSite run one site without
+  /// copying it).
+  DomExtraction ExtractSites(
+      const std::vector<const synth::WebSite*>& sites,
+      const std::vector<std::string>& entity_names,
+      const std::vector<std::string>& seed_attributes) const;
+
   DomExtractorConfig config_;
 };
 

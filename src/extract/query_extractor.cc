@@ -141,134 +141,145 @@ bool QueryStreamExtractor::PassesFilters(
   return true;
 }
 
-QueryExtraction QueryStreamExtractor::Extract(
-    const std::vector<std::string>& queries) const {
-  QueryExtraction result;
-  result.total_records = queries.size();
+QueryClassExtraction QueryStreamExtractor::ScanClass(
+    size_t class_index,
+    const std::vector<std::vector<std::string>>& tokenized) const {
+  const ClassEntry& cls = classes_[class_index];
 
   struct Candidate {
     size_t records = 0;
     std::unordered_set<size_t> entities;
     std::unordered_map<std::string, size_t> surfaces;
   };
-  struct ClassState {
-    size_t relevant = 0;
-    size_t pattern_hits = 0;
-    size_t filtered_out = 0;
-    AttributeDeduper dedup;
-    std::map<size_t, Candidate> candidates;  // cluster id -> evidence
-  };
-  std::vector<ClassState> states;
-  states.reserve(classes_.size());
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    states.emplace_back();
-    states.back().dedup = AttributeDeduper(config_.dedup);
-  }
+  size_t relevant = 0, pattern_hits = 0, filtered_out = 0;
+  AttributeDeduper dedup(config_.dedup);
+  std::map<size_t, Candidate> candidates;  // cluster id -> evidence
 
-  for (const std::string& query : queries) {
-    std::vector<std::string> tokens = text::TokenizeWords(query);
+  for (const std::vector<std::string>& tokens : tokenized) {
     if (tokens.empty()) continue;
 
-    for (size_t c = 0; c < classes_.size(); ++c) {
-      const ClassEntry& cls = classes_[c];
-      ClassState& state = states[c];
-
-      // Find the longest entity mention (longest-first avoids matching the
-      // article-stripped variant inside the full name).
-      size_t ent_begin = SIZE_MAX, ent_len = 0, ent_index = SIZE_MAX;
-      for (size_t pos = 0; pos < tokens.size(); ++pos) {
-        auto it = cls.by_first_token.find(tokens[pos]);
-        if (it == cls.by_first_token.end()) continue;
-        for (size_t index : it->second) {
-          const auto& entity = cls.entity_tokens[index];
-          if (pos + entity.size() > tokens.size()) continue;
-          if (entity.size() > ent_len &&
-              std::equal(entity.begin(), entity.end(),
-                         tokens.begin() + pos)) {
-            ent_begin = pos;
-            ent_len = entity.size();
-            ent_index = index;
-          }
+    // Find the longest entity mention (longest-first avoids matching the
+    // article-stripped variant inside the full name).
+    size_t ent_begin = SIZE_MAX, ent_len = 0, ent_index = SIZE_MAX;
+    for (size_t pos = 0; pos < tokens.size(); ++pos) {
+      auto it = cls.by_first_token.find(tokens[pos]);
+      if (it == cls.by_first_token.end()) continue;
+      for (size_t index : it->second) {
+        const auto& entity = cls.entity_tokens[index];
+        if (pos + entity.size() > tokens.size()) continue;
+        if (entity.size() > ent_len &&
+            std::equal(entity.begin(), entity.end(),
+                       tokens.begin() + pos)) {
+          ent_begin = pos;
+          ent_len = entity.size();
+          ent_index = index;
         }
       }
-      if (ent_begin == SIZE_MAX) continue;
-      ++state.relevant;
+    }
+    if (ent_begin == SIZE_MAX) continue;
+    ++relevant;
 
-      // Collapse the mention into a single placeholder token and try the
-      // pattern family anchored over the whole query.
-      std::vector<std::string> collapsed;
-      collapsed.reserve(tokens.size() - ent_len + 1);
-      collapsed.insert(collapsed.end(), tokens.begin(),
-                       tokens.begin() + ent_begin);
-      collapsed.push_back(kEntityToken);
-      collapsed.insert(collapsed.end(), tokens.begin() + ent_begin + ent_len,
-                       tokens.end());
+    // Collapse the mention into a single placeholder token and try the
+    // pattern family anchored over the whole query.
+    std::vector<std::string> collapsed;
+    collapsed.reserve(tokens.size() - ent_len + 1);
+    collapsed.insert(collapsed.end(), tokens.begin(),
+                     tokens.begin() + ent_begin);
+    collapsed.push_back(kEntityToken);
+    collapsed.insert(collapsed.end(), tokens.begin() + ent_begin + ent_len,
+                     tokens.end());
 
-      for (const text::Pattern& pattern : patterns_) {
-        text::PatternMatch match;
-        if (!pattern.MatchWhole(collapsed, config_.max_attribute_tokens,
-                                &match)) {
-          continue;
-        }
-        auto a_slot = match.slots.find("A");
-        if (a_slot == match.slots.end()) continue;
-        ++state.pattern_hits;
-        if (!PassesFilters(collapsed, a_slot->second.begin,
-                           a_slot->second.end)) {
-          ++state.filtered_out;
-          break;
-        }
-        std::string surface = text::JoinTokens(collapsed,
-                                               a_slot->second.begin,
-                                               a_slot->second.end);
-        size_t cluster = state.dedup.Add(surface);
-        Candidate& cand = state.candidates[cluster];
-        ++cand.records;
-        cand.entities.insert(cls.entity_of_variant[ent_index]);
-        ++cand.surfaces[surface];
-        break;  // first matching pattern wins for this (query, class)
+    for (const text::Pattern& pattern : patterns_) {
+      text::PatternMatch match;
+      if (!pattern.MatchWhole(collapsed, config_.max_attribute_tokens,
+                              &match)) {
+        continue;
       }
+      auto a_slot = match.slots.find("A");
+      if (a_slot == match.slots.end()) continue;
+      ++pattern_hits;
+      if (!PassesFilters(collapsed, a_slot->second.begin,
+                         a_slot->second.end)) {
+        ++filtered_out;
+        break;
+      }
+      std::string surface = text::JoinTokens(collapsed,
+                                             a_slot->second.begin,
+                                             a_slot->second.end);
+      size_t cluster = dedup.Add(surface);
+      Candidate& cand = candidates[cluster];
+      ++cand.records;
+      cand.entities.insert(cls.entity_of_variant[ent_index]);
+      ++cand.surfaces[surface];
+      break;  // first matching pattern wins for this (query, class)
     }
   }
 
-  for (size_t c = 0; c < classes_.size(); ++c) {
-    ClassState& state = states[c];
-    QueryClassExtraction out;
-    out.class_name = classes_[c].name;
-    out.relevant_records = state.relevant;
-    out.pattern_hits = state.pattern_hits;
-    out.filtered_out = state.filtered_out;
-    for (const auto& [cluster, cand] : state.candidates) {
-      if (cand.records < config_.min_record_support) continue;
-      if (cand.entities.size() < config_.min_entity_support) continue;
-      ExtractedAttribute attribute;
-      attribute.class_name = out.class_name;
-      attribute.surface = state.dedup.representative(cluster);
-      attribute.canonical = state.dedup.key(cluster);
-      attribute.support = cand.records;
-      attribute.source = "query_stream";
-      attribute.extractor = rdf::ExtractorKind::kQueryStream;
-      attribute.confidence = config_.confidence.Score(
-          rdf::ExtractorKind::kQueryStream, cand.records);
-      out.credible_attributes.push_back(std::move(attribute));
-    }
-    // Deterministic presentation: by descending support, then name.
-    std::sort(out.credible_attributes.begin(), out.credible_attributes.end(),
-              [](const ExtractedAttribute& a, const ExtractedAttribute& b) {
-                if (a.support != b.support) return a.support > b.support;
-                return a.canonical < b.canonical;
-              });
-    AKB_COUNTER_ADD("akb.extract.query.lines_matched",
-                    int64_t(state.pattern_hits));
-    AKB_COUNTER_ADD("akb.extract.query.relevant_records",
-                    int64_t(state.relevant));
-    AKB_COUNTER_ADD("akb.extract.query.credible_attributes",
-                    int64_t(out.credible_attributes.size()));
-    obs::CounterAdd(
-        "akb.extract.query.credible_attributes." + out.class_name,
-        int64_t(out.credible_attributes.size()));
-    result.classes.push_back(std::move(out));
+  QueryClassExtraction out;
+  out.class_name = cls.name;
+  out.relevant_records = relevant;
+  out.pattern_hits = pattern_hits;
+  out.filtered_out = filtered_out;
+  for (const auto& [cluster, cand] : candidates) {
+    if (cand.records < config_.min_record_support) continue;
+    if (cand.entities.size() < config_.min_entity_support) continue;
+    ExtractedAttribute attribute;
+    attribute.class_name = out.class_name;
+    attribute.surface = dedup.representative(cluster);
+    attribute.canonical = dedup.key(cluster);
+    attribute.support = cand.records;
+    attribute.source = "query_stream";
+    attribute.extractor = rdf::ExtractorKind::kQueryStream;
+    attribute.confidence = config_.confidence.Score(
+        rdf::ExtractorKind::kQueryStream, cand.records);
+    out.credible_attributes.push_back(std::move(attribute));
   }
+  // Deterministic presentation: by descending support, then name.
+  std::sort(out.credible_attributes.begin(), out.credible_attributes.end(),
+            [](const ExtractedAttribute& a, const ExtractedAttribute& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.canonical < b.canonical;
+            });
+  AKB_COUNTER_ADD("akb.extract.query.lines_matched",
+                  int64_t(pattern_hits));
+  AKB_COUNTER_ADD("akb.extract.query.relevant_records",
+                  int64_t(relevant));
+  AKB_COUNTER_ADD("akb.extract.query.credible_attributes",
+                  int64_t(out.credible_attributes.size()));
+  obs::CounterAdd(
+      "akb.extract.query.credible_attributes." + out.class_name,
+      int64_t(out.credible_attributes.size()));
+  return out;
+}
+
+QueryExtraction QueryStreamExtractor::Extract(
+    const std::vector<std::string>& queries) const {
+  return ExtractSharded(queries, nullptr);
+}
+
+QueryExtraction QueryStreamExtractor::ExtractSharded(
+    const std::vector<std::string>& queries,
+    mapreduce::ThreadPool* pool) const {
+  QueryExtraction result;
+  result.total_records = queries.size();
+
+  // Tokenize each query once, shared read-only by every class scan.
+  // Tokenization is a pure per-query function with disjoint writes, so the
+  // chunking is scheduling only.
+  std::vector<std::vector<std::string>> tokenized(queries.size());
+  size_t chunks = pool ? pool->num_threads() * 4 : 1;
+  mapreduce::ParallelForRanges(
+      pool, queries.size(), chunks, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          tokenized[i] = text::TokenizeWords(queries[i]);
+        }
+      });
+
+  // One task per class; class scans never share mutable state.
+  result.classes.resize(classes_.size());
+  mapreduce::ParallelFor(pool, classes_.size(), [&](size_t c) {
+    result.classes[c] = ScanClass(c, tokenized);
+  });
   return result;
 }
 

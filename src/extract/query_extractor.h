@@ -23,6 +23,7 @@
 #include "extract/attribute_dedup.h"
 #include "extract/confidence.h"
 #include "extract/extraction.h"
+#include "mapreduce/thread_pool.h"
 #include "text/pattern.h"
 
 namespace akb::extract {
@@ -73,6 +74,14 @@ class QueryStreamExtractor {
   /// Scans the stream (strings only; no ledger access).
   QueryExtraction Extract(const std::vector<std::string>& queries) const;
 
+  /// Parallel variant: queries are tokenized once in parallel ranges, then
+  /// each registered class scans the stream as its own task (per-class
+  /// state is fully independent, so this is the serial computation
+  /// reordered, bit-identical at every worker count — pool == nullptr runs
+  /// inline).
+  QueryExtraction ExtractSharded(const std::vector<std::string>& queries,
+                                 mapreduce::ThreadPool* pool) const;
+
   /// The paper's pattern family, exposed for tests.
   static std::vector<std::string> PatternSpecs();
 
@@ -98,6 +107,12 @@ class QueryStreamExtractor {
 
   bool PassesFilters(const std::vector<std::string>& tokens, size_t begin,
                      size_t end) const;
+
+  /// Runs one class's full scan over the pre-tokenized stream and returns
+  /// its finalized extraction (reads only this-> state and `tokens`).
+  QueryClassExtraction ScanClass(
+      size_t class_index,
+      const std::vector<std::vector<std::string>>& tokens) const;
 
   QueryExtractorConfig config_;
   std::vector<text::Pattern> patterns_;

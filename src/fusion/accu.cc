@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 
+#include "mapreduce/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -45,66 +47,94 @@ FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
     return std::clamp(w, 0.0, 1.0);
   };
 
+  // One pool serves every iteration (Wait() is a reusable round barrier);
+  // nullptr keeps the serial inline path. Both ParallelForRanges calls
+  // below only do disjoint writes, so chunking and worker count cannot
+  // change the result.
+  std::unique_ptr<mapreduce::ThreadPool> pool;
+  if (config.num_workers > 1) {
+    pool = std::make_unique<mapreduce::ThreadPool>(config.num_workers);
+  }
+  size_t chunks = std::max<size_t>(1, config.num_workers * 4);
+
   size_t iterations_run = 0;
   for (size_t iter = 0; iter < config.max_iterations; ++iter) {
     ++iterations_run;
-    // --- Step 1: value beliefs per item.
-    for (ItemId i = 0; i < table.num_items(); ++i) {
-      if (i >= by_item.size() || by_item[i].empty()) continue;
-      std::map<ValueId, double> score;  // log-odds accumulator
-      for (size_t ci : by_item[i]) {
-        const Claim& claim = claims[ci];
-        double a = std::clamp(accuracy[claim.source], config.min_accuracy,
-                              config.max_accuracy);
-        double n = config.false_values;
-        if (config.popularity) {
-          // Popularity-weighted effective n: popular values are easier to
-          // claim falsely, so they earn a weaker vote.
-          double pop = popularity.count(claim.value)
-                           ? popularity.at(claim.value)
-                           : 1e-6;
-          n = std::clamp(1.0 / std::max(pop, 1e-6), 1.5, 1e4);
-        }
-        double vote = std::log(n * a / (1.0 - a));
-        score[claim.value] += claim_weight(claim) * vote;
-      }
-      // Softmax over candidate values.
-      double max_score = -1e300;
-      for (const auto& [v, s] : score) max_score = std::max(max_score, s);
-      double z = 0.0;
-      for (const auto& [v, s] : score) z += std::exp(s - max_score);
-      auto& ranked = out.beliefs[i];
-      ranked.clear();
-      for (const auto& [v, s] : score) {
-        ranked.emplace_back(v, std::exp(s - max_score) / z);
-      }
-      std::sort(ranked.begin(), ranked.end(),
-                [](const auto& a, const auto& b) {
-                  if (a.second != b.second) return a.second > b.second;
-                  return a.first < b.first;
-                });
-      for (size_t ci : by_item[i]) {
-        for (const auto& [v, p] : ranked) {
-          if (v == claims[ci].value) {
-            claim_belief[ci] = p;
-            break;
+    // --- Step 1: value beliefs per item. Each item writes only its own
+    // beliefs slot and the claim_belief entries of its own claims.
+    mapreduce::ParallelForRanges(
+        pool.get(), table.num_items(), chunks, [&](size_t begin, size_t end) {
+          for (ItemId i = static_cast<ItemId>(begin); i < end; ++i) {
+            if (i >= by_item.size() || by_item[i].empty()) continue;
+            std::map<ValueId, double> score;  // log-odds accumulator
+            for (size_t ci : by_item[i]) {
+              const Claim& claim = claims[ci];
+              double a = std::clamp(accuracy[claim.source],
+                                    config.min_accuracy,
+                                    config.max_accuracy);
+              double n = config.false_values;
+              if (config.popularity) {
+                // Popularity-weighted effective n: popular values are
+                // easier to claim falsely, so they earn a weaker vote.
+                double pop = popularity.count(claim.value)
+                                 ? popularity.at(claim.value)
+                                 : 1e-6;
+                n = std::clamp(1.0 / std::max(pop, 1e-6), 1.5, 1e4);
+              }
+              double vote = std::log(n * a / (1.0 - a));
+              score[claim.value] += claim_weight(claim) * vote;
+            }
+            // Softmax over candidate values.
+            double max_score = -1e300;
+            for (const auto& [v, s] : score) {
+              max_score = std::max(max_score, s);
+            }
+            double z = 0.0;
+            for (const auto& [v, s] : score) z += std::exp(s - max_score);
+            auto& ranked = out.beliefs[i];
+            ranked.clear();
+            for (const auto& [v, s] : score) {
+              ranked.emplace_back(v, std::exp(s - max_score) / z);
+            }
+            std::sort(ranked.begin(), ranked.end(),
+                      [](const auto& a, const auto& b) {
+                        if (a.second != b.second) return a.second > b.second;
+                        return a.first < b.first;
+                      });
+            for (size_t ci : by_item[i]) {
+              for (const auto& [v, p] : ranked) {
+                if (v == claims[ci].value) {
+                  claim_belief[ci] = p;
+                  break;
+                }
+              }
+            }
           }
-        }
-      }
-    }
+        });
 
-    // --- Step 2: source accuracies.
-    double max_delta = 0.0;
+    // --- Step 2: source accuracies. Sources update independently (each
+    // reads claim_belief, frozen at the round barrier above, and writes
+    // its own accuracy slot); the convergence delta is folded serially —
+    // a max, so fold order is irrelevant anyway.
     const auto& by_source = table.claims_of_source();
+    std::vector<double> updated_accuracy = accuracy;
+    mapreduce::ParallelForRanges(
+        pool.get(), num_sources, chunks, [&](size_t begin, size_t end) {
+          for (SourceId s = static_cast<SourceId>(begin); s < end; ++s) {
+            if (s >= by_source.size() || by_source[s].empty()) continue;
+            double sum = 0.0;
+            for (size_t ci : by_source[s]) sum += claim_belief[ci];
+            double updated = sum / static_cast<double>(by_source[s].size());
+            updated_accuracy[s] = std::clamp(updated, config.min_accuracy,
+                                             config.max_accuracy);
+          }
+        });
+    double max_delta = 0.0;
     for (SourceId s = 0; s < num_sources; ++s) {
-      if (s >= by_source.size() || by_source[s].empty()) continue;
-      double sum = 0.0;
-      for (size_t ci : by_source[s]) sum += claim_belief[ci];
-      double updated = sum / static_cast<double>(by_source[s].size());
-      updated = std::clamp(updated, config.min_accuracy, config.max_accuracy);
-      max_delta = std::max(max_delta, std::fabs(updated - accuracy[s]));
-      accuracy[s] = updated;
+      max_delta = std::max(max_delta,
+                           std::fabs(updated_accuracy[s] - accuracy[s]));
     }
+    accuracy = std::move(updated_accuracy);
     if (max_delta < config.epsilon) break;
   }
   AKB_COUNTER_ADD("akb.fusion.accu.iterations", int64_t(iterations_run));

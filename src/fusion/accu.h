@@ -50,6 +50,12 @@ struct AccuConfig {
   /// Optional per-source vote dampening in [0,1] (e.g. copy-detection
   /// independence weights); empty = all 1.
   std::vector<double> source_weights;
+  /// > 1 shards each iteration's per-item belief step and per-source
+  /// accuracy step across this many workers, synchronizing only at the
+  /// round barrier between them. Per-item and per-source computations are
+  /// independent (disjoint writes), so the fixed point is bit-identical
+  /// to the serial path at every worker count.
+  size_t num_workers = 1;
 };
 
 FusionOutput Accu(const ClaimTable& table, const AccuConfig& config = {});

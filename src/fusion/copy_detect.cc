@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <unordered_map>
+
+#include "mapreduce/thread_pool.h"
 
 namespace akb::fusion {
 
@@ -61,7 +64,16 @@ CopyDetection DetectCopying(const ClaimTable& table,
   double prior = std::clamp(config.prior_dependence, 1e-6, 1.0 - 1e-6);
   double prior_log_odds = std::log(prior / (1 - prior));
 
-  for (SourceId a = 0; a < num_sources; ++a) {
+  // Row `a` owns the cells {[a][b], [b][a] : b > a}, so rows are
+  // independent tasks: every matrix cell has exactly one writer and the
+  // per-pair log-odds walk (over `smaller`, whose iteration order is fixed
+  // by its serial construction above) is identical at every worker count.
+  std::unique_ptr<mapreduce::ThreadPool> pool;
+  if (config.num_workers > 1) {
+    pool = std::make_unique<mapreduce::ThreadPool>(config.num_workers);
+  }
+  mapreduce::ParallelFor(pool.get(), num_sources, [&](size_t row) {
+    SourceId a = static_cast<SourceId>(row);
     for (SourceId b = a + 1; b < num_sources; ++b) {
       const auto& ca = source_claims[a];
       const auto& cb = source_claims[b];
@@ -103,7 +115,7 @@ CopyDetection DetectCopying(const ClaimTable& table,
       out.dependence[a][b] = posterior;
       out.dependence[b][a] = posterior;
     }
-  }
+  });
 
   // Independence weights: for each *confidently* dependent pair, discount
   // the source with fewer claims (the presumed copier; the larger source is

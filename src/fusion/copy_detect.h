@@ -34,6 +34,10 @@ struct CopyDetectConfig {
   double false_values = 10.0;
   /// Pairs sharing fewer items than this are left at the prior.
   size_t min_common_items = 5;
+  /// > 1 shards the O(S^2) pair loop across this many workers, one task
+  /// per row. Every pair's cells are written by exactly one task, so the
+  /// matrix is bit-identical at every worker count.
+  size_t num_workers = 1;
 };
 
 struct CopyDetection {

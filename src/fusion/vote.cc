@@ -2,33 +2,76 @@
 
 #include <algorithm>
 #include <map>
+#include <numeric>
+#include <utility>
+
+#include "mapreduce/engine.h"
 
 namespace akb::fusion {
+
+namespace {
+
+using Ranked = std::vector<std::pair<ValueId, double>>;
+
+// Per-item vote tally shared by the serial loop and the MapReduce reduce:
+// both feed claim ids in claim-table order, so the floating-point op
+// sequence — and therefore the result — is identical on both paths.
+Ranked TallyItem(const ClaimTable& table, const VoteConfig& config,
+                 const std::vector<size_t>& claim_ids) {
+  std::map<ValueId, double> votes;
+  double total = 0.0;
+  for (size_t ci : claim_ids) {
+    const Claim& claim = table.claims()[ci];
+    double w = config.use_confidence ? claim.confidence : 1.0;
+    votes[claim.value] += w;
+    total += w;
+  }
+  Ranked ranked;
+  for (const auto& [value, weight] : votes) {
+    ranked.emplace_back(value, total > 0 ? weight / total : 0.0);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return ranked;
+}
+
+}  // namespace
 
 FusionOutput Vote(const ClaimTable& table, const VoteConfig& config) {
   FusionOutput out;
   out.method = config.use_confidence ? "VOTE-conf" : "VOTE";
   out.beliefs.resize(table.num_items());
 
+  if (config.num_workers > 1 && !table.claims().empty()) {
+    // MapReduce path: map claims to their item key, reduce per item. The
+    // engine groups values in input order per sorted key, so each reduce
+    // sees exactly the claim order the serial loop iterates.
+    std::vector<size_t> claim_ids(table.claims().size());
+    std::iota(claim_ids.begin(), claim_ids.end(), size_t{0});
+    mapreduce::JobOptions options;
+    options.num_workers = config.num_workers;
+    using ItemBeliefs = std::pair<ItemId, Ranked>;
+    auto results = mapreduce::RunJob<size_t, ItemId, size_t, ItemBeliefs>(
+        claim_ids,
+        [&](const size_t& ci, mapreduce::Emitter<ItemId, size_t>* emitter) {
+          emitter->Emit(table.claims()[ci].item, ci);
+        },
+        [&](const ItemId& item, const std::vector<size_t>& claim_ids) {
+          return ItemBeliefs(item, TallyItem(table, config, claim_ids));
+        },
+        options);
+    for (auto& [item, ranked] : results) {
+      out.beliefs[item] = std::move(ranked);
+    }
+    return out;
+  }
+
   const auto& by_item = table.claims_of_item();
   for (ItemId i = 0; i < table.num_items(); ++i) {
-    if (i >= by_item.size()) continue;
-    std::map<ValueId, double> votes;
-    double total = 0.0;
-    for (size_t ci : by_item[i]) {
-      const Claim& claim = table.claims()[ci];
-      double w = config.use_confidence ? claim.confidence : 1.0;
-      votes[claim.value] += w;
-      total += w;
-    }
-    auto& ranked = out.beliefs[i];
-    for (const auto& [value, weight] : votes) {
-      ranked.emplace_back(value, total > 0 ? weight / total : 0.0);
-    }
-    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
-      if (a.second != b.second) return a.second > b.second;
-      return a.first < b.first;
-    });
+    if (i >= by_item.size() || by_item[i].empty()) continue;
+    out.beliefs[i] = TallyItem(table, config, by_item[i]);
   }
   return out;
 }

@@ -13,6 +13,11 @@ struct VoteConfig {
   /// Weight claims by their extraction confidence (generalized fact-
   /// finding); plain VOTE when false.
   bool use_confidence = false;
+  /// > 1 runs voting as a MapReduce job keyed by item on this many
+  /// workers. The reduce replicates the serial per-item arithmetic on
+  /// claims in input order, so the output is bit-identical to the serial
+  /// path at every worker count.
+  size_t num_workers = 1;
 };
 
 /// Per item, belief(v) = (weighted) votes for v / total votes on the item;

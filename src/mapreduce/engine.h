@@ -9,7 +9,10 @@
 //
 // Determinism: regardless of thread count, reduce groups are formed per
 // partition in sorted key order and per-key values keep the input order of
-// the records that produced them, so job output is reproducible.
+// the records that produced them, so job output is reproducible. The
+// default partition count depends only on the input size (never on
+// num_workers), so the concatenated (partition, sorted key) output order
+// is bit-identical at every worker count.
 #ifndef AKB_MAPREDUCE_ENGINE_H_
 #define AKB_MAPREDUCE_ENGINE_H_
 
@@ -20,13 +23,15 @@
 #include <vector>
 
 #include "mapreduce/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace akb::mapreduce {
 
 struct JobOptions {
   /// Worker threads for both map and reduce phases.
   size_t num_workers = 1;
-  /// Shuffle partitions; defaults to 4 * num_workers when 0.
+  /// Shuffle partitions; 0 = min(64, input size), which is independent of
+  /// the worker count so job output order is worker-count-invariant.
   size_t num_partitions = 0;
 };
 
@@ -57,11 +62,17 @@ std::vector<Output> RunJob(
     const std::function<size_t(const K&)>& hash_fn,
     const JobOptions& options = {}) {
   size_t workers = std::max<size_t>(1, options.num_workers);
-  size_t partitions = options.num_partitions
-                          ? options.num_partitions
-                          : std::max<size_t>(1, workers * 4);
+  size_t partitions =
+      options.num_partitions
+          ? options.num_partitions
+          : std::max<size_t>(1, std::min<size_t>(64, inputs.size()));
+  AKB_COUNTER_INC("akb.mapreduce.jobs");
+  AKB_COUNTER_ADD("akb.mapreduce.job_records", int64_t(inputs.size()));
 
-  // --- Map phase: each worker maps a contiguous chunk of inputs.
+  // --- Map phase: each worker maps a contiguous chunk of inputs. The
+  // chunk count is a scheduling choice only: per-partition pair lists are
+  // merged in chunk order below, which reconstructs input order for any
+  // chunking.
   size_t chunks = std::min(inputs.size(), workers * 4);
   if (chunks == 0) chunks = 1;
   // chunk -> partition -> (key, value) pairs, kept separate so the shuffle

@@ -1,5 +1,7 @@
 #include "mapreduce/thread_pool.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace akb::mapreduce {
@@ -42,8 +44,14 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 size_t ThreadPool::tasks_executed() const {
@@ -79,9 +87,16 @@ void ThreadPool::WorkerLoop() {
                     int64_t(queue_.size()));
       AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", 1);
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+      AKB_COUNTER_INC("akb.mapreduce.pool.tasks_failed");
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --active_;
       ++tasks_executed_;
       AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", -1);
@@ -89,6 +104,30 @@ void ThreadPool::WorkerLoop() {
     }
     AKB_COUNTER_INC("akb.mapreduce.pool.tasks_executed");
   }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    pool->Submit([&fn, i] { fn(i); });
+  }
+  pool->Wait();
+}
+
+void ParallelForRanges(ThreadPool* pool, size_t n, size_t num_chunks,
+                       const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  num_chunks = std::clamp<size_t>(num_chunks, 1, n);
+  size_t per_chunk = (n + num_chunks - 1) / num_chunks;
+  ParallelFor(pool, num_chunks, [&](size_t c) {
+    size_t begin = c * per_chunk;
+    size_t end = std::min(n, begin + per_chunk);
+    if (begin < end) fn(begin, end);
+  });
 }
 
 }  // namespace akb::mapreduce

@@ -1,9 +1,11 @@
-// Fixed-size thread pool used by the MapReduce engine.
+// Fixed-size thread pool used by the MapReduce engine and the sharded
+// pipeline stages.
 #ifndef AKB_MAPREDUCE_THREAD_POOL_H_
 #define AKB_MAPREDUCE_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -13,6 +15,12 @@ namespace akb::mapreduce {
 
 /// Simple FIFO thread pool. Submit work with Submit(); Wait() blocks until
 /// every submitted task has finished (and may be called repeatedly).
+///
+/// Exception safety: a task that throws does not kill its worker thread.
+/// The first exception is captured and rethrown by the next Wait() call
+/// (later exceptions from the same batch are dropped); after the rethrow
+/// the pool is reusable. The destructor drains the queue and swallows any
+/// pending exception.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).
@@ -24,7 +32,8 @@ class ThreadPool {
 
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running. Rethrows the
+  /// first exception thrown by a task since the last Wait(), if any.
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -43,11 +52,28 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
   size_t active_ = 0;
   size_t tasks_submitted_ = 0;
   size_t tasks_executed_ = 0;
   bool shutdown_ = false;
 };
+
+/// Runs fn(i) for every i in [0, n) on `pool` and blocks until all calls
+/// finished. With pool == nullptr the loop runs inline on the caller — the
+/// serial reference path. Task-to-index mapping is fixed, so any
+/// computation whose tasks write disjoint state produces bit-identical
+/// results at every worker count. Rethrows the first task exception.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Chunked variant for fine-grained loops: [0, n) is split into
+/// `num_chunks` contiguous ranges and fn(begin, end) runs once per
+/// non-empty range. Chunk boundaries are only a scheduling choice — they
+/// must not affect fn's observable result (disjoint writes, or per-chunk
+/// accumulators merged with an associative, commutative operation).
+void ParallelForRanges(ThreadPool* pool, size_t n, size_t num_chunks,
+                       const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace akb::mapreduce
 

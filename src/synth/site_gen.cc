@@ -129,112 +129,133 @@ std::string RenderValue(const World& world, const WorldClass& wc,
   return "unknown";
 }
 
+// Renders one complete site from its forked RNG. All randomness comes from
+// `rng`, so a site's content depends only on its fork — the property the
+// range API below relies on.
+WebSite GenerateOneSite(const World& world, const WorldClass& wc,
+                        const SiteConfig& config, Rng rng) {
+  WebSite site;
+  site.class_name = config.class_name;
+  site.style = config.forced_style >= 0 &&
+                       config.forced_style < kNumLayoutStyles
+                   ? static_cast<LayoutStyle>(config.forced_style)
+                   : static_cast<LayoutStyle>(rng.Index(kNumLayoutStyles));
+  site.domain = ToLower(config.class_name) + "-" + rng.Identifier(6) +
+                ".example.com";
+  // Site-specific wrapper class names: inter-site heterogeneity.
+  std::string shell_class = "shell-" + rng.Identifier(4);
+  std::string main_class = "main-" + rng.Identifier(4);
+  // Boilerplate is fixed per site (real sites render the same nav and
+  // footer on every page); ads remain random per page.
+  std::vector<std::string> nav_words;
+  for (size_t i = 0; i < 4; ++i) nav_words.push_back(JunkPhrase(&rng, 1));
+  std::string footer_phrase = JunkPhrase(&rng, 3);
+
+  for (size_t p = 0; p < config.pages_per_site; ++p) {
+    EntityId entity_id = static_cast<EntityId>(rng.Index(wc.entities.size()));
+    const Entity& entity = wc.entities[entity_id];
+
+    WebPage page;
+    page.entity = entity_id;
+    page.entity_name = entity.name;
+    page.url = "http://" + site.domain + "/page" + std::to_string(p) +
+               ".html";
+
+    // Sample the attributes this page renders.
+    size_t want = std::max<size_t>(
+        1, static_cast<size_t>(config.attribute_coverage *
+                               static_cast<double>(wc.attributes.size())));
+    auto attr_picks =
+        rng.SampleWithoutReplacement(wc.attributes.size(), want);
+    std::sort(attr_picks.begin(), attr_picks.end());
+
+    std::string& h = page.html;
+    h += "<!DOCTYPE html><html><head><title>" + Esc(entity.name) +
+         "</title></head><body>";
+    h += "<div class=\"" + shell_class + "\">";
+
+    // Nav boilerplate (identical on every page of the site).
+    size_t noise_blocks = rng.Poisson(config.mean_noise_blocks);
+    h += "<ul class=\"nav\">";
+    for (const std::string& word : nav_words) {
+      h += "<li><a href=\"#\">" + word + "</a></li>";
+    }
+    h += "</ul>";
+
+    h += "<div class=\"" + main_class + "\">";
+    h += "<h1>" + Esc(entity.name) + "</h1>";
+
+    for (size_t i = 0; i < noise_blocks; ++i) {
+      h += "<div class=\"ad ad-" + rng.Identifier(3) + "\"><p>" +
+           JunkPhrase(&rng, 2 + rng.Index(4)) + "</p></div>";
+    }
+
+    // Per-page wrapper jitter around the attribute block.
+    size_t wrappers = rng.Index(config.max_page_wrappers + 1);
+    for (size_t w = 0; w < wrappers; ++w) {
+      h += "<div class=\"wrap-" + rng.Identifier(3) + "\">";
+    }
+    OpenBlock(site.style, &h);
+    for (size_t pick : attr_picks) {
+      const AttributeSpec& spec = wc.attributes[pick];
+      const Fact& fact = entity.facts[pick];
+      SurfaceStyle label_style = SampleStyle(config.label_variant_rate,
+                                             config.label_misspell_rate,
+                                             &rng);
+      RenderedPair pair;
+      pair.attribute = static_cast<AttributeId>(pick);
+      pair.label = RenderSurface(spec.name, label_style, &rng);
+      pair.value =
+          RenderValue(world, wc, fact, config, &rng, &pair.value_correct);
+      AppendRow(site.style, pair.label, pair.value,
+                rng.Bernoulli(config.label_style_rate), &h);
+      page.pairs.push_back(std::move(pair));
+    }
+    CloseBlock(site.style, &h);
+    for (size_t w = 0; w < wrappers; ++w) h += "</div>";
+
+    // Footer boilerplate.
+    h += "<div class=\"footer\"><p>" + footer_phrase + "</p></div>";
+    h += "</div></div></body></html>";
+
+    site.pages.push_back(std::move(page));
+  }
+  return site;
+}
+
 }  // namespace
 
-std::vector<WebSite> GenerateSites(const World& world,
-                                   const SiteConfig& config) {
+std::vector<WebSite> GenerateSiteRange(const World& world,
+                                       const SiteConfig& config,
+                                       size_t begin, size_t end) {
   std::vector<WebSite> sites;
+  end = std::min(end, config.num_sites);
+  if (begin >= end) return sites;
   auto cls_id = world.FindClass(config.class_name);
   if (!cls_id) {
-    AKB_LOG(Warning) << "GenerateSites: unknown class '" << config.class_name
-                     << "'";
+    AKB_LOG(Warning) << "GenerateSiteRange: unknown class '"
+                     << config.class_name << "'";
     return sites;
   }
   const WorldClass& wc = world.cls(*cls_id);
   if (wc.entities.empty() || wc.attributes.empty()) return sites;
 
+  // Fork the master once per site index from zero: site s gets the same
+  // fork regardless of which range generates it, so disjoint ranges
+  // concatenated in order equal a full GenerateSites() run byte-for-byte.
   Rng master(config.seed);
-  for (size_t s = 0; s < config.num_sites; ++s) {
+  sites.reserve(end - begin);
+  for (size_t s = 0; s < end; ++s) {
     Rng rng = master.Fork();
-    WebSite site;
-    site.class_name = config.class_name;
-    site.style = config.forced_style >= 0 &&
-                         config.forced_style < kNumLayoutStyles
-                     ? static_cast<LayoutStyle>(config.forced_style)
-                     : static_cast<LayoutStyle>(rng.Index(kNumLayoutStyles));
-    site.domain = ToLower(config.class_name) + "-" + rng.Identifier(6) +
-                  ".example.com";
-    // Site-specific wrapper class names: inter-site heterogeneity.
-    std::string shell_class = "shell-" + rng.Identifier(4);
-    std::string main_class = "main-" + rng.Identifier(4);
-    // Boilerplate is fixed per site (real sites render the same nav and
-    // footer on every page); ads remain random per page.
-    std::vector<std::string> nav_words;
-    for (size_t i = 0; i < 4; ++i) nav_words.push_back(JunkPhrase(&rng, 1));
-    std::string footer_phrase = JunkPhrase(&rng, 3);
-
-    for (size_t p = 0; p < config.pages_per_site; ++p) {
-      EntityId entity_id = static_cast<EntityId>(rng.Index(wc.entities.size()));
-      const Entity& entity = wc.entities[entity_id];
-
-      WebPage page;
-      page.entity = entity_id;
-      page.entity_name = entity.name;
-      page.url = "http://" + site.domain + "/page" + std::to_string(p) +
-                 ".html";
-
-      // Sample the attributes this page renders.
-      size_t want = std::max<size_t>(
-          1, static_cast<size_t>(config.attribute_coverage *
-                                 static_cast<double>(wc.attributes.size())));
-      auto attr_picks =
-          rng.SampleWithoutReplacement(wc.attributes.size(), want);
-      std::sort(attr_picks.begin(), attr_picks.end());
-
-      std::string& h = page.html;
-      h += "<!DOCTYPE html><html><head><title>" + Esc(entity.name) +
-           "</title></head><body>";
-      h += "<div class=\"" + shell_class + "\">";
-
-      // Nav boilerplate (identical on every page of the site).
-      size_t noise_blocks = rng.Poisson(config.mean_noise_blocks);
-      h += "<ul class=\"nav\">";
-      for (const std::string& word : nav_words) {
-        h += "<li><a href=\"#\">" + word + "</a></li>";
-      }
-      h += "</ul>";
-
-      h += "<div class=\"" + main_class + "\">";
-      h += "<h1>" + Esc(entity.name) + "</h1>";
-
-      for (size_t i = 0; i < noise_blocks; ++i) {
-        h += "<div class=\"ad ad-" + rng.Identifier(3) + "\"><p>" +
-             JunkPhrase(&rng, 2 + rng.Index(4)) + "</p></div>";
-      }
-
-      // Per-page wrapper jitter around the attribute block.
-      size_t wrappers = rng.Index(config.max_page_wrappers + 1);
-      for (size_t w = 0; w < wrappers; ++w) {
-        h += "<div class=\"wrap-" + rng.Identifier(3) + "\">";
-      }
-      OpenBlock(site.style, &h);
-      for (size_t pick : attr_picks) {
-        const AttributeSpec& spec = wc.attributes[pick];
-        const Fact& fact = entity.facts[pick];
-        SurfaceStyle label_style = SampleStyle(config.label_variant_rate,
-                                               config.label_misspell_rate,
-                                               &rng);
-        RenderedPair pair;
-        pair.attribute = static_cast<AttributeId>(pick);
-        pair.label = RenderSurface(spec.name, label_style, &rng);
-        pair.value =
-            RenderValue(world, wc, fact, config, &rng, &pair.value_correct);
-        AppendRow(site.style, pair.label, pair.value,
-                  rng.Bernoulli(config.label_style_rate), &h);
-        page.pairs.push_back(std::move(pair));
-      }
-      CloseBlock(site.style, &h);
-      for (size_t w = 0; w < wrappers; ++w) h += "</div>";
-
-      // Footer boilerplate.
-      h += "<div class=\"footer\"><p>" + footer_phrase + "</p></div>";
-      h += "</div></div></body></html>";
-
-      site.pages.push_back(std::move(page));
-    }
-    sites.push_back(std::move(site));
+    if (s < begin) continue;  // fast-forward: fork only, render nothing
+    sites.push_back(GenerateOneSite(world, wc, config, rng));
   }
   return sites;
+}
+
+std::vector<WebSite> GenerateSites(const World& world,
+                                   const SiteConfig& config) {
+  return GenerateSiteRange(world, config, 0, config.num_sites);
 }
 
 }  // namespace akb::synth

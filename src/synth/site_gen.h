@@ -83,6 +83,15 @@ struct WebSite {
 std::vector<WebSite> GenerateSites(const World& world,
                                    const SiteConfig& config);
 
+/// Generates only sites [begin, end) of the same deterministic sequence:
+/// each site draws its RNG from a per-site fork of the master seed, so
+/// concatenating disjoint ranges in order reproduces GenerateSites()
+/// byte-for-byte. This is the shard API the parallel pipeline renders
+/// (class, site-range) units with.
+std::vector<WebSite> GenerateSiteRange(const World& world,
+                                       const SiteConfig& config,
+                                       size_t begin, size_t end);
+
 }  // namespace akb::synth
 
 #endif  // AKB_SYNTH_SITE_GEN_H_

@@ -56,77 +56,96 @@ std::string FillTemplate(const char* tmpl, const std::string& a,
   return out;
 }
 
+// Renders one article from its forked RNG (all randomness is fork-local,
+// which is what makes range generation deterministic).
+TextArticle GenerateOneArticle(const World& world, const WorldClass& wc,
+                               const TextConfig& config, Rng rng) {
+  TextArticle article;
+  article.source = "text-" + rng.Identifier(5) + ".example.com";
+
+  for (size_t f = 0; f < config.facts_per_article; ++f) {
+    EntityId entity_id =
+        static_cast<EntityId>(rng.Index(wc.entities.size()));
+    const Entity& entity = wc.entities[entity_id];
+    AttributeId attr_id =
+        static_cast<AttributeId>(rng.Index(wc.attributes.size()));
+    const AttributeSpec& spec = wc.attributes[attr_id];
+    const Fact& fact = entity.facts[attr_id];
+
+    TextFact ledger;
+    ledger.entity = entity_id;
+    ledger.attribute = attr_id;
+    ledger.label = rng.Bernoulli(config.attr_misspell_rate)
+                       ? RenderSurface(spec.name, SurfaceStyle::kMisspelled,
+                                       &rng)
+                       : spec.name;
+
+    // Value (true or erroneous).
+    if (!fact.values.empty() && !rng.Bernoulli(config.value_error_rate)) {
+      ledger.value = fact.values[rng.Index(fact.values.size())];
+      ledger.value_correct = true;
+    } else {
+      ledger.value_correct = false;
+      if (spec.value_pool.size() > 1) {
+        ledger.value = spec.value_pool[rng.Index(spec.value_pool.size())];
+        ledger.value_correct =
+            std::find(fact.values.begin(), fact.values.end(),
+                      ledger.value) != fact.values.end();
+      } else if (!fact.values.empty()) {
+        ledger.value = Misspell(fact.values.front(), &rng);
+      } else {
+        ledger.value = "unknown";
+      }
+    }
+
+    const char* tmpl = kFactTemplates[rng.Index(std::size(kFactTemplates))];
+    article.text +=
+        FillTemplate(tmpl, ledger.label, entity.name, ledger.value);
+    article.text += " ";
+    article.facts.push_back(std::move(ledger));
+
+    // Distractor prose.
+    size_t distractors = rng.Poisson(config.distractor_rate);
+    for (size_t d = 0; d < distractors; ++d) {
+      article.text += kDistractors[rng.Index(std::size(kDistractors))];
+      article.text += " ";
+    }
+  }
+  return article;
+}
+
 }  // namespace
 
-std::vector<TextArticle> GenerateArticles(const World& world,
-                                          const TextConfig& config) {
+std::vector<TextArticle> GenerateArticleRange(const World& world,
+                                              const TextConfig& config,
+                                              size_t begin, size_t end) {
   std::vector<TextArticle> articles;
+  end = std::min(end, config.num_articles);
+  if (begin >= end) return articles;
   auto cls_id = world.FindClass(config.class_name);
   if (!cls_id) {
-    AKB_LOG(Warning) << "GenerateArticles: unknown class '"
+    AKB_LOG(Warning) << "GenerateArticleRange: unknown class '"
                      << config.class_name << "'";
     return articles;
   }
   const WorldClass& wc = world.cls(*cls_id);
   if (wc.entities.empty() || wc.attributes.empty()) return articles;
 
+  // Article n always gets fork n of the master, whichever range renders
+  // it — see GenerateSiteRange for the full determinism argument.
   Rng master(config.seed);
-  for (size_t n = 0; n < config.num_articles; ++n) {
+  articles.reserve(end - begin);
+  for (size_t n = 0; n < end; ++n) {
     Rng rng = master.Fork();
-    TextArticle article;
-    article.source = "text-" + rng.Identifier(5) + ".example.com";
-
-    for (size_t f = 0; f < config.facts_per_article; ++f) {
-      EntityId entity_id =
-          static_cast<EntityId>(rng.Index(wc.entities.size()));
-      const Entity& entity = wc.entities[entity_id];
-      AttributeId attr_id =
-          static_cast<AttributeId>(rng.Index(wc.attributes.size()));
-      const AttributeSpec& spec = wc.attributes[attr_id];
-      const Fact& fact = entity.facts[attr_id];
-
-      TextFact ledger;
-      ledger.entity = entity_id;
-      ledger.attribute = attr_id;
-      ledger.label = rng.Bernoulli(config.attr_misspell_rate)
-                         ? RenderSurface(spec.name, SurfaceStyle::kMisspelled,
-                                         &rng)
-                         : spec.name;
-
-      // Value (true or erroneous).
-      if (!fact.values.empty() && !rng.Bernoulli(config.value_error_rate)) {
-        ledger.value = fact.values[rng.Index(fact.values.size())];
-        ledger.value_correct = true;
-      } else {
-        ledger.value_correct = false;
-        if (spec.value_pool.size() > 1) {
-          ledger.value = spec.value_pool[rng.Index(spec.value_pool.size())];
-          ledger.value_correct =
-              std::find(fact.values.begin(), fact.values.end(),
-                        ledger.value) != fact.values.end();
-        } else if (!fact.values.empty()) {
-          ledger.value = Misspell(fact.values.front(), &rng);
-        } else {
-          ledger.value = "unknown";
-        }
-      }
-
-      const char* tmpl = kFactTemplates[rng.Index(std::size(kFactTemplates))];
-      article.text +=
-          FillTemplate(tmpl, ledger.label, entity.name, ledger.value);
-      article.text += " ";
-      article.facts.push_back(std::move(ledger));
-
-      // Distractor prose.
-      size_t distractors = rng.Poisson(config.distractor_rate);
-      for (size_t d = 0; d < distractors; ++d) {
-        article.text += kDistractors[rng.Index(std::size(kDistractors))];
-        article.text += " ";
-      }
-    }
-    articles.push_back(std::move(article));
+    if (n < begin) continue;
+    articles.push_back(GenerateOneArticle(world, wc, config, rng));
   }
   return articles;
+}
+
+std::vector<TextArticle> GenerateArticles(const World& world,
+                                          const TextConfig& config) {
+  return GenerateArticleRange(world, config, 0, config.num_articles);
 }
 
 }  // namespace akb::synth

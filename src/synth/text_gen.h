@@ -47,6 +47,15 @@ struct TextArticle {
 std::vector<TextArticle> GenerateArticles(const World& world,
                                           const TextConfig& config);
 
+/// Generates only articles [begin, end) of the same deterministic
+/// sequence: each article draws from a per-article fork of the master
+/// seed, so disjoint ranges concatenated in order reproduce
+/// GenerateArticles() byte-for-byte (the shard API for parallel
+/// rendering).
+std::vector<TextArticle> GenerateArticleRange(const World& world,
+                                              const TextConfig& config,
+                                              size_t begin, size_t end);
+
 }  // namespace akb::synth
 
 #endif  // AKB_SYNTH_TEXT_GEN_H_

@@ -152,6 +152,93 @@ TEST_P(FusionMethodProperties, BeliefsValidAndDeterministic) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FusionMethodProperties,
                          ::testing::Range<uint64_t>(1, 9));
 
+void ExpectBitIdentical(const FusionOutput& serial,
+                        const FusionOutput& sharded, const char* what,
+                        uint64_t seed) {
+  SCOPED_TRACE(std::string(what) + " seed=" + std::to_string(seed));
+  ASSERT_EQ(serial.beliefs.size(), sharded.beliefs.size());
+  for (ItemId i = 0; i < serial.beliefs.size(); ++i) {
+    ASSERT_EQ(serial.beliefs[i].size(), sharded.beliefs[i].size())
+        << "item " << i;
+    for (size_t k = 0; k < serial.beliefs[i].size(); ++k) {
+      ASSERT_EQ(serial.beliefs[i][k].first, sharded.beliefs[i][k].first)
+          << "item " << i;
+      // Exact, not approximate: the sharded path must run the same FP
+      // operations in the same order as the serial path.
+      ASSERT_EQ(serial.beliefs[i][k].second, sharded.beliefs[i][k].second)
+          << "item " << i;
+    }
+  }
+  ASSERT_EQ(serial.source_quality.size(), sharded.source_quality.size());
+  for (size_t s = 0; s < serial.source_quality.size(); ++s) {
+    ASSERT_EQ(serial.source_quality[s], sharded.source_quality[s])
+        << "source " << s;
+  }
+}
+
+// Sharded MapReduce fusion must reproduce the single-threaded reference
+// bit-for-bit: VOTE reduces per item through the same tally, ACCU shards
+// each round between barriers. 200 random claim tables leave little room
+// for an order-dependent merge to hide.
+TEST(ShardedFusionEquivalenceTest, MatchesSerialOn200RandomTables) {
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    synth::FusionDataset dataset = RandomDataset(seed * 7919);
+    ClaimTable table = ClaimTable::FromDataset(dataset);
+
+    VoteConfig vote_serial;
+    VoteConfig vote_sharded;
+    vote_sharded.num_workers = 4;
+    ExpectBitIdentical(Vote(table, vote_serial), Vote(table, vote_sharded),
+                       "VOTE", seed);
+
+    vote_serial.use_confidence = true;
+    vote_sharded.use_confidence = true;
+    ExpectBitIdentical(Vote(table, vote_serial), Vote(table, vote_sharded),
+                       "VOTE-conf", seed);
+
+    AccuConfig accu_serial;
+    AccuConfig accu_sharded;
+    accu_sharded.num_workers = 4;
+    ExpectBitIdentical(Accu(table, accu_serial), Accu(table, accu_sharded),
+                       "ACCU", seed);
+  }
+}
+
+// The heavier ACCU variants share the round loop, so a smaller seed sweep
+// covers their extra code paths (popularity weighting, confidence terms,
+// copy-detection weights) at several worker counts.
+TEST(ShardedFusionEquivalenceTest, AccuVariantsAndWorkerCounts) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    synth::FusionDataset dataset = RandomDataset(seed * 104729);
+    ClaimTable table = ClaimTable::FromDataset(dataset);
+    for (size_t workers : {2u, 3u, 8u}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      AccuConfig serial;
+      serial.use_confidence = true;
+      serial.popularity = (seed % 2) == 0;
+      AccuConfig sharded = serial;
+      sharded.num_workers = workers;
+      ExpectBitIdentical(Accu(table, serial), Accu(table, sharded),
+                         "ACCU-variant", seed);
+    }
+
+    CopyDetectConfig copy_serial;
+    CopyDetectConfig copy_sharded;
+    copy_sharded.num_workers = 4;
+    CopyDetection a = DetectCopying(table, copy_serial);
+    CopyDetection b = DetectCopying(table, copy_sharded);
+    ASSERT_EQ(a.independence.size(), b.independence.size());
+    for (size_t s = 0; s < a.independence.size(); ++s) {
+      ASSERT_EQ(a.independence[s], b.independence[s]) << "seed " << seed;
+    }
+    for (SourceId x = 0; x < table.num_sources(); ++x) {
+      for (SourceId y = 0; y < table.num_sources(); ++y) {
+        ASSERT_EQ(a.dependence[x][y], b.dependence[x][y]) << "seed " << seed;
+      }
+    }
+  }
+}
+
 TEST(CopyDetectionPropertyTest, WeightsAlwaysUsable) {
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     synth::FusionDataset dataset = RandomDataset(seed * 131);

@@ -1,0 +1,199 @@
+// Stress / hostile-conditions tests for the thread pool: many-producer
+// submit storms, throwing tasks, shutdown while the queue is still full.
+// None of these may deadlock, and the process-global pool gauges must
+// return to zero once every pool is gone (a stuck gauge means a lost
+// notify or an unbalanced add).
+#include "mapreduce/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace akb::mapreduce {
+namespace {
+
+int64_t GaugeValue(const char* name) {
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const obs::MetricSnapshotEntry* entry = snapshot.Find(name);
+  return entry ? entry->value : 0;
+}
+
+TEST(ThreadPoolStressTest, ManyProducerSubmitStorm) {
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 500;
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < kTasksPerProducer; ++i) {
+          pool.Submit([&] { executed.fetch_add(1); });
+        }
+      });
+    }
+    for (std::thread& producer : producers) producer.join();
+    pool.Wait();
+    EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+    EXPECT_EQ(pool.tasks_submitted(), size_t(kProducers * kTasksPerProducer));
+    EXPECT_EQ(pool.tasks_executed(), size_t(kProducers * kTasksPerProducer));
+    EXPECT_EQ(pool.queue_depth(), 0u);
+  }
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.queue_depth"), 0);
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_busy"), 0);
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_total"), 0);
+}
+
+TEST(ThreadPoolStressTest, ThrowingTasksDoNotKillWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> survived{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&, i] {
+      if (i % 10 == 0) throw std::runtime_error("task " + std::to_string(i));
+      survived.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // Every non-throwing task still ran: the throwers did not take their
+  // worker thread down with them.
+  EXPECT_EQ(survived.load(), 180);
+
+  // The pool is reusable after the rethrow, and the error slot is clear.
+  std::atomic<int> second_batch{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { second_batch.fetch_add(1); });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(second_batch.load(), 50);
+}
+
+TEST(ThreadPoolStressTest, WaitReportsFirstErrorOnly) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  // Exactly one rethrow no matter how many tasks threw...
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // ...and the next Wait() starts from a clean slate.
+  EXPECT_NO_THROW(pool.Wait());
+}
+
+TEST(ThreadPoolStressTest, ShutdownWhileBusyDrainsQueue) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 300; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        executed.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor runs with a deep queue and busy workers.
+    // Its contract is to finish everything, then join.
+  }
+  EXPECT_EQ(executed.load(), 300);
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.queue_depth"), 0);
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_busy"), 0);
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_total"), 0);
+}
+
+TEST(ThreadPoolStressTest, ShutdownSwallowsPendingError) {
+  // A batch whose error is never collected by Wait() must not terminate
+  // the process when the pool is destroyed.
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    pool.Submit([] { throw std::runtime_error("never observed"); });
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&] { executed.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(executed.load(), 20);
+}
+
+TEST(ThreadPoolStressTest, RepeatedWaitCyclesUnderLoad) {
+  // Wait() as a barrier, many times in a row on one pool — the pattern
+  // every sharded pipeline stage relies on.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&] { total.fetch_add(1); });
+    }
+    pool.Wait();
+    ASSERT_EQ(total.load(), (round + 1) * 40);
+  }
+}
+
+TEST(ThreadPoolStressTest, ConcurrentPoolsDoNotInterfere) {
+  std::atomic<int> a_count{0}, b_count{0};
+  {
+    ThreadPool a(3), b(3);
+    std::thread feeder_a([&] {
+      for (int i = 0; i < 500; ++i) a.Submit([&] { a_count.fetch_add(1); });
+    });
+    std::thread feeder_b([&] {
+      for (int i = 0; i < 500; ++i) b.Submit([&] { b_count.fetch_add(1); });
+    });
+    feeder_a.join();
+    feeder_b.join();
+    a.Wait();
+    b.Wait();
+  }
+  EXPECT_EQ(a_count.load(), 500);
+  EXPECT_EQ(b_count.load(), 500);
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_total"), 0);
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_busy"), 0);
+}
+
+TEST(ThreadPoolStressTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(&pool, kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolStressTest, ParallelForPropagatesTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [](size_t i) {
+                    if (i == 57) throw std::runtime_error("57");
+                  }),
+      std::runtime_error);
+  // The pool survives for the next stage.
+  std::atomic<int> after{0};
+  ParallelFor(&pool, 10, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolStressTest, ParallelForRangesPartitionIsExact) {
+  ThreadPool pool(4);
+  for (size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
+    for (size_t chunks : {1u, 3u, 16u, 5000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelForRanges(&pool, n, chunks, [&](size_t begin, size_t end) {
+        ASSERT_LT(begin, end);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "n=" << n << " chunks=" << chunks << " index " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace akb::mapreduce

@@ -59,6 +59,7 @@ int RunPipelineCommand(const FlagSet& flags) {
   config.pages_per_site = size_t(flags.GetInt("pages", 15));
   config.articles_per_class = size_t(flags.GetInt("articles", 25));
   config.queries_per_class = size_t(flags.GetInt("queries", 1200));
+  config.num_workers = size_t(flags.GetInt("workers", 0));
   config.fusion = ParseFusion(flags.GetString("fusion", "accu_conf_copy"));
 
   std::string trace_out = flags.GetString("trace-out");
@@ -213,6 +214,8 @@ void PrintUsage() {
       "  bench-merge   merge per-bench JSON results into one file\n\n"
       "common flags: --world=small|paper --seed=N\n"
       "pipeline:     --classes=A,B --sites=N --pages=N --articles=N\n"
+      "              --workers=N (0 = one per hardware thread; any value\n"
+      "              yields a bit-identical report)\n"
       "              --queries=N --fusion=NAME --output=FILE --provenance\n"
       "              --metrics-out=FILE --trace-out=FILE (chrome://tracing)\n"
       "extract-dom:  --class=NAME --sites=N --pages=N --seeds=N\n"
