@@ -1,9 +1,14 @@
-// Substrate micro-benchmarks: the RDF triple store and N-Triples codec
-// (the storage layer every pipeline stage writes into).
+// Substrate micro-benchmarks: the RDF triple store, the N-Triples codec,
+// and the binary snapshot codec (the storage layers every pipeline stage
+// writes into).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
 
 #include "common/random.h"
 #include "rdf/ntriples.h"
+#include "rdf/snapshot.h"
 #include "rdf/triple_store.h"
 
 namespace {
@@ -100,6 +105,47 @@ void BM_NTriplesRead(benchmark::State& state) {
                           int64_t(text.size()));
 }
 BENCHMARK(BM_NTriplesRead)->Unit(benchmark::kMillisecond);
+
+std::string BenchSnapshotPath() {
+  return std::string(P_tmpdir) + "/bench_rdf.akbsnap";
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  rdf::TripleStore store = BuildStore(size_t(state.range(0)), 9);
+  std::string path = BenchSnapshotPath();
+  rdf::SnapshotStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.SaveSnapshot(path, &stats).ok());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(stats.bytes));
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stats.claims));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSave)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  rdf::TripleStore store = BuildStore(size_t(state.range(0)), 10);
+  std::string path = BenchSnapshotPath();
+  rdf::SnapshotStats stats;
+  if (!store.SaveSnapshot(path, &stats).ok()) {
+    state.SkipWithError("save failed");
+    return;
+  }
+  for (auto _ : state) {
+    rdf::TripleStore restored;
+    benchmark::DoNotOptimize(restored.LoadSnapshot(path).ok());
+  }
+  state.SetBytesProcessed(int64_t(state.iterations()) *
+                          int64_t(stats.bytes));
+  state.SetItemsProcessed(int64_t(state.iterations()) *
+                          int64_t(stats.claims));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotLoad)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -23,6 +23,10 @@ enum class StatusCode {
   kIoError = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  /// Stored data failed an integrity check (bad magic, CRC mismatch,
+  /// truncation, structural corruption). Distinct from kParseError so
+  /// callers can tell "not this format" from "this format, but damaged".
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -62,6 +66,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

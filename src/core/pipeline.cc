@@ -69,6 +69,110 @@ struct ItemMeta {
   std::string attr_display;  ///< first-seen surface, for readable IRIs
 };
 
+// ---------------------------------------------------------- KB checkpoint
+//
+// The phase-1 claims KB persists as a TripleStore snapshot: one claim per
+// assembled fusion claim, with every string the assembly loop needs packed
+// losslessly into literal terms ("<len>:<bytes>" fields, so hostile
+// characters survive). Replaying the claims in order re-interns items,
+// sources, and values in exactly the cold-run order, which is what makes
+// the warm-started fusion byte-identical.
+//
+//   subject   = fields(class name, resolved entity)
+//   predicate = fields(attribute key, attribute display surface)
+//   object    = normalized value
+//   provenance: source + confidence as assembled; extractor is kExistingKb
+//               when the item was covered by the existing-KB channel
+//               (novelty accounting), kOther otherwise.
+
+std::string JoinFields(std::initializer_list<std::string_view> fields) {
+  std::string out;
+  for (std::string_view f : fields) {
+    out += std::to_string(f.size());
+    out += ':';
+    out += f;
+  }
+  return out;
+}
+
+bool SplitFields(std::string_view packed, size_t expected,
+                 std::vector<std::string>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos < packed.size()) {
+    size_t colon = packed.find(':', pos);
+    if (colon == std::string_view::npos || colon == pos) return false;
+    size_t len = 0;
+    for (size_t i = pos; i < colon; ++i) {
+      char c = packed[i];
+      if (c < '0' || c > '9') return false;
+      len = len * 10 + size_t(c - '0');
+      if (len > packed.size()) return false;
+    }
+    pos = colon + 1;
+    if (len > packed.size() - pos) return false;
+    out->push_back(std::string(packed.substr(pos, len)));
+    pos += len;
+  }
+  return out->size() == expected;
+}
+
+rdf::TripleStore EncodeClaimCheckpoint(
+    const fusion::ClaimTable& table, const std::vector<ItemMeta>& item_meta,
+    const std::unordered_set<std::string>& kb_items) {
+  rdf::TripleStore store;
+  for (const fusion::Claim& c : table.claims()) {
+    const ItemMeta& meta = item_meta[c.item];
+    bool kb_covered = kb_items.count(table.item_name(c.item)) > 0;
+    store.InsertDecoded(
+        rdf::Term::Literal(JoinFields({meta.class_name, meta.entity})),
+        rdf::Term::Literal(JoinFields({meta.attr_key, meta.attr_display})),
+        rdf::Term::Literal(table.value_name(c.value)),
+        rdf::Provenance{table.source_name(c.source),
+                        kb_covered ? rdf::ExtractorKind::kExistingKb
+                                   : rdf::ExtractorKind::kOther,
+                        c.confidence});
+  }
+  return store;
+}
+
+Status DecodeClaimCheckpoint(const rdf::TripleStore& store,
+                             fusion::ClaimTable* table,
+                             std::vector<ItemMeta>* item_meta,
+                             std::unordered_set<std::string>* kb_items) {
+  const rdf::Dictionary& dict = store.dictionary();
+  std::unordered_map<std::string, size_t> meta_index;
+  std::vector<std::string> subject_fields, predicate_fields;
+  for (size_t i = 0; i < store.num_claims(); ++i) {
+    const rdf::Claim& claim = store.claim(i);
+    const rdf::Term& s = dict.Lookup(claim.triple.subject);
+    const rdf::Term& p = dict.Lookup(claim.triple.predicate);
+    const rdf::Term& o = dict.Lookup(claim.triple.object);
+    if (s.kind != rdf::TermKind::kLiteral ||
+        p.kind != rdf::TermKind::kLiteral ||
+        o.kind != rdf::TermKind::kLiteral ||
+        !SplitFields(s.lexical, 2, &subject_fields) ||
+        !SplitFields(p.lexical, 2, &predicate_fields)) {
+      return Status::DataLoss("claim " + std::to_string(i) +
+                              " is not a pipeline KB checkpoint record");
+    }
+    std::string item = subject_fields[0] + "|" + subject_fields[1] + "|" +
+                       predicate_fields[0];
+    if (meta_index.count(item) == 0) {
+      meta_index.emplace(item, item_meta->size());
+      item_meta->push_back(ItemMeta{subject_fields[0], subject_fields[1],
+                                    predicate_fields[0],
+                                    predicate_fields[1]});
+    }
+    if (claim.provenance.extractor == rdf::ExtractorKind::kExistingKb) {
+      kb_items->insert(item);
+    }
+    table->Add(std::move(item), claim.provenance.source, o.lexical,
+               claim.provenance.confidence);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string_view FusionMethodToString(FusionMethod method) {
@@ -172,380 +276,460 @@ PipelineReport RunPipeline(const synth::World& world,
     AKB_HISTOGRAM_RECORD("akb.pipeline.stage_micros", watch.ElapsedMicros());
     report.stages.push_back(StageStats{name, watch.ElapsedSeconds(), outputs});
   };
+  auto finalize = [&] {
+    report.total_seconds = total.ElapsedSeconds();
+    report.metrics =
+        obs::MetricsRegistry::Global().Snapshot().DiffFrom(metrics_before);
+  };
 
-  // ---------- Render the paper's four source types from the world.
-  synth::KbSnapshot dbpedia, freebase;
-  std::vector<std::vector<synth::WebSite>> sites_per_class(classes.size());
-  std::vector<std::vector<synth::TextArticle>> articles_per_class(
-      classes.size());
-  std::vector<synth::QueryRecord> query_log;
-
-  stage("render inputs", [&] {
-    // Every seed is drawn up front from the single master RNG, in the same
-    // order the serial pipeline drew them, so the rendered bytes do not
-    // depend on task scheduling.
-    synth::KbProfile dbpedia_profile = GenericProfile(
-        world, classes, true, rng.NextU64(), config.kb_error_rate);
-    synth::KbProfile freebase_profile = GenericProfile(
-        world, classes, false, rng.NextU64(), config.kb_error_rate);
-    std::vector<synth::SiteConfig> site_configs(classes.size());
-    std::vector<synth::TextConfig> text_configs(classes.size());
-    for (size_t c = 0; c < classes.size(); ++c) {
-      site_configs[c].class_name = classes[c];
-      site_configs[c].num_sites = config.sites_per_class;
-      site_configs[c].pages_per_site = config.pages_per_site;
-      site_configs[c].value_error_rate = config.site_error_rate;
-      site_configs[c].seed = rng.NextU64();
-      text_configs[c].class_name = classes[c];
-      text_configs[c].num_articles = config.articles_per_class;
-      text_configs[c].value_error_rate = config.text_error_rate;
-      text_configs[c].seed = rng.NextU64();
-    }
-    synth::QueryLogConfig query_config;
-    query_config.seed = rng.NextU64();
-    size_t relevant_total = 0;
-    for (const std::string& name : classes) {
-      auto cls_id = world.FindClass(name);
-      if (!cls_id) continue;
-      synth::QueryClassConfig qc;
-      qc.class_name = name;
-      qc.relevant_records = config.queries_per_class;
-      qc.queried_attributes = std::max<size_t>(
-          5, world.cls(*cls_id).attributes.size() / 2);
-      query_config.classes.push_back(qc);
-      relevant_total += qc.relevant_records;
-    }
-    query_config.total_records = relevant_total + config.junk_queries;
-
-    // Fan out: the two KBs, the query log, and one (class, range) shard
-    // per worker-sized slice of each class's sites and articles. Each
-    // shard writes its own slot; per class, slots concatenate in range
-    // order, which the range-generation APIs guarantee equals a full
-    // serial render.
-    struct RenderShard {
-      size_t cls;
-      size_t begin;
-      size_t end;
-      bool text;
-    };
-    std::vector<RenderShard> render_shards;
-    for (size_t c = 0; c < classes.size(); ++c) {
-      size_t n = site_configs[c].num_sites;
-      size_t pieces = std::max<size_t>(1, std::min(n, workers));
-      size_t per = n ? (n + pieces - 1) / pieces : 0;
-      for (size_t b = 0; b < n; b += per) {
-        render_shards.push_back({c, b, std::min(n, b + per), false});
-      }
-      n = text_configs[c].num_articles;
-      pieces = std::max<size_t>(1, std::min(n, workers));
-      per = n ? (n + pieces - 1) / pieces : 0;
-      for (size_t b = 0; b < n; b += per) {
-        render_shards.push_back({c, b, std::min(n, b + per), true});
-      }
-    }
-    std::vector<std::vector<synth::WebSite>> site_parts(
-        render_shards.size());
-    std::vector<std::vector<synth::TextArticle>> article_parts(
-        render_shards.size());
-    AKB_COUNTER_ADD("akb.pipeline.shards",
-                    int64_t(render_shards.size() + 3));
-    mapreduce::ParallelFor(
-        pool.get(), render_shards.size() + 3, [&](size_t t) {
-          Stopwatch shard_watch;
-          if (t == 0) {
-            dbpedia = synth::GenerateKb(world, dbpedia_profile);
-          } else if (t == 1) {
-            freebase = synth::GenerateKb(world, freebase_profile);
-          } else if (t == 2) {
-            query_log = synth::GenerateQueryLog(world, query_config);
-          } else {
-            const RenderShard& shard = render_shards[t - 3];
-            if (shard.text) {
-              article_parts[t - 3] = synth::GenerateArticleRange(
-                  world, text_configs[shard.cls], shard.begin, shard.end);
-            } else {
-              site_parts[t - 3] = synth::GenerateSiteRange(
-                  world, site_configs[shard.cls], shard.begin, shard.end);
-            }
-          }
-          AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
-                               shard_watch.ElapsedMicros());
-        });
-    for (size_t i = 0; i < render_shards.size(); ++i) {
-      size_t c = render_shards[i].cls;
-      for (auto& article : article_parts[i]) {
-        articles_per_class[c].push_back(std::move(article));
-      }
-      for (auto& site : site_parts[i]) {
-        sites_per_class[c].push_back(std::move(site));
-      }
-    }
-
-    size_t outputs = dbpedia.TotalFacts() + freebase.TotalFacts();
-    size_t pages_rendered = 0, articles_rendered = 0;
-    for (size_t c = 0; c < classes.size(); ++c) {
-      for (const auto& site : sites_per_class[c]) {
-        outputs += site.pages.size();
-        pages_rendered += site.pages.size();
-      }
-      outputs += articles_per_class[c].size();
-      articles_rendered += articles_per_class[c].size();
-    }
-    AKB_COUNTER_ADD("akb.pipeline.pages_rendered", int64_t(pages_rendered));
-    AKB_COUNTER_ADD("akb.pipeline.articles_rendered",
-                    int64_t(articles_rendered));
-    outputs += query_log.size();
-    AKB_COUNTER_ADD("akb.pipeline.query_log_lines", int64_t(query_log.size()));
-    return outputs;
-  });
-
-  // ---------- Knowledge extraction phase.
-  // (1) Existing KBs.
-  extract::ExistingKbExtractor kb_extractor(config.kb_extractor);
+  // Cross-phase state: fusion and the final evaluation consume these
+  // whether extraction produced them (cold run) or a checkpoint did (warm
+  // start).
   extract::KbExtraction combined;
-  std::vector<ExtractedTriple> all_triples;
-  stage("existing-KB extraction", [&] {
-    // Combine and the two triple extractions are independent read-only
-    // passes over the snapshots; the triples append in fixed order after
-    // the barrier.
-    std::vector<ExtractedTriple> t1, t2;
-    mapreduce::ParallelFor(pool.get(), 3, [&](size_t t) {
-      if (t == 0) {
-        combined = kb_extractor.Combine({&dbpedia, &freebase});
-      } else if (t == 1) {
-        t1 = kb_extractor.ExtractTriples(dbpedia);
-      } else {
-        t2 = kb_extractor.ExtractTriples(freebase);
-      }
-    });
-    all_triples.insert(all_triples.end(), t1.begin(), t1.end());
-    all_triples.insert(all_triples.end(), t2.begin(), t2.end());
-    size_t attrs = 0;
-    for (const auto& c : combined.classes) attrs += c.attributes.size();
-    return attrs;
-  });
-
-  // Entity sets: the paper specifies classes by representative entities of
-  // Freebase.
-  std::vector<std::vector<std::string>> entity_names(classes.size());
-  for (size_t c = 0; c < classes.size(); ++c) {
-    std::unordered_set<std::string> names;
-    for (const auto* kb : {&freebase, &dbpedia}) {
-      const synth::KbClass* kc = kb->FindClass(classes[c]);
-      if (kc == nullptr) continue;
-      for (const std::string& n : kc->entity_names) names.insert(n);
-    }
-    entity_names[c].assign(names.begin(), names.end());
-    std::sort(entity_names[c].begin(), entity_names[c].end());
-  }
-
-  // (2) Query stream.
-  extract::QueryStreamExtractor query_extractor(config.query_extractor);
-  for (size_t c = 0; c < classes.size(); ++c) {
-    query_extractor.AddClass(classes[c], entity_names[c]);
-  }
   extract::QueryExtraction query_extraction;
-  stage("query-stream extraction", [&] {
-    std::vector<std::string> queries;
-    queries.reserve(query_log.size());
-    for (const auto& record : query_log) queries.push_back(record.query);
-    query_extraction = query_extractor.ExtractSharded(queries, pool.get());
-    size_t attrs = 0;
-    for (const auto& c : query_extraction.classes) {
-      attrs += c.credible_attributes.size();
-    }
-    return attrs;
-  });
-
-  // Seeds per class: KB-combined union query-stream attributes.
-  std::vector<std::vector<std::string>> seeds(classes.size());
-  for (size_t c = 0; c < classes.size(); ++c) {
-    if (const auto* kc = combined.FindClass(classes[c])) {
-      for (const auto& a : kc->attributes) seeds[c].push_back(a.surface);
-    }
-    if (const auto* qc = query_extraction.FindClass(classes[c])) {
-      for (const auto& a : qc->credible_attributes) {
-        seeds[c].push_back(a.surface);
-      }
-    }
-  }
-
-  // (3) DOM trees.
-  extract::DomTreeExtractor dom_extractor(config.dom_extractor);
   std::vector<extract::DomExtraction> dom_extractions(classes.size());
-  stage("DOM-tree extraction", [&] {
-    // Map: every (class, site) pair is one task — flattening classes and
-    // sites into one fan-out keeps all workers busy even when a class has
-    // few sites. Reduce: per-class ordered merge.
-    std::vector<std::pair<size_t, size_t>> units;  // (class, site)
-    std::vector<std::vector<extract::DomExtraction>> site_shards(
-        classes.size());
-    for (size_t c = 0; c < classes.size(); ++c) {
-      site_shards[c].resize(sites_per_class[c].size());
-      for (size_t s = 0; s < sites_per_class[c].size(); ++s) {
-        units.emplace_back(c, s);
-      }
-    }
-    AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(units.size()));
-    mapreduce::ParallelFor(pool.get(), units.size(), [&](size_t u) {
-      auto [c, s] = units[u];
-      Stopwatch shard_watch;
-      obs::ScopedSpan span("extract.dom." + classes[c]);
-      site_shards[c][s] = dom_extractor.ExtractSite(
-          sites_per_class[c][s], entity_names[c], seeds[c]);
-      AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
-                           shard_watch.ElapsedMicros());
-    });
-    size_t outputs = 0;
-    for (size_t c = 0; c < classes.size(); ++c) {
-      dom_extractions[c] = dom_extractor.MergeSiteExtractions(
-          std::move(site_shards[c]), seeds[c]);
-      outputs += dom_extractions[c].new_attributes.size();
-      all_triples.insert(all_triples.end(),
-                         dom_extractions[c].triples.begin(),
-                         dom_extractions[c].triples.end());
-    }
-    return outputs;
-  });
-
-  // (4) Web texts.
-  extract::WebTextExtractor text_extractor(config.text_extractor);
   std::vector<extract::TextExtraction> text_extractions(classes.size());
-  stage("Web-text extraction", [&] {
-    // One map task per class (the extractor's deduper grows across a
-    // class's sentences in order, so a class is the finest deterministic
-    // shard); triples append in class order after the barrier.
-    AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(classes.size()));
-    mapreduce::ParallelFor(pool.get(), classes.size(), [&](size_t c) {
-      Stopwatch shard_watch;
-      obs::ScopedSpan span("extract.text." + classes[c]);
-      std::vector<std::string> documents, source_names;
-      for (const auto& article : articles_per_class[c]) {
-        documents.push_back(article.text);
-        source_names.push_back(article.source);
-      }
-      text_extractions[c] = text_extractor.Extract(
-          classes[c], documents, source_names, entity_names[c], seeds[c]);
-      AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
-                           shard_watch.ElapsedMicros());
-    });
-    size_t outputs = 0;
-    for (size_t c = 0; c < classes.size(); ++c) {
-      outputs += text_extractions[c].new_attributes.size();
-      all_triples.insert(all_triples.end(),
-                         text_extractions[c].triples.begin(),
-                         text_extractions[c].triples.end());
-    }
-    return outputs;
-  });
-
-  // (5) New entity creation (joint linking + discovery, MapReduce). The
-  // job's output is sorted by cluster key, so the worker count is free.
-  extract::EntityCreationConfig entity_creation_config =
-      config.entity_creation;
-  entity_creation_config.num_workers = workers;
-  extract::EntityCreator entity_creator(entity_creation_config);
-  extract::EntityResolution resolution;
-  stage("entity creation", [&] {
-    std::vector<std::string> kb_names;
-    for (const auto& names : entity_names) {
-      kb_names.insert(kb_names.end(), names.begin(), names.end());
-    }
-    resolution = entity_creator.Run(all_triples, kb_names);
-    report.discovered_entities = resolution.discovered_entities;
-    return resolution.entities.size();
-  });
-
-  // (6) Enhanced ontology: taxonomic extraction + entity typing (§3.1).
-  if (config.build_taxonomy) {
-    stage("taxonomy extraction", [&] {
-      synth::TaxonomyCorpusConfig taxo_config;
-      taxo_config.sentences_per_entity = config.taxonomy_sentences_per_entity;
-      taxo_config.seed = config.seed ^ 0x5bd1e995ull;
-      auto docs = synth::GenerateTaxonomyCorpus(world, taxo_config);
-      std::vector<std::string> texts;
-      for (const auto& doc : docs) texts.push_back(doc.text);
-      extract::TaxonomyExtractor taxonomy_extractor(config.taxonomy);
-      auto taxonomy = taxonomy_extractor.Extract(texts);
-      report.taxonomy_edges = taxonomy.edges.size();
-      size_t typed = 0, correct = 0;
-      for (const std::string& name : classes) {
-        auto cls_id = world.FindClass(name);
-        if (!cls_id) continue;
-        std::string category = synth::CategoryNameOf(name);
-        for (const auto& entity : world.cls(*cls_id).entities) {
-          ++typed;
-          if (taxonomy.BestCategoryOf(entity.name) == category) ++correct;
-        }
-      }
-      report.typing_accuracy =
-          typed ? static_cast<double>(correct) / typed : 0.0;
-      return taxonomy.edges.size();
-    });
-  }
-
-  // ---------- Knowledge fusion phase.
   fusion::ClaimTable table;
   std::vector<ItemMeta> item_meta;
   // Items the existing-KB channel covered; fused statements outside this
   // set are *novel* knowledge (the augmentation payoff).
   std::unordered_set<std::string> kb_items;
-  stage("claim assembly", [&] {
-    // The per-triple string work (entity resolution, attribute
-    // canonicalization, value normalization) is pure, so it precomputes in
-    // parallel ranges into per-triple slots; the id-assigning intern loop
-    // then runs serially over the prepared rows in triple order, which
-    // fixes every ItemId/SourceId/ValueId independent of scheduling.
-    struct PreparedClaim {
-      std::string entity;
-      std::string attr_key;
-      std::string value;
-      std::string item;
-    };
-    std::vector<PreparedClaim> prepared(all_triples.size());
-    mapreduce::ParallelForRanges(
-        pool.get(), all_triples.size(), chunks,
-        [&](size_t begin, size_t end) {
-          for (size_t i = begin; i < end; ++i) {
-            const ExtractedTriple& t = all_triples[i];
-            PreparedClaim& p = prepared[i];
-            p.entity = t.entity;
-            size_t resolved = resolution.Resolve(p.entity);
-            if (resolved != SIZE_MAX) {
-              p.entity = resolution.entities[resolved].name;
+
+  const bool warm_start = !config.load_kb_path.empty();
+  if (warm_start) {
+    // ---------- Warm start: resume from a phase-1 claims checkpoint.
+    stage("load KB checkpoint", [&]() -> size_t {
+      rdf::TripleStore checkpoint;
+      rdf::SnapshotStats snap;
+      Status s;
+      {
+        obs::ScopedSpan span("snapshot.load");
+        Stopwatch watch;
+        s = checkpoint.LoadSnapshot(config.load_kb_path, &snap);
+        AKB_HISTOGRAM_RECORD("akb.snapshot.load_micros",
+                             watch.ElapsedMicros());
+      }
+      if (s.ok()) {
+        AKB_COUNTER_ADD("akb.snapshot.bytes", int64_t(snap.bytes));
+        AKB_COUNTER_ADD("akb.snapshot.terms", int64_t(snap.terms));
+        AKB_COUNTER_ADD("akb.snapshot.triples", int64_t(snap.triples));
+        s = DecodeClaimCheckpoint(checkpoint, &table, &item_meta, &kb_items);
+      }
+      if (!s.ok()) {
+        report.status =
+            Status(s.code(), "loading KB checkpoint '" +
+                                 config.load_kb_path + "': " + s.message());
+        return 0;
+      }
+      AKB_COUNTER_ADD("akb.pipeline.claims", int64_t(table.num_claims()));
+      report.total_claims = table.num_claims();
+      return table.num_claims();
+    });
+    if (!report.status.ok()) {
+      finalize();
+      return report;
+    }
+  }
+
+  if (!warm_start) {
+    // ---------- Render the paper's four source types from the world.
+    synth::KbSnapshot dbpedia, freebase;
+    std::vector<std::vector<synth::WebSite>> sites_per_class(classes.size());
+    std::vector<std::vector<synth::TextArticle>> articles_per_class(
+        classes.size());
+    std::vector<synth::QueryRecord> query_log;
+
+    stage("render inputs", [&] {
+      // Every seed is drawn up front from the single master RNG, in the same
+      // order the serial pipeline drew them, so the rendered bytes do not
+      // depend on task scheduling.
+      synth::KbProfile dbpedia_profile = GenericProfile(
+          world, classes, true, rng.NextU64(), config.kb_error_rate);
+      synth::KbProfile freebase_profile = GenericProfile(
+          world, classes, false, rng.NextU64(), config.kb_error_rate);
+      std::vector<synth::SiteConfig> site_configs(classes.size());
+      std::vector<synth::TextConfig> text_configs(classes.size());
+      for (size_t c = 0; c < classes.size(); ++c) {
+        site_configs[c].class_name = classes[c];
+        site_configs[c].num_sites = config.sites_per_class;
+        site_configs[c].pages_per_site = config.pages_per_site;
+        site_configs[c].value_error_rate = config.site_error_rate;
+        site_configs[c].seed = rng.NextU64();
+        text_configs[c].class_name = classes[c];
+        text_configs[c].num_articles = config.articles_per_class;
+        text_configs[c].value_error_rate = config.text_error_rate;
+        text_configs[c].seed = rng.NextU64();
+      }
+      synth::QueryLogConfig query_config;
+      query_config.seed = rng.NextU64();
+      size_t relevant_total = 0;
+      for (const std::string& name : classes) {
+        auto cls_id = world.FindClass(name);
+        if (!cls_id) continue;
+        synth::QueryClassConfig qc;
+        qc.class_name = name;
+        qc.relevant_records = config.queries_per_class;
+        qc.queried_attributes = std::max<size_t>(
+            5, world.cls(*cls_id).attributes.size() / 2);
+        query_config.classes.push_back(qc);
+        relevant_total += qc.relevant_records;
+      }
+      query_config.total_records = relevant_total + config.junk_queries;
+
+      // Fan out: the two KBs, the query log, and one (class, range) shard
+      // per worker-sized slice of each class's sites and articles. Each
+      // shard writes its own slot; per class, slots concatenate in range
+      // order, which the range-generation APIs guarantee equals a full
+      // serial render.
+      struct RenderShard {
+        size_t cls;
+        size_t begin;
+        size_t end;
+        bool text;
+      };
+      std::vector<RenderShard> render_shards;
+      for (size_t c = 0; c < classes.size(); ++c) {
+        size_t n = site_configs[c].num_sites;
+        size_t pieces = std::max<size_t>(1, std::min(n, workers));
+        size_t per = n ? (n + pieces - 1) / pieces : 0;
+        for (size_t b = 0; b < n; b += per) {
+          render_shards.push_back({c, b, std::min(n, b + per), false});
+        }
+        n = text_configs[c].num_articles;
+        pieces = std::max<size_t>(1, std::min(n, workers));
+        per = n ? (n + pieces - 1) / pieces : 0;
+        for (size_t b = 0; b < n; b += per) {
+          render_shards.push_back({c, b, std::min(n, b + per), true});
+        }
+      }
+      std::vector<std::vector<synth::WebSite>> site_parts(
+          render_shards.size());
+      std::vector<std::vector<synth::TextArticle>> article_parts(
+          render_shards.size());
+      AKB_COUNTER_ADD("akb.pipeline.shards",
+                      int64_t(render_shards.size() + 3));
+      mapreduce::ParallelFor(
+          pool.get(), render_shards.size() + 3, [&](size_t t) {
+            Stopwatch shard_watch;
+            if (t == 0) {
+              dbpedia = synth::GenerateKb(world, dbpedia_profile);
+            } else if (t == 1) {
+              freebase = synth::GenerateKb(world, freebase_profile);
+            } else if (t == 2) {
+              query_log = synth::GenerateQueryLog(world, query_config);
+            } else {
+              const RenderShard& shard = render_shards[t - 3];
+              if (shard.text) {
+                article_parts[t - 3] = synth::GenerateArticleRange(
+                    world, text_configs[shard.cls], shard.begin, shard.end);
+              } else {
+                site_parts[t - 3] = synth::GenerateSiteRange(
+                    world, site_configs[shard.cls], shard.begin, shard.end);
+              }
             }
-            p.attr_key = extract::AttributeKey(t.attribute);
-            p.item = t.class_name + "|" + p.entity + "|" + p.attr_key;
-            // Same value normalization as ClaimTable::FromTriples.
-            p.value = NormalizeSurface(t.value);
+            AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
+                                 shard_watch.ElapsedMicros());
+          });
+      for (size_t i = 0; i < render_shards.size(); ++i) {
+        size_t c = render_shards[i].cls;
+        for (auto& article : article_parts[i]) {
+          articles_per_class[c].push_back(std::move(article));
+        }
+        for (auto& site : site_parts[i]) {
+          sites_per_class[c].push_back(std::move(site));
+        }
+      }
+
+      size_t outputs = dbpedia.TotalFacts() + freebase.TotalFacts();
+      size_t pages_rendered = 0, articles_rendered = 0;
+      for (size_t c = 0; c < classes.size(); ++c) {
+        for (const auto& site : sites_per_class[c]) {
+          outputs += site.pages.size();
+          pages_rendered += site.pages.size();
+        }
+        outputs += articles_per_class[c].size();
+        articles_rendered += articles_per_class[c].size();
+      }
+      AKB_COUNTER_ADD("akb.pipeline.pages_rendered", int64_t(pages_rendered));
+      AKB_COUNTER_ADD("akb.pipeline.articles_rendered",
+                      int64_t(articles_rendered));
+      outputs += query_log.size();
+      AKB_COUNTER_ADD("akb.pipeline.query_log_lines", int64_t(query_log.size()));
+      return outputs;
+    });
+
+    // ---------- Knowledge extraction phase.
+    // (1) Existing KBs.
+    extract::ExistingKbExtractor kb_extractor(config.kb_extractor);
+    std::vector<ExtractedTriple> all_triples;
+    stage("existing-KB extraction", [&] {
+      // Combine and the two triple extractions are independent read-only
+      // passes over the snapshots; the triples append in fixed order after
+      // the barrier.
+      std::vector<ExtractedTriple> t1, t2;
+      mapreduce::ParallelFor(pool.get(), 3, [&](size_t t) {
+        if (t == 0) {
+          combined = kb_extractor.Combine({&dbpedia, &freebase});
+        } else if (t == 1) {
+          t1 = kb_extractor.ExtractTriples(dbpedia);
+        } else {
+          t2 = kb_extractor.ExtractTriples(freebase);
+        }
+      });
+      all_triples.insert(all_triples.end(), t1.begin(), t1.end());
+      all_triples.insert(all_triples.end(), t2.begin(), t2.end());
+      size_t attrs = 0;
+      for (const auto& c : combined.classes) attrs += c.attributes.size();
+      return attrs;
+    });
+
+    // Entity sets: the paper specifies classes by representative entities of
+    // Freebase.
+    std::vector<std::vector<std::string>> entity_names(classes.size());
+    for (size_t c = 0; c < classes.size(); ++c) {
+      std::unordered_set<std::string> names;
+      for (const auto* kb : {&freebase, &dbpedia}) {
+        const synth::KbClass* kc = kb->FindClass(classes[c]);
+        if (kc == nullptr) continue;
+        for (const std::string& n : kc->entity_names) names.insert(n);
+      }
+      entity_names[c].assign(names.begin(), names.end());
+      std::sort(entity_names[c].begin(), entity_names[c].end());
+    }
+
+    // (2) Query stream.
+    extract::QueryStreamExtractor query_extractor(config.query_extractor);
+    for (size_t c = 0; c < classes.size(); ++c) {
+      query_extractor.AddClass(classes[c], entity_names[c]);
+    }
+    stage("query-stream extraction", [&] {
+      std::vector<std::string> queries;
+      queries.reserve(query_log.size());
+      for (const auto& record : query_log) queries.push_back(record.query);
+      query_extraction = query_extractor.ExtractSharded(queries, pool.get());
+      size_t attrs = 0;
+      for (const auto& c : query_extraction.classes) {
+        attrs += c.credible_attributes.size();
+      }
+      return attrs;
+    });
+
+    // Seeds per class: KB-combined union query-stream attributes.
+    std::vector<std::vector<std::string>> seeds(classes.size());
+    for (size_t c = 0; c < classes.size(); ++c) {
+      if (const auto* kc = combined.FindClass(classes[c])) {
+        for (const auto& a : kc->attributes) seeds[c].push_back(a.surface);
+      }
+      if (const auto* qc = query_extraction.FindClass(classes[c])) {
+        for (const auto& a : qc->credible_attributes) {
+          seeds[c].push_back(a.surface);
+        }
+      }
+    }
+
+    // (3) DOM trees.
+    extract::DomTreeExtractor dom_extractor(config.dom_extractor);
+    stage("DOM-tree extraction", [&] {
+      // Map: every (class, site) pair is one task — flattening classes and
+      // sites into one fan-out keeps all workers busy even when a class has
+      // few sites. Reduce: per-class ordered merge.
+      std::vector<std::pair<size_t, size_t>> units;  // (class, site)
+      std::vector<std::vector<extract::DomExtraction>> site_shards(
+          classes.size());
+      for (size_t c = 0; c < classes.size(); ++c) {
+        site_shards[c].resize(sites_per_class[c].size());
+        for (size_t s = 0; s < sites_per_class[c].size(); ++s) {
+          units.emplace_back(c, s);
+        }
+      }
+      AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(units.size()));
+      mapreduce::ParallelFor(pool.get(), units.size(), [&](size_t u) {
+        auto [c, s] = units[u];
+        Stopwatch shard_watch;
+        obs::ScopedSpan span("extract.dom." + classes[c]);
+        site_shards[c][s] = dom_extractor.ExtractSite(
+            sites_per_class[c][s], entity_names[c], seeds[c]);
+        AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
+                             shard_watch.ElapsedMicros());
+      });
+      size_t outputs = 0;
+      for (size_t c = 0; c < classes.size(); ++c) {
+        dom_extractions[c] = dom_extractor.MergeSiteExtractions(
+            std::move(site_shards[c]), seeds[c]);
+        outputs += dom_extractions[c].new_attributes.size();
+        all_triples.insert(all_triples.end(),
+                           dom_extractions[c].triples.begin(),
+                           dom_extractions[c].triples.end());
+      }
+      return outputs;
+    });
+
+    // (4) Web texts.
+    extract::WebTextExtractor text_extractor(config.text_extractor);
+    stage("Web-text extraction", [&] {
+      // One map task per class (the extractor's deduper grows across a
+      // class's sentences in order, so a class is the finest deterministic
+      // shard); triples append in class order after the barrier.
+      AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(classes.size()));
+      mapreduce::ParallelFor(pool.get(), classes.size(), [&](size_t c) {
+        Stopwatch shard_watch;
+        obs::ScopedSpan span("extract.text." + classes[c]);
+        std::vector<std::string> documents, source_names;
+        for (const auto& article : articles_per_class[c]) {
+          documents.push_back(article.text);
+          source_names.push_back(article.source);
+        }
+        text_extractions[c] = text_extractor.Extract(
+            classes[c], documents, source_names, entity_names[c], seeds[c]);
+        AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
+                             shard_watch.ElapsedMicros());
+      });
+      size_t outputs = 0;
+      for (size_t c = 0; c < classes.size(); ++c) {
+        outputs += text_extractions[c].new_attributes.size();
+        all_triples.insert(all_triples.end(),
+                           text_extractions[c].triples.begin(),
+                           text_extractions[c].triples.end());
+      }
+      return outputs;
+    });
+
+    // (5) New entity creation (joint linking + discovery, MapReduce). The
+    // job's output is sorted by cluster key, so the worker count is free.
+    extract::EntityCreationConfig entity_creation_config =
+        config.entity_creation;
+    entity_creation_config.num_workers = workers;
+    extract::EntityCreator entity_creator(entity_creation_config);
+    extract::EntityResolution resolution;
+    stage("entity creation", [&] {
+      std::vector<std::string> kb_names;
+      for (const auto& names : entity_names) {
+        kb_names.insert(kb_names.end(), names.begin(), names.end());
+      }
+      resolution = entity_creator.Run(all_triples, kb_names);
+      report.discovered_entities = resolution.discovered_entities;
+      return resolution.entities.size();
+    });
+
+    // (6) Enhanced ontology: taxonomic extraction + entity typing (§3.1).
+    if (config.build_taxonomy) {
+      stage("taxonomy extraction", [&] {
+        synth::TaxonomyCorpusConfig taxo_config;
+        taxo_config.sentences_per_entity = config.taxonomy_sentences_per_entity;
+        taxo_config.seed = config.seed ^ 0x5bd1e995ull;
+        auto docs = synth::GenerateTaxonomyCorpus(world, taxo_config);
+        std::vector<std::string> texts;
+        for (const auto& doc : docs) texts.push_back(doc.text);
+        extract::TaxonomyExtractor taxonomy_extractor(config.taxonomy);
+        auto taxonomy = taxonomy_extractor.Extract(texts);
+        report.taxonomy_edges = taxonomy.edges.size();
+        size_t typed = 0, correct = 0;
+        for (const std::string& name : classes) {
+          auto cls_id = world.FindClass(name);
+          if (!cls_id) continue;
+          std::string category = synth::CategoryNameOf(name);
+          for (const auto& entity : world.cls(*cls_id).entities) {
+            ++typed;
+            if (taxonomy.BestCategoryOf(entity.name) == category) ++correct;
           }
-        });
-    std::unordered_map<std::string, size_t> meta_index;
-    std::unordered_map<rdf::ExtractorKind, size_t> claims_by_extractor;
-    for (size_t i = 0; i < all_triples.size(); ++i) {
-      const ExtractedTriple& t = all_triples[i];
-      PreparedClaim& p = prepared[i];
-      ++claims_by_extractor[t.extractor];
-      if (!meta_index.count(p.item)) {
-        meta_index.emplace(p.item, item_meta.size());
-        item_meta.push_back(
-            ItemMeta{t.class_name, p.entity, p.attr_key, t.attribute});
-      }
-      if (t.extractor == rdf::ExtractorKind::kExistingKb) {
-        kb_items.insert(p.item);
-      }
-      table.Add(std::move(p.item), t.source, std::move(p.value),
-                t.confidence);
+        }
+        report.typing_accuracy =
+            typed ? static_cast<double>(correct) / typed : 0.0;
+        return taxonomy.edges.size();
+      });
     }
-    for (const auto& [kind, count] : claims_by_extractor) {
-      obs::CounterAdd(std::string("akb.pipeline.claims.") +
-                          std::string(rdf::ExtractorKindToString(kind)),
-                      int64_t(count));
+
+    // ---------- Knowledge fusion phase.
+    stage("claim assembly", [&] {
+      // The per-triple string work (entity resolution, attribute
+      // canonicalization, value normalization) is pure, so it precomputes in
+      // parallel ranges into per-triple slots; the id-assigning intern loop
+      // then runs serially over the prepared rows in triple order, which
+      // fixes every ItemId/SourceId/ValueId independent of scheduling.
+      struct PreparedClaim {
+        std::string entity;
+        std::string attr_key;
+        std::string value;
+        std::string item;
+      };
+      std::vector<PreparedClaim> prepared(all_triples.size());
+      mapreduce::ParallelForRanges(
+          pool.get(), all_triples.size(), chunks,
+          [&](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i) {
+              const ExtractedTriple& t = all_triples[i];
+              PreparedClaim& p = prepared[i];
+              p.entity = t.entity;
+              size_t resolved = resolution.Resolve(p.entity);
+              if (resolved != SIZE_MAX) {
+                p.entity = resolution.entities[resolved].name;
+              }
+              p.attr_key = extract::AttributeKey(t.attribute);
+              p.item = t.class_name + "|" + p.entity + "|" + p.attr_key;
+              // Same value normalization as ClaimTable::FromTriples.
+              p.value = NormalizeSurface(t.value);
+            }
+          });
+      std::unordered_map<std::string, size_t> meta_index;
+      std::unordered_map<rdf::ExtractorKind, size_t> claims_by_extractor;
+      for (size_t i = 0; i < all_triples.size(); ++i) {
+        const ExtractedTriple& t = all_triples[i];
+        PreparedClaim& p = prepared[i];
+        ++claims_by_extractor[t.extractor];
+        if (!meta_index.count(p.item)) {
+          meta_index.emplace(p.item, item_meta.size());
+          item_meta.push_back(
+              ItemMeta{t.class_name, p.entity, p.attr_key, t.attribute});
+        }
+        if (t.extractor == rdf::ExtractorKind::kExistingKb) {
+          kb_items.insert(p.item);
+        }
+        table.Add(std::move(p.item), t.source, std::move(p.value),
+                  t.confidence);
+      }
+      for (const auto& [kind, count] : claims_by_extractor) {
+        obs::CounterAdd(std::string("akb.pipeline.claims.") +
+                            std::string(rdf::ExtractorKindToString(kind)),
+                        int64_t(count));
+      }
+      AKB_COUNTER_ADD("akb.pipeline.claims", int64_t(table.num_claims()));
+      report.total_claims = table.num_claims();
+      return table.num_claims();
+    });
+  }  // !warm_start: rendering, extraction, and claim assembly
+
+  if (!config.save_kb_path.empty()) {
+    // ---------- Checkpoint the phase-1 claims KB (works after either a
+    // cold claim assembly or a warm-start load, so checkpoints can be
+    // re-saved / migrated).
+    stage("save KB checkpoint", [&]() -> size_t {
+      rdf::TripleStore checkpoint =
+          EncodeClaimCheckpoint(table, item_meta, kb_items);
+      rdf::SnapshotStats snap;
+      Status s;
+      {
+        obs::ScopedSpan span("snapshot.save");
+        Stopwatch watch;
+        s = checkpoint.SaveSnapshot(config.save_kb_path, &snap);
+        AKB_HISTOGRAM_RECORD("akb.snapshot.save_micros",
+                             watch.ElapsedMicros());
+      }
+      if (!s.ok()) {
+        report.status =
+            Status(s.code(), "saving KB checkpoint '" +
+                                 config.save_kb_path + "': " + s.message());
+        return 0;
+      }
+      AKB_COUNTER_ADD("akb.snapshot.bytes", int64_t(snap.bytes));
+      AKB_COUNTER_ADD("akb.snapshot.terms", int64_t(snap.terms));
+      AKB_COUNTER_ADD("akb.snapshot.triples", int64_t(snap.triples));
+      return size_t(snap.claims);
+    });
+    if (!report.status.ok()) {
+      finalize();
+      return report;
     }
-    AKB_COUNTER_ADD("akb.pipeline.claims", int64_t(table.num_claims()));
-    report.total_claims = table.num_claims();
-    return table.num_claims();
-  });
+  }
 
   fusion::FusionOutput output;
   stage(std::string("fusion [") +
@@ -790,10 +974,8 @@ PipelineReport RunPipeline(const synth::World& world,
     return emitted;
   });
 
-  report.total_seconds = total.ElapsedSeconds();
   AKB_HISTOGRAM_RECORD("akb.pipeline.run_micros", total.ElapsedMicros());
-  report.metrics =
-      obs::MetricsRegistry::Global().Snapshot().DiffFrom(metrics_before);
+  finalize();
   return report;
 }
 

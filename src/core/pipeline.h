@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "extract/dom_extractor.h"
 #include "extract/entity_creation.h"
 #include "obs/metrics.h"
@@ -90,6 +91,16 @@ struct PipelineConfig {
   /// worker count — including 1, the serial reference path — produces a
   /// bit-identical report.
   size_t num_workers = 0;
+
+  /// Warm start: load the phase-1 claims KB from this binary snapshot
+  /// (written by a previous run's save_kb_path) instead of rendering and
+  /// extracting, and resume straight into fusion. The fused output is
+  /// byte-identical to a cold run at the same seed and fusion config.
+  /// Empty = cold run.
+  std::string load_kb_path;
+  /// After claim assembly, checkpoint the phase-1 claims KB to this path
+  /// as a binary snapshot (see rdf/snapshot.h). Empty = no checkpoint.
+  std::string save_kb_path;
 };
 
 /// Timing + volume of one pipeline stage.
@@ -119,6 +130,10 @@ struct ClassQuality {
 };
 
 struct PipelineReport {
+  /// Non-OK when a KB checkpoint failed to load or save (the pipeline
+  /// stops at the failing stage; partial checkpoints never feed fusion).
+  /// Pipeline stages themselves cannot fail.
+  Status status;
   std::vector<StageStats> stages;
   std::vector<ClassQuality> quality;
   size_t total_claims = 0;

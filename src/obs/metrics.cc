@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <thread>
 
 #include "common/string_util.h"
@@ -107,7 +108,9 @@ void Histogram::Record(int64_t value) {
 
 int64_t Histogram::Min() const {
   int64_t v = min_.load(std::memory_order_relaxed);
-  return v == INT64_MAX ? 0 : v;
+  // INT64_MAX is the empty sentinel, but it is also a recordable value;
+  // only report 0 when nothing was actually recorded.
+  return (v == INT64_MAX && Count() == 0) ? 0 : v;
 }
 
 double Histogram::Mean() const {
@@ -124,6 +127,10 @@ double Histogram::Percentile(double p) const {
   int64_t total = Count();
   if (total == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
+  // The extremes are observed exactly; interpolation should never move
+  // them.
+  if (p == 0.0) return static_cast<double>(Min());
+  if (p == 100.0) return static_cast<double>(Max());
   double rank = p / 100.0 * static_cast<double>(total);
   int64_t seen = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
@@ -131,13 +138,13 @@ double Histogram::Percentile(double p) const {
     if (in_bucket == 0) continue;
     if (static_cast<double>(seen + in_bucket) >= rank) {
       // Linear interpolation inside [2^(b-1), 2^b), clamped to observed
-      // min/max so tiny samples don't report below-min estimates.
-      double lo = b == 0 ? 0.0 : static_cast<double>(int64_t(1) << (b - 1));
-      double hi = static_cast<double>(int64_t(1) << b);
-      double frac =
-          in_bucket ? (rank - static_cast<double>(seen)) /
-                          static_cast<double>(in_bucket)
-                    : 0.0;
+      // min/max so tiny samples don't report below-min estimates and the
+      // top bucket can't report above the recorded maximum. Bucket bounds
+      // are computed in floating point: 1 << b overflows int64 at b = 63.
+      double lo = b == 0 ? 0.0 : std::ldexp(1.0, int(b) - 1);
+      double hi = std::ldexp(1.0, int(b));
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
       double estimate = lo + frac * (hi - lo);
       estimate = std::max(estimate, static_cast<double>(Min()));
       estimate = std::min(estimate, static_cast<double>(Max()));

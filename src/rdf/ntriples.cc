@@ -26,6 +26,76 @@ std::string ProvenanceComment(const Provenance& p) {
          " confidence=" + FormatDouble(p.confidence, 6);
 }
 
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Appends a Unicode code point as UTF-8 (the writer only emits \u00XX,
+/// but the reader accepts any BMP escape).
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(char(cp));
+  } else if (cp < 0x800) {
+    out->push_back(char(0xC0 | (cp >> 6)));
+    out->push_back(char(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(char(0xE0 | (cp >> 12)));
+    out->push_back(char(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(char(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Decodes one backslash escape at text[*pos] (positioned on the character
+/// after the backslash); the exact inverse of Term::ToString's literal
+/// escaping. Unknown escapes and malformed \uXXXX are errors, never passed
+/// through silently.
+Status ConsumeLiteralEscape(std::string_view text, size_t* pos,
+                            std::string* out) {
+  if (*pos >= text.size()) {
+    return Status::ParseError("dangling backslash in literal");
+  }
+  char e = text[(*pos)++];
+  switch (e) {
+    case 'n':
+      out->push_back('\n');
+      return Status::OK();
+    case 'r':
+      out->push_back('\r');
+      return Status::OK();
+    case 't':
+      out->push_back('\t');
+      return Status::OK();
+    case '"':
+      out->push_back('"');
+      return Status::OK();
+    case '\\':
+      out->push_back('\\');
+      return Status::OK();
+    case 'u': {
+      if (*pos + 4 > text.size()) {
+        return Status::ParseError("truncated \\u escape in literal");
+      }
+      uint32_t cp = 0;
+      for (int i = 0; i < 4; ++i) {
+        int v = HexValue(text[*pos + size_t(i)]);
+        if (v < 0) {
+          return Status::ParseError("bad hex digit in \\u escape");
+        }
+        cp = (cp << 4) | uint32_t(v);
+      }
+      *pos += 4;
+      AppendUtf8(out, cp);
+      return Status::OK();
+    }
+    default:
+      return Status::ParseError("invalid escape '\\" + std::string(1, e) +
+                                "' in literal");
+  }
+}
+
 // Consumes one term starting at text[pos]; advances pos past the term.
 Result<Term> ConsumeTerm(std::string_view text, size_t* pos) {
   while (*pos < text.size() && (text[*pos] == ' ' || text[*pos] == '\t')) {
@@ -46,17 +116,14 @@ Result<Term> ConsumeTerm(std::string_view text, size_t* pos) {
     std::string value;
     size_t i = *pos + 1;
     while (i < text.size() && text[i] != '"') {
-      if (text[i] == '\\' && i + 1 < text.size()) {
+      if (text[i] == '\\') {
         ++i;
-        if (text[i] == 'n') {
-          value.push_back('\n');
-        } else {
-          value.push_back(text[i]);
-        }
+        Status s = ConsumeLiteralEscape(text, &i, &value);
+        if (!s.ok()) return s;
       } else {
         value.push_back(text[i]);
+        ++i;
       }
-      ++i;
     }
     if (i >= text.size()) return Status::ParseError("unterminated literal");
     *pos = i + 1;

@@ -1,0 +1,466 @@
+#include "rdf/snapshot.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "rdf/triple_store.h"
+
+namespace akb::rdf {
+
+namespace {
+
+constexpr char kMagic[8] = {'A', 'K', 'B', 'S', 'N', 'A', 'P', '1'};
+constexpr uint8_t kSectionTerms = 1;
+constexpr uint8_t kSectionTriples = 2;
+constexpr uint8_t kSectionClaims = 3;
+constexpr uint8_t kEndMarker = 0xFF;
+/// Writer flushes blocks around this size; bigger records get a block of
+/// their own.
+constexpr size_t kBlockTarget = 64 * 1024;
+/// Reader refuses blocks beyond this, so a corrupted length varint cannot
+/// trigger a giant allocation.
+constexpr uint64_t kMaxBlockLen = 16ull * 1024 * 1024;
+
+// ------------------------------------------------------------ primitives
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  char bytes[4] = {char(v & 0xFF), char((v >> 8) & 0xFF),
+                   char((v >> 16) & 0xFF), char((v >> 24) & 0xFF)};
+  out.write(bytes, 4);
+}
+
+bool ReadU32(std::istream& in, uint32_t* out) {
+  unsigned char bytes[4];
+  if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  *out = uint32_t(bytes[0]) | uint32_t(bytes[1]) << 8 |
+         uint32_t(bytes[2]) << 16 | uint32_t(bytes[3]) << 24;
+  return true;
+}
+
+void WriteStreamVarint(std::ostream& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.put(char((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.put(char(v));
+}
+
+bool ReadStreamVarint(std::istream& in, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    int c = in.get();
+    if (c == std::char_traits<char>::eof()) return false;
+    v |= uint64_t(c & 0x7F) << shift;
+    if (!(c & 0x80)) {
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // overlong varint
+}
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(char((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(char(v));
+}
+
+Status ParseVarint(std::string_view block, size_t* pos, uint64_t* out,
+                   const char* what) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (*pos >= block.size()) {
+      return Status::DataLoss(std::string("record overruns block in ") + what);
+    }
+    unsigned char c = static_cast<unsigned char>(block[(*pos)++]);
+    v |= uint64_t(c & 0x7F) << shift;
+    if (!(c & 0x80)) {
+      *out = v;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::DataLoss(std::string("overlong varint in ") + what);
+}
+
+Status ParseByte(std::string_view block, size_t* pos, uint8_t* out,
+                 const char* what) {
+  if (*pos >= block.size()) {
+    return Status::DataLoss(std::string("record overruns block in ") + what);
+  }
+  *out = static_cast<uint8_t>(block[(*pos)++]);
+  return Status::OK();
+}
+
+Status ParseBytes(std::string_view block, size_t* pos, uint64_t len,
+                  std::string_view* out, const char* what) {
+  if (len > block.size() - *pos) {
+    return Status::DataLoss(std::string("record overruns block in ") + what);
+  }
+  *out = block.substr(*pos, len);
+  *pos += len;
+  return Status::OK();
+}
+
+Status ParseU64(std::string_view block, size_t* pos, uint64_t* out,
+                const char* what) {
+  std::string_view bytes;
+  AKB_RETURN_IF_ERROR(ParseBytes(block, pos, 8, &bytes, what));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[size_t(i)]);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+// --------------------------------------------------------- section writer
+
+/// Streams one section: records accumulate in a single block buffer which
+/// flushes at kBlockTarget, feeding the running CRC; End() writes the
+/// block terminator and the section CRC.
+class SectionWriter {
+ public:
+  explicit SectionWriter(std::ostream* out) : out_(out) {}
+
+  void Begin(uint8_t id, uint64_t record_count) {
+    out_->put(char(id));
+    WriteStreamVarint(*out_, record_count);
+    crc_ = 0;
+    buffer_.clear();
+  }
+
+  void Add(std::string_view record) {
+    if (record.size() > kMaxBlockLen) {
+      oversized_record_ = true;
+      return;
+    }
+    if (!buffer_.empty() && buffer_.size() + record.size() > kBlockTarget) {
+      Flush();
+    }
+    buffer_.append(record);
+  }
+
+  void End() {
+    if (!buffer_.empty()) Flush();
+    WriteStreamVarint(*out_, 0);
+    WriteU32(*out_, crc_);
+  }
+
+  bool oversized_record() const { return oversized_record_; }
+
+ private:
+  void Flush() {
+    WriteStreamVarint(*out_, buffer_.size());
+    out_->write(buffer_.data(), std::streamsize(buffer_.size()));
+    crc_ = Crc32c(buffer_, crc_);
+    buffer_.clear();
+  }
+
+  std::ostream* out_;
+  std::string buffer_;
+  uint32_t crc_ = 0;
+  bool oversized_record_ = false;
+};
+
+// --------------------------------------------------------- section reader
+
+/// Streams one section through `parse_record(block, &pos)`, which consumes
+/// exactly one record; records never span blocks, so each block parses to
+/// completion. Validates the declared record count and the section CRC.
+template <typename RecordFn>
+Status ReadSection(std::istream& in, uint8_t expected_id, const char* name,
+                   RecordFn parse_record) {
+  int id = in.get();
+  if (id == std::char_traits<char>::eof()) {
+    return Status::DataLoss(std::string("truncated before section ") + name);
+  }
+  if (uint8_t(id) != expected_id) {
+    return Status::DataLoss(std::string("expected section ") + name);
+  }
+  uint64_t declared = 0;
+  if (!ReadStreamVarint(in, &declared)) {
+    return Status::DataLoss(std::string("truncated record count in ") + name);
+  }
+  uint64_t parsed = 0;
+  uint32_t crc = 0;
+  std::string block;
+  for (;;) {
+    uint64_t len = 0;
+    if (!ReadStreamVarint(in, &len)) {
+      return Status::DataLoss(std::string("truncated block length in ") +
+                              name);
+    }
+    if (len == 0) break;
+    if (len > kMaxBlockLen) {
+      return Status::DataLoss(std::string("oversized block in ") + name);
+    }
+    block.resize(size_t(len));
+    if (!in.read(block.data(), std::streamsize(len))) {
+      return Status::DataLoss(std::string("truncated block in ") + name);
+    }
+    crc = Crc32c(block, crc);
+    size_t pos = 0;
+    while (pos < block.size()) {
+      if (parsed >= declared) {
+        return Status::DataLoss(std::string("more records than declared in ") +
+                                name);
+      }
+      AKB_RETURN_IF_ERROR(parse_record(std::string_view(block), &pos));
+      ++parsed;
+    }
+  }
+  if (parsed != declared) {
+    return Status::DataLoss(std::string("fewer records than declared in ") +
+                            name);
+  }
+  uint32_t stored_crc = 0;
+  if (!ReadU32(in, &stored_crc)) {
+    return Status::DataLoss(std::string("truncated CRC in ") + name);
+  }
+  if (stored_crc != crc) {
+    return Status::DataLoss(std::string("CRC mismatch in section ") + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256>& table = *[] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+      }
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (unsigned char b : data) {
+    crc = table[(crc ^ b) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status TripleStore::SaveSnapshot(const std::string& path,
+                                 SnapshotStats* stats) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kSnapshotVersion);
+
+  SectionWriter section(&out);
+  std::string record;
+
+  section.Begin(kSectionTerms, dict_.size());
+  for (TermId id = 1; id <= dict_.size(); ++id) {
+    const Term& term = dict_.Lookup(id);
+    record.clear();
+    record.push_back(char(term.kind));
+    AppendVarint(&record, term.lexical.size());
+    record += term.lexical;
+    section.Add(record);
+  }
+  section.End();
+
+  section.Begin(kSectionTriples, triples_.size());
+  for (const Triple& t : triples_) {
+    record.clear();
+    AppendVarint(&record, t.subject);
+    AppendVarint(&record, t.predicate);
+    AppendVarint(&record, t.object);
+    section.Add(record);
+  }
+  section.End();
+
+  section.Begin(kSectionClaims, claims_.size());
+  for (const Claim& c : claims_) {
+    record.clear();
+    AppendVarint(&record, c.triple.subject);
+    AppendVarint(&record, c.triple.predicate);
+    AppendVarint(&record, c.triple.object);
+    record.push_back(char(c.provenance.extractor));
+    uint64_t bits = std::bit_cast<uint64_t>(c.provenance.confidence);
+    for (int i = 0; i < 8; ++i) record.push_back(char((bits >> (8 * i)) & 0xFF));
+    AppendVarint(&record, c.provenance.source.size());
+    record += c.provenance.source;
+    section.Add(record);
+  }
+  section.End();
+
+  if (section.oversized_record()) {
+    return Status::InvalidArgument(
+        "store contains a term or source larger than the 16 MiB record "
+        "limit");
+  }
+  out.put(char(kEndMarker));
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  if (stats != nullptr) {
+    stats->version = kSnapshotVersion;
+    stats->bytes = uint64_t(out.tellp());
+    stats->terms = dict_.size();
+    stats->triples = triples_.size();
+    stats->claims = claims_.size();
+  }
+  return Status::OK();
+}
+
+Status TripleStore::LoadSnapshot(const std::string& path,
+                                 SnapshotStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  in.seekg(0, std::ios::end);
+  uint64_t file_bytes = uint64_t(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(kMagic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("'" + path + "' is not an akb snapshot");
+  }
+  uint32_t version = 0;
+  if (!ReadU32(in, &version)) {
+    return Status::DataLoss("truncated snapshot version");
+  }
+  if (version == 0 || version > kSnapshotVersion) {
+    return Status::Unimplemented(
+        "snapshot format version " + std::to_string(version) +
+        " is not supported (this build reads up to version " +
+        std::to_string(kSnapshotVersion) + ")");
+  }
+
+  // Build into a fresh store; *this is replaced only after every section
+  // validates, so a corrupt snapshot can never leave a partial store.
+  TripleStore loaded;
+
+  AKB_RETURN_IF_ERROR(ReadSection(
+      in, kSectionTerms, "terms",
+      [&](std::string_view block, size_t* pos) -> Status {
+        uint8_t kind = 0;
+        AKB_RETURN_IF_ERROR(ParseByte(block, pos, &kind, "terms"));
+        if (kind > uint8_t(TermKind::kBlank)) {
+          return Status::DataLoss("term kind out of range");
+        }
+        uint64_t len = 0;
+        AKB_RETURN_IF_ERROR(ParseVarint(block, pos, &len, "terms"));
+        std::string_view lexical;
+        AKB_RETURN_IF_ERROR(ParseBytes(block, pos, len, &lexical, "terms"));
+        Term term{TermKind(kind), std::string(lexical)};
+        TermId id = loaded.dict_.Intern(term);
+        if (id != loaded.dict_.size()) {
+          return Status::DataLoss("duplicate term in dictionary section");
+        }
+        return Status::OK();
+      }));
+
+  auto parse_term_id = [&](std::string_view block, size_t* pos, TermId* out,
+                           const char* name) -> Status {
+    uint64_t id = 0;
+    AKB_RETURN_IF_ERROR(ParseVarint(block, pos, &id, name));
+    if (id < 1 || id > loaded.dict_.size()) {
+      return Status::DataLoss(std::string("term id out of range in ") + name);
+    }
+    *out = TermId(id);
+    return Status::OK();
+  };
+
+  AKB_RETURN_IF_ERROR(ReadSection(
+      in, kSectionTriples, "triples",
+      [&](std::string_view block, size_t* pos) -> Status {
+        Triple t;
+        AKB_RETURN_IF_ERROR(parse_term_id(block, pos, &t.subject, "triples"));
+        AKB_RETURN_IF_ERROR(
+            parse_term_id(block, pos, &t.predicate, "triples"));
+        AKB_RETURN_IF_ERROR(parse_term_id(block, pos, &t.object, "triples"));
+        if (loaded.triple_index_.count(t) > 0) {
+          return Status::DataLoss("duplicate distinct triple");
+        }
+        size_t ti = loaded.triples_.size();
+        loaded.triples_.push_back(t);
+        loaded.claims_of_.emplace_back();
+        loaded.triple_index_.emplace(t, ti);
+        loaded.by_subject_[t.subject].push_back(ti);
+        loaded.by_predicate_[t.predicate].push_back(ti);
+        loaded.by_object_[t.object].push_back(ti);
+        return Status::OK();
+      }));
+
+  AKB_RETURN_IF_ERROR(ReadSection(
+      in, kSectionClaims, "claims",
+      [&](std::string_view block, size_t* pos) -> Status {
+        Triple t;
+        AKB_RETURN_IF_ERROR(parse_term_id(block, pos, &t.subject, "claims"));
+        AKB_RETURN_IF_ERROR(parse_term_id(block, pos, &t.predicate, "claims"));
+        AKB_RETURN_IF_ERROR(parse_term_id(block, pos, &t.object, "claims"));
+        uint8_t extractor = 0;
+        AKB_RETURN_IF_ERROR(ParseByte(block, pos, &extractor, "claims"));
+        if (extractor > uint8_t(ExtractorKind::kOther)) {
+          return Status::DataLoss("extractor kind out of range");
+        }
+        uint64_t bits = 0;
+        AKB_RETURN_IF_ERROR(ParseU64(block, pos, &bits, "claims"));
+        double confidence = std::bit_cast<double>(bits);
+        if (!std::isfinite(confidence)) {
+          return Status::DataLoss("non-finite claim confidence");
+        }
+        uint64_t len = 0;
+        AKB_RETURN_IF_ERROR(ParseVarint(block, pos, &len, "claims"));
+        std::string_view source;
+        AKB_RETURN_IF_ERROR(ParseBytes(block, pos, len, &source, "claims"));
+        auto it = loaded.triple_index_.find(t);
+        if (it == loaded.triple_index_.end()) {
+          return Status::DataLoss("claim references a triple absent from "
+                                  "the triples section");
+        }
+        loaded.claims_of_[it->second].push_back(loaded.claims_.size());
+        loaded.claims_.push_back(
+            Claim{t, Provenance{std::string(source), ExtractorKind(extractor),
+                                confidence}});
+        return Status::OK();
+      }));
+
+  int end = in.get();
+  if (end == std::char_traits<char>::eof()) {
+    return Status::DataLoss("truncated before end marker");
+  }
+  if (uint8_t(end) != kEndMarker) {
+    return Status::DataLoss("bad end marker");
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return Status::DataLoss("trailing bytes after end marker");
+  }
+
+  if (stats != nullptr) {
+    stats->version = version;
+    stats->bytes = file_bytes;
+    stats->terms = loaded.dict_.size();
+    stats->triples = loaded.triples_.size();
+    stats->claims = loaded.claims_.size();
+  }
+  *this = std::move(loaded);
+  return Status::OK();
+}
+
+Result<SnapshotStats> ReadSnapshotInfo(const std::string& path) {
+  TripleStore store;
+  SnapshotStats stats;
+  Status status = store.LoadSnapshot(path, &stats);
+  if (!status.ok()) return status;
+  return stats;
+}
+
+}  // namespace akb::rdf

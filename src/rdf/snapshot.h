@@ -1,0 +1,57 @@
+// Binary snapshots of a TripleStore — the persistence layer behind the
+// pipeline's Phase 1 -> Phase 2 handoff (save the extracted claims KB,
+// reload it later and resume straight into fusion).
+//
+// Format (version 1), little-endian throughout:
+//
+//   file   := magic[8]="AKBSNAP1" u32 version section* end-marker(0xFF)
+//   section:= u8 id, varint record_count, block*, varint 0, u32 crc32c
+//   block  := varint byte_len (> 0), payload bytes
+//
+// Three sections in fixed order: terms (id 1: u8 kind, varint len, bytes —
+// the dictionary in id order, so TermIds are implicit), distinct triples
+// (id 2: varint s/p/o term ids), and claims (id 3: varint s/p/o, u8
+// extractor, u64 confidence bits, varint source len, bytes). Records never
+// span blocks, blocks are bounded, and each section's CRC32c covers its
+// concatenated payload, so both writer and reader stream with one block of
+// buffering and corruption anywhere is detected before any state escapes.
+//
+// Error taxonomy: kParseError = not a snapshot at all (bad magic);
+// kUnimplemented = produced by a newer format version; kDataLoss = right
+// format, damaged bytes (CRC mismatch, truncation, structural corruption);
+// kIoError = the filesystem failed. LoadSnapshot never leaves the target
+// store partially filled.
+#ifndef AKB_RDF_SNAPSHOT_H_
+#define AKB_RDF_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace akb::rdf {
+
+/// Newest snapshot format version this build reads and writes.
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Sizes of one snapshot, reported by save/load/inspect.
+struct SnapshotStats {
+  uint32_t version = 0;
+  uint64_t bytes = 0;    ///< total file size
+  uint64_t terms = 0;    ///< dictionary entries
+  uint64_t triples = 0;  ///< distinct triples
+  uint64_t claims = 0;   ///< provenanced claims
+};
+
+/// Fully validates the snapshot at `path` (magic, version, structure, and
+/// every section CRC) and returns its sizes without keeping the store.
+Result<SnapshotStats> ReadSnapshotInfo(const std::string& path);
+
+/// CRC32c (Castagnoli), bit-reflected, init/xor-out 0xFFFFFFFF. `seed` is
+/// the running value from a previous call, 0 to start. Exposed for tests.
+uint32_t Crc32c(std::string_view data, uint32_t seed = 0);
+
+}  // namespace akb::rdf
+
+#endif  // AKB_RDF_SNAPSHOT_H_

@@ -4,22 +4,80 @@
 
 namespace akb::rdf {
 
+namespace {
+
+const char kHexDigits[] = "0123456789ABCDEF";
+
+/// Escapes a literal body so the line-based N-Triples reader can always
+/// invert it: \" \\ \n \r \t get two-char escapes, every other control
+/// character becomes \u00XX. No raw control byte ever reaches the output.
+void AppendLiteralEscaped(std::string* out, std::string_view lexical) {
+  for (char ch : lexical) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          *out += "\\u00";
+          out->push_back(kHexDigits[c >> 4]);
+          out->push_back(kHexDigits[c & 0xF]);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+}
+
+/// Percent-encodes the IRI bytes that would break the surrounding line
+/// syntax ('<'/'>' delimiters, quotes, whitespace, control bytes) so a
+/// written IRI term is always re-parseable. Valid IRIs contain none of
+/// these, so well-formed stores round-trip byte-identically.
+void AppendIriEscaped(std::string* out, std::string_view iri) {
+  for (char ch : iri) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (c <= 0x20 || c == 0x7F || c == '<' || c == '>' || c == '"') {
+      out->push_back('%');
+      out->push_back(kHexDigits[c >> 4]);
+      out->push_back(kHexDigits[c & 0xF]);
+    } else {
+      out->push_back(ch);
+    }
+  }
+}
+
+}  // namespace
+
 std::string Term::ToString() const {
   switch (kind) {
-    case TermKind::kIri:
-      return "<" + lexical + ">";
+    case TermKind::kIri: {
+      std::string out;
+      out.reserve(lexical.size() + 2);
+      out.push_back('<');
+      AppendIriEscaped(&out, lexical);
+      out.push_back('>');
+      return out;
+    }
     case TermKind::kLiteral: {
-      std::string escaped;
-      escaped.reserve(lexical.size() + 2);
-      for (char c : lexical) {
-        if (c == '"' || c == '\\') escaped.push_back('\\');
-        if (c == '\n') {
-          escaped += "\\n";
-          continue;
-        }
-        escaped.push_back(c);
-      }
-      return "\"" + escaped + "\"";
+      std::string out;
+      out.reserve(lexical.size() + 2);
+      out.push_back('"');
+      AppendLiteralEscaped(&out, lexical);
+      out.push_back('"');
+      return out;
     }
     case TermKind::kBlank:
       return "_:" + lexical;

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "rdf/dictionary.h"
+#include "rdf/snapshot.h"
 #include "rdf/triple.h"
 
 namespace akb::rdf {
@@ -70,6 +71,17 @@ class TripleStore {
 
   /// All distinct objects for (subject, predicate), in insertion order.
   std::vector<TermId> ObjectsOf(TermId subject, TermId predicate) const;
+
+  /// Writes the store as a binary snapshot (see rdf/snapshot.h for the
+  /// format). Streaming: never buffers more than one block. `stats`
+  /// (optional) receives the written sizes.
+  Status SaveSnapshot(const std::string& path,
+                      SnapshotStats* stats = nullptr) const;
+
+  /// Replaces this store's contents with the snapshot at `path`. Every
+  /// section is CRC-checked and structurally validated; on any failure the
+  /// store is left exactly as it was (a partial snapshot never loads).
+  Status LoadSnapshot(const std::string& path, SnapshotStats* stats = nullptr);
 
  private:
   Dictionary dict_;

@@ -1,0 +1,158 @@
+// Warm-start checkpointing: a pipeline run that saves its phase-1 claims
+// KB and a later run that resumes from it must fuse to byte-identical
+// output, and damaged checkpoints must surface as typed report errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "rdf/ntriples.h"
+#include "rdf/snapshot.h"
+
+namespace akb::core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class PipelineCheckpointTest : public ::testing::Test {
+ protected:
+  static const synth::World& SharedWorld() {
+    static synth::World world =
+        synth::World::Build(synth::WorldConfig::Small());
+    return world;
+  }
+
+  PipelineConfig FastConfig() {
+    PipelineConfig config;
+    config.seed = 42;
+    config.sites_per_class = 2;
+    config.pages_per_site = 8;
+    config.articles_per_class = 12;
+    config.queries_per_class = 400;
+    config.junk_queries = 800;
+    return config;
+  }
+
+  std::string FusedNt(const PipelineConfig& config, PipelineReport* report) {
+    rdf::TripleStore augmented;
+    *report = RunPipeline(SharedWorld(), config, &augmented);
+    rdf::NTriplesWriteOptions options;
+    options.include_provenance = true;
+    return rdf::WriteNTriples(augmented, options);
+  }
+};
+
+TEST_F(PipelineCheckpointTest, WarmStartFusesByteIdentically) {
+  std::string snap = TempPath("pipeline.akbsnap");
+
+  PipelineConfig save_config = FastConfig();
+  save_config.save_kb_path = snap;
+  PipelineReport save_report;
+  std::string saved_nt = FusedNt(save_config, &save_report);
+  ASSERT_TRUE(save_report.status.ok()) << save_report.status.ToString();
+
+  // Cold control run without checkpointing: saving must not perturb.
+  PipelineReport cold_report;
+  std::string cold_nt = FusedNt(FastConfig(), &cold_report);
+  EXPECT_EQ(saved_nt, cold_nt);
+
+  // Warm start: skip synthesis + extraction, resume into fusion.
+  PipelineConfig load_config = FastConfig();
+  load_config.load_kb_path = snap;
+  PipelineReport warm_report;
+  std::string warm_nt = FusedNt(load_config, &warm_report);
+  ASSERT_TRUE(warm_report.status.ok()) << warm_report.status.ToString();
+  EXPECT_EQ(warm_nt, cold_nt);
+  EXPECT_EQ(warm_report.total_claims, cold_report.total_claims);
+  EXPECT_EQ(warm_report.fused_triples, cold_report.fused_triples);
+  // The warm run really did skip extraction: it has only the load +
+  // fusion-side stages.
+  EXPECT_EQ(warm_report.stages.front().name, "load KB checkpoint");
+  EXPECT_LT(warm_report.stages.size(), cold_report.stages.size());
+  std::remove(snap.c_str());
+}
+
+TEST_F(PipelineCheckpointTest, SaveLoadChainPreservesCheckpointBytes) {
+  // load-kb + save-kb in one run re-encodes the identical checkpoint, so
+  // checkpoints can be copied forward by the pipeline itself.
+  std::string first = TempPath("chain1.akbsnap");
+  std::string second = TempPath("chain2.akbsnap");
+
+  PipelineConfig save_config = FastConfig();
+  save_config.save_kb_path = first;
+  PipelineReport report;
+  FusedNt(save_config, &report);
+  ASSERT_TRUE(report.status.ok());
+
+  PipelineConfig chain_config = FastConfig();
+  chain_config.load_kb_path = first;
+  chain_config.save_kb_path = second;
+  PipelineReport chain_report;
+  FusedNt(chain_config, &chain_report);
+  ASSERT_TRUE(chain_report.status.ok());
+  EXPECT_EQ(ReadFile(first), ReadFile(second));
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST_F(PipelineCheckpointTest, MissingCheckpointFailsTyped) {
+  PipelineConfig config = FastConfig();
+  config.load_kb_path = "/nonexistent/dir/kb.akbsnap";
+  PipelineReport report = RunPipeline(SharedWorld(), config);
+  EXPECT_EQ(report.status.code(), StatusCode::kIoError);
+  EXPECT_NE(report.status.message().find("loading KB checkpoint"),
+            std::string::npos);
+  EXPECT_EQ(report.fused_triples, 0u);
+}
+
+TEST_F(PipelineCheckpointTest, CorruptedCheckpointFailsTyped) {
+  std::string snap = TempPath("corrupt_pipeline.akbsnap");
+  PipelineConfig save_config = FastConfig();
+  save_config.save_kb_path = snap;
+  PipelineReport report;
+  FusedNt(save_config, &report);
+  ASSERT_TRUE(report.status.ok());
+
+  std::string bytes = ReadFile(snap);
+  bytes[bytes.size() / 2] ^= 0x20;
+  {
+    std::ofstream out(snap, std::ios::binary);
+    out << bytes;
+  }
+
+  PipelineConfig load_config = FastConfig();
+  load_config.load_kb_path = snap;
+  rdf::TripleStore augmented;
+  PipelineReport warm = RunPipeline(SharedWorld(), load_config, &augmented);
+  EXPECT_EQ(warm.status.code(), StatusCode::kDataLoss);
+  // Nothing fused from a damaged checkpoint.
+  EXPECT_EQ(augmented.num_triples(), 0u);
+  EXPECT_EQ(warm.fused_triples, 0u);
+  std::remove(snap.c_str());
+}
+
+TEST_F(PipelineCheckpointTest, UnwritableSavePathFailsTyped) {
+  PipelineConfig config = FastConfig();
+  config.save_kb_path = "/nonexistent/dir/kb.akbsnap";
+  PipelineReport report = RunPipeline(SharedWorld(), config);
+  EXPECT_EQ(report.status.code(), StatusCode::kIoError);
+  EXPECT_NE(report.status.message().find("saving KB checkpoint"),
+            std::string::npos);
+  // The run stopped before fusion.
+  EXPECT_EQ(report.fused_triples, 0u);
+}
+
+}  // namespace
+}  // namespace akb::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -75,6 +76,40 @@ TEST(HistogramTest, PercentilesAreClampedToObservedRange) {
   EXPECT_LE(h.Percentile(100), 100.0 + 1e-9);
   // All mass in one bucket: every percentile is the single value.
   EXPECT_NEAR(h.Percentile(50), 100.0, 1e-6);
+}
+
+TEST(HistogramTest, PercentileEndpointsAreExactObservedExtremes) {
+  Histogram h;
+  for (int64_t v : {3, 17, 900}) h.Record(v);
+  // p0 and p100 are the observed min/max exactly, not bucket estimates.
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 900.0);
+  // Interior percentiles can never leave the observed range either, even
+  // though 900 lands in the [512, 1024) bucket.
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9}) {
+    EXPECT_GE(h.Percentile(p), 3.0) << p;
+    EXPECT_LE(h.Percentile(p), 900.0) << p;
+  }
+}
+
+TEST(HistogramTest, PercentileOfHugeValuesDoesNotOverflow) {
+  // Values in the top bucket used to hit a 1 << 63 signed overflow; the
+  // estimate must stay finite and clamped to the observed max.
+  Histogram h;
+  const int64_t huge = std::numeric_limits<int64_t>::max();
+  for (int i = 0; i < 10; ++i) h.Record(huge);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    double v = h.Percentile(p);
+    EXPECT_TRUE(std::isfinite(v)) << p;
+    EXPECT_DOUBLE_EQ(v, double(huge)) << p;
+  }
+}
+
+TEST(HistogramTest, PercentileEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
 }
 
 TEST(HistogramTest, PercentileOrderingIsMonotone) {

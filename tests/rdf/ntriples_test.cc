@@ -25,6 +25,50 @@ TEST(ParseTermTest, LiteralWithEscapes) {
   EXPECT_EQ(r->lexical, "say \"hi\" and \n done");
 }
 
+TEST(ParseTermTest, LiteralCrTabEscapes) {
+  auto r = ParseTerm(R"("cr\rtab\tend")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->lexical, "cr\rtab\tend");
+}
+
+TEST(ParseTermTest, LiteralUnicodeEscapes) {
+  auto r = ParseTerm(R"("a\u0001b\u000Cc")");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->lexical, "a\x01"
+                        "b\x0c"
+                        "c");
+  // Non-control BMP escapes decode to UTF-8.
+  auto snowman = ParseTerm(R"("\u2603")");
+  ASSERT_TRUE(snowman.ok());
+  EXPECT_EQ(snowman->lexical, "\xE2\x98\x83");
+}
+
+TEST(ParseTermTest, BadLiteralEscapesRejected) {
+  EXPECT_FALSE(ParseTerm(R"("bad \x escape")").ok());
+  EXPECT_FALSE(ParseTerm(R"("truncated \u12")").ok());
+  EXPECT_FALSE(ParseTerm(R"("bad hex \u12ZZ")").ok());
+  Status s = ParseTerm(R"("bad \q")").status();
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("invalid escape"), std::string::npos);
+}
+
+TEST(ParseTermTest, EscapedTermsRoundTripThroughToString) {
+  // Writer output is always re-parseable, including worst-case bytes.
+  for (const char* raw :
+       {"plain", "q\"q", "b\\b", "\n\r\t", "\x01\x1f", ""}) {
+    Term original = Term::Literal(raw);
+    auto parsed = ParseTerm(original.ToString());
+    ASSERT_TRUE(parsed.ok()) << original.ToString();
+    EXPECT_EQ(parsed->lexical, raw);
+  }
+  Term iri = Term::Iri("http://x/a b>c");
+  auto parsed = ParseTerm(iri.ToString());
+  ASSERT_TRUE(parsed.ok());
+  // Percent-escaping is one-way framing protection: the stored IRI keeps
+  // the escaped bytes rather than reintroducing raw delimiters.
+  EXPECT_EQ(parsed->lexical, "http://x/a%20b%3Ec");
+}
+
 TEST(ParseTermTest, Blank) {
   auto r = ParseTerm("_:b12");
   ASSERT_TRUE(r.ok());

@@ -21,6 +21,28 @@ TEST(TermTest, LiteralEscaping) {
   EXPECT_EQ(Term::Literal("say \"hi\"").ToString(), "\"say \\\"hi\\\"\"");
   EXPECT_EQ(Term::Literal("back\\slash").ToString(), "\"back\\\\slash\"");
   EXPECT_EQ(Term::Literal("line\nbreak").ToString(), "\"line\\nbreak\"");
+  EXPECT_EQ(Term::Literal("cr\rtab\t").ToString(), "\"cr\\rtab\\t\"");
+}
+
+TEST(TermTest, LiteralControlCharactersEscapeAsHex) {
+  // Raw control bytes may never reach the output (they would corrupt the
+  // line-oriented N-Triples framing); they leave as \u00XX.
+  EXPECT_EQ(Term::Literal(std::string(1, '\x01')).ToString(), "\"\\u0001\"");
+  EXPECT_EQ(Term::Literal(std::string(1, '\x1f')).ToString(), "\"\\u001F\"");
+  std::string all = Term::Literal("a\x02"
+                                  "b\x0c").ToString();
+  EXPECT_EQ(all, "\"a\\u0002b\\u000C\"");
+}
+
+TEST(TermTest, IriEscapesFramingAndWhitespace) {
+  // '>' would terminate the IRI early; whitespace breaks term splitting.
+  EXPECT_EQ(Term::Iri("http://x/a>b").ToString(), "<http://x/a%3Eb>");
+  EXPECT_EQ(Term::Iri("http://x/a b").ToString(), "<http://x/a%20b>");
+  EXPECT_EQ(Term::Iri("http://x/a<\"\n").ToString(),
+            "<http://x/a%3C%22%0A>");
+  // Ordinary IRIs pass through untouched.
+  EXPECT_EQ(Term::Iri("http://x/a?q=1&r=2#f").ToString(),
+            "<http://x/a?q=1&r=2#f>");
 }
 
 TEST(TermTest, EqualityIncludesKind) {
