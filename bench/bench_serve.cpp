@@ -1,0 +1,231 @@
+// Serving read path — KbView's sorted permutation indexes vs the
+// TripleStore::Match posting-list baseline, plus QueryEngine batch
+// throughput across worker counts.
+//
+// The headline measurement targets the acceptance budget: bound-subject
+// patterns (s p ?) on a >= 100k-triple KB must run >= 10x faster through
+// KbView's binary-searched SPO prefix than through Match, which scans the
+// smaller of the subject/predicate posting lists (~1k entries here) per
+// query. Emits the common "akb-bench-v1" file (BENCH_bench_serve.json).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "obs/bench_io.h"
+#include "rdf/triple_store.h"
+#include "serve/kb_view.h"
+#include "serve/query_engine.h"
+#include "synth/query_workload.h"
+
+namespace {
+
+using namespace akb;
+
+constexpr size_t kTargetTriples = 500000;
+
+// Skewed KB: hot subjects with multi-thousand-triple posting lists whose
+// entries are strided across the whole triple array, so the baseline
+// Match pays a scattered scan per bound-subject query while KbView reads
+// one contiguous SPO range.
+const rdf::TripleStore& BigStore() {
+  static rdf::TripleStore* store = [] {
+    auto* s = new rdf::TripleStore();
+    Rng rng(97);
+    std::vector<rdf::TermId> subjects, predicates, objects;
+    for (int i = 0; i < 128; ++i) {
+      subjects.push_back(
+          s->dictionary().InternIri("http://e/s" + std::to_string(i)));
+    }
+    for (int i = 0; i < 64; ++i) {
+      predicates.push_back(
+          s->dictionary().InternIri("http://p/p" + std::to_string(i)));
+    }
+    for (int i = 0; i < 50000; ++i) {
+      objects.push_back(
+          s->dictionary().InternLiteral("o" + std::to_string(i)));
+    }
+    while (s->num_triples() < kTargetTriples) {
+      s->Insert(
+          {rng.Pick(subjects), rng.Pick(predicates), rng.Pick(objects)},
+          rdf::Provenance{});
+    }
+    return s;
+  }();
+  return *store;
+}
+
+const serve::KbView& BigView() {
+  static serve::KbView* view = new serve::KbView(BigStore());
+  return *view;
+}
+
+// Bound-subject patterns (s p ?) over the hot pools.
+std::vector<rdf::TriplePattern> SubjectPatterns(size_t count) {
+  const auto& dict = BigStore().dictionary();
+  Rng rng(5);
+  std::vector<rdf::TriplePattern> patterns;
+  patterns.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    rdf::TermId s = dict.Find(
+        rdf::Term::Iri("http://e/s" + std::to_string(rng.Index(128))));
+    rdf::TermId p = dict.Find(
+        rdf::Term::Iri("http://p/p" + std::to_string(rng.Index(64))));
+    patterns.push_back({s, p, 0});
+  }
+  return patterns;
+}
+
+template <typename MatchFn>
+double MinQueryMicros(const std::vector<rdf::TriplePattern>& patterns,
+                      int reps, MatchFn&& match) {
+  double best = 1e300;
+  size_t sink = 0;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    for (const rdf::TriplePattern& pattern : patterns) {
+      sink += match(pattern).size();
+    }
+    best = std::min(best, double(watch.ElapsedMicros()) / patterns.size());
+  }
+  benchmark::DoNotOptimize(sink);
+  return best;
+}
+
+void PrintSpeedupReport(obs::BenchSuite* suite) {
+  const rdf::TripleStore& store = BigStore();
+  const serve::KbView& view = BigView();
+  auto patterns = SubjectPatterns(2048);
+  constexpr int kReps = 5;
+
+  // Correctness gate before timing anything: identical answer sets (the
+  // view returns permutation-key order, the store ascending).
+  for (size_t i = 0; i < 64; ++i) {
+    std::vector<size_t> got = view.Match(patterns[i]);
+    std::sort(got.begin(), got.end());
+    if (got != store.Match(patterns[i])) {
+      std::fprintf(stderr, "FATAL: KbView/Match disagree on pattern %zu\n", i);
+      std::abort();
+    }
+  }
+
+  double baseline_us = MinQueryMicros(
+      patterns, kReps,
+      [&](const rdf::TriplePattern& p) { return store.Match(p); });
+  double view_us = MinQueryMicros(
+      patterns, kReps,
+      [&](const rdf::TriplePattern& p) { return view.Match(p); });
+  double speedup = view_us > 0 ? baseline_us / view_us : 0.0;
+
+  TextTable table({"Path", "Per query (us)", "Speedup"});
+  table.set_title("Bound-subject (s p ?) patterns, " +
+                  std::to_string(store.num_triples()) +
+                  " distinct triples, best of " + std::to_string(kReps));
+  table.AddRow({"TripleStore::Match baseline", FormatDouble(baseline_us, 3),
+                "1.0x"});
+  table.AddRow({"KbView permutation index", FormatDouble(view_us, 3),
+                FormatDouble(speedup, 1) + "x"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Budget: >= 10x — %s\n\n",
+              speedup >= 10.0 ? "within budget" : "OVER BUDGET");
+
+  suite->Add({"match_baseline_subject_us", baseline_us, "us", kReps, {}});
+  suite->Add({"kbview_subject_us", view_us, "us", kReps, {}});
+  suite->Add({"kbview_subject_speedup", speedup, "x", kReps,
+              {{"budget_min", 10.0},
+               {"triples", double(store.num_triples())}}});
+}
+
+void PrintThroughputReport(obs::BenchSuite* suite) {
+  const rdf::TripleStore& store = BigStore();
+  const serve::KbView& view = BigView();
+  synth::QueryWorkloadConfig workload_config;
+  workload_config.num_queries = 50000;
+  workload_config.seed = 23;
+  auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+
+  TextTable table({"Workers", "Queries/s", "Hit rate"});
+  table.set_title("QueryEngine batch throughput, mixed synthetic workload (" +
+                  std::to_string(patterns.size()) + " queries)");
+  for (size_t workers : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+    serve::QueryEngineConfig config;
+    config.num_workers = workers;
+    serve::QueryEngine engine(view, config);
+    engine.ExecuteBatch(patterns);  // Warm the cache once.
+    double best_s = 1e300;
+    for (int r = 0; r < 3; ++r) {
+      Stopwatch watch;
+      auto results = engine.ExecuteBatch(patterns);
+      benchmark::DoNotOptimize(results.size());
+      best_s = std::min(best_s, double(watch.ElapsedMicros()) / 1e6);
+    }
+    double qps = best_s > 0 ? patterns.size() / best_s : 0.0;
+    serve::ResultCacheStats stats = engine.cache()->Stats();
+    double hit_rate = stats.hits + stats.misses > 0
+                          ? double(stats.hits) / (stats.hits + stats.misses)
+                          : 0.0;
+    table.AddRow({std::to_string(workers), FormatDouble(qps, 0),
+                  FormatDouble(hit_rate * 100.0, 1) + "%"});
+    suite->Add({"engine_qps_w" + std::to_string(workers), qps, "qps", 3,
+                {{"workers", double(workers)},
+                 {"cache_hit_rate", hit_rate}}});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void BM_StoreMatchBoundSubject(benchmark::State& state) {
+  const rdf::TripleStore& store = BigStore();
+  auto patterns = SubjectPatterns(512);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Match(patterns[i++ % patterns.size()]));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_StoreMatchBoundSubject);
+
+void BM_KbViewMatchBoundSubject(benchmark::State& state) {
+  const serve::KbView& view = BigView();
+  auto patterns = SubjectPatterns(512);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.Match(patterns[i++ % patterns.size()]));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_KbViewMatchBoundSubject);
+
+void BM_EngineExecuteCached(benchmark::State& state) {
+  const serve::KbView& view = BigView();
+  static serve::QueryEngine* engine = [] {
+    serve::QueryEngineConfig config;
+    config.num_workers = 1;
+    return new serve::QueryEngine(BigView(), config);
+  }();
+  (void)view;
+  auto patterns = SubjectPatterns(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->Execute(patterns[i++ % patterns.size()]));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_EngineExecuteCached);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchSuite suite("bench_serve");
+  PrintSpeedupReport(&suite);
+  PrintThroughputReport(&suite);
+  suite.WriteDefaultFile();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -27,6 +27,14 @@ class Stopwatch {
         .count();
   }
 
+  /// Integral nanoseconds, for operations (index probes, cache hits) that
+  /// routinely finish in well under a microsecond.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

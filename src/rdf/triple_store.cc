@@ -1,7 +1,5 @@
 #include "rdf/triple_store.h"
 
-#include <algorithm>
-
 namespace akb::rdf {
 
 std::string_view ExtractorKindToString(ExtractorKind kind) {
@@ -64,40 +62,50 @@ std::vector<size_t> TripleStore::Match(const TriplePattern& pattern) const {
     return {it->second};
   }
 
-  // Pick the most selective bound index as candidate set.
+  // Pick the smallest posting list among the bound positions as the
+  // candidate set — with >= 2 positions bound, probing the larger lists
+  // would scan (and reject) every triple of a hot subject/predicate even
+  // when the other bound position matches almost nothing. A bound term
+  // with no posting list at all means zero matches, regardless of how
+  // many triples the other positions touch: exit before scanning anything.
   const std::vector<size_t>* candidates = nullptr;
+  bool dead_position = false;
   auto consider = [&](const std::unordered_map<TermId, std::vector<size_t>>&
                           index,
                       TermId key) {
-    if (!key) return;
+    if (!key || dead_position) return;
     auto it = index.find(key);
-    static const std::vector<size_t> kEmpty;
-    const std::vector<size_t>* found = it == index.end() ? &kEmpty : &it->second;
-    if (candidates == nullptr || found->size() < candidates->size()) {
-      candidates = found;
+    if (it == index.end()) {
+      dead_position = true;
+      return;
+    }
+    if (candidates == nullptr || it->second.size() < candidates->size()) {
+      candidates = &it->second;
     }
   };
   consider(by_subject_, pattern.subject);
   consider(by_predicate_, pattern.predicate);
   consider(by_object_, pattern.object);
+  if (dead_position) return {};
 
   std::vector<size_t> out;
-  auto matches = [&](const Triple& t) {
-    return (!pattern.subject || t.subject == pattern.subject) &&
-           (!pattern.predicate || t.predicate == pattern.predicate) &&
-           (!pattern.object || t.object == pattern.object);
-  };
-
   if (candidates == nullptr) {
     // Fully unbound: scan everything.
     out.resize(triples_.size());
     for (size_t i = 0; i < triples_.size(); ++i) out[i] = i;
     return out;
   }
+  auto matches = [&](const Triple& t) {
+    return (!pattern.subject || t.subject == pattern.subject) &&
+           (!pattern.predicate || t.predicate == pattern.predicate) &&
+           (!pattern.object || t.object == pattern.object);
+  };
+  // Posting lists record distinct-triple indices in creation order, which
+  // is strictly ascending (the store is append-only), so the filtered
+  // output is already sorted — no sort pass needed.
   for (size_t ti : *candidates) {
     if (matches(triples_[ti])) out.push_back(ti);
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

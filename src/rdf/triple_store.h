@@ -19,6 +19,22 @@ struct TriplePattern {
   TermId subject = kInvalidTermId;
   TermId predicate = kInvalidTermId;
   TermId object = kInvalidTermId;
+
+  bool operator==(const TriplePattern& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+};
+
+/// Hash over all three positions (wildcards included), so patterns can key
+/// hash maps — e.g. the serving layer's result cache.
+struct TriplePatternHash {
+  size_t operator()(const TriplePattern& p) const {
+    size_t seed = std::hash<TermId>{}(p.subject);
+    HashCombine(&seed, std::hash<TermId>{}(p.predicate));
+    HashCombine(&seed, std::hash<TermId>{}(p.object));
+    return seed;
+  }
 };
 
 /// Append-only triple store.

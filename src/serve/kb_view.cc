@@ -1,0 +1,178 @@
+#include "serve/kb_view.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace akb::serve {
+
+namespace {
+
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+enum class Perm { kSpo, kPos, kOsp };
+
+// The triple's key in the given permutation's sort order.
+inline std::array<TermId, 3> PermKey(const Triple& t, Perm perm) {
+  switch (perm) {
+    case Perm::kSpo:
+      return {t.subject, t.predicate, t.object};
+    case Perm::kPos:
+      return {t.predicate, t.object, t.subject};
+    case Perm::kOsp:
+      return {t.object, t.subject, t.predicate};
+  }
+  return {};
+}
+
+}  // namespace
+
+KbView::KbView(const rdf::TripleStore& store) : dict_(store.dictionary()) {
+  triples_.reserve(store.num_triples());
+  for (size_t i = 0; i < store.num_triples(); ++i) {
+    triples_.push_back(store.triple(i));
+  }
+  BuildIndexes();
+}
+
+Result<KbView> KbView::FromSnapshot(const std::string& path) {
+  rdf::TripleStore store;
+  Status status = store.LoadSnapshot(path);
+  if (!status.ok()) return status;
+  return KbView(store);
+}
+
+void KbView::BuildIndexes() {
+  Stopwatch watch;
+  spo_.order.resize(triples_.size());
+  std::iota(spo_.order.begin(), spo_.order.end(), 0u);
+  pos_.order = spo_.order;
+  osp_.order = spo_.order;
+  auto build = [this](PermIndex* perm, Perm which) {
+    // Distinct triples have distinct keys in every permutation, so the
+    // order is total and the sort deterministic without a tiebreak.
+    std::sort(perm->order.begin(), perm->order.end(),
+              [this, which](uint32_t a, uint32_t b) {
+                return PermKey(triples_[a], which) <
+                       PermKey(triples_[b], which);
+              });
+    perm->keys.resize(perm->order.size());
+    for (size_t i = 0; i < perm->order.size(); ++i) {
+      const std::array<TermId, 3> key = PermKey(triples_[perm->order[i]], which);
+      perm->keys[i] = uint64_t(key[0]) << 32 | key[1];
+    }
+  };
+  build(&spo_, Perm::kSpo);
+  build(&pos_, Perm::kPos);
+  build(&osp_, Perm::kOsp);
+  AKB_GAUGE_SET("akb.serve.view.triples", int64_t(triples_.size()));
+  AKB_HISTOGRAM_RECORD("akb.serve.view.build_micros", watch.ElapsedMicros());
+}
+
+std::pair<const uint32_t*, const uint32_t*> KbView::Resolve(
+    const TriplePattern& pattern) const {
+  const PermIndex* perm = &spo_;
+  std::array<TermId, 2> prefix{};
+  size_t len = 0;
+  bool exact = false;  // All three positions bound.
+
+  const bool s = pattern.subject != rdf::kInvalidTermId;
+  const bool p = pattern.predicate != rdf::kInvalidTermId;
+  const bool o = pattern.object != rdf::kInvalidTermId;
+  if (s && p && o) {
+    prefix = {pattern.subject, pattern.predicate};
+    len = 2;
+    exact = true;
+  } else if (s && p) {
+    prefix = {pattern.subject, pattern.predicate};
+    len = 2;
+  } else if (p && o) {
+    perm = &pos_;
+    prefix = {pattern.predicate, pattern.object};
+    len = 2;
+  } else if (s && o) {
+    perm = &osp_;
+    prefix = {pattern.object, pattern.subject};
+    len = 2;
+  } else if (s) {
+    prefix = {pattern.subject, 0};
+    len = 1;
+  } else if (p) {
+    perm = &pos_;
+    prefix = {pattern.predicate, 0};
+    len = 1;
+  } else if (o) {
+    perm = &osp_;
+    prefix = {pattern.object, 0};
+    len = 1;
+  } else {
+    // Fully unbound: the whole view, in any permutation.
+    return {perm->order.data(), perm->order.data() + perm->order.size()};
+  }
+
+  // Every probe touches only the contiguous packed-key array.
+  const uint64_t* kbase = perm->keys.data();
+  const uint64_t* klimit = kbase + perm->keys.size();
+  const uint64_t* kbegin;
+  const uint64_t* kend;
+  if (len == 1) {
+    kbegin = std::lower_bound(kbase, klimit, uint64_t(prefix[0]) << 32);
+    kend = std::lower_bound(kbegin, klimit, (uint64_t(prefix[0]) + 1) << 32);
+  } else {
+    const uint64_t key = uint64_t(prefix[0]) << 32 | prefix[1];
+    kbegin = std::lower_bound(kbase, klimit, key);
+    kend = std::upper_bound(kbegin, klimit, key);
+  }
+  const uint32_t* begin = perm->order.data() + (kbegin - kbase);
+  const uint32_t* end = perm->order.data() + (kend - kbase);
+  if (exact) {
+    // Narrowed to the (s,p) run of SPO, which is sorted by object; the
+    // store holds distinct triples, so at most one entry matches.
+    begin = std::partition_point(begin, end, [&](uint32_t i) {
+      return triples_[i].object < pattern.object;
+    });
+    end = (begin != end && triples_[*begin].object == pattern.object)
+              ? begin + 1
+              : begin;
+  }
+  return {begin, end};
+}
+
+std::vector<size_t> KbView::Match(const TriplePattern& pattern) const {
+  if (pattern.subject == rdf::kInvalidTermId &&
+      pattern.predicate == rdf::kInvalidTermId &&
+      pattern.object == rdf::kInvalidTermId) {
+    std::vector<size_t> out(triples_.size());
+    std::iota(out.begin(), out.end(), size_t{0});
+    return out;
+  }
+  auto [begin, end] = Resolve(pattern);
+  // Returned in the resolved permutation's key order, NOT ascending:
+  // sorting k indices per query costs more than the search itself
+  // (branch-mispredict bound), and result sets don't need an order.
+  return std::vector<size_t>(begin, end);
+}
+
+size_t KbView::Count(const TriplePattern& pattern) const {
+  auto [begin, end] = Resolve(pattern);
+  return size_t(end - begin);
+}
+
+std::string KbView::DecodeToString(size_t triple_index) const {
+  const Triple& t = triples_[triple_index];
+  return dict_.Lookup(t.subject).ToString() + " " +
+         dict_.Lookup(t.predicate).ToString() + " " +
+         dict_.Lookup(t.object).ToString() + " .";
+}
+
+size_t KbView::IndexBytes() const {
+  return triples_.size() *
+         (sizeof(Triple) + 3 * (sizeof(uint32_t) + sizeof(uint64_t)));
+}
+
+}  // namespace akb::serve

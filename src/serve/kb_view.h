@@ -1,0 +1,104 @@
+// Immutable, query-optimized view of a knowledge base — the read path.
+//
+// TripleStore is the write-side structure: append-only, claim-carrying,
+// with per-position hash indexes whose pattern resolution degrades to a
+// posting-list scan. KbView is what the paper's "actionable" KB serves
+// queries from: a frozen copy of the distinct triples plus three sorted
+// permutation indexes (SPO, POS, OSP), so every one of the 8 triple-
+// pattern shapes resolves to one contiguous index range by binary search —
+// O(log n + k) for k results, never a scan over an unrelated posting list.
+//
+// Shape -> index routing (prefix in parentheses):
+//   (s p o) -> SPO exact      (s p ?) -> SPO (s,p)    (s ? ?) -> SPO (s)
+//   (? p o) -> POS (p,o)      (? p ?) -> POS (p)
+//   (s ? o) -> OSP (o,s)      (? ? o) -> OSP (o)      (? ? ?) -> all
+//
+// A KbView is self-contained (it copies the triples and the dictionary,
+// so the source store may be mutated or destroyed afterwards) and deeply
+// immutable after construction: concurrent Match/Count calls from any
+// number of threads need no synchronization.
+#ifndef AKB_SERVE_KB_VIEW_H_
+#define AKB_SERVE_KB_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_store.h"
+
+namespace akb::serve {
+
+class KbView {
+ public:
+  /// Builds the permutation indexes over `store`'s distinct triples.
+  /// O(n log n); the view keeps its own copy of triples and dictionary.
+  explicit KbView(const rdf::TripleStore& store);
+
+  /// Loads the snapshot at `path` (rdf/snapshot.h format) and builds the
+  /// view from it. Same error taxonomy as TripleStore::LoadSnapshot:
+  /// kParseError (not a snapshot), kUnimplemented (newer version),
+  /// kDataLoss (damaged bytes), kIoError (filesystem).
+  static Result<KbView> FromSnapshot(const std::string& path);
+
+  KbView(KbView&&) = default;
+  KbView& operator=(KbView&&) = default;
+  KbView(const KbView&) = delete;
+  KbView& operator=(const KbView&) = delete;
+
+  size_t num_triples() const { return triples_.size(); }
+  const rdf::Triple& triple(size_t i) const { return triples_[i]; }
+
+  /// The term dictionary of the source store, for building patterns from
+  /// decoded terms and decoding results.
+  const rdf::Dictionary& dictionary() const { return dict_; }
+
+  /// Distinct-triple indices matching `pattern` — the same index space
+  /// and result set as TripleStore::Match on the source store, answered
+  /// in O(log n + k) instead of a posting-list scan. Order differs:
+  /// results come back in the resolved permutation's key order, which is
+  /// deterministic for a given view but not ascending (sorting k indices
+  /// per query would cost more than the search; compare as sets).
+  std::vector<size_t> Match(const rdf::TriplePattern& pattern) const;
+
+  /// Number of matches, without materializing them: O(log n).
+  size_t Count(const rdf::TriplePattern& pattern) const;
+
+  /// Decodes triple `i` into N-Triples surface form ("<s> <p> <o> .").
+  std::string DecodeToString(size_t triple_index) const;
+
+  /// Approximate resident bytes of the view (triples + 3 permutations
+  /// with their packed key arrays), excluding the dictionary strings.
+  size_t IndexBytes() const;
+
+ private:
+  // One sorted permutation. `order[i]` is a triple index; `keys[i]` packs
+  // the first two sort components of that triple into (first << 32) |
+  // second, so prefix searches binary-search a contiguous uint64 array —
+  // one cache line per probe instead of two dependent loads through
+  // order[] into triples_[].
+  struct PermIndex {
+    std::vector<uint32_t> order;
+    std::vector<uint64_t> keys;
+  };
+
+  KbView() = default;
+
+  void BuildIndexes();
+  /// [begin, end) into the chosen permutation's order[] for `pattern`,
+  /// or the full range of spo_.order for the fully unbound pattern.
+  std::pair<const uint32_t*, const uint32_t*> Resolve(
+      const rdf::TriplePattern& pattern) const;
+
+  std::vector<rdf::Triple> triples_;
+  rdf::Dictionary dict_;
+  // Sorted by (s,p,o), (p,o,s), (o,s,p) respectively.
+  PermIndex spo_;
+  PermIndex pos_;
+  PermIndex osp_;
+};
+
+}  // namespace akb::serve
+
+#endif  // AKB_SERVE_KB_VIEW_H_

@@ -1,0 +1,56 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace akb::serve {
+
+QueryEngine::QueryEngine(const KbView& view, QueryEngineConfig config)
+    : view_(view), config_(config) {
+  if (config_.enable_cache) {
+    cache_ = std::make_unique<ResultCache>(config_.cache);
+  }
+  size_t workers =
+      config_.num_workers != 0
+          ? config_.num_workers
+          : std::max<size_t>(1, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<mapreduce::ThreadPool>(workers);
+  AKB_GAUGE_SET("akb.serve.workers", int64_t(pool_->num_threads()));
+}
+
+QueryResult QueryEngine::Execute(const rdf::TriplePattern& pattern) {
+  Stopwatch watch;
+  QueryResult result;
+  if (cache_) {
+    result.matches = cache_->Get(pattern);
+    result.cache_hit = result.matches != nullptr;
+  }
+  if (!result.matches) {
+    result.matches =
+        std::make_shared<const std::vector<size_t>>(view_.Match(pattern));
+    if (cache_) cache_->Put(pattern, result.matches);
+  }
+  AKB_COUNTER_INC("akb.serve.queries");
+  AKB_COUNTER_ADD("akb.serve.results", int64_t(result.matches->size()));
+  AKB_HISTOGRAM_RECORD("akb.serve.query.nanos", watch.ElapsedNanos());
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::ExecuteBatch(
+    const std::vector<rdf::TriplePattern>& patterns) {
+  Stopwatch watch;
+  std::vector<QueryResult> results(patterns.size());
+  // One task per query; tasks write disjoint slots, so no synchronization
+  // beyond the pool's completion barrier is needed.
+  mapreduce::ParallelFor(pool_.get(), patterns.size(), [&](size_t i) {
+    results[i] = Execute(patterns[i]);
+  });
+  AKB_COUNTER_INC("akb.serve.batches");
+  AKB_HISTOGRAM_RECORD("akb.serve.batch.micros", watch.ElapsedMicros());
+  return results;
+}
+
+}  // namespace akb::serve

@@ -1,0 +1,77 @@
+// Concurrent query execution over a KbView: cache -> index -> cache-fill,
+// batched onto the shared mapreduce thread pool.
+//
+// The engine is the serving layer's front door. Execute() answers one
+// pattern (usable concurrently from any number of threads); ExecuteBatch()
+// fans a batch out across the engine's ThreadPool, one task per query,
+// with results positionally aligned to the input. Per-query latency is
+// recorded into the process-global obs registry:
+//
+//   akb.serve.queries            counter, one per executed pattern
+//   akb.serve.batches            counter, one per ExecuteBatch call
+//   akb.serve.results            counter, total matches returned
+//   akb.serve.query.nanos        histogram (p50/p90/p99 in the dump)
+//   akb.serve.batch.micros       histogram, wall time per batch
+//   akb.serve.cache.{hits,misses,evictions}  from the result cache
+//
+// Determinism: match content for a pattern depends only on the view, so
+// any worker count (and cache on or off) returns identical matches;
+// only the cache_hit flag is timing-dependent.
+#ifndef AKB_SERVE_QUERY_ENGINE_H_
+#define AKB_SERVE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "mapreduce/thread_pool.h"
+#include "serve/kb_view.h"
+#include "serve/result_cache.h"
+
+namespace akb::serve {
+
+struct QueryEngineConfig {
+  /// Worker threads for ExecuteBatch; 0 = one per hardware thread.
+  size_t num_workers = 0;
+  /// Serve repeated patterns from the sharded LRU result cache.
+  bool enable_cache = true;
+  ResultCacheConfig cache;
+};
+
+/// One answered query. `matches` is never null; it may be shared with the
+/// cache and other callers, so treat it as immutable.
+struct QueryResult {
+  ResultCache::ResultPtr matches;
+  bool cache_hit = false;
+};
+
+class QueryEngine {
+ public:
+  /// `view` must outlive the engine.
+  explicit QueryEngine(const KbView& view, QueryEngineConfig config = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Answers one pattern. Thread-safe.
+  QueryResult Execute(const rdf::TriplePattern& pattern);
+
+  /// Answers a batch concurrently on the engine's pool; results[i] answers
+  /// patterns[i]. Not reentrant (one batch at a time per engine).
+  std::vector<QueryResult> ExecuteBatch(
+      const std::vector<rdf::TriplePattern>& patterns);
+
+  const KbView& view() const { return view_; }
+  /// Null when the cache is disabled.
+  const ResultCache* cache() const { return cache_.get(); }
+  size_t num_workers() const { return pool_->num_threads(); }
+
+ private:
+  const KbView& view_;
+  QueryEngineConfig config_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<mapreduce::ThreadPool> pool_;
+};
+
+}  // namespace akb::serve
+
+#endif  // AKB_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,104 @@
+// Thread-safe sharded LRU cache of pattern-query results.
+//
+// Keyed by TriplePattern, valued by shared immutable match vectors so a
+// hit hands the caller a reference to the cached result with no copy.
+// Shard-per-mutex: a pattern hashes to one of `num_shards` independent
+// LRU lists, so concurrent readers only contend when they collide on a
+// shard, not on a global lock. Each shard owns an equal slice of the
+// byte budget and evicts from its own tail.
+//
+// Stats are exact and internally consistent: every Get is counted as
+// exactly one hit or one miss (under the shard mutex), so across any set
+// of concurrent callers hits + misses == total lookups.
+#ifndef AKB_SERVE_RESULT_CACHE_H_
+#define AKB_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace akb::serve {
+
+struct ResultCacheConfig {
+  /// Independent LRU shards (rounded up to a power of two, minimum 1).
+  size_t num_shards = 16;
+  /// Total byte budget across all shards. Entries are charged their match
+  /// payload plus a fixed bookkeeping overhead; an entry bigger than a
+  /// whole shard's slice is not admitted (counted under `oversize`).
+  size_t max_bytes = 64u << 20;
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t oversize = 0;  ///< Put() calls rejected as larger than a shard
+  uint64_t entries = 0;   ///< currently cached entries
+  uint64_t bytes = 0;     ///< currently charged bytes
+};
+
+class ResultCache {
+ public:
+  using ResultPtr = std::shared_ptr<const std::vector<size_t>>;
+
+  explicit ResultCache(const ResultCacheConfig& config = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached result or nullptr; a hit refreshes LRU recency.
+  ResultPtr Get(const rdf::TriplePattern& key);
+
+  /// Inserts (or refreshes) `value` under `key`, evicting least-recently-
+  /// used entries of the same shard until its slice fits the budget.
+  void Put(const rdf::TriplePattern& key, ResultPtr value);
+
+  /// Aggregated over all shards. Monotonic counters are cumulative since
+  /// construction; entries/bytes are the current residency.
+  ResultCacheStats Stats() const;
+
+  /// Drops every entry (stats counters are kept).
+  void Clear();
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t shard_budget_bytes() const { return shard_budget_; }
+
+  /// The byte charge Put() uses for a result of `num_matches` indices.
+  static size_t EntryBytes(size_t num_matches);
+
+ private:
+  struct Entry {
+    rdf::TriplePattern key;
+    ResultPtr value;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<rdf::TriplePattern, std::list<Entry>::iterator,
+                       rdf::TriplePatternHash>
+        index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t oversize = 0;
+  };
+
+  Shard& ShardFor(const rdf::TriplePattern& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
+  size_t shard_budget_ = 0;
+};
+
+}  // namespace akb::serve
+
+#endif  // AKB_SERVE_RESULT_CACHE_H_

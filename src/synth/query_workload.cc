@@ -1,0 +1,110 @@
+#include "synth/query_workload.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/random.h"
+
+namespace akb::synth {
+
+namespace {
+
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+enum Shape : size_t {
+  kPoint = 0,
+  kSubjectScan,
+  kSubjectPredicate,
+  kPredicateScan,
+  kObjectScan,
+  kMiss,
+  kNumShapes,
+};
+
+}  // namespace
+
+std::vector<TriplePattern> GenerateQueryWorkload(
+    const rdf::TripleStore& store, const QueryWorkloadConfig& config) {
+  std::vector<TriplePattern> out;
+  out.reserve(config.num_queries);
+  if (store.num_triples() == 0 || config.num_queries == 0) return out;
+
+  std::array<double, kNumShapes> weights = {
+      config.point_weight,          config.subject_scan_weight,
+      config.subject_predicate_weight, config.predicate_scan_weight,
+      config.object_scan_weight,    config.miss_weight,
+  };
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) {
+    weights.fill(0.0);
+    weights[kPoint] = total = 1.0;
+  }
+  std::array<double, kNumShapes> cdf{};
+  double acc = 0.0;
+  for (size_t i = 0; i < kNumShapes; ++i) {
+    acc += std::max(0.0, weights[i]) / total;
+    cdf[i] = acc;
+  }
+  cdf[kNumShapes - 1] = 1.0;
+
+  Rng rng(config.seed);
+  // Zipf rank -> triple: shuffle once so the hot ranks are spread across
+  // the store instead of clustering on the earliest insertions.
+  std::vector<uint32_t> order(store.num_triples());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = uint32_t(i);
+  rng.Shuffle(&order);
+  ZipfTable zipf(order.size(), std::max(1e-3, config.zipf));
+
+  // Ids strictly above the dictionary range can never match anything.
+  const TermId ghost_base = TermId(store.dictionary().size() + 1);
+
+  for (size_t q = 0; q < config.num_queries; ++q) {
+    double roll = rng.NextDouble();
+    size_t shape = 0;
+    while (shape + 1 < kNumShapes && roll >= cdf[shape]) ++shape;
+
+    const Triple& t = store.triple(order[zipf.Sample(&rng)]);
+    TriplePattern pattern;
+    switch (Shape(shape)) {
+      case kPoint:
+        pattern = {t.subject, t.predicate, t.object};
+        break;
+      case kSubjectScan:
+        pattern = {t.subject, 0, 0};
+        break;
+      case kSubjectPredicate:
+        pattern = {t.subject, t.predicate, 0};
+        break;
+      case kPredicateScan:
+        pattern = {0, t.predicate, 0};
+        break;
+      case kObjectScan:
+        pattern = {0, 0, t.object};
+        break;
+      case kMiss: {
+        TermId ghost = ghost_base + TermId(rng.Index(1u << 16));
+        switch (rng.Index(3)) {
+          case 0:
+            pattern = {ghost, 0, 0};
+            break;
+          case 1:
+            pattern = {t.subject, ghost, 0};
+            break;
+          default:
+            pattern = {ghost, t.predicate, t.object};
+            break;
+        }
+        break;
+      }
+      case kNumShapes:
+        break;
+    }
+    out.push_back(pattern);
+  }
+  return out;
+}
+
+}  // namespace akb::synth

@@ -116,6 +116,117 @@ TEST_F(TripleStoreTest, InsertDecodedInternsTerms) {
   EXPECT_DOUBLE_EQ(fresh.claim(0).provenance.confidence, 0.7);
 }
 
+// Regression coverage for Match's candidate-list selection: with >= 2
+// bound positions the scan must start from the smallest posting list, a
+// bound term with no postings must short-circuit to empty, and results
+// must come back ascending without a sort pass (posting lists are
+// ascending because the store is append-only).
+class TripleStoreMatchSelectivityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hot_s_ = store_.dictionary().InternIri("http://e/hot");
+    hot_p_ = store_.dictionary().InternIri("http://p/hot");
+    hot_o_ = store_.dictionary().InternLiteral("hot");
+    rare_s_ = store_.dictionary().InternIri("http://e/rare");
+    rare_p_ = store_.dictionary().InternIri("http://p/rare");
+    rare_o_ = store_.dictionary().InternLiteral("rare");
+    unused_ = store_.dictionary().InternIri("http://e/unused");
+
+    // 60 triples on the hot subject/predicate/object axes...
+    for (int i = 0; i < 60; ++i) {
+      TermId filler =
+          store_.dictionary().InternLiteral("f" + std::to_string(i));
+      store_.Insert({hot_s_, hot_p_, filler}, Prov("a"));
+      store_.Insert({hot_s_, store_.dictionary().InternIri(
+                                 "http://p/q" + std::to_string(i)),
+                     hot_o_},
+                    Prov("a"));
+    }
+    // ...and single triples pairing a hot position with a rare one.
+    store_.Insert({hot_s_, rare_p_, rare_o_}, Prov("b"));
+    store_.Insert({rare_s_, hot_p_, rare_o_}, Prov("b"));
+    store_.Insert({rare_s_, rare_p_, hot_o_}, Prov("b"));
+  }
+
+  // Brute-force reference: scan every distinct triple.
+  std::vector<size_t> Scan(const TriplePattern& pattern) const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < store_.num_triples(); ++i) {
+      const Triple& t = store_.triple(i);
+      if ((!pattern.subject || t.subject == pattern.subject) &&
+          (!pattern.predicate || t.predicate == pattern.predicate) &&
+          (!pattern.object || t.object == pattern.object)) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  TripleStore store_;
+  TermId hot_s_, hot_p_, hot_o_, rare_s_, rare_p_, rare_o_, unused_;
+};
+
+TEST_F(TripleStoreMatchSelectivityTest, EveryBoundPositionPermutation) {
+  // All shapes, crossing hot x rare posting lists in both directions so
+  // whichever list Match probes, the answer must equal the full scan.
+  std::vector<TriplePattern> patterns = {
+      {hot_s_, rare_p_, 0},       {rare_s_, hot_p_, 0},
+      {hot_s_, 0, rare_o_},       {rare_s_, 0, hot_o_},
+      {0, hot_p_, rare_o_},       {0, rare_p_, hot_o_},
+      {hot_s_, rare_p_, rare_o_}, {rare_s_, hot_p_, rare_o_},
+      {rare_s_, rare_p_, hot_o_}, {hot_s_, hot_p_, 0},
+      {hot_s_, 0, 0},             {0, hot_p_, 0},
+      {0, 0, hot_o_},             {rare_s_, 0, 0},
+      {0, 0, 0},
+  };
+  for (const TriplePattern& pattern : patterns) {
+    EXPECT_EQ(store_.Match(pattern), Scan(pattern))
+        << "pattern (" << pattern.subject << " " << pattern.predicate << " "
+        << pattern.object << ")";
+  }
+}
+
+TEST_F(TripleStoreMatchSelectivityTest, RareSideSelectsTheSingleTriple) {
+  auto matches = store_.Match({hot_s_, rare_p_, 0});
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(store_.triple(matches[0]).object, rare_o_);
+}
+
+TEST_F(TripleStoreMatchSelectivityTest, DeadBoundPositionShortCircuits) {
+  // `unused_` is interned but appears in no triple: no posting list at
+  // all. Any pattern binding it must be empty, even when the other bound
+  // position has the hottest posting list in the store.
+  EXPECT_TRUE(store_.Match({unused_, 0, 0}).empty());
+  EXPECT_TRUE(store_.Match({hot_s_, 0, unused_}).empty());
+  EXPECT_TRUE(store_.Match({unused_, hot_p_, 0}).empty());
+  EXPECT_TRUE(store_.Match({unused_, hot_p_, hot_o_}).empty());
+}
+
+TEST_F(TripleStoreMatchSelectivityTest, ResultsAscendingForEveryShape) {
+  std::vector<TriplePattern> patterns = {
+      {hot_s_, 0, 0}, {0, hot_p_, 0},       {0, 0, hot_o_},
+      {0, 0, 0},      {hot_s_, hot_p_, 0},  {hot_s_, 0, hot_o_},
+  };
+  for (const TriplePattern& pattern : patterns) {
+    auto matches = store_.Match(pattern);
+    for (size_t i = 1; i < matches.size(); ++i) {
+      EXPECT_LT(matches[i - 1], matches[i]);
+    }
+  }
+}
+
+TEST(TriplePatternTest, EqualityAndHash) {
+  TriplePattern a{1, 2, 3};
+  TriplePattern b{1, 2, 3};
+  TriplePattern c{1, 2, 0};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(TriplePatternHash{}(a), TriplePatternHash{}(b));
+  // Not a correctness requirement, but the obvious neighbors should not
+  // collide for the cache to shard usefully.
+  EXPECT_NE(TriplePatternHash{}(a), TriplePatternHash{}(c));
+}
+
 TEST(ExtractorKindTest, AllKindsNamed) {
   for (int k = 0; k <= 6; ++k) {
     EXPECT_NE(ExtractorKindToString(static_cast<ExtractorKind>(k)),

@@ -1,0 +1,149 @@
+// ResultCache unit tests: hit/miss accounting, LRU order, byte-budgeted
+// eviction, oversize rejection, and refresh semantics.
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace akb::serve {
+namespace {
+
+using rdf::TriplePattern;
+
+ResultCache::ResultPtr MakeResult(size_t n) {
+  std::vector<size_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = i;
+  return std::make_shared<const std::vector<size_t>>(std::move(v));
+}
+
+TriplePattern Key(uint32_t i) { return TriplePattern{i, i + 1, i + 2}; }
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache;
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  auto value = MakeResult(3);
+  cache.Put(Key(1), value);
+  auto got = cache.Get(Key(1));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got.get(), value.get());  // shared, not copied
+
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, ResultCache::EntryBytes(3));
+}
+
+TEST(ResultCacheTest, HitsPlusMissesEqualLookups) {
+  ResultCache cache;
+  for (uint32_t i = 0; i < 50; ++i) {
+    if (!cache.Get(Key(i % 10))) cache.Put(Key(i % 10), MakeResult(1));
+  }
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, 50u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedWithinBudget) {
+  ResultCacheConfig config;
+  config.num_shards = 1;
+  // Budget fits exactly two empty-result entries.
+  config.max_bytes = 2 * ResultCache::EntryBytes(0);
+  ResultCache cache(config);
+  ASSERT_EQ(cache.num_shards(), 1u);
+
+  cache.Put(Key(1), MakeResult(0));
+  cache.Put(Key(2), MakeResult(0));
+  cache.Put(Key(3), MakeResult(0));  // evicts Key(1)
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  EXPECT_NE(cache.Get(Key(2)), nullptr);
+  EXPECT_NE(cache.Get(Key(3)), nullptr);
+
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, config.max_bytes);
+}
+
+TEST(ResultCacheTest, GetRefreshesRecency) {
+  ResultCacheConfig config;
+  config.num_shards = 1;
+  config.max_bytes = 2 * ResultCache::EntryBytes(0);
+  ResultCache cache(config);
+
+  cache.Put(Key(1), MakeResult(0));
+  cache.Put(Key(2), MakeResult(0));
+  EXPECT_NE(cache.Get(Key(1)), nullptr);  // 1 becomes most recent
+  cache.Put(Key(3), MakeResult(0));       // evicts 2, not 1
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);
+  EXPECT_NE(cache.Get(Key(3)), nullptr);
+}
+
+TEST(ResultCacheTest, RejectsEntriesLargerThanAShard) {
+  ResultCacheConfig config;
+  config.num_shards = 1;
+  config.max_bytes = ResultCache::EntryBytes(10);
+  ResultCache cache(config);
+
+  cache.Put(Key(1), MakeResult(1000));
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.oversize, 1u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ResultCacheTest, RefreshUpdatesBytesWithoutDoubleCount) {
+  ResultCacheConfig config;
+  config.num_shards = 1;
+  config.max_bytes = 1u << 20;
+  ResultCache cache(config);
+
+  cache.Put(Key(1), MakeResult(10));
+  cache.Put(Key(1), MakeResult(100));
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.bytes, ResultCache::EntryBytes(100));
+  auto got = cache.Get(Key(1));
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->size(), 100u);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache;
+  cache.Put(Key(1), MakeResult(5));
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ResultCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  ResultCacheConfig config;
+  config.num_shards = 5;
+  ResultCache cache(config);
+  EXPECT_EQ(cache.num_shards(), 8u);
+
+  config.num_shards = 0;
+  ResultCache single(config);
+  EXPECT_EQ(single.num_shards(), 1u);
+}
+
+TEST(ResultCacheTest, KeysDifferingInOnePositionAreDistinct) {
+  ResultCache cache;
+  cache.Put(TriplePattern{1, 2, 3}, MakeResult(1));
+  EXPECT_EQ(cache.Get(TriplePattern{1, 2, 0}), nullptr);
+  EXPECT_EQ(cache.Get(TriplePattern{0, 2, 3}), nullptr);
+  EXPECT_NE(cache.Get(TriplePattern{1, 2, 3}), nullptr);
+}
+
+}  // namespace
+}  // namespace akb::serve

@@ -1,0 +1,140 @@
+// End-to-end warm-start serving: full pipeline run -> SaveSnapshot ->
+// KbView::FromSnapshot -> served answers match querying the in-memory
+// fused store directly; a damaged snapshot surfaces the typed kDataLoss
+// error instead of crashing or serving a partial KB.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "rdf/triple_store.h"
+#include "serve/kb_view.h"
+#include "serve/query_engine.h"
+#include "synth/query_workload.h"
+
+namespace akb::serve {
+namespace {
+
+using rdf::TriplePattern;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+}
+
+class ServeE2eTest : public ::testing::Test {
+ protected:
+  static const synth::World& SharedWorld() {
+    static synth::World world =
+        synth::World::Build(synth::WorldConfig::Small());
+    return world;
+  }
+
+  // One fused store per suite: the pipeline is the expensive part.
+  static rdf::TripleStore& FusedStore() {
+    static rdf::TripleStore* store = [] {
+      auto* fused = new rdf::TripleStore();
+      core::PipelineConfig config;
+      config.seed = 42;
+      config.sites_per_class = 2;
+      config.pages_per_site = 8;
+      config.articles_per_class = 12;
+      config.queries_per_class = 400;
+      config.junk_queries = 800;
+      core::PipelineReport report =
+          core::RunPipeline(SharedWorld(), config, fused);
+      EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+      EXPECT_GT(fused->num_triples(), 0u);
+      return fused;
+    }();
+    return *store;
+  }
+};
+
+TEST_F(ServeE2eTest, SnapshotViewAnswersMatchInMemoryStore) {
+  rdf::TripleStore& fused = FusedStore();
+  std::string path = TempPath("serve_e2e.akbsnap");
+  ASSERT_TRUE(fused.SaveSnapshot(path).ok());
+
+  auto view = KbView::FromSnapshot(path);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->num_triples(), fused.num_triples());
+
+  synth::QueryWorkloadConfig workload_config;
+  workload_config.num_queries = 500;
+  workload_config.seed = 4;
+  auto patterns = synth::GenerateQueryWorkload(fused, workload_config);
+  ASSERT_FALSE(patterns.empty());
+
+  QueryEngineConfig engine_config;
+  engine_config.num_workers = 4;
+  QueryEngine engine(*view, engine_config);
+  auto results = engine.ExecuteBatch(patterns);
+
+  size_t nonempty = 0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    auto expected = fused.Match(patterns[i]);
+    // The view answers in permutation-key order; the store ascending.
+    std::vector<size_t> got = *results[i].matches;
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "query " << i;
+    // Identical indices must also decode identically — the snapshot
+    // preserved dictionary ids and triple order.
+    for (size_t ti : *results[i].matches) {
+      ASSERT_EQ(view->DecodeToString(ti), fused.DecodeToString(ti));
+    }
+    nonempty += results[i].matches->empty() ? 0 : 1;
+  }
+  // The workload mix guarantees real hits, not vacuous agreement on empty.
+  EXPECT_GT(nonempty, patterns.size() / 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeE2eTest, CorruptSnapshotSurfacesDataLoss) {
+  rdf::TripleStore& fused = FusedStore();
+  std::string path = TempPath("serve_e2e_corrupt.akbsnap");
+  ASSERT_TRUE(fused.SaveSnapshot(path).ok());
+  std::string bytes = ReadFile(path);
+  ASSERT_GT(bytes.size(), 200u);
+
+  // Flip one payload byte mid-file: right format, damaged data.
+  bytes[bytes.size() / 2] = char(bytes[bytes.size() / 2] ^ 0x40);
+  WriteFile(path, bytes);
+  auto view = KbView::FromSnapshot(path);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kDataLoss)
+      << view.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeE2eTest, TruncatedSnapshotSurfacesDataLoss) {
+  rdf::TripleStore& fused = FusedStore();
+  std::string path = TempPath("serve_e2e_truncated.akbsnap");
+  ASSERT_TRUE(fused.SaveSnapshot(path).ok());
+  std::string bytes = ReadFile(path);
+  WriteFile(path, bytes.substr(0, bytes.size() * 2 / 3));
+  auto view = KbView::FromSnapshot(path);
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.status().code(), StatusCode::kDataLoss)
+      << view.status().ToString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace akb::serve

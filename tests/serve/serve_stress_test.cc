@@ -1,0 +1,167 @@
+// Concurrent-read stress: many threads hammer one KbView + result cache
+// with overlapping queries (run under TSAN in CI via the `stress` label).
+// Asserts: every thread sees the reference answer for every query, cache
+// stats stay internally consistent (hits + misses == lookups, residency
+// == insertions - evictions), and repeated batched runs are identical.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "rdf/triple_store.h"
+#include "serve/kb_view.h"
+#include "serve/query_engine.h"
+#include "synth/query_workload.h"
+
+namespace akb::serve {
+namespace {
+
+using rdf::TriplePattern;
+
+rdf::TripleStore BuildStore(size_t claims, uint64_t seed) {
+  Rng rng(seed);
+  rdf::TripleStore store;
+  std::vector<rdf::TermId> subjects, predicates, objects;
+  for (int i = 0; i < 200; ++i) {
+    subjects.push_back(
+        store.dictionary().InternIri("http://e/s" + std::to_string(i)));
+  }
+  for (int i = 0; i < 25; ++i) {
+    predicates.push_back(
+        store.dictionary().InternIri("http://p/p" + std::to_string(i)));
+  }
+  for (int i = 0; i < 400; ++i) {
+    objects.push_back(
+        store.dictionary().InternLiteral("o" + std::to_string(i)));
+  }
+  for (size_t c = 0; c < claims; ++c) {
+    store.Insert({rng.Pick(subjects), rng.Pick(predicates), rng.Pick(objects)},
+                 rdf::Provenance{});
+  }
+  return store;
+}
+
+TEST(ServeStressTest, ThreadsHammerSharedEngineAndAgree) {
+  rdf::TripleStore store = BuildStore(4000, 21);
+  KbView view(store);
+
+  synth::QueryWorkloadConfig workload_config;
+  workload_config.num_queries = 400;
+  workload_config.seed = 33;
+  auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+  ASSERT_FALSE(patterns.empty());
+
+  // Reference answers, computed serially before any concurrency starts.
+  std::vector<std::vector<size_t>> expected;
+  expected.reserve(patterns.size());
+  for (const TriplePattern& pattern : patterns) {
+    expected.push_back(view.Match(pattern));
+  }
+
+  QueryEngineConfig config;
+  config.num_workers = 2;
+  config.cache.num_shards = 4;
+  // Small enough that eviction happens under load.
+  config.cache.max_bytes = 64u << 10;
+  QueryEngine engine(view, config);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 3;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the same query set from a different offset, so
+      // threads constantly overlap on hot keys while filling different
+      // cache entries first.
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < patterns.size(); ++i) {
+          size_t q = (i + t * 37) % patterns.size();
+          QueryResult result = engine.Execute(patterns[q]);
+          if (!result.matches || *result.matches != expected[q]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Exactly one cache lookup per Execute: the books must balance.
+  ASSERT_NE(engine.cache(), nullptr);
+  ResultCacheStats stats = engine.cache()->Stats();
+  const uint64_t lookups = kThreads * kRounds * patterns.size();
+  EXPECT_EQ(stats.hits + stats.misses, lookups);
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_LE(stats.bytes,
+            engine.cache()->shard_budget_bytes() * engine.cache()->num_shards());
+}
+
+TEST(ServeStressTest, ConcurrentBatchesAreIdenticalAcrossRuns) {
+  rdf::TripleStore store = BuildStore(2500, 77);
+  KbView view(store);
+
+  synth::QueryWorkloadConfig workload_config;
+  workload_config.num_queries = 600;
+  workload_config.seed = 91;
+  auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+
+  QueryEngineConfig config;
+  config.num_workers = 8;
+  config.cache.max_bytes = 256u << 10;
+  QueryEngine engine(view, config);
+
+  auto reference = engine.ExecuteBatch(patterns);
+  for (int run = 0; run < 4; ++run) {
+    auto results = engine.ExecuteBatch(patterns);
+    ASSERT_EQ(results.size(), reference.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(*results[i].matches, *reference[i].matches)
+          << "run " << run << " query " << i;
+    }
+  }
+}
+
+TEST(ServeStressTest, ManyEnginesShareOneView) {
+  rdf::TripleStore store = BuildStore(1500, 13);
+  KbView view(store);
+  synth::QueryWorkloadConfig workload_config;
+  workload_config.num_queries = 200;
+  workload_config.seed = 7;
+  auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+
+  std::vector<std::vector<size_t>> expected;
+  for (const TriplePattern& pattern : patterns) {
+    expected.push_back(view.Match(pattern));
+  }
+
+  // Engines (and their caches and pools) come and go while others read.
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int lifetime = 0; lifetime < 3; ++lifetime) {
+        QueryEngineConfig config;
+        config.num_workers = 2;
+        QueryEngine engine(view, config);
+        auto results = engine.ExecuteBatch(patterns);
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (*results[i].matches != expected[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace akb::serve

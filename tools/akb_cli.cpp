@@ -9,13 +9,21 @@
 //           [--pages=N] [--seeds=N] [--seed=N]
 //   akb_cli fuse-demo [--items=N] [--seed=N]
 //           [--save-kb=kb.akbsnap] [--load-kb=kb.akbsnap]
+//   akb_cli serve-bench [--load-kb=kb.akbsnap | --triples=N]
+//           [--queries=N] [--workers=N] [--batch=N] [--cache-mb=N]
+//           [--no-cache] [--seed=N] [--bench-out=b.json]
+//           [--metrics-out=m.json]
 //   akb_cli inspect <file.nt>
 //   akb_cli snapshot-info <kb.akbsnap>
 //   akb_cli bench-merge [--out=BENCH_pipeline.json] <bench1.json> ...
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/pipeline.h"
 #include "extract/dom_extractor.h"
@@ -27,7 +35,10 @@
 #include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "rdf/snapshot.h"
+#include "serve/kb_view.h"
+#include "serve/query_engine.h"
 #include "synth/claim_gen.h"
+#include "synth/query_workload.h"
 #include "synth/site_gen.h"
 
 namespace {
@@ -192,6 +203,154 @@ int RunFuseDemoCommand(const FlagSet& flags) {
   return 0;
 }
 
+// A synthetic fused-KB stand-in for serve-bench runs without a snapshot:
+// skewed like a real entity-centric KB (hot subjects with many facts).
+rdf::TripleStore BuildSyntheticKb(size_t claims, uint64_t seed) {
+  rdf::TripleStore store;
+  Rng rng(seed);
+  size_t num_subjects = std::max<size_t>(16, claims / 60);
+  size_t num_predicates = std::max<size_t>(8, claims / 2500);
+  size_t num_objects = std::max<size_t>(16, claims / 15);
+  std::vector<rdf::TermId> subjects, predicates, objects;
+  for (size_t i = 0; i < num_subjects; ++i) {
+    subjects.push_back(
+        store.dictionary().InternIri("http://e/s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_predicates; ++i) {
+    predicates.push_back(
+        store.dictionary().InternIri("http://p/p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < num_objects; ++i) {
+    objects.push_back(
+        store.dictionary().InternLiteral("v" + std::to_string(i)));
+  }
+  for (size_t c = 0; c < claims; ++c) {
+    store.Insert(
+        {rng.Pick(subjects), rng.Pick(predicates), rng.Pick(objects)},
+        rdf::Provenance{"bench", rdf::ExtractorKind::kOther, 1.0});
+  }
+  return store;
+}
+
+int RunServeBenchCommand(const FlagSet& flags) {
+  uint64_t seed = uint64_t(flags.GetInt("seed", 19));
+  rdf::TripleStore store;
+  std::string load = flags.GetString("load-kb");
+  if (!load.empty()) {
+    Status status = store.LoadSnapshot(load);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Loaded %s: %zu distinct triples, %zu terms\n", load.c_str(),
+                store.num_triples(), store.dictionary().size());
+  } else {
+    size_t claims = size_t(flags.GetInt("triples", 100000));
+    store = BuildSyntheticKb(claims, seed);
+    std::printf("Synthesized KB: %zu distinct triples, %zu terms\n",
+                store.num_triples(), store.dictionary().size());
+  }
+  if (store.num_triples() == 0) {
+    std::fprintf(stderr, "error: KB is empty, nothing to serve\n");
+    return 1;
+  }
+
+  size_t num_queries = size_t(flags.GetInt("queries", 200000));
+  size_t batch = std::max<int64_t>(1, flags.GetInt("batch", 8192));
+  synth::QueryWorkloadConfig workload_config;
+  workload_config.num_queries = num_queries;
+  workload_config.seed = seed + 1;
+  auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+
+  Stopwatch build_watch;
+  serve::KbView view(store);
+  double build_ms = build_watch.ElapsedMillis();
+
+  serve::QueryEngineConfig engine_config;
+  engine_config.num_workers = size_t(flags.GetInt("workers", 0));
+  engine_config.enable_cache = !flags.GetBool("no-cache");
+  engine_config.cache.max_bytes =
+      size_t(flags.GetInt("cache-mb", 64)) << 20;
+  serve::QueryEngine engine(view, engine_config);
+  std::printf(
+      "View ready: %zu triples, %.1f MiB of indexes, built in %.1f ms; "
+      "%zu workers, cache %s\n",
+      view.num_triples(), double(view.IndexBytes()) / (1 << 20), build_ms,
+      engine.num_workers(), engine.cache() ? "on" : "off");
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  Stopwatch watch;
+  size_t total_matches = 0;
+  for (size_t begin = 0; begin < patterns.size(); begin += batch) {
+    size_t end = std::min(patterns.size(), begin + batch);
+    std::vector<rdf::TriplePattern> slice(patterns.begin() + begin,
+                                          patterns.begin() + end);
+    auto results = engine.ExecuteBatch(slice);
+    for (const auto& result : results) total_matches += result.matches->size();
+  }
+  double seconds = watch.ElapsedSeconds();
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DiffFrom(before);
+
+  double qps = seconds > 0 ? double(patterns.size()) / seconds : 0.0;
+  const auto* latency = delta.Find("akb.serve.query.nanos");
+  double p50 = latency ? latency->p50 : 0.0;
+  double p99 = latency ? latency->p99 : 0.0;
+  std::printf(
+      "Executed %zu queries (%zu matches) in %.3f s: %.0f queries/s, "
+      "p50=%.0f ns p99=%.0f ns\n",
+      patterns.size(), total_matches, seconds, qps, p50, p99);
+
+  double hit_rate = 0.0;
+  if (engine.cache()) {
+    serve::ResultCacheStats stats = engine.cache()->Stats();
+    hit_rate = stats.hits + stats.misses > 0
+                   ? double(stats.hits) / double(stats.hits + stats.misses)
+                   : 0.0;
+    std::printf(
+        "Cache: %.1f%% hit rate (%llu hits, %llu misses), "
+        "%llu entries / %.1f MiB resident, %llu evictions\n",
+        hit_rate * 100.0, (unsigned long long)stats.hits,
+        (unsigned long long)stats.misses, (unsigned long long)stats.entries,
+        double(stats.bytes) / (1 << 20), (unsigned long long)stats.evictions);
+  }
+
+  std::string bench_out = flags.GetString("bench-out");
+  if (!bench_out.empty()) {
+    obs::BenchSuite suite("serve_bench");
+    obs::BenchResult result;
+    result.name = "serve_qps";
+    result.value = qps;
+    result.unit = "qps";
+    result.iterations = int64_t(patterns.size());
+    result.extra = {{"p50_nanos", p50},
+                    {"p99_nanos", p99},
+                    {"triples", double(view.num_triples())},
+                    {"workers", double(engine.num_workers())},
+                    {"cache_hit_rate", hit_rate},
+                    {"view_build_ms", build_ms}};
+    suite.Add(std::move(result));
+    Status status = suite.WriteFile(bench_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote bench results to %s\n", bench_out.c_str());
+  }
+
+  std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteTextFile(metrics_out, delta.ToJson() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote %zu metrics to %s\n", delta.entries.size(),
+                metrics_out.c_str());
+  }
+  return 0;
+}
+
 int RunSnapshotInfoCommand(const FlagSet& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "usage: akb_cli snapshot-info <file.akbsnap>\n");
@@ -238,6 +397,7 @@ void PrintUsage() {
       "  pipeline      run the full Figure-1 pipeline (see --output)\n"
       "  extract-dom   run Algorithm 1 on generated sites\n"
       "  fuse-demo     compare VOTE vs ACCU on a synthetic claim set\n"
+      "  serve-bench   serve a synthetic query workload from a KB\n"
       "  inspect FILE  summarize an N-Triples file\n"
       "  snapshot-info FILE  summarize a binary KB snapshot\n"
       "  bench-merge   merge per-bench JSON results into one file\n\n"
@@ -252,6 +412,10 @@ void PrintUsage() {
       "              checkpoint; fused output is byte-identical to the\n"
       "              cold run that saved it)\n"
       "extract-dom:  --class=NAME --sites=N --pages=N --seeds=N\n"
+      "serve-bench:  --load-kb=FILE (snapshot to serve; else --triples=N\n"
+      "              synthesizes a KB) --queries=N --workers=N --batch=N\n"
+      "              --cache-mb=N --no-cache --seed=N --bench-out=FILE\n"
+      "              (akb-bench-v1 JSON) --metrics-out=FILE\n"
       "bench-merge:  --out=FILE (default BENCH_pipeline.json) inputs...\n");
 }
 
@@ -267,6 +431,7 @@ int main(int argc, char** argv) {
   if (command == "pipeline") return RunPipelineCommand(flags);
   if (command == "extract-dom") return RunExtractDomCommand(flags);
   if (command == "fuse-demo") return RunFuseDemoCommand(flags);
+  if (command == "serve-bench") return RunServeBenchCommand(flags);
   if (command == "inspect") return RunInspectCommand(flags);
   if (command == "snapshot-info") return RunSnapshotInfoCommand(flags);
   if (command == "bench-merge") return RunBenchMergeCommand(flags);
