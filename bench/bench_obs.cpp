@@ -1,27 +1,40 @@
-// Observability overhead — the cost of the akb::obs instrumentation that
-// PR "akb::obs" threads through the pipeline.
+// Observability overhead — the cost of the akb::obs instrumentation
+// threaded through the pipeline and the serve path.
 //
-// Two measurements:
+// Measurements:
 //   * micro: a counter/histogram op in a hot loop, metrics enabled vs
 //     disabled at runtime (one relaxed load) — the per-op price extractor
 //     inner loops pay;
 //   * macro: the full small-world pipeline with metrics enabled vs
-//     SetMetricsEnabled(false) — the end-to-end overhead, which the issue
-//     budget caps at 5%.
+//     SetMetricsEnabled(false) — the end-to-end overhead, capped at 5%;
+//   * serve: a QueryEngine workload with the full observability stack
+//     (registry metrics + rolling SLO windows + 1% trace sampling) vs
+//     everything off — the serve-path overhead, same 5% budget;
+//   * family: MetricFamily (pre-resolved per-label handles) vs the
+//     dynamic-name CounterAdd path it replaces — the family must not be
+//     slower (regression assertion).
 //
 // Emits the common "akb-bench-v1" results file (BENCH_bench_obs.json).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/pipeline.h"
 #include "obs/bench_io.h"
 #include "obs/metrics.h"
+#include "obs/rolling.h"
+#include "rdf/triple_store.h"
+#include "serve/kb_view.h"
+#include "serve/query_engine.h"
+#include "synth/query_workload.h"
 
 namespace {
 
@@ -87,6 +100,159 @@ void PrintOverheadReport(obs::BenchSuite* suite) {
               {{"budget_percent", 5.0}}});
 }
 
+// ------------------------------------------------- serve-path overhead
+
+// Compact skewed KB (hot subjects) — enough shape variety to exercise
+// every query path without dominating the run with view construction.
+rdf::TripleStore BuildBenchKb(size_t claims, uint64_t seed) {
+  rdf::TripleStore store;
+  Rng rng(seed);
+  std::vector<rdf::TermId> subjects, predicates, objects;
+  for (size_t i = 0; i < std::max<size_t>(16, claims / 60); ++i) {
+    subjects.push_back(
+        store.dictionary().InternIri("http://e/s" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < std::max<size_t>(8, claims / 2500); ++i) {
+    predicates.push_back(
+        store.dictionary().InternIri("http://p/p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < std::max<size_t>(16, claims / 15); ++i) {
+    objects.push_back(
+        store.dictionary().InternLiteral("v" + std::to_string(i)));
+  }
+  for (size_t c = 0; c < claims; ++c) {
+    store.Insert(
+        {rng.Pick(subjects), rng.Pick(predicates), rng.Pick(objects)},
+        rdf::Provenance{"bench", rdf::ExtractorKind::kOther, 1.0});
+  }
+  return store;
+}
+
+// One timed pass of the workload through a fresh engine. `instrumented`
+// turns on the whole stack the issue budgets together: registry metrics,
+// rolling SLO windows, and 1% head-sampled tracing into the slow log.
+double ServeSeconds(const serve::KbView& view,
+                    const std::vector<rdf::TriplePattern>& patterns,
+                    bool instrumented) {
+  obs::SetMetricsEnabled(instrumented);
+  serve::QueryEngineConfig config;
+  // Never oversubscribe the machine: extra workers on a small box turn
+  // the measurement into scheduler noise that swamps a 5% budget.
+  config.num_workers =
+      std::min<size_t>(4, std::thread::hardware_concurrency());
+  config.trace_sample_rate = instrumented ? 0.01 : 0.0;
+  serve::QueryEngine engine(view, config);
+  constexpr size_t kBatch = 8192;
+  Stopwatch watch;
+  for (size_t begin = 0; begin < patterns.size(); begin += kBatch) {
+    size_t end = std::min(patterns.size(), begin + kBatch);
+    std::vector<rdf::TriplePattern> slice(patterns.begin() + begin,
+                                          patterns.begin() + end);
+    auto results = engine.ExecuteBatch(slice);
+    benchmark::DoNotOptimize(results.data());
+  }
+  double seconds = double(watch.ElapsedMicros()) / 1e6;
+  obs::SetMetricsEnabled(true);
+  return seconds;
+}
+
+void PrintServeOverheadReport(obs::BenchSuite* suite) {
+  constexpr int kReps = 9;
+  constexpr size_t kQueries = 100000;
+  // Acceptance-scale KB (the serve-bench scenario is 500k triples):
+  // queries do representative index work, so the fixed per-query
+  // instrumentation cost is weighed the way production would see it.
+  rdf::TripleStore store = BuildBenchKb(500000, 23);
+  serve::KbView view(store);
+  synth::QueryWorkloadConfig workload;
+  workload.num_queries = kQueries;
+  workload.seed = 24;
+  auto patterns = synth::GenerateQueryWorkload(store, workload);
+
+  ServeSeconds(view, patterns, true);   // warm-up: registry + caches
+  ServeSeconds(view, patterns, false);  // ...and the uninstrumented path
+  // Interleave the configurations rep by rep so machine-load drift hits
+  // both sides equally instead of skewing whichever ran later.
+  double on_s = 1e300, off_s = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    off_s = std::min(off_s, ServeSeconds(view, patterns, false));
+    on_s = std::min(on_s, ServeSeconds(view, patterns, true));
+  }
+  double overhead_pct = off_s > 0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+
+  TextTable table({"Configuration", "Best (ms)", "ns/query", "Overhead"});
+  table.set_title(
+      "Serve-path observability: registry + rolling windows + 1% trace "
+      "sampling vs all off");
+  table.AddRow({"observability off", FormatDouble(off_s * 1e3, 2),
+                FormatDouble(off_s * 1e9 / double(kQueries), 1), "—"});
+  table.AddRow({"observability on", FormatDouble(on_s * 1e3, 2),
+                FormatDouble(on_s * 1e9 / double(kQueries), 1),
+                FormatDouble(overhead_pct, 2) + "%"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Budget: 5%% — %s\n\n",
+              overhead_pct <= 5.0 ? "within budget" : "OVER BUDGET");
+
+  suite->Add({"serve_obs_on", on_s * 1e3, "ms", kReps,
+              {{"queries", double(kQueries)}}});
+  suite->Add({"serve_obs_off", off_s * 1e3, "ms", kReps,
+              {{"queries", double(kQueries)}}});
+  suite->Add({"serve_obs_overhead", overhead_pct, "percent", kReps,
+              {{"budget_percent", 5.0}}});
+}
+
+// ------------------------------------- dynamic-name vs family regression
+
+double MinLoopNanosPerOp(int reps, size_t iters, void (*body)(size_t)) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    for (size_t i = 0; i < iters; ++i) body(i);
+    best = std::min(best, double(watch.ElapsedNanos()) / double(iters));
+  }
+  return best;
+}
+
+constexpr const char* kFamilyLabels[4] = {"Book", "Film", "Song", "City"};
+
+void DynamicBody(size_t i) {
+  obs::CounterAdd(std::string("akb.bench.obs.family.") + kFamilyLabels[i % 4],
+                  1);
+}
+
+void FamilyBody(size_t i) {
+  static obs::CounterFamily family("akb.bench.obs.family.");
+  family.Add(kFamilyLabels[i % 4], 1);
+}
+
+void PrintFamilyReport(obs::BenchSuite* suite) {
+  constexpr int kReps = 5;
+  constexpr size_t kIters = 1000000;
+  obs::SetMetricsEnabled(true);
+  MinLoopNanosPerOp(1, kIters / 10, DynamicBody);  // warm both paths
+  MinLoopNanosPerOp(1, kIters / 10, FamilyBody);
+  double dynamic_ns = MinLoopNanosPerOp(kReps, kIters, DynamicBody);
+  double family_ns = MinLoopNanosPerOp(kReps, kIters, FamilyBody);
+  double ratio = dynamic_ns > 0 ? family_ns / dynamic_ns : 0.0;
+
+  TextTable table({"Path", "ns/op"});
+  table.set_title(
+      "Per-class counters: dynamic-name CounterAdd vs pre-resolved "
+      "MetricFamily");
+  table.AddRow({"CounterAdd(prefix + label)", FormatDouble(dynamic_ns, 1)});
+  table.AddRow({"CounterFamily::Add(label)", FormatDouble(family_ns, 1)});
+  std::printf("%s\n", table.ToString().c_str());
+  // Regression assertion: the family path replaced the dynamic one in the
+  // extractors/pipeline, so it must not be slower (10% measurement slack).
+  bool ok = ratio <= 1.10;
+  std::printf("Family/dynamic ratio: %.2f — %s\n\n", ratio,
+              ok ? "OK" : "REGRESSION (family slower than dynamic path)");
+
+  suite->Add({"dynamic_counter_add", dynamic_ns, "ns/op", kReps, {}});
+  suite->Add({"family_counter_add", family_ns, "ns/op", kReps,
+              {{"ratio_vs_dynamic", ratio}, {"budget_ratio", 1.10}}});
+}
+
 void BM_CounterAddEnabled(benchmark::State& state) {
   obs::SetMetricsEnabled(true);
   for (auto _ : state) {
@@ -137,11 +303,47 @@ void BM_DynamicCounterAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_DynamicCounterAdd);
 
+void BM_MetricFamilyAdd(benchmark::State& state) {
+  // The pre-resolved replacement: label lookup in a local map.
+  obs::SetMetricsEnabled(true);
+  static obs::CounterFamily family("akb.bench.obs.bm_family.");
+  size_t i = 0;
+  for (auto _ : state) {
+    family.Add(kFamilyLabels[i++ % 4], 1);
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MetricFamilyAdd);
+
+void BM_RollingCounterAdd(benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  static obs::RollingCounter counter;
+  // One clock read per op, like the engine's SLO record path.
+  for (auto _ : state) {
+    counter.Add(1, obs::NowMicros());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_RollingCounterAdd)->Threads(4)->UseRealTime();
+
+void BM_RollingHistogramRecord(benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  static obs::RollingHistogram histogram;
+  int64_t v = 0;
+  for (auto _ : state) {
+    histogram.Record(++v & 0xfff, obs::NowMicros());
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_RollingHistogramRecord)->Threads(4)->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::BenchSuite suite("bench_obs");
   PrintOverheadReport(&suite);
+  PrintServeOverheadReport(&suite);
+  PrintFamilyReport(&suite);
   suite.WriteDefaultFile();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -35,6 +35,15 @@ class Stopwatch {
         .count();
   }
 
+  /// Absolute start time in steady-clock microseconds — the same time
+  /// base as obs::NowMicros(), so hot paths can derive "now" as
+  /// StartMicros() + elapsed without a second clock read.
+  int64_t StartMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               start_.time_since_epoch())
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -12,6 +12,7 @@
 #include "extract/attribute_dedup.h"
 #include "mapreduce/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 #include "obs/trace.h"
 #include "synth/taxonomy_gen.h"
 #include "fusion/copy_detect.h"
@@ -687,10 +688,9 @@ PipelineReport RunPipeline(const synth::World& world,
         table.Add(std::move(p.item), t.source, std::move(p.value),
                   t.confidence);
       }
+      static obs::CounterFamily claims_family("akb.pipeline.claims.");
       for (const auto& [kind, count] : claims_by_extractor) {
-        obs::CounterAdd(std::string("akb.pipeline.claims.") +
-                            std::string(rdf::ExtractorKindToString(kind)),
-                        int64_t(count));
+        claims_family.Add(rdf::ExtractorKindToString(kind), int64_t(count));
       }
       AKB_COUNTER_ADD("akb.pipeline.claims", int64_t(table.num_claims()));
       report.total_claims = table.num_claims();
@@ -803,6 +803,18 @@ PipelineReport RunPipeline(const synth::World& world,
           }
           return output.beliefs.size();
         });
+
+  // Export per-source estimated quality (Accu accuracy / RelationFuse
+  // precision; empty for plain Vote) as ppm gauges so statusz can report
+  // which sources the fuser trusts without re-running fusion.
+  if (!output.source_quality.empty()) {
+    static obs::GaugeFamily quality_family(
+        std::string(obs::kFusionSourceQualityPrefix));
+    for (size_t i = 0; i < output.source_quality.size(); ++i) {
+      quality_family.Set(table.source_name(fusion::SourceId(i)),
+                         int64_t(output.source_quality[i] * 1e6));
+    }
+  }
 
   // ---------- KB augmentation + evaluation against the world.
   // World-side lookups: AttributeKey(spec name) -> id; entity name -> id.

@@ -292,8 +292,8 @@ DomExtraction DomTreeExtractor::ExtractSites(
   AKB_COUNTER_ADD("akb.extract.dom.pages_used",
                   int64_t(out.stats.pages_used));
   if (!out.class_name.empty()) {
-    obs::CounterAdd("akb.extract.dom.claims." + out.class_name,
-                    int64_t(out.triples.size()));
+    static obs::CounterFamily per_class_family("akb.extract.dom.claims.");
+    per_class_family.Add(out.class_name, int64_t(out.triples.size()));
   }
   return out;
 }

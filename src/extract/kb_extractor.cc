@@ -150,8 +150,8 @@ std::vector<ExtractedTriple> ExistingKbExtractor::ExtractTriples(
           config_.confidence.Score(rdf::ExtractorKind::kExistingKb, 1);
       triples.push_back(std::move(triple));
     }
-    obs::CounterAdd("akb.extract.kb.claims." + cls.name,
-                    int64_t(triples.size() - class_start));
+    static obs::CounterFamily per_class_family("akb.extract.kb.claims.");
+    per_class_family.Add(cls.name, int64_t(triples.size() - class_start));
   }
   AKB_COUNTER_ADD("akb.extract.kb.claims", int64_t(triples.size()));
   return triples;

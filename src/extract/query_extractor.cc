@@ -246,9 +246,9 @@ QueryClassExtraction QueryStreamExtractor::ScanClass(
                   int64_t(relevant));
   AKB_COUNTER_ADD("akb.extract.query.credible_attributes",
                   int64_t(out.credible_attributes.size()));
-  obs::CounterAdd(
-      "akb.extract.query.credible_attributes." + out.class_name,
-      int64_t(out.credible_attributes.size()));
+  static obs::CounterFamily per_class_family(
+      "akb.extract.query.credible_attributes.");
+  per_class_family.Add(out.class_name, int64_t(out.credible_attributes.size()));
   return out;
 }
 

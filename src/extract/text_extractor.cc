@@ -252,8 +252,8 @@ TextExtraction WebTextExtractor::Extract(
                   int64_t(out.new_attributes.size()));
   AKB_COUNTER_ADD("akb.extract.text.sentences_matched",
                   int64_t(out.sentences_matched));
-  obs::CounterAdd("akb.extract.text.claims." + class_name,
-                  int64_t(out.triples.size()));
+  static obs::CounterFamily per_class_family("akb.extract.text.claims.");
+  per_class_family.Add(class_name, int64_t(out.triples.size()));
   return out;
 }
 

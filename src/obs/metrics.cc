@@ -92,7 +92,6 @@ void Histogram::Record(int64_t value) {
   if (!MetricsEnabled()) return;
   if (value < 0) value = 0;
   buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
   int64_t seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
@@ -155,9 +154,16 @@ double Histogram::Percentile(double p) const {
   return static_cast<double>(Max());
 }
 
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   min_.store(INT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace akb::obs {
@@ -67,13 +68,15 @@ class Gauge {
 
 /// Fixed-bucket latency histogram: 64 exponential (power-of-two) buckets;
 /// bucket i counts values v with bit_width(v) == i, i.e. [2^(i-1), 2^i).
-/// Record() is two relaxed adds; negative values clamp to 0.
+/// Record() is two relaxed adds; negative values clamp to 0. There is no
+/// separate count cell — Count() sums the buckets, trading a 64-load read
+/// (snapshot-time only) for one fewer RMW on the record path.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 64;
 
   void Record(int64_t value);
-  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Count() const;
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t Min() const;
   int64_t Max() const { return max_.load(std::memory_order_relaxed); }
@@ -85,7 +88,6 @@ class Histogram {
 
  private:
   std::atomic<int64_t> buckets_[kBuckets] = {};
-  std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> min_{INT64_MAX};
   std::atomic<int64_t> max_{0};
@@ -144,11 +146,88 @@ class MetricsRegistry {
 };
 
 /// Dynamic-name helpers for per-class metrics ("akb.extract.dom.claims." +
-/// class_name): one registry map lookup per call, so use them at batch
-/// granularity, not inside per-node loops.
+/// class_name): one registry map lookup plus a string concatenation per
+/// call. Call sites that fire per class or per source on every batch
+/// should pre-resolve through a MetricFamily instead; keep these for
+/// genuinely one-off names.
 void CounterAdd(std::string_view name, int64_t n = 1);
 void GaugeSet(std::string_view name, int64_t v);
 void HistogramRecord(std::string_view name, int64_t v);
+
+/// Pre-resolved handles for one family of dynamic-name metrics sharing a
+/// prefix ("akb.extract.dom.claims." + <class>). Each distinct label hits
+/// the global registry (and builds the full name) exactly once; later
+/// calls are a local heterogeneous map lookup with no allocation, so the
+/// family is safe at per-class / per-source granularity inside loops
+/// (still not per-item — cache the pointer from Get() for that).
+/// Thread-safe; returned pointers stay valid for the process lifetime,
+/// like the registry's.
+///
+///   static obs::CounterFamily family("akb.extract.dom.claims.");
+///   family.Add(class_name, n);
+template <typename Metric>
+class MetricFamily {
+ public:
+  explicit MetricFamily(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  MetricFamily(const MetricFamily&) = delete;
+  MetricFamily& operator=(const MetricFamily&) = delete;
+
+  Metric* Get(std::string_view label) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(label);
+    if (it == cache_.end()) {
+      std::string name = prefix_;
+      name += label;
+      Metric* metric;
+      if constexpr (std::is_same_v<Metric, Counter>) {
+        metric = MetricsRegistry::Global().GetCounter(name);
+      } else if constexpr (std::is_same_v<Metric, Gauge>) {
+        metric = MetricsRegistry::Global().GetGauge(name);
+      } else {
+        metric = MetricsRegistry::Global().GetHistogram(name);
+      }
+      it = cache_.emplace(std::string(label), metric).first;
+    }
+    return it->second;
+  }
+
+  void Add(std::string_view label, int64_t n = 1) {
+#ifndef AKB_METRICS_DISABLED
+    if (MetricsEnabled()) Get(label)->Add(n);
+#else
+    (void)label;
+    (void)n;
+#endif
+  }
+
+  void Set(std::string_view label, int64_t v) {
+#ifndef AKB_METRICS_DISABLED
+    if (MetricsEnabled()) Get(label)->Set(v);
+#else
+    (void)label;
+    (void)v;
+#endif
+  }
+
+  void Record(std::string_view label, int64_t v) {
+#ifndef AKB_METRICS_DISABLED
+    if (MetricsEnabled()) Get(label)->Record(v);
+#else
+    (void)label;
+    (void)v;
+#endif
+  }
+
+ private:
+  std::string prefix_;
+  std::mutex mutex_;
+  std::map<std::string, Metric*, std::less<>> cache_;
+};
+
+using CounterFamily = MetricFamily<Counter>;
+using GaugeFamily = MetricFamily<Gauge>;
+using HistogramFamily = MetricFamily<Histogram>;
 
 }  // namespace akb::obs
 

@@ -1,0 +1,177 @@
+#include "obs/rolling.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace akb::obs {
+
+namespace {
+
+/// Same dense per-thread id scheme as the registry counters: the first
+/// kShards threads land on distinct shards.
+size_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id % RollingCounter::kShards;
+}
+
+}  // namespace
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --------------------------------------------------------- RollingCounter
+
+RollingCounter::RollingCounter(int64_t bucket_width_micros,
+                               size_t num_buckets)
+    : width_(std::max<int64_t>(1, bucket_width_micros)),
+      slots_per_shard_(std::max<size_t>(2, num_buckets)) {
+  for (Shard& shard : shards_) {
+    shard.slots = std::vector<Slot>(slots_per_shard_);
+  }
+}
+
+void RollingCounter::Add(int64_t n, int64_t now_micros) {
+  if (!MetricsEnabled()) return;
+  const int64_t bucket = now_micros / width_;
+  Slot& slot =
+      shards_[ThisThreadShard()].slots[size_t(bucket) % slots_per_shard_];
+  int64_t seen = slot.epoch.load(std::memory_order_relaxed);
+  if (seen != bucket) {
+    if (seen > bucket) return;
+    if (slot.epoch.compare_exchange_strong(seen, bucket,
+                                           std::memory_order_relaxed)) {
+      slot.value.store(0, std::memory_order_relaxed);
+    } else if (slot.epoch.load(std::memory_order_relaxed) != bucket) {
+      return;  // lost the race to an even newer bucket
+    }
+  }
+  slot.value.fetch_add(n, std::memory_order_relaxed);
+}
+
+int64_t RollingCounter::SumOver(int64_t window_micros,
+                                int64_t now_micros) const {
+  const int64_t bucket = now_micros / width_;
+  // The in-progress bucket counts; never look deeper than the ring minus
+  // the active slot, which a writer may recycle mid-read.
+  int64_t depth = std::min<int64_t>(
+      std::max<int64_t>(1, (window_micros + width_ - 1) / width_),
+      int64_t(slots_per_shard_) - 1);
+  const int64_t oldest = bucket - depth + 1;
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    for (const Slot& slot : shard.slots) {
+      int64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+      if (epoch >= oldest && epoch <= bucket) {
+        total += slot.value.load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return total;
+}
+
+WindowStats RollingCounter::Over(int64_t window_micros,
+                                 int64_t now_micros) const {
+  WindowStats stats;
+  stats.window_micros = window_micros;
+  stats.count = SumOver(window_micros, now_micros);
+  stats.sum = stats.count;
+  if (window_micros > 0) {
+    stats.rate_per_sec =
+        double(stats.count) / (double(window_micros) / 1e6);
+  }
+  return stats;
+}
+
+// ------------------------------------------------------- RollingHistogram
+
+RollingHistogram::RollingHistogram(int64_t bucket_width_micros,
+                                   size_t num_buckets)
+    : width_(std::max<int64_t>(1, bucket_width_micros)),
+      slots_(std::max<size_t>(2, num_buckets)) {}
+
+void RollingHistogram::Record(int64_t value, int64_t now_micros) {
+  if (!MetricsEnabled()) return;
+  if (value < 0) value = 0;
+  const int64_t bucket = now_micros / width_;
+  Slot& slot = slots_[size_t(bucket) % slots_.size()];
+  int64_t seen = slot.epoch.load(std::memory_order_relaxed);
+  if (seen != bucket) {
+    if (seen > bucket) return;
+    if (slot.epoch.compare_exchange_strong(seen, bucket,
+                                           std::memory_order_relaxed)) {
+      slot.sum.store(0, std::memory_order_relaxed);
+      slot.max.store(0, std::memory_order_relaxed);
+      for (auto& v : slot.values) v.store(0, std::memory_order_relaxed);
+    } else if (slot.epoch.load(std::memory_order_relaxed) != bucket) {
+      return;
+    }
+  }
+  slot.values[std::bit_width(uint64_t(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  int64_t max_seen = slot.max.load(std::memory_order_relaxed);
+  while (value > max_seen &&
+         !slot.max.compare_exchange_weak(max_seen, value,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+WindowStats RollingHistogram::Over(int64_t window_micros,
+                                   int64_t now_micros) const {
+  WindowStats stats;
+  stats.window_micros = window_micros;
+  const int64_t bucket = now_micros / width_;
+  int64_t depth = std::min<int64_t>(
+      std::max<int64_t>(1, (window_micros + width_ - 1) / width_),
+      int64_t(slots_.size()) - 1);
+  const int64_t oldest = bucket - depth + 1;
+
+  int64_t merged[kValueBuckets] = {};
+  for (const Slot& slot : slots_) {
+    int64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+    if (epoch < oldest || epoch > bucket) continue;
+    stats.sum += slot.sum.load(std::memory_order_relaxed);
+    stats.max =
+        std::max(stats.max, slot.max.load(std::memory_order_relaxed));
+    for (size_t b = 0; b < kValueBuckets; ++b) {
+      merged[b] += slot.values[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (size_t b = 0; b < kValueBuckets; ++b) stats.count += merged[b];
+  if (window_micros > 0) {
+    stats.rate_per_sec =
+        double(stats.count) / (double(window_micros) / 1e6);
+  }
+  if (stats.count == 0) return stats;
+  stats.mean = double(stats.sum) / double(stats.count);
+
+  auto percentile = [&](double p) {
+    double rank = p / 100.0 * double(stats.count);
+    int64_t seen = 0;
+    for (size_t b = 0; b < kValueBuckets; ++b) {
+      if (merged[b] == 0) continue;
+      if (double(seen + merged[b]) >= rank) {
+        double lo = b == 0 ? 0.0 : std::ldexp(1.0, int(b) - 1);
+        double hi = std::ldexp(1.0, int(b));
+        double frac = (rank - double(seen)) / double(merged[b]);
+        return std::min(lo + frac * (hi - lo), double(stats.max));
+      }
+      seen += merged[b];
+    }
+    return double(stats.max);
+  };
+  stats.p50 = percentile(50);
+  stats.p90 = percentile(90);
+  stats.p99 = percentile(99);
+  return stats;
+}
+
+}  // namespace akb::obs

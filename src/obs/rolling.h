@@ -1,0 +1,134 @@
+// akb::obs rolling-window metrics — counters and histograms over the last
+// N seconds instead of the process lifetime.
+//
+// The registry's Counter/Histogram answer "how many since startup"; a
+// serving process needs "what is QPS / p99 *right now*". RollingCounter
+// and RollingHistogram keep a ring of fixed-width time buckets (default
+// 1 s wide, 5 min deep) and aggregate any trailing window out of it, so
+// one instance serves the 10 s, 1 m, and 5 m views at once.
+//
+// Record path, in the style of the registry's sharded counters: no locks,
+// only relaxed atomics. Each ring slot carries the absolute bucket number
+// it currently represents (its epoch); a writer that lands on a stale slot
+// CAS-claims it for the current bucket and zeroes it before adding. A
+// concurrent add racing that zero on the bucket boundary can be lost —
+// an accepted metrics-grade inaccuracy (one event per boundary per
+// thread at worst), never a data race or a torn read.
+//
+// Readers aggregate the slots whose epoch falls inside the requested
+// window. All methods take an explicit `now_micros` (obs::NowMicros()
+// in production) so tests drive time deterministically.
+#ifndef AKB_OBS_ROLLING_H_
+#define AKB_OBS_ROLLING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace akb::obs {
+
+/// Microseconds on the steady (monotonic) clock — the time base every
+/// rolling window and query trace shares. Not wall time.
+int64_t NowMicros();
+
+/// Aggregate of one trailing window.
+struct WindowStats {
+  int64_t window_micros = 0;
+  int64_t count = 0;
+  int64_t sum = 0;
+  /// count / window seconds (QPS when counting requests).
+  double rate_per_sec = 0.0;
+  double mean = 0.0;
+  // Histogram-only (zero for RollingCounter windows).
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  int64_t max = 0;
+};
+
+/// Event counter over a ring of time buckets, thread-sharded like
+/// obs::Counter so concurrent writers on one name do not bounce a line.
+class RollingCounter {
+ public:
+  static constexpr size_t kShards = 8;
+
+  /// `bucket_width_micros` is the ring resolution; `num_buckets` bounds
+  /// the deepest answerable window (width × count). Defaults cover 5 min
+  /// at 1 s resolution. One extra slot absorbs the in-progress bucket.
+  explicit RollingCounter(int64_t bucket_width_micros = 1'000'000,
+                          size_t num_buckets = 301);
+
+  RollingCounter(const RollingCounter&) = delete;
+  RollingCounter& operator=(const RollingCounter&) = delete;
+
+  void Add(int64_t n, int64_t now_micros);
+  void Increment(int64_t now_micros) { Add(1, now_micros); }
+
+  /// Events in the trailing `window_micros` ending at `now_micros`
+  /// (including the in-progress bucket). Windows deeper than the ring
+  /// clamp to the ring depth.
+  int64_t SumOver(int64_t window_micros, int64_t now_micros) const;
+
+  /// SumOver plus the derived rate.
+  WindowStats Over(int64_t window_micros, int64_t now_micros) const;
+
+  int64_t bucket_width_micros() const { return width_; }
+  size_t num_buckets() const { return slots_per_shard_; }
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> epoch{-1};  ///< absolute bucket number, -1 = empty
+    std::atomic<int64_t> value{0};
+  };
+  struct alignas(64) Shard {
+    std::vector<Slot> slots;
+  };
+
+  int64_t width_;
+  size_t slots_per_shard_;
+  Shard shards_[kShards];
+};
+
+/// Latency histogram over a ring of time buckets: each slot is a compact
+/// 64-bucket power-of-two histogram (same bucketing as obs::Histogram),
+/// so a window aggregates to count/sum/p50/p90/p99. Slots are shared
+/// across threads (relaxed adds, like the registry Histogram); only the
+/// ring bookkeeping is per-slot.
+class RollingHistogram {
+ public:
+  static constexpr size_t kValueBuckets = 64;
+
+  explicit RollingHistogram(int64_t bucket_width_micros = 1'000'000,
+                            size_t num_buckets = 301);
+
+  RollingHistogram(const RollingHistogram&) = delete;
+  RollingHistogram& operator=(const RollingHistogram&) = delete;
+
+  /// Records `value` (clamped at 0) into the bucket for `now_micros`.
+  void Record(int64_t value, int64_t now_micros);
+
+  /// Percentiles are interpolated from the power-of-two value buckets
+  /// (good to within 2×, like the registry histograms); max is exact per
+  /// slot, so the window max is the max over live slots.
+  WindowStats Over(int64_t window_micros, int64_t now_micros) const;
+
+  int64_t bucket_width_micros() const { return width_; }
+  size_t num_buckets() const { return slots_.size(); }
+
+ private:
+  // No per-slot count: it is the sum of the value buckets, so readers
+  // derive it and the record path saves one atomic RMW.
+  struct Slot {
+    std::atomic<int64_t> epoch{-1};
+    std::atomic<int64_t> sum{0};
+    std::atomic<int64_t> max{0};
+    std::atomic<int64_t> values[kValueBuckets] = {};
+  };
+
+  int64_t width_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace akb::obs
+
+#endif  // AKB_OBS_ROLLING_H_

@@ -1,0 +1,44 @@
+#include "obs/slo.h"
+
+namespace akb::obs {
+
+SloTracker::SloTracker(const SloConfig& config)
+    : config_(config),
+      errors_(config.bucket_width_micros, config.num_buckets),
+      latency_(config.bucket_width_micros, config.num_buckets) {}
+
+void SloTracker::RecordRequest(int64_t latency_micros, bool error,
+                               int64_t now_micros) {
+  if (error) errors_.Add(1, now_micros);
+  latency_.Record(latency_micros, now_micros);
+}
+
+SloState SloTracker::Evaluate(int64_t now_micros) const {
+  SloState state;
+  state.window_micros = config_.window_micros;
+  WindowStats lat = latency_.Over(config_.window_micros, now_micros);
+  state.requests = lat.count;
+  state.errors = errors_.SumOver(config_.window_micros, now_micros);
+  state.qps = lat.rate_per_sec;
+  state.p99_micros = lat.p99;
+  state.error_rate = state.requests > 0
+                         ? double(state.errors) / double(state.requests)
+                         : 0.0;
+  if (state.requests > 0) {
+    if (config_.p99_target_micros > 0) {
+      state.latency_budget_used =
+          state.p99_micros / double(config_.p99_target_micros);
+    }
+    if (config_.max_error_rate > 0) {
+      state.error_budget_used = state.error_rate / config_.max_error_rate;
+    } else {
+      state.error_budget_used = state.errors > 0 ? 2.0 : 0.0;
+    }
+  }
+  state.latency_ok = state.latency_budget_used <= 1.0;
+  state.errors_ok = state.error_budget_used <= 1.0;
+  state.ok = state.latency_ok && state.errors_ok;
+  return state;
+}
+
+}  // namespace akb::obs

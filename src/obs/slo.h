@@ -1,0 +1,78 @@
+// akb::obs SLO tracking — evaluates a latency / error budget against the
+// rolling windows, so "is the KB this process serves healthy" is one call.
+//
+// An SloTracker owns the rolling latency histogram and error counter for
+// one served surface (e.g. the query engine). Every request records once
+// — one histogram record on the happy path (the histogram's window count
+// doubles as the request count, so there is no separate request counter
+// to pay for) plus an error-counter add only on failures. Evaluate()
+// folds the trailing window into a pass/fail per objective plus
+// budget-consumption fractions (>1 = the objective is violated, the
+// Google SRE "burn" framing).
+#ifndef AKB_OBS_SLO_H_
+#define AKB_OBS_SLO_H_
+
+#include <cstdint>
+
+#include "obs/rolling.h"
+
+namespace akb::obs {
+
+struct SloConfig {
+  /// Latency objective: windowed p99 must stay at or under this.
+  int64_t p99_target_micros = 5'000;
+  /// Error objective: windowed error rate must stay at or under this.
+  double max_error_rate = 0.001;
+  /// Evaluation window.
+  int64_t window_micros = 60 * 1'000'000;
+  /// Resolution of the underlying rings (also bounds the deepest window
+  /// other readers may ask the tracker's rollers for).
+  int64_t bucket_width_micros = 1'000'000;
+  size_t num_buckets = 301;
+};
+
+/// One evaluation of the objectives over the trailing window.
+struct SloState {
+  bool ok = true;          ///< latency_ok && errors_ok
+  bool latency_ok = true;
+  bool errors_ok = true;
+  int64_t window_micros = 0;
+  int64_t requests = 0;
+  int64_t errors = 0;
+  double qps = 0.0;
+  double p99_micros = 0.0;
+  double error_rate = 0.0;
+  /// Observed / allowed; > 1 means the objective is violated. Zero
+  /// requests consume no budget.
+  double latency_budget_used = 0.0;
+  double error_budget_used = 0.0;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(const SloConfig& config = {});
+
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// One request: its latency and whether it failed.
+  void RecordRequest(int64_t latency_micros, bool error, int64_t now_micros);
+
+  SloState Evaluate(int64_t now_micros) const;
+
+  const SloConfig& config() const { return config_; }
+  /// The rollers, for reporting other windows (10 s / 1 m / 5 m) off the
+  /// same data the SLO is judged on. Request counts and QPS come from the
+  /// latency windows (WindowStats::count / rate_per_sec).
+  const RollingCounter& error_counter() const { return errors_; }
+  const RollingHistogram& latency() const { return latency_; }
+
+ private:
+  SloConfig config_;
+  RollingCounter errors_;
+  RollingHistogram latency_;
+};
+
+}  // namespace akb::obs
+
+#endif  // AKB_OBS_SLO_H_

@@ -1,0 +1,241 @@
+#include "obs/statusz.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace akb::obs {
+
+namespace {
+
+int64_t ProcessStartMicros() {
+  static const int64_t start = NowMicros();
+  return start;
+}
+
+Json BuildInfoJson() {
+  Json build = Json::Object();
+#ifdef __VERSION__
+  build.Set("compiler", __VERSION__);
+#else
+  build.Set("compiler", "unknown");
+#endif
+#ifdef NDEBUG
+  build.Set("build_type", "release");
+#else
+  build.Set("build_type", "debug");
+#endif
+  build.Set("cpp_standard", int64_t(__cplusplus));
+#ifdef AKB_METRICS_DISABLED
+  build.Set("metrics_compiled_out", true);
+#else
+  build.Set("metrics_compiled_out", false);
+#endif
+  return build;
+}
+
+Json ProcessInfoJson() {
+  Json process = Json::Object();
+  process.Set("uptime_seconds", ProcessUptimeSeconds());
+  process.Set("metrics_enabled", MetricsEnabled());
+  process.Set("trace_session_enabled", TraceSession::Global().enabled());
+  process.Set("trace_session_spans",
+              int64_t(TraceSession::Global().num_spans()));
+  return process;
+}
+
+void AppendTextValue(const Json& value, int depth, std::string* out);
+
+void AppendTextMembers(const Json& object, int depth, std::string* out) {
+  for (const auto& [key, value] : object.members()) {
+    out->append(size_t(depth) * 2, ' ');
+    *out += key;
+    *out += ": ";
+    if (value.is_object() || value.is_array()) {
+      *out += "\n";
+      AppendTextValue(value, depth + 1, out);
+    } else {
+      AppendTextValue(value, 0, out);
+      *out += "\n";
+    }
+  }
+}
+
+void AppendTextValue(const Json& value, int depth, std::string* out) {
+  switch (value.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      break;
+    case Json::Type::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      break;
+    case Json::Type::kNumber: {
+      double d = value.AsDouble();
+      if (d == double(value.AsInt())) {
+        *out += FormatWithCommas(value.AsInt());
+      } else {
+        *out += FormatDouble(d, 3);
+      }
+      break;
+    }
+    case Json::Type::kString:
+      *out += value.AsString();
+      break;
+    case Json::Type::kArray:
+      for (size_t i = 0; i < value.size(); ++i) {
+        const Json& item = value.at(i);
+        out->append(size_t(depth) * 2, ' ');
+        *out += "- ";
+        if (item.is_object() || item.is_array()) {
+          *out += "\n";
+          AppendTextValue(item, depth + 1, out);
+        } else {
+          AppendTextValue(item, 0, out);
+          *out += "\n";
+        }
+      }
+      break;
+    case Json::Type::kObject:
+      AppendTextMembers(value, depth, out);
+      break;
+  }
+}
+
+}  // namespace
+
+double ProcessUptimeSeconds() {
+  return double(NowMicros() - ProcessStartMicros()) / 1e6;
+}
+
+void RegisterProcessStart() { ProcessStartMicros(); }
+
+Json WindowStatsToJson(const WindowStats& stats) {
+  Json j = Json::Object();
+  j.Set("window_seconds", double(stats.window_micros) / 1e6);
+  j.Set("count", stats.count);
+  j.Set("rate_per_sec", stats.rate_per_sec);
+  if (stats.sum != stats.count) j.Set("sum", stats.sum);
+  if (stats.count > 0 && (stats.p50 != 0.0 || stats.max != 0)) {
+    j.Set("mean", stats.mean);
+    j.Set("p50", stats.p50);
+    j.Set("p90", stats.p90);
+    j.Set("p99", stats.p99);
+    j.Set("max", stats.max);
+  }
+  return j;
+}
+
+StatusReport::StatusReport()
+    : build_(BuildInfoJson()), process_(ProcessInfoJson()) {}
+
+void StatusReport::AddSection(const std::string& name, Json json) {
+  for (auto& [existing, payload] : sections_) {
+    if (existing == name) {
+      payload = std::move(json);
+      return;
+    }
+  }
+  sections_.emplace_back(name, std::move(json));
+}
+
+void StatusReport::AddMetrics(const MetricsSnapshot& snapshot) {
+  Status parse_check;
+  Json parsed;
+  // The snapshot already knows its JSON form; parse it back instead of
+  // duplicating the serializer here.
+  parse_check = Json::Parse(snapshot.ToJson(0), &parsed);
+  if (parse_check.ok()) {
+    AddSection("metrics", std::move(parsed));
+  }
+}
+
+void StatusReport::AddWindows(
+    const std::string& name,
+    const std::vector<std::pair<std::string, WindowStats>>& windows) {
+  Json section = Json::Object();
+  for (const auto& [label, stats] : windows) {
+    section.Set(label, WindowStatsToJson(stats));
+  }
+  AddSection(name, std::move(section));
+}
+
+void StatusReport::AddSlo(const SloState& state, const SloConfig& config) {
+  Json slo = Json::Object();
+  slo.Set("ok", state.ok);
+  slo.Set("window_seconds", double(state.window_micros) / 1e6);
+  slo.Set("requests", state.requests);
+  slo.Set("qps", state.qps);
+  Json latency = Json::Object();
+  latency.Set("ok", state.latency_ok);
+  latency.Set("p99_micros", state.p99_micros);
+  latency.Set("target_micros", config.p99_target_micros);
+  latency.Set("budget_used", state.latency_budget_used);
+  slo.Set("latency", std::move(latency));
+  Json errors = Json::Object();
+  errors.Set("ok", state.errors_ok);
+  errors.Set("errors", state.errors);
+  errors.Set("rate", state.error_rate);
+  errors.Set("max_rate", config.max_error_rate);
+  errors.Set("budget_used", state.error_budget_used);
+  slo.Set("errors", std::move(errors));
+  AddSection("slo", std::move(slo));
+}
+
+void StatusReport::AddFusionSourcesFromMetrics(
+    const MetricsSnapshot& snapshot) {
+  std::vector<std::pair<std::string, double>> sources;
+  for (const MetricSnapshotEntry& entry : snapshot.entries) {
+    if (entry.kind != MetricKind::kGauge) continue;
+    if (entry.name.rfind(kFusionSourceQualityPrefix, 0) != 0) continue;
+    sources.emplace_back(
+        entry.name.substr(kFusionSourceQualityPrefix.size()),
+        double(entry.value) / 1e6);
+  }
+  if (sources.empty()) return;
+  std::sort(sources.begin(), sources.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  Json section = Json::Array();
+  for (const auto& [source, quality] : sources) {
+    Json s = Json::Object();
+    s.Set("source", source);
+    s.Set("quality", quality);
+    section.Append(std::move(s));
+  }
+  AddSection("fusion_sources", std::move(section));
+}
+
+const Json* StatusReport::FindSection(std::string_view name) const {
+  for (const auto& [section, payload] : sections_) {
+    if (section == name) return &payload;
+  }
+  return nullptr;
+}
+
+std::string StatusReport::ToJson(int indent) const {
+  Json root = Json::Object();
+  root.Set("schema", "akb-statusz-v1");
+  root.Set("build", build_);
+  root.Set("process", ProcessInfoJson());  // re-stamped: uptime is live
+  Json sections = Json::Object();
+  for (const auto& [name, payload] : sections_) {
+    sections.Set(name, payload);
+  }
+  root.Set("sections", std::move(sections));
+  return root.Dump(indent);
+}
+
+std::string StatusReport::ToText() const {
+  std::string out = "=== akb statusz ===\n";
+  AppendTextMembers(build_, 0, &out);
+  AppendTextMembers(ProcessInfoJson(), 0, &out);
+  for (const auto& [name, payload] : sections_) {
+    out += "\n== " + name + " ==\n";
+    AppendTextValue(payload, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace akb::obs

@@ -1,0 +1,87 @@
+// akb::obs statusz — one live introspection report for a serving process.
+//
+// A StatusReport aggregates whatever the process knows about itself —
+// build info, the metrics registry, rolling windows, SLO state, cache and
+// KB-view stats, per-source fusion quality — into named sections and
+// renders them as machine JSON (schema "akb-statusz-v1") or a human text
+// page. obs owns the builder and the obs-typed helpers; higher layers
+// (serve, the CLI) contribute their sections via AddSection with plain
+// Json, so the dependency arrow stays obs <- serve <- tools.
+//
+//   obs::StatusReport report;
+//   report.AddSlo(tracker.Evaluate(now), tracker.config());
+//   report.AddWindows("query_latency", {{"10s", w10}, {"1m", w60}});
+//   report.AddMetrics(registry.Snapshot());
+//   puts(report.ToText().c_str());       // or ToJson() for machines
+#ifndef AKB_OBS_STATUSZ_H_
+#define AKB_OBS_STATUSZ_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/rolling.h"
+#include "obs/slo.h"
+
+namespace akb::obs {
+
+/// Dynamic-name gauge prefix the pipeline exports per-source fusion
+/// quality under (value = quality × 1e6, gauges being integral);
+/// StatusReport::AddFusionSourcesFromMetrics scrapes it back out.
+inline constexpr std::string_view kFusionSourceQualityPrefix =
+    "akb.fusion.source_quality_ppm.";
+
+class StatusReport {
+ public:
+  /// Stamps the build and process sections (compiler, build type,
+  /// uptime, metrics/tracing state).
+  StatusReport();
+
+  /// Adds (or replaces) a named section. Sections render in insertion
+  /// order, JSON keys exactly as given.
+  void AddSection(const std::string& name, Json json);
+
+  /// The whole metrics registry, as a "metrics" section.
+  void AddMetrics(const MetricsSnapshot& snapshot);
+
+  /// Rolling windows of one series, e.g. {{"10s", ...}, {"1m", ...}}.
+  void AddWindows(
+      const std::string& name,
+      const std::vector<std::pair<std::string, WindowStats>>& windows);
+
+  void AddSlo(const SloState& state, const SloConfig& config);
+
+  /// Scrapes kFusionSourceQualityPrefix gauges out of `snapshot` into a
+  /// "fusion_sources" section (sorted by quality, best first). No-op when
+  /// none exist (process never ran fusion).
+  void AddFusionSourcesFromMetrics(const MetricsSnapshot& snapshot);
+
+  /// Section payload by name, or nullptr — for tests and composition.
+  const Json* FindSection(std::string_view name) const;
+
+  /// {"schema": "akb-statusz-v1", "build": {...}, "process": {...},
+  ///  "sections": {...}} — every section verbatim.
+  std::string ToJson(int indent = 2) const;
+
+  /// The human page: one "== name ==" block per section.
+  std::string ToText() const;
+
+ private:
+  Json build_;
+  Json process_;
+  std::vector<std::pair<std::string, Json>> sections_;
+};
+
+/// Uptime of this process on the steady clock, in seconds. First caller
+/// anchors the origin; RegisterProcessStart() from main() makes it exact.
+double ProcessUptimeSeconds();
+void RegisterProcessStart();
+
+/// WindowStats as a Json object (shared by statusz and the CLI).
+Json WindowStatsToJson(const WindowStats& stats);
+
+}  // namespace akb::obs
+
+#endif  // AKB_OBS_STATUSZ_H_

@@ -11,6 +11,15 @@
 // the exported tree is well-formed even when extractor stages run on the
 // MapReduce pool. When the session is not started, AKB_TRACE_SPAN costs
 // one relaxed atomic load.
+//
+// NOT for the serve hot path. While the session is recording, every
+// BeginSpan/EndSpan serializes on one global mutex — fine for a pipeline
+// run with dozens of coarse stage spans, pathological for a query engine
+// executing millions of sub-microsecond lookups across threads (the mutex
+// becomes the server's throughput ceiling; obs_stress_test pins this
+// down). Serve-path code must use the per-request serve/query_trace.h
+// QueryTrace instead, which carries timings by value with no global
+// state; keep AKB_TRACE_SPAN to setup/teardown and batch-level scopes.
 #ifndef AKB_OBS_TRACE_H_
 #define AKB_OBS_TRACE_H_
 

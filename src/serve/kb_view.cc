@@ -42,9 +42,14 @@ KbView::KbView(const rdf::TripleStore& store) : dict_(store.dictionary()) {
 
 Result<KbView> KbView::FromSnapshot(const std::string& path) {
   rdf::TripleStore store;
-  Status status = store.LoadSnapshot(path);
+  rdf::SnapshotStats stats;
+  Status status = store.LoadSnapshot(path, &stats);
   if (!status.ok()) return status;
-  return KbView(store);
+  KbView view(store);
+  view.provenance_.snapshot_path = path;
+  view.provenance_.snapshot_version = stats.version;
+  view.provenance_.snapshot_bytes = stats.bytes;
+  return view;
 }
 
 void KbView::BuildIndexes() {
@@ -156,6 +161,28 @@ std::vector<size_t> KbView::Match(const TriplePattern& pattern) const {
   // sorting k indices per query costs more than the search itself
   // (branch-mispredict bound), and result sets don't need an order.
   return std::vector<size_t>(begin, end);
+}
+
+std::vector<size_t> KbView::Match(const TriplePattern& pattern,
+                                  QueryTrace* trace) const {
+  if (trace == nullptr) return Match(pattern);
+  Stopwatch watch;
+  std::vector<size_t> matches = Match(pattern);
+  trace->index_nanos = watch.ElapsedNanos();
+  trace->range_size = matches.size();
+  return matches;
+}
+
+std::string KbView::DecodePattern(const TriplePattern& pattern) const {
+  auto term = [&](rdf::TermId id) {
+    if (id == rdf::kInvalidTermId) return std::string("?");
+    // Queries may carry ids the KB has never interned (guaranteed-miss
+    // probes); render them rather than violating Lookup's precondition.
+    if (!dict_.Contains(id)) return "<unknown#" + std::to_string(id) + ">";
+    return dict_.Lookup(id).ToString();
+  };
+  return term(pattern.subject) + " " + term(pattern.predicate) + " " +
+         term(pattern.object);
 }
 
 size_t KbView::Count(const TriplePattern& pattern) const {

@@ -27,8 +27,17 @@
 #include "common/status.h"
 #include "rdf/dictionary.h"
 #include "rdf/triple_store.h"
+#include "serve/query_trace.h"
 
 namespace akb::serve {
+
+/// Where the view's data came from, for statusz introspection. Snapshot
+/// fields are zero/empty for views built from an in-memory store.
+struct KbViewProvenance {
+  std::string snapshot_path;
+  uint32_t snapshot_version = 0;
+  uint64_t snapshot_bytes = 0;
+};
 
 class KbView {
  public:
@@ -62,11 +71,25 @@ class KbView {
   /// per query would cost more than the search; compare as sets).
   std::vector<size_t> Match(const rdf::TriplePattern& pattern) const;
 
+  /// Match with request-scoped tracing: when `trace` is non-null, fills
+  /// trace->range_size and trace->index_nanos. The untraced overload pays
+  /// nothing for this.
+  std::vector<size_t> Match(const rdf::TriplePattern& pattern,
+                            QueryTrace* trace) const;
+
   /// Number of matches, without materializing them: O(log n).
   size_t Count(const rdf::TriplePattern& pattern) const;
 
   /// Decodes triple `i` into N-Triples surface form ("<s> <p> <o> .").
   std::string DecodeToString(size_t triple_index) const;
+
+  /// Decodes a pattern for humans: bound terms in surface form, "?" for
+  /// wildcards — slow-query log and statusz output.
+  std::string DecodePattern(const rdf::TriplePattern& pattern) const;
+
+  /// Statusz provenance: snapshot path/version/bytes when the view came
+  /// from FromSnapshot, empty otherwise.
+  const KbViewProvenance& provenance() const { return provenance_; }
 
   /// Approximate resident bytes of the view (triples + 3 permutations
   /// with their packed key arrays), excluding the dictionary strings.
@@ -93,6 +116,7 @@ class KbView {
 
   std::vector<rdf::Triple> triples_;
   rdf::Dictionary dict_;
+  KbViewProvenance provenance_;
   // Sorted by (s,p,o), (p,o,s), (o,s,p) respectively.
   PermIndex spo_;
   PermIndex pos_;

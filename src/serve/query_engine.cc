@@ -1,15 +1,33 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "obs/rolling.h"
 
 namespace akb::serve {
 
+namespace {
+
+// trace_sample_rate -> "trace every Nth query". 0 disables; anything at
+// or above 1 traces everything.
+uint64_t SampleInterval(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return 1;
+  return uint64_t(std::llround(1.0 / rate));
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const KbView& view, QueryEngineConfig config)
-    : view_(view), config_(config) {
+    : view_(view),
+      config_(config),
+      sample_interval_(SampleInterval(config.trace_sample_rate)),
+      slow_log_(config.slow_log_capacity, config.slow_log_threshold_nanos),
+      slo_(config.slo) {
   if (config_.enable_cache) {
     cache_ = std::make_unique<ResultCache>(config_.cache);
   }
@@ -21,22 +39,68 @@ QueryEngine::QueryEngine(const KbView& view, QueryEngineConfig config)
   AKB_GAUGE_SET("akb.serve.workers", int64_t(pool_->num_threads()));
 }
 
-QueryResult QueryEngine::Execute(const rdf::TriplePattern& pattern) {
+QueryResult QueryEngine::ExecuteInternal(const rdf::TriplePattern& pattern,
+                                         bool in_batch) {
   Stopwatch watch;
+  // Head-based sampling decision: a thread-local sequence, so the
+  // unsampled hot path never touches a shared cache line. Each thread
+  // independently traces every Nth of its own queries, which preserves
+  // the aggregate rate; only sampled queries pay the shared fetch_add
+  // that hands out the query id.
+  QueryTrace trace;
+  QueryTrace* t = nullptr;
+  if (sample_interval_ != 0 && obs::MetricsEnabled()) {
+    thread_local uint64_t seq = 0;
+    if (seq++ % sample_interval_ == 0) {
+      t = &trace;
+      trace.query_id = sampled_.fetch_add(1, std::memory_order_relaxed);
+      trace.pattern = pattern;
+      trace.start_micros = watch.StartMicros();
+    }
+  }
   QueryResult result;
   if (cache_) {
-    result.matches = cache_->Get(pattern);
+    result.matches = cache_->Get(pattern, t);
     result.cache_hit = result.matches != nullptr;
   }
   if (!result.matches) {
     result.matches =
-        std::make_shared<const std::vector<size_t>>(view_.Match(pattern));
-    if (cache_) cache_->Put(pattern, result.matches);
+        std::make_shared<const std::vector<size_t>>(view_.Match(pattern, t));
+    if (cache_) cache_->Put(pattern, result.matches, t);
   }
-  AKB_COUNTER_INC("akb.serve.queries");
-  AKB_COUNTER_ADD("akb.serve.results", int64_t(result.matches->size()));
-  AKB_HISTOGRAM_RECORD("akb.serve.query.nanos", watch.ElapsedNanos());
+  const int64_t nanos = watch.ElapsedNanos();
+  if (!in_batch) {
+    // Batched queries amortize these two counters in ExecuteBatch.
+    AKB_COUNTER_INC("akb.serve.queries");
+    AKB_COUNTER_ADD("akb.serve.results", int64_t(result.matches->size()));
+  }
+  AKB_HISTOGRAM_RECORD("akb.serve.query.nanos", nanos);
+  if (obs::MetricsEnabled()) {
+    // Derive "now" from the stopwatch instead of a second clock read.
+    slo_.RecordRequest(nanos / 1000, /*error=*/false,
+                       watch.StartMicros() + nanos / 1000);
+  }
+  if (t != nullptr) {
+    trace.total_nanos = nanos;
+    trace.SetShape();
+    // A cache hit skips the traced Match, so fill range_size here.
+    if (trace.cache_hit) trace.range_size = result.matches->size();
+    if (nanos >= slow_log_.threshold_nanos()) {
+      // Decode only for slow-log candidates: dictionary lookups are too
+      // costly for every sampled trace.
+      trace.pattern_text = view_.DecodePattern(pattern);
+      slow_log_.Offer(std::move(trace));
+    }
+  }
   return result;
+}
+
+obs::SloState QueryEngine::EvaluateSlo() const {
+  return slo_.Evaluate(obs::NowMicros());
+}
+
+obs::WindowStats QueryEngine::LatencyOver(int64_t window_micros) const {
+  return slo_.latency().Over(window_micros, obs::NowMicros());
 }
 
 std::vector<QueryResult> QueryEngine::ExecuteBatch(
@@ -46,8 +110,15 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
   // One task per query; tasks write disjoint slots, so no synchronization
   // beyond the pool's completion barrier is needed.
   mapreduce::ParallelFor(pool_.get(), patterns.size(), [&](size_t i) {
-    results[i] = Execute(patterns[i]);
+    results[i] = ExecuteInternal(patterns[i], /*in_batch=*/true);
   });
+  // The per-query counter totals, amortized to two RMWs per batch.
+  int64_t total_matches = 0;
+  for (const QueryResult& r : results) {
+    total_matches += int64_t(r.matches->size());
+  }
+  AKB_COUNTER_ADD("akb.serve.queries", int64_t(patterns.size()));
+  AKB_COUNTER_ADD("akb.serve.results", total_matches);
   AKB_COUNTER_INC("akb.serve.batches");
   AKB_HISTOGRAM_RECORD("akb.serve.batch.micros", watch.ElapsedMicros());
   return results;

@@ -14,17 +14,29 @@
 //   akb.serve.batch.micros       histogram, wall time per batch
 //   akb.serve.cache.{hits,misses,evictions}  from the result cache
 //
+// Beyond the process-lifetime registry, every engine owns an SloTracker
+// whose rolling windows answer "QPS / p99 / error rate right now", and a
+// head-sampled request-scoped tracing path: every Nth query (configured
+// by trace_sample_rate) carries a QueryTrace through the cache and the
+// index, and traces at or over the slow-log threshold land in a bounded
+// in-memory SlowQueryLog with per-stage timings and the decoded pattern.
+// Unsampled queries pay one thread-local increment for the sampling
+// decision and nothing else; see serve/query_trace.h.
+//
 // Determinism: match content for a pattern depends only on the view, so
 // any worker count (and cache on or off) returns identical matches;
 // only the cache_hit flag is timing-dependent.
 #ifndef AKB_SERVE_QUERY_ENGINE_H_
 #define AKB_SERVE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "mapreduce/thread_pool.h"
+#include "obs/slo.h"
 #include "serve/kb_view.h"
+#include "serve/query_trace.h"
 #include "serve/result_cache.h"
 
 namespace akb::serve {
@@ -35,6 +47,17 @@ struct QueryEngineConfig {
   /// Serve repeated patterns from the sharded LRU result cache.
   bool enable_cache = true;
   ResultCacheConfig cache;
+  /// Head-based sampling: the fraction of queries that carry a QueryTrace
+  /// (0 = tracing off, 1 = every query, 0.01 = every 100th). Sampled
+  /// traces feed the slow-query log.
+  double trace_sample_rate = 0.0;
+  /// Bounded slow-query log: keep the `slow_log_capacity` worst sampled
+  /// traces whose total latency is >= `slow_log_threshold_nanos`. A
+  /// threshold of 0 keeps the worst N of all sampled traces.
+  size_t slow_log_capacity = 32;
+  int64_t slow_log_threshold_nanos = 1'000'000;
+  /// Latency / error objectives evaluated over the rolling windows.
+  obs::SloConfig slo;
 };
 
 /// One answered query. `matches` is never null; it may be shared with the
@@ -53,7 +76,9 @@ class QueryEngine {
   QueryEngine& operator=(const QueryEngine&) = delete;
 
   /// Answers one pattern. Thread-safe.
-  QueryResult Execute(const rdf::TriplePattern& pattern);
+  QueryResult Execute(const rdf::TriplePattern& pattern) {
+    return ExecuteInternal(pattern, /*in_batch=*/false);
+  }
 
   /// Answers a batch concurrently on the engine's pool; results[i] answers
   /// patterns[i]. Not reentrant (one batch at a time per engine).
@@ -65,11 +90,36 @@ class QueryEngine {
   const ResultCache* cache() const { return cache_.get(); }
   size_t num_workers() const { return pool_->num_threads(); }
 
+  /// The worst sampled traces seen so far (see QueryEngineConfig).
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+  /// Rolling request/latency windows every query records into.
+  const obs::SloTracker& slo() const { return slo_; }
+  /// Evaluates the configured objectives over the trailing window, now.
+  obs::SloState EvaluateSlo() const;
+  /// Latency WindowStats for an arbitrary trailing window ending now
+  /// (statusz reports 10 s / 1 m / 5 m off the same rolling data).
+  obs::WindowStats LatencyOver(int64_t window_micros) const;
+
+  /// Queries that carried a QueryTrace (for overhead accounting).
+  uint64_t sampled_queries() const {
+    return sampled_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Batch-issued queries skip the per-query akb.serve.{queries,results}
+  /// counter RMWs; ExecuteBatch adds the same totals once per batch.
+  QueryResult ExecuteInternal(const rdf::TriplePattern& pattern,
+                              bool in_batch);
+
   const KbView& view_;
   QueryEngineConfig config_;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<mapreduce::ThreadPool> pool_;
+  /// 0 = tracing off; otherwise every `sample_interval_`th query is traced.
+  uint64_t sample_interval_ = 0;
+  std::atomic<uint64_t> sampled_{0};
+  SlowQueryLog slow_log_;
+  obs::SloTracker slo_;
 };
 
 }  // namespace akb::serve

@@ -1,0 +1,89 @@
+#include "serve/query_trace.h"
+
+#include <algorithm>
+
+namespace akb::serve {
+
+void QueryTrace::SetShape() {
+  shape[0] = pattern.subject != rdf::kInvalidTermId ? 's' : '?';
+  shape[1] = pattern.predicate != rdf::kInvalidTermId ? 'p' : '?';
+  shape[2] = pattern.object != rdf::kInvalidTermId ? 'o' : '?';
+  shape[3] = '\0';
+}
+
+obs::Json QueryTrace::ToJson() const {
+  obs::Json j = obs::Json::Object();
+  j.Set("query_id", int64_t(query_id));
+  j.Set("shape", shape);
+  if (!pattern_text.empty()) j.Set("pattern", pattern_text);
+  j.Set("cache_hit", cache_hit);
+  j.Set("range_size", int64_t(range_size));
+  j.Set("total_nanos", total_nanos);
+  obs::Json stages = obs::Json::Object();
+  stages.Set("cache_get_nanos", cache_get_nanos);
+  stages.Set("index_nanos", index_nanos);
+  stages.Set("cache_put_nanos", cache_put_nanos);
+  j.Set("stages", std::move(stages));
+  j.Set("start_micros", start_micros);
+  return j;
+}
+
+namespace {
+// Min-heap comparator: the heap top is the cheapest trace, the one a new
+// slower trace displaces.
+bool SlowerThan(const QueryTrace& a, const QueryTrace& b) {
+  return a.total_nanos > b.total_nanos;
+}
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(size_t capacity, int64_t threshold_nanos)
+    : capacity_(std::max<size_t>(1, capacity)),
+      threshold_nanos_(threshold_nanos) {}
+
+bool SlowQueryLog::Offer(QueryTrace trace) {
+  if (trace.total_nanos < threshold_nanos_) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(trace));
+    std::push_heap(entries_.begin(), entries_.end(), SlowerThan);
+    return true;
+  }
+  if (trace.total_nanos <= entries_.front().total_nanos) return false;
+  std::pop_heap(entries_.begin(), entries_.end(), SlowerThan);
+  entries_.back() = std::move(trace);
+  std::push_heap(entries_.begin(), entries_.end(), SlowerThan);
+  return true;
+}
+
+std::vector<QueryTrace> SlowQueryLog::Snapshot() const {
+  std::vector<QueryTrace> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = entries_;
+  }
+  std::sort(out.begin(), out.end(), [](const QueryTrace& a,
+                                       const QueryTrace& b) {
+    if (a.total_nanos != b.total_nanos) return a.total_nanos > b.total_nanos;
+    return a.query_id < b.query_id;
+  });
+  return out;
+}
+
+obs::Json SlowQueryLog::ToJson() const {
+  obs::Json root = obs::Json::Object();
+  root.Set("threshold_nanos", threshold_nanos_);
+  root.Set("capacity", int64_t(capacity_));
+  obs::Json traces = obs::Json::Array();
+  for (const QueryTrace& trace : Snapshot()) {
+    traces.Append(trace.ToJson());
+  }
+  root.Set("traces", std::move(traces));
+  return root;
+}
+
+size_t SlowQueryLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace akb::serve

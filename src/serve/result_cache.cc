@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
 #include "obs/metrics.h"
 
 namespace akb::serve {
@@ -39,7 +40,17 @@ ResultCache::Shard& ResultCache::ShardFor(const rdf::TriplePattern& key) {
   return *shards_[rdf::TriplePatternHash{}(key) & shard_mask_];
 }
 
-ResultCache::ResultPtr ResultCache::Get(const rdf::TriplePattern& key) {
+ResultCache::ResultPtr ResultCache::Get(const rdf::TriplePattern& key,
+                                        QueryTrace* trace) {
+  if (trace == nullptr) return GetImpl(key);
+  Stopwatch watch;
+  ResultPtr value = GetImpl(key);
+  trace->cache_get_nanos = watch.ElapsedNanos();
+  trace->cache_hit = value != nullptr;
+  return value;
+}
+
+ResultCache::ResultPtr ResultCache::GetImpl(const rdf::TriplePattern& key) {
   Shard& shard = ShardFor(key);
   ResultPtr value;
   {
@@ -61,7 +72,18 @@ ResultCache::ResultPtr ResultCache::Get(const rdf::TriplePattern& key) {
   return value;
 }
 
-void ResultCache::Put(const rdf::TriplePattern& key, ResultPtr value) {
+void ResultCache::Put(const rdf::TriplePattern& key, ResultPtr value,
+                      QueryTrace* trace) {
+  if (trace == nullptr) {
+    PutImpl(key, std::move(value));
+    return;
+  }
+  Stopwatch watch;
+  PutImpl(key, std::move(value));
+  trace->cache_put_nanos = watch.ElapsedNanos();
+}
+
+void ResultCache::PutImpl(const rdf::TriplePattern& key, ResultPtr value) {
   if (!value) return;
   const size_t bytes = EntryBytes(value->size());
   Shard& shard = ShardFor(key);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "rdf/triple_store.h"
+#include "serve/query_trace.h"
 
 namespace akb::serve {
 
@@ -53,11 +54,21 @@ class ResultCache {
   ResultCache& operator=(const ResultCache&) = delete;
 
   /// Returns the cached result or nullptr; a hit refreshes LRU recency.
-  ResultPtr Get(const rdf::TriplePattern& key);
+  ResultPtr Get(const rdf::TriplePattern& key) { return Get(key, nullptr); }
+
+  /// Get with request-scoped tracing: a non-null `trace` receives
+  /// cache_get_nanos and cache_hit. The untraced path pays nothing.
+  ResultPtr Get(const rdf::TriplePattern& key, QueryTrace* trace);
 
   /// Inserts (or refreshes) `value` under `key`, evicting least-recently-
   /// used entries of the same shard until its slice fits the budget.
-  void Put(const rdf::TriplePattern& key, ResultPtr value);
+  void Put(const rdf::TriplePattern& key, ResultPtr value) {
+    Put(key, std::move(value), nullptr);
+  }
+
+  /// Put with request-scoped tracing (fills trace->cache_put_nanos).
+  void Put(const rdf::TriplePattern& key, ResultPtr value,
+           QueryTrace* trace);
 
   /// Aggregated over all shards. Monotonic counters are cumulative since
   /// construction; entries/bytes are the current residency.
@@ -93,6 +104,8 @@ class ResultCache {
   };
 
   Shard& ShardFor(const rdf::TriplePattern& key);
+  ResultPtr GetImpl(const rdf::TriplePattern& key);
+  void PutImpl(const rdf::TriplePattern& key, ResultPtr value);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_mask_ = 0;

@@ -1,0 +1,207 @@
+#include "obs/rolling.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace akb::obs {
+namespace {
+
+// All tests drive time explicitly through now_micros, so windows are
+// deterministic regardless of the wall clock or machine load.
+constexpr int64_t kSec = 1'000'000;
+constexpr int64_t kT0 = 7'000 * kSec;  // arbitrary steady-clock origin
+
+TEST(RollingCounterTest, CountsWithinWindow) {
+  RollingCounter counter;
+  counter.Add(3, kT0);
+  counter.Add(2, kT0 + kSec);
+  counter.Increment(kT0 + 2 * kSec);
+  EXPECT_EQ(counter.SumOver(10 * kSec, kT0 + 2 * kSec), 6);
+  EXPECT_EQ(counter.SumOver(kSec, kT0 + 2 * kSec), 1);
+}
+
+TEST(RollingCounterTest, OldBucketsFallOutOfTheWindow) {
+  RollingCounter counter;
+  counter.Add(100, kT0);
+  counter.Add(1, kT0 + 30 * kSec);
+  // A 10 s window ending at t0+30s no longer sees the burst at t0.
+  EXPECT_EQ(counter.SumOver(10 * kSec, kT0 + 30 * kSec), 1);
+  EXPECT_EQ(counter.SumOver(60 * kSec, kT0 + 30 * kSec), 101);
+}
+
+TEST(RollingCounterTest, RingSlotsAreRecycledAfterWraparound) {
+  RollingCounter counter(kSec, /*num_buckets=*/5);
+  counter.Add(50, kT0);
+  // Advance far past the ring depth: the slot holding t0 gets reclaimed
+  // for the new bucket, and the old events are gone for good.
+  counter.Add(2, kT0 + 100 * kSec);
+  EXPECT_EQ(counter.SumOver(300 * kSec, kT0 + 100 * kSec), 2);
+}
+
+TEST(RollingCounterTest, WindowDeeperThanRingClampsToRingDepth) {
+  RollingCounter counter(kSec, /*num_buckets=*/5);
+  for (int s = 0; s < 5; ++s) counter.Add(1, kT0 + s * kSec);
+  // Asking for an hour out of a 5-slot ring answers with what the ring
+  // still holds (ring minus the recyclable slot), not garbage.
+  int64_t sum = counter.SumOver(3600 * kSec, kT0 + 4 * kSec);
+  EXPECT_GE(sum, 4);
+  EXPECT_LE(sum, 5);
+}
+
+TEST(RollingCounterTest, RatePerSecondIsCountOverWindow) {
+  RollingCounter counter;
+  for (int s = 0; s < 10; ++s) counter.Add(7, kT0 + s * kSec);
+  WindowStats stats = counter.Over(10 * kSec, kT0 + 9 * kSec);
+  EXPECT_EQ(stats.count, 70);
+  EXPECT_DOUBLE_EQ(stats.rate_per_sec, 7.0);
+}
+
+TEST(RollingCounterTest, ConcurrentAddsWithinOneBucketSumExactly) {
+  RollingCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      // A fixed now keeps every add in one bucket: no boundary races, so
+      // the total must be exact (thread-sharded slots, like Counter).
+      for (int i = 0; i < kPerThread; ++i) counter.Add(1, kT0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.SumOver(10 * kSec, kT0),
+            int64_t(kThreads) * kPerThread);
+}
+
+TEST(RollingCounterTest, DisabledMetricsDropAdds) {
+  RollingCounter counter;
+  SetMetricsEnabled(false);
+  counter.Add(5, kT0);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.SumOver(10 * kSec, kT0), 0);
+}
+
+TEST(RollingHistogramTest, AggregatesCountSumMaxOverWindow) {
+  RollingHistogram histogram;
+  histogram.Record(100, kT0);
+  histogram.Record(200, kT0 + kSec);
+  histogram.Record(700, kT0 + 2 * kSec);
+  WindowStats stats = histogram.Over(10 * kSec, kT0 + 2 * kSec);
+  EXPECT_EQ(stats.count, 3);
+  EXPECT_EQ(stats.sum, 1000);
+  EXPECT_EQ(stats.max, 700);
+  EXPECT_NEAR(stats.mean, 1000.0 / 3.0, 1e-9);
+}
+
+TEST(RollingHistogramTest, OldRecordsFallOutOfTheWindow) {
+  RollingHistogram histogram;
+  histogram.Record(5000, kT0);
+  histogram.Record(10, kT0 + 60 * kSec);
+  WindowStats recent = histogram.Over(10 * kSec, kT0 + 60 * kSec);
+  EXPECT_EQ(recent.count, 1);
+  EXPECT_EQ(recent.max, 10);
+}
+
+TEST(RollingHistogramTest, PercentilesReflectTheDistribution) {
+  RollingHistogram histogram;
+  // 99 fast records and one slow outlier in the same window.
+  for (int i = 0; i < 99; ++i) histogram.Record(100, kT0 + (i % 5) * kSec);
+  histogram.Record(100000, kT0 + 4 * kSec);
+  WindowStats stats = histogram.Over(10 * kSec, kT0 + 4 * kSec);
+  EXPECT_EQ(stats.count, 100);
+  // p50 lands in the bucket holding 100 (power-of-two resolution: within
+  // 2x); p99 must be pulled toward the outlier's magnitude.
+  EXPECT_GE(stats.p50, 64.0);
+  EXPECT_LE(stats.p50, 128.0);
+  EXPECT_GE(stats.p99, stats.p50);
+  EXPECT_LE(stats.p99, double(stats.max));
+}
+
+TEST(RollingHistogramTest, NegativeValuesClampToZero) {
+  RollingHistogram histogram;
+  histogram.Record(-5, kT0);
+  WindowStats stats = histogram.Over(10 * kSec, kT0);
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_EQ(stats.sum, 0);
+}
+
+TEST(RollingHistogramTest, EmptyWindowIsAllZero) {
+  RollingHistogram histogram;
+  histogram.Record(42, kT0);
+  WindowStats stats = histogram.Over(10 * kSec, kT0 + 500 * kSec);
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.sum, 0);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.0);
+}
+
+TEST(SloTrackerTest, HealthyTrafficPassesBothObjectives) {
+  SloTracker tracker;
+  for (int i = 0; i < 100; ++i) {
+    tracker.RecordRequest(/*latency_micros=*/200, /*error=*/false,
+                          kT0 + (i % 10) * kSec);
+  }
+  SloState state = tracker.Evaluate(kT0 + 9 * kSec);
+  EXPECT_TRUE(state.ok);
+  EXPECT_TRUE(state.latency_ok);
+  EXPECT_TRUE(state.errors_ok);
+  EXPECT_EQ(state.requests, 100);
+  EXPECT_EQ(state.errors, 0);
+  EXPECT_DOUBLE_EQ(state.error_rate, 0.0);
+  EXPECT_GT(state.qps, 0.0);
+  EXPECT_LE(state.latency_budget_used, 1.0);
+}
+
+TEST(SloTrackerTest, SlowTailViolatesTheLatencyObjective) {
+  SloConfig config;
+  config.p99_target_micros = 1000;
+  SloTracker tracker(config);
+  for (int i = 0; i < 100; ++i) {
+    tracker.RecordRequest(/*latency_micros=*/50000, false, kT0);
+  }
+  SloState state = tracker.Evaluate(kT0);
+  EXPECT_FALSE(state.ok);
+  EXPECT_FALSE(state.latency_ok);
+  EXPECT_TRUE(state.errors_ok);
+  EXPECT_GT(state.latency_budget_used, 1.0);
+}
+
+TEST(SloTrackerTest, ErrorsBurnTheErrorBudget) {
+  SloConfig config;
+  config.max_error_rate = 0.01;
+  SloTracker tracker(config);
+  for (int i = 0; i < 90; ++i) tracker.RecordRequest(100, false, kT0);
+  for (int i = 0; i < 10; ++i) tracker.RecordRequest(100, true, kT0);
+  SloState state = tracker.Evaluate(kT0);
+  EXPECT_FALSE(state.ok);
+  EXPECT_FALSE(state.errors_ok);
+  EXPECT_EQ(state.requests, 100);
+  EXPECT_EQ(state.errors, 10);
+  EXPECT_NEAR(state.error_rate, 0.1, 1e-9);
+  EXPECT_NEAR(state.error_budget_used, 10.0, 1e-9);
+}
+
+TEST(SloTrackerTest, RequestCountRidesOnTheLatencyWindow) {
+  // There is no separate request counter: the latency histogram's window
+  // count doubles as it, so the two can never disagree.
+  SloTracker tracker;
+  for (int i = 0; i < 25; ++i) tracker.RecordRequest(100, false, kT0);
+  EXPECT_EQ(tracker.latency().Over(10 * kSec, kT0).count, 25);
+  EXPECT_EQ(tracker.Evaluate(kT0).requests, 25);
+}
+
+TEST(SloTrackerTest, NoTrafficConsumesNoBudget) {
+  SloTracker tracker;
+  SloState state = tracker.Evaluate(kT0);
+  EXPECT_TRUE(state.ok);
+  EXPECT_EQ(state.requests, 0);
+  EXPECT_DOUBLE_EQ(state.latency_budget_used, 0.0);
+  EXPECT_DOUBLE_EQ(state.error_budget_used, 0.0);
+}
+
+}  // namespace
+}  // namespace akb::obs

@@ -1,0 +1,188 @@
+#include "obs/statusz.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/rolling.h"
+#include "obs/slo.h"
+
+namespace akb::obs {
+namespace {
+
+Json ParseOrDie(const std::string& text) {
+  Json parsed;
+  Status status = Json::Parse(text, &parsed);
+  EXPECT_TRUE(status.ok()) << status.message();
+  return parsed;
+}
+
+TEST(StatusReportTest, JsonCarriesSchemaBuildAndProcess) {
+  StatusReport report;
+  Json root = ParseOrDie(report.ToJson());
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("schema")->AsString(), "akb-statusz-v1");
+  ASSERT_NE(root.Find("build"), nullptr);
+  EXPECT_NE(root.Find("build")->Find("compiler"), nullptr);
+  const Json* process = root.Find("process");
+  ASSERT_NE(process, nullptr);
+  EXPECT_GE(process->Find("uptime_seconds")->AsDouble(), 0.0);
+  ASSERT_NE(root.Find("sections"), nullptr);
+}
+
+TEST(StatusReportTest, SectionsRenderInInsertionOrderAndReplace) {
+  StatusReport report;
+  Json first = Json::Object();
+  first.Set("v", 1);
+  report.AddSection("alpha", std::move(first));
+  Json second = Json::Object();
+  second.Set("v", 2);
+  report.AddSection("beta", std::move(second));
+
+  ASSERT_NE(report.FindSection("alpha"), nullptr);
+  EXPECT_EQ(report.FindSection("alpha")->Find("v")->AsInt(), 1);
+  EXPECT_EQ(report.FindSection("missing"), nullptr);
+
+  // Re-adding a name replaces the payload without duplicating the section.
+  Json replacement = Json::Object();
+  replacement.Set("v", 3);
+  report.AddSection("alpha", std::move(replacement));
+  EXPECT_EQ(report.FindSection("alpha")->Find("v")->AsInt(), 3);
+
+  Json root = ParseOrDie(report.ToJson());
+  const Json* sections = root.Find("sections");
+  ASSERT_EQ(sections->members().size(), 2u);
+  EXPECT_EQ(sections->members()[0].first, "alpha");
+  EXPECT_EQ(sections->members()[1].first, "beta");
+}
+
+TEST(StatusReportTest, AddWindowsEmitsOneObjectPerLabel) {
+  RollingHistogram latency;
+  constexpr int64_t kT0 = 9'000'000'000;
+  for (int i = 0; i < 10; ++i) latency.Record(500, kT0);
+
+  StatusReport report;
+  report.AddWindows("query_latency_micros",
+                    {{"10s", latency.Over(10'000'000, kT0)},
+                     {"1m", latency.Over(60'000'000, kT0)}});
+  const Json* section = report.FindSection("query_latency_micros");
+  ASSERT_NE(section, nullptr);
+  const Json* ten = section->Find("10s");
+  ASSERT_NE(ten, nullptr);
+  EXPECT_EQ(ten->Find("count")->AsInt(), 10);
+  EXPECT_DOUBLE_EQ(ten->Find("rate_per_sec")->AsDouble(), 1.0);
+  EXPECT_GT(ten->Find("p99")->AsDouble(), 0.0);
+  ASSERT_NE(section->Find("1m"), nullptr);
+}
+
+TEST(StatusReportTest, AddSloRendersBothObjectives) {
+  SloConfig config;
+  config.p99_target_micros = 1000;
+  SloTracker tracker(config);
+  constexpr int64_t kT0 = 9'000'000'000;
+  for (int i = 0; i < 50; ++i) tracker.RecordRequest(30000, false, kT0);
+
+  StatusReport report;
+  report.AddSlo(tracker.Evaluate(kT0), tracker.config());
+  const Json* slo = report.FindSection("slo");
+  ASSERT_NE(slo, nullptr);
+  EXPECT_FALSE(slo->Find("ok")->AsBool(true));
+  EXPECT_EQ(slo->Find("requests")->AsInt(), 50);
+  const Json* lat = slo->Find("latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_FALSE(lat->Find("ok")->AsBool(true));
+  EXPECT_EQ(lat->Find("target_micros")->AsInt(), 1000);
+  EXPECT_GT(lat->Find("budget_used")->AsDouble(), 1.0);
+  const Json* errors = slo->Find("errors");
+  ASSERT_NE(errors, nullptr);
+  EXPECT_TRUE(errors->Find("ok")->AsBool(false));
+}
+
+TEST(StatusReportTest, AddMetricsRoundTripsTheRegistrySnapshot) {
+  AKB_COUNTER_ADD("akb.test.statusz.counter", 7);
+  StatusReport report;
+  report.AddMetrics(MetricsRegistry::Global().Snapshot());
+  const Json* metrics = report.FindSection("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // The section is the parsed form of MetricsSnapshot::ToJson.
+  EXPECT_EQ(metrics->Find("schema")->AsString(), "akb-metrics-v1");
+  Json root = ParseOrDie(report.ToJson());
+  EXPECT_NE(root.Find("sections")->Find("metrics"), nullptr);
+}
+
+TEST(StatusReportTest, FusionSourcesScrapeSortsBestFirst) {
+  std::string prefix(kFusionSourceQualityPrefix);
+  MetricsSnapshot snapshot;
+  MetricSnapshotEntry low;
+  low.name = prefix + "scraped-site";
+  low.kind = MetricKind::kGauge;
+  low.value = 620'000;  // quality 0.62
+  MetricSnapshotEntry high;
+  high.name = prefix + "curated-kb";
+  high.kind = MetricKind::kGauge;
+  high.value = 980'000;  // quality 0.98
+  snapshot.entries.push_back(low);
+  snapshot.entries.push_back(high);
+
+  StatusReport report;
+  report.AddFusionSourcesFromMetrics(snapshot);
+  const Json* sources = report.FindSection("fusion_sources");
+  ASSERT_NE(sources, nullptr);
+  ASSERT_EQ(sources->size(), 2u);
+  EXPECT_EQ(sources->at(0).Find("source")->AsString(), "curated-kb");
+  EXPECT_NEAR(sources->at(0).Find("quality")->AsDouble(), 0.98, 1e-9);
+  EXPECT_EQ(sources->at(1).Find("source")->AsString(), "scraped-site");
+}
+
+TEST(StatusReportTest, FusionSourcesScrapeIsNoOpWithoutGauges) {
+  StatusReport report;
+  report.AddFusionSourcesFromMetrics(MetricsSnapshot{});
+  EXPECT_EQ(report.FindSection("fusion_sources"), nullptr);
+}
+
+TEST(StatusReportTest, TextPageNamesEverySection) {
+  StatusReport report;
+  Json kb = Json::Object();
+  kb.Set("triples", 12345);
+  report.AddSection("kb", std::move(kb));
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("=== akb statusz ==="), std::string::npos);
+  EXPECT_NE(text.find("== kb =="), std::string::npos);
+  EXPECT_NE(text.find("12,345"), std::string::npos);
+}
+
+TEST(WindowStatsToJsonTest, HistogramWindowsCarryPercentiles) {
+  WindowStats stats;
+  stats.window_micros = 10'000'000;
+  stats.count = 4;
+  stats.sum = 400;
+  stats.rate_per_sec = 0.4;
+  stats.mean = 100.0;
+  stats.p50 = 96.0;
+  stats.p90 = 120.0;
+  stats.p99 = 127.0;
+  stats.max = 130;
+  Json j = WindowStatsToJson(stats);
+  EXPECT_DOUBLE_EQ(j.Find("window_seconds")->AsDouble(), 10.0);
+  EXPECT_EQ(j.Find("count")->AsInt(), 4);
+  EXPECT_DOUBLE_EQ(j.Find("p50")->AsDouble(), 96.0);
+  EXPECT_EQ(j.Find("max")->AsInt(), 130);
+}
+
+TEST(WindowStatsToJsonTest, CounterWindowsStayCompact) {
+  WindowStats stats;
+  stats.window_micros = 10'000'000;
+  stats.count = 8;
+  stats.sum = 8;
+  stats.rate_per_sec = 0.8;
+  Json j = WindowStatsToJson(stats);
+  EXPECT_EQ(j.Find("count")->AsInt(), 8);
+  // Pure counts carry no percentile block and no redundant sum.
+  EXPECT_EQ(j.Find("p50"), nullptr);
+  EXPECT_EQ(j.Find("sum"), nullptr);
+}
+
+}  // namespace
+}  // namespace akb::obs

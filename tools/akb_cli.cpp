@@ -12,12 +12,16 @@
 //   akb_cli serve-bench [--load-kb=kb.akbsnap | --triples=N]
 //           [--queries=N] [--workers=N] [--batch=N] [--cache-mb=N]
 //           [--no-cache] [--seed=N] [--bench-out=b.json]
-//           [--metrics-out=m.json]
+//           [--metrics-out=m.json] [--trace-sample=F] [--slow-log=N]
+//           [--slow-nanos=T] [--statusz-every=N]
+//   akb_cli statusz [--load-kb=kb.akbsnap | --triples=N] [--queries=N]
+//           [--workers=N] [--json] [--out=statusz.json]
 //   akb_cli inspect <file.nt>
 //   akb_cli snapshot-info <kb.akbsnap>
 //   akb_cli bench-merge [--out=BENCH_pipeline.json] <bench1.json> ...
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,11 +36,13 @@
 #include "fusion/vote.h"
 #include "obs/bench_io.h"
 #include "obs/metrics.h"
+#include "obs/statusz.h"
 #include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "rdf/snapshot.h"
 #include "serve/kb_view.h"
 #include "serve/query_engine.h"
+#include "serve/serve_statusz.h"
 #include "synth/claim_gen.h"
 #include "synth/query_workload.h"
 #include "synth/site_gen.h"
@@ -232,28 +238,72 @@ rdf::TripleStore BuildSyntheticKb(size_t claims, uint64_t seed) {
   return store;
 }
 
+// Loads --load-kb (view via FromSnapshot so statusz sees the snapshot
+// provenance) or synthesizes --triples=N claims. The store comes back too
+// for workload generation. Returns false after printing the error.
+bool BuildServeKb(const FlagSet& flags, uint64_t seed,
+                  size_t default_triples, rdf::TripleStore* store,
+                  std::optional<serve::KbView>* view, double* build_ms,
+                  FILE* info = stdout) {
+  std::string load = flags.GetString("load-kb");
+  Stopwatch build_watch;
+  if (!load.empty()) {
+    Status status = store->LoadSnapshot(load);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return false;
+    }
+    auto view_or = serve::KbView::FromSnapshot(load);
+    if (!view_or.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   view_or.status().ToString().c_str());
+      return false;
+    }
+    view->emplace(std::move(*view_or));
+    std::fprintf(info, "Loaded %s: %zu distinct triples, %zu terms\n",
+                 load.c_str(), store->num_triples(),
+                 store->dictionary().size());
+  } else {
+    size_t claims = size_t(flags.GetInt("triples", int64_t(default_triples)));
+    *store = BuildSyntheticKb(claims, seed);
+    view->emplace(*store);
+    std::fprintf(info, "Synthesized KB: %zu distinct triples, %zu terms\n",
+                 store->num_triples(), store->dictionary().size());
+  }
+  *build_ms = build_watch.ElapsedMillis();
+  if (store->num_triples() == 0) {
+    std::fprintf(stderr, "error: KB is empty, nothing to serve\n");
+    return false;
+  }
+  return true;
+}
+
+void PrintTopSlowQueries(const serve::QueryEngine& engine, size_t limit) {
+  auto slow = engine.slow_log().Snapshot();
+  if (slow.empty()) return;
+  std::printf("Slow-query log: %zu traces (of %llu sampled), worst:\n",
+              slow.size(), (unsigned long long)engine.sampled_queries());
+  for (size_t i = 0; i < slow.size() && i < limit; ++i) {
+    const serve::QueryTrace& t = slow[i];
+    std::printf(
+        "  #%llu [%s] %s: total=%lld ns (cache_get=%lld index=%lld "
+        "cache_put=%lld), %llu matches, cache %s\n",
+        (unsigned long long)t.query_id, t.shape, t.pattern_text.c_str(),
+        (long long)t.total_nanos, (long long)t.cache_get_nanos,
+        (long long)t.index_nanos, (long long)t.cache_put_nanos,
+        (unsigned long long)t.range_size, t.cache_hit ? "hit" : "miss");
+  }
+}
+
 int RunServeBenchCommand(const FlagSet& flags) {
   uint64_t seed = uint64_t(flags.GetInt("seed", 19));
   rdf::TripleStore store;
-  std::string load = flags.GetString("load-kb");
-  if (!load.empty()) {
-    Status status = store.LoadSnapshot(load);
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("Loaded %s: %zu distinct triples, %zu terms\n", load.c_str(),
-                store.num_triples(), store.dictionary().size());
-  } else {
-    size_t claims = size_t(flags.GetInt("triples", 100000));
-    store = BuildSyntheticKb(claims, seed);
-    std::printf("Synthesized KB: %zu distinct triples, %zu terms\n",
-                store.num_triples(), store.dictionary().size());
-  }
-  if (store.num_triples() == 0) {
-    std::fprintf(stderr, "error: KB is empty, nothing to serve\n");
+  std::optional<serve::KbView> view_holder;
+  double build_ms = 0.0;
+  if (!BuildServeKb(flags, seed, 100000, &store, &view_holder, &build_ms)) {
     return 1;
   }
+  serve::KbView& view = *view_holder;
 
   size_t num_queries = size_t(flags.GetInt("queries", 200000));
   size_t batch = std::max<int64_t>(1, flags.GetInt("batch", 8192));
@@ -262,15 +312,16 @@ int RunServeBenchCommand(const FlagSet& flags) {
   workload_config.seed = seed + 1;
   auto patterns = synth::GenerateQueryWorkload(store, workload_config);
 
-  Stopwatch build_watch;
-  serve::KbView view(store);
-  double build_ms = build_watch.ElapsedMillis();
-
   serve::QueryEngineConfig engine_config;
   engine_config.num_workers = size_t(flags.GetInt("workers", 0));
   engine_config.enable_cache = !flags.GetBool("no-cache");
   engine_config.cache.max_bytes =
       size_t(flags.GetInt("cache-mb", 64)) << 20;
+  // Trace 1% by default; threshold 0 keeps the worst N of the sampled
+  // traces, so a bench run always captures its slowest queries.
+  engine_config.trace_sample_rate = flags.GetDouble("trace-sample", 0.01);
+  engine_config.slow_log_capacity = size_t(flags.GetInt("slow-log", 32));
+  engine_config.slow_log_threshold_nanos = flags.GetInt("slow-nanos", 0);
   serve::QueryEngine engine(view, engine_config);
   std::printf(
       "View ready: %zu triples, %.1f MiB of indexes, built in %.1f ms; "
@@ -278,15 +329,23 @@ int RunServeBenchCommand(const FlagSet& flags) {
       view.num_triples(), double(view.IndexBytes()) / (1 << 20), build_ms,
       engine.num_workers(), engine.cache() ? "on" : "off");
 
+  size_t statusz_every = size_t(flags.GetInt("statusz-every", 0));
   obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
   Stopwatch watch;
   size_t total_matches = 0;
+  size_t batch_index = 0;
   for (size_t begin = 0; begin < patterns.size(); begin += batch) {
     size_t end = std::min(patterns.size(), begin + batch);
     std::vector<rdf::TriplePattern> slice(patterns.begin() + begin,
                                           patterns.begin() + end);
     auto results = engine.ExecuteBatch(slice);
     for (const auto& result : results) total_matches += result.matches->size();
+    ++batch_index;
+    if (statusz_every != 0 && batch_index % statusz_every == 0) {
+      obs::StatusReport report;
+      serve::FillStatusReport(engine, &report);
+      std::printf("%s\n", report.ToText().c_str());
+    }
   }
   double seconds = watch.ElapsedSeconds();
   obs::MetricsSnapshot delta =
@@ -314,6 +373,30 @@ int RunServeBenchCommand(const FlagSet& flags) {
         (unsigned long long)stats.misses, (unsigned long long)stats.entries,
         double(stats.bytes) / (1 << 20), (unsigned long long)stats.evictions);
   }
+
+  // Rolling windows (trailing, from the engine's SLO tracker — "right
+  // now" as opposed to the whole-run registry aggregates above).
+  const int64_t now_micros = obs::NowMicros();
+  for (const auto& [label, micros] :
+       std::vector<std::pair<const char*, int64_t>>{
+           {"10s", 10 * 1'000'000LL}, {"1m", 60 * 1'000'000LL}}) {
+    obs::WindowStats lat = engine.slo().latency().Over(micros, now_micros);
+    if (lat.count == 0) continue;
+    std::printf(
+        "Rolling %-3s %.0f qps, latency p50=%.0f us p90=%.0f us "
+        "p99=%.0f us max=%lld us\n",
+        label, lat.rate_per_sec, lat.p50, lat.p90, lat.p99,
+        (long long)lat.max);
+  }
+  obs::SloState slo = engine.EvaluateSlo();
+  std::printf(
+      "SLO %s: p99 %.0f us vs target %lld us (budget %.2f), "
+      "error rate %.5f vs max %.5f (budget %.2f)\n",
+      slo.ok ? "OK" : "VIOLATED", slo.p99_micros,
+      (long long)engine.slo().config().p99_target_micros,
+      slo.latency_budget_used, slo.error_rate,
+      engine.slo().config().max_error_rate, slo.error_budget_used);
+  PrintTopSlowQueries(engine, 3);
 
   std::string bench_out = flags.GetString("bench-out");
   if (!bench_out.empty()) {
@@ -347,6 +430,59 @@ int RunServeBenchCommand(const FlagSet& flags) {
     }
     std::printf("Wrote %zu metrics to %s\n", delta.entries.size(),
                 metrics_out.c_str());
+  }
+  return 0;
+}
+
+// Builds (or loads) a KB, runs a short warmup workload so the rolling
+// windows and slow-query log have data, and prints the full statusz page.
+int RunStatuszCommand(const FlagSet& flags) {
+  uint64_t seed = uint64_t(flags.GetInt("seed", 19));
+  rdf::TripleStore store;
+  std::optional<serve::KbView> view_holder;
+  double build_ms = 0.0;
+  // Progress goes to stderr so `statusz --json` leaves stdout pure JSON.
+  if (!BuildServeKb(flags, seed, 50000, &store, &view_holder, &build_ms,
+                    stderr)) {
+    return 1;
+  }
+
+  serve::QueryEngineConfig engine_config;
+  engine_config.num_workers = size_t(flags.GetInt("workers", 0));
+  // Trace every warmup query: this is introspection, not a benchmark.
+  engine_config.trace_sample_rate = flags.GetDouble("trace-sample", 1.0);
+  engine_config.slow_log_capacity = size_t(flags.GetInt("slow-log", 8));
+  engine_config.slow_log_threshold_nanos = flags.GetInt("slow-nanos", 0);
+  serve::QueryEngine engine(view_holder.value(), engine_config);
+
+  size_t num_queries = size_t(flags.GetInt("queries", 20000));
+  if (num_queries > 0) {
+    synth::QueryWorkloadConfig workload_config;
+    workload_config.num_queries = num_queries;
+    workload_config.seed = seed + 1;
+    auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+    engine.ExecuteBatch(patterns);
+  }
+
+  obs::StatusReport report;
+  serve::FillStatusReport(engine, &report);
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  report.AddFusionSourcesFromMetrics(snapshot);
+  report.AddMetrics(snapshot);
+
+  if (flags.GetBool("json")) {
+    std::printf("%s\n", report.ToJson().c_str());
+  } else {
+    std::printf("%s", report.ToText().c_str());
+  }
+  std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    Status status = obs::WriteTextFile(out, report.ToJson() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote statusz to %s\n", out.c_str());
   }
   return 0;
 }
@@ -398,6 +534,7 @@ void PrintUsage() {
       "  extract-dom   run Algorithm 1 on generated sites\n"
       "  fuse-demo     compare VOTE vs ACCU on a synthetic claim set\n"
       "  serve-bench   serve a synthetic query workload from a KB\n"
+      "  statusz       live introspection report for the serve path\n"
       "  inspect FILE  summarize an N-Triples file\n"
       "  snapshot-info FILE  summarize a binary KB snapshot\n"
       "  bench-merge   merge per-bench JSON results into one file\n\n"
@@ -416,6 +553,12 @@ void PrintUsage() {
       "              synthesizes a KB) --queries=N --workers=N --batch=N\n"
       "              --cache-mb=N --no-cache --seed=N --bench-out=FILE\n"
       "              (akb-bench-v1 JSON) --metrics-out=FILE\n"
+      "              --trace-sample=F (default 0.01) --slow-log=N\n"
+      "              --slow-nanos=T (log threshold; 0 keeps the worst N\n"
+      "              sampled) --statusz-every=N (print statusz every N\n"
+      "              batches)\n"
+      "statusz:      --load-kb=FILE | --triples=N; --queries=N warmup\n"
+      "              --workers=N --json --out=FILE (akb-statusz-v1 JSON)\n"
       "bench-merge:  --out=FILE (default BENCH_pipeline.json) inputs...\n");
 }
 
@@ -432,6 +575,7 @@ int main(int argc, char** argv) {
   if (command == "extract-dom") return RunExtractDomCommand(flags);
   if (command == "fuse-demo") return RunFuseDemoCommand(flags);
   if (command == "serve-bench") return RunServeBenchCommand(flags);
+  if (command == "statusz") return RunStatuszCommand(flags);
   if (command == "inspect") return RunInspectCommand(flags);
   if (command == "snapshot-info") return RunSnapshotInfoCommand(flags);
   if (command == "bench-merge") return RunBenchMergeCommand(flags);

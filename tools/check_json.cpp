@@ -1,0 +1,41 @@
+// check_json — validates that each argument parses as JSON (obs::Json
+// grammar). CI runs it over every JSON artifact the toolchain emits
+// (metrics, Chrome traces, bench suites, statusz pages) so a serializer
+// regression fails the build instead of corrupting a dashboard.
+//
+//   check_json file.json [more.json ...]   exits 0 iff every file parses
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: check_json <file.json>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    akb::obs::Json parsed;
+    akb::Status status = akb::obs::Json::Parse(buffer.str(), &parsed);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i],
+                   status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%s: ok\n", argv[i]);
+  }
+  return failures == 0 ? 0 : 1;
+}
