@@ -1,12 +1,13 @@
 // Serving read path — KbView's sorted permutation indexes vs the
-// TripleStore::Match posting-list baseline, plus QueryEngine batch
-// throughput across worker counts.
+// TripleStore::Match posting-list baseline, the BGP join planner vs the
+// worst valid join order, plus QueryEngine batch throughput across
+// worker counts.
 //
-// The headline measurement targets the acceptance budget: bound-subject
-// patterns (s p ?) on a >= 100k-triple KB must run >= 10x faster through
-// KbView's binary-searched SPO prefix than through Match, which scans the
-// smaller of the subject/predicate posting lists (~1k entries here) per
-// query. Emits the common "akb-bench-v1" file (BENCH_bench_serve.json).
+// Two acceptance budgets: bound-subject patterns (s p ?) on a >= 100k-
+// triple KB must run >= 10x faster through KbView's binary-searched SPO
+// prefix than through Match, and planner-ordered star joins must run
+// >= 5x faster than the worst valid join order on the same skewed KB.
+// Emits the common "akb-bench-v1" file (BENCH_bench_serve.json).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -142,6 +143,97 @@ void PrintSpeedupReport(obs::BenchSuite* suite) {
                {"triples", double(store.num_triples())}}});
 }
 
+// BGP join sweep: star joins whose two patterns have wildly different
+// index ranges — a selective (?e p o) arm (a handful of subjects carry
+// that exact fact) against an open (?e p2 ?v) arm (~triples/predicates
+// entries). The planner must lead with the selective arm; leading with
+// the open arm instead pays thousands of probes per query. Acceptance
+// budget: planner order >= 5x faster than the worst valid order.
+void PrintJoinPlanReport(obs::BenchSuite* suite) {
+  const rdf::TripleStore& store = BigStore();
+  const serve::KbView& view = BigView();
+  Rng rng(41);
+  struct JoinCase {
+    serve::BgpQuery query;
+    serve::BgpPlan planned;
+    serve::BgpPlan worst;
+  };
+  std::vector<JoinCase> cases;
+  while (cases.size() < 48) {
+    const rdf::Triple& t = store.triple(rng.Index(store.num_triples()));
+    auto arms = store.Match({t.subject, 0, 0});
+    const rdf::Triple& other = store.triple(arms[rng.Index(arms.size())]);
+    if (other.predicate == t.predicate) continue;
+    serve::BgpQuery q;
+    auto e = q.Var("e");
+    q.Add(e, serve::BgpQuery::Bound(t.predicate),
+          serve::BgpQuery::Bound(t.object));            // selective
+    q.Add(e, serve::BgpQuery::Bound(other.predicate), q.Var("v"));  // open
+    auto plan = serve::PlanBgp(view, q);
+    if (!plan.ok()) continue;
+    JoinCase jc;
+    jc.planned = *plan;
+    // The only other valid order for a two-pattern star: open arm first.
+    jc.worst.order = {plan->order[1], plan->order[0]};
+    if (!serve::ValidateBgpOrder(q, jc.worst.order).ok()) continue;
+    jc.query = std::move(q);
+    cases.push_back(std::move(jc));
+  }
+
+  // Correctness gate before timing: both orders, same binding multiset.
+  for (size_t i = 0; i < 8; ++i) {
+    auto a = serve::ExecuteBgpWithPlan(view, cases[i].query, cases[i].planned);
+    auto b = serve::ExecuteBgpWithPlan(view, cases[i].query, cases[i].worst);
+    if (!a.ok() || !b.ok() || a->num_rows != b->num_rows) {
+      std::fprintf(stderr, "FATAL: join orders disagree on case %zu\n", i);
+      std::abort();
+    }
+  }
+
+  constexpr int kReps = 3;
+  auto min_join_micros = [&](auto&& plan_of) {
+    double best = 1e300;
+    size_t sink = 0;
+    for (int r = 0; r < kReps; ++r) {
+      Stopwatch watch;
+      for (const JoinCase& jc : cases) {
+        auto rows = serve::ExecuteBgpWithPlan(view, jc.query, plan_of(jc));
+        sink += rows.ok() ? rows->num_rows : 0;
+      }
+      best = std::min(best, double(watch.ElapsedMicros()) / cases.size());
+    }
+    benchmark::DoNotOptimize(sink);
+    return best;
+  };
+  double planned_us =
+      min_join_micros([](const JoinCase& jc) -> const serve::BgpPlan& {
+        return jc.planned;
+      });
+  double worst_us =
+      min_join_micros([](const JoinCase& jc) -> const serve::BgpPlan& {
+        return jc.worst;
+      });
+  double speedup = planned_us > 0 ? worst_us / planned_us : 0.0;
+
+  TextTable table({"Join order", "Per query (us)", "Speedup"});
+  table.set_title("BGP star joins (selective + open arm), " +
+                  std::to_string(store.num_triples()) +
+                  " distinct triples, best of " + std::to_string(kReps));
+  table.AddRow({"Worst valid order (open arm first)",
+                FormatDouble(worst_us, 3), "1.0x"});
+  table.AddRow({"Planner order (selective first)",
+                FormatDouble(planned_us, 3), FormatDouble(speedup, 1) + "x"});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Budget: >= 5x — %s\n\n",
+              speedup >= 5.0 ? "within budget" : "OVER BUDGET");
+
+  suite->Add({"bgp_worst_order_us", worst_us, "us", kReps, {}});
+  suite->Add({"bgp_planner_us", planned_us, "us", kReps, {}});
+  suite->Add({"bgp_plan_speedup", speedup, "x", kReps,
+              {{"budget_min", 5.0},
+               {"triples", double(store.num_triples())}}});
+}
+
 void PrintThroughputReport(obs::BenchSuite* suite) {
   const rdf::TripleStore& store = BigStore();
   const serve::KbView& view = BigView();
@@ -201,6 +293,26 @@ void BM_KbViewMatchBoundSubject(benchmark::State& state) {
 }
 BENCHMARK(BM_KbViewMatchBoundSubject);
 
+void BM_EngineExecuteBgpCached(benchmark::State& state) {
+  static serve::QueryEngine* engine = [] {
+    serve::QueryEngineConfig config;
+    config.num_workers = 1;
+    return new serve::QueryEngine(BigView(), config);
+  }();
+  synth::BgpWorkloadConfig workload_config;
+  workload_config.num_queries = 128;
+  workload_config.seed = 31;
+  static auto* queries = new std::vector<serve::BgpQuery>(
+      synth::GenerateBgpWorkload(BigStore(), workload_config));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->ExecuteBgp((*queries)[i++ % queries->size()]));
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_EngineExecuteBgpCached);
+
 void BM_EngineExecuteCached(benchmark::State& state) {
   const serve::KbView& view = BigView();
   static serve::QueryEngine* engine = [] {
@@ -223,6 +335,7 @@ BENCHMARK(BM_EngineExecuteCached);
 int main(int argc, char** argv) {
   obs::BenchSuite suite("bench_serve");
   PrintSpeedupReport(&suite);
+  PrintJoinPlanReport(&suite);
   PrintThroughputReport(&suite);
   suite.WriteDefaultFile();
   benchmark::Initialize(&argc, argv);

@@ -30,6 +30,7 @@ QueryEngine::QueryEngine(const KbView& view, QueryEngineConfig config)
       slo_(config.slo) {
   if (config_.enable_cache) {
     cache_ = std::make_unique<ResultCache>(config_.cache);
+    bgp_cache_ = std::make_unique<BgpResultCache>(config_.bgp_cache);
   }
   size_t workers =
       config_.num_workers != 0
@@ -93,6 +94,101 @@ QueryResult QueryEngine::ExecuteInternal(const rdf::TriplePattern& pattern,
     }
   }
   return result;
+}
+
+BgpExecResult QueryEngine::ExecuteBgpInternal(const BgpQuery& query,
+                                              const BgpOptions& options,
+                                              bool in_batch) {
+  Stopwatch watch;
+  // Same head-based sampling scheme as the single-pattern path: a
+  // thread-local sequence, shared query-id counter only for the sampled.
+  QueryTrace trace;
+  QueryTrace* t = nullptr;
+  if (sample_interval_ != 0 && obs::MetricsEnabled()) {
+    thread_local uint64_t seq = 0;
+    if (seq++ % sample_interval_ == 0) {
+      t = &trace;
+      trace.query_id = sampled_.fetch_add(1, std::memory_order_relaxed);
+      trace.start_micros = watch.StartMicros();
+    }
+  }
+  BgpExecResult result;
+  const Status valid = ValidateBgp(query);
+  std::string key;
+  if (valid.ok() && bgp_cache_) {
+    // Canonical key: pattern reorderings and variable renamings of the
+    // same join share one entry. The row limit changes the outcome
+    // (rows vs kOutOfRange), so it is part of the key.
+    key = CanonicalizeBgp(query).key + "|L" + std::to_string(options.limit);
+    result.rows = bgp_cache_->Get(key, t);
+    result.cache_hit = result.rows != nullptr;
+  }
+  if (!result.rows) {
+    if (!valid.ok()) {
+      result.status = valid;
+    } else {
+      Stopwatch join_watch;
+      // Qualified: the member ExecuteBgp shadows the free executor.
+      Result<BgpRows> rows = akb::serve::ExecuteBgp(view_, query, options);
+      if (t != nullptr) t->index_nanos = join_watch.ElapsedNanos();
+      if (!rows.ok()) {
+        result.status = rows.status();
+      } else {
+        result.rows = std::make_shared<const BgpRows>(std::move(*rows));
+        if (bgp_cache_) bgp_cache_->Put(key, result.rows, t);
+      }
+    }
+  }
+  const int64_t nanos = watch.ElapsedNanos();
+  const bool error = !result.status.ok();
+  if (!in_batch) {
+    // Batched joins amortize these counters in ExecuteBgpBatch.
+    AKB_COUNTER_INC("akb.serve.bgp.queries");
+    if (result.rows) {
+      AKB_COUNTER_ADD("akb.serve.bgp.rows", int64_t(result.rows->num_rows));
+    }
+    if (error) AKB_COUNTER_INC("akb.serve.bgp.errors");
+  }
+  AKB_HISTOGRAM_RECORD("akb.serve.bgp.query.nanos", nanos);
+  if (obs::MetricsEnabled()) {
+    slo_.RecordRequest(nanos / 1000, error,
+                       watch.StartMicros() + nanos / 1000);
+  }
+  if (t != nullptr) {
+    trace.total_nanos = nanos;
+    trace.shape[0] = 'b';
+    trace.shape[1] = 'g';
+    trace.shape[2] = 'p';
+    trace.shape[3] = '\0';
+    trace.bgp_patterns = uint32_t(query.patterns().size());
+    trace.range_size = result.rows ? result.rows->num_rows : 0;
+    if (nanos >= slow_log_.threshold_nanos()) {
+      trace.pattern_text = DecodeBgp(view_, query);
+      slow_log_.Offer(std::move(trace));
+    }
+  }
+  return result;
+}
+
+std::vector<BgpExecResult> QueryEngine::ExecuteBgpBatch(
+    const std::vector<BgpQuery>& queries, const BgpOptions& options) {
+  Stopwatch watch;
+  std::vector<BgpExecResult> results(queries.size());
+  mapreduce::ParallelFor(pool_.get(), queries.size(), [&](size_t i) {
+    results[i] = ExecuteBgpInternal(queries[i], options, /*in_batch=*/true);
+  });
+  int64_t total_rows = 0;
+  int64_t errors = 0;
+  for (const BgpExecResult& r : results) {
+    if (r.rows) total_rows += int64_t(r.rows->num_rows);
+    if (!r.status.ok()) ++errors;
+  }
+  AKB_COUNTER_ADD("akb.serve.bgp.queries", int64_t(queries.size()));
+  AKB_COUNTER_ADD("akb.serve.bgp.rows", total_rows);
+  if (errors > 0) AKB_COUNTER_ADD("akb.serve.bgp.errors", errors);
+  AKB_COUNTER_INC("akb.serve.batches");
+  AKB_HISTOGRAM_RECORD("akb.serve.batch.micros", watch.ElapsedMicros());
+  return results;
 }
 
 obs::SloState QueryEngine::EvaluateSlo() const {

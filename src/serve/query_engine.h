@@ -35,6 +35,7 @@
 
 #include "mapreduce/thread_pool.h"
 #include "obs/slo.h"
+#include "serve/bgp.h"
 #include "serve/kb_view.h"
 #include "serve/query_trace.h"
 #include "serve/result_cache.h"
@@ -44,9 +45,12 @@ namespace akb::serve {
 struct QueryEngineConfig {
   /// Worker threads for ExecuteBatch; 0 = one per hardware thread.
   size_t num_workers = 0;
-  /// Serve repeated patterns from the sharded LRU result cache.
+  /// Serve repeated patterns (and BGP joins) from the sharded LRU caches.
   bool enable_cache = true;
   ResultCacheConfig cache;
+  /// Budget/sharding for the BGP join-result cache (keyed by the
+  /// canonicalized pattern set, see serve/bgp.h).
+  ResultCacheConfig bgp_cache;
   /// Head-based sampling: the fraction of queries that carry a QueryTrace
   /// (0 = tracing off, 1 = every query, 0.01 = every 100th). Sampled
   /// traces feed the slow-query log.
@@ -64,6 +68,16 @@ struct QueryEngineConfig {
 /// cache and other callers, so treat it as immutable.
 struct QueryResult {
   ResultCache::ResultPtr matches;
+  bool cache_hit = false;
+};
+
+/// One answered BGP join query. `rows` is non-null exactly when `status`
+/// is OK; it may be shared with the cache (columns are in canonical
+/// variable order — see serve/bgp.h — and `rows->vars` carries the names
+/// from the query that filled the entry).
+struct BgpExecResult {
+  Status status;
+  std::shared_ptr<const BgpRows> rows;
   bool cache_hit = false;
 };
 
@@ -85,9 +99,25 @@ class QueryEngine {
   std::vector<QueryResult> ExecuteBatch(
       const std::vector<rdf::TriplePattern>& patterns);
 
+  /// Answers one BGP join query: cache (canonical key) -> plan -> index-
+  /// nested-loop join -> cache fill. Errors come back as the typed Status
+  /// taxonomy of serve/bgp.h. Thread-safe.
+  BgpExecResult ExecuteBgp(const BgpQuery& query,
+                           const BgpOptions& options = {}) {
+    return ExecuteBgpInternal(query, options, /*in_batch=*/false);
+  }
+
+  /// Answers a batch of join queries on the engine's pool; results[i]
+  /// answers queries[i]. Not reentrant (shares the pool with
+  /// ExecuteBatch; one batch at a time per engine).
+  std::vector<BgpExecResult> ExecuteBgpBatch(
+      const std::vector<BgpQuery>& queries, const BgpOptions& options = {});
+
   const KbView& view() const { return view_; }
   /// Null when the cache is disabled.
   const ResultCache* cache() const { return cache_.get(); }
+  /// Null when the cache is disabled.
+  const BgpResultCache* bgp_cache() const { return bgp_cache_.get(); }
   size_t num_workers() const { return pool_->num_threads(); }
 
   /// The worst sampled traces seen so far (see QueryEngineConfig).
@@ -110,10 +140,13 @@ class QueryEngine {
   /// counter RMWs; ExecuteBatch adds the same totals once per batch.
   QueryResult ExecuteInternal(const rdf::TriplePattern& pattern,
                               bool in_batch);
+  BgpExecResult ExecuteBgpInternal(const BgpQuery& query,
+                                   const BgpOptions& options, bool in_batch);
 
   const KbView& view_;
   QueryEngineConfig config_;
   std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<BgpResultCache> bgp_cache_;
   std::unique_ptr<mapreduce::ThreadPool> pool_;
   /// 0 = tracing off; otherwise every `sample_interval_`th query is traced.
   uint64_t sample_interval_ = 0;

@@ -15,6 +15,7 @@ obs::Json QueryTrace::ToJson() const {
   obs::Json j = obs::Json::Object();
   j.Set("query_id", int64_t(query_id));
   j.Set("shape", shape);
+  if (bgp_patterns > 0) j.Set("bgp_patterns", int64_t(bgp_patterns));
   if (!pattern_text.empty()) j.Set("pattern", pattern_text);
   j.Set("cache_hit", cache_hit);
   j.Set("range_size", int64_t(range_size));

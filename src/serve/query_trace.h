@@ -33,8 +33,11 @@ struct QueryTrace {
   /// Decoded pattern ("<s> <p> ?"), filled only for traces offered to the
   /// slow-query log (decoding costs dictionary lookups).
   std::string pattern_text;
-  /// Shape as bound positions, e.g. "sp?" for (s p ?).
+  /// Shape as bound positions, e.g. "sp?" for (s p ?); "bgp" for a
+  /// multi-pattern join query.
   char shape[4] = {0, 0, 0, 0};
+  /// Pattern count for join queries; 0 for single-pattern lookups.
+  uint32_t bgp_patterns = 0;
   bool cache_hit = false;
   /// Size of the contiguous index range the pattern resolved to (equals
   /// the match count; the interesting signal for "why slow").

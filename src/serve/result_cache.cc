@@ -1,19 +1,11 @@
 #include "serve/result_cache.h"
 
-#include <algorithm>
-
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
 namespace akb::serve {
 
 namespace {
-
-size_t RoundUpPow2(size_t n) {
-  size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
 
 // Fixed per-entry bookkeeping charge: list node + hash slot + shared_ptr
 // control block, approximated once so budgets are deterministic across
@@ -26,43 +18,19 @@ size_t ResultCache::EntryBytes(size_t num_matches) {
   return kEntryOverheadBytes + num_matches * sizeof(size_t);
 }
 
-ResultCache::ResultCache(const ResultCacheConfig& config) {
-  size_t shards = RoundUpPow2(std::max<size_t>(1, config.num_shards));
-  shards_.reserve(shards);
-  for (size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
-  }
-  shard_mask_ = shards - 1;
-  shard_budget_ = std::max<size_t>(EntryBytes(0), config.max_bytes / shards);
-}
-
-ResultCache::Shard& ResultCache::ShardFor(const rdf::TriplePattern& key) {
-  return *shards_[rdf::TriplePatternHash{}(key) & shard_mask_];
-}
+ResultCache::ResultCache(const ResultCacheConfig& config)
+    : lru_(config.num_shards, config.max_bytes, EntryBytes(0)) {}
 
 ResultCache::ResultPtr ResultCache::Get(const rdf::TriplePattern& key,
                                         QueryTrace* trace) {
-  if (trace == nullptr) return GetImpl(key);
-  Stopwatch watch;
-  ResultPtr value = GetImpl(key);
-  trace->cache_get_nanos = watch.ElapsedNanos();
-  trace->cache_hit = value != nullptr;
-  return value;
-}
-
-ResultCache::ResultPtr ResultCache::GetImpl(const rdf::TriplePattern& key) {
-  Shard& shard = ShardFor(key);
   ResultPtr value;
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.index.find(key);
-    if (it == shard.index.end()) {
-      ++shard.misses;
-    } else {
-      ++shard.hits;
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      value = it->second->value;
-    }
+  if (trace == nullptr) {
+    value = lru_.Get(key);
+  } else {
+    Stopwatch watch;
+    value = lru_.Get(key);
+    trace->cache_get_nanos = watch.ElapsedNanos();
+    trace->cache_hit = value != nullptr;
   }
   if (value) {
     AKB_COUNTER_INC("akb.serve.cache.hits");
@@ -74,74 +42,18 @@ ResultCache::ResultPtr ResultCache::GetImpl(const rdf::TriplePattern& key) {
 
 void ResultCache::Put(const rdf::TriplePattern& key, ResultPtr value,
                       QueryTrace* trace) {
-  if (trace == nullptr) {
-    PutImpl(key, std::move(value));
-    return;
-  }
-  Stopwatch watch;
-  PutImpl(key, std::move(value));
-  trace->cache_put_nanos = watch.ElapsedNanos();
-}
-
-void ResultCache::PutImpl(const rdf::TriplePattern& key, ResultPtr value) {
   if (!value) return;
   const size_t bytes = EntryBytes(value->size());
-  Shard& shard = ShardFor(key);
-  uint64_t evicted = 0;
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    if (bytes > shard_budget_) {
-      ++shard.oversize;
-      return;
-    }
-    auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      // Refresh in place (a concurrent filler raced us; same KB, so the
-      // values are equal anyway) and bump recency.
-      shard.bytes -= it->second->bytes;
-      it->second->value = std::move(value);
-      it->second->bytes = bytes;
-      shard.bytes += bytes;
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    } else {
-      shard.lru.push_front(Entry{key, std::move(value), bytes});
-      shard.index.emplace(key, shard.lru.begin());
-      shard.bytes += bytes;
-      ++shard.insertions;
-    }
-    while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
-      Entry& victim = shard.lru.back();
-      shard.bytes -= victim.bytes;
-      shard.index.erase(victim.key);
-      shard.lru.pop_back();
-      ++shard.evictions;
-      ++evicted;
-    }
+  uint64_t evicted;
+  if (trace == nullptr) {
+    evicted = lru_.Put(key, std::move(value), bytes);
+  } else {
+    Stopwatch watch;
+    evicted = lru_.Put(key, std::move(value), bytes);
+    trace->cache_put_nanos = watch.ElapsedNanos();
   }
-  if (evicted > 0) AKB_COUNTER_ADD("akb.serve.cache.evictions", int64_t(evicted));
-}
-
-ResultCacheStats ResultCache::Stats() const {
-  ResultCacheStats stats;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    stats.hits += shard->hits;
-    stats.misses += shard->misses;
-    stats.insertions += shard->insertions;
-    stats.evictions += shard->evictions;
-    stats.oversize += shard->oversize;
-    stats.entries += shard->lru.size();
-    stats.bytes += shard->bytes;
-  }
-  return stats;
-}
-
-void ResultCache::Clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->lru.clear();
-    shard->index.clear();
-    shard->bytes = 0;
+  if (evicted > 0) {
+    AKB_COUNTER_ADD("akb.serve.cache.evictions", int64_t(evicted));
   }
 }
 

@@ -2,10 +2,10 @@
 //
 // Keyed by TriplePattern, valued by shared immutable match vectors so a
 // hit hands the caller a reference to the cached result with no copy.
-// Shard-per-mutex: a pattern hashes to one of `num_shards` independent
-// LRU lists, so concurrent readers only contend when they collide on a
-// shard, not on a global lock. Each shard owns an equal slice of the
-// byte budget and evicts from its own tail.
+// The sharding/LRU/byte-accounting mechanics live in the generic
+// ShardedLru core (serve/sharded_lru.h, shared with the BGP join cache);
+// this wrapper owns the pattern-cache policy: the per-entry byte charge,
+// the akb.serve.cache.* obs counters, and the QueryTrace hooks.
 //
 // Stats are exact and internally consistent: every Get is counted as
 // exactly one hit or one miss (under the shard mutex), so across any set
@@ -14,14 +14,12 @@
 #define AKB_SERVE_RESULT_CACHE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "rdf/triple_store.h"
 #include "serve/query_trace.h"
+#include "serve/sharded_lru.h"
 
 namespace akb::serve {
 
@@ -34,15 +32,7 @@ struct ResultCacheConfig {
   size_t max_bytes = 64u << 20;
 };
 
-struct ResultCacheStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t insertions = 0;
-  uint64_t evictions = 0;
-  uint64_t oversize = 0;  ///< Put() calls rejected as larger than a shard
-  uint64_t entries = 0;   ///< currently cached entries
-  uint64_t bytes = 0;     ///< currently charged bytes
-};
+using ResultCacheStats = CacheStats;
 
 class ResultCache {
  public:
@@ -72,44 +62,20 @@ class ResultCache {
 
   /// Aggregated over all shards. Monotonic counters are cumulative since
   /// construction; entries/bytes are the current residency.
-  ResultCacheStats Stats() const;
+  ResultCacheStats Stats() const { return lru_.Stats(); }
 
   /// Drops every entry (stats counters are kept).
-  void Clear();
+  void Clear() { lru_.Clear(); }
 
-  size_t num_shards() const { return shards_.size(); }
-  size_t shard_budget_bytes() const { return shard_budget_; }
+  size_t num_shards() const { return lru_.num_shards(); }
+  size_t shard_budget_bytes() const { return lru_.shard_budget_bytes(); }
 
   /// The byte charge Put() uses for a result of `num_matches` indices.
   static size_t EntryBytes(size_t num_matches);
 
  private:
-  struct Entry {
-    rdf::TriplePattern key;
-    ResultPtr value;
-    size_t bytes = 0;
-  };
-  struct Shard {
-    std::mutex mutex;
-    std::list<Entry> lru;  ///< front = most recent
-    std::unordered_map<rdf::TriplePattern, std::list<Entry>::iterator,
-                       rdf::TriplePatternHash>
-        index;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
-    uint64_t evictions = 0;
-    uint64_t oversize = 0;
-  };
-
-  Shard& ShardFor(const rdf::TriplePattern& key);
-  ResultPtr GetImpl(const rdf::TriplePattern& key);
-  void PutImpl(const rdf::TriplePattern& key, ResultPtr value);
-
-  std::vector<std::unique_ptr<Shard>> shards_;
-  size_t shard_mask_ = 0;
-  size_t shard_budget_ = 0;
+  ShardedLru<rdf::TriplePattern, std::vector<size_t>, rdf::TriplePatternHash>
+      lru_;
 };
 
 }  // namespace akb::serve

@@ -27,7 +27,10 @@ obs::Json KbSection(const KbView& view) {
   return kb;
 }
 
-obs::Json CacheSection(const ResultCache* cache) {
+// Shared by the pattern cache and the BGP join cache — both sit on the
+// same ShardedLru core and expose the same stat invariants.
+template <typename Cache>
+obs::Json CacheSection(const Cache* cache) {
   obs::Json section = obs::Json::Object();
   section.Set("enabled", cache != nullptr);
   if (cache == nullptr) return section;
@@ -52,6 +55,7 @@ obs::Json CacheSection(const ResultCache* cache) {
 void FillStatusReport(const QueryEngine& engine, obs::StatusReport* report) {
   report->AddSection("kb", KbSection(engine.view()));
   report->AddSection("cache", CacheSection(engine.cache()));
+  report->AddSection("bgp_cache", CacheSection(engine.bgp_cache()));
 
   const int64_t now = obs::NowMicros();
   const std::vector<std::pair<std::string, int64_t>> windows = {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <string>
 
 #include "common/random.h"
 
@@ -103,6 +104,84 @@ std::vector<TriplePattern> GenerateQueryWorkload(
         break;
     }
     out.push_back(pattern);
+  }
+  return out;
+}
+
+std::vector<serve::BgpQuery> GenerateBgpWorkload(
+    const rdf::TripleStore& store, const BgpWorkloadConfig& config) {
+  std::vector<serve::BgpQuery> out;
+  out.reserve(config.num_queries);
+  if (store.num_triples() == 0 || config.num_queries == 0) return out;
+
+  const size_t min_patterns = std::max<size_t>(2, config.min_patterns);
+  const size_t max_patterns = std::min<size_t>(
+      serve::kMaxBgpPatterns, std::max(min_patterns, config.max_patterns));
+
+  Rng rng(config.seed);
+  // Same Zipf-over-shuffled-triples scheme as GenerateQueryWorkload, so
+  // hot subjects repeat and the join cache sees re-asked queries.
+  std::vector<uint32_t> order(store.num_triples());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = uint32_t(i);
+  rng.Shuffle(&order);
+  ZipfTable zipf(order.size(), std::max(1e-3, config.zipf));
+
+  // Star over one entity variable: selective bound-object arms built from
+  // the subject's actual triples, usually ending in an open "?v" tail.
+  auto add_star = [&](serve::BgpQuery* q, const rdf::Triple& base) {
+    serve::BgpTerm e = q->Var("e");
+    std::vector<size_t> arms = store.Match({base.subject, 0, 0});
+    size_t want = min_patterns + rng.Index(max_patterns - min_patterns + 1);
+    std::vector<size_t> picks =
+        rng.SampleWithoutReplacement(arms.size(), want);
+    if (picks.size() < 2) {
+      // A single-fact subject still yields a 2-pattern join: the bound
+      // fact plus its open-tail form.
+      const rdf::Triple& t = store.triple(arms[picks.empty() ? 0 : picks[0]]);
+      q->Add(e, serve::BgpQuery::Bound(t.predicate),
+             serve::BgpQuery::Bound(t.object));
+      q->Add(e, serve::BgpQuery::Bound(t.predicate), q->Var("v0"));
+      return;
+    }
+    for (size_t i = 0; i < picks.size(); ++i) {
+      const rdf::Triple& t = store.triple(arms[picks[i]]);
+      const bool open = i + 1 == picks.size()
+                            ? rng.Bernoulli(config.open_tail_weight)
+                            : rng.Bernoulli(0.15);
+      if (open) {
+        q->Add(e, serve::BgpQuery::Bound(t.predicate),
+               q->Var("v" + std::to_string(i)));
+      } else {
+        q->Add(e, serve::BgpQuery::Bound(t.predicate),
+               serve::BgpQuery::Bound(t.object));
+      }
+    }
+  };
+
+  for (size_t n = 0; n < config.num_queries; ++n) {
+    const rdf::Triple& base = store.triple(order[zipf.Sample(&rng)]);
+    serve::BgpQuery q;
+    bool built = false;
+    if (rng.Bernoulli(config.chain_weight)) {
+      // Two-hop path ?a -p-> ?b -p2-> (o2|?v), when the object id links
+      // onward as a subject.
+      std::vector<size_t> hops = store.Match({base.object, 0, 0});
+      if (!hops.empty()) {
+        const rdf::Triple& hop = store.triple(hops[rng.Index(hops.size())]);
+        serve::BgpTerm a = q.Var("a");
+        serve::BgpTerm b = q.Var("b");
+        q.Add(a, serve::BgpQuery::Bound(base.predicate), b);
+        if (rng.Bernoulli(0.5)) {
+          q.Add(b, serve::BgpQuery::Bound(hop.predicate),
+                serve::BgpQuery::Bound(hop.object));
+        } else {
+          q.Add(b, serve::BgpQuery::Bound(hop.predicate), q.Var("v"));
+        }
+        built = true;
+      }
+    }
+    if (!built) add_star(&q, base);
+    out.push_back(std::move(q));
   }
   return out;
 }

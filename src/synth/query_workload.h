@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "rdf/triple_store.h"
+#include "serve/bgp.h"
 
 namespace akb::synth {
 
@@ -42,6 +43,35 @@ struct QueryWorkloadConfig {
 /// triple population and dictionary size; it is not queried.
 std::vector<rdf::TriplePattern> GenerateQueryWorkload(
     const rdf::TripleStore& store, const QueryWorkloadConfig& config);
+
+/// Join-shaped (BGP) workload against a loaded KB — the access pattern
+/// the related work's KB consumers actually issue: star lookups like
+/// "attributes of entities of class C whose X = V" (2-4 patterns sharing
+/// one entity variable, selective bound-object arms plus an open tail)
+/// and, where the KB's object ids reappear as subjects, two-hop path
+/// queries. Subjects are Zipf-skewed so hot joins repeat and the BGP
+/// result cache has something to do.
+struct BgpWorkloadConfig {
+  size_t num_queries = 1000;
+  uint64_t seed = 29;
+  /// Zipf exponent over the store's triples (0 = uniform).
+  double zipf = 0.8;
+  /// Patterns per query, clamped to [2, serve::kMaxBgpPatterns].
+  size_t min_patterns = 2;
+  size_t max_patterns = 4;
+  /// Fraction of queries that try a two-hop path template (falls back to
+  /// a star when the sampled object never appears as a subject).
+  double chain_weight = 0.15;
+  /// Probability the star's last arm keeps a variable object (an open
+  /// "... ?v" tail) instead of a fully bound one.
+  double open_tail_weight = 0.8;
+};
+
+/// Deterministic in (store contents, config). Every generated query
+/// passes serve::ValidateBgp and joins on shared variables (no
+/// cross-products).
+std::vector<serve::BgpQuery> GenerateBgpWorkload(
+    const rdf::TripleStore& store, const BgpWorkloadConfig& config);
 
 }  // namespace akb::synth
 

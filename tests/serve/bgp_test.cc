@@ -1,0 +1,429 @@
+// BGP executor edge cases and error taxonomy: adversarial shapes (empty
+// store, zero-match patterns anywhere in the join order, all-variable
+// patterns, repeated variables), limit semantics, cache-key
+// canonicalization, and the engine-level join cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "serve/bgp.h"
+#include "serve/kb_view.h"
+#include "serve/query_engine.h"
+
+namespace akb::serve {
+namespace {
+
+using rdf::TermId;
+
+// A tiny film KB with known cardinalities:
+//   f1 type Film, f1 year y1999, f1 dir d1
+//   f2 type Film, f2 year y1999
+//   f3 type Film, f3 year y2005
+//   d1 type Person
+struct FilmStore {
+  rdf::TripleStore store;
+  TermId type, film, person, year, dir;
+  TermId f1, f2, f3, d1, y1999, y2005;
+
+  FilmStore() {
+    auto iri = [&](const std::string& s) {
+      return store.dictionary().InternIri("http://x/" + s);
+    };
+    type = iri("type"), film = iri("Film"), person = iri("Person");
+    year = iri("year"), dir = iri("dir");
+    f1 = iri("f1"), f2 = iri("f2"), f3 = iri("f3"), d1 = iri("d1");
+    y1999 = store.dictionary().InternLiteral("1999");
+    y2005 = store.dictionary().InternLiteral("2005");
+    Add(f1, type, film);
+    Add(f1, year, y1999);
+    Add(f1, dir, d1);
+    Add(f2, type, film);
+    Add(f2, year, y1999);
+    Add(f3, type, film);
+    Add(f3, year, y2005);
+    Add(d1, type, person);
+  }
+
+  void Add(TermId s, TermId p, TermId o) {
+    store.Insert({s, p, o},
+                 rdf::Provenance{"test", rdf::ExtractorKind::kOther, 1.0});
+  }
+};
+
+std::vector<std::vector<TermId>> SortedRows(const BgpRows& rows) {
+  std::vector<std::vector<TermId>> out;
+  out.reserve(rows.num_rows);
+  for (size_t r = 0; r < rows.num_rows; ++r) {
+    std::vector<TermId> row;
+    for (size_t c = 0; c < rows.num_cols(); ++c) row.push_back(rows.at(r, c));
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(BgpValidateTest, ErrorTaxonomy) {
+  FilmStore fs;
+  KbView view(fs.store);
+
+  // No patterns.
+  BgpQuery empty;
+  EXPECT_EQ(ValidateBgp(empty).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ExecuteBgp(view, empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // More than kMaxBgpPatterns.
+  BgpQuery fat;
+  auto e = fat.Var("e");
+  for (size_t i = 0; i < kMaxBgpPatterns + 1; ++i) {
+    fat.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  }
+  EXPECT_EQ(ValidateBgp(fat).code(), StatusCode::kInvalidArgument);
+
+  // An interned variable no pattern uses.
+  BgpQuery unused;
+  auto u = unused.Var("u");
+  (void)u;
+  auto x = unused.Var("x");
+  unused.Add(x, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  unused.Add(x, BgpQuery::Bound(fs.year), BgpQuery::Bound(fs.y1999));
+  EXPECT_EQ(ValidateBgp(unused).code(), StatusCode::kInvalidArgument);
+
+  // Two pattern groups with no shared variable: an unbound cross-product,
+  // rejected by the planner (ValidateBgp itself passes).
+  BgpQuery cross;
+  cross.Add(cross.Var("a"), BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  cross.Add(cross.Var("b"), BgpQuery::Bound(fs.type),
+            BgpQuery::Bound(fs.person));
+  EXPECT_TRUE(ValidateBgp(cross).ok());
+  auto planned = PlanBgp(view, cross);
+  ASSERT_FALSE(planned.ok());
+  EXPECT_EQ(planned.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(planned.status().message().find("cross-product"),
+            std::string::npos);
+  EXPECT_EQ(ExecuteBgp(view, cross).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BgpExecuteTest, EmptyStoreYieldsZeroRowsNotError) {
+  rdf::TripleStore store;
+  TermId p = store.dictionary().InternIri("http://x/p");
+  KbView view(store);
+  BgpQuery q;
+  auto e = q.Var("e");
+  q.Add(e, BgpQuery::Bound(p), q.Var("v"));
+  q.Add(e, BgpQuery::Bound(p), BgpQuery::Bound(p));
+  auto rows = ExecuteBgp(view, q);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->num_rows, 0u);
+  EXPECT_EQ(rows->num_cols(), 2u);
+}
+
+TEST(BgpExecuteTest, TwoPatternJoin) {
+  FilmStore fs;
+  KbView view(fs.store);
+  // Films from 1999: f1, f2.
+  BgpQuery q;
+  auto e = q.Var("e");
+  q.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  q.Add(e, BgpQuery::Bound(fs.year), BgpQuery::Bound(fs.y1999));
+  auto rows = ExecuteBgp(view, q);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  ASSERT_EQ(rows->vars, std::vector<std::string>{"e"});
+  EXPECT_EQ(SortedRows(*rows),
+            (std::vector<std::vector<TermId>>{{fs.f1}, {fs.f2}}));
+}
+
+TEST(BgpExecuteTest, ZeroMatchPatternEarlyAndLateInOrder) {
+  FilmStore fs;
+  KbView view(fs.store);
+  TermId ghost_year = fs.store.dictionary().InternLiteral("1850");
+  BgpQuery q;
+  auto e = q.Var("e");
+  q.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  q.Add(e, BgpQuery::Bound(fs.year), BgpQuery::Bound(ghost_year));  // 0 rows
+  for (std::vector<size_t> order : {std::vector<size_t>{1, 0},   // early
+                                    std::vector<size_t>{0, 1}}) {  // late
+    BgpPlan plan;
+    plan.order = order;
+    auto rows = ExecuteBgpWithPlan(view, q, plan);
+    ASSERT_TRUE(rows.ok()) << rows.status();
+    EXPECT_EQ(rows->num_rows, 0u) << "order " << order[0] << "," << order[1];
+  }
+}
+
+TEST(BgpExecuteTest, AllVariablePatternJoinsAgainstBoundArm) {
+  FilmStore fs;
+  KbView view(fs.store);
+  // (?e ?p ?o) x (?e type Film): every property of every film.
+  BgpQuery q;
+  auto e = q.Var("e");
+  q.Add(e, q.Var("p"), q.Var("o"));
+  q.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  auto rows = ExecuteBgp(view, q);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // f1 has 3 facts, f2 has 2, f3 has 2.
+  EXPECT_EQ(rows->num_rows, 7u);
+  EXPECT_EQ(rows->num_cols(), 3u);
+}
+
+TEST(BgpExecuteTest, RepeatedVariableWithinOnePattern) {
+  FilmStore fs;
+  // A self-loop: s1 knows s1, plus a decoy s1 knows s2.
+  TermId knows = fs.store.dictionary().InternIri("http://x/knows");
+  TermId s1 = fs.store.dictionary().InternIri("http://x/s1");
+  TermId s2 = fs.store.dictionary().InternIri("http://x/s2");
+  fs.Add(s1, knows, s1);
+  fs.Add(s1, knows, s2);
+  KbView view(fs.store);
+
+  BgpQuery q;
+  auto x = q.Var("x");
+  q.Add(x, BgpQuery::Bound(knows), x);  // ?x knows ?x
+  q.Add(x, BgpQuery::Bound(knows), q.Var("y"));
+  auto rows = ExecuteBgp(view, q);
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  // Only s1 self-loops; it has two outgoing knows edges.
+  EXPECT_EQ(SortedRows(*rows),
+            (std::vector<std::vector<TermId>>{{s1, s1}, {s1, s2}}));
+
+  // The naive oracle agrees on the repeated-variable semantics.
+  auto naive = NaiveBgpEval(fs.store, q);
+  ASSERT_TRUE(naive.ok()) << naive.status();
+  EXPECT_EQ(SortedRows(*naive), SortedRows(*rows));
+}
+
+TEST(BgpExecuteTest, LimitZeroErrorsOnAnyRowButAllowsEmptyResults) {
+  FilmStore fs;
+  KbView view(fs.store);
+  BgpOptions zero;
+  zero.limit = 0;
+
+  BgpQuery hit;
+  auto e = hit.Var("e");
+  hit.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  hit.Add(e, BgpQuery::Bound(fs.year), BgpQuery::Bound(fs.y1999));
+  auto res = ExecuteBgp(view, hit, zero);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+
+  TermId ghost_year = fs.store.dictionary().InternLiteral("1850");
+  BgpQuery miss;
+  auto f = miss.Var("e");
+  miss.Add(f, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  miss.Add(f, BgpQuery::Bound(fs.year), BgpQuery::Bound(ghost_year));
+  auto empty = ExecuteBgp(view, miss, zero);
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(empty->num_rows, 0u);
+}
+
+TEST(BgpExecuteTest, LimitHitMidStreamIsTypedOutOfRange) {
+  FilmStore fs;
+  KbView view(fs.store);
+  BgpQuery q;  // three films of type Film
+  auto e = q.Var("e");
+  q.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  q.Add(e, BgpQuery::Bound(fs.year), q.Var("y"));
+  BgpOptions options;
+  options.limit = 2;  // join yields 3 rows
+  auto res = ExecuteBgp(view, q, options);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(res.status().message().find("limit"), std::string::npos);
+  // One more row of headroom and the same query succeeds.
+  options.limit = 3;
+  auto full = ExecuteBgp(view, q, options);
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(full->num_rows, 3u);
+}
+
+TEST(BgpExecuteTest, RowOrderIsDeterministic) {
+  FilmStore fs;
+  KbView view(fs.store);
+  BgpQuery q;
+  auto e = q.Var("e");
+  q.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  q.Add(e, BgpQuery::Bound(fs.year), q.Var("y"));
+  auto first = ExecuteBgp(view, q);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 5; ++i) {
+    auto again = ExecuteBgp(view, q);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->data, first->data);  // same order, not just same set
+    EXPECT_EQ(again->vars, first->vars);
+  }
+}
+
+TEST(BgpCanonicalTest, InvariantUnderReorderAndRename) {
+  FilmStore fs;
+  BgpQuery a;
+  auto e = a.Var("e");
+  a.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  a.Add(e, BgpQuery::Bound(fs.year), a.Var("v"));
+
+  BgpQuery b;  // reversed pattern order, renamed variables
+  auto ent = b.Var("entity");
+  b.Add(ent, BgpQuery::Bound(fs.year), b.Var("value"));
+  b.Add(ent, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+
+  EXPECT_EQ(CanonicalizeBgp(a).key, CanonicalizeBgp(b).key);
+
+  BgpQuery c;  // a genuinely different query
+  auto f = c.Var("e");
+  c.Add(f, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.person));
+  c.Add(f, BgpQuery::Bound(fs.year), c.Var("v"));
+  EXPECT_NE(CanonicalizeBgp(a).key, CanonicalizeBgp(c).key);
+}
+
+TEST(BgpCanonicalTest, EquivalentQueriesShareColumnLayout) {
+  FilmStore fs;
+  KbView view(fs.store);
+  BgpQuery a;
+  auto e = a.Var("e");
+  a.Add(e, BgpQuery::Bound(fs.year), a.Var("v"));
+  a.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+
+  BgpQuery b;  // same join, swapped pattern order and names
+  auto val = b.Var("val");
+  auto ent = b.Var("ent");
+  b.Add(ent, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  b.Add(ent, BgpQuery::Bound(fs.year), val);
+
+  auto ra = ExecuteBgp(view, a);
+  auto rb = ExecuteBgp(view, b);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  // Canonical column ranks make the data layouts directly comparable even
+  // though the queries bound their variables in different orders.
+  EXPECT_EQ(SortedRows(*ra), SortedRows(*rb));
+}
+
+TEST(BgpEngineTest, CacheHitsAcrossEquivalentQueryForms) {
+  FilmStore fs;
+  KbView view(fs.store);
+  QueryEngineConfig config;
+  config.num_workers = 2;
+  QueryEngine engine(view, config);
+
+  BgpQuery a;
+  auto e = a.Var("e");
+  a.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  a.Add(e, BgpQuery::Bound(fs.year), a.Var("v"));
+  auto first = engine.ExecuteBgp(a);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+
+  BgpQuery b;  // equivalent modulo order + names
+  auto ent = b.Var("x");
+  b.Add(ent, BgpQuery::Bound(fs.year), b.Var("w"));
+  b.Add(ent, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  auto second = engine.ExecuteBgp(b);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.rows, first.rows);  // the shared cached entry
+
+  // A different limit is a different outcome, so a different cache key.
+  BgpOptions tiny;
+  tiny.limit = 1;
+  auto limited = engine.ExecuteBgp(a, tiny);
+  EXPECT_FALSE(limited.cache_hit);
+  EXPECT_EQ(limited.status.code(), StatusCode::kOutOfRange);
+
+  auto stats = engine.bgp_cache()->Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+}
+
+TEST(BgpEngineTest, ErrorsAreNotCached) {
+  FilmStore fs;
+  KbView view(fs.store);
+  QueryEngine engine(view, {});
+  BgpQuery cross;
+  cross.Add(cross.Var("a"), BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  cross.Add(cross.Var("b"), BgpQuery::Bound(fs.type),
+            BgpQuery::Bound(fs.person));
+  for (int i = 0; i < 2; ++i) {
+    auto res = engine.ExecuteBgp(cross);
+    EXPECT_EQ(res.status.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(res.cache_hit);
+    EXPECT_EQ(res.rows, nullptr);
+  }
+  EXPECT_EQ(engine.bgp_cache()->Stats().insertions, 0u);
+}
+
+TEST(BgpEngineTest, BatchMatchesSequentialExecution) {
+  FilmStore fs;
+  KbView view(fs.store);
+  QueryEngineConfig config;
+  config.num_workers = 4;
+  QueryEngine engine(view, config);
+
+  std::vector<BgpQuery> queries;
+  for (int i = 0; i < 8; ++i) {
+    BgpQuery q;
+    auto e = q.Var("e");
+    q.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+    if (i % 2 == 0) {
+      q.Add(e, BgpQuery::Bound(fs.year), BgpQuery::Bound(fs.y1999));
+    } else {
+      q.Add(e, BgpQuery::Bound(fs.year), q.Var("y"));
+    }
+    queries.push_back(std::move(q));
+  }
+  auto batch = engine.ExecuteBgpBatch(queries);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].status.ok()) << i;
+    auto direct = ExecuteBgp(view, queries[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(batch[i].rows->data, direct->data) << i;
+  }
+}
+
+TEST(BgpResultCacheTest, StatInvariantsAndEviction) {
+  ResultCacheConfig config;
+  config.num_shards = 1;
+  config.max_bytes = 1 << 10;  // tiny: forces eviction
+  BgpResultCache cache(config);
+
+  auto make_rows = [](size_t rows) {
+    auto r = std::make_shared<BgpRows>();
+    r->vars = {"e"};
+    r->data.assign(rows, rdf::TermId(7));
+    r->num_rows = rows;
+    return std::shared_ptr<const BgpRows>(r);
+  };
+  for (int i = 0; i < 32; ++i) {
+    std::string key = "q" + std::to_string(i);
+    cache.Put(key, make_rows(8));
+    EXPECT_NE(cache.Get(key), nullptr);
+  }
+  auto stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+  EXPECT_LE(stats.bytes, config.max_bytes);
+  EXPECT_EQ(stats.hits + stats.misses, 32u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+}
+
+TEST(BgpDecodeTest, RendersVariablesAndTerms) {
+  FilmStore fs;
+  KbView view(fs.store);
+  BgpQuery q;
+  auto e = q.Var("e");
+  q.Add(e, BgpQuery::Bound(fs.type), BgpQuery::Bound(fs.film));
+  q.Add(e, BgpQuery::Bound(fs.year), q.Var("v"));
+  std::string text = DecodeBgp(view, q);
+  EXPECT_NE(text.find("?e"), std::string::npos);
+  EXPECT_NE(text.find("?v"), std::string::npos);
+  EXPECT_NE(text.find("Film"), std::string::npos);
+  EXPECT_NE(text.find(" . "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace akb::serve

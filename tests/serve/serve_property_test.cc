@@ -14,42 +14,13 @@
 #include "serve/query_engine.h"
 #include "synth/query_workload.h"
 
+#include "random_store.h"
+
 namespace akb::serve {
 namespace {
 
 using rdf::TermId;
 using rdf::TriplePattern;
-
-// A random store with seed-dependent shape: pool sizes vary so posting
-// lists range from singleton to hot, and some seeds produce heavy term
-// reuse (dense patterns) while others stay sparse.
-rdf::TripleStore RandomStore(uint64_t seed) {
-  Rng rng(seed);
-  rdf::TripleStore store;
-  size_t num_subjects = 1 + rng.Index(40);
-  size_t num_predicates = 1 + rng.Index(12);
-  size_t num_objects = 1 + rng.Index(60);
-  std::vector<TermId> subjects, predicates, objects;
-  for (size_t i = 0; i < num_subjects; ++i) {
-    subjects.push_back(
-        store.dictionary().InternIri("http://e/s" + std::to_string(i)));
-  }
-  for (size_t i = 0; i < num_predicates; ++i) {
-    predicates.push_back(
-        store.dictionary().InternIri("http://p/p" + std::to_string(i)));
-  }
-  for (size_t i = 0; i < num_objects; ++i) {
-    objects.push_back(
-        store.dictionary().InternLiteral("o" + std::to_string(i)));
-  }
-  size_t num_claims = rng.Index(400);  // may be zero
-  for (size_t c = 0; c < num_claims; ++c) {
-    store.Insert({rng.Pick(subjects), rng.Pick(predicates), rng.Pick(objects)},
-                 rdf::Provenance{"src" + std::to_string(rng.Index(5)),
-                                 rdf::ExtractorKind::kOther, rng.NextDouble()});
-  }
-  return store;
-}
 
 std::vector<size_t> Sorted(std::vector<size_t> v) {
   std::sort(v.begin(), v.end());

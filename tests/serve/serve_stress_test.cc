@@ -1,5 +1,6 @@
-// Concurrent-read stress: many threads hammer one KbView + result cache
-// with overlapping queries (run under TSAN in CI via the `stress` label).
+// Concurrent-read stress: many threads hammer one KbView, its result
+// cache, and the BGP join path with overlapping queries (run under TSAN
+// in CI via the `stress` label).
 // Asserts: every thread sees the reference answer for every query, cache
 // stats stay internally consistent (hits + misses == lookups, residency
 // == insertions - evictions), and repeated batched runs are identical.
@@ -124,6 +125,98 @@ TEST(ServeStressTest, ConcurrentBatchesAreIdenticalAcrossRuns) {
     for (size_t i = 0; i < results.size(); ++i) {
       EXPECT_EQ(*results[i].matches, *reference[i].matches)
           << "run " << run << " query " << i;
+    }
+  }
+}
+
+TEST(BgpStressTest, ThreadsHammerSharedEngineWithJoins) {
+  rdf::TripleStore store = BuildStore(3000, 45);
+  KbView view(store);
+
+  synth::BgpWorkloadConfig workload_config;
+  workload_config.num_queries = 120;
+  workload_config.seed = 19;
+  auto queries = synth::GenerateBgpWorkload(store, workload_config);
+  ASSERT_FALSE(queries.empty());
+
+  BgpOptions options;
+  options.limit = 5000;
+
+  // Reference answers, computed serially before any concurrency starts.
+  // A query may legitimately hit the row limit; then every concurrent
+  // execution must return the same kOutOfRange.
+  std::vector<Result<BgpRows>> expected;
+  expected.reserve(queries.size());
+  for (const BgpQuery& query : queries) {
+    expected.push_back(ExecuteBgp(view, query, options));
+  }
+
+  QueryEngineConfig config;
+  config.num_workers = 4;
+  config.bgp_cache.num_shards = 4;
+  // Small enough that eviction happens under load.
+  config.bgp_cache.max_bytes = 64u << 10;
+  QueryEngine engine(view, config);
+
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 2;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < queries.size(); ++i) {
+          size_t q = (i + t * 17) % queries.size();
+          BgpExecResult result = engine.ExecuteBgp(queries[q], options);
+          bool match;
+          if (expected[q].ok()) {
+            match = result.status.ok() && result.rows != nullptr &&
+                    result.rows->data == expected[q]->data;
+          } else {
+            match = result.status.code() == expected[q].status().code();
+          }
+          if (!match) mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // Exactly one cache lookup per valid ExecuteBgp: books must balance.
+  ASSERT_NE(engine.bgp_cache(), nullptr);
+  ResultCacheStats stats = engine.bgp_cache()->Stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds * queries.size());
+  EXPECT_EQ(stats.entries, stats.insertions - stats.evictions);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(BgpStressTest, ConcurrentJoinBatchesAreIdenticalAcrossRuns) {
+  rdf::TripleStore store = BuildStore(2000, 63);
+  KbView view(store);
+  synth::BgpWorkloadConfig workload_config;
+  workload_config.num_queries = 150;
+  workload_config.seed = 55;
+  auto queries = synth::GenerateBgpWorkload(store, workload_config);
+
+  BgpOptions options;
+  options.limit = 5000;
+  QueryEngineConfig config;
+  config.num_workers = 8;
+  QueryEngine engine(view, config);
+
+  auto reference = engine.ExecuteBgpBatch(queries, options);
+  for (int run = 0; run < 3; ++run) {
+    auto results = engine.ExecuteBgpBatch(queries, options);
+    ASSERT_EQ(results.size(), reference.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].status.code(), reference[i].status.code())
+          << "run " << run << " query " << i;
+      if (reference[i].status.ok()) {
+        EXPECT_EQ(results[i].rows->data, reference[i].rows->data)
+            << "run " << run << " query " << i;
+      }
     }
   }
 }

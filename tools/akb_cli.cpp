@@ -14,6 +14,8 @@
 //           [--no-cache] [--seed=N] [--bench-out=b.json]
 //           [--metrics-out=m.json] [--trace-sample=F] [--slow-log=N]
 //           [--slow-nanos=T] [--statusz-every=N]
+//           [--joins [--row-limit=N]]  (BGP join workload instead of
+//            single patterns)
 //   akb_cli statusz [--load-kb=kb.akbsnap | --triples=N] [--queries=N]
 //           [--workers=N] [--json] [--out=statusz.json]
 //   akb_cli inspect <file.nt>
@@ -295,6 +297,103 @@ void PrintTopSlowQueries(const serve::QueryEngine& engine, size_t limit) {
   }
 }
 
+// serve-bench --joins: a BGP join workload (star and chain templates from
+// GenerateBgpWorkload) through ExecuteBgpBatch, reported in the same
+// shape as the single-pattern bench: qps, latency percentiles, join cache
+// behavior, and an akb-bench-v1 entry (serve_bgp_qps) for bench-merge.
+int RunJoinBench(const FlagSet& flags, const rdf::TripleStore& store,
+                 serve::KbView& view, serve::QueryEngine& engine,
+                 uint64_t seed, double build_ms) {
+  size_t num_queries = size_t(flags.GetInt("queries", 20000));
+  size_t batch = std::max<int64_t>(1, flags.GetInt("batch", 2048));
+  synth::BgpWorkloadConfig workload_config;
+  workload_config.num_queries = num_queries;
+  workload_config.seed = seed + 1;
+  auto queries = synth::GenerateBgpWorkload(store, workload_config);
+
+  serve::BgpOptions options;
+  options.limit = size_t(flags.GetInt("row-limit", 100000));
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  Stopwatch watch;
+  size_t total_rows = 0;
+  size_t errors = 0;
+  for (size_t begin = 0; begin < queries.size(); begin += batch) {
+    size_t end = std::min(queries.size(), begin + batch);
+    std::vector<serve::BgpQuery> slice(queries.begin() + begin,
+                                       queries.begin() + end);
+    auto results = engine.ExecuteBgpBatch(slice, options);
+    for (const auto& result : results) {
+      if (result.rows) total_rows += result.rows->num_rows;
+      if (!result.status.ok()) ++errors;
+    }
+  }
+  double seconds = watch.ElapsedSeconds();
+  obs::MetricsSnapshot delta =
+      obs::MetricsRegistry::Global().Snapshot().DiffFrom(before);
+
+  double qps = seconds > 0 ? double(queries.size()) / seconds : 0.0;
+  const auto* latency = delta.Find("akb.serve.bgp.query.nanos");
+  double p50 = latency ? latency->p50 : 0.0;
+  double p99 = latency ? latency->p99 : 0.0;
+  std::printf(
+      "Executed %zu join queries (%zu rows, %zu over-limit) in %.3f s: "
+      "%.0f joins/s, p50=%.0f ns p99=%.0f ns\n",
+      queries.size(), total_rows, errors, seconds, qps, p50, p99);
+
+  double hit_rate = 0.0;
+  if (engine.bgp_cache()) {
+    serve::ResultCacheStats stats = engine.bgp_cache()->Stats();
+    hit_rate = stats.hits + stats.misses > 0
+                   ? double(stats.hits) / double(stats.hits + stats.misses)
+                   : 0.0;
+    std::printf(
+        "Join cache: %.1f%% hit rate (%llu hits, %llu misses), "
+        "%llu entries / %.1f MiB resident, %llu evictions\n",
+        hit_rate * 100.0, (unsigned long long)stats.hits,
+        (unsigned long long)stats.misses, (unsigned long long)stats.entries,
+        double(stats.bytes) / (1 << 20), (unsigned long long)stats.evictions);
+  }
+  PrintTopSlowQueries(engine, 3);
+
+  std::string bench_out = flags.GetString("bench-out");
+  if (!bench_out.empty()) {
+    obs::BenchSuite suite("serve_bench");
+    obs::BenchResult result;
+    result.name = "serve_bgp_qps";
+    result.value = qps;
+    result.unit = "qps";
+    result.iterations = int64_t(queries.size());
+    result.extra = {{"p50_nanos", p50},
+                    {"p99_nanos", p99},
+                    {"rows", double(total_rows)},
+                    {"over_limit", double(errors)},
+                    {"triples", double(view.num_triples())},
+                    {"workers", double(engine.num_workers())},
+                    {"cache_hit_rate", hit_rate},
+                    {"view_build_ms", build_ms}};
+    suite.Add(std::move(result));
+    Status status = suite.WriteFile(bench_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote bench results to %s\n", bench_out.c_str());
+  }
+
+  std::string metrics_out = flags.GetString("metrics-out");
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteTextFile(metrics_out, delta.ToJson() + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote %zu metrics to %s\n", delta.entries.size(),
+                metrics_out.c_str());
+  }
+  return 0;
+}
+
 int RunServeBenchCommand(const FlagSet& flags) {
   uint64_t seed = uint64_t(flags.GetInt("seed", 19));
   rdf::TripleStore store;
@@ -328,6 +427,10 @@ int RunServeBenchCommand(const FlagSet& flags) {
       "%zu workers, cache %s\n",
       view.num_triples(), double(view.IndexBytes()) / (1 << 20), build_ms,
       engine.num_workers(), engine.cache() ? "on" : "off");
+
+  if (flags.GetBool("joins")) {
+    return RunJoinBench(flags, store, view, engine, seed, build_ms);
+  }
 
   size_t statusz_every = size_t(flags.GetInt("statusz-every", 0));
   obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
@@ -556,7 +659,9 @@ void PrintUsage() {
       "              --trace-sample=F (default 0.01) --slow-log=N\n"
       "              --slow-nanos=T (log threshold; 0 keeps the worst N\n"
       "              sampled) --statusz-every=N (print statusz every N\n"
-      "              batches)\n"
+      "              batches) --joins (run a BGP join workload through\n"
+      "              the planner instead of single patterns; --row-limit=N\n"
+      "              caps rows per join, default 100000)\n"
       "statusz:      --load-kb=FILE | --triples=N; --queries=N warmup\n"
       "              --workers=N --json --out=FILE (akb-statusz-v1 JSON)\n"
       "bench-merge:  --out=FILE (default BENCH_pipeline.json) inputs...\n");
