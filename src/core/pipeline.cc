@@ -254,19 +254,20 @@ PipelineReport RunPipeline(const synth::World& world,
     for (const auto& wc : world.classes()) classes.push_back(wc.name);
   }
 
-  // One pool serves every sharded stage of this run (Wait() between
-  // stages is the barrier). Every parallel section below either writes
-  // disjoint, order-indexed slots or merges with order-insensitive
-  // operations, so the report is bit-identical at every worker count —
-  // the serial reference path is pool == nullptr.
+  // One long-lived shared pool serves every sharded stage of this run —
+  // and every MapReduce job and fusion round loop inside it, so round
+  // barriers reuse warm workers instead of respawning threads (the
+  // per-caller TaskGroup barrier in ParallelFor is the stage fence).
+  // Every parallel section below either writes disjoint, order-indexed
+  // slots or merges with order-insensitive operations, so the report is
+  // bit-identical at every worker count — the serial reference path is
+  // pool == nullptr.
   size_t workers =
       config.num_workers
           ? config.num_workers
           : std::max<size_t>(1, std::thread::hardware_concurrency());
-  std::unique_ptr<mapreduce::ThreadPool> pool;
-  if (workers > 1) {
-    pool = std::make_unique<mapreduce::ThreadPool>(workers);
-  }
+  mapreduce::ThreadPool* pool =
+      workers > 1 ? mapreduce::SharedPool(workers) : nullptr;
   size_t chunks = std::max<size_t>(1, workers * 4);
   AKB_GAUGE_SET("akb.pipeline.workers", int64_t(workers));
 
@@ -410,7 +411,8 @@ PipelineReport RunPipeline(const synth::World& world,
       AKB_COUNTER_ADD("akb.pipeline.shards",
                       int64_t(render_shards.size() + 3));
       mapreduce::ParallelFor(
-          pool.get(), render_shards.size() + 3, [&](size_t t) {
+          pool, render_shards.size() + 3,
+          [&](size_t t) {
             Stopwatch shard_watch;
             if (t == 0) {
               dbpedia = synth::GenerateKb(world, dbpedia_profile);
@@ -430,7 +432,8 @@ PipelineReport RunPipeline(const synth::World& world,
             }
             AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
                                  shard_watch.ElapsedMicros());
-          });
+          },
+          /*grain=*/1);  // shards are heavy and uneven; never chunk them
       for (size_t i = 0; i < render_shards.size(); ++i) {
         size_t c = render_shards[i].cls;
         for (auto& article : article_parts[i]) {
@@ -468,7 +471,7 @@ PipelineReport RunPipeline(const synth::World& world,
       // passes over the snapshots; the triples append in fixed order after
       // the barrier.
       std::vector<ExtractedTriple> t1, t2;
-      mapreduce::ParallelFor(pool.get(), 3, [&](size_t t) {
+      mapreduce::ParallelFor(pool, 3, [&](size_t t) {
         if (t == 0) {
           combined = kb_extractor.Combine({&dbpedia, &freebase});
         } else if (t == 1) {
@@ -507,7 +510,7 @@ PipelineReport RunPipeline(const synth::World& world,
       std::vector<std::string> queries;
       queries.reserve(query_log.size());
       for (const auto& record : query_log) queries.push_back(record.query);
-      query_extraction = query_extractor.ExtractSharded(queries, pool.get());
+      query_extraction = query_extractor.ExtractSharded(queries, pool);
       size_t attrs = 0;
       for (const auto& c : query_extraction.classes) {
         attrs += c.credible_attributes.size();
@@ -544,7 +547,7 @@ PipelineReport RunPipeline(const synth::World& world,
         }
       }
       AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(units.size()));
-      mapreduce::ParallelFor(pool.get(), units.size(), [&](size_t u) {
+      mapreduce::ParallelFor(pool, units.size(), [&](size_t u) {
         auto [c, s] = units[u];
         Stopwatch shard_watch;
         obs::ScopedSpan span("extract.dom." + classes[c]);
@@ -552,7 +555,7 @@ PipelineReport RunPipeline(const synth::World& world,
             sites_per_class[c][s], entity_names[c], seeds[c]);
         AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
                              shard_watch.ElapsedMicros());
-      });
+      }, /*grain=*/1);
       size_t outputs = 0;
       for (size_t c = 0; c < classes.size(); ++c) {
         dom_extractions[c] = dom_extractor.MergeSiteExtractions(
@@ -572,7 +575,7 @@ PipelineReport RunPipeline(const synth::World& world,
       // class's sentences in order, so a class is the finest deterministic
       // shard); triples append in class order after the barrier.
       AKB_COUNTER_ADD("akb.pipeline.shards", int64_t(classes.size()));
-      mapreduce::ParallelFor(pool.get(), classes.size(), [&](size_t c) {
+      mapreduce::ParallelFor(pool, classes.size(), [&](size_t c) {
         Stopwatch shard_watch;
         obs::ScopedSpan span("extract.text." + classes[c]);
         std::vector<std::string> documents, source_names;
@@ -584,7 +587,7 @@ PipelineReport RunPipeline(const synth::World& world,
             classes[c], documents, source_names, entity_names[c], seeds[c]);
         AKB_HISTOGRAM_RECORD("akb.pipeline.shard_micros",
                              shard_watch.ElapsedMicros());
-      });
+      }, /*grain=*/1);
       size_t outputs = 0;
       for (size_t c = 0; c < classes.size(); ++c) {
         outputs += text_extractions[c].new_attributes.size();
@@ -600,6 +603,7 @@ PipelineReport RunPipeline(const synth::World& world,
     extract::EntityCreationConfig entity_creation_config =
         config.entity_creation;
     entity_creation_config.num_workers = workers;
+    entity_creation_config.pool = pool;
     extract::EntityCreator entity_creator(entity_creation_config);
     extract::EntityResolution resolution;
     stage("entity creation", [&] {
@@ -655,7 +659,7 @@ PipelineReport RunPipeline(const synth::World& world,
       };
       std::vector<PreparedClaim> prepared(all_triples.size());
       mapreduce::ParallelForRanges(
-          pool.get(), all_triples.size(), chunks,
+          pool, all_triples.size(), chunks,
           [&](size_t begin, size_t end) {
             for (size_t i = begin; i < end; ++i) {
               const ExtractedTriple& t = all_triples[i];
@@ -741,12 +745,14 @@ PipelineReport RunPipeline(const synth::World& world,
             case FusionMethod::kVote: {
               fusion::VoteConfig vote;
               vote.num_workers = workers;
+              vote.pool = pool;
               output = fusion::Vote(table, vote);
               break;
             }
             case FusionMethod::kAccu: {
               fusion::AccuConfig accu = config.accu;
               accu.num_workers = workers;
+              accu.pool = pool;
               output = fusion::Accu(table, accu);
               break;
             }
@@ -754,6 +760,7 @@ PipelineReport RunPipeline(const synth::World& world,
               fusion::AccuConfig accu = config.accu;
               accu.popularity = true;
               accu.num_workers = workers;
+              accu.pool = pool;
               output = fusion::Accu(table, accu);
               break;
             }
@@ -761,6 +768,7 @@ PipelineReport RunPipeline(const synth::World& world,
               fusion::AccuConfig accu = config.accu;
               accu.use_confidence = true;
               accu.num_workers = workers;
+              accu.pool = pool;
               output = fusion::Accu(table, accu);
               break;
             }
@@ -768,8 +776,10 @@ PipelineReport RunPipeline(const synth::World& world,
               fusion::AccuConfig accu = config.accu;
               accu.use_confidence = true;
               accu.num_workers = workers;
+              accu.pool = pool;
               fusion::CopyDetectConfig copy_config;
               copy_config.num_workers = workers;
+              copy_config.pool = pool;
               fusion::CopyDetection copies =
                   fusion::DetectCopying(table, copy_config);
               accu.source_weights = copies.independence;
@@ -780,6 +790,7 @@ PipelineReport RunPipeline(const synth::World& world,
               fusion::VoteConfig vote;
               vote.use_confidence = true;
               vote.num_workers = workers;
+              vote.pool = pool;
               output = fusion::Vote(table, vote);
               break;
             }
@@ -875,7 +886,7 @@ PipelineReport RunPipeline(const synth::World& world,
     };
     std::vector<std::vector<FusedVerdict>> fused_verdicts(table.num_items());
     mapreduce::ParallelForRanges(
-        pool.get(), table.num_items(), chunks,
+        pool, table.num_items(), chunks,
         [&](size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
             const ItemMeta& meta = item_meta[i];
@@ -888,7 +899,7 @@ PipelineReport RunPipeline(const synth::World& world,
         });
     std::vector<int8_t> raw_truth(table.claims().size());
     mapreduce::ParallelForRanges(
-        pool.get(), table.claims().size(), chunks,
+        pool, table.claims().size(), chunks,
         [&](size_t begin, size_t end) {
           for (size_t i = begin; i < end; ++i) {
             const fusion::Claim& claim = table.claims()[i];

@@ -54,6 +54,7 @@ EntityResolution EntityCreator::Run(
   // One MapReduce job clusters mentions by key. Map: stateless per triple.
   mapreduce::JobOptions options;
   options.num_workers = config_.num_workers;
+  options.pool = config_.pool;
   auto results =
       mapreduce::RunJob<ExtractedTriple, std::string, MentionEvidence,
                         ClusterResult>(

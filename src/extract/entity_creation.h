@@ -23,6 +23,10 @@
 #include "extract/confidence.h"
 #include "extract/extraction.h"
 
+namespace akb::mapreduce {
+class ThreadPool;
+}  // namespace akb::mapreduce
+
 namespace akb::extract {
 
 struct EntityCreationConfig {
@@ -31,6 +35,9 @@ struct EntityCreationConfig {
   size_t min_new_entity_support = 2;
   /// Worker threads for the MapReduce job.
   size_t num_workers = 2;
+  /// Pool the job runs on when num_workers > 1. nullptr shares the
+  /// process-wide mapreduce::SharedPool(num_workers).
+  mapreduce::ThreadPool* pool = nullptr;
   ConfidenceCriterion confidence;
 };
 

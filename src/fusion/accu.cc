@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <memory>
 
 #include "mapreduce/thread_pool.h"
 #include "obs/metrics.h"
@@ -47,13 +46,16 @@ FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
     return std::clamp(w, 0.0, 1.0);
   };
 
-  // One pool serves every iteration (Wait() is a reusable round barrier);
-  // nullptr keeps the serial inline path. Both ParallelForRanges calls
-  // below only do disjoint writes, so chunking and worker count cannot
-  // change the result.
-  std::unique_ptr<mapreduce::ThreadPool> pool;
+  // One long-lived pool serves every iteration (the ParallelForRanges
+  // return is a reusable round barrier): the caller's pool when provided,
+  // else the process-wide shared pool — never a pool constructed per
+  // call. nullptr keeps the serial inline path. Both ParallelForRanges
+  // calls below only do disjoint writes, so chunking and worker count
+  // cannot change the result.
+  mapreduce::ThreadPool* pool = nullptr;
   if (config.num_workers > 1) {
-    pool = std::make_unique<mapreduce::ThreadPool>(config.num_workers);
+    pool = config.pool ? config.pool
+                       : mapreduce::SharedPool(config.num_workers);
   }
   size_t chunks = std::max<size_t>(1, config.num_workers * 4);
 
@@ -63,7 +65,7 @@ FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
     // --- Step 1: value beliefs per item. Each item writes only its own
     // beliefs slot and the claim_belief entries of its own claims.
     mapreduce::ParallelForRanges(
-        pool.get(), table.num_items(), chunks, [&](size_t begin, size_t end) {
+        pool, table.num_items(), chunks, [&](size_t begin, size_t end) {
           for (ItemId i = static_cast<ItemId>(begin); i < end; ++i) {
             if (i >= by_item.size() || by_item[i].empty()) continue;
             std::map<ValueId, double> score;  // log-odds accumulator
@@ -119,7 +121,7 @@ FusionOutput Accu(const ClaimTable& table, const AccuConfig& config) {
     const auto& by_source = table.claims_of_source();
     std::vector<double> updated_accuracy = accuracy;
     mapreduce::ParallelForRanges(
-        pool.get(), num_sources, chunks, [&](size_t begin, size_t end) {
+        pool, num_sources, chunks, [&](size_t begin, size_t end) {
           for (SourceId s = static_cast<SourceId>(begin); s < end; ++s) {
             if (s >= by_source.size() || by_source[s].empty()) continue;
             double sum = 0.0;

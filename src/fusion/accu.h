@@ -23,6 +23,10 @@
 
 #include "fusion/model.h"
 
+namespace akb::mapreduce {
+class ThreadPool;
+}  // namespace akb::mapreduce
+
 namespace akb::fusion {
 
 struct AccuConfig {
@@ -56,6 +60,10 @@ struct AccuConfig {
   /// independent (disjoint writes), so the fixed point is bit-identical
   /// to the serial path at every worker count.
   size_t num_workers = 1;
+  /// Pool the round loops run on when num_workers > 1. nullptr shares the
+  /// process-wide mapreduce::SharedPool(num_workers), so every round
+  /// barrier reuses warm workers instead of spawning a pool per call.
+  mapreduce::ThreadPool* pool = nullptr;
 };
 
 FusionOutput Accu(const ClaimTable& table, const AccuConfig& config = {});

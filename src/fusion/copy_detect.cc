@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <memory>
 #include <unordered_map>
 
 #include "mapreduce/thread_pool.h"
@@ -68,11 +67,14 @@ CopyDetection DetectCopying(const ClaimTable& table,
   // independent tasks: every matrix cell has exactly one writer and the
   // per-pair log-odds walk (over `smaller`, whose iteration order is fixed
   // by its serial construction above) is identical at every worker count.
-  std::unique_ptr<mapreduce::ThreadPool> pool;
+  mapreduce::ThreadPool* pool = nullptr;
   if (config.num_workers > 1) {
-    pool = std::make_unique<mapreduce::ThreadPool>(config.num_workers);
+    pool = config.pool ? config.pool
+                       : mapreduce::SharedPool(config.num_workers);
   }
-  mapreduce::ParallelFor(pool.get(), num_sources, [&](size_t row) {
+  // grain 1: rows near the top carry most pairs, so chunking rows together
+  // would serialize the heavy ones.
+  mapreduce::ParallelFor(pool, num_sources, [&](size_t row) {
     SourceId a = static_cast<SourceId>(row);
     for (SourceId b = a + 1; b < num_sources; ++b) {
       const auto& ca = source_claims[a];
@@ -115,7 +117,7 @@ CopyDetection DetectCopying(const ClaimTable& table,
       out.dependence[a][b] = posterior;
       out.dependence[b][a] = posterior;
     }
-  });
+  }, /*grain=*/1);
 
   // Independence weights: for each *confidently* dependent pair, discount
   // the source with fewer claims (the presumed copier; the larger source is

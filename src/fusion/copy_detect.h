@@ -20,6 +20,10 @@
 
 #include "fusion/model.h"
 
+namespace akb::mapreduce {
+class ThreadPool;
+}  // namespace akb::mapreduce
+
 namespace akb::fusion {
 
 struct CopyDetectConfig {
@@ -38,6 +42,9 @@ struct CopyDetectConfig {
   /// per row. Every pair's cells are written by exactly one task, so the
   /// matrix is bit-identical at every worker count.
   size_t num_workers = 1;
+  /// Pool the pair loop runs on when num_workers > 1. nullptr shares the
+  /// process-wide mapreduce::SharedPool(num_workers).
+  mapreduce::ThreadPool* pool = nullptr;
 };
 
 struct CopyDetection {

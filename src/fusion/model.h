@@ -79,6 +79,13 @@ class ClaimTable {
   /// Distinct sources that claim anything about an item.
   std::vector<SourceId> SourcesOfItem(ItemId item) const;
 
+  /// Test-only: appends `claim` to claims() verbatim, bypassing interning
+  /// and the by-item/by-source indexes. The normal Add() path can never
+  /// produce an out-of-range ItemId, so corruption-tolerance tests use this
+  /// to plant one; the table's aggregate views stay consistent because the
+  /// planted claim is invisible to claims_of_item()/claims_of_source().
+  void AppendRawClaimForTest(const Claim& claim) { claims_.push_back(claim); }
+
  private:
   uint32_t Intern(std::vector<std::string>* names,
                   std::unordered_map<std::string, uint32_t>* index,

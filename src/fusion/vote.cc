@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mapreduce/engine.h"
+#include "obs/metrics.h"
 
 namespace akb::fusion {
 
@@ -47,16 +48,25 @@ FusionOutput Vote(const ClaimTable& table, const VoteConfig& config) {
   if (config.num_workers > 1 && !table.claims().empty()) {
     // MapReduce path: map claims to their item key, reduce per item. The
     // engine groups values in input order per sorted key, so each reduce
-    // sees exactly the claim order the serial loop iterates.
+    // sees exactly the claim order the serial loop iterates. An item id
+    // at or beyond num_items() would be written out of bounds below, so
+    // the map drops such claims — the serial path never visits them
+    // either (they cannot appear in claims_of_item()).
     std::vector<size_t> claim_ids(table.claims().size());
     std::iota(claim_ids.begin(), claim_ids.end(), size_t{0});
     mapreduce::JobOptions options;
     options.num_workers = config.num_workers;
+    options.pool = config.pool;
     using ItemBeliefs = std::pair<ItemId, Ranked>;
     auto results = mapreduce::RunJob<size_t, ItemId, size_t, ItemBeliefs>(
         claim_ids,
         [&](const size_t& ci, mapreduce::Emitter<ItemId, size_t>* emitter) {
-          emitter->Emit(table.claims()[ci].item, ci);
+          ItemId item = table.claims()[ci].item;
+          if (item >= table.num_items()) {
+            AKB_COUNTER_INC("akb.fusion.vote.out_of_range_claims");
+            return;
+          }
+          emitter->Emit(item, ci);
         },
         [&](const ItemId& item, const std::vector<size_t>& claim_ids) {
           return ItemBeliefs(item, TallyItem(table, config, claim_ids));

@@ -7,6 +7,10 @@
 
 #include "fusion/model.h"
 
+namespace akb::mapreduce {
+class ThreadPool;
+}  // namespace akb::mapreduce
+
 namespace akb::fusion {
 
 struct VoteConfig {
@@ -18,10 +22,19 @@ struct VoteConfig {
   /// claims in input order, so the output is bit-identical to the serial
   /// path at every worker count.
   size_t num_workers = 1;
+  /// Pool the MapReduce job runs on when num_workers > 1. nullptr shares
+  /// the process-wide mapreduce::SharedPool(num_workers); pass one to
+  /// reuse workers a surrounding loop already holds.
+  mapreduce::ThreadPool* pool = nullptr;
 };
 
 /// Per item, belief(v) = (weighted) votes for v / total votes on the item;
 /// single truth = argmax.
+///
+/// Claims whose item id is outside [0, table.num_items()) — impossible via
+/// ClaimTable::Add, but conceivable in a corrupted or hand-built table —
+/// are skipped on both the serial and the MapReduce path (counted under
+/// "akb.fusion.vote.out_of_range_claims"), never written out of bounds.
 FusionOutput Vote(const ClaimTable& table, const VoteConfig& config = {});
 
 }  // namespace akb::fusion

@@ -7,18 +7,29 @@
 // hash-partitioned shuffle, grouped reduce — as a multi-threaded in-process
 // engine so the same fusion jobs run unchanged on one machine.
 //
+// Execution: jobs run on one long-lived shared pool (JobOptions::pool, or
+// the process-wide SharedPool(num_workers) when unset) instead of paying a
+// thread create/join per phase, and the shuffle is flat and sort-based:
+// map chunks emit contiguous (key, value) arrays, a counting scatter
+// merges them into one flat buffer laid out partition-major, and each
+// partition segment is sorted by (key, input-order rank) and reduced over
+// equal-key runs. No per-key containers are allocated anywhere on the
+// path; one value buffer per partition task is reused across keys.
+//
 // Determinism: regardless of thread count, reduce groups are formed per
-// partition in sorted key order and per-key values keep the input order of
-// the records that produced them, so job output is reproducible. The
-// default partition count depends only on the input size (never on
-// num_workers), so the concatenated (partition, sorted key) output order
-// is bit-identical at every worker count.
+// partition in sorted key order, and the rank carried through the shuffle
+// is the claim's global map-emission index — chunks cover contiguous input
+// ranges in order, so rank order *is* serial emission order for any
+// chunking. Per-key values therefore keep the input order of the records
+// that produced them, and the concatenated (partition, sorted key) output
+// order is bit-identical at every worker count. The default partition
+// count depends only on the input size (never on num_workers).
 #ifndef AKB_MAPREDUCE_ENGINE_H_
 #define AKB_MAPREDUCE_ENGINE_H_
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -28,11 +39,17 @@
 namespace akb::mapreduce {
 
 struct JobOptions {
-  /// Worker threads for both map and reduce phases.
+  /// Worker threads for both map and reduce phases. This also sets the
+  /// scheduling chunk count, so it bounds the job's parallelism even on a
+  /// wider pool.
   size_t num_workers = 1;
   /// Shuffle partitions; 0 = min(64, input size), which is independent of
   /// the worker count so job output order is worker-count-invariant.
   size_t num_partitions = 0;
+  /// Pool to run on when num_workers > 1. nullptr lazily shares the
+  /// process-wide SharedPool(num_workers); pass a pool to reuse the warm
+  /// workers a surrounding round loop already holds.
+  ThreadPool* pool = nullptr;
 };
 
 /// Collects (key, value) pairs emitted by one map task.
@@ -52,8 +69,13 @@ class Emitter {
 ///
 /// `map_fn(input, emitter)` is called once per input record;
 /// `reduce_fn(key, values)` once per distinct key, receiving the values in
-/// deterministic order; `hash_fn(key)` routes keys to partitions.
-/// The result concatenates reduce outputs by (partition, sorted key).
+/// deterministic (map-emission) order; `hash_fn(key)` routes keys to
+/// partitions. K needs strict-weak-ordering via operator< (the shuffle
+/// sorts by it); K and V must be movable and default-constructible. The
+/// result concatenates reduce outputs by (partition, sorted key).
+///
+/// A map_fn/reduce_fn exception is rethrown here (first one wins) and
+/// leaves the pool reusable for later jobs.
 template <typename Input, typename K, typename V, typename Output>
 std::vector<Output> RunJob(
     const std::vector<Input>& inputs,
@@ -68,59 +90,129 @@ std::vector<Output> RunJob(
           : std::max<size_t>(1, std::min<size_t>(64, inputs.size()));
   AKB_COUNTER_INC("akb.mapreduce.jobs");
   AKB_COUNTER_ADD("akb.mapreduce.job_records", int64_t(inputs.size()));
+  if (inputs.empty()) return {};
 
-  // --- Map phase: each worker maps a contiguous chunk of inputs. The
-  // chunk count is a scheduling choice only: per-partition pair lists are
-  // merged in chunk order below, which reconstructs input order for any
-  // chunking.
+  ThreadPool* pool = nullptr;
+  if (workers > 1 && inputs.size() > 1) {
+    pool = options.pool ? options.pool : SharedPool(workers);
+  }
+
+  // --- Map phase: each worker maps a contiguous chunk of inputs into one
+  // flat pair array plus that array's partition routing. The chunk count
+  // is a scheduling choice only: ranks assigned below reconstruct the
+  // serial emission order for any chunking.
   size_t chunks = std::min(inputs.size(), workers * 4);
   if (chunks == 0) chunks = 1;
-  // chunk -> partition -> (key, value) pairs, kept separate so the shuffle
-  // can merge them in chunk order (determinism).
-  std::vector<std::vector<std::vector<std::pair<K, V>>>> mapped(
-      chunks, std::vector<std::vector<std::pair<K, V>>>(partitions));
-
-  {
-    ThreadPool pool(workers);
-    size_t per_chunk = (inputs.size() + chunks - 1) / chunks;
-    for (size_t c = 0; c < chunks; ++c) {
-      pool.Submit([&, c] {
+  struct MappedChunk {
+    std::vector<std::pair<K, V>> pairs;  // in emission order
+    std::vector<uint32_t> partition;     // routing, parallel to pairs
+    std::vector<size_t> part_counts;     // histogram over partitions
+  };
+  std::vector<MappedChunk> mapped(chunks);
+  size_t per_chunk = (inputs.size() + chunks - 1) / chunks;
+  ParallelFor(
+      pool, chunks,
+      [&](size_t c) {
         size_t begin = c * per_chunk;
         size_t end = std::min(inputs.size(), begin + per_chunk);
         Emitter<K, V> emitter;
         for (size_t i = begin; i < end; ++i) {
           map_fn(inputs[i], &emitter);
         }
-        for (auto& [key, value] : emitter.pairs()) {
-          size_t p = hash_fn(key) % partitions;
-          mapped[c][p].emplace_back(std::move(key), std::move(value));
+        MappedChunk& m = mapped[c];
+        m.pairs = std::move(emitter.pairs());
+        m.partition.resize(m.pairs.size());
+        m.part_counts.assign(partitions, 0);
+        for (size_t j = 0; j < m.pairs.size(); ++j) {
+          uint32_t p = uint32_t(hash_fn(m.pairs[j].first) % partitions);
+          m.partition[j] = p;
+          ++m.part_counts[p];
         }
-      });
+      },
+      /*grain=*/1);
+
+  // --- Shuffle: counting scatter into one flat buffer, laid out
+  // partition-major; within a partition, slices follow (chunk, emission)
+  // order, i.e. ascending rank.
+  struct Entry {
+    uint64_t rank;  // global map-emission index (serial order)
+    K key;
+    V value;
+  };
+  // offsets[p * chunks + c] = where chunk c's slice of partition p starts.
+  std::vector<size_t> offsets(partitions * chunks);
+  std::vector<size_t> part_begin(partitions + 1);
+  size_t total = 0;
+  for (size_t p = 0; p < partitions; ++p) {
+    part_begin[p] = total;
+    for (size_t c = 0; c < chunks; ++c) {
+      offsets[p * chunks + c] = total;
+      total += mapped[c].part_counts[p];
     }
-    pool.Wait();
+  }
+  part_begin[partitions] = total;
+  std::vector<uint64_t> rank_base(chunks);
+  uint64_t rank = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    rank_base[c] = rank;
+    rank += mapped[c].pairs.size();
   }
 
-  // --- Shuffle + reduce phase: group per partition, reduce in parallel.
+  std::vector<Entry> entries(total);
+  ParallelFor(
+      pool, chunks,
+      [&](size_t c) {
+        MappedChunk& m = mapped[c];
+        std::vector<size_t> cursor(partitions);
+        for (size_t p = 0; p < partitions; ++p) {
+          cursor[p] = offsets[p * chunks + c];
+        }
+        for (size_t j = 0; j < m.pairs.size(); ++j) {
+          Entry& e = entries[cursor[m.partition[j]]++];
+          e.rank = rank_base[c] + j;
+          e.key = std::move(m.pairs[j].first);
+          e.value = std::move(m.pairs[j].second);
+        }
+        // Release chunk memory early: the flat buffer owns the data now.
+        std::vector<std::pair<K, V>>().swap(m.pairs);
+        std::vector<uint32_t>().swap(m.partition);
+      },
+      /*grain=*/1);
+
+  // --- Sort + reduce: each partition segment is an independent task.
+  // Sorting by (key, rank) makes equal-key runs contiguous with values in
+  // emission order; one reusable buffer feeds reduce_fn per run.
   std::vector<std::vector<Output>> partition_outputs(partitions);
-  {
-    ThreadPool pool(workers);
-    for (size_t p = 0; p < partitions; ++p) {
-      pool.Submit([&, p] {
-        std::map<K, std::vector<V>> groups;  // sorted keys => determinism
-        for (size_t c = 0; c < chunks; ++c) {
-          for (auto& [key, value] : mapped[c][p]) {
-            groups[key].push_back(std::move(value));
+  ParallelFor(
+      pool, partitions,
+      [&](size_t p) {
+        auto begin = entries.begin() + ptrdiff_t(part_begin[p]);
+        auto end = entries.begin() + ptrdiff_t(part_begin[p + 1]);
+        if (begin == end) return;
+        std::sort(begin, end, [](const Entry& a, const Entry& b) {
+          if (a.key < b.key) return true;
+          if (b.key < a.key) return false;
+          return a.rank < b.rank;
+        });
+        std::vector<V> values;  // reused across keys
+        for (auto run = begin; run != end;) {
+          auto run_end = run;
+          // keys ascend, so equality is !(run->key < run_end->key).
+          while (run_end != end && !(run->key < run_end->key)) ++run_end;
+          values.clear();
+          for (auto it = run; it != run_end; ++it) {
+            values.push_back(std::move(it->value));
           }
+          partition_outputs[p].push_back(reduce_fn(run->key, values));
+          run = run_end;
         }
-        for (auto& [key, values] : groups) {
-          partition_outputs[p].push_back(reduce_fn(key, values));
-        }
-      });
-    }
-    pool.Wait();
-  }
+      },
+      /*grain=*/1);
 
   std::vector<Output> out;
+  size_t out_total = 0;
+  for (const auto& po : partition_outputs) out_total += po.size();
+  out.reserve(out_total);
   for (auto& po : partition_outputs) {
     for (auto& o : po) out.push_back(std::move(o));
   }

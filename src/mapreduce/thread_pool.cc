@@ -1,14 +1,19 @@
 #include "mapreduce/thread_pool.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "obs/metrics.h"
 
 namespace akb::mapreduce {
 
-// Pool telemetry is global across pool instances (pools are short-lived
-// inside MapReduce jobs): queue_depth/workers_busy show the current and
-// high-water saturation, tasks_executed the cumulative volume.
+// Pool telemetry is global across pool instances: queue_depth/workers_busy
+// show the current and high-water saturation summed over every live pool,
+// tasks_executed the cumulative volume. All gauge writes are balanced
+// deltas (+1/-1 around the same event), never absolute Set()s — an
+// absolute write from one pool would clobber the contribution of any
+// other pool alive at the same time.
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -36,9 +41,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++tasks_submitted_;
-    AKB_GAUGE_SET("akb.mapreduce.pool.queue_depth",
-                  int64_t(queue_.size()));
   }
+  AKB_GAUGE_ADD("akb.mapreduce.pool.queue_depth", 1);
   AKB_COUNTER_INC("akb.mapreduce.pool.tasks_submitted");
   work_available_.notify_one();
 }
@@ -83,10 +87,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
-      AKB_GAUGE_SET("akb.mapreduce.pool.queue_depth",
-                    int64_t(queue_.size()));
-      AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", 1);
     }
+    AKB_GAUGE_ADD("akb.mapreduce.pool.queue_depth", -1);
+    AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", 1);
     std::exception_ptr error;
     try {
       task();
@@ -99,23 +102,98 @@ void ThreadPool::WorkerLoop() {
       if (error && !first_error_) first_error_ = error;
       --active_;
       ++tasks_executed_;
-      AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", -1);
       if (queue_.empty() && active_ == 0) all_done_.notify_all();
     }
+    AKB_GAUGE_ADD("akb.mapreduce.pool.workers_busy", -1);
     AKB_COUNTER_INC("akb.mapreduce.pool.tasks_executed");
   }
 }
 
+ThreadPool* SharedPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  static std::mutex registry_mutex;
+  // Touch the metrics registry (leaked, never destroyed) before the pool
+  // registry exists, so the pools' exit-time destructors can still write
+  // their gauges.
+  AKB_GAUGE_ADD("akb.mapreduce.pool.shared_pools", 0);
+  static std::map<size_t, std::unique_ptr<ThreadPool>> registry;
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto it = registry.find(num_threads);
+  if (it == registry.end()) {
+    it = registry
+             .emplace(num_threads,
+                      std::make_unique<ThreadPool>(num_threads))
+             .first;
+    AKB_GAUGE_ADD("akb.mapreduce.pool.shared_pools", 1);
+  }
+  return it->second.get();
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done.wait(lock, [this] { return state_->pending == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->pending;
+  }
+  // The task holds its own reference to the state so a group abandoned
+  // after a Wait() rethrow stays valid until its stragglers finish.
+  pool_->Submit([state = state_, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+      AKB_COUNTER_INC("akb.mapreduce.pool.tasks_failed");
+    }
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (error && !state->first_error) state->first_error = error;
+    if (--state->pending == 0) state->done.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done.wait(lock, [this] { return state_->pending == 0; });
+    error = state_->first_error;
+    state_->first_error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn) {
+                 const std::function<void(size_t)>& fn, size_t grain) {
   if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  for (size_t i = 0; i < n; ++i) {
-    pool->Submit([&fn, i] { fn(i); });
+  if (grain == 0) {
+    // Coarse loops (n within a small multiple of the worker count) keep
+    // one task per index for FIFO load balancing of heterogeneous tasks;
+    // fine loops submit ~8 chunk tasks per worker instead of one queued
+    // std::function per index.
+    grain = std::max<size_t>(1, n / (pool->num_threads() * 8));
   }
-  pool->Wait();
+  TaskGroup group(pool);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    size_t end = std::min(n, begin + grain);
+    group.Run([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  group.Wait();
 }
 
 void ParallelForRanges(ThreadPool* pool, size_t n, size_t num_chunks,
@@ -123,11 +201,14 @@ void ParallelForRanges(ThreadPool* pool, size_t n, size_t num_chunks,
   if (n == 0) return;
   num_chunks = std::clamp<size_t>(num_chunks, 1, n);
   size_t per_chunk = (n + num_chunks - 1) / num_chunks;
-  ParallelFor(pool, num_chunks, [&](size_t c) {
-    size_t begin = c * per_chunk;
-    size_t end = std::min(n, begin + per_chunk);
-    if (begin < end) fn(begin, end);
-  });
+  ParallelFor(
+      pool, num_chunks,
+      [&](size_t c) {
+        size_t begin = c * per_chunk;
+        size_t end = std::min(n, begin + per_chunk);
+        if (begin < end) fn(begin, end);
+      },
+      /*grain=*/1);
 }
 
 }  // namespace akb::mapreduce

@@ -7,6 +7,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -21,6 +22,12 @@ namespace akb::mapreduce {
 /// (later exceptions from the same batch are dropped); after the rethrow
 /// the pool is reusable. The destructor drains the queue and swallows any
 /// pending exception.
+///
+/// Shared use: a pool may serve several independent callers at once.
+/// Submit()/Wait() form one shared completion domain (Wait blocks until
+/// *everything* is done and sees any caller's error); callers that need
+/// their own barrier and error isolation submit through a TaskGroup
+/// instead — ParallelFor/ParallelForRanges and the MapReduce engine do.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).
@@ -39,7 +46,9 @@ class ThreadPool {
   size_t num_threads() const { return workers_.size(); }
 
   /// Local telemetry (this pool only). Process-wide aggregates live in the
-  /// obs metrics registry under "akb.mapreduce.pool.*".
+  /// obs metrics registry under "akb.mapreduce.pool.*"; those gauges are
+  /// maintained with balanced deltas, so they stay correct when several
+  /// pools are alive at once (each reads as the sum over live pools).
   size_t tasks_executed() const;
   size_t tasks_submitted() const;
   size_t queue_depth() const;
@@ -59,13 +68,68 @@ class ThreadPool {
   bool shutdown_ = false;
 };
 
+/// Returns the process-wide shared pool with exactly `num_threads` workers,
+/// creating it on first use. Pools live for the rest of the process (one
+/// per distinct worker count, so a worker-count sweep still measures the
+/// parallelism it asks for), which removes the thread create/join cost
+/// that per-job pools paid on every MapReduce job and fusion round.
+///
+/// Ownership rules: the returned pool is owned by the registry — never
+/// delete it, and never call its Wait() (that would block on unrelated
+/// callers' tasks and steal their errors); use a TaskGroup or
+/// ParallelFor/ParallelForRanges, which wait per caller. Never submit to
+/// a pool and wait on it from inside a task running on that same pool —
+/// with every worker blocked in a nested wait the queue starves and the
+/// pool deadlocks (flatten nested fan-outs instead).
+ThreadPool* SharedPool(size_t num_threads);
+
+/// One caller's batch of tasks on a (possibly shared) pool: Wait() blocks
+/// only on tasks submitted through *this* group and rethrows the first
+/// exception *this* group's tasks threw, so independent callers can share
+/// one pool without cross-waiting or cross-contaminating errors.
+///
+/// With pool == nullptr, Run() executes the task inline on the caller (the
+/// serial reference path) and exceptions propagate immediately.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool);
+  /// Waits for any outstanding tasks (errors are dropped — call Wait()).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Run(std::function<void()> task);
+
+  /// Blocks until every task Run() through this group has finished.
+  /// Rethrows the first exception captured since the last Wait(); the
+  /// group is reusable afterwards.
+  void Wait();
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t pending = 0;
+    std::exception_ptr first_error;
+  };
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
 /// Runs fn(i) for every i in [0, n) on `pool` and blocks until all calls
 /// finished. With pool == nullptr the loop runs inline on the caller — the
-/// serial reference path. Task-to-index mapping is fixed, so any
-/// computation whose tasks write disjoint state produces bit-identical
-/// results at every worker count. Rethrows the first task exception.
+/// serial reference path. Indexes are executed in contiguous runs of
+/// `grain` per task (grain == 0 picks one that submits a small multiple of
+/// the worker count for fine loops and one task per index for coarse
+/// ones). Grain and task-to-index mapping are scheduling choices only, so
+/// any computation whose calls write disjoint state produces bit-identical
+/// results at every worker count and grain. Waits per caller (TaskGroup),
+/// so concurrent ParallelFor calls may share one pool; rethrows the first
+/// exception thrown by this loop's own tasks.
 void ParallelFor(ThreadPool* pool, size_t n,
-                 const std::function<void(size_t)>& fn);
+                 const std::function<void(size_t)>& fn, size_t grain = 0);
 
 /// Chunked variant for fine-grained loops: [0, n) is split into
 /// `num_chunks` contiguous ranges and fn(begin, end) runs once per

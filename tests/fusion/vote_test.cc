@@ -75,6 +75,54 @@ TEST(VoteTest, EmptyTable) {
   EXPECT_TRUE(out.beliefs.empty());
 }
 
+TEST(VoteTest, ParallelPathMatchesSerial) {
+  synth::ClaimGenConfig config;
+  config.num_items = 400;
+  config.sources = synth::MakeSources(9, 0.6, 0.9, 0.8);
+  config.seed = 17;
+  ClaimTable table = ClaimTable::FromDataset(synth::GenerateClaims(config));
+  FusionOutput serial = Vote(table);
+  for (size_t workers : {2u, 4u, 8u}) {
+    VoteConfig parallel_config;
+    parallel_config.num_workers = workers;
+    FusionOutput parallel = Vote(table, parallel_config);
+    // Exact equality: the MapReduce path must replay the serial
+    // floating-point op sequence bit for bit.
+    EXPECT_EQ(parallel.beliefs, serial.beliefs) << workers << " workers";
+  }
+}
+
+TEST(VoteTest, OutOfRangeClaimSkippedOnBothPaths) {
+  // Regression: the MapReduce path wrote out.beliefs[claim.item] without a
+  // bound check, while the serial path (driven by claims_of_item()) never
+  // visited a claim whose item id exceeds num_items(). A corrupt claim —
+  // plantable only through the test hook, since Add() interns ids — made
+  // the parallel path write out of bounds where the serial path silently
+  // skipped. Both paths must now skip it identically.
+  ClaimTable table;
+  table.Add("i1", "s1", "right");
+  table.Add("i1", "s2", "right");
+  table.Add("i2", "s1", "other");
+  Claim corrupt;
+  corrupt.item = ItemId(table.num_items() + 7);  // beyond every index
+  corrupt.source = 0;
+  corrupt.value = 0;
+  table.AppendRawClaimForTest(corrupt);
+
+  FusionOutput serial = Vote(table);
+  ASSERT_EQ(serial.beliefs.size(), table.num_items());
+
+  VoteConfig parallel_config;
+  parallel_config.num_workers = 4;
+  FusionOutput parallel = Vote(table, parallel_config);
+  ASSERT_EQ(parallel.beliefs.size(), table.num_items());
+  EXPECT_EQ(parallel.beliefs, serial.beliefs);
+
+  ItemId i1;
+  ASSERT_TRUE(table.FindItem("i1", &i1));
+  EXPECT_EQ(table.value_name(parallel.TruthsOf(i1)[0]), "right");
+}
+
 TEST(VoteTest, AccuracyShapeOnSyntheticData) {
   // VOTE recovers most truths when sources are decent on average.
   synth::ClaimGenConfig config;

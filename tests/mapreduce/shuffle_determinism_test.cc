@@ -1,0 +1,204 @@
+// Determinism properties of the flat sort-based shuffle: RunJob's output —
+// reduce-call order, per-key value order, everything — must be identical at
+// every worker count, for any explicit partition count, and under hash
+// functions engineered to collide. Also pins the engine's exception
+// contract on the shared pool: a throwing map or reduce fn surfaces at the
+// RunJob call and leaves the (process-shared) pool usable for later jobs.
+#include "mapreduce/engine.h"
+
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace akb::mapreduce {
+namespace {
+
+struct Record {
+  std::string key;
+  int payload = 0;
+};
+
+// Inputs with heavy key collisions and multiple emissions per record, so
+// per-key value order exercises cross-chunk merging.
+std::vector<Record> MakeRecords(size_t n) {
+  std::vector<Record> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back({"key" + std::to_string(i % 13), int(i)});
+  }
+  return records;
+}
+
+// Reduce output encodes the key AND the exact value order it saw, so any
+// scheduling-dependent reordering changes the strings, not just a count.
+std::vector<std::string> RunEncodedJob(const std::vector<Record>& records,
+                                       const JobOptions& options,
+                                       const std::function<size_t(
+                                           const std::string&)>& hash_fn) {
+  return RunJob<Record, std::string, int, std::string>(
+      records,
+      [](const Record& r, Emitter<std::string, int>* emit) {
+        emit->Emit(r.key, r.payload);
+        if (r.payload % 3 == 0) emit->Emit(r.key, -r.payload);
+      },
+      [](const std::string& key, const std::vector<int>& values) {
+        std::string out = key + ":";
+        for (int v : values) out += std::to_string(v) + ",";
+        return out;
+      },
+      hash_fn, options);
+}
+
+TEST(ShuffleDeterminismTest, OutputIdenticalAcrossWorkersPartitionsHashes) {
+  std::vector<Record> records = MakeRecords(997);  // odd, non-chunk-aligned
+  struct NamedHash {
+    const char* name;
+    std::function<size_t(const std::string&)> fn;
+  };
+  const NamedHash hashes[] = {
+      {"std::hash", [](const std::string& k) { return std::hash<std::string>{}(k); }},
+      {"constant (all keys collide)", [](const std::string&) { return size_t{7}; }},
+      {"mod2 (two buckets)", [](const std::string& k) { return k.size() % 2; }},
+  };
+  for (const NamedHash& hash : hashes) {
+    for (size_t partitions : {0u, 1u, 2u, 7u, 64u}) {
+      JobOptions serial;
+      serial.num_workers = 1;
+      serial.num_partitions = partitions;
+      std::vector<std::string> reference =
+          RunEncodedJob(records, serial, hash.fn);
+      ASSERT_FALSE(reference.empty());
+      for (size_t workers : {2u, 4u, 8u}) {
+        JobOptions options;
+        options.num_workers = workers;
+        options.num_partitions = partitions;
+        EXPECT_EQ(RunEncodedJob(records, options, hash.fn), reference)
+            << "hash=" << hash.name << " partitions=" << partitions
+            << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(ShuffleDeterminismTest, PartitionCountOnlyReordersGroups) {
+  // Different partition counts may legally reorder reduce groups, but the
+  // *set* of reduce outputs (key + value order inside each group) must not
+  // change.
+  std::vector<Record> records = MakeRecords(500);
+  auto hash = [](const std::string& k) { return std::hash<std::string>{}(k); };
+  JobOptions one_partition;
+  one_partition.num_workers = 4;
+  one_partition.num_partitions = 1;
+  std::vector<std::string> reference =
+      RunEncodedJob(records, one_partition, hash);
+  std::sort(reference.begin(), reference.end());
+  for (size_t partitions : {2u, 7u, 64u}) {
+    JobOptions options;
+    options.num_workers = 4;
+    options.num_partitions = partitions;
+    std::vector<std::string> outputs = RunEncodedJob(records, options, hash);
+    std::sort(outputs.begin(), outputs.end());
+    EXPECT_EQ(outputs, reference) << "partitions=" << partitions;
+  }
+}
+
+TEST(ShuffleDeterminismTest, MapExceptionPropagatesAndPoolSurvives) {
+  std::vector<int> inputs(200);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobOptions options;
+  options.num_workers = 4;  // runs on SharedPool(4)
+  auto throwing_map = [](const int& i, Emitter<int, int>* emit) {
+    if (i == 131) throw std::runtime_error("map failed");
+    emit->Emit(i % 10, i);
+  };
+  auto sum_reduce = [](const int& key, const std::vector<int>& values) {
+    return key + std::accumulate(values.begin(), values.end(), 0);
+  };
+  EXPECT_THROW((RunJob<int, int, int, int>(inputs, throwing_map, sum_reduce,
+                                           options)),
+               std::runtime_error);
+
+  // The shared pool must be fully usable afterwards: same job minus the
+  // throw, verified against the serial path.
+  auto clean_map = [](const int& i, Emitter<int, int>* emit) {
+    emit->Emit(i % 10, i);
+  };
+  JobOptions serial;
+  serial.num_workers = 1;
+  EXPECT_EQ(
+      (RunJob<int, int, int, int>(inputs, clean_map, sum_reduce, options)),
+      (RunJob<int, int, int, int>(inputs, clean_map, sum_reduce, serial)));
+}
+
+TEST(ShuffleDeterminismTest, ReduceExceptionPropagatesAndPoolSurvives) {
+  std::vector<int> inputs(200);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  JobOptions options;
+  options.num_workers = 4;
+  auto map = [](const int& i, Emitter<int, int>* emit) {
+    emit->Emit(i % 10, i);
+  };
+  EXPECT_THROW(
+      (RunJob<int, int, int, int>(
+          inputs, map,
+          [](const int& key, const std::vector<int>&) -> int {
+            if (key == 7) throw std::runtime_error("reduce failed");
+            return key;
+          },
+          options)),
+      std::runtime_error);
+  auto sum_reduce = [](const int& key, const std::vector<int>& values) {
+    return key + std::accumulate(values.begin(), values.end(), 0);
+  };
+  JobOptions serial;
+  serial.num_workers = 1;
+  EXPECT_EQ((RunJob<int, int, int, int>(inputs, map, sum_reduce, options)),
+            (RunJob<int, int, int, int>(inputs, map, sum_reduce, serial)));
+}
+
+TEST(ShuffleDeterminismTest, EmptyAndSingletonInputs) {
+  JobOptions options;
+  options.num_workers = 8;
+  auto map = [](const int& i, Emitter<int, int>* emit) { emit->Emit(i, i); };
+  auto reduce = [](const int& key, const std::vector<int>& values) {
+    return key + int(values.size());
+  };
+  EXPECT_TRUE(
+      (RunJob<int, int, int, int>({}, map, reduce, options)).empty());
+  EXPECT_EQ((RunJob<int, int, int, int>({42}, map, reduce, options)),
+            std::vector<int>{43});
+}
+
+TEST(ParallelForGrainTest, AutoGrainSubmitsOneTaskPerIndexForCoarseLoops) {
+  ThreadPool pool(4);
+  size_t before = pool.tasks_submitted();
+  // n <= threads * 8 → auto grain 1 → one task per index (FIFO balancing
+  // for heterogeneous shard tasks).
+  ParallelFor(&pool, 16, [](size_t) {});
+  EXPECT_EQ(pool.tasks_submitted() - before, 16u);
+}
+
+TEST(ParallelForGrainTest, AutoGrainChunksFineLoops) {
+  ThreadPool pool(4);
+  size_t before = pool.tasks_submitted();
+  // n = 1000, threads 4 → grain = 1000/32 = 31 → ceil(1000/31) = 33 tasks,
+  // not 1000 queued std::functions.
+  ParallelFor(&pool, 1000, [](size_t) {});
+  EXPECT_EQ(pool.tasks_submitted() - before, 33u);
+}
+
+TEST(ParallelForGrainTest, ExplicitGrainIsHonored) {
+  ThreadPool pool(4);
+  size_t before = pool.tasks_submitted();
+  std::vector<int> hits(100, 0);
+  ParallelFor(&pool, 100, [&](size_t i) { hits[i] = 1; }, /*grain=*/10);
+  EXPECT_EQ(pool.tasks_submitted() - before, 10u);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+}  // namespace
+}  // namespace akb::mapreduce

@@ -7,6 +7,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -14,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mapreduce/engine.h"
 #include "obs/metrics.h"
 
 namespace akb::mapreduce {
@@ -178,6 +182,50 @@ TEST(ThreadPoolStressTest, ParallelForPropagatesTaskException) {
   EXPECT_EQ(after.load(), 10);
 }
 
+TEST(ThreadPoolStressTest, TwoLiveBusyPoolsSumIntoTheGauges) {
+  // Regression: pool gauges were once written with absolute Set()s, so the
+  // second live pool clobbered the first's contribution and the gauges
+  // tracked whichever instance wrote last. With balanced deltas the gauges
+  // read as the *sum* over live pools at all times.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool release = false;
+  std::atomic<int> running{0};
+  auto blocker = [&] {
+    running.fetch_add(1);
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return release; });
+  };
+  {
+    ThreadPool a(2), b(3);
+    EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_total"), 5);
+    for (int i = 0; i < 2; ++i) a.Submit(blocker);
+    for (int i = 0; i < 3; ++i) b.Submit(blocker);
+    // Both pools fully busy at once: busy gauge must show 2 + 3, not
+    // whichever pool updated last.
+    for (int spin = 0; running.load() < 5 && spin < 2000; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(running.load(), 5);
+    EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_busy"), 5);
+    // Extra queued (not yet running) work on both pools sums as well.
+    for (int i = 0; i < 4; ++i) a.Submit([] {});
+    for (int i = 0; i < 6; ++i) b.Submit([] {});
+    EXPECT_EQ(GaugeValue("akb.mapreduce.pool.queue_depth"), 10);
+    {
+      std::lock_guard<std::mutex> lock(gate_mutex);
+      release = true;
+    }
+    gate_cv.notify_all();
+    a.Wait();
+    b.Wait();
+    EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_busy"), 0);
+    EXPECT_EQ(GaugeValue("akb.mapreduce.pool.queue_depth"), 0);
+    EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_total"), 5);
+  }
+  EXPECT_EQ(GaugeValue("akb.mapreduce.pool.workers_total"), 0);
+}
+
 TEST(ThreadPoolStressTest, ParallelForRangesPartitionIsExact) {
   ThreadPool pool(4);
   for (size_t n : {1u, 7u, 64u, 1000u, 4096u}) {
@@ -193,6 +241,108 @@ TEST(ThreadPoolStressTest, ParallelForRangesPartitionIsExact) {
       }
     }
   }
+}
+
+// NOTE: keep SharedPool-using tests last in this file. SharedPool threads
+// live until process exit, so any later test expecting workers_total == 0
+// would fail when the whole binary runs in one process (ctest runs each
+// test in its own process, but a direct binary run does not).
+TEST(ThreadPoolStressTest, ConcurrentJobsOnOneSharedPoolStayIsolated) {
+  // Several threads drive full MapReduce jobs through the same shared pool
+  // at once — the production shape after the flat-shuffle change. Each
+  // job must produce exactly its serial reference (no cross-job waiting,
+  // no cross-job error or data bleed), round after round. Run under TSAN
+  // (the stress label is part of the tsan CI suite) this doubles as the
+  // data-race check on TaskGroup and the flat shuffle.
+  auto job = [](int salt, size_t workers) {
+    std::vector<int> inputs(4000);
+    std::iota(inputs.begin(), inputs.end(), salt);
+    mapreduce::JobOptions options;
+    options.num_workers = workers;
+    return RunJob<int, int, long, long>(
+        inputs,
+        [](const int& i, Emitter<int, long>* emit) {
+          emit->Emit(i % 97, i);
+        },
+        [](const int& key, const std::vector<long>& values) {
+          long sum = key;
+          for (long v : values) sum += v;
+          return sum;
+        },
+        options);
+  };
+
+  constexpr int kDrivers = 4;
+  constexpr int kRounds = 20;
+  std::vector<std::vector<long>> references(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) references[d] = job(d * 1000, 1);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      for (int round = 0; round < kRounds; ++round) {
+        // All drivers resolve to the same SharedPool(4) instance.
+        if (job(d * 1000, 4) != references[d]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadPoolStressTest, SharedPoolSurvivesAFailedJobFromAnotherCaller) {
+  // One caller's throwing job must not poison a concurrent caller's clean
+  // job on the same shared pool: TaskGroup error state is per caller.
+  std::vector<int> inputs(2000);
+  std::iota(inputs.begin(), inputs.end(), 0);
+  mapreduce::JobOptions options;
+  options.num_workers = 4;
+  auto clean_reduce = [](const int& key, const std::vector<long>& values) {
+    long sum = key;
+    for (long v : values) sum += v;
+    return sum;
+  };
+  auto clean_map = [](const int& i, Emitter<int, long>* emit) {
+    emit->Emit(i % 53, i);
+  };
+  mapreduce::JobOptions serial;
+  serial.num_workers = 1;
+  std::vector<long> reference = RunJob<int, int, long, long>(
+      inputs, clean_map, clean_reduce, serial);
+
+  std::atomic<int> clean_failures{0};
+  std::thread chaos([&] {
+    for (int round = 0; round < 10; ++round) {
+      try {
+        RunJob<int, int, long, long>(
+            inputs,
+            [](const int& i, Emitter<int, long>* emit) {
+              if (i % 500 == 250) throw std::runtime_error("chaos");
+              emit->Emit(i % 53, i);
+            },
+            clean_reduce, options);
+      } catch (const std::runtime_error&) {
+        // expected
+      }
+    }
+  });
+  std::thread steady([&] {
+    for (int round = 0; round < 10; ++round) {
+      try {
+        if (RunJob<int, int, long, long>(inputs, clean_map, clean_reduce,
+                                         options) != reference) {
+          clean_failures.fetch_add(1);
+        }
+      } catch (...) {
+        clean_failures.fetch_add(1);
+      }
+    }
+  });
+  chaos.join();
+  steady.join();
+  EXPECT_EQ(clean_failures.load(), 0);
 }
 
 }  // namespace
