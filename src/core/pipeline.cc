@@ -174,6 +174,20 @@ Status DecodeClaimCheckpoint(const rdf::TripleStore& store,
   return Status::OK();
 }
 
+/// Shared by the checkpoint save and load stages: volume counters plus the
+/// wire format version and per-section sizes (v1 sizes include section
+/// framing; v2 sizes are exact payloads).
+void RecordSnapshotMetrics(const rdf::SnapshotStats& snap) {
+  AKB_COUNTER_ADD("akb.snapshot.bytes", int64_t(snap.bytes));
+  AKB_COUNTER_ADD("akb.snapshot.terms", int64_t(snap.terms));
+  AKB_COUNTER_ADD("akb.snapshot.triples", int64_t(snap.triples));
+  AKB_GAUGE_SET("akb.snapshot.format_version", int64_t(snap.version));
+  AKB_COUNTER_ADD("akb.snapshot.dict_bytes", int64_t(snap.dict_bytes));
+  AKB_COUNTER_ADD("akb.snapshot.triples_bytes", int64_t(snap.triples_bytes));
+  AKB_COUNTER_ADD("akb.snapshot.index_bytes", int64_t(snap.index_bytes));
+  AKB_COUNTER_ADD("akb.snapshot.claims_bytes", int64_t(snap.claims_bytes));
+}
+
 }  // namespace
 
 std::string_view FusionMethodToString(FusionMethod method) {
@@ -312,9 +326,7 @@ PipelineReport RunPipeline(const synth::World& world,
                              watch.ElapsedMicros());
       }
       if (s.ok()) {
-        AKB_COUNTER_ADD("akb.snapshot.bytes", int64_t(snap.bytes));
-        AKB_COUNTER_ADD("akb.snapshot.terms", int64_t(snap.terms));
-        AKB_COUNTER_ADD("akb.snapshot.triples", int64_t(snap.triples));
+        RecordSnapshotMetrics(snap);
         s = DecodeClaimCheckpoint(checkpoint, &table, &item_meta, &kb_items);
       }
       if (!s.ok()) {
@@ -714,7 +726,8 @@ PipelineReport RunPipeline(const synth::World& world,
       {
         obs::ScopedSpan span("snapshot.save");
         Stopwatch watch;
-        s = checkpoint.SaveSnapshot(config.save_kb_path, &snap);
+        s = checkpoint.SaveSnapshot(config.save_kb_path,
+                                    config.snapshot_format, &snap);
         AKB_HISTOGRAM_RECORD("akb.snapshot.save_micros",
                              watch.ElapsedMicros());
       }
@@ -724,9 +737,7 @@ PipelineReport RunPipeline(const synth::World& world,
                                  config.save_kb_path + "': " + s.message());
         return 0;
       }
-      AKB_COUNTER_ADD("akb.snapshot.bytes", int64_t(snap.bytes));
-      AKB_COUNTER_ADD("akb.snapshot.terms", int64_t(snap.terms));
-      AKB_COUNTER_ADD("akb.snapshot.triples", int64_t(snap.triples));
+      RecordSnapshotMetrics(snap);
       return size_t(snap.claims);
     });
     if (!report.status.ok()) {

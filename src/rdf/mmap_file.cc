@@ -1,0 +1,89 @@
+#include "rdf/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace akb::rdf {
+
+namespace {
+
+std::atomic<int64_t> g_active_mappings{0};
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + path + "': " + ErrnoText());
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status =
+        Status::IoError("cannot stat '" + path + "': " + ErrnoText());
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError("'" + path + "' is not a regular file");
+  }
+  size_t size = size_t(st.st_size);
+  char* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) {
+      Status status =
+          Status::IoError("cannot mmap '" + path + "': " + ErrnoText());
+      ::close(fd);
+      return status;
+    }
+    data = static_cast<char*>(mapped);
+  }
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  return std::shared_ptr<MmapFile>(new MmapFile(path, data, size));
+}
+
+MmapFile::MmapFile(std::string path, char* data, size_t size)
+    : path_(std::move(path)), data_(data), size_(size) {
+  g_active_mappings.fetch_add(1, std::memory_order_relaxed);
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) {
+#ifndef NDEBUG
+    // Poison before unmapping: a straggler thread still reading through a
+    // dangling borrowed view faults right here, deterministically, rather
+    // than racing munmap and sometimes reading whatever got mapped next.
+    ::mprotect(data_, size_, PROT_NONE);
+#endif
+    ::munmap(data_, size_);
+  }
+  g_active_mappings.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Result<std::string_view> MmapFile::Range(uint64_t offset,
+                                         uint64_t bytes) const {
+  if (offset > size_ || bytes > size_ - offset) {
+    return Status::DataLoss("'" + path_ + "': range [" +
+                            std::to_string(offset) + ", " +
+                            std::to_string(offset + bytes) +
+                            ") runs past the mapped " +
+                            std::to_string(size_) + " bytes");
+  }
+  return std::string_view(data_ + offset, size_t(bytes));
+}
+
+int64_t MmapFile::active_mappings() {
+  return g_active_mappings.load(std::memory_order_relaxed);
+}
+
+}  // namespace akb::rdf

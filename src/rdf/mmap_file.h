@@ -1,0 +1,63 @@
+// Read-only memory-mapped file, RAII-managed — the substrate under
+// zero-copy (v2) snapshots: the mapping *is* the serve-time data, shared
+// across processes through the page cache, so N servers of one KB pay for
+// one physical copy and KBs larger than RAM stay servable.
+//
+// Error taxonomy matches rdf/snapshot.h: kIoError when the filesystem
+// fails (missing file, unreadable, mmap refused), kDataLoss when a caller
+// asks for a byte range the file does not contain (the typed form of
+// "this snapshot is truncated").
+//
+// Lifetime: the mapping lives exactly as long as the MmapFile. Holders of
+// pointers into the mapping (e.g. a borrowed-mode serve::KbView) keep the
+// MmapFile alive via shared_ptr. In debug builds the destructor poisons
+// the range (PROT_NONE) immediately before unmapping, so a use-after-
+// unmap faults deterministically instead of reading recycled pages.
+#ifndef AKB_RDF_MMAP_FILE_H_
+#define AKB_RDF_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace akb::rdf {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only (MAP_SHARED, so the page cache backs every
+  /// mapping of the same file with one physical copy). An empty file maps
+  /// to a valid object with size() == 0. kIoError on any syscall failure.
+  static Result<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Bytes [offset, offset + bytes) of the mapping, or kDataLoss when the
+  /// range runs past the end of the file — the bounds check every typed
+  /// read of a mapped snapshot goes through.
+  Result<std::string_view> Range(uint64_t offset, uint64_t bytes) const;
+
+  /// Number of live MmapFile objects in this process. Tests pin that
+  /// destroying every view of a mapped snapshot returns this to its
+  /// baseline (no leaked mappings); statusz reports it as mmap_active.
+  static int64_t active_mappings();
+
+ private:
+  MmapFile(std::string path, char* data, size_t size);
+
+  std::string path_;
+  char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace akb::rdf
+
+#endif  // AKB_RDF_MMAP_FILE_H_

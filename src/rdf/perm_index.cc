@@ -1,0 +1,27 @@
+#include "rdf/perm_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace akb::rdf {
+
+PermIndexData BuildPermIndex(const Triple* triples, size_t n,
+                             Permutation perm) {
+  PermIndexData index;
+  index.order.resize(n);
+  std::iota(index.order.begin(), index.order.end(), 0u);
+  std::sort(index.order.begin(), index.order.end(),
+            [triples, perm](uint32_t a, uint32_t b) {
+              return PermutationKey(triples[a], perm) <
+                     PermutationKey(triples[b], perm);
+            });
+  index.keys.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::array<TermId, 3> key =
+        PermutationKey(triples[index.order[i]], perm);
+    index.keys[i] = uint64_t(key[0]) << 32 | key[1];
+  }
+  return index;
+}
+
+}  // namespace akb::rdf

@@ -3,6 +3,7 @@
 #define AKB_RDF_TRIPLE_STORE_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -88,18 +89,34 @@ class TripleStore {
   /// All distinct objects for (subject, predicate), in insertion order.
   std::vector<TermId> ObjectsOf(TermId subject, TermId predicate) const;
 
-  /// Writes the store as a binary snapshot (see rdf/snapshot.h for the
-  /// format). Streaming: never buffers more than one block. `stats`
-  /// (optional) receives the written sizes.
+  /// Writes the store as a version-1 binary snapshot (see rdf/snapshot.h
+  /// for the format). Streaming: never buffers more than one block.
+  /// `stats` (optional) receives the written sizes.
   Status SaveSnapshot(const std::string& path,
                       SnapshotStats* stats = nullptr) const;
 
-  /// Replaces this store's contents with the snapshot at `path`. Every
-  /// section is CRC-checked and structurally validated; on any failure the
-  /// store is left exactly as it was (a partial snapshot never loads).
+  /// Writes the store in the requested snapshot format: kV1 streams the
+  /// portable varint archive, kV2 writes the page-aligned zero-copy serve
+  /// image (dictionary arena + triple array + prebuilt permutation
+  /// indexes). Both are lossless — claims included — so converting a
+  /// snapshot between formats round-trips exactly.
+  Status SaveSnapshot(const std::string& path, SnapshotFormat format,
+                      SnapshotStats* stats = nullptr) const;
+
+  /// Replaces this store's contents with the snapshot at `path`, either
+  /// format (dispatched on the file's magic). Every section is CRC-checked
+  /// and structurally validated; on any failure the store is left exactly
+  /// as it was (a partial snapshot never loads).
   Status LoadSnapshot(const std::string& path, SnapshotStats* stats = nullptr);
 
  private:
+  Status SaveSnapshotV1(const std::string& path, SnapshotStats* stats) const;
+  Status SaveSnapshotV2(const std::string& path, SnapshotStats* stats) const;
+  /// `in` is positioned just past the 8-byte magic.
+  Status LoadSnapshotV1(std::istream& in, uint64_t file_bytes,
+                        SnapshotStats* stats);
+  Status LoadSnapshotV2(const std::string& path, SnapshotStats* stats);
+
   Dictionary dict_;
   std::vector<Claim> claims_;
   std::vector<Triple> triples_;

@@ -392,13 +392,9 @@ Result<BgpRows> NaiveBgpEval(const rdf::TripleStore& store,
 }
 
 std::string DecodeBgp(const KbView& view, const BgpQuery& query) {
-  const rdf::Dictionary& dict = view.dictionary();
   auto term_text = [&](const BgpTerm& term) -> std::string {
     if (term.is_var()) return "?" + query.var_names()[size_t(term.var)];
-    if (!dict.Contains(term.term)) {
-      return "<unknown#" + std::to_string(term.term) + ">";
-    }
-    return dict.Lookup(term.term).ToString();
+    return view.TermToString(term.term);
   };
   std::string out;
   for (const BgpPattern& pattern : query.patterns()) {

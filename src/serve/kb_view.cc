@@ -6,82 +6,118 @@
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "rdf/snapshot.h"
 
 namespace akb::serve {
 
 namespace {
 
+using rdf::Permutation;
 using rdf::TermId;
 using rdf::Triple;
 using rdf::TriplePattern;
 
-enum class Perm { kSpo, kPos, kOsp };
-
-// The triple's key in the given permutation's sort order.
-inline std::array<TermId, 3> PermKey(const Triple& t, Perm perm) {
-  switch (perm) {
-    case Perm::kSpo:
-      return {t.subject, t.predicate, t.object};
-    case Perm::kPos:
-      return {t.predicate, t.object, t.subject};
-    case Perm::kOsp:
-      return {t.object, t.subject, t.predicate};
-  }
-  return {};
-}
-
 }  // namespace
 
-KbView::KbView(const rdf::TripleStore& store) : dict_(store.dictionary()) {
-  triples_.reserve(store.num_triples());
+KbView::KbView(const rdf::TripleStore& store) { BuildFromStore(store); }
+
+void KbView::BuildFromStore(const rdf::TripleStore& store) {
+  Stopwatch watch;
+
+  owned_triples_.reserve(store.num_triples());
   for (size_t i = 0; i < store.num_triples(); ++i) {
-    triples_.push_back(store.triple(i));
+    owned_triples_.push_back(store.triple(i));
   }
-  BuildIndexes();
+  triples_ = owned_triples_.data();
+  num_triples_ = owned_triples_.size();
+
+  // Flatten the dictionary into the same arena shape a v2 snapshot
+  // carries, so both backings serve through identical span code.
+  const rdf::Dictionary& dict = store.dictionary();
+  num_terms_ = dict.size();
+  owned_term_offsets_.resize(num_terms_ + 1, 0);
+  owned_term_kinds_.resize(num_terms_, 0);
+  size_t total_bytes = 0;
+  for (TermId id = 1; id <= num_terms_; ++id) {
+    total_bytes += dict.Lookup(id).lexical.size();
+  }
+  owned_term_bytes_.reserve(total_bytes);
+  for (TermId id = 1; id <= num_terms_; ++id) {
+    const rdf::Term& term = dict.Lookup(id);
+    owned_term_offsets_[id - 1] = owned_term_bytes_.size();
+    owned_term_kinds_[id - 1] = uint8_t(term.kind);
+    owned_term_bytes_.insert(owned_term_bytes_.end(), term.lexical.begin(),
+                             term.lexical.end());
+  }
+  owned_term_offsets_[num_terms_] = owned_term_bytes_.size();
+  term_offsets_ = owned_term_offsets_.data();
+  term_kinds_ = owned_term_kinds_.data();
+  term_bytes_ = owned_term_bytes_.data();
+
+  // Same builder as the v2 snapshot writer, so a built view and a mapped
+  // view of the same store are byte-identical structures.
+  for (int p = 0; p < 3; ++p) {
+    owned_perm_[p] =
+        rdf::BuildPermIndex(triples_, num_triples_, Permutation(p));
+    order_[p] = owned_perm_[p].order.data();
+    keys_[p] = owned_perm_[p].keys.data();
+  }
+
+  AKB_GAUGE_SET("akb.serve.view.triples", int64_t(num_triples_));
+  AKB_HISTOGRAM_RECORD("akb.serve.view.build_micros", watch.ElapsedMicros());
+}
+
+void KbView::AdoptMapping(rdf::SnapshotV2View v2) {
+  Stopwatch watch;
+  triples_ = v2.triples;
+  num_triples_ = size_t(v2.num_triples);
+  term_offsets_ = v2.term_offsets;
+  term_kinds_ = v2.term_kinds;
+  term_bytes_ = v2.term_bytes;
+  num_terms_ = size_t(v2.num_terms);
+  for (int p = 0; p < 3; ++p) {
+    order_[p] = v2.order[p];
+    keys_[p] = v2.keys[p];
+  }
+  mapping_ = std::move(v2.mapping);
+
+  provenance_.snapshot_version = v2.stats.version;
+  provenance_.snapshot_bytes = v2.stats.bytes;
+  provenance_.dict_bytes = v2.stats.dict_bytes;
+  provenance_.triples_bytes = v2.stats.triples_bytes;
+  provenance_.index_bytes = v2.stats.index_bytes;
+  provenance_.claims_bytes = v2.stats.claims_bytes;
+  provenance_.mapped = true;
+
+  AKB_GAUGE_SET("akb.serve.view.triples", int64_t(num_triples_));
+  AKB_HISTOGRAM_RECORD("akb.serve.view.map_micros", watch.ElapsedMicros());
 }
 
 Result<KbView> KbView::FromSnapshot(const std::string& path) {
-  rdf::TripleStore store;
-  rdf::SnapshotStats stats;
-  Status status = store.LoadSnapshot(path, &stats);
-  if (!status.ok()) return status;
-  KbView view(store);
+  AKB_ASSIGN_OR_RETURN(rdf::SnapshotFormat format,
+                       rdf::ProbeSnapshotFormat(path));
+  KbView view;
+  if (format == rdf::SnapshotFormat::kV2) {
+    AKB_ASSIGN_OR_RETURN(rdf::SnapshotV2View v2, rdf::OpenSnapshotV2(path));
+    view.AdoptMapping(std::move(v2));
+  } else {
+    rdf::TripleStore store;
+    rdf::SnapshotStats stats;
+    AKB_RETURN_IF_ERROR(store.LoadSnapshot(path, &stats));
+    view.BuildFromStore(store);
+    view.provenance_.snapshot_version = stats.version;
+    view.provenance_.snapshot_bytes = stats.bytes;
+    view.provenance_.dict_bytes = stats.dict_bytes;
+    view.provenance_.triples_bytes = stats.triples_bytes;
+    view.provenance_.claims_bytes = stats.claims_bytes;
+  }
   view.provenance_.snapshot_path = path;
-  view.provenance_.snapshot_version = stats.version;
-  view.provenance_.snapshot_bytes = stats.bytes;
   return view;
-}
-
-void KbView::BuildIndexes() {
-  Stopwatch watch;
-  spo_.order.resize(triples_.size());
-  std::iota(spo_.order.begin(), spo_.order.end(), 0u);
-  pos_.order = spo_.order;
-  osp_.order = spo_.order;
-  auto build = [this](PermIndex* perm, Perm which) {
-    // Distinct triples have distinct keys in every permutation, so the
-    // order is total and the sort deterministic without a tiebreak.
-    std::sort(perm->order.begin(), perm->order.end(),
-              [this, which](uint32_t a, uint32_t b) {
-                return PermKey(triples_[a], which) <
-                       PermKey(triples_[b], which);
-              });
-    perm->keys.resize(perm->order.size());
-    for (size_t i = 0; i < perm->order.size(); ++i) {
-      const std::array<TermId, 3> key = PermKey(triples_[perm->order[i]], which);
-      perm->keys[i] = uint64_t(key[0]) << 32 | key[1];
-    }
-  };
-  build(&spo_, Perm::kSpo);
-  build(&pos_, Perm::kPos);
-  build(&osp_, Perm::kOsp);
-  AKB_GAUGE_SET("akb.serve.view.triples", int64_t(triples_.size()));
-  AKB_HISTOGRAM_RECORD("akb.serve.view.build_micros", watch.ElapsedMicros());
 }
 
 std::pair<const uint32_t*, const uint32_t*> KbView::Resolve(
     const TriplePattern& pattern) const {
-  const PermIndex* perm = &spo_;
+  int perm = int(Permutation::kSpo);
   std::array<TermId, 2> prefix{};
   size_t len = 0;
   bool exact = false;  // All three positions bound.
@@ -97,32 +133,32 @@ std::pair<const uint32_t*, const uint32_t*> KbView::Resolve(
     prefix = {pattern.subject, pattern.predicate};
     len = 2;
   } else if (p && o) {
-    perm = &pos_;
+    perm = int(Permutation::kPos);
     prefix = {pattern.predicate, pattern.object};
     len = 2;
   } else if (s && o) {
-    perm = &osp_;
+    perm = int(Permutation::kOsp);
     prefix = {pattern.object, pattern.subject};
     len = 2;
   } else if (s) {
     prefix = {pattern.subject, 0};
     len = 1;
   } else if (p) {
-    perm = &pos_;
+    perm = int(Permutation::kPos);
     prefix = {pattern.predicate, 0};
     len = 1;
   } else if (o) {
-    perm = &osp_;
+    perm = int(Permutation::kOsp);
     prefix = {pattern.object, 0};
     len = 1;
   } else {
     // Fully unbound: the whole view, in any permutation.
-    return {perm->order.data(), perm->order.data() + perm->order.size()};
+    return {order_[perm], order_[perm] + num_triples_};
   }
 
   // Every probe touches only the contiguous packed-key array.
-  const uint64_t* kbase = perm->keys.data();
-  const uint64_t* klimit = kbase + perm->keys.size();
+  const uint64_t* kbase = keys_[perm];
+  const uint64_t* klimit = kbase + num_triples_;
   const uint64_t* kbegin;
   const uint64_t* kend;
   if (len == 1) {
@@ -133,8 +169,8 @@ std::pair<const uint32_t*, const uint32_t*> KbView::Resolve(
     kbegin = std::lower_bound(kbase, klimit, key);
     kend = std::upper_bound(kbegin, klimit, key);
   }
-  const uint32_t* begin = perm->order.data() + (kbegin - kbase);
-  const uint32_t* end = perm->order.data() + (kend - kbase);
+  const uint32_t* begin = order_[perm] + (kbegin - kbase);
+  const uint32_t* end = order_[perm] + (kend - kbase);
   if (exact) {
     // Narrowed to the (s,p) run of SPO, which is sorted by object; the
     // store holds distinct triples, so at most one entry matches.
@@ -152,7 +188,7 @@ std::vector<size_t> KbView::Match(const TriplePattern& pattern) const {
   if (pattern.subject == rdf::kInvalidTermId &&
       pattern.predicate == rdf::kInvalidTermId &&
       pattern.object == rdf::kInvalidTermId) {
-    std::vector<size_t> out(triples_.size());
+    std::vector<size_t> out(num_triples_);
     std::iota(out.begin(), out.end(), size_t{0});
     return out;
   }
@@ -173,13 +209,17 @@ std::vector<size_t> KbView::Match(const TriplePattern& pattern,
   return matches;
 }
 
+std::string KbView::TermToString(TermId id) const {
+  // Queries may carry ids the KB has never interned (guaranteed-miss
+  // probes); render them rather than violating the access precondition.
+  if (!ContainsTerm(id)) return "<unknown#" + std::to_string(id) + ">";
+  return DecodeTerm(id).ToString();
+}
+
 std::string KbView::DecodePattern(const TriplePattern& pattern) const {
-  auto term = [&](rdf::TermId id) {
+  auto term = [&](TermId id) {
     if (id == rdf::kInvalidTermId) return std::string("?");
-    // Queries may carry ids the KB has never interned (guaranteed-miss
-    // probes); render them rather than violating Lookup's precondition.
-    if (!dict_.Contains(id)) return "<unknown#" + std::to_string(id) + ">";
-    return dict_.Lookup(id).ToString();
+    return TermToString(id);
   };
   return term(pattern.subject) + " " + term(pattern.predicate) + " " +
          term(pattern.object);
@@ -192,13 +232,12 @@ size_t KbView::Count(const TriplePattern& pattern) const {
 
 std::string KbView::DecodeToString(size_t triple_index) const {
   const Triple& t = triples_[triple_index];
-  return dict_.Lookup(t.subject).ToString() + " " +
-         dict_.Lookup(t.predicate).ToString() + " " +
-         dict_.Lookup(t.object).ToString() + " .";
+  return TermToString(t.subject) + " " + TermToString(t.predicate) + " " +
+         TermToString(t.object) + " .";
 }
 
 size_t KbView::IndexBytes() const {
-  return triples_.size() *
+  return num_triples_ *
          (sizeof(Triple) + 3 * (sizeof(uint32_t) + sizeof(uint64_t)));
 }
 

@@ -3,29 +3,44 @@
 // TripleStore is the write-side structure: append-only, claim-carrying,
 // with per-position hash indexes whose pattern resolution degrades to a
 // posting-list scan. KbView is what the paper's "actionable" KB serves
-// queries from: a frozen copy of the distinct triples plus three sorted
-// permutation indexes (SPO, POS, OSP), so every one of the 8 triple-
-// pattern shapes resolves to one contiguous index range by binary search —
-// O(log n + k) for k results, never a scan over an unrelated posting list.
+// queries from: the distinct triples plus three sorted permutation
+// indexes (SPO, POS, OSP), so every one of the 8 triple-pattern shapes
+// resolves to one contiguous index range by binary search — O(log n + k)
+// for k results, never a scan over an unrelated posting list.
 //
 // Shape -> index routing (prefix in parentheses):
 //   (s p o) -> SPO exact      (s p ?) -> SPO (s,p)    (s ? ?) -> SPO (s)
 //   (? p o) -> POS (p,o)      (? p ?) -> POS (p)
 //   (s ? o) -> OSP (o,s)      (? ? o) -> OSP (o)      (? ? ?) -> all
 //
-// A KbView is self-contained (it copies the triples and the dictionary,
-// so the source store may be mutated or destroyed afterwards) and deeply
-// immutable after construction: concurrent Match/Count calls from any
-// number of threads need no synchronization.
+// A view's data lives in one of two backings behind the same flat spans:
+//
+//  - owned: built from a TripleStore (or a v1 snapshot) — copies the
+//    triples, flattens the dictionary into an arena, sorts the indexes.
+//    O(n log n) construction; self-contained, the source store may be
+//    mutated or destroyed afterwards.
+//  - borrowed: opened from a v2 snapshot — the spans point straight into
+//    the CRC-validated mmap (rdf/snapshot.h), which the view keeps alive
+//    via shared_ptr. No parse, no sort: cold start is O(validation).
+//
+// Either way the view is deeply immutable after construction: concurrent
+// Match/Count calls from any number of threads need no synchronization.
+// Anything holding pointers into the view (e.g. a QueryEngine's
+// `const KbView&`) must not outlive it — in debug builds a destroyed
+// borrowed view poisons its mapping, so a stale reader faults
+// deterministically instead of reading recycled pages.
 #ifndef AKB_SERVE_KB_VIEW_H_
 #define AKB_SERVE_KB_VIEW_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
-#include "rdf/dictionary.h"
+#include "rdf/mmap_file.h"
+#include "rdf/perm_index.h"
 #include "rdf/triple_store.h"
 #include "serve/query_trace.h"
 
@@ -37,18 +52,29 @@ struct KbViewProvenance {
   std::string snapshot_path;
   uint32_t snapshot_version = 0;
   uint64_t snapshot_bytes = 0;
+  /// Snapshot section sizes (exact payload bytes; zero for in-memory
+  /// views) — surfaced in statusz and akb.snapshot.* metrics.
+  uint64_t dict_bytes = 0;
+  uint64_t triples_bytes = 0;
+  uint64_t index_bytes = 0;
+  uint64_t claims_bytes = 0;
+  /// True when the view borrows a zero-copy mapping instead of owning
+  /// rebuilt structures.
+  bool mapped = false;
 };
 
 class KbView {
  public:
   /// Builds the permutation indexes over `store`'s distinct triples.
-  /// O(n log n); the view keeps its own copy of triples and dictionary.
+  /// O(n log n); the view keeps its own copy of triples and dictionary
+  /// (flattened into an arena).
   explicit KbView(const rdf::TripleStore& store);
 
-  /// Loads the snapshot at `path` (rdf/snapshot.h format) and builds the
-  /// view from it. Same error taxonomy as TripleStore::LoadSnapshot:
-  /// kParseError (not a snapshot), kUnimplemented (newer version),
-  /// kDataLoss (damaged bytes), kIoError (filesystem).
+  /// Opens the snapshot at `path` in whichever format its magic declares:
+  /// v1 loads + builds an owned view, v2 maps the file zero-copy. Same
+  /// error taxonomy as TripleStore::LoadSnapshot: kParseError (not a
+  /// snapshot), kUnimplemented (newer version), kDataLoss (damaged
+  /// bytes), kIoError (filesystem).
   static Result<KbView> FromSnapshot(const std::string& path);
 
   KbView(KbView&&) = default;
@@ -56,12 +82,31 @@ class KbView {
   KbView(const KbView&) = delete;
   KbView& operator=(const KbView&) = delete;
 
-  size_t num_triples() const { return triples_.size(); }
+  size_t num_triples() const { return num_triples_; }
   const rdf::Triple& triple(size_t i) const { return triples_[i]; }
 
-  /// The term dictionary of the source store, for building patterns from
-  /// decoded terms and decoding results.
-  const rdf::Dictionary& dictionary() const { return dict_; }
+  // ---- term access (flat arena; same TermId space as the source store)
+
+  size_t num_terms() const { return num_terms_; }
+  /// True iff `id` names a term of this view (ids are dense from 1).
+  bool ContainsTerm(rdf::TermId id) const {
+    return id >= 1 && id <= num_terms_;
+  }
+  /// Kind / lexical bytes of term `id`. Precondition: ContainsTerm(id).
+  rdf::TermKind term_kind(rdf::TermId id) const {
+    return rdf::TermKind(term_kinds_[id - 1]);
+  }
+  std::string_view term_lexical(rdf::TermId id) const {
+    return std::string_view(term_bytes_ + term_offsets_[id - 1],
+                            size_t(term_offsets_[id] - term_offsets_[id - 1]));
+  }
+  /// Materializes term `id`. Precondition: ContainsTerm(id).
+  rdf::Term DecodeTerm(rdf::TermId id) const {
+    return rdf::Term{term_kind(id), std::string(term_lexical(id))};
+  }
+  /// Surface form of term `id`; ids the view has never seen (guaranteed-
+  /// miss probes) render as "<unknown#id>" rather than misbehaving.
+  std::string TermToString(rdf::TermId id) const;
 
   /// Distinct-triple indices matching `pattern` — the same index space
   /// and result set as TripleStore::Match on the source store, answered
@@ -87,40 +132,56 @@ class KbView {
   /// wildcards — slow-query log and statusz output.
   std::string DecodePattern(const rdf::TriplePattern& pattern) const;
 
-  /// Statusz provenance: snapshot path/version/bytes when the view came
+  /// Statusz provenance: snapshot path/version/sizes when the view came
   /// from FromSnapshot, empty otherwise.
   const KbViewProvenance& provenance() const { return provenance_; }
 
+  /// True when the view serves straight out of a mapped v2 snapshot.
+  bool mapped() const { return mapping_ != nullptr; }
+
   /// Approximate resident bytes of the view (triples + 3 permutations
   /// with their packed key arrays), excluding the dictionary strings.
+  /// For a mapped view these bytes are page-cache-backed, not heap.
   size_t IndexBytes() const;
 
  private:
-  // One sorted permutation. `order[i]` is a triple index; `keys[i]` packs
-  // the first two sort components of that triple into (first << 32) |
-  // second, so prefix searches binary-search a contiguous uint64 array —
-  // one cache line per probe instead of two dependent loads through
-  // order[] into triples_[].
-  struct PermIndex {
-    std::vector<uint32_t> order;
-    std::vector<uint64_t> keys;
-  };
-
   KbView() = default;
 
-  void BuildIndexes();
+  void BuildFromStore(const rdf::TripleStore& store);
+  void AdoptMapping(rdf::SnapshotV2View v2);
+
   /// [begin, end) into the chosen permutation's order[] for `pattern`,
-  /// or the full range of spo_.order for the fully unbound pattern.
+  /// or the full SPO range for the fully unbound pattern.
   std::pair<const uint32_t*, const uint32_t*> Resolve(
       const rdf::TriplePattern& pattern) const;
 
-  std::vector<rdf::Triple> triples_;
-  rdf::Dictionary dict_;
+  // Serve-time spans. Always valid after construction; they point into
+  // the owned_* storage (owned mode) or into mapping_ (borrowed mode).
+  // The default move is safe: vector/string-free heap buffers and the
+  // mapping don't relocate when their handles move.
+  const rdf::Triple* triples_ = nullptr;
+  size_t num_triples_ = 0;
+  const uint64_t* term_offsets_ = nullptr;  // num_terms_ + 1 entries
+  const uint8_t* term_kinds_ = nullptr;
+  const char* term_bytes_ = nullptr;
+  size_t num_terms_ = 0;
+  // Indexed by rdf::Permutation; sorted by (s,p,o), (p,o,s), (o,s,p).
+  const uint32_t* order_[3] = {nullptr, nullptr, nullptr};
+  const uint64_t* keys_[3] = {nullptr, nullptr, nullptr};
+
+  // Owned-mode storage. owned_term_bytes_ is a vector<char>, not a
+  // string: small-string optimization would relocate the bytes on move
+  // and dangle term_bytes_.
+  std::vector<rdf::Triple> owned_triples_;
+  std::vector<uint64_t> owned_term_offsets_;
+  std::vector<uint8_t> owned_term_kinds_;
+  std::vector<char> owned_term_bytes_;
+  rdf::PermIndexData owned_perm_[3];
+
+  // Borrowed-mode backing: keeps the mapped v2 snapshot alive.
+  std::shared_ptr<rdf::MmapFile> mapping_;
+
   KbViewProvenance provenance_;
-  // Sorted by (s,p,o), (p,o,s), (o,s,p) respectively.
-  PermIndex spo_;
-  PermIndex pos_;
-  PermIndex osp_;
 };
 
 }  // namespace akb::serve

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/rolling.h"
+#include "rdf/mmap_file.h"
 
 namespace akb::serve {
 
@@ -12,14 +13,22 @@ namespace {
 obs::Json KbSection(const KbView& view) {
   obs::Json kb = obs::Json::Object();
   kb.Set("triples", int64_t(view.num_triples()));
-  kb.Set("dictionary_terms", int64_t(view.dictionary().size()));
+  kb.Set("dictionary_terms", int64_t(view.num_terms()));
   kb.Set("index_bytes", int64_t(view.IndexBytes()));
+  kb.Set("mapped", view.mapped());
+  kb.Set("mmap_active", rdf::MmapFile::active_mappings());
   const KbViewProvenance& prov = view.provenance();
   if (!prov.snapshot_path.empty()) {
     obs::Json snapshot = obs::Json::Object();
     snapshot.Set("path", prov.snapshot_path);
     snapshot.Set("version", int64_t(prov.snapshot_version));
     snapshot.Set("bytes", int64_t(prov.snapshot_bytes));
+    obs::Json sections = obs::Json::Object();
+    sections.Set("dict_bytes", int64_t(prov.dict_bytes));
+    sections.Set("triples_bytes", int64_t(prov.triples_bytes));
+    sections.Set("index_bytes", int64_t(prov.index_bytes));
+    sections.Set("claims_bytes", int64_t(prov.claims_bytes));
+    snapshot.Set("sections", std::move(sections));
     kb.Set("snapshot", std::move(snapshot));
   } else {
     kb.Set("source", "in-memory store");

@@ -1,0 +1,107 @@
+// MmapFile unit tests: open/error taxonomy, range bounds, and the
+// live-mapping accounting that the serve stress suite pins across view
+// churn.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "rdf/mmap_file.h"
+
+namespace akb::rdf {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out << bytes;
+}
+
+TEST(MmapFileTest, OpensAndExposesExactBytes) {
+  std::string path = TempPath("mmap_basic.bin");
+  std::string payload = "hello mapped world";
+  WriteFile(path, payload);
+
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ((*file)->size(), payload.size());
+  EXPECT_EQ((*file)->path(), path);
+  EXPECT_EQ(std::string_view((*file)->data(), (*file)->size()), payload);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, MissingFileIsIoError) {
+  auto file = MmapFile::Open(TempPath("mmap_nonexistent.bin"));
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+}
+
+TEST(MmapFileTest, DirectoryIsIoError) {
+  auto file = MmapFile::Open(::testing::TempDir());
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+}
+
+TEST(MmapFileTest, EmptyFileMapsWithZeroSize) {
+  std::string path = TempPath("mmap_empty.bin");
+  WriteFile(path, "");
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ((*file)->size(), 0u);
+  // Any non-empty range request must be the typed truncation error.
+  EXPECT_EQ((*file)->Range(0, 1).status().code(), StatusCode::kDataLoss);
+  auto empty = (*file)->Range(0, 0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, RangeChecksBounds) {
+  std::string path = TempPath("mmap_range.bin");
+  WriteFile(path, "0123456789");
+  auto file = MmapFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status();
+
+  auto mid = (*file)->Range(3, 4);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(*mid, "3456");
+  auto whole = (*file)->Range(0, 10);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(*whole, "0123456789");
+
+  EXPECT_EQ((*file)->Range(0, 11).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ((*file)->Range(10, 1).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ((*file)->Range(11, 0).status().code(), StatusCode::kDataLoss);
+  // Offset + bytes overflowing u64 must not wrap into "in bounds".
+  EXPECT_EQ((*file)->Range(uint64_t(1) << 63, uint64_t(1) << 63)
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(MmapFileTest, ActiveMappingsTracksLifetimes) {
+  std::string path = TempPath("mmap_count.bin");
+  WriteFile(path, "xyz");
+  const int64_t baseline = MmapFile::active_mappings();
+  {
+    auto a = MmapFile::Open(path);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(MmapFile::active_mappings(), baseline + 1);
+    auto b = MmapFile::Open(path);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(MmapFile::active_mappings(), baseline + 2);
+    // shared_ptr copies share one mapping.
+    std::shared_ptr<MmapFile> c = *a;
+    EXPECT_EQ(MmapFile::active_mappings(), baseline + 2);
+  }
+  EXPECT_EQ(MmapFile::active_mappings(), baseline);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace akb::rdf

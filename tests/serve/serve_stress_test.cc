@@ -6,12 +6,16 @@
 // == insertions - evictions), and repeated batched runs are identical.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/random.h"
+#include "rdf/mmap_file.h"
+#include "rdf/snapshot.h"
 #include "rdf/triple_store.h"
 #include "serve/kb_view.h"
 #include "serve/query_engine.h"
@@ -21,6 +25,11 @@ namespace akb::serve {
 namespace {
 
 using rdf::TriplePattern;
+
+std::vector<size_t> Sorted(std::vector<size_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
 
 rdf::TripleStore BuildStore(size_t claims, uint64_t seed) {
   Rng rng(seed);
@@ -254,6 +263,116 @@ TEST(ServeStressTest, ManyEnginesShareOneView) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0u);
+}
+
+// ---------------------------------------------------------- mmap lifetime
+
+TEST(MmapStressTest, ReadersHammerMappedViewWhileViewsChurn) {
+  rdf::TripleStore store = BuildStore(3000, 97);
+  std::string path = ::testing::TempDir() + "/mmap_stress.akbsnap";
+  ASSERT_TRUE(store.SaveSnapshot(path, rdf::SnapshotFormat::kV2).ok());
+  const int64_t baseline = rdf::MmapFile::active_mappings();
+  {
+    auto shared = KbView::FromSnapshot(path);
+    ASSERT_TRUE(shared.ok()) << shared.status();
+    ASSERT_TRUE(shared->mapped());
+
+    synth::QueryWorkloadConfig workload_config;
+    workload_config.num_queries = 300;
+    workload_config.seed = 11;
+    auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+    ASSERT_FALSE(patterns.empty());
+    std::vector<std::vector<size_t>> expected;
+    expected.reserve(patterns.size());
+    for (const TriplePattern& pattern : patterns) {
+      expected.push_back(shared->Match(pattern));
+    }
+
+    // 8 readers hammer the long-lived mapped view while a churn thread
+    // opens, queries, and destroys fresh views of the same file — each
+    // open is its own mapping, so map/unmap churn runs concurrently with
+    // reads of the shared mapping (TSAN watches the handoffs; in debug
+    // builds each destruction poisons its pages first).
+    std::atomic<size_t> mismatches{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    constexpr size_t kThreads = 8;
+    constexpr size_t kRounds = 3;
+    readers.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+      readers.emplace_back([&, t] {
+        for (size_t round = 0; round < kRounds; ++round) {
+          for (size_t i = 0; i < patterns.size(); ++i) {
+            size_t q = (i + t * 41) % patterns.size();
+            if (shared->Match(patterns[q]) != expected[q]) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    std::thread churn([&] {
+      size_t opened = 0;
+      while (!stop.load(std::memory_order_relaxed) || opened == 0) {
+        auto view = KbView::FromSnapshot(path);
+        if (!view.ok() || !view->mapped()) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        for (size_t q = 0; q < patterns.size(); q += 29) {
+          if (Sorted(view->Match(patterns[q])) != Sorted(expected[q])) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        ++opened;  // view destroyed here: poison + munmap under readers
+      }
+      EXPECT_GT(opened, 0u);
+    });
+    for (auto& thread : readers) thread.join();
+    stop.store(true, std::memory_order_relaxed);
+    churn.join();
+    EXPECT_EQ(mismatches.load(), 0u);
+    EXPECT_EQ(rdf::MmapFile::active_mappings(), baseline + 1);
+  }
+  // Every view is gone: no leaked mappings.
+  EXPECT_EQ(rdf::MmapFile::active_mappings(), baseline);
+  std::remove(path.c_str());
+}
+
+TEST(MmapStressTest, DestroyingEngineAndViewUnmapsCleanly) {
+  rdf::TripleStore store = BuildStore(800, 29);
+  std::string path = ::testing::TempDir() + "/mmap_unmap.akbsnap";
+  ASSERT_TRUE(store.SaveSnapshot(path, rdf::SnapshotFormat::kV2).ok());
+  const int64_t baseline = rdf::MmapFile::active_mappings();
+  {
+    auto view = KbView::FromSnapshot(path);
+    ASSERT_TRUE(view.ok()) << view.status();
+    EXPECT_EQ(rdf::MmapFile::active_mappings(), baseline + 1);
+
+    // Moving the view moves the mapping, never duplicates or drops it.
+    KbView moved = std::move(*view);
+    EXPECT_EQ(rdf::MmapFile::active_mappings(), baseline + 1);
+    EXPECT_TRUE(moved.mapped());
+
+    synth::QueryWorkloadConfig workload_config;
+    workload_config.num_queries = 100;
+    workload_config.seed = 3;
+    auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+    QueryEngineConfig config;
+    config.num_workers = 4;
+    {
+      QueryEngine engine(moved, config);
+      auto results = engine.ExecuteBatch(patterns);
+      for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(Sorted(*results[i].matches), Sorted(store.Match(patterns[i])))
+            << "query " << i;
+      }
+      // Engine teardown (worker pool, caches) must not touch the mapping.
+    }
+    EXPECT_EQ(rdf::MmapFile::active_mappings(), baseline + 1);
+  }
+  EXPECT_EQ(rdf::MmapFile::active_mappings(), baseline);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 //           [--workers=N] [--json] [--out=statusz.json]
 //   akb_cli inspect <file.nt>
 //   akb_cli snapshot-info <kb.akbsnap>
+//   akb_cli convert-snapshot <in.akbsnap> <out.akbsnap>
+//           [--snapshot-format=v1|v2]
 //   akb_cli bench-merge [--out=BENCH_pipeline.json] <bench1.json> ...
 #include <algorithm>
 #include <cstdio>
@@ -62,6 +64,15 @@ synth::World BuildWorld(const FlagSet& flags) {
   return synth::World::Build(config);
 }
 
+std::optional<rdf::SnapshotFormat> ParseSnapshotFormat(
+    const std::string& name) {
+  if (name == "v1") return rdf::SnapshotFormat::kV1;
+  if (name == "v2") return rdf::SnapshotFormat::kV2;
+  std::fprintf(stderr, "error: --snapshot-format must be v1 or v2 (got %s)\n",
+               name.c_str());
+  return std::nullopt;
+}
+
 core::FusionMethod ParseFusion(const std::string& name) {
   if (name == "vote") return core::FusionMethod::kVote;
   if (name == "accu") return core::FusionMethod::kAccu;
@@ -85,6 +96,9 @@ int RunPipelineCommand(const FlagSet& flags) {
   config.fusion = ParseFusion(flags.GetString("fusion", "accu_conf_copy"));
   config.save_kb_path = flags.GetString("save-kb");
   config.load_kb_path = flags.GetString("load-kb");
+  auto format = ParseSnapshotFormat(flags.GetString("snapshot-format", "v1"));
+  if (!format.has_value()) return 2;
+  config.snapshot_format = *format;
 
   std::string trace_out = flags.GetString("trace-out");
   if (!trace_out.empty()) obs::TraceSession::Global().Start();
@@ -606,6 +620,64 @@ int RunSnapshotInfoCommand(const FlagSet& flags) {
       path.c_str(), info->version, (unsigned long long)info->bytes,
       (unsigned long long)info->terms, (unsigned long long)info->triples,
       (unsigned long long)info->claims);
+  std::printf(
+      "  sections: dict=%llu triples=%llu index=%llu claims=%llu bytes%s\n",
+      (unsigned long long)info->dict_bytes,
+      (unsigned long long)info->triples_bytes,
+      (unsigned long long)info->index_bytes,
+      (unsigned long long)info->claims_bytes,
+      info->version >= rdf::kSnapshotVersionV2
+          ? " (zero-copy: mmap + validate, no parse)"
+          : "");
+  return 0;
+}
+
+int RunConvertSnapshotCommand(const FlagSet& flags) {
+  if (flags.positional().size() < 3) {
+    std::fprintf(stderr,
+                 "usage: akb_cli convert-snapshot <in.akbsnap> <out.akbsnap> "
+                 "[--snapshot-format=v1|v2]\n");
+    return 2;
+  }
+  const std::string& in_path = flags.positional()[1];
+  const std::string& out_path = flags.positional()[2];
+
+  auto in_format = rdf::ProbeSnapshotFormat(in_path);
+  if (!in_format.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 in_format.status().ToString().c_str());
+    return 1;
+  }
+  // Default: convert to the other format; --snapshot-format overrides
+  // (also useful for format-preserving rewrites).
+  rdf::SnapshotFormat out_format = *in_format == rdf::SnapshotFormat::kV1
+                                       ? rdf::SnapshotFormat::kV2
+                                       : rdf::SnapshotFormat::kV1;
+  std::string requested = flags.GetString("snapshot-format");
+  if (!requested.empty()) {
+    auto parsed = ParseSnapshotFormat(requested);
+    if (!parsed.has_value()) return 2;
+    out_format = *parsed;
+  }
+
+  rdf::TripleStore store;
+  Status status = store.LoadSnapshot(in_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  rdf::SnapshotStats stats;
+  status = store.SaveSnapshot(out_path, out_format, &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "%s (v%u) -> %s (v%u): %llu bytes, %llu terms, %llu triples, "
+      "%llu claims\n",
+      in_path.c_str(), uint32_t(*in_format), out_path.c_str(), stats.version,
+      (unsigned long long)stats.bytes, (unsigned long long)stats.terms,
+      (unsigned long long)stats.triples, (unsigned long long)stats.claims);
   return 0;
 }
 
@@ -640,6 +712,8 @@ void PrintUsage() {
       "  statusz       live introspection report for the serve path\n"
       "  inspect FILE  summarize an N-Triples file\n"
       "  snapshot-info FILE  summarize a binary KB snapshot\n"
+      "  convert-snapshot IN OUT  rewrite a snapshot in the other format\n"
+      "                (or the one named by --snapshot-format=v1|v2)\n"
       "  bench-merge   merge per-bench JSON results into one file\n\n"
       "common flags: --world=small|paper --seed=N\n"
       "pipeline:     --classes=A,B --sites=N --pages=N --articles=N\n"
@@ -650,7 +724,9 @@ void PrintUsage() {
       "              --save-kb=FILE (checkpoint the claims KB after\n"
       "              assembly) --load-kb=FILE (warm-start fusion from a\n"
       "              checkpoint; fused output is byte-identical to the\n"
-      "              cold run that saved it)\n"
+      "              cold run that saved it) --snapshot-format=v1|v2\n"
+      "              (v2 = page-aligned zero-copy serve image, mmap'd\n"
+      "              by the serve path without parsing; default v1)\n"
       "extract-dom:  --class=NAME --sites=N --pages=N --seeds=N\n"
       "serve-bench:  --load-kb=FILE (snapshot to serve; else --triples=N\n"
       "              synthesizes a KB) --queries=N --workers=N --batch=N\n"
@@ -683,6 +759,7 @@ int main(int argc, char** argv) {
   if (command == "statusz") return RunStatuszCommand(flags);
   if (command == "inspect") return RunInspectCommand(flags);
   if (command == "snapshot-info") return RunSnapshotInfoCommand(flags);
+  if (command == "convert-snapshot") return RunConvertSnapshotCommand(flags);
   if (command == "bench-merge") return RunBenchMergeCommand(flags);
   PrintUsage();
   return 2;
