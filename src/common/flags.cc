@@ -1,5 +1,6 @@
 #include "common/flags.h"
 
+#include <cctype>
 #include <charconv>
 
 #include "common/string_util.h"
@@ -92,6 +93,77 @@ bool FlagSet::GetBool(const std::string& name, bool fallback) const {
     return true;
   }
   return false;
+}
+
+Result<int64_t> ParseDuration(std::string_view text) {
+  std::string_view s = Trim(text);
+  if (s.empty()) {
+    return Status::InvalidArgument("duration is empty");
+  }
+  // Split "<number><unit>" at the first byte that can't be part of the
+  // number. from_chars<double> accepts "1e9" etc.; restrict the number
+  // body to digits and one '.' so "1e9s" and "-5ms" read as malformed
+  // rather than surprising.
+  size_t digits = 0;
+  bool seen_dot = false;
+  while (digits < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[digits])) ||
+          (s[digits] == '.' && !seen_dot))) {
+    if (s[digits] == '.') seen_dot = true;
+    ++digits;
+  }
+  if (digits == 0 || (digits == 1 && seen_dot)) {
+    return Status::InvalidArgument("duration '" + std::string(text) +
+                                   "' does not start with a number");
+  }
+  double value = 0.0;
+  std::string_view number = s.substr(0, digits);
+  auto [ptr, ec] =
+      std::from_chars(number.data(), number.data() + number.size(), value);
+  if (ec != std::errc() || ptr != number.data() + number.size()) {
+    return Status::InvalidArgument("duration '" + std::string(text) +
+                                   "' has a malformed number");
+  }
+  std::string_view unit = s.substr(digits);
+  double scale = 0.0;
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "s") {
+    scale = 1e9;
+  } else if (unit == "m") {
+    scale = 60e9;
+  } else if (unit == "h") {
+    scale = 3600e9;
+  } else if (unit.empty()) {
+    return Status::InvalidArgument("duration '" + std::string(text) +
+                                   "' is missing a unit (ns|us|ms|s|m|h)");
+  } else {
+    return Status::InvalidArgument("duration '" + std::string(text) +
+                                   "' has unknown unit '" +
+                                   std::string(unit) + "'");
+  }
+  double nanos = value * scale;
+  if (nanos >= 9.2e18) {
+    return Status::InvalidArgument("duration '" + std::string(text) +
+                                   "' overflows int64 nanoseconds");
+  }
+  return int64_t(nanos);
+}
+
+Result<int64_t> FlagSet::GetDuration(const std::string& name,
+                                     int64_t fallback_nanos) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback_nanos;
+  Result<int64_t> parsed = ParseDuration(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + name + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
 }
 
 std::vector<std::string> FlagSet::GetList(const std::string& name) const {

@@ -40,10 +40,26 @@ class FlagSet {
   /// Splits a comma-separated flag value ("a,b,c"); empty when unset.
   std::vector<std::string> GetList(const std::string& name) const;
 
+  /// Duration flag ("--deadline=250ms", "--duration 2s") in nanoseconds.
+  /// A missing flag returns `fallback_nanos`; a present-but-malformed
+  /// value is a kInvalidArgument error naming the flag, so CLI commands
+  /// reject bad durations loudly instead of silently running with a
+  /// default (unlike the numeric accessors above). See ParseDuration for
+  /// the accepted grammar.
+  Result<int64_t> GetDuration(const std::string& name,
+                              int64_t fallback_nanos) const;
+
  private:
   std::unordered_map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// Parses a human duration into nanoseconds: a non-negative number (int or
+/// decimal) immediately followed by one of the units ns, us, ms, s, m, h
+/// ("250ms", "2s", "1.5m", "0s"). The unit is mandatory — a bare number is
+/// ambiguous and rejected — as are empty strings, negatives, unknown
+/// units, trailing bytes, and values that overflow int64 nanoseconds.
+Result<int64_t> ParseDuration(std::string_view text);
 
 }  // namespace akb
 

@@ -27,6 +27,15 @@ enum class StatusCode {
   /// truncation, structural corruption). Distinct from kParseError so
   /// callers can tell "not this format" from "this format, but damaged".
   kDataLoss = 9,
+  /// The service is overloaded or shutting down; the request was shed
+  /// without being executed and may be retried (the serving layer attaches
+  /// a retry-after hint on the wire). Distinct from kInternal: nothing is
+  /// broken, there is just no capacity right now.
+  kUnavailable = 10,
+  /// The request's deadline expired before a result could be produced.
+  /// The serving layer sheds deadline-expired work before executing it,
+  /// so this usually means "queued too long", not "ran too long".
+  kDeadlineExceeded = 11,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -69,6 +78,12 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

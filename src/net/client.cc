@@ -1,0 +1,115 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace akb::net {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       int64_t recv_timeout_nanos) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IoError("connect " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    Close();
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_nanos > 0) {
+    timeval tv{};
+    tv.tv_sec = time_t(recv_timeout_nanos / 1'000'000'000);
+    tv.tv_usec = suseconds_t((recv_timeout_nanos % 1'000'000'000) / 1'000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Status::OK();
+}
+
+Status Client::Send(const WireRequest& request) {
+  if (fd_ < 0) return Status::IoError("not connected");
+  std::string frame;
+  EncodeRequest(request, &frame);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a server that closed mid-flight must surface as
+    // kIoError (EPIPE), not kill the process with SIGPIPE.
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += size_t(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError("write: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status Client::Receive(WireResponse* out) {
+  if (fd_ < 0) return Status::IoError("not connected");
+  while (true) {
+    std::string_view payload;
+    Result<size_t> frame =
+        ExtractFrame(inbuf_, max_frame_bytes_, &payload);
+    if (!frame.ok()) return frame.status();
+    if (*frame != 0) {
+      Status decoded = DecodeResponse(payload, out);
+      inbuf_.erase(0, *frame);
+      return decoded;
+    }
+    char buf[64 * 1024];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      inbuf_.append(buf, size_t(n));
+      continue;
+    }
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("receive timed out");
+    }
+    return Status::IoError("read: " + std::string(std::strerror(errno)));
+  }
+}
+
+Status Client::Call(const WireRequest& request, WireResponse* out) {
+  AKB_RETURN_IF_ERROR(Send(request));
+  AKB_RETURN_IF_ERROR(Receive(out));
+  if (out->request_id != request.request_id) {
+    return Status::Internal(
+        "response id " + std::to_string(out->request_id) +
+        " does not match request id " + std::to_string(request.request_id));
+  }
+  return Status::OK();
+}
+
+}  // namespace akb::net

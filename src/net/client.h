@@ -1,0 +1,58 @@
+// Blocking client for the akb::net wire protocol — used by `akb_cli
+// net-bench`, the net tests, and anything else that wants to talk to a
+// serve-net process without pulling in an event loop.
+//
+// One Client owns one TCP connection. Call() is the simple path: send a
+// request, block for the matching response. Send()/Receive() expose the
+// pipelined path — write several requests back-to-back, then drain the
+// responses (they carry the request_id, and may legitimately arrive in a
+// different order when some were shed queue-side and others executed).
+//
+// Not thread-safe: one thread per Client (net-bench opens one per client
+// thread, which also matches how real load generators drive a server).
+#ifndef AKB_NET_CLIENT_H_
+#define AKB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace akb::net {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();  // closes the socket
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to host:port. `recv_timeout_nanos` bounds every blocking
+  /// read (0 = wait forever); a timeout surfaces as kDeadlineExceeded.
+  Status Connect(const std::string& host, uint16_t port,
+                 int64_t recv_timeout_nanos = 0);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Writes one request frame (blocking until fully written).
+  Status Send(const WireRequest& request);
+
+  /// Blocks for the next response frame. kIoError on EOF/reset — which a
+  /// shutting-down server may legitimately cause mid-flight.
+  Status Receive(WireResponse* out);
+
+  /// Send + Receive; checks the response echoes `request.request_id`.
+  Status Call(const WireRequest& request, WireResponse* out);
+
+ private:
+  int fd_ = -1;
+  std::string inbuf_;
+  size_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace akb::net
+
+#endif  // AKB_NET_CLIENT_H_

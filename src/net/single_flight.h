@@ -1,0 +1,108 @@
+// Single-flight coalescing table — the perf core of the network front
+// door.
+//
+// A flight is one pending backend execution, keyed by the canonical form
+// of the request (a triple pattern's bytes, or a BGP join's
+// CanonicalizeBgp key). The first request for a key *leads* the flight;
+// every identical request that arrives while the flight is still pending
+// *attaches* as a waiter instead of enqueuing its own execution. When a
+// worker takes the flight it executes the backend once and fans the
+// result out to every waiter — a Zipf-hot cache-miss stampede costs one
+// index scan instead of hundreds.
+//
+// The table holds flights from creation (Attach returning kLeader) until
+// a worker claims them (Take). Requests arriving after Take start a new
+// flight — results are a pure function of the immutable KbView, so a
+// second execution returns identical bytes; coalescing is purely a
+// throughput optimization and never changes what any caller observes.
+//
+// Stats are exact, counted under the table mutex, and extend the
+// sharded-LRU invariants of serve/sharded_lru.h to the pending path:
+//
+//   leaders + coalesced_waiters == attaches        (every Attach is one
+//                                                   or the other)
+//   leaders - flights_taken     == flights_inflight (pending right now)
+//   sum(Take().size())          == attaches         (every request is
+//                                                   fanned out exactly once)
+#ifndef AKB_NET_SINGLE_FLIGHT_H_
+#define AKB_NET_SINGLE_FLIGHT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace akb::net {
+
+struct SingleFlightStats {
+  uint64_t attaches = 0;  ///< total requests routed through the table
+  uint64_t leaders = 0;   ///< flights created (== backend executions due)
+  uint64_t coalesced_waiters = 0;  ///< requests that joined an existing flight
+  uint64_t flights_taken = 0;      ///< flights claimed by a worker
+  uint64_t flights_inflight = 0;   ///< created but not yet taken
+  uint64_t peak_inflight = 0;      ///< high-water mark of flights_inflight
+};
+
+/// Thread-safe table of pending flights. `Waiter` is the per-request
+/// payload the server fans results out to (connection + request id +
+/// deadline); the table never inspects it.
+template <typename Waiter>
+class SingleFlightTable {
+ public:
+  enum class Role { kLeader, kWaiter };
+
+  SingleFlightTable() = default;
+  SingleFlightTable(const SingleFlightTable&) = delete;
+  SingleFlightTable& operator=(const SingleFlightTable&) = delete;
+
+  /// Joins the flight for `key`, creating it if none is pending. Returns
+  /// kLeader when this call created the flight — the caller must schedule
+  /// exactly one execution that eventually calls Take(key) — and kWaiter
+  /// when the request was coalesced onto a pending flight.
+  Role Attach(const std::string& key, Waiter waiter) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.attaches;
+    auto [it, created] = flights_.try_emplace(key);
+    it->second.push_back(std::move(waiter));
+    if (created) {
+      ++stats_.leaders;
+      ++stats_.flights_inflight;
+      if (stats_.flights_inflight > stats_.peak_inflight) {
+        stats_.peak_inflight = stats_.flights_inflight;
+      }
+      return Role::kLeader;
+    }
+    ++stats_.coalesced_waiters;
+    return Role::kWaiter;
+  }
+
+  /// Claims the flight for `key`: removes it from the table and returns
+  /// its waiters in attach order (the leader's waiter first). Requests
+  /// for `key` arriving after this start a fresh flight. Precondition:
+  /// a flight for `key` is pending (the caller was its leader).
+  std::vector<Waiter> Take(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = flights_.find(key);
+    std::vector<Waiter> waiters = std::move(it->second);
+    flights_.erase(it);
+    ++stats_.flights_taken;
+    --stats_.flights_inflight;
+    return waiters;
+  }
+
+  SingleFlightStats Stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::vector<Waiter>> flights_;
+  SingleFlightStats stats_;
+};
+
+}  // namespace akb::net
+
+#endif  // AKB_NET_SINGLE_FLIGHT_H_

@@ -1,0 +1,285 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace akb::net {
+
+namespace {
+
+// Little-endian fixed-width append/read. The serve path only runs on
+// little-endian hosts today (the v2 snapshot format shares the
+// assumption); memcpy keeps every access alignment-safe.
+template <typename T>
+void AppendInt(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+// Sequential reader over a payload; every Read checks remaining bytes.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (data_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(out, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string_view* out) {
+    if (data_.size() - pos_ < n) return false;
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void BeginFrame(std::string* out, size_t* length_at) {
+  *length_at = out->size();
+  AppendInt<uint32_t>(out, 0);  // patched by EndFrame
+}
+
+void EndFrame(std::string* out, size_t length_at) {
+  uint32_t payload = uint32_t(out->size() - length_at - sizeof(uint32_t));
+  std::memcpy(out->data() + length_at, &payload, sizeof(uint32_t));
+}
+
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("wire: ") + what);
+}
+
+bool ValidType(uint8_t type) {
+  return type == uint8_t(MsgType::kPattern) || type == uint8_t(MsgType::kBgp) ||
+         type == uint8_t(MsgType::kPing);
+}
+
+}  // namespace
+
+void EncodeRequest(const WireRequest& request, std::string* out) {
+  size_t length_at;
+  BeginFrame(out, &length_at);
+  AppendInt<uint8_t>(out, kWireVersion);
+  AppendInt<uint8_t>(out, uint8_t(request.type));
+  AppendInt<uint64_t>(out, request.request_id);
+  AppendInt<uint64_t>(out, uint64_t(request.deadline_nanos));
+  switch (request.type) {
+    case MsgType::kPattern:
+      AppendInt<uint32_t>(out, request.pattern.subject);
+      AppendInt<uint32_t>(out, request.pattern.predicate);
+      AppendInt<uint32_t>(out, request.pattern.object);
+      break;
+    case MsgType::kBgp:
+      AppendInt<uint8_t>(out, uint8_t(request.bgp_patterns.size()));
+      for (const WireBgpPattern& pattern : request.bgp_patterns) {
+        for (const WireBgpTerm* term : {&pattern.s, &pattern.p, &pattern.o}) {
+          AppendInt<uint8_t>(out, term->is_var ? 1 : 0);
+          AppendInt<uint32_t>(out, term->value);
+        }
+      }
+      AppendInt<uint64_t>(out, request.row_limit);
+      break;
+    case MsgType::kPing:
+      break;
+  }
+  EndFrame(out, length_at);
+}
+
+void EncodeResponse(const WireResponse& response, std::string* out) {
+  size_t length_at;
+  BeginFrame(out, &length_at);
+  AppendInt<uint8_t>(out, kWireVersion);
+  AppendInt<uint8_t>(out, uint8_t(response.type));
+  AppendInt<uint64_t>(out, response.request_id);
+  AppendInt<uint8_t>(out, uint8_t(response.status.code()));
+  uint8_t flags = 0;
+  if (response.cache_hit) flags |= 1;
+  if (response.coalesced) flags |= 2;
+  AppendInt<uint8_t>(out, flags);
+  AppendInt<uint64_t>(out, uint64_t(response.retry_after_nanos));
+  const std::string& message = response.status.message();
+  AppendInt<uint32_t>(out, uint32_t(message.size()));
+  out->append(message);
+  if (response.status.ok()) {
+    switch (response.type) {
+      case MsgType::kPattern:
+        AppendInt<uint64_t>(out, uint64_t(response.matches.size()));
+        for (uint64_t match : response.matches) {
+          AppendInt<uint64_t>(out, match);
+        }
+        break;
+      case MsgType::kBgp: {
+        AppendInt<uint16_t>(out, uint16_t(response.vars.size()));
+        for (const std::string& var : response.vars) {
+          AppendInt<uint16_t>(out, uint16_t(var.size()));
+          out->append(var);
+        }
+        AppendInt<uint64_t>(out, response.num_rows);
+        for (rdf::TermId id : response.rows) {
+          AppendInt<uint32_t>(out, id);
+        }
+        break;
+      }
+      case MsgType::kPing:
+        break;
+    }
+  }
+  EndFrame(out, length_at);
+}
+
+Status DecodeRequest(std::string_view payload, WireRequest* out) {
+  Cursor cursor(payload);
+  uint8_t version = 0, type = 0;
+  uint64_t deadline = 0;
+  if (!cursor.Read(&version) || !cursor.Read(&type) ||
+      !cursor.Read(&out->request_id) || !cursor.Read(&deadline)) {
+    return Malformed("truncated request header");
+  }
+  if (version != kWireVersion) {
+    return Malformed("unsupported request version");
+  }
+  if (!ValidType(type)) return Malformed("unknown request type");
+  out->type = MsgType(type);
+  out->deadline_nanos = int64_t(deadline);
+  switch (out->type) {
+    case MsgType::kPattern:
+      if (!cursor.Read(&out->pattern.subject) ||
+          !cursor.Read(&out->pattern.predicate) ||
+          !cursor.Read(&out->pattern.object)) {
+        return Malformed("truncated pattern body");
+      }
+      break;
+    case MsgType::kBgp: {
+      uint8_t num_patterns = 0;
+      if (!cursor.Read(&num_patterns)) return Malformed("truncated BGP body");
+      out->bgp_patterns.clear();
+      out->bgp_patterns.reserve(num_patterns);
+      for (size_t i = 0; i < num_patterns; ++i) {
+        WireBgpPattern pattern;
+        for (WireBgpTerm* term : {&pattern.s, &pattern.p, &pattern.o}) {
+          uint8_t is_var = 0;
+          if (!cursor.Read(&is_var) || !cursor.Read(&term->value)) {
+            return Malformed("truncated BGP body");
+          }
+          if (is_var > 1) return Malformed("bad BGP term tag");
+          term->is_var = is_var == 1;
+        }
+        out->bgp_patterns.push_back(pattern);
+      }
+      if (!cursor.Read(&out->row_limit)) return Malformed("truncated BGP body");
+      break;
+    }
+    case MsgType::kPing:
+      break;
+  }
+  if (cursor.remaining() != 0) {
+    return Malformed("trailing bytes after request body");
+  }
+  return Status::OK();
+}
+
+Status DecodeResponse(std::string_view payload, WireResponse* out) {
+  Cursor cursor(payload);
+  uint8_t version = 0, type = 0, code = 0, flags = 0;
+  uint64_t retry_after = 0;
+  uint32_t message_len = 0;
+  if (!cursor.Read(&version) || !cursor.Read(&type) ||
+      !cursor.Read(&out->request_id) || !cursor.Read(&code) ||
+      !cursor.Read(&flags) || !cursor.Read(&retry_after) ||
+      !cursor.Read(&message_len)) {
+    return Malformed("truncated response header");
+  }
+  if (version != kWireVersion) {
+    return Malformed("unsupported response version");
+  }
+  if (!ValidType(type)) return Malformed("unknown response type");
+  if (code > uint8_t(StatusCode::kDeadlineExceeded)) {
+    return Malformed("unknown response status code");
+  }
+  out->type = MsgType(type);
+  out->cache_hit = (flags & 1) != 0;
+  out->coalesced = (flags & 2) != 0;
+  out->retry_after_nanos = int64_t(retry_after);
+  std::string_view message;
+  if (!cursor.ReadBytes(message_len, &message)) {
+    return Malformed("truncated response message");
+  }
+  out->status = code == 0 ? Status::OK()
+                          : Status(StatusCode(code), std::string(message));
+  out->matches.clear();
+  out->vars.clear();
+  out->rows.clear();
+  out->num_rows = 0;
+  if (out->status.ok()) {
+    switch (out->type) {
+      case MsgType::kPattern: {
+        uint64_t num_matches = 0;
+        // Divide instead of multiplying: a hostile count can't overflow
+        // into a small product and trigger a huge resize.
+        if (!cursor.Read(&num_matches) ||
+            num_matches > cursor.remaining() / sizeof(uint64_t)) {
+          return Malformed("truncated match list");
+        }
+        out->matches.resize(num_matches);
+        for (uint64_t& match : out->matches) cursor.Read(&match);
+        break;
+      }
+      case MsgType::kBgp: {
+        uint16_t num_vars = 0;
+        if (!cursor.Read(&num_vars)) return Malformed("truncated BGP rows");
+        out->vars.reserve(num_vars);
+        for (size_t i = 0; i < num_vars; ++i) {
+          uint16_t len = 0;
+          std::string_view name;
+          if (!cursor.Read(&len) || !cursor.ReadBytes(len, &name)) {
+            return Malformed("truncated BGP rows");
+          }
+          out->vars.emplace_back(name);
+        }
+        if (!cursor.Read(&out->num_rows)) {
+          return Malformed("truncated BGP rows");
+        }
+        // Same overflow-safe bound: rows x vars cells of u32 each.
+        uint64_t max_cells = cursor.remaining() / sizeof(uint32_t);
+        if (num_vars != 0 && out->num_rows > max_cells / num_vars) {
+          return Malformed("truncated BGP rows");
+        }
+        uint64_t cells = out->num_rows * num_vars;
+        out->rows.resize(cells);
+        for (rdf::TermId& id : out->rows) cursor.Read(&id);
+        break;
+      }
+      case MsgType::kPing:
+        break;
+    }
+  }
+  if (cursor.remaining() != 0) {
+    return Malformed("trailing bytes after response body");
+  }
+  return Status::OK();
+}
+
+Result<size_t> ExtractFrame(std::string_view buffer, size_t max_frame,
+                            std::string_view* payload) {
+  if (buffer.size() < sizeof(uint32_t)) return size_t(0);
+  uint32_t length = 0;
+  std::memcpy(&length, buffer.data(), sizeof(uint32_t));
+  if (length > max_frame) {
+    return Status::ParseError("wire: frame of " + std::to_string(length) +
+                              " bytes exceeds the " +
+                              std::to_string(max_frame) + "-byte limit");
+  }
+  if (buffer.size() - sizeof(uint32_t) < length) return size_t(0);
+  *payload = buffer.substr(sizeof(uint32_t), length);
+  return sizeof(uint32_t) + size_t(length);
+}
+
+}  // namespace akb::net

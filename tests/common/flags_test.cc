@@ -130,5 +130,65 @@ TEST(FlagsTest, BoolValueTrimsWhitespace) {
   EXPECT_FALSE(flags.GetBool("y"));
 }
 
+TEST(DurationTest, ParsesEveryUnit) {
+  EXPECT_EQ(ParseDuration("17ns").value(), 17);
+  EXPECT_EQ(ParseDuration("3us").value(), 3'000);
+  EXPECT_EQ(ParseDuration("250ms").value(), 250'000'000);
+  EXPECT_EQ(ParseDuration("2s").value(), 2'000'000'000);
+  EXPECT_EQ(ParseDuration("1m").value(), 60'000'000'000);
+  EXPECT_EQ(ParseDuration("1h").value(), 3'600'000'000'000);
+}
+
+TEST(DurationTest, FractionsAndZero) {
+  EXPECT_EQ(ParseDuration("1.5s").value(), 1'500'000'000);
+  EXPECT_EQ(ParseDuration("0.25ms").value(), 250'000);
+  EXPECT_EQ(ParseDuration("0s").value(), 0);
+  EXPECT_EQ(ParseDuration(" 2s ").value(), 2'000'000'000);
+}
+
+TEST(DurationTest, RejectsMalformedInput) {
+  // Empty, missing unit, missing number.
+  EXPECT_EQ(ParseDuration("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration("250").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration("ms").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration(".s").status().code(),
+            StatusCode::kInvalidArgument);
+  // Signs and exponents are not accepted in the number body.
+  EXPECT_EQ(ParseDuration("-5ms").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration("+5ms").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration("1e9s").status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown or composite units.
+  EXPECT_EQ(ParseDuration("5sec").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration("5 ms").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration("1m30s").status().code(),
+            StatusCode::kInvalidArgument);
+  // Overflow past int64 nanoseconds.
+  EXPECT_EQ(ParseDuration("300y").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseDuration("9999999999h").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DurationTest, GetDurationUsesFallbackWhenAbsent) {
+  FlagSet flags = ParseArgs({"--deadline=250ms"});
+  EXPECT_EQ(flags.GetDuration("deadline", 0).value(), 250'000'000);
+  EXPECT_EQ(flags.GetDuration("missing", 42).value(), 42);
+}
+
+TEST(DurationTest, GetDurationRejectsBadValueAndNamesTheFlag) {
+  FlagSet flags = ParseArgs({"--deadline=fast"});
+  Result<int64_t> r = flags.GetDuration("deadline", 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("--deadline"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace akb

@@ -45,9 +45,19 @@ TEST(StatusTest, StreamInsertion) {
 }
 
 TEST(StatusCodeTest, EveryCodeHasAName) {
-  for (int c = 0; c <= 8; ++c) {
+  for (int c = 0; c <= 11; ++c) {
     EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, ServingShedCodes) {
+  Status unavailable = Status::Unavailable("queue full");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: queue full");
+
+  Status deadline = Status::DeadlineExceeded("expired in queue");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: expired in queue");
 }
 
 TEST(ResultTest, HoldsValue) {

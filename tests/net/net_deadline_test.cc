@@ -1,0 +1,263 @@
+// Deadline enforcement tests, pinned by counters: a request whose
+// deadline expires while its flight sits in the work queue is answered
+// with kDeadlineExceeded and the backend NEVER executes for it — the
+// akb.serve.queries delta proves the index was not touched.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "rdf/triple_store.h"
+#include "serve/query_engine.h"
+
+namespace akb::net {
+namespace {
+
+using rdf::TriplePattern;
+
+struct StallHook {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int calls = 0;
+  bool entered = false;
+  bool release = false;
+
+  std::function<void()> Fn() {
+    return [this] {
+      std::unique_lock<std::mutex> lock(mutex);
+      if (calls++ == 0) {
+        entered = true;
+        cv.notify_all();
+        cv.wait(lock, [this] { return release; });
+      }
+    };
+  }
+  void WaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      release = true;
+    }
+    cv.notify_all();
+  }
+};
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 10000) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+int64_t QueriesCounter() {
+  obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const obs::MetricSnapshotEntry* entry = snapshot.Find("akb.serve.queries");
+  return entry ? entry->value : 0;
+}
+
+class NetDeadlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int s = 0; s < 10; ++s) {
+      auto sid =
+          store_.dictionary().InternIri("http://e/s" + std::to_string(s));
+      if (s == 0) subject0_ = sid;
+      for (int p = 0; p < 5; ++p) {
+        store_.Insert(
+            {sid,
+             store_.dictionary().InternIri("http://p/p" + std::to_string(p)),
+             store_.dictionary().InternLiteral(std::to_string(s * 5 + p))},
+            rdf::Provenance{});
+      }
+    }
+    view_ = std::make_unique<serve::KbView>(store_);
+  }
+
+  // One stalled worker, coalescing on, cache off (so every execution
+  // would hit the backend — making the queries-counter pin airtight).
+  Server* StartStalledServer(StallHook* hook) {
+    serve::QueryEngineConfig engine_config;
+    engine_config.num_workers = 2;
+    engine_config.enable_cache = false;
+    engine_ = std::make_unique<serve::QueryEngine>(*view_, engine_config);
+    server_ = std::make_unique<Server>(engine_.get());
+    ServerConfig config;
+    config.num_workers = 1;
+    config.worker_hook_for_testing = hook->Fn();
+    Status status = server_->Start(config);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return server_.get();
+  }
+
+  WireRequest PatternRequest(uint64_t id, TriplePattern pattern,
+                             int64_t deadline_nanos = 0) {
+    WireRequest request;
+    request.type = MsgType::kPattern;
+    request.request_id = id;
+    request.deadline_nanos = deadline_nanos;
+    request.pattern = pattern;
+    return request;
+  }
+
+  rdf::TripleStore store_;
+  std::unique_ptr<serve::KbView> view_;
+  std::unique_ptr<serve::QueryEngine> engine_;
+  std::unique_ptr<Server> server_;
+  rdf::TermId subject0_ = 0;
+};
+
+// The satellite scenario: a request is admitted, its flight queues
+// behind a stalled worker, its 1 ms deadline passes, and when the worker
+// finally dequeues the flight it sheds it — kDeadlineExceeded on the
+// wire, flights_shed counted, and zero backend executions for it.
+TEST_F(NetDeadlineTest, QueuedExpiryShedsWithoutExecuting) {
+  StallHook hook;
+  Server* server = StartStalledServer(&hook);
+  Client client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", server->port(), 10'000'000'000).ok());
+  const int64_t queries_before = QueriesCounter();
+
+  ASSERT_TRUE(client.Send(PatternRequest(1, {99999, 0, 0})).ok());
+  hook.WaitEntered();
+  ASSERT_TRUE(client
+                  .Send(PatternRequest(2, {subject0_, 0, 0},
+                                       /*deadline_nanos=*/1'000'000))
+                  .ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return server->stats().singleflight.attaches == 2; }));
+  // Let the 1 ms budget expire while the flight is still queued.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hook.Release();
+
+  std::map<uint64_t, WireResponse> responses;
+  for (int i = 0; i < 2; ++i) {
+    WireResponse response;
+    ASSERT_TRUE(client.Receive(&response).ok());
+    responses[response.request_id] = response;
+  }
+  EXPECT_TRUE(responses[1].status.ok());
+  EXPECT_EQ(responses[2].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(responses[2].status.message().find("in queue"),
+            std::string::npos);
+
+  NetStats stats = server->stats();
+  EXPECT_EQ(stats.shed_deadline_queue, 1u);
+  EXPECT_EQ(stats.flights_shed, 1u);
+  EXPECT_EQ(stats.flights_executed, 1u);  // the dummy only
+  // Counter-pinned: only the dummy reached the backend.
+  EXPECT_EQ(QueriesCounter() - queries_before, 1);
+}
+
+// A whole flight of expired waiters is skipped in one step.
+TEST_F(NetDeadlineTest, AllWaitersExpiredSkipsTheFlight) {
+  StallHook hook;
+  Server* server = StartStalledServer(&hook);
+  Client client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", server->port(), 10'000'000'000).ok());
+  const int64_t queries_before = QueriesCounter();
+
+  ASSERT_TRUE(client.Send(PatternRequest(1, {99999, 0, 0})).ok());
+  hook.WaitEntered();
+  for (uint64_t id = 2; id <= 4; ++id) {
+    ASSERT_TRUE(
+        client.Send(PatternRequest(id, {subject0_, 0, 0}, 1'000'000)).ok());
+  }
+  ASSERT_TRUE(WaitFor(
+      [&] { return server->stats().singleflight.attaches == 4; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hook.Release();
+
+  int deadline_exceeded = 0;
+  for (int i = 0; i < 4; ++i) {
+    WireResponse response;
+    ASSERT_TRUE(client.Receive(&response).ok());
+    if (response.status.code() == StatusCode::kDeadlineExceeded) {
+      ++deadline_exceeded;
+    }
+  }
+  EXPECT_EQ(deadline_exceeded, 3);
+  NetStats stats = server->stats();
+  EXPECT_EQ(stats.shed_deadline_queue, 3u);
+  EXPECT_EQ(stats.flights_shed, 1u);
+  EXPECT_EQ(QueriesCounter() - queries_before, 1);
+}
+
+// Mixed flight: the expired leader is shed but a live waiter keeps the
+// flight alive — deadlines are per-request even under coalescing.
+TEST_F(NetDeadlineTest, LiveWaiterKeepsMixedFlightAlive) {
+  StallHook hook;
+  Server* server = StartStalledServer(&hook);
+  Client client;
+  ASSERT_TRUE(
+      client.Connect("127.0.0.1", server->port(), 10'000'000'000).ok());
+  const int64_t queries_before = QueriesCounter();
+
+  ASSERT_TRUE(client.Send(PatternRequest(1, {99999, 0, 0})).ok());
+  hook.WaitEntered();
+  // Leader with a 1 ms budget, waiter with none.
+  ASSERT_TRUE(
+      client.Send(PatternRequest(2, {subject0_, 0, 0}, 1'000'000)).ok());
+  ASSERT_TRUE(client.Send(PatternRequest(3, {subject0_, 0, 0})).ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return server->stats().singleflight.attaches == 3; }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hook.Release();
+
+  std::map<uint64_t, WireResponse> responses;
+  for (int i = 0; i < 3; ++i) {
+    WireResponse response;
+    ASSERT_TRUE(client.Receive(&response).ok());
+    responses[response.request_id] = response;
+  }
+  EXPECT_EQ(responses[2].status.code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(responses[3].status.ok());
+  const std::vector<size_t> direct = view_->Match({subject0_, 0, 0});
+  EXPECT_EQ(responses[3].matches,
+            std::vector<uint64_t>(direct.begin(), direct.end()));
+
+  NetStats stats = server->stats();
+  EXPECT_EQ(stats.shed_deadline_queue, 1u);
+  EXPECT_EQ(stats.flights_shed, 0u);
+  EXPECT_EQ(stats.flights_executed, 2u);  // dummy + the mixed flight
+  EXPECT_EQ(QueriesCounter() - queries_before, 2);
+}
+
+// Client-side budget: Receive times out as kDeadlineExceeded when the
+// server has nothing to say within the recv window.
+TEST_F(NetDeadlineTest, ClientReceiveTimesOut) {
+  StallHook hook;
+  Server* server = StartStalledServer(&hook);
+  Client client;
+  ASSERT_TRUE(client
+                  .Connect("127.0.0.1", server->port(),
+                           /*recv_timeout_nanos=*/50'000'000)
+                  .ok());
+  // Stall the worker so the request cannot be answered in time.
+  ASSERT_TRUE(client.Send(PatternRequest(1, {99999, 0, 0})).ok());
+  hook.WaitEntered();
+  WireResponse response;
+  EXPECT_EQ(client.Receive(&response).code(), StatusCode::kDeadlineExceeded);
+  hook.Release();
+}
+
+}  // namespace
+}  // namespace akb::net

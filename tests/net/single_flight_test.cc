@@ -1,0 +1,112 @@
+// SingleFlightTable tests: leader/waiter roles, attach-order fan-out,
+// flight lifecycle across Take, and the exact-stat invariants
+//   leaders + coalesced_waiters == attaches
+//   leaders - flights_taken     == flights_inflight
+//   sum(Take().size())          == attaches
+// held under concurrent attachers.
+#include "net/single_flight.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace akb::net {
+namespace {
+
+using Table = SingleFlightTable<int>;
+using Role = Table::Role;
+
+TEST(SingleFlightTest, FirstAttachLeadsRestWait) {
+  Table table;
+  EXPECT_EQ(table.Attach("k", 0), Role::kLeader);
+  EXPECT_EQ(table.Attach("k", 1), Role::kWaiter);
+  EXPECT_EQ(table.Attach("k", 2), Role::kWaiter);
+
+  SingleFlightStats stats = table.Stats();
+  EXPECT_EQ(stats.attaches, 3u);
+  EXPECT_EQ(stats.leaders, 1u);
+  EXPECT_EQ(stats.coalesced_waiters, 2u);
+  EXPECT_EQ(stats.flights_inflight, 1u);
+  EXPECT_EQ(stats.flights_taken, 0u);
+}
+
+TEST(SingleFlightTest, TakeReturnsWaitersInAttachOrder) {
+  Table table;
+  table.Attach("k", 10);
+  table.Attach("k", 11);
+  table.Attach("k", 12);
+  std::vector<int> waiters = table.Take("k");
+  EXPECT_EQ(waiters, (std::vector<int>{10, 11, 12}));
+
+  SingleFlightStats stats = table.Stats();
+  EXPECT_EQ(stats.flights_taken, 1u);
+  EXPECT_EQ(stats.flights_inflight, 0u);
+}
+
+TEST(SingleFlightTest, DistinctKeysAreIndependentFlights) {
+  Table table;
+  EXPECT_EQ(table.Attach("a", 0), Role::kLeader);
+  EXPECT_EQ(table.Attach("b", 1), Role::kLeader);
+  EXPECT_EQ(table.Attach("a", 2), Role::kWaiter);
+
+  SingleFlightStats stats = table.Stats();
+  EXPECT_EQ(stats.leaders, 2u);
+  EXPECT_EQ(stats.flights_inflight, 2u);
+  EXPECT_EQ(stats.peak_inflight, 2u);
+  EXPECT_EQ(table.Take("a").size(), 2u);
+  EXPECT_EQ(table.Take("b").size(), 1u);
+}
+
+// After Take, the key starts a fresh flight: coalescing only ever joins
+// *pending* executions, never completed ones.
+TEST(SingleFlightTest, AttachAfterTakeStartsNewFlight) {
+  Table table;
+  EXPECT_EQ(table.Attach("k", 0), Role::kLeader);
+  EXPECT_EQ(table.Take("k").size(), 1u);
+  EXPECT_EQ(table.Attach("k", 1), Role::kLeader);
+
+  SingleFlightStats stats = table.Stats();
+  EXPECT_EQ(stats.leaders, 2u);
+  EXPECT_EQ(stats.coalesced_waiters, 0u);
+  EXPECT_EQ(stats.peak_inflight, 1u);
+}
+
+TEST(SingleFlightTest, StatsInvariantsUnderConcurrentAttachers) {
+  Table table;
+  constexpr int kThreads = 8;
+  constexpr int kAttachesPerThread = 2000;
+  const std::vector<std::string> keys = {"alpha", "beta", "gamma"};
+
+  // Every thread attaches round-robin over a few hot keys; whoever leads
+  // a flight takes it back (after a beat, so others can pile on).
+  std::atomic<uint64_t> fanout_total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAttachesPerThread; ++i) {
+        const std::string& key = keys[(t + i) % keys.size()];
+        if (table.Attach(key, t) == Role::kLeader) {
+          if (i % 7 == 0) std::this_thread::yield();
+          fanout_total.fetch_add(table.Take(key).size());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  SingleFlightStats stats = table.Stats();
+  EXPECT_EQ(stats.attaches, uint64_t(kThreads) * kAttachesPerThread);
+  EXPECT_EQ(stats.leaders + stats.coalesced_waiters, stats.attaches);
+  EXPECT_EQ(stats.flights_taken, stats.leaders);
+  EXPECT_EQ(stats.flights_inflight, 0u);
+  // Every attach was fanned out exactly once.
+  EXPECT_EQ(fanout_total.load(), stats.attaches);
+  EXPECT_GE(stats.peak_inflight, 1u);
+  EXPECT_LE(stats.peak_inflight, keys.size());
+}
+
+}  // namespace
+}  // namespace akb::net

@@ -1,0 +1,327 @@
+// Wire protocol v1 codec tests: round trips for every message type,
+// streaming frame extraction, and decode rejection of malformed or
+// hostile payloads (the server closes the connection on any of these).
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace akb::net {
+namespace {
+
+// Strips the length prefix off a single encoded frame.
+std::string PayloadOf(const std::string& frame) {
+  std::string_view payload;
+  Result<size_t> used = ExtractFrame(frame, kDefaultMaxFrameBytes, &payload);
+  EXPECT_TRUE(used.ok());
+  EXPECT_EQ(*used, frame.size());
+  return std::string(payload);
+}
+
+template <typename T>
+void AppendInt(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+TEST(WireTest, PatternRequestRoundTrip) {
+  WireRequest request;
+  request.type = MsgType::kPattern;
+  request.request_id = 0xdeadbeefcafe1234ull;
+  request.deadline_nanos = 250'000'000;
+  request.pattern = {7, 0, 42};
+
+  std::string frame;
+  EncodeRequest(request, &frame);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequest(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.type, MsgType::kPattern);
+  EXPECT_EQ(decoded.request_id, request.request_id);
+  EXPECT_EQ(decoded.deadline_nanos, request.deadline_nanos);
+  EXPECT_EQ(decoded.pattern.subject, 7u);
+  EXPECT_EQ(decoded.pattern.predicate, 0u);
+  EXPECT_EQ(decoded.pattern.object, 42u);
+}
+
+TEST(WireTest, BgpRequestRoundTrip) {
+  WireRequest request;
+  request.type = MsgType::kBgp;
+  request.request_id = 9;
+  request.row_limit = 512;
+  // ?v0 p3 ?v1 / ?v0 p4 c9 — a two-pattern join on slot 0.
+  request.bgp_patterns = {
+      {{true, 0}, {false, 3}, {true, 1}},
+      {{true, 0}, {false, 4}, {false, 9}},
+  };
+
+  std::string frame;
+  EncodeRequest(request, &frame);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequest(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.type, MsgType::kBgp);
+  EXPECT_EQ(decoded.row_limit, 512u);
+  ASSERT_EQ(decoded.bgp_patterns.size(), 2u);
+  EXPECT_TRUE(decoded.bgp_patterns[0].s.is_var);
+  EXPECT_EQ(decoded.bgp_patterns[0].s.value, 0u);
+  EXPECT_FALSE(decoded.bgp_patterns[0].p.is_var);
+  EXPECT_EQ(decoded.bgp_patterns[0].p.value, 3u);
+  EXPECT_TRUE(decoded.bgp_patterns[0].o.is_var);
+  EXPECT_EQ(decoded.bgp_patterns[1].o.value, 9u);
+}
+
+TEST(WireTest, PingRoundTrip) {
+  WireRequest request;
+  request.type = MsgType::kPing;
+  request.request_id = 77;
+  std::string frame;
+  EncodeRequest(request, &frame);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequest(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.type, MsgType::kPing);
+  EXPECT_EQ(decoded.request_id, 77u);
+  EXPECT_EQ(decoded.deadline_nanos, 0);
+}
+
+TEST(WireTest, OkPatternResponseRoundTrip) {
+  WireResponse response;
+  response.type = MsgType::kPattern;
+  response.request_id = 5;
+  response.cache_hit = true;
+  response.coalesced = true;
+  response.matches = {0, 3, 99, 1ull << 40};
+
+  std::string frame;
+  EncodeResponse(response, &frame);
+  WireResponse decoded;
+  ASSERT_TRUE(DecodeResponse(PayloadOf(frame), &decoded).ok());
+  EXPECT_TRUE(decoded.status.ok());
+  EXPECT_TRUE(decoded.cache_hit);
+  EXPECT_TRUE(decoded.coalesced);
+  EXPECT_EQ(decoded.matches, response.matches);
+  EXPECT_EQ(decoded.retry_after_nanos, 0);
+}
+
+TEST(WireTest, BgpResponseRoundTrip) {
+  WireResponse response;
+  response.type = MsgType::kBgp;
+  response.request_id = 6;
+  response.vars = {"entity", "year"};
+  response.rows = {1, 2, 3, 4, 5, 6};
+  response.num_rows = 3;
+
+  std::string frame;
+  EncodeResponse(response, &frame);
+  WireResponse decoded;
+  ASSERT_TRUE(DecodeResponse(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.vars, response.vars);
+  EXPECT_EQ(decoded.rows, response.rows);
+  EXPECT_EQ(decoded.num_rows, 3u);
+}
+
+TEST(WireTest, ErrorResponseCarriesMessageAndRetryHint) {
+  WireResponse response;
+  response.type = MsgType::kPattern;
+  response.request_id = 8;
+  response.status = Status::Unavailable("work queue full");
+  response.retry_after_nanos = 20'000'000;
+  response.matches = {1, 2, 3};  // must NOT be encoded on error
+
+  std::string frame;
+  EncodeResponse(response, &frame);
+  WireResponse decoded;
+  ASSERT_TRUE(DecodeResponse(PayloadOf(frame), &decoded).ok());
+  EXPECT_EQ(decoded.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(decoded.status.message(), "work queue full");
+  EXPECT_EQ(decoded.retry_after_nanos, 20'000'000);
+  EXPECT_TRUE(decoded.matches.empty());
+}
+
+TEST(WireTest, ExtractFrameStreamsPartialInput) {
+  WireRequest request;
+  request.type = MsgType::kPing;
+  std::string frame;
+  EncodeRequest(request, &frame);
+
+  std::string_view payload;
+  // Byte-by-byte: no prefix, partial prefix, partial payload -> 0.
+  for (size_t len = 0; len < frame.size(); ++len) {
+    Result<size_t> used = ExtractFrame(
+        std::string_view(frame).substr(0, len), kDefaultMaxFrameBytes,
+        &payload);
+    ASSERT_TRUE(used.ok());
+    EXPECT_EQ(*used, 0u) << "incomplete frame at " << len << " bytes";
+  }
+  Result<size_t> used = ExtractFrame(frame, kDefaultMaxFrameBytes, &payload);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, frame.size());
+}
+
+TEST(WireTest, ExtractFrameReturnsFirstOfTwo) {
+  WireRequest a, b;
+  a.type = MsgType::kPing;
+  a.request_id = 1;
+  b.type = MsgType::kPattern;
+  b.request_id = 2;
+  std::string buffer;
+  EncodeRequest(a, &buffer);
+  size_t first_size = buffer.size();
+  EncodeRequest(b, &buffer);
+
+  std::string_view payload;
+  Result<size_t> used = ExtractFrame(buffer, kDefaultMaxFrameBytes, &payload);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, first_size);
+  WireRequest decoded;
+  ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, 1u);
+}
+
+TEST(WireTest, ExtractFrameRejectsOversizeDeclaredLength) {
+  std::string buffer;
+  AppendInt<uint32_t>(&buffer, 1u << 20);  // declares 1 MiB...
+  std::string_view payload;
+  Result<size_t> used = ExtractFrame(buffer, /*max_frame=*/1024, &payload);
+  EXPECT_EQ(used.status().code(), StatusCode::kParseError);
+}
+
+TEST(WireTest, DecodeRequestRejectsBadVersion) {
+  WireRequest request;
+  request.type = MsgType::kPing;
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  payload[0] = 99;
+  WireRequest decoded;
+  EXPECT_EQ(DecodeRequest(payload, &decoded).code(), StatusCode::kParseError);
+}
+
+TEST(WireTest, DecodeRequestRejectsUnknownType) {
+  WireRequest request;
+  request.type = MsgType::kPing;
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  payload[1] = 9;
+  WireRequest decoded;
+  EXPECT_EQ(DecodeRequest(payload, &decoded).code(), StatusCode::kParseError);
+}
+
+TEST(WireTest, DecodeRequestRejectsTruncationAtEveryLength) {
+  WireRequest request;
+  request.type = MsgType::kPattern;
+  request.pattern = {1, 2, 3};
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  WireRequest decoded;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_EQ(
+        DecodeRequest(std::string_view(payload).substr(0, len), &decoded)
+            .code(),
+        StatusCode::kParseError)
+        << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(WireTest, DecodeRequestRejectsTrailingBytes) {
+  WireRequest request;
+  request.type = MsgType::kPattern;
+  request.pattern = {1, 2, 3};
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame) + "x";
+  WireRequest decoded;
+  EXPECT_EQ(DecodeRequest(payload, &decoded).code(), StatusCode::kParseError);
+}
+
+TEST(WireTest, DecodeRequestRejectsBadBgpTermTag) {
+  std::string payload;
+  AppendInt<uint8_t>(&payload, kWireVersion);
+  AppendInt<uint8_t>(&payload, uint8_t(MsgType::kBgp));
+  AppendInt<uint64_t>(&payload, 1);  // request_id
+  AppendInt<uint64_t>(&payload, 0);  // deadline
+  AppendInt<uint8_t>(&payload, 1);   // num_patterns
+  for (int term = 0; term < 3; ++term) {
+    AppendInt<uint8_t>(&payload, term == 1 ? 2 : 0);  // tag 2 is invalid
+    AppendInt<uint32_t>(&payload, 1);
+  }
+  AppendInt<uint64_t>(&payload, 100);  // row_limit
+  WireRequest decoded;
+  EXPECT_EQ(DecodeRequest(payload, &decoded).code(), StatusCode::kParseError);
+}
+
+// A hostile count must be rejected by bounds-checking against the bytes
+// actually present — not multiplied into a resize that overflows or
+// allocates gigabytes.
+TEST(WireTest, DecodeResponseRejectsHostileMatchCount) {
+  std::string payload;
+  AppendInt<uint8_t>(&payload, kWireVersion);
+  AppendInt<uint8_t>(&payload, uint8_t(MsgType::kPattern));
+  AppendInt<uint64_t>(&payload, 1);  // request_id
+  AppendInt<uint8_t>(&payload, 0);   // status OK
+  AppendInt<uint8_t>(&payload, 0);   // flags
+  AppendInt<uint64_t>(&payload, 0);  // retry_after
+  AppendInt<uint32_t>(&payload, 0);  // message_len
+  AppendInt<uint64_t>(&payload, 1ull << 60);  // num_matches, absurd
+  AppendInt<uint64_t>(&payload, 42);          // but only one value present
+  WireResponse decoded;
+  EXPECT_EQ(DecodeResponse(payload, &decoded).code(),
+            StatusCode::kParseError);
+}
+
+TEST(WireTest, DecodeResponseRejectsHostileRowCount) {
+  std::string payload;
+  AppendInt<uint8_t>(&payload, kWireVersion);
+  AppendInt<uint8_t>(&payload, uint8_t(MsgType::kBgp));
+  AppendInt<uint64_t>(&payload, 1);  // request_id
+  AppendInt<uint8_t>(&payload, 0);   // status OK
+  AppendInt<uint8_t>(&payload, 0);   // flags
+  AppendInt<uint64_t>(&payload, 0);  // retry_after
+  AppendInt<uint32_t>(&payload, 0);  // message_len
+  AppendInt<uint16_t>(&payload, 2);  // num_vars
+  for (const char* name : {"a", "b"}) {
+    AppendInt<uint16_t>(&payload, 1);
+    payload.append(name);
+  }
+  // num_rows x num_vars would overflow u64 if multiplied naively.
+  AppendInt<uint64_t>(&payload, (1ull << 63) + 5);
+  AppendInt<uint32_t>(&payload, 7);  // a single cell of backing data
+  WireResponse decoded;
+  EXPECT_EQ(DecodeResponse(payload, &decoded).code(),
+            StatusCode::kParseError);
+}
+
+TEST(WireTest, DecodeResponseRejectsUnknownStatusCode) {
+  WireResponse response;
+  response.type = MsgType::kPing;
+  std::string frame;
+  EncodeResponse(response, &frame);
+  std::string payload = PayloadOf(frame);
+  payload[10] = 42;  // status_code byte (after version, type, u64 id)
+  WireResponse decoded;
+  EXPECT_EQ(DecodeResponse(payload, &decoded).code(),
+            StatusCode::kParseError);
+}
+
+TEST(WireTest, ResponseStatusRoundTripsEveryShedCode) {
+  for (Status status :
+       {Status::Unavailable("shed"), Status::DeadlineExceeded("late"),
+        Status::ParseError("bad"), Status::InvalidArgument("bgp")}) {
+    WireResponse response;
+    response.type = MsgType::kPattern;
+    response.status = status;
+    std::string frame;
+    EncodeResponse(response, &frame);
+    WireResponse decoded;
+    ASSERT_TRUE(DecodeResponse(PayloadOf(frame), &decoded).ok());
+    EXPECT_EQ(decoded.status, status);
+  }
+}
+
+}  // namespace
+}  // namespace akb::net

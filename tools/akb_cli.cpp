@@ -18,15 +18,30 @@
 //            single patterns)
 //   akb_cli statusz [--load-kb=kb.akbsnap | --triples=N] [--queries=N]
 //           [--workers=N] [--json] [--out=statusz.json]
+//   akb_cli serve-net [--load-kb=kb.akbsnap | --triples=N] [--host=ADDR]
+//           [--port=N] [--port-file=FILE] [--workers=N] [--net-workers=N]
+//           [--queue-depth=N] [--max-connections=N] [--no-coalescing]
+//           [--no-cache] [--cache-mb=N] [--duration=10s] [--seed=N]
+//   akb_cli net-bench [--connect=HOST:PORT | --load-kb=... | --triples=N]
+//           [--clients=N] [--queries=N] [--deadline=250ms] [--pipeline=N]
+//           [--zipf=F] [--no-coalescing] [--no-cache] [--net-workers=N]
+//           [--queue-depth=N] [--seed=N] [--bench-out=b.json]
 //   akb_cli inspect <file.nt>
 //   akb_cli snapshot-info <kb.akbsnap>
 //   akb_cli convert-snapshot <in.akbsnap> <out.akbsnap>
 //           [--snapshot-format=v1|v2]
 //   akb_cli bench-merge [--out=BENCH_pipeline.json] <bench1.json> ...
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <limits>
 #include <cstdio>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/flags.h"
@@ -38,6 +53,8 @@
 #include "fusion/accu.h"
 #include "fusion/metrics.h"
 #include "fusion/vote.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/bench_io.h"
 #include "obs/metrics.h"
 #include "obs/statusz.h"
@@ -604,6 +621,369 @@ int RunStatuszCommand(const FlagSet& flags) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_signal_stop = 0;
+void HandleStopSignal(int) { g_signal_stop = 1; }
+
+// Shared engine/server construction for serve-net and in-process
+// net-bench. The engine cache is on by default (--no-cache turns it off
+// for sustained-miss experiments); coalescing is on unless
+// --no-coalescing.
+net::ServerConfig BuildNetConfig(const FlagSet& flags) {
+  net::ServerConfig config;
+  config.host = flags.GetString("host", "127.0.0.1");
+  config.port = uint16_t(flags.GetInt("port", 0));
+  config.num_workers = size_t(flags.GetInt("net-workers", 4));
+  config.max_connections = size_t(flags.GetInt("max-connections", 1024));
+  config.max_queue_depth = size_t(flags.GetInt("queue-depth", 1024));
+  config.enable_coalescing = !flags.GetBool("no-coalescing");
+  return config;
+}
+
+serve::QueryEngineConfig BuildNetEngineConfig(const FlagSet& flags) {
+  serve::QueryEngineConfig config;
+  config.num_workers = size_t(flags.GetInt("workers", 0));
+  config.enable_cache = !flags.GetBool("no-cache");
+  config.cache.max_bytes = size_t(flags.GetInt("cache-mb", 64)) << 20;
+  return config;
+}
+
+// serve-net: the network front door as a process. Binds (port 0 =
+// ephemeral; --port-file publishes the bound port for scripts), serves
+// until --duration elapses or SIGINT/SIGTERM, then shuts down cleanly —
+// queued work is shed with kUnavailable, connections are flushed and
+// closed, and the exit code is 0 so CI can assert a clean stop.
+int RunServeNetCommand(const FlagSet& flags) {
+  uint64_t seed = uint64_t(flags.GetInt("seed", 19));
+  rdf::TripleStore store;
+  std::optional<serve::KbView> view_holder;
+  double build_ms = 0.0;
+  if (!BuildServeKb(flags, seed, 100000, &store, &view_holder, &build_ms)) {
+    return 1;
+  }
+  serve::QueryEngine engine(*view_holder, BuildNetEngineConfig(flags));
+
+  auto duration = flags.GetDuration("duration", 0);
+  if (!duration.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 duration.status().ToString().c_str());
+    return 2;
+  }
+
+  net::Server server(&engine);
+  Status started = server.Start(BuildNetConfig(flags));
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("Serving %zu triples on %s:%u (%s, cache %s)\n",
+              view_holder->num_triples(),
+              flags.GetString("host", "127.0.0.1").c_str(), server.port(),
+              flags.GetBool("no-coalescing") ? "coalescing off"
+                                             : "coalescing on",
+              engine.cache() ? "on" : "off");
+  std::fflush(stdout);
+
+  std::string port_file = flags.GetString("port-file");
+  if (!port_file.empty()) {
+    Status status = obs::WriteTextFile(
+        port_file, std::to_string(server.port()) + "\n");
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      server.Stop();
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const int64_t stop_at =
+      *duration > 0 ? net::NowNanos() + *duration
+                    : std::numeric_limits<int64_t>::max();
+  while (g_signal_stop == 0 && net::NowNanos() < stop_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.Stop();
+  net::NetStats stats = server.stats();
+  std::printf(
+      "Shut down cleanly: %llu requests, %llu responses, "
+      "%llu connections, %llu flights executed, %llu coalesced waiters, "
+      "shed %llu unavailable / %llu deadline / %llu shutdown\n",
+      (unsigned long long)stats.requests,
+      (unsigned long long)stats.responses,
+      (unsigned long long)stats.connections_accepted,
+      (unsigned long long)stats.flights_executed,
+      (unsigned long long)stats.singleflight.coalesced_waiters,
+      (unsigned long long)stats.shed_unavailable,
+      (unsigned long long)stats.shed_deadline_queue,
+      (unsigned long long)stats.shed_shutdown);
+  return 0;
+}
+
+// Per-client-thread tallies for net-bench, merged after join.
+struct NetBenchTally {
+  uint64_t ok = 0;
+  uint64_t unavailable = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other_errors = 0;
+  uint64_t transport_errors = 0;
+  uint64_t coalesced = 0;
+  uint64_t cache_hits = 0;
+  uint64_t matches = 0;
+  std::vector<int64_t> latencies_nanos;
+
+  void Absorb(const NetBenchTally& other) {
+    ok += other.ok;
+    unavailable += other.unavailable;
+    deadline_exceeded += other.deadline_exceeded;
+    other_errors += other.other_errors;
+    transport_errors += other.transport_errors;
+    coalesced += other.coalesced;
+    cache_hits += other.cache_hits;
+    matches += other.matches;
+    latencies_nanos.insert(latencies_nanos.end(),
+                           other.latencies_nanos.begin(),
+                           other.latencies_nanos.end());
+  }
+};
+
+void TallyResponse(const net::WireResponse& response, int64_t latency_nanos,
+                   NetBenchTally* tally) {
+  tally->latencies_nanos.push_back(latency_nanos);
+  if (response.coalesced) ++tally->coalesced;
+  if (response.cache_hit) ++tally->cache_hits;
+  switch (response.status.code()) {
+    case StatusCode::kOk:
+      ++tally->ok;
+      tally->matches += response.matches.size();
+      break;
+    case StatusCode::kUnavailable:
+      ++tally->unavailable;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++tally->deadline_exceeded;
+      break;
+    default:
+      ++tally->other_errors;
+      break;
+  }
+}
+
+// One client thread: its own connection, a slice of the shared workload,
+// pipelined up to `depth` requests deep with latencies measured at the
+// client (send to matching response).
+void RunNetBenchClient(const std::string& host, uint16_t port,
+                       const std::vector<rdf::TriplePattern>& patterns,
+                       size_t begin, size_t end, size_t depth,
+                       int64_t deadline_nanos, uint64_t id_base,
+                       NetBenchTally* tally) {
+  net::Client client;
+  // The receive timeout is a backstop, not the deadline: sheds come back
+  // as responses. Generous so a loaded server is not misread as dead.
+  int64_t recv_timeout = std::max<int64_t>(10'000'000'000, 4 * deadline_nanos);
+  if (!client.Connect(host, port, recv_timeout).ok()) {
+    tally->transport_errors += end - begin;
+    return;
+  }
+  std::unordered_map<uint64_t, int64_t> sent_at;
+  size_t next = begin;
+  uint64_t completed = 0;
+  const uint64_t total = end - begin;
+  while (completed < total) {
+    while (next < end && sent_at.size() < depth) {
+      net::WireRequest request;
+      request.type = net::MsgType::kPattern;
+      request.request_id = id_base + next;
+      request.deadline_nanos = deadline_nanos;
+      request.pattern = patterns[next];
+      int64_t now = net::NowNanos();
+      if (!client.Send(request).ok()) {
+        tally->transport_errors += total - completed;
+        return;
+      }
+      sent_at.emplace(request.request_id, now);
+      ++next;
+    }
+    net::WireResponse response;
+    Status received = client.Receive(&response);
+    if (!received.ok()) {
+      // A server stopping mid-flight surfaces as EOF/reset here; count
+      // the remainder as transport errors and stop.
+      tally->transport_errors += total - completed;
+      return;
+    }
+    auto it = sent_at.find(response.request_id);
+    int64_t latency =
+        it != sent_at.end() ? net::NowNanos() - it->second : 0;
+    if (it != sent_at.end()) sent_at.erase(it);
+    TallyResponse(response, latency, tally);
+    ++completed;
+  }
+}
+
+double Percentile(std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  size_t index = size_t(p * double(sorted.size() - 1));
+  return double(sorted[index]);
+}
+
+// net-bench: a multi-threaded load generator for the wire protocol.
+// Connects to --connect=HOST:PORT, or starts an in-process server over
+// the same KB the workload is generated from. In-process runs also
+// report the backend execution count (akb.serve.queries delta) — the
+// number the coalescing headline is measured on.
+int RunNetBenchCommand(const FlagSet& flags) {
+  uint64_t seed = uint64_t(flags.GetInt("seed", 19));
+  rdf::TripleStore store;
+  std::optional<serve::KbView> view_holder;
+  double build_ms = 0.0;
+  if (!BuildServeKb(flags, seed, 100000, &store, &view_holder, &build_ms)) {
+    return 1;
+  }
+
+  size_t num_queries = size_t(flags.GetInt("queries", 50000));
+  synth::QueryWorkloadConfig workload_config;
+  workload_config.num_queries = num_queries;
+  workload_config.seed = seed + 1;
+  workload_config.zipf = flags.GetDouble("zipf", 0.8);
+  auto patterns = synth::GenerateQueryWorkload(store, workload_config);
+
+  auto deadline = flags.GetDuration("deadline", 0);
+  if (!deadline.ok()) {
+    std::fprintf(stderr, "error: %s\n", deadline.status().ToString().c_str());
+    return 2;
+  }
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::optional<serve::QueryEngine> engine;
+  std::optional<net::Server> server;
+  std::string connect = flags.GetString("connect");
+  if (!connect.empty()) {
+    size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "error: --connect takes HOST:PORT (got %s)\n",
+                   connect.c_str());
+      return 2;
+    }
+    host = connect.substr(0, colon);
+    port = uint16_t(std::stoi(connect.substr(colon + 1)));
+  } else {
+    engine.emplace(*view_holder, BuildNetEngineConfig(flags));
+    server.emplace(&*engine);
+    Status started = server->Start(BuildNetConfig(flags));
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+  }
+
+  size_t clients = std::max<int64_t>(1, flags.GetInt("clients", 8));
+  size_t depth = std::max<int64_t>(1, flags.GetInt("pipeline", 16));
+  std::printf(
+      "net-bench: %zu queries (zipf=%.2f), %zu clients x pipeline %zu, "
+      "deadline=%lld ns, %s\n",
+      patterns.size(), workload_config.zipf, clients, depth,
+      (long long)*deadline,
+      connect.empty() ? "in-process server" : connect.c_str());
+
+  obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  std::vector<NetBenchTally> tallies(clients);
+  std::vector<std::thread> threads;
+  Stopwatch watch;
+  size_t per_client = (patterns.size() + clients - 1) / clients;
+  for (size_t c = 0; c < clients; ++c) {
+    size_t begin = std::min(patterns.size(), c * per_client);
+    size_t end = std::min(patterns.size(), begin + per_client);
+    threads.emplace_back(RunNetBenchClient, host, port, std::cref(patterns),
+                         begin, end, depth, *deadline,
+                         uint64_t(c) << 32, &tallies[c]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  double seconds = watch.ElapsedSeconds();
+
+  NetBenchTally total;
+  for (const NetBenchTally& tally : tallies) total.Absorb(tally);
+  std::sort(total.latencies_nanos.begin(), total.latencies_nanos.end());
+  double p50 = Percentile(total.latencies_nanos, 0.50);
+  double p99 = Percentile(total.latencies_nanos, 0.99);
+  uint64_t responses = total.latencies_nanos.size();
+  double qps = seconds > 0 ? double(responses) / seconds : 0.0;
+  double shed_rate =
+      responses > 0
+          ? double(total.unavailable + total.deadline_exceeded) /
+                double(responses)
+          : 0.0;
+
+  std::printf(
+      "%llu responses in %.3f s: %.0f qps, p50=%.0f ns p99=%.0f ns\n",
+      (unsigned long long)responses, seconds, qps, p50, p99);
+  std::printf(
+      "  ok=%llu (matches=%llu) unavailable=%llu deadline=%llu "
+      "errors=%llu transport=%llu\n",
+      (unsigned long long)total.ok, (unsigned long long)total.matches,
+      (unsigned long long)total.unavailable,
+      (unsigned long long)total.deadline_exceeded,
+      (unsigned long long)total.other_errors,
+      (unsigned long long)total.transport_errors);
+  std::printf("  coalesced=%llu cache_hits=%llu shed_rate=%.4f\n",
+              (unsigned long long)total.coalesced,
+              (unsigned long long)total.cache_hits, shed_rate);
+
+  uint64_t backend_queries = 0;
+  if (server.has_value()) {
+    obs::MetricsSnapshot delta =
+        obs::MetricsRegistry::Global().Snapshot().DiffFrom(before);
+    const auto* backend = delta.Find("akb.serve.queries");
+    backend_queries = backend ? uint64_t(backend->value) : 0;
+    net::NetStats stats = server->stats();
+    std::printf(
+        "  server: %llu backend executions, %llu flights, "
+        "%llu coalesced waiters (%.1fx dedup)\n",
+        (unsigned long long)backend_queries,
+        (unsigned long long)stats.flights_executed,
+        (unsigned long long)stats.singleflight.coalesced_waiters,
+        backend_queries > 0 ? double(responses) / double(backend_queries)
+                            : 0.0);
+    server->Stop();
+  }
+
+  std::string bench_out = flags.GetString("bench-out");
+  if (!bench_out.empty()) {
+    obs::BenchSuite suite("net_bench");
+    obs::BenchResult result;
+    result.name = "net_qps";
+    result.value = qps;
+    result.unit = "qps";
+    result.iterations = int64_t(responses);
+    result.extra = {{"p50_nanos", p50},
+                    {"p99_nanos", p99},
+                    {"clients", double(clients)},
+                    {"pipeline", double(depth)},
+                    {"ok", double(total.ok)},
+                    {"shed_unavailable", double(total.unavailable)},
+                    {"shed_deadline", double(total.deadline_exceeded)},
+                    {"shed_rate", shed_rate},
+                    {"coalesced", double(total.coalesced)},
+                    {"cache_hits", double(total.cache_hits)},
+                    {"backend_queries", double(backend_queries)},
+                    {"triples", double(view_holder->num_triples())}};
+    suite.Add(std::move(result));
+    Status status = suite.WriteFile(bench_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Wrote bench results to %s\n", bench_out.c_str());
+  }
+  if (responses == 0) {
+    std::fprintf(stderr, "error: no responses received\n");
+    return 1;
+  }
+  return 0;
+}
+
 int RunSnapshotInfoCommand(const FlagSet& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "usage: akb_cli snapshot-info <file.akbsnap>\n");
@@ -709,6 +1089,8 @@ void PrintUsage() {
       "  extract-dom   run Algorithm 1 on generated sites\n"
       "  fuse-demo     compare VOTE vs ACCU on a synthetic claim set\n"
       "  serve-bench   serve a synthetic query workload from a KB\n"
+      "  serve-net     run the epoll network front door over a KB\n"
+      "  net-bench     multi-threaded load generator for serve-net\n"
       "  statusz       live introspection report for the serve path\n"
       "  inspect FILE  summarize an N-Triples file\n"
       "  snapshot-info FILE  summarize a binary KB snapshot\n"
@@ -738,6 +1120,16 @@ void PrintUsage() {
       "              batches) --joins (run a BGP join workload through\n"
       "              the planner instead of single patterns; --row-limit=N\n"
       "              caps rows per join, default 100000)\n"
+      "serve-net:    --load-kb=FILE | --triples=N; --host=ADDR --port=N\n"
+      "              (0 = ephemeral) --port-file=FILE (publish bound port)\n"
+      "              --net-workers=N --queue-depth=N --max-connections=N\n"
+      "              --no-coalescing --no-cache --cache-mb=N\n"
+      "              --duration=10s (0 = until SIGINT/SIGTERM; units\n"
+      "              ns|us|ms|s|m|h, unit mandatory)\n"
+      "net-bench:    --connect=HOST:PORT (else an in-process server over\n"
+      "              the same KB) --clients=N --queries=N --pipeline=N\n"
+      "              --deadline=250ms (per-request budget; 0 = none)\n"
+      "              --zipf=F --no-coalescing --no-cache --bench-out=FILE\n"
       "statusz:      --load-kb=FILE | --triples=N; --queries=N warmup\n"
       "              --workers=N --json --out=FILE (akb-statusz-v1 JSON)\n"
       "bench-merge:  --out=FILE (default BENCH_pipeline.json) inputs...\n");
@@ -756,6 +1148,8 @@ int main(int argc, char** argv) {
   if (command == "extract-dom") return RunExtractDomCommand(flags);
   if (command == "fuse-demo") return RunFuseDemoCommand(flags);
   if (command == "serve-bench") return RunServeBenchCommand(flags);
+  if (command == "serve-net") return RunServeNetCommand(flags);
+  if (command == "net-bench") return RunNetBenchCommand(flags);
   if (command == "statusz") return RunStatuszCommand(flags);
   if (command == "inspect") return RunInspectCommand(flags);
   if (command == "snapshot-info") return RunSnapshotInfoCommand(flags);
